@@ -1,0 +1,125 @@
+// Ablation study of the self-adaptation algorithm's design choices, run on
+// two scenarios:
+//   A) Figure-8 processing constraint (cost 10 ms/byte, optimum 0.625)
+//   B) Figure-9 network constraint (gen 40 KB/s over 10 KB/s, optimum 0.25)
+//
+// For each variant we report the converged sampling factor, its absolute
+// error against the theoretical optimum, and the oscillation (stddev over
+// the second half) — the two axes Section 4.2 balances: "we should be able
+// to adjust to changes in the load quickly, but without making the system
+// unstable".
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gates/apps/scenarios.hpp"
+#include "gates/common/stats.hpp"
+
+using namespace gates::apps::scenarios;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  std::function<void(CompSteerOptions&)> mutate;
+};
+
+void run_scenario(const char* title, const CompSteerOptions& base,
+                  double optimum, const std::vector<Variant>& variants) {
+  std::printf("\n%s (theoretical optimum %.3f)\n", title, optimum);
+  std::printf("%-34s %10s %10s %12s\n", "variant", "converged", "error",
+              "oscillation");
+  gates::bench::rule();
+  for (const auto& variant : variants) {
+    CompSteerOptions o = base;
+    variant.mutate(o);
+    const auto r = run_comp_steer(o);
+    gates::RunningStats osc;
+    for (std::size_t i = r.trajectory.size() / 2; i < r.trajectory.size(); ++i) {
+      osc.add(r.trajectory[i].second);
+    }
+    std::printf("%-34s %10.3f %10.3f %12.3f\n", variant.name.c_str(),
+                r.converged_rate, std::abs(r.converged_rate - optimum),
+                osc.stddev());
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  gates::bench::init();
+  gates::bench::header("Ablation",
+                       "self-adaptation design choices (DESIGN.md §4)");
+
+  const std::vector<Variant> variants = {
+      {"baseline (paper configuration)", [](CompSteerOptions&) {}},
+      {"no trend gating",
+       [](CompSteerOptions& o) {
+         o.stage_monitor.trend_gating = false;
+         auto link = gates::core::SimEngine::default_link_monitor();
+         link.trend_gating = false;
+         o.link_monitor = link;
+       }},
+      {"no variability gain (sigma=1)",
+       [](CompSteerOptions& o) { o.controller.variability_weight = 0; }},
+      {"no underload discount",
+       [](CompSteerOptions& o) { o.controller.underload_discount = 1.0; }},
+      {"symmetric gains (no AIMD)",
+       [](CompSteerOptions& o) { o.controller.accuracy_gain_fraction = 1.0; }},
+      {"no exception decay memory",
+       [](CompSteerOptions& o) { o.controller.exception_decay = 0.01; }},
+      {"half learning rate (alpha 0.35)",
+       [](CompSteerOptions& o) { o.stage_monitor.alpha = 0.35; }},
+      {"heavy smoothing (alpha 0.95)",
+       [](CompSteerOptions& o) { o.stage_monitor.alpha = 0.95; }},
+      {"short window (W=3)",
+       [](CompSteerOptions& o) { o.stage_monitor.window = 3; }},
+      {"long window (W=48)",
+       [](CompSteerOptions& o) { o.stage_monitor.window = 48; }},
+      {"phi3 only (P=[0,0,1])",
+       [](CompSteerOptions& o) {
+         o.stage_monitor.p1 = 0;
+         o.stage_monitor.p2 = 0;
+         o.stage_monitor.p3 = 1;
+       }},
+      {"phi1 heavy (P=[.6,.2,.2])",
+       [](CompSteerOptions& o) {
+         o.stage_monitor.p1 = 0.6;
+         o.stage_monitor.p2 = 0.2;
+         o.stage_monitor.p3 = 0.2;
+       }},
+      {"4x gain",
+       [](CompSteerOptions& o) { o.controller.gain = 0.16; }},
+      {"quarter gain",
+       [](CompSteerOptions& o) { o.controller.gain = 0.01; }},
+      {"wide exception deadband (LT=.3)",
+       [](CompSteerOptions& o) {
+         o.stage_monitor.lt1 = -0.3;
+         o.stage_monitor.lt2 = 0.3;
+       }},
+  };
+
+  CompSteerOptions fig8;
+  fig8.analyzer_ms_per_byte = 10;
+  run_scenario("A) processing constraint (Fig. 8, cost 10 ms/B)", fig8,
+               processing_constraint_optimum(fig8), variants);
+
+  CompSteerOptions fig9;
+  fig9.generation_bytes_per_sec = 40e3;
+  fig9.chunk_bytes = 1024;
+  fig9.analyzer_ms_per_byte = 0.01;
+  fig9.link_bw = 10e3;
+  fig9.rate_initial = 0.01;
+  run_scenario("B) network constraint (Fig. 9, gen 40 KB/s over 10 KB/s)",
+               fig9, network_constraint_optimum(fig9), variants);
+
+  gates::bench::rule();
+  gates::bench::note(
+      "reading: low error + low oscillation wins. The baseline should beat "
+      "the\nablated variants on at least one axis in each scenario.");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared formatting for the figure-reproduction binaries: each prints the
+// paper artifact it regenerates, the paper's reported values where the paper
+// gives numbers, and our measured values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "gates/common/log.hpp"
+
+namespace gates::bench {
+
+inline void init() {
+  // Keep bench tables clean of middleware logging.
+  Logger::global().set_level(LogLevel::kError);
+}
+
+inline void header(const char* figure, const char* title) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("==============================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+inline void rule() {
+  std::printf("------------------------------------------------------------------------------\n");
+}
+
+}  // namespace gates::bench

@@ -1,0 +1,49 @@
+// Figure 5 (table): "Benefits of Distributed Processing" — count-samps with
+// four sub-streams of 25,000 integers each, a 100 KB/s shared link into the
+// central node, centralized (forward all raw data) vs distributed (ship
+// 100-value summaries per source).
+//
+// Paper reports: centralized 257.5 s / accuracy 99; distributed 180.8 s /
+// accuracy 97.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gates/apps/scenarios.hpp"
+
+using gates::apps::scenarios::CountSampsOptions;
+using gates::apps::scenarios::run_count_samps;
+
+int main() {
+  gates::bench::init();
+  gates::bench::header("Figure 5",
+                       "count-samps: centralized vs distributed processing");
+  gates::bench::note(
+      "4 sub-streams x 25,000 Zipf integers; 100 KB/s shared central "
+      "ingress;\n~256 B/record wire overhead (Java object-stream model, see "
+      "DESIGN.md)");
+  gates::bench::rule();
+
+  CountSampsOptions centralized;
+  centralized.distributed = false;
+  const auto rc = run_count_samps(centralized);
+
+  CountSampsOptions distributed;
+  distributed.distributed = true;
+  const auto rd = run_count_samps(distributed);
+
+  std::printf("%-18s %14s %14s %14s %14s\n", "Processing Style",
+              "paper time(s)", "our time(s)", "paper acc", "our acc");
+  std::printf("%-18s %14.1f %14.1f %14.0f %14.1f\n", "Centralized", 257.5,
+              rc.execution_time, 99.0, rc.accuracy.score());
+  std::printf("%-18s %14.1f %14.1f %14.0f %14.1f\n", "Distributed", 180.8,
+              rd.execution_time, 97.0, rd.accuracy.score());
+  gates::bench::rule();
+  std::printf(
+      "speedup: paper %.2fx, ours %.2fx; accuracy gap: paper %.0f, ours "
+      "%.1f\n",
+      257.5 / 180.8, rc.execution_time / rd.execution_time, 99.0 - 97.0,
+      rc.accuracy.score() - rd.accuracy.score());
+  std::printf("completed: centralized=%d distributed=%d\n", rc.completed,
+              rd.completed);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 8: comp-steer self-adaptation under a processing constraint.
+// Five versions with post-processing costs {1, 5, 8, 10, 20} ms/byte;
+// generation 160 B/s; initial sampling factor 0.13.
+//
+// Paper: the sampling factor converges to 1 for costs 1 and 5 (processing is
+// not a constraint) and to ~0.65, ~0.55, ~0.31 for costs 8, 10, 20.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gates/apps/scenarios.hpp"
+
+using gates::apps::scenarios::CompSteerOptions;
+using gates::apps::scenarios::processing_constraint_optimum;
+using gates::apps::scenarios::run_comp_steer;
+
+int main() {
+  gates::bench::init();
+  gates::bench::header(
+      "Figure 8", "comp-steer sampling factor vs post-processing cost");
+  gates::bench::note(
+      "generation 160 B/s; initial sampling factor 0.13; horizon 600 s "
+      "virtual");
+  gates::bench::rule();
+
+  const std::vector<double> costs = {1, 5, 8, 10, 20};
+  const std::vector<double> paper = {1.0, 1.0, 0.65, 0.55, 0.31};
+
+  std::vector<gates::apps::scenarios::CompSteerResult> results;
+  std::printf("%-14s %12s %12s %12s %12s\n", "cost (ms/B)", "paper conv.",
+              "our conv.", "theoretical", "final value");
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    CompSteerOptions o;
+    o.analyzer_ms_per_byte = costs[i];
+    auto r = run_comp_steer(o);
+    std::printf("%-14.0f %12.2f %12.3f %12.3f %12.3f\n", costs[i], paper[i],
+                r.converged_rate, processing_constraint_optimum(o),
+                r.final_rate);
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  }
+
+  gates::bench::rule();
+  gates::bench::note(
+      "sampling-factor trajectories (every 30 control periods), the series "
+      "the\npaper plots over time:");
+  std::printf("%-8s", "t (s)");
+  for (double c : costs) std::printf("  cost=%-5.0f", c);
+  std::printf("\n");
+  const auto& reference = results.front().trajectory;
+  for (std::size_t i = 0; i < reference.size(); i += 30) {
+    std::printf("%-8.0f", reference[i].first);
+    for (const auto& r : results) {
+      std::printf("  %-10.3f", r.trajectory[i].second);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

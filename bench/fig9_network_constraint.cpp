@@ -1,0 +1,64 @@
+// Figure 9: comp-steer self-adaptation under a network constraint.
+// A 10 KB/s link carries the sampled stream; pre-sampling generation rates
+// are {5, 10, 20, 40, 80} KB/s; the initial sampling factor is 0.01.
+//
+// Paper: the middleware converges to the highest sampling factor the link
+// sustains — ~1 for 5 and 10 KB/s, and roughly link/generation beyond that.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gates/apps/scenarios.hpp"
+
+using gates::apps::scenarios::CompSteerOptions;
+using gates::apps::scenarios::network_constraint_optimum;
+using gates::apps::scenarios::run_comp_steer;
+
+int main() {
+  gates::bench::init();
+  gates::bench::header("Figure 9",
+                       "comp-steer sampling factor vs data generation rate");
+  gates::bench::note(
+      "sampler -> analyzer link: 10 KB/s; initial sampling factor 0.01; "
+      "horizon 600 s");
+  gates::bench::rule();
+
+  const std::vector<double> rates = {5e3, 10e3, 20e3, 40e3, 80e3};
+
+  std::vector<gates::apps::scenarios::CompSteerResult> results;
+  std::printf("%-16s %14s %14s %14s\n", "generation", "our converged",
+              "theoretical", "final value");
+  for (double rate : rates) {
+    CompSteerOptions o;
+    o.generation_bytes_per_sec = rate;
+    o.chunk_bytes = 1024;
+    o.analyzer_ms_per_byte = 0.01;  // analysis is cheap; the link constrains
+    o.link_bw = 10e3;
+    o.rate_initial = 0.01;
+    auto r = run_comp_steer(o);
+    std::printf("%11.0f KB/s %14.3f %14.3f %14.3f\n", rate / 1e3,
+                r.converged_rate, network_constraint_optimum(o), r.final_rate);
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  }
+
+  gates::bench::rule();
+  gates::bench::note(
+      "sampling-factor trajectories (every 30 control periods):");
+  std::printf("%-8s", "t (s)");
+  for (double rate : rates) std::printf("  gen=%-4.0fKB", rate / 1e3);
+  std::printf("\n");
+  const auto& reference = results.front().trajectory;
+  for (std::size_t i = 0; i < reference.size(); i += 30) {
+    std::printf("%-8.0f", reference[i].first);
+    for (const auto& r : results) {
+      std::printf("  %-10.3f", r.trajectory[i].second);
+    }
+    std::printf("\n");
+  }
+  gates::bench::rule();
+  gates::bench::note(
+      "paper shape: unconstrained versions climb from 0.01 to full "
+      "sampling;\nconstrained versions settle in order of generation rate.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The real-time constraint itself (ours): what self-adaptation buys in
+// end-to-end latency. comp-steer with a 10 ms/byte analyzer and 160 B/s
+// generation, run three ways:
+//
+//   fixed 1.0   — maximum accuracy, ignores the constraint
+//   fixed 0.5   — hand-tuned below the sustainable rate (0.625)
+//   adaptive    — the middleware picks the rate
+//
+// Without adaptation at rate 1.0 the analyzer queue saturates and latency
+// grows without bound — the "queue will saturate, and real-time constraint
+// on processing cannot be met" case of §4.1.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gates/apps/scenarios.hpp"
+
+using namespace gates::apps::scenarios;
+
+int main() {
+  gates::bench::init();
+  gates::bench::header("Real-time constraint",
+                       "analyzer latency with and without self-adaptation");
+  gates::bench::note(
+      "comp-steer, analyzer 10 ms/byte, generation 160 B/s, sustainable "
+      "sampling 0.625,\n600 s horizon; latency measured at the analyzer "
+      "(creation -> end of service)");
+  gates::bench::rule();
+
+  struct Row {
+    const char* name;
+    double initial;
+    bool adapt;
+  };
+  const Row rows[] = {
+      {"fixed 1.0 (no adaptation)", 1.0, false},
+      {"fixed 0.5 (hand-tuned)", 0.5, false},
+      {"adaptive (middleware)", 0.13, true},
+  };
+
+  std::printf("%-28s %10s %12s %12s %14s\n", "version", "rate~",
+              "latency~ s", "latencyMax s", "bytes analyzed");
+  for (const Row& row : rows) {
+    CompSteerOptions o;
+    o.analyzer_ms_per_byte = 10;
+    o.rate_initial = row.initial;
+    if (!row.adapt) {
+      o.rate_min = row.initial;
+      o.rate_max = row.initial;
+    }
+    o.horizon = 600;
+    const auto r = run_comp_steer(o);
+    const auto* analyzer = r.report.stage("analyzer");
+    std::printf("%-28s %10.2f %12.2f %12.2f %14llu\n", row.name,
+                r.converged_rate, analyzer->packet_latency.mean(),
+                analyzer->packet_latency.max(),
+                static_cast<unsigned long long>(analyzer->bytes_processed));
+    std::fflush(stdout);
+  }
+  gates::bench::rule();
+  gates::bench::note(
+      "reading: fixed 1.0 shows unbounded queueing delay (latency ~ half the "
+      "horizon);\nthe adaptive version holds latency near the hand-tuned "
+      "level while analyzing\nmore data than the conservative fixed 0.5.");
+  return 0;
+}

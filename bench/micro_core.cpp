@@ -1,0 +1,165 @@
+// Micro-benchmarks of the building blocks (google-benchmark): counting-
+// samples sketch throughput, summary serialization, DES event throughput,
+// link simulation, XML parsing and one adaptation control step.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "gates/apps/counting_samples.hpp"
+#include "gates/common/bounded_queue.hpp"
+#include "gates/common/rng.hpp"
+#include "gates/common/spsc_ring.hpp"
+#include "gates/common/zipf.hpp"
+#include "gates/core/adapt/controller.hpp"
+#include "gates/core/adapt/queue_monitor.hpp"
+#include "gates/net/link.hpp"
+#include "gates/sim/simulation.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates {
+namespace {
+
+void BM_CountingSamplesInsert(benchmark::State& state) {
+  const auto footprint = static_cast<std::size_t>(state.range(0));
+  apps::CountingSamples cs(footprint, Rng(1));
+  ZipfGenerator zipf(100000, 1.1);
+  Rng rng(2);
+  for (auto _ : state) {
+    cs.insert(zipf.next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountingSamplesInsert)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CountingSamplesTopK(benchmark::State& state) {
+  apps::CountingSamples cs(512, Rng(1));
+  ZipfGenerator zipf(100000, 1.1);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) cs.insert(zipf.next(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.top_k(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_CountingSamplesTopK)->Arg(10)->Arg(100);
+
+void BM_SummarySerializeRoundTrip(benchmark::State& state) {
+  apps::StreamSummary summary;
+  summary.stream = 1;
+  summary.epoch = 7;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0)); ++i) {
+    summary.items.push_back({i, static_cast<double>(i)});
+  }
+  for (auto _ : state) {
+    auto decoded = apps::StreamSummary::deserialize(summary.serialize());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SummarySerializeRoundTrip)->Arg(40)->Arg(240);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    const int n = static_cast<int>(state.range(0));
+    int counter = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [&counter] { ++counter; });
+    }
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationEventThroughput)->Arg(10000)->Arg(100000);
+
+class NullSink : public net::MessageSink {
+ public:
+  bool try_deliver(net::SimMessage&&) override { return true; }
+};
+
+void BM_SimLinkMessageFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    NullSink sink;
+    net::SimLink link(sim, {"l", 1e9, 0.0, SIZE_MAX});
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      net::SimMessage msg;
+      msg.wire_bytes = 100;
+      msg.sink = &sink;
+      link.send(std::move(msg));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimLinkMessageFlow);
+
+void BM_AdaptationControlStep(benchmark::State& state) {
+  core::adapt::QueueMonitor monitor({});
+  core::AdjustmentParameter param(
+      {"p", 0.5, 0.0, 1.0, 0.0, ParamDirection::kIncreaseSlowsDown});
+  core::adapt::ParameterController controller(param, {});
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto signal = monitor.observe(rng.uniform(0, 60));
+    controller.report_downstream_exception(signal);
+    benchmark::DoNotOptimize(
+        controller.update(monitor.normalized_dtilde_gated()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdaptationControlStep);
+
+void BM_XmlParseConfig(benchmark::State& state) {
+  std::string doc = "<application name=\"x\"><stages>";
+  for (int i = 0; i < 16; ++i) {
+    doc += "<stage name=\"s" + std::to_string(i) +
+           "\" code=\"builtin://p\" capacity=\"100\">"
+           "<param name=\"k\" value=\"v\"/><monitor alpha=\"0.7\"/></stage>";
+  }
+  doc += "</stages><sources><source target=\"s0\"/></sources></application>";
+  for (auto _ : state) {
+    auto parsed = xml::parse(doc);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_XmlParseConfig);
+
+void BM_BoundedQueuePingPong(benchmark::State& state) {
+  BoundedQueue<int> queue(1024);
+  for (auto _ : state) {
+    queue.try_push(1);
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundedQueuePingPong);
+
+void BM_SpscRingPingPong(benchmark::State& state) {
+  SpscRing<int> ring(1024);
+  for (auto _ : state) {
+    ring.try_push(1);
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPingPong);
+
+void BM_ZipfDraw(benchmark::State& state) {
+  ZipfGenerator zipf(static_cast<std::uint64_t>(state.range(0)), 1.1);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfDraw)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace gates

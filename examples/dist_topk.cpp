@@ -1,0 +1,164 @@
+// Distributed top-k over the full middleware path — the application-user
+// experience from the paper (§3.2): the developer has published stage code
+// into a repository and hosted an XML configuration; the user passes the
+// config URL to the Launcher and runs the launched application.
+//
+// Grid: one central node and four edge nodes. Each edge node receives a
+// Zipf-skewed integer sub-stream; a summary stage near each source ships
+// top-n summaries over a shared 100 KB/s ingress to the central sink, which
+// answers "top 10 most frequent values" continuously.
+#include <cstdio>
+
+#include "gates/apps/accuracy.hpp"
+#include "gates/common/log.hpp"
+#include "gates/apps/count_samps.hpp"
+#include "gates/apps/registration.hpp"
+#include "gates/core/sim_engine.hpp"
+#include "gates/grid/launcher.hpp"
+
+namespace {
+
+const char* kConfig = R"(<?xml version="1.0"?>
+<application name="dist-topk">
+  <stages>
+    <stage name="summary0" code="repo://demo-apps/stages/summary">
+      <param name="emit-every" value="2500"/>
+      <param name="track-exact" value="true"/>
+      <placement node="1"/>
+    </stage>
+    <stage name="summary1" code="repo://demo-apps/stages/summary">
+      <param name="emit-every" value="2500"/>
+      <param name="track-exact" value="true"/>
+      <placement node="2"/>
+    </stage>
+    <stage name="summary2" code="repo://demo-apps/stages/summary">
+      <param name="emit-every" value="2500"/>
+      <param name="track-exact" value="true"/>
+      <placement node="3"/>
+    </stage>
+    <stage name="summary3" code="repo://demo-apps/stages/summary">
+      <param name="emit-every" value="2500"/>
+      <param name="track-exact" value="true"/>
+      <placement node="4"/>
+    </stage>
+    <stage name="merge" code="repo://demo-apps/stages/merge">
+      <param name="top-k" value="10"/>
+      <requirement min-cpu="1.0" min-memory-mb="512"/>
+    </stage>
+  </stages>
+  <edges>
+    <edge from="summary0" to="merge"/>
+    <edge from="summary1" to="merge"/>
+    <edge from="summary2" to="merge"/>
+    <edge from="summary3" to="merge"/>
+  </edges>
+  <sources>
+    <source name="s0" stream="0" rate="138" count="25000" target="summary0"
+            node="1" type="zipf-u64">
+      <param name="universe" value="5000"/><param name="theta" value="1.1"/>
+    </source>
+    <source name="s1" stream="1" rate="138" count="25000" target="summary1"
+            node="2" type="zipf-u64">
+      <param name="universe" value="5000"/><param name="theta" value="1.1"/>
+    </source>
+    <source name="s2" stream="2" rate="138" count="25000" target="summary2"
+            node="3" type="zipf-u64">
+      <param name="universe" value="5000"/><param name="theta" value="1.1"/>
+    </source>
+    <source name="s3" stream="3" rate="138" count="25000" target="summary3"
+            node="4" type="zipf-u64">
+      <param name="universe" value="5000"/><param name="theta" value="1.1"/>
+    </source>
+  </sources>
+</application>)";
+
+}  // namespace
+
+int main() {
+  using namespace gates;
+  Logger::global().set_level(LogLevel::kInfo);
+
+  // -- developer side: register code, publish it to a repository ------------
+  apps::register_all();
+  grid::RepositoryRegistry repos;
+  auto repo = repos.create("demo-apps");
+  if (!repo.ok()) return 1;
+  (void)(*repo)->publish("stages/summary",
+                         {apps::CountSampsSummaryProcessor::kRegistryName,
+                          "1.0", "per-site counting-samples summary"});
+  (void)(*repo)->publish("stages/merge",
+                         {apps::CountSampsSinkProcessor::kRegistryName, "1.0",
+                          "central summary merger"});
+
+  // -- grid side: nodes register with the resource directory ----------------
+  grid::ResourceDirectory directory;
+  grid::ResourceSpec central;
+  central.cpu_factor = 2.0;
+  central.memory_mb = 8192;
+  directory.register_node("central.grid.example", central);   // node 0
+  for (int i = 1; i <= 4; ++i) {
+    grid::ResourceSpec edge;
+    edge.cpu_factor = 1.0;
+    edge.memory_mb = 1024;
+    directory.register_node("edge" + std::to_string(i) + ".grid.example",
+                            edge);
+  }
+
+  // -- user side: pass the config URL to the Launcher -----------------------
+  grid::Deployer deployer(directory, repos, grid::ProcessorRegistry::global());
+  grid::Launcher launcher(deployer, grid::GeneratorRegistry::global());
+  launcher.host_config("dist-topk", kConfig);
+  auto app = launcher.launch_url("config://dist-topk");
+  if (!app.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", app.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("deployment decisions:\n");
+  for (const auto& decision : app->deployment.decisions) {
+    std::printf("  - %s\n", decision.c_str());
+  }
+
+  // -- run on the simulation engine -----------------------------------------
+  net::Topology topology;
+  topology.set_shared_ingress(0, {100e3, 0.0});  // 100 KB/s into central
+  core::SimEngine::Config config;
+  config.wire.per_message_overhead = 32;
+  config.wire.per_record_overhead = 220;  // Java object-stream model
+  core::SimEngine engine(app->pipeline, app->deployment.placement,
+                         app->deployment.hosts, topology, config);
+  if (auto status = engine.run(); !status.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  const auto merge_index = app->pipeline.stages.size() - 1;
+  auto& sink =
+      dynamic_cast<apps::CountSampsSinkProcessor&>(engine.processor(merge_index));
+  apps::ExactCounter exact;
+  for (std::size_t i = 0; i + 1 < app->pipeline.stages.size(); ++i) {
+    auto& summary =
+        dynamic_cast<apps::CountSampsSummaryProcessor&>(engine.processor(i));
+    if (summary.exact() != nullptr) exact.merge(*summary.exact());
+  }
+
+  std::printf("\nexecution time: %.1f s (virtual)\n",
+              engine.report().execution_time);
+  std::printf("top-10 most frequent values (reported vs exact):\n");
+  const auto reported = sink.result();
+  const auto truth = exact.top_k(10);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool hit = i < reported.size();
+    std::printf("  #%2zu exact: value %5llu x%-6.0f   reported: %s\n", i + 1,
+                static_cast<unsigned long long>(truth[i].value), truth[i].count,
+                hit ? (std::string("value ") + std::to_string(reported[i].value) +
+                       " ~" + std::to_string(static_cast<long long>(
+                                  reported[i].count)))
+                          .c_str()
+                    : "(missing)");
+  }
+  const auto accuracy = apps::top_k_accuracy(reported, truth);
+  std::printf("accuracy: %.1f (recall %.2f, frequency accuracy %.2f)\n",
+              accuracy.score(), accuracy.recall, accuracy.frequency_accuracy);
+  return 0;
+}

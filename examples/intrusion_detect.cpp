@@ -1,0 +1,92 @@
+// Online network intrusion detection (§2): connection-request logs at three
+// sites are summarized locally (windowed per-port counts, report size is an
+// adjustment parameter) and analyzed centrally for unusual patterns. Site 1
+// suffers a port-scan burst midway through the run.
+#include <cstdio>
+
+#include "gates/apps/intrusion.hpp"
+#include "gates/apps/registration.hpp"
+#include "gates/core/sim_engine.hpp"
+
+int main() {
+  using namespace gates;
+
+  grid::GeneratorRegistry generators;
+  apps::register_generators(generators);
+
+  core::PipelineSpec pipeline;
+  pipeline.name = "intrusion-detect";
+  core::Placement placement;
+
+  constexpr int kSites = 3;
+  for (int site = 0; site < kSites; ++site) {
+    core::StageSpec features;
+    features.name = "site" + std::to_string(site);
+    features.factory = [] {
+      return std::make_unique<apps::SiteFeatureProcessor>();
+    };
+    features.properties.set("window", "1000");
+    pipeline.stages.push_back(std::move(features));
+    placement.stage_nodes.push_back(static_cast<NodeId>(site + 1));
+  }
+  core::StageSpec detector;
+  detector.name = "detector";
+  detector.factory = [] {
+    return std::make_unique<apps::IntrusionDetectorProcessor>();
+  };
+  detector.properties.set("deviation-factor", "4.0");
+  pipeline.stages.push_back(std::move(detector));
+  placement.stage_nodes.push_back(0);
+  for (std::size_t site = 0; site < kSites; ++site) {
+    pipeline.edges.push_back({site, kSites, 0});
+  }
+
+  for (int site = 0; site < kSites; ++site) {
+    core::SourceSpec logs;
+    logs.name = "connlog" + std::to_string(site);
+    logs.stream = static_cast<StreamId>(site);
+    logs.rate_hz = 500;
+    logs.total_packets = 30000;
+    logs.location = static_cast<NodeId>(site + 1);
+    logs.target_stage = static_cast<std::size_t>(site);
+    Properties props;
+    props.set("ports", "1024");
+    if (site == 1) {
+      // Port-scan burst toward 31337 between packets 15k and 20k.
+      props.set("burst-start", "15000");
+      props.set("burst-end", "20000");
+      props.set("anomaly-port", "31337");
+      props.set("anomaly-prob", "0.5");
+    }
+    auto generator = generators.make("connlog", props);
+    if (!generator.ok()) {
+      std::fprintf(stderr, "%s\n", generator.status().to_string().c_str());
+      return 1;
+    }
+    logs.generator = std::move(*generator);
+    pipeline.sources.push_back(std::move(logs));
+  }
+
+  core::SimEngine engine(std::move(pipeline), std::move(placement), {}, {}, {});
+  if (auto status = engine.run(); !status.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  auto& det = dynamic_cast<apps::IntrusionDetectorProcessor&>(
+      engine.processor(kSites));
+  std::printf("intrusion detection over %d sites, %.0f s of virtual time\n",
+              kSites, engine.report().execution_time);
+  std::printf("reports received: %llu; alarms: %zu\n",
+              static_cast<unsigned long long>(det.reports_received()),
+              det.alarms().size());
+  for (const auto& alarm : det.alarms()) {
+    std::printf(
+        "  ALARM t=%6.1fs site %u port %5llu: %0.0f connections vs baseline "
+        "%.1f%s\n",
+        alarm.time, alarm.site,
+        static_cast<unsigned long long>(alarm.port), alarm.observed,
+        alarm.baseline_mean, alarm.port == 31337 ? "  <-- injected scan" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "gates/apps/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace gates::apps {
+
+AccuracyBreakdown top_k_accuracy(const std::vector<ValueCount>& reported,
+                                 const std::vector<ValueCount>& exact) {
+  AccuracyBreakdown out;
+  if (exact.empty()) return out;
+
+  std::unordered_map<std::uint64_t, double> reported_counts;
+  for (const ValueCount& r : reported) reported_counts[r.value] = r.count;
+
+  std::size_t hits = 0;
+  double freq_sum = 0;
+  for (const ValueCount& t : exact) {
+    auto it = reported_counts.find(t.value);
+    if (it == reported_counts.end()) continue;
+    ++hits;
+    if (t.count > 0) {
+      freq_sum += std::max(0.0, 1.0 - std::abs(it->second - t.count) / t.count);
+    }
+  }
+  out.recall = static_cast<double>(hits) / static_cast<double>(exact.size());
+  out.frequency_accuracy = hits ? freq_sum / static_cast<double>(hits) : 0.0;
+  return out;
+}
+
+}  // namespace gates::apps

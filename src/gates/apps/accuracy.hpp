@@ -1,0 +1,29 @@
+// Accuracy metric for count-samps, matching the paper's description:
+// "how often the top 10 most frequently occurring elements were correctly
+// reported, and how correctly their frequency of occurrence was reported"
+// (§5.2). We report a 0-100 score averaging top-k recall and relative
+// frequency accuracy over the correctly reported values.
+#pragma once
+
+#include <vector>
+
+#include "gates/apps/counting_samples.hpp"
+
+namespace gates::apps {
+
+struct AccuracyBreakdown {
+  /// |reported ∩ true top-k| / k, in [0,1].
+  double recall = 0;
+  /// mean over the intersection of max(0, 1 - |est - true| / true), in [0,1];
+  /// 1 when the intersection is empty is avoided by scoring 0 then.
+  double frequency_accuracy = 0;
+  /// 100 * (recall + frequency_accuracy) / 2.
+  double score() const { return 100.0 * 0.5 * (recall + frequency_accuracy); }
+};
+
+/// Compares a reported top-k against the exact one. `reported` may be
+/// shorter than k; the comparison uses the exact list's size as k.
+AccuracyBreakdown top_k_accuracy(const std::vector<ValueCount>& reported,
+                                 const std::vector<ValueCount>& exact);
+
+}  // namespace gates::apps

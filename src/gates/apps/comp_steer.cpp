@@ -1,0 +1,85 @@
+#include "gates/apps/comp_steer.hpp"
+
+#include <cmath>
+
+#include "gates/common/serialize.hpp"
+
+namespace gates::apps {
+
+void SamplerProcessor::init(core::ProcessorContext& ctx) {
+  const auto& props = ctx.properties();
+  core::AdjustmentParameter::Spec spec;
+  spec.name = kParamName;
+  spec.initial = props.get_double("rate-initial", 0.13);
+  spec.min_value = props.get_double("rate-min", 0.01);
+  spec.max_value = props.get_double("rate-max", 1.0);
+  spec.increment = props.get_double("rate-increment", 0.01);
+  spec.direction = ParamDirection::kIncreaseSlowsDown;
+  rate_param_ = &ctx.specify_parameter(spec);
+  rng_ = &ctx.rng();
+}
+
+void SamplerProcessor::process(const core::Packet& packet,
+                               core::Emitter& emitter) {
+  const double rate = rate_param_->suggested_value();
+  const std::size_t n_values = packet.payload_bytes() / 8;
+  values_seen_ += n_values;
+
+  // Keep round(n * rate) values; randomize the fractional remainder so the
+  // long-run forwarded fraction equals the rate exactly.
+  const double want = static_cast<double>(n_values) * rate;
+  std::size_t keep = static_cast<std::size_t>(want);
+  if (rng_->next_bool(want - static_cast<double>(keep))) ++keep;
+  if (keep == 0) return;
+  if (keep > n_values) keep = n_values;
+
+  // Uniform stride over the chunk preserves spatial coverage of the mesh.
+  core::Packet out;
+  out.stream = packet.stream;
+  out.sequence = packet.sequence;
+  out.created_at = packet.created_at;
+  out.kind = core::kPacketKindData;
+  out.records = keep;
+  Deserializer d(packet.payload);
+  Serializer s(out.payload);
+  const double stride = static_cast<double>(n_values) / static_cast<double>(keep);
+  std::size_t read_index = 0;
+  double value = 0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto target = static_cast<std::size_t>(static_cast<double>(i) * stride);
+    while (read_index <= target) {
+      if (!d.read_f64(value).is_ok()) return;
+      ++read_index;
+    }
+    s.write_f64(value);
+  }
+  values_forwarded_ += keep;
+  emitter.emit(std::move(out));
+}
+
+void SteeringAnalyzerProcessor::init(core::ProcessorContext& ctx) {
+  ctx_ = &ctx;
+  const auto& props = ctx.properties();
+  feature_threshold_ = props.get_double("feature-threshold", 0.8);
+  window_ = static_cast<std::size_t>(props.get_int("window", 256));
+  windowed_ = SlidingWindowStats(window_);
+}
+
+void SteeringAnalyzerProcessor::process(const core::Packet& packet,
+                                        core::Emitter& /*emitter*/) {
+  bytes_analyzed_ += packet.payload_bytes();
+  Deserializer d(packet.payload);
+  double value = 0;
+  while (d.remaining() >= 8) {
+    if (!d.read_f64(value).is_ok()) break;
+    field_stats_.add(value);
+    windowed_.add(value);
+    const bool now_above = windowed_.full() && windowed_.mean() > feature_threshold_;
+    if (now_above != above_) {
+      above_ = now_above;
+      actions_.push_back({ctx_->now(), windowed_.mean(), now_above});
+    }
+  }
+}
+
+}  // namespace gates::apps

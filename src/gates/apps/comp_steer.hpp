@@ -1,0 +1,76 @@
+// comp-steer — the paper's second application template (§5.1): data-stream
+// processing for computational steering. A simulation emits chunks of mesh
+// values; a sampler forwards a fraction of them (the sampling rate is the
+// adjustment parameter); an analyzer consumes them at a configured cost per
+// byte and derives steering feedback.
+#pragma once
+
+#include <vector>
+
+#include "gates/common/stats.hpp"
+#include "gates/core/processor.hpp"
+
+namespace gates::apps {
+
+/// Sampler stage. Forwards round(n * rate) of each packet's values, where
+/// rate is the "sampling-rate" adjustment parameter.
+///
+/// Properties: rate-initial (0.13), rate-min (0.01), rate-max (1.0),
+/// rate-increment (0.01) — the paper's specifyPara example.
+class SamplerProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "comp-steer-sampler";
+  static constexpr const char* kParamName = "sampling-rate";
+
+  void init(core::ProcessorContext& ctx) override;
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+
+  std::uint64_t values_seen() const { return values_seen_; }
+  std::uint64_t values_forwarded() const { return values_forwarded_; }
+  double current_rate() const { return rate_param_->suggested_value(); }
+
+ private:
+  core::AdjustmentParameter* rate_param_ = nullptr;
+  Rng* rng_ = nullptr;
+  std::uint64_t values_seen_ = 0;
+  std::uint64_t values_forwarded_ = 0;
+};
+
+/// Analyzer / steering stage. Tracks field statistics and records steering
+/// actions whenever the windowed mean crosses the feature threshold. Its
+/// per-byte processing cost is the *stage's* CostModel (set per experiment:
+/// the paper's 1..20 ms/byte), not a property here.
+///
+/// Properties: feature-threshold (0.8), window (256 values).
+class SteeringAnalyzerProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "comp-steer-analyzer";
+
+  struct SteeringAction {
+    TimePoint time = 0;
+    double windowed_mean = 0;
+    /// true = refine the mesh region, false = coarsen.
+    bool refine = false;
+  };
+
+  void init(core::ProcessorContext& ctx) override;
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+
+  const RunningStats& field_stats() const { return field_stats_; }
+  const std::vector<SteeringAction>& actions() const { return actions_; }
+  std::uint64_t bytes_analyzed() const { return bytes_analyzed_; }
+
+ private:
+  core::ProcessorContext* ctx_ = nullptr;
+  double feature_threshold_ = 0.8;
+  std::size_t window_ = 256;
+  RunningStats field_stats_;
+  SlidingWindowStats windowed_{256};
+  bool above_ = false;
+  std::vector<SteeringAction> actions_;
+  std::uint64_t bytes_analyzed_ = 0;
+};
+
+}  // namespace gates::apps

@@ -1,0 +1,180 @@
+#include "gates/apps/count_samps.hpp"
+
+#include <cmath>
+
+#include "gates/common/check.hpp"
+#include "gates/common/log.hpp"
+#include "gates/common/serialize.hpp"
+
+namespace gates::apps {
+
+void CountSampsSummaryProcessor::init(core::ProcessorContext& ctx) {
+  ctx_ = &ctx;
+  const auto& props = ctx.properties();
+  emit_every_ = static_cast<std::uint64_t>(props.get_int("emit-every", 2500));
+  GATES_CHECK_MSG(emit_every_ > 0, "emit-every must be positive");
+  // The adjustment parameter is the size of the summary structure
+  // MAINTAINED (§1): the sketch footprint tracks the suggested size times
+  // this factor, so small summaries really do mean a cruder sketch (higher
+  // tau, noisier counts) — that is where the accuracy loss of Fig. 7 comes
+  // from.
+  footprint_factor_ = props.get_double("footprint-factor", 1.0);
+  GATES_CHECK_MSG(footprint_factor_ >= 1.0, "footprint-factor must be >= 1");
+  if (props.get_bool("track-exact", false)) exact_.emplace();
+
+  core::AdjustmentParameter::Spec spec;
+  spec.name = kParamName;
+  spec.initial = props.get_double("summary-initial", 100);
+  spec.min_value = props.get_double("summary-min", 10);
+  spec.max_value = props.get_double("summary-max", 240);
+  spec.increment = 1;
+  spec.direction = ParamDirection::kIncreaseSlowsDown;
+  size_param_ = &ctx.specify_parameter(spec);
+
+  sketch_ = std::make_unique<CountingSamples>(
+      current_footprint(), ctx.rng().fork(7));
+}
+
+std::size_t CountSampsSummaryProcessor::current_footprint() const {
+  const double n = size_param_->suggested_value();
+  return static_cast<std::size_t>(
+      std::max(1.0, std::llround(footprint_factor_ * n) * 1.0));
+}
+
+void CountSampsSummaryProcessor::process(const core::Packet& packet,
+                                         core::Emitter& emitter) {
+  Deserializer d(packet.payload);
+  std::uint64_t value = 0;
+  while (d.remaining() >= 8) {
+    if (!d.read_u64(value).is_ok()) break;
+    sketch_->insert(value);
+    if (exact_) exact_->insert(value);
+    ++inserted_;
+    if (inserted_ % emit_every_ == 0) {
+      emit_summary(emitter, packet.created_at);
+    }
+  }
+  stream_ = packet.stream;
+  saw_data_ = true;
+}
+
+void CountSampsSummaryProcessor::emit_summary(core::Emitter& emitter,
+                                              TimePoint now) {
+  // Poll the middleware's suggestion once per emission — the paper's
+  // getSuggestedValue() at the end of every iteration — and resize the
+  // maintained structure to match.
+  const auto n = static_cast<std::size_t>(
+      std::llround(size_param_->suggested_value()));
+  sketch_->set_footprint(current_footprint());
+  StreamSummary summary;
+  summary.stream = stream_;
+  summary.epoch = ++epoch_;
+  summary.items = sketch_->top_k(n);
+
+  core::Packet out;
+  out.stream = stream_;
+  out.sequence = epoch_;
+  out.created_at = now;
+  out.kind = core::kPacketKindSummary;
+  out.records = summary.items.size();
+  out.payload = summary.serialize();
+  emitter.emit(std::move(out));
+}
+
+void CountSampsSummaryProcessor::finish(core::Emitter& emitter) {
+  if (saw_data_) emit_summary(emitter, ctx_->now());
+}
+
+void CountSampsSinkProcessor::init(core::ProcessorContext& ctx) {
+  ctx_ = &ctx;
+  const auto& props = ctx.properties();
+  const auto footprint =
+      static_cast<std::size_t>(props.get_int("footprint", 1024));
+  top_k_ = static_cast<std::size_t>(props.get_int("top-k", 10));
+  sketch_ = std::make_unique<CountingSamples>(footprint, ctx.rng().fork(11));
+  if (props.get_bool("track-exact", false)) exact_.emplace();
+  relay_ = props.get_bool("relay", false);
+  relay_size_ = static_cast<std::size_t>(props.get_int("relay-size", 64));
+  relay_every_ = static_cast<std::uint64_t>(props.get_int("relay-every", 4));
+  GATES_CHECK_MSG(relay_every_ > 0, "relay-every must be positive");
+}
+
+void CountSampsSinkProcessor::process(const core::Packet& packet,
+                                      core::Emitter& emitter) {
+  (void)emitter;
+  if (packet.kind == core::kPacketKindSummary) {
+    auto summary = StreamSummary::deserialize(packet.payload);
+    if (!summary.ok()) {
+      GATES_LOG(kWarn, "count-samps-sink")
+          << "dropping malformed summary: " << summary.status().to_string();
+      return;
+    }
+    merger_.add(std::move(*summary));
+    ++summaries_received_;
+    if (relay_ && summaries_received_ % relay_every_ == 0) {
+      emit_relay(emitter, packet.created_at);
+    }
+    return;
+  }
+  Deserializer d(packet.payload);
+  std::uint64_t value = 0;
+  while (d.remaining() >= 8) {
+    if (!d.read_u64(value).is_ok()) break;
+    sketch_->insert(value);
+    if (exact_) exact_->insert(value);
+    ++raw_records_;
+  }
+}
+
+void CountSampsSinkProcessor::emit_relay(core::Emitter& emitter,
+                                         TimePoint now) {
+  StreamSummary summary;
+  // Relayed streams get ids far above source streams so per-stream
+  // latest-epoch tracking at the next merge level stays collision-free.
+  summary.stream = 100000 + ctx_->stage_id();
+  summary.epoch = ++relay_epoch_;
+  summary.items = merged(relay_size_);
+
+  core::Packet out;
+  out.stream = summary.stream;
+  out.sequence = summary.epoch;
+  out.created_at = now;
+  out.kind = core::kPacketKindSummary;
+  out.records = summary.items.size();
+  out.payload = summary.serialize();
+  emitter.emit(std::move(out));
+}
+
+void CountSampsSinkProcessor::finish(core::Emitter& emitter) {
+  if (relay_ && (summaries_received_ > 0 || raw_records_ > 0)) {
+    emit_relay(emitter, ctx_->now());
+  }
+}
+
+std::vector<ValueCount> CountSampsSinkProcessor::merged(std::size_t k) const {
+  // Merge shipped summaries with the local sketch (only one of the two is
+  // populated in each of the paper's configurations, but a hybrid works).
+  std::unordered_map<std::uint64_t, double> combined;
+  for (const ValueCount& item : merger_.top_k(k * 4)) {
+    combined[item.value] += item.count;
+  }
+  for (const ValueCount& item : sketch_->top_k(k * 4)) {
+    combined[item.value] += item.count;
+  }
+  std::vector<ValueCount> items;
+  items.reserve(combined.size());
+  for (const auto& [value, count] : combined) items.push_back({value, count});
+  std::sort(items.begin(), items.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+std::vector<ValueCount> CountSampsSinkProcessor::result() const {
+  return merged(top_k_);
+}
+
+}  // namespace gates::apps

@@ -1,0 +1,109 @@
+// count-samps — the paper's first application template (§5.1): distributed
+// counting samples. Sub-streams of integers arrive at different sites; a
+// summary stage near each source maintains a Gibbons–Matias sample and
+// periodically ships its current top-n values to a central sink, which
+// merges the latest summary from every stream. The number of values shipped
+// (n) is the adjustment parameter.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "gates/apps/counting_samples.hpp"
+#include "gates/core/processor.hpp"
+
+namespace gates::apps {
+
+/// Stage-1: per-site summary builder.
+///
+/// Properties:
+///   footprint-factor  sketch capacity as a multiple of the current summary
+///                     size (default 1.0): the adjustment parameter sizes
+///                     the summary structure MAINTAINED, so smaller
+///                     summaries mean noisier counts — the paper's accuracy
+///                     trade-off
+///   emit-every      records between summary emissions (default 2500)
+///   track-exact     also keep exact counts for ground truth (default false)
+///   summary-initial / summary-min / summary-max  adjustment parameter range
+///                   (defaults 100 / 10 / 240), direction -1: shipping more
+///                   values costs more bandwidth.
+class CountSampsSummaryProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "count-samps-summary";
+  static constexpr const char* kParamName = "summary-size";
+
+  void init(core::ProcessorContext& ctx) override;
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  void finish(core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+
+  const CountingSamples& sketch() const { return *sketch_; }
+  const ExactCounter* exact() const { return exact_ ? &*exact_ : nullptr; }
+  std::uint64_t summaries_emitted() const { return epoch_; }
+
+ private:
+  void emit_summary(core::Emitter& emitter, TimePoint now);
+  std::size_t current_footprint() const;
+
+  core::ProcessorContext* ctx_ = nullptr;
+  core::AdjustmentParameter* size_param_ = nullptr;
+  std::unique_ptr<CountingSamples> sketch_;
+  std::optional<ExactCounter> exact_;
+  double footprint_factor_ = 1.0;
+  std::uint64_t emit_every_ = 2500;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t epoch_ = 0;
+  StreamId stream_ = 0;
+  bool saw_data_ = false;
+};
+
+/// Merge stage: combines per-stream summaries and/or processes raw data
+/// packets directly with its own sketch (the centralized version forwards
+/// all data here). With relay enabled it also re-emits its merged view
+/// upward as a summary, so merges compose into the multi-level pipelines
+/// the paper anticipates ("more than two stages could also be required",
+/// §3.1) — e.g. sites -> regional merges -> global merge.
+///
+/// Properties:
+///   footprint     sketch capacity for raw data (default 1024)
+///   top-k         answer size (default 10)
+///   track-exact   keep exact counts of raw data (default false)
+///   relay         re-emit merged summaries downstream (default false)
+///   relay-size    values per relayed summary (default 64)
+///   relay-every   inbound summaries between relays (default 4)
+class CountSampsSinkProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "count-samps-sink";
+
+  void init(core::ProcessorContext& ctx) override;
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  void finish(core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+
+  /// Current global top-k answer, merging shipped summaries with any
+  /// locally sketched raw data.
+  std::vector<ValueCount> result() const;
+  std::size_t top_k() const { return top_k_; }
+  const ExactCounter* exact() const { return exact_ ? &*exact_ : nullptr; }
+  std::uint64_t summaries_received() const { return summaries_received_; }
+  std::uint64_t raw_records_received() const { return raw_records_; }
+  std::uint64_t summaries_relayed() const { return relay_epoch_; }
+
+ private:
+  std::vector<ValueCount> merged(std::size_t k) const;
+  void emit_relay(core::Emitter& emitter, TimePoint now);
+
+  core::ProcessorContext* ctx_ = nullptr;
+  std::unique_ptr<CountingSamples> sketch_;
+  SummaryMerger merger_;
+  std::optional<ExactCounter> exact_;
+  std::size_t top_k_ = 10;
+  bool relay_ = false;
+  std::size_t relay_size_ = 64;
+  std::uint64_t relay_every_ = 4;
+  std::uint64_t relay_epoch_ = 0;
+  std::uint64_t summaries_received_ = 0;
+  std::uint64_t raw_records_ = 0;
+};
+
+}  // namespace gates::apps

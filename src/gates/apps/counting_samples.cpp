@@ -1,0 +1,173 @@
+#include "gates/apps/counting_samples.hpp"
+
+#include <algorithm>
+
+#include "gates/common/check.hpp"
+#include "gates/common/serialize.hpp"
+
+namespace gates::apps {
+namespace {
+
+/// GM compensation constant for occurrences missed before sample entry.
+constexpr double kCompensation = 0.418;
+
+void sort_desc(std::vector<ValueCount>& items) {
+  std::sort(items.begin(), items.end(), [](const ValueCount& a, const ValueCount& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.value < b.value;
+  });
+}
+
+}  // namespace
+
+CountingSamples::CountingSamples(std::size_t footprint, Rng rng, double tau_growth)
+    : footprint_(footprint), tau_growth_(tau_growth), rng_(rng) {
+  GATES_CHECK(footprint > 0);
+  GATES_CHECK(tau_growth > 1.0);
+}
+
+void CountingSamples::insert(std::uint64_t value) {
+  ++items_seen_;
+  auto it = sample_.find(value);
+  if (it != sample_.end()) {
+    // Occurrences after entry are counted exactly.
+    ++it->second;
+    return;
+  }
+  // New values enter with probability 1/tau.
+  if (tau_ <= 1.0 || rng_.next_bool(1.0 / tau_)) {
+    sample_.emplace(value, 1);
+    while (sample_.size() > footprint_) raise_threshold();
+  }
+}
+
+void CountingSamples::set_footprint(std::size_t footprint) {
+  GATES_CHECK(footprint > 0);
+  footprint_ = footprint;
+  while (sample_.size() > footprint_) raise_threshold();
+}
+
+void CountingSamples::raise_threshold() {
+  const double old_tau = tau_;
+  tau_ *= tau_growth_;
+  // Classical diminishing pass: each entry first survives with probability
+  // old_tau/new_tau (its entry coin), then sheds count units with repeated
+  // 1/new_tau coins, disappearing at zero.
+  for (auto it = sample_.begin(); it != sample_.end();) {
+    std::uint64_t count = it->second;
+    if (!rng_.next_bool(old_tau / tau_)) {
+      --count;
+      while (count > 0 && !rng_.next_bool(1.0 / tau_)) --count;
+    }
+    if (count == 0) {
+      it = sample_.erase(it);
+    } else {
+      it->second = count;
+      ++it;
+    }
+  }
+}
+
+std::uint64_t CountingSamples::raw_count(std::uint64_t value) const {
+  auto it = sample_.find(value);
+  return it == sample_.end() ? 0 : it->second;
+}
+
+double CountingSamples::estimated_count(std::uint64_t value) const {
+  auto it = sample_.find(value);
+  if (it == sample_.end()) return 0;
+  return static_cast<double>(it->second) +
+         (tau_ > 1.0 ? kCompensation * tau_ : 0.0);
+}
+
+std::vector<ValueCount> CountingSamples::top_k(std::size_t k) const {
+  std::vector<ValueCount> items;
+  items.reserve(sample_.size());
+  for (const auto& [value, _] : sample_) {
+    items.push_back({value, estimated_count(value)});
+  }
+  sort_desc(items);
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+std::uint64_t ExactCounter::count(std::uint64_t value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<ValueCount> ExactCounter::top_k(std::size_t k) const {
+  std::vector<ValueCount> items;
+  items.reserve(counts_.size());
+  for (const auto& [value, count] : counts_) {
+    items.push_back({value, static_cast<double>(count)});
+  }
+  sort_desc(items);
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+void ExactCounter::merge(const ExactCounter& other) {
+  for (const auto& [value, count] : other.counts_) counts_[value] += count;
+  items_seen_ += other.items_seen_;
+}
+
+ByteBuffer StreamSummary::serialize() const {
+  ByteBuffer out;
+  Serializer s(out);
+  s.write_u32(stream);
+  s.write_u64(epoch);
+  s.write_varint(items.size());
+  for (const ValueCount& item : items) {
+    s.write_u64(item.value);
+    s.write_f64(item.count);
+  }
+  return out;
+}
+
+StatusOr<StreamSummary> StreamSummary::deserialize(const ByteBuffer& buffer) {
+  Deserializer d(buffer);
+  StreamSummary summary;
+  if (auto s = d.read_u32(summary.stream); !s.is_ok()) return s;
+  if (auto s = d.read_u64(summary.epoch); !s.is_ok()) return s;
+  std::uint64_t n = 0;
+  if (auto s = d.read_varint(n); !s.is_ok()) return s;
+  summary.items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ValueCount item;
+    if (auto s = d.read_u64(item.value); !s.is_ok()) return s;
+    if (auto s = d.read_f64(item.count); !s.is_ok()) return s;
+    summary.items.push_back(item);
+  }
+  if (!d.at_end()) return invalid_argument("trailing bytes after summary");
+  return summary;
+}
+
+std::size_t StreamSummary::payload_bytes(std::size_t items) {
+  // u32 stream + u64 epoch + varint (<=2 in practice) + 16 bytes/item.
+  return 4 + 8 + 2 + 16 * items;
+}
+
+void SummaryMerger::add(StreamSummary summary) {
+  auto it = latest_.find(summary.stream);
+  if (it == latest_.end() || it->second.epoch <= summary.epoch) {
+    latest_[summary.stream] = std::move(summary);
+  }
+}
+
+std::vector<ValueCount> SummaryMerger::top_k(std::size_t k) const {
+  std::unordered_map<std::uint64_t, double> merged;
+  for (const auto& [_, summary] : latest_) {
+    for (const ValueCount& item : summary.items) {
+      merged[item.value] += item.count;
+    }
+  }
+  std::vector<ValueCount> items;
+  items.reserve(merged.size());
+  for (const auto& [value, count] : merged) items.push_back({value, count});
+  sort_desc(items);
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+}  // namespace gates::apps

@@ -1,0 +1,117 @@
+// Counting samples — the Gibbons–Matias approximate frequent-values summary
+// the paper's count-samps application builds on [18].
+//
+// The summary holds at most `footprint` (value, count) pairs. A value
+// already in the sample has its count incremented exactly; a new value
+// enters with probability 1/tau. When the sample overflows, tau is raised
+// and every entry is probabilistically diminished so the sample looks as if
+// it had been collected at the higher threshold all along (the classical
+// coin-flipping procedure). Reported counts add the GM compensation term
+// 0.418 * tau for the occurrences missed before a value entered the sample.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/common/byte_buffer.hpp"
+#include "gates/common/rng.hpp"
+#include "gates/common/status.hpp"
+
+namespace gates::apps {
+
+/// One reported frequent value.
+struct ValueCount {
+  std::uint64_t value = 0;
+  double count = 0;
+
+  friend bool operator==(const ValueCount& a, const ValueCount& b) {
+    return a.value == b.value && a.count == b.count;
+  }
+};
+
+class CountingSamples {
+ public:
+  /// `footprint`: maximum entries retained. `tau_growth`: multiplicative
+  /// threshold increase on overflow (> 1).
+  CountingSamples(std::size_t footprint, Rng rng, double tau_growth = 1.3);
+
+  void insert(std::uint64_t value);
+
+  /// Shrinks or grows the footprint at runtime — the paper's adaptation of
+  /// the "size of the summary structure maintained". Shrinking raises tau
+  /// (diminishing entries) until the sample fits.
+  void set_footprint(std::size_t footprint);
+
+  /// Current threshold tau (1 until the first overflow).
+  double tau() const { return tau_; }
+  std::size_t size() const { return sample_.size(); }
+  std::size_t footprint() const { return footprint_; }
+  std::uint64_t items_seen() const { return items_seen_; }
+
+  /// Raw in-sample count (occurrences since entry); 0 if absent.
+  std::uint64_t raw_count(std::uint64_t value) const;
+
+  /// GM-compensated estimate: raw + 0.418 * tau, or 0 if absent.
+  double estimated_count(std::uint64_t value) const;
+
+  /// The k largest values by estimated count (descending; ties by ascending
+  /// value for determinism). Fewer than k if the sample is smaller.
+  std::vector<ValueCount> top_k(std::size_t k) const;
+
+ private:
+  void raise_threshold();
+
+  std::size_t footprint_;
+  double tau_growth_;
+  double tau_ = 1.0;
+  std::uint64_t items_seen_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> sample_;
+  Rng rng_;
+};
+
+/// Exact frequency counter — the ground-truth baseline.
+class ExactCounter {
+ public:
+  void insert(std::uint64_t value) { ++counts_[value]; ++items_seen_; }
+  std::uint64_t count(std::uint64_t value) const;
+  std::uint64_t items_seen() const { return items_seen_; }
+  std::size_t distinct() const { return counts_.size(); }
+  std::vector<ValueCount> top_k(std::size_t k) const;
+
+  /// Merges another counter's contents into this one.
+  void merge(const ExactCounter& other);
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t items_seen_ = 0;
+};
+
+/// A transmitted summary: the top values of one sub-stream at one epoch.
+struct StreamSummary {
+  std::uint32_t stream = 0;
+  std::uint64_t epoch = 0;
+  std::vector<ValueCount> items;
+
+  /// Wire encoding used in summary packets.
+  ByteBuffer serialize() const;
+  static StatusOr<StreamSummary> deserialize(const ByteBuffer& buffer);
+
+  /// Payload bytes a summary of n items occupies (12 bytes/item + header).
+  static std::size_t payload_bytes(std::size_t items);
+};
+
+/// Combines the latest summary from each sub-stream into a global top-k:
+/// counts for the same value add across streams (each stream contributes
+/// its most recent epoch only, so periodic re-summaries never double count).
+class SummaryMerger {
+ public:
+  void add(StreamSummary summary);
+  std::vector<ValueCount> top_k(std::size_t k) const;
+  std::size_t streams() const { return latest_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, StreamSummary> latest_;
+};
+
+}  // namespace gates::apps

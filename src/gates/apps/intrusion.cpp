@@ -1,0 +1,118 @@
+#include "gates/apps/intrusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gates/common/check.hpp"
+#include "gates/common/log.hpp"
+#include "gates/common/serialize.hpp"
+
+namespace gates::apps {
+
+void SiteFeatureProcessor::init(core::ProcessorContext& ctx) {
+  ctx_ = &ctx;
+  const auto& props = ctx.properties();
+  window_ = static_cast<std::uint64_t>(props.get_int("window", 1000));
+  GATES_CHECK_MSG(window_ > 0, "window must be positive");
+
+  core::AdjustmentParameter::Spec spec;
+  spec.name = kParamName;
+  spec.initial = props.get_double("report-initial", 32);
+  spec.min_value = props.get_double("report-min", 4);
+  spec.max_value = props.get_double("report-max", 256);
+  spec.increment = 1;
+  spec.direction = ParamDirection::kIncreaseSlowsDown;
+  report_param_ = &ctx.specify_parameter(spec);
+}
+
+void SiteFeatureProcessor::process(const core::Packet& packet,
+                                   core::Emitter& emitter) {
+  stream_ = packet.stream;
+  Deserializer d(packet.payload);
+  std::uint64_t port = 0;
+  while (d.remaining() >= 8) {
+    if (!d.read_u64(port).is_ok()) break;
+    ++window_counts_[port];
+    ++records_seen_;
+    if (++in_window_ >= window_) {
+      emit_report(emitter, packet.created_at);
+      window_counts_.clear();
+      in_window_ = 0;
+    }
+  }
+}
+
+void SiteFeatureProcessor::emit_report(core::Emitter& emitter, TimePoint now) {
+  const auto n =
+      static_cast<std::size_t>(std::llround(report_param_->suggested_value()));
+  std::vector<ValueCount> items;
+  items.reserve(window_counts_.size());
+  for (const auto& [port, count] : window_counts_) {
+    items.push_back({port, static_cast<double>(count)});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (items.size() > n) items.resize(n);
+
+  StreamSummary report;
+  report.stream = stream_;
+  report.epoch = ++epoch_;
+  report.items = std::move(items);
+
+  core::Packet out;
+  out.stream = stream_;
+  out.sequence = epoch_;
+  out.created_at = now;
+  out.kind = core::kPacketKindSummary;
+  out.records = report.items.size();
+  out.payload = report.serialize();
+  emitter.emit(std::move(out));
+}
+
+void SiteFeatureProcessor::finish(core::Emitter& emitter) {
+  if (in_window_ > 0) emit_report(emitter, ctx_->now());
+}
+
+void IntrusionDetectorProcessor::init(core::ProcessorContext& ctx) {
+  ctx_ = &ctx;
+  deviation_factor_ = ctx.properties().get_double("deviation-factor", 4.0);
+}
+
+void IntrusionDetectorProcessor::process(const core::Packet& packet,
+                                         core::Emitter& /*emitter*/) {
+  if (packet.kind != core::kPacketKindSummary) return;
+  auto report = StreamSummary::deserialize(packet.payload);
+  if (!report.ok()) {
+    GATES_LOG(kWarn, "intrusion-detector")
+        << "dropping malformed report: " << report.status().to_string();
+    return;
+  }
+  ++reports_received_;
+  const std::uint64_t site_report_index = ++site_reports_[report->stream];
+  for (const ValueCount& item : report->items) {
+    Baseline& baseline = baselines_[{report->stream, item.value}];
+    // A port absent from earlier reports implicitly had count 0 in them —
+    // without this, a never-before-seen port (the classic intrusion
+    // signature) would have no history to deviate from.
+    while (baseline.reports_included + 1 < site_report_index) {
+      baseline.stats.add(0);
+      ++baseline.reports_included;
+    }
+    if (baseline.stats.count() >= 3) {
+      const double limit = baseline.stats.mean() +
+                           deviation_factor_ *
+                               std::max(1.0, baseline.stats.stddev());
+      if (item.count > limit) {
+        alarms_.push_back({ctx_->now(), report->stream, item.value, item.count,
+                           baseline.stats.mean()});
+      }
+    }
+    baseline.stats.add(item.count);
+    ++baseline.reports_included;
+  }
+}
+
+}  // namespace gates::apps

@@ -1,0 +1,90 @@
+// Online network intrusion detection — one of the paper's motivating
+// application classes (§2): connection-request logs at several sites are
+// summarized locally and analyzed centrally for unusual patterns.
+//
+// Pipeline shape: per-site feature extractors count destination-port
+// activity over fixed windows and ship the top ports (the report size is an
+// adjustment parameter); a central detector keeps per-port baselines and
+// raises alarms on large deviations.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/apps/counting_samples.hpp"
+#include "gates/common/stats.hpp"
+#include "gates/core/processor.hpp"
+
+namespace gates::apps {
+
+/// Per-site stage: windowed per-port connection counts, periodic top-port
+/// reports (reusing the StreamSummary wire format, value = port).
+///
+/// Properties: window (1000 records), report-initial/-min/-max (32/4/256).
+class SiteFeatureProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "intrusion-site-features";
+  static constexpr const char* kParamName = "report-size";
+
+  void init(core::ProcessorContext& ctx) override;
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  void finish(core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+
+  std::uint64_t records_seen() const { return records_seen_; }
+  std::uint64_t reports_emitted() const { return epoch_; }
+
+ private:
+  void emit_report(core::Emitter& emitter, TimePoint now);
+
+  core::ProcessorContext* ctx_ = nullptr;
+  core::AdjustmentParameter* report_param_ = nullptr;
+  std::unordered_map<std::uint64_t, std::uint64_t> window_counts_;
+  std::uint64_t window_ = 1000;
+  std::uint64_t records_seen_ = 0;
+  std::uint64_t in_window_ = 0;
+  std::uint64_t epoch_ = 0;
+  StreamId stream_ = 0;
+};
+
+/// Central stage: per-port deviation detection over the merged reports.
+///
+/// Properties: deviation-factor (4.0) — alarm when a port's reported count
+/// exceeds mean + factor * stddev of its own history (minimum 3 prior
+/// reports before a port can alarm).
+class IntrusionDetectorProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "intrusion-detector";
+
+  struct Alarm {
+    TimePoint time = 0;
+    StreamId site = 0;
+    std::uint64_t port = 0;
+    double observed = 0;
+    double baseline_mean = 0;
+  };
+
+  void init(core::ProcessorContext& ctx) override;
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+
+  const std::vector<Alarm>& alarms() const { return alarms_; }
+  std::uint64_t reports_received() const { return reports_received_; }
+
+ private:
+  core::ProcessorContext* ctx_ = nullptr;
+  double deviation_factor_ = 4.0;
+  /// Baseline per (site, port). reports_included tracks how many of the
+  /// site's reports the stats cover, so silent reports count as zeros.
+  struct Baseline {
+    RunningStats stats;
+    std::uint64_t reports_included = 0;
+  };
+  std::map<std::pair<StreamId, std::uint64_t>, Baseline> baselines_;
+  std::map<StreamId, std::uint64_t> site_reports_;
+  std::vector<Alarm> alarms_;
+  std::uint64_t reports_received_ = 0;
+};
+
+}  // namespace gates::apps

@@ -1,0 +1,106 @@
+#include "gates/apps/registration.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "gates/apps/comp_steer.hpp"
+#include "gates/apps/count_samps.hpp"
+#include "gates/apps/intrusion.hpp"
+#include "gates/common/serialize.hpp"
+#include "gates/common/zipf.hpp"
+
+namespace gates::apps {
+namespace {
+
+template <typename T>
+void add_processor(grid::ProcessorRegistry& registry) {
+  if (registry.contains(T::kRegistryName)) return;
+  auto status = registry.add(T::kRegistryName,
+                             [] { return std::make_unique<T>(); });
+  (void)status;  // contains() pre-check makes AlreadyExists unreachable
+}
+
+}  // namespace
+
+void register_processors(grid::ProcessorRegistry& processors) {
+  add_processor<CountSampsSummaryProcessor>(processors);
+  add_processor<CountSampsSinkProcessor>(processors);
+  add_processor<SamplerProcessor>(processors);
+  add_processor<SteeringAnalyzerProcessor>(processors);
+  add_processor<SiteFeatureProcessor>(processors);
+  add_processor<IntrusionDetectorProcessor>(processors);
+}
+
+void register_generators(grid::GeneratorRegistry& generators) {
+  if (!generators.contains("mesh-f64")) {
+    (void)generators.add(
+        "mesh-f64",
+        [](const Properties& props) -> StatusOr<core::PacketGenerator> {
+          const auto values =
+              static_cast<std::size_t>(props.get_int("values", 128));
+          const double drift = props.get_double("drift", 0.01);
+          const double noise = props.get_double("noise", 0.05);
+          if (values == 0) {
+            return invalid_argument("mesh-f64: values must be > 0");
+          }
+          return core::PacketGenerator(
+              [values, drift, noise](std::uint64_t seq, Rng& rng) {
+                core::Packet p;
+                Serializer s(p.payload);
+                // A slowly drifting field with hot spots: the analyzer's
+                // feature detection has something real to find.
+                const double phase = drift * static_cast<double>(seq);
+                for (std::size_t i = 0; i < values; ++i) {
+                  const double x = 0.1 * static_cast<double>(i);
+                  const double field =
+                      0.5 + 0.5 * std::sin(phase + x) * std::cos(0.3 * phase);
+                  s.write_f64(field + noise * rng.normal());
+                }
+                p.records = values;
+                return p;
+              });
+        });
+  }
+  if (!generators.contains("connlog")) {
+    (void)generators.add(
+        "connlog",
+        [](const Properties& props) -> StatusOr<core::PacketGenerator> {
+          const auto records =
+              static_cast<std::size_t>(props.get_int("records", 1));
+          const auto ports =
+              static_cast<std::uint64_t>(props.get_int("ports", 1024));
+          const auto anomaly_port =
+              static_cast<std::uint64_t>(props.get_int("anomaly-port", 31337));
+          const double anomaly_prob = props.get_double("anomaly-prob", 0.6);
+          const auto burst_start =
+              static_cast<std::uint64_t>(props.get_int("burst-start", 0));
+          const auto burst_end =
+              static_cast<std::uint64_t>(props.get_int("burst-end", 0));
+          if (records == 0 || ports == 0) {
+            return invalid_argument("connlog: records and ports must be > 0");
+          }
+          auto zipf = std::make_shared<ZipfGenerator>(ports, 1.0);
+          return core::PacketGenerator([=](std::uint64_t seq, Rng& rng) {
+            core::Packet p;
+            Serializer s(p.payload);
+            const bool in_burst = seq >= burst_start && seq < burst_end;
+            for (std::size_t i = 0; i < records; ++i) {
+              if (in_burst && rng.next_bool(anomaly_prob)) {
+                s.write_u64(anomaly_port);
+              } else {
+                s.write_u64(zipf->next(rng));
+              }
+            }
+            p.records = records;
+            return p;
+          });
+        });
+  }
+}
+
+void register_all() {
+  register_processors(grid::ProcessorRegistry::global());
+  register_generators(grid::GeneratorRegistry::global());
+}
+
+}  // namespace gates::apps

@@ -1,0 +1,33 @@
+// One-call registration of the bundled applications' stage code and source
+// generators, mirroring a developer "submitting the codes to application
+// repositories" (§3.2).
+#pragma once
+
+#include "gates/grid/registry.hpp"
+
+namespace gates::apps {
+
+/// Registers all bundled processors in `processors` under their
+/// kRegistryName keys:
+///   count-samps-summary, count-samps-sink,
+///   comp-steer-sampler, comp-steer-analyzer,
+///   intrusion-site-features, intrusion-detector.
+/// Idempotent: already-registered names are left untouched.
+void register_processors(grid::ProcessorRegistry& processors);
+
+/// Registers the bundled source generators in `generators`:
+///   mesh-f64   — chunks of `values` (default 128) doubles from a smoothly
+///                evolving simulated field with noise; properties:
+///                values, drift (0.01), noise (0.05)
+///   connlog    — `records` (default 1) destination ports per packet,
+///                Zipf over `ports` (1024) common ports with an anomaly
+///                burst toward `anomaly-port` between packet sequence
+///                numbers [burst-start, burst-end) at probability
+///                `anomaly-prob` (0.6)
+/// Idempotent.
+void register_generators(grid::GeneratorRegistry& generators);
+
+/// Convenience: both of the above against the global registries.
+void register_all();
+
+}  // namespace gates::apps

@@ -1,0 +1,276 @@
+#include "gates/apps/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "gates/apps/comp_steer.hpp"
+#include "gates/apps/count_samps.hpp"
+#include "gates/common/check.hpp"
+#include "gates/common/serialize.hpp"
+#include "gates/common/zipf.hpp"
+
+namespace gates::apps::scenarios {
+namespace {
+
+core::PacketGenerator zipf_generator(std::uint64_t universe, double theta) {
+  auto zipf = std::make_shared<ZipfGenerator>(universe, theta);
+  return [zipf](std::uint64_t /*seq*/, Rng& rng) {
+    core::Packet p;
+    Serializer s(p.payload);
+    s.write_u64(zipf->next(rng));
+    return p;
+  };
+}
+
+/// Mean of a parameter trajectory over its second half.
+double second_half_mean(
+    const std::vector<std::pair<TimePoint, double>>& trajectory) {
+  if (trajectory.empty()) return 0;
+  const std::size_t start = trajectory.size() / 2;
+  double sum = 0;
+  for (std::size_t i = start; i < trajectory.size(); ++i) {
+    sum += trajectory[i].second;
+  }
+  return sum / static_cast<double>(trajectory.size() - start);
+}
+
+}  // namespace
+
+CountSampsResult run_count_samps(const CountSampsOptions& options) {
+  GATES_CHECK(options.num_sources > 0);
+  // Node 0 is central; nodes 1..num_sources host one source each.
+  core::PipelineSpec pipeline;
+  pipeline.name = options.distributed ? "count-samps-distributed"
+                                      : "count-samps-centralized";
+
+  core::StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountSampsSinkProcessor>(); };
+  sink.properties.set("footprint", std::to_string(options.sink_footprint));
+  sink.properties.set("top-k", std::to_string(options.top_k));
+  // Ground truth for the centralized version comes from the sink itself.
+  sink.properties.set("track-exact", options.distributed ? "false" : "true");
+  sink.cost.per_record_seconds = 2e-5;
+  sink.placement_hint = 0;
+
+  core::Placement placement;
+
+  if (options.distributed) {
+    for (std::size_t i = 0; i < options.num_sources; ++i) {
+      core::StageSpec summary;
+      summary.name = "summary" + std::to_string(i);
+      summary.factory = [] {
+        return std::make_unique<CountSampsSummaryProcessor>();
+      };
+      summary.properties.set("footprint-factor",
+                             std::to_string(options.summary_footprint_factor));
+      summary.properties.set("emit-every", std::to_string(options.emit_every));
+      // Ground truth for the distributed version merges the per-site exact
+      // counters (all data is seen at the edges).
+      summary.properties.set("track-exact", "true");
+      summary.properties.set("summary-initial",
+                             std::to_string(options.summary_initial));
+      summary.properties.set("summary-min", std::to_string(options.summary_min));
+      summary.properties.set("summary-max", std::to_string(options.summary_max));
+      summary.cost.per_record_seconds = 2e-5;
+      summary.placement_hint = static_cast<NodeId>(i + 1);
+      pipeline.stages.push_back(std::move(summary));
+      placement.stage_nodes.push_back(static_cast<NodeId>(i + 1));
+    }
+  }
+  const std::size_t sink_index = pipeline.stages.size();
+  pipeline.stages.push_back(std::move(sink));
+  placement.stage_nodes.push_back(0);
+
+  for (std::size_t i = 0; i < options.num_sources; ++i) {
+    core::SourceSpec src;
+    src.name = "stream" + std::to_string(i);
+    src.stream = static_cast<StreamId>(i);
+    src.rate_hz = options.source_rate_hz;
+    src.total_packets = options.items_per_source;
+    src.generator = zipf_generator(options.universe, options.zipf_theta);
+    src.location = static_cast<NodeId>(i + 1);
+    src.target_stage = options.distributed ? i : sink_index;
+    pipeline.sources.push_back(std::move(src));
+  }
+  if (options.distributed) {
+    for (std::size_t i = 0; i < options.num_sources; ++i) {
+      pipeline.edges.push_back({i, sink_index, 0});
+    }
+  }
+
+  net::Topology topology;
+  topology.set_shared_ingress(0, {options.central_ingress_bw, 0.0});
+
+  core::HostModel hosts;
+  hosts.cpu_factor.assign(options.num_sources + 1, 1.0);
+
+  core::SimEngine::Config config;
+  config.control_period = options.control_period;
+  config.seed = options.seed;
+  config.adaptation_enabled = options.adaptive;
+  config.max_time = options.max_time;
+  config.wire.per_message_overhead = options.wire_per_message;
+  config.wire.per_record_overhead = options.wire_per_record;
+
+  core::SimEngine engine(std::move(pipeline), std::move(placement),
+                         std::move(hosts), std::move(topology), config);
+  auto status = engine.run();
+  GATES_CHECK_MSG(status.is_ok(), status.to_string());
+
+  CountSampsResult result;
+  result.report = engine.report();
+  result.execution_time = result.report.execution_time;
+  result.completed = result.report.completed;
+
+  auto& sink_proc =
+      dynamic_cast<CountSampsSinkProcessor&>(engine.processor(sink_index));
+  result.reported = sink_proc.result();
+
+  ExactCounter exact;
+  if (options.distributed) {
+    for (std::size_t i = 0; i < options.num_sources; ++i) {
+      auto& summary_proc =
+          dynamic_cast<CountSampsSummaryProcessor&>(engine.processor(i));
+      GATES_CHECK(summary_proc.exact() != nullptr);
+      exact.merge(*summary_proc.exact());
+    }
+  } else {
+    GATES_CHECK(sink_proc.exact() != nullptr);
+    exact.merge(*sink_proc.exact());
+  }
+  result.exact = exact.top_k(options.top_k);
+  result.accuracy = top_k_accuracy(result.reported, result.exact);
+
+  if (options.distributed) {
+    RunningStats sizes;
+    for (std::size_t i = 0; i < options.num_sources; ++i) {
+      const auto* sr = result.report.stage("summary" + std::to_string(i));
+      GATES_CHECK(sr != nullptr);
+      for (const auto& [pname, trajectory] : sr->parameter_trajectories) {
+        if (pname == CountSampsSummaryProcessor::kParamName) {
+          sizes.add(second_half_mean(trajectory));
+        }
+      }
+    }
+    result.mean_summary_size = sizes.mean();
+  }
+  return result;
+}
+
+CompSteerResult run_comp_steer(const CompSteerOptions& options) {
+  GATES_CHECK(options.chunk_bytes >= 8);
+  const double rate_hz = options.generation_bytes_per_sec /
+                         static_cast<double>(options.chunk_bytes);
+
+  core::PipelineSpec pipeline;
+  pipeline.name = "comp-steer";
+
+  core::StageSpec sampler;
+  sampler.name = "sampler";
+  sampler.factory = [] { return std::make_unique<SamplerProcessor>(); };
+  sampler.properties.set("rate-initial", std::to_string(options.rate_initial));
+  sampler.properties.set("rate-min", std::to_string(options.rate_min));
+  sampler.properties.set("rate-max", std::to_string(options.rate_max));
+  sampler.cost.per_byte_seconds = 1e-7;  // sampling itself is cheap
+  sampler.monitor = options.stage_monitor;
+  sampler.controller = options.controller;
+  pipeline.stages.push_back(std::move(sampler));
+
+  core::StageSpec analyzer;
+  analyzer.name = "analyzer";
+  analyzer.factory = [] {
+    return std::make_unique<SteeringAnalyzerProcessor>();
+  };
+  analyzer.cost.per_byte_seconds = options.analyzer_ms_per_byte / 1000.0;
+  analyzer.monitor = options.stage_monitor;
+  analyzer.controller = options.controller;
+  pipeline.stages.push_back(std::move(analyzer));
+
+  core::SourceSpec src;
+  src.name = "simulation";
+  src.stream = 0;
+  src.rate_hz = rate_hz;
+  src.total_packets = 0;  // unbounded; the horizon ends the run
+  src.location = 0;
+  src.target_stage = 0;
+  {
+    const std::size_t values = options.chunk_bytes / 8;
+    src.generator = [values](std::uint64_t seq, Rng& rng) {
+      core::Packet p;
+      Serializer s(p.payload);
+      for (std::size_t i = 0; i < values; ++i) {
+        s.write_f64(0.5 + 0.5 * std::sin(0.01 * static_cast<double>(seq)) +
+                    0.05 * rng.normal());
+      }
+      p.records = values;
+      return p;
+    };
+  }
+  pipeline.sources.push_back(std::move(src));
+  pipeline.edges.push_back({0, 1, 0});
+
+  core::Placement placement;
+  placement.stage_nodes = {0, 1};
+
+  net::Topology topology;
+  topology.set_pair(0, 1, {options.link_bw, 0.0});
+
+  core::HostModel hosts;
+  hosts.cpu_factor = {1.0, 1.0};
+
+  core::SimEngine::Config config;
+  config.control_period = options.control_period;
+  config.seed = options.seed;
+  config.adaptation_enabled = true;
+  if (options.link_monitor) config.link_monitor = *options.link_monitor;
+  // Byte-exact links: fig-9 equilibrium is bandwidth/generation only if the
+  // wire adds nothing.
+  config.wire.per_message_overhead = 0;
+  config.wire.per_record_overhead = 0;
+
+  core::SimEngine engine(std::move(pipeline), std::move(placement),
+                         std::move(hosts), std::move(topology), config);
+  for (const auto& [time, bandwidth] : options.link_bandwidth_changes) {
+    engine.schedule_bandwidth_change(0, 1, time, bandwidth);
+  }
+  for (const auto& [time, factor] : options.analyzer_cpu_changes) {
+    engine.schedule_cpu_change(1, time, factor);
+  }
+  auto status = engine.run_for(options.horizon);
+  GATES_CHECK_MSG(status.is_ok(), status.to_string());
+
+  CompSteerResult result;
+  result.report = engine.report();
+  const auto* sampler_report = result.report.stage("sampler");
+  GATES_CHECK(sampler_report != nullptr);
+  for (const auto& [pname, trajectory] : sampler_report->parameter_trajectories) {
+    if (pname == SamplerProcessor::kParamName) {
+      result.trajectory = trajectory;
+    }
+  }
+  GATES_CHECK(!result.trajectory.empty());
+  result.final_rate = result.trajectory.back().second;
+  const std::size_t start = result.trajectory.size() * 3 / 4;
+  double sum = 0;
+  for (std::size_t i = start; i < result.trajectory.size(); ++i) {
+    sum += result.trajectory[i].second;
+  }
+  result.converged_rate =
+      sum / static_cast<double>(result.trajectory.size() - start);
+  return result;
+}
+
+double processing_constraint_optimum(const CompSteerOptions& options) {
+  const double consumable = 1000.0 / options.analyzer_ms_per_byte;  // bytes/s
+  return std::min(options.rate_max,
+                  consumable / options.generation_bytes_per_sec);
+}
+
+double network_constraint_optimum(const CompSteerOptions& options) {
+  return std::min(options.rate_max,
+                  options.link_bw / options.generation_bytes_per_sec);
+}
+
+}  // namespace gates::apps::scenarios

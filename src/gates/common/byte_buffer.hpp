@@ -1,0 +1,47 @@
+// Owned byte payloads carried by packets and repository blobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace gates {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t size) : data_(size) {}
+  explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  static ByteBuffer from_string(std::string_view s) {
+    ByteBuffer b(s.size());
+    std::memcpy(b.data(), s.data(), s.size());
+    return b;
+  }
+
+  std::uint8_t* data() { return data_.data(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void resize(std::size_t n) { data_.resize(n); }
+  void clear() { data_.clear(); }
+
+  void append(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  std::string_view as_string_view() const {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+
+  friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace gates

@@ -1,0 +1,38 @@
+// Lightweight precondition / invariant checking.
+//
+// GATES_CHECK aborts with a message on contract violations (programming
+// errors). Recoverable conditions (bad input files, missing resources) use
+// gates::Status / exceptions instead — see status.hpp.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gates::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GATES_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  // Throwing keeps unit tests able to observe violations; logic_error marks
+  // it as a programming error, not an environmental one.
+  throw std::logic_error(os.str());
+}
+
+}  // namespace gates::detail
+
+#define GATES_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::gates::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define GATES_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::gates::detail::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

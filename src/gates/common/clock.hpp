@@ -1,0 +1,48 @@
+// Clock abstraction shared by both engines.
+//
+// Adaptation code (QueueMonitor, ParameterController) timestamps samples via
+// a Clock&, so identical control logic runs against virtual time (DES) and
+// wall time (rt engine). ManualClock also backs deterministic unit tests of
+// time-dependent components like TokenBucket.
+#pragma once
+
+#include <chrono>
+
+#include "gates/common/types.hpp"
+
+namespace gates {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since an arbitrary epoch (monotone).
+  virtual TimePoint now() const = 0;
+};
+
+/// Wall time from steady_clock, as seconds since construction.
+class WallClock final : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+  TimePoint now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Hand-advanced clock for tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0.0) : now_(start) {}
+  TimePoint now() const override { return now_; }
+  void advance(Duration dt) { now_ += dt; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace gates

@@ -1,0 +1,33 @@
+#include "gates/common/log.hpp"
+
+#include <cstdio>
+
+namespace gates {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < level_) return;
+  if (level >= LogLevel::kWarn) ++warning_count_;
+  std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace gates

@@ -1,0 +1,75 @@
+// Thread-safe leveled logger.
+//
+// The middleware logs deployment and adaptation decisions at kInfo; the DES
+// engine logs per-event detail at kTrace (off by default). Benches silence
+// the logger entirely so tables stay clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gates {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  /// Process-wide logger used by the GATES_LOG macro.
+  static Logger& global();
+
+  void set_level(LogLevel level) {
+    std::lock_guard<std::mutex> lock(mu_);
+    level_ = level;
+  }
+  LogLevel level() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return level_;
+  }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
+
+  /// Writes a single line "[LEVEL] component: message" to stderr.
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+  /// Number of lines written at kWarn or above since construction; tests use
+  /// this to assert that clean runs emit no warnings.
+  int warning_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return warning_count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+  int warning_count_ = 0;
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  const char* component;
+  std::ostringstream stream;
+
+  LogLine(LogLevel lvl, const char* comp) : level(lvl), component(comp) {}
+  ~LogLine() { Logger::global().write(level, component, stream.str()); }
+};
+}  // namespace detail
+
+}  // namespace gates
+
+/// Usage: GATES_LOG(kInfo, "deployer") << "placed stage " << id;
+#define GATES_LOG(level, component)                                  \
+  if (!::gates::Logger::global().enabled(::gates::LogLevel::level)) \
+    ;                                                                \
+  else                                                               \
+    ::gates::detail::LogLine(::gates::LogLevel::level, (component)).stream

@@ -1,0 +1,40 @@
+#include "gates/common/properties.hpp"
+
+#include "gates/common/string_util.hpp"
+
+namespace gates {
+
+std::optional<std::string> Properties::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Properties::get_string(const std::string& key,
+                                   std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+double Properties::get_double(const std::string& key, double fallback) const {
+  auto v = get(key);
+  double out;
+  if (v && parse_double(*v, out)) return out;
+  return fallback;
+}
+
+long long Properties::get_int(const std::string& key, long long fallback) const {
+  auto v = get(key);
+  long long out;
+  if (v && parse_int(*v, out)) return out;
+  return fallback;
+}
+
+bool Properties::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  bool out;
+  if (v && parse_bool(*v, out)) return out;
+  return fallback;
+}
+
+}  // namespace gates

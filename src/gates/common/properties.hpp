@@ -1,0 +1,35 @@
+// String key/value properties with typed accessors.
+//
+// Stage definitions in the XML config carry free-form <param name=...
+// value=...> entries; processors read them through this class at init time.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gates {
+
+class Properties {
+ public:
+  void set(std::string key, std::string value) {
+    values_[std::move(key)] = std::move(value);
+  }
+
+  bool contains(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_string(const std::string& key, std::string fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& all() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gates

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component (stream generators, the counting-samples
+// sketch's coin flips, jittered arrivals) takes an explicit Rng so that a
+// run is fully reproducible from one seed. xoshiro256** is the workhorse;
+// SplitMix64 seeds it and derives independent per-component streams.
+#pragma once
+
+#include <cstdint>
+
+namespace gates {
+
+/// SplitMix64 — used for seeding and cheap stateless stream derivation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Derives an independent stream for a sub-component; deterministic in
+  /// (parent seed, stream index).
+  Rng fork(std::uint64_t stream_index) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) with rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponentially distributed with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box–Muller (no cached second value; simplicity over
+  /// speed — generators are not on the hot path).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // UniformRandomBitGenerator interface for <random> interop.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t s_[4];
+};
+
+}  // namespace gates

@@ -1,0 +1,104 @@
+#include "gates/common/serialize.hpp"
+
+#include <cstring>
+
+namespace gates {
+
+void Serializer::write_u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  out_.append(b, 4);
+}
+
+void Serializer::write_u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  out_.append(b, 8);
+}
+
+void Serializer::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  write_u64(bits);
+}
+
+void Serializer::write_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    write_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  write_u8(static_cast<std::uint8_t>(v));
+}
+
+void Serializer::write_string(std::string_view s) {
+  write_varint(s.size());
+  out_.append(s.data(), s.size());
+}
+
+Status Deserializer::need(std::size_t n) {
+  if (pos_ + n > size()) {
+    return invalid_argument("truncated buffer: need " + std::to_string(n) +
+                            " bytes at offset " + std::to_string(pos_));
+  }
+  return Status::ok();
+}
+
+Status Deserializer::read_u8(std::uint8_t& v) {
+  if (auto s = need(1); !s.is_ok()) return s;
+  v = data()[pos_++];
+  return Status::ok();
+}
+
+Status Deserializer::read_u32(std::uint32_t& v) {
+  if (auto s = need(4); !s.is_ok()) return s;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data()[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return Status::ok();
+}
+
+Status Deserializer::read_u64(std::uint64_t& v) {
+  if (auto s = need(8); !s.is_ok()) return s;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data()[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return Status::ok();
+}
+
+Status Deserializer::read_i64(std::int64_t& v) {
+  std::uint64_t u;
+  if (auto s = read_u64(u); !s.is_ok()) return s;
+  v = static_cast<std::int64_t>(u);
+  return Status::ok();
+}
+
+Status Deserializer::read_f64(double& v) {
+  std::uint64_t bits;
+  if (auto s = read_u64(bits); !s.is_ok()) return s;
+  std::memcpy(&v, &bits, 8);
+  return Status::ok();
+}
+
+Status Deserializer::read_varint(std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t byte;
+    if (auto s = read_u8(byte); !s.is_ok()) return s;
+    if (shift >= 64) return invalid_argument("varint overflow");
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return Status::ok();
+    shift += 7;
+  }
+}
+
+Status Deserializer::read_string(std::string& s) {
+  std::uint64_t n;
+  if (auto st = read_varint(n); !st.is_ok()) return st;
+  if (auto st = need(n); !st.is_ok()) return st;
+  s.assign(reinterpret_cast<const char*>(data() + pos_), n);
+  pos_ += n;
+  return Status::ok();
+}
+
+}  // namespace gates

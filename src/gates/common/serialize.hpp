@@ -1,0 +1,67 @@
+// Binary serialization for packet payloads and summary structures.
+//
+// Fixed-width little-endian primitives plus LEB128 varints. The wire format
+// carried between stages is versionless inside one run; WireFormat (net/)
+// adds the framing overhead model on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gates/common/byte_buffer.hpp"
+#include "gates/common/status.hpp"
+
+namespace gates {
+
+class Serializer {
+ public:
+  explicit Serializer(ByteBuffer& out) : out_(out) {}
+
+  void write_u8(std::uint8_t v) { out_.append(&v, 1); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_f64(double v);
+  /// Unsigned LEB128.
+  void write_varint(std::uint64_t v);
+  /// Length-prefixed (varint) byte string.
+  void write_string(std::string_view s);
+
+ private:
+  ByteBuffer& out_;
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(const ByteBuffer& in) : in_(in) {}
+  Deserializer(const std::uint8_t* data, std::size_t size)
+      : view_data_(data), view_size_(size), in_(dummy_) {}
+
+  bool at_end() const { return pos_ >= size(); }
+  std::size_t remaining() const { return size() - pos_; }
+
+  Status read_u8(std::uint8_t& v);
+  Status read_u32(std::uint32_t& v);
+  Status read_u64(std::uint64_t& v);
+  Status read_i64(std::int64_t& v);
+  Status read_f64(double& v);
+  Status read_varint(std::uint64_t& v);
+  Status read_string(std::string& s);
+
+ private:
+  const std::uint8_t* data() const {
+    return view_data_ ? view_data_ : in_.data();
+  }
+  std::size_t size() const { return view_data_ ? view_size_ : in_.size(); }
+  Status need(std::size_t n);
+
+  const std::uint8_t* view_data_ = nullptr;
+  std::size_t view_size_ = 0;
+  ByteBuffer dummy_;
+  const ByteBuffer& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gates

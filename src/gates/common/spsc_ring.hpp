@@ -1,0 +1,62 @@
+// Lock-free single-producer single-consumer ring buffer.
+//
+// Used on the rt-engine hot path between a source thread and its first
+// stage, where both ends are single threads and the mutex queue's wakeups
+// dominate. Capacity is rounded up to a power of two.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gates/common/check.hpp"
+
+namespace gates {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    GATES_CHECK(min_capacity > 0);
+    std::size_t cap = std::bit_ceil(min_capacity);
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false when full.
+  bool try_push(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == slots_.size()) return false;
+    slots_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    T item = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return item;
+  }
+
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace gates

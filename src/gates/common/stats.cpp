@@ -1,0 +1,109 @@
+#include "gates/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gates/common/check.hpp"
+
+namespace gates {
+
+void RunningStats::add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0;
+    return;
+  }
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+SlidingWindowStats::SlidingWindowStats(std::size_t capacity)
+    : capacity_(capacity) {
+  GATES_CHECK(capacity > 0);
+}
+
+void SlidingWindowStats::add(double x) {
+  window_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  if (window_.size() > capacity_) {
+    double old = window_.front();
+    window_.pop_front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+  }
+}
+
+void SlidingWindowStats::reset() {
+  window_.clear();
+  sum_ = 0;
+  sum_sq_ = 0;
+}
+
+double SlidingWindowStats::mean() const {
+  if (window_.empty()) return 0;
+  return sum_ / static_cast<double>(window_.size());
+}
+
+double SlidingWindowStats::variance() const {
+  if (window_.size() < 2) return 0;
+  double n = static_cast<double>(window_.size());
+  double m = sum_ / n;
+  // Guard against tiny negative values from float cancellation.
+  return std::max(0.0, sum_sq_ / n - m * m);
+}
+
+double SlidingWindowStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  GATES_CHECK(hi > lo);
+  GATES_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  auto n = static_cast<long long>(counts_.size());
+  long long i = static_cast<long long>(t * static_cast<double>(n));
+  i = std::clamp<long long>(i, 0, n - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  GATES_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double frac = counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace gates

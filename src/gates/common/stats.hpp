@@ -1,0 +1,101 @@
+// Statistics primitives used by queue monitoring and experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace gates {
+
+/// Streaming count/mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Mean/stddev over the last `capacity` samples — the paper's "average of
+/// the d values in recent times" (dbar) and the sigma-gain variability
+/// estimators both use this.
+class SlidingWindowStats {
+ public:
+  explicit SlidingWindowStats(std::size_t capacity);
+
+  void add(double x);
+  void reset();
+
+  std::size_t size() const { return window_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return window_.size() == capacity_; }
+  double mean() const;
+  double variance() const;  // population variance over the window
+  double stddev() const;
+  double latest() const { return window_.empty() ? 0.0 : window_.back(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+/// Exponentially weighted moving average: v <- alpha*v + (1-alpha)*x.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value_ + (1 - alpha_) * x;
+    }
+  }
+  void reset() { initialized_ = false; value_ = 0; }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp into the
+/// edge buckets. Used by experiment reports for queue-length distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  /// Linear-interpolated quantile in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gates

@@ -1,0 +1,112 @@
+// Minimal Status / StatusOr for recoverable errors (parse failures, missing
+// repository entries, resource exhaustion). Programming errors use
+// GATES_CHECK; hot paths never construct Status.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "gates/common/check.hpp"
+
+namespace gates {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnavailable,
+};
+
+/// Human-readable name of a status code.
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+
+/// Value-or-error. `value()` checks; callers test `ok()` first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    GATES_CHECK_MSG(!status_.is_ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    GATES_CHECK_MSG(ok(), status_.to_string());
+    return *value_;
+  }
+  const T& value() const& {
+    GATES_CHECK_MSG(ok(), status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    GATES_CHECK_MSG(ok(), status_.to_string());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_ = internal_error("uninitialized StatusOr");
+  std::optional<T> value_;
+};
+
+}  // namespace gates

@@ -1,0 +1,35 @@
+// Small string helpers used by the XML parser, URI handling and config code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gates {
+
+/// Splits `s` on `sep`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters only.
+std::string to_lower(std::string_view s);
+
+/// Joins items with `sep` between them.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Parses a double, returning false on any trailing garbage.
+bool parse_double(std::string_view s, double& out);
+/// Parses a signed 64-bit integer, returning false on any trailing garbage.
+bool parse_int(std::string_view s, long long& out);
+/// Parses "true"/"false"/"1"/"0" (case-insensitive).
+bool parse_bool(std::string_view s, bool& out);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace gates

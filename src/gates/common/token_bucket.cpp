@@ -1,0 +1,48 @@
+#include "gates/common/token_bucket.hpp"
+
+#include <algorithm>
+
+#include "gates/common/check.hpp"
+
+namespace gates {
+
+TokenBucket::TokenBucket(double rate, double burst, TimePoint now)
+    : rate_(rate), burst_(burst), tokens_(burst), last_(now) {
+  GATES_CHECK(rate > 0);
+  GATES_CHECK(burst > 0);
+}
+
+void TokenBucket::refill(TimePoint now) {
+  if (now <= last_) return;
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(double tokens, TimePoint now) {
+  refill(now);
+  if (tokens_ >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+TimePoint TokenBucket::time_available(double tokens, TimePoint now) const {
+  double level = tokens_;
+  if (now > last_) level = std::min(burst_, level + rate_ * (now - last_));
+  if (level >= tokens) return now;
+  return now + (tokens - level) / rate_;
+}
+
+void TokenBucket::consume_debt(double tokens, TimePoint now) {
+  refill(now);
+  tokens_ -= tokens;  // may go negative
+}
+
+double TokenBucket::available(TimePoint now) const {
+  double level = tokens_;
+  if (now > last_) level = std::min(burst_, level + rate_ * (now - last_));
+  return level;
+}
+
+}  // namespace gates

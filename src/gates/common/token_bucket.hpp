@@ -1,0 +1,43 @@
+// Token-bucket rate limiter.
+//
+// The real-time engine throttles channel bandwidth with this; the DES
+// engine models links analytically instead (net/link.hpp) and does not use
+// it. Time is passed in explicitly so the same code works against wall
+// clocks and virtual clocks in tests.
+#pragma once
+
+#include "gates/common/types.hpp"
+
+namespace gates {
+
+class TokenBucket {
+ public:
+  /// rate: tokens (bytes) added per second; burst: bucket capacity.
+  TokenBucket(double rate, double burst, TimePoint now = 0.0);
+
+  /// Tries to take `tokens` at time `now`; returns true on success.
+  bool try_consume(double tokens, TimePoint now);
+
+  /// Earliest time at which `tokens` will be available (>= now). Does not
+  /// consume.
+  TimePoint time_available(double tokens, TimePoint now) const;
+
+  /// Consumes unconditionally, allowing the level to go negative ("debt").
+  /// Used when a message must be sent whole and subsequent sends wait out
+  /// the debt.
+  void consume_debt(double tokens, TimePoint now);
+
+  double available(TimePoint now) const;
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(TimePoint now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  TimePoint last_;
+};
+
+}  // namespace gates

@@ -1,0 +1,44 @@
+// Core type aliases and small vocabulary types shared across GATES.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gates {
+
+/// Simulated/real time in seconds. All engine-facing APIs use seconds as a
+/// double; the DES kernel keeps enough precision for the workloads we run
+/// (microsecond-scale events over hours of virtual time).
+using TimePoint = double;
+using Duration = double;
+
+/// Bytes-per-second bandwidth.
+using Bandwidth = double;
+
+/// Identifier of a grid node (host) in the simulated grid.
+using NodeId = std::uint32_t;
+
+/// Identifier of a pipeline stage instance.
+using StageId = std::uint32_t;
+
+/// Identifier of a logical stream (source).
+using StreamId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+/// Sentinel for "no stage".
+inline constexpr StageId kInvalidStage = static_cast<StageId>(-1);
+
+/// Direction of an adjustment parameter, matching the paper's
+/// specifyPara(..., increase/decrease) final argument.
+enum class ParamDirection : int {
+  /// Increasing the parameter value speeds up processing (and typically
+  /// lowers accuracy) — the canonical P_B of Section 4.2.
+  kIncreaseSpeedsUp = +1,
+  /// Increasing the parameter value slows processing / produces more data
+  /// (e.g. sampling rate, summary size) — the paper example's "-1".
+  kIncreaseSlowsDown = -1,
+};
+
+}  // namespace gates

@@ -1,0 +1,38 @@
+#include "gates/common/uri.hpp"
+
+#include "gates/common/string_util.hpp"
+
+namespace gates {
+
+std::string Uri::to_string() const {
+  std::string out = scheme + "://" + host;
+  if (!path.empty()) out += "/" + path;
+  return out;
+}
+
+StatusOr<Uri> parse_uri(std::string_view text) {
+  text = trim(text);
+  auto pos = text.find("://");
+  if (pos == std::string_view::npos || pos == 0) {
+    return invalid_argument("URI missing scheme: '" + std::string(text) + "'");
+  }
+  Uri uri;
+  uri.scheme = to_lower(text.substr(0, pos));
+  std::string_view rest = text.substr(pos + 3);
+  if (rest.empty()) {
+    return invalid_argument("URI missing host: '" + std::string(text) + "'");
+  }
+  auto slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    uri.host = std::string(rest);
+  } else {
+    uri.host = std::string(rest.substr(0, slash));
+    uri.path = std::string(rest.substr(slash + 1));
+  }
+  if (uri.host.empty()) {
+    return invalid_argument("URI has empty host: '" + std::string(text) + "'");
+  }
+  return uri;
+}
+
+}  // namespace gates

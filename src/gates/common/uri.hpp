@@ -1,0 +1,27 @@
+// Minimal URI parsing for application-repository references.
+//
+// The paper's XML config names stage code by URL ("where the stages' codes
+// are"). Our repository resolves URIs of the form
+//   repo://<repository-name>/<path/to/entry>
+//   builtin://<processor-name>
+// plus generic scheme://host/path parsing for anything else.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "gates/common/status.hpp"
+
+namespace gates {
+
+struct Uri {
+  std::string scheme;
+  std::string host;   // first path component after "//"
+  std::string path;   // remainder, without leading '/'
+
+  std::string to_string() const;
+};
+
+StatusOr<Uri> parse_uri(std::string_view text);
+
+}  // namespace gates

@@ -1,0 +1,36 @@
+#include "gates/common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gates/common/check.hpp"
+
+namespace gates {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t universe, double theta)
+    : universe_(universe), theta_(theta) {
+  GATES_CHECK(universe > 0);
+  GATES_CHECK(theta >= 0);
+  cdf_.resize(universe);
+  double sum = 0;
+  for (std::uint64_t k = 0; k < universe; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) const {
+  double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::probability(std::uint64_t k) const {
+  GATES_CHECK(k < universe_);
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace gates

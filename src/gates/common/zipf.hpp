@@ -1,0 +1,36 @@
+// Zipf-distributed integer generator.
+//
+// count-samps streams are skewed so that "top 10 most frequent values" is a
+// meaningful query (a uniform stream has no stable top-10). We use the
+// classic inverse-CDF method over a precomputed table, which is exact and
+// fast enough for tens of millions of draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/common/rng.hpp"
+
+namespace gates {
+
+class ZipfGenerator {
+ public:
+  /// Values are drawn from [0, universe) with P(k) proportional to
+  /// 1/(k+1)^theta. theta = 0 degenerates to uniform.
+  ZipfGenerator(std::uint64_t universe, double theta);
+
+  std::uint64_t next(Rng& rng) const;
+
+  std::uint64_t universe() const { return universe_; }
+  double theta() const { return theta_; }
+
+  /// Exact probability of value k under this distribution.
+  double probability(std::uint64_t k) const;
+
+ private:
+  std::uint64_t universe_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace gates

@@ -1,0 +1,91 @@
+// Parameter adjustment — Equation 4 of Section 4.2.
+//
+//   dP_B = dtilde_B * sigma1(dtilde_B) - phi1(T1, T2) * sigma2(phi1(T1, T2))
+//
+// dtilde_B is this server's own (normalized) long-term queue factor; T1/T2
+// count over-/under-load exceptions reported by downstream server(s).
+// sigma1/sigma2 "factor in the rate of variation" of their arguments: when
+// the signals are unsteady, steps are larger so P converges quickly; once
+// the system settles, dtilde -> 0 and the exception balance -> 0, so dP -> 0
+// and the parameter holds.
+#pragma once
+
+#include <string>
+
+#include "gates/common/stats.hpp"
+#include "gates/core/adapt/load_factors.hpp"
+#include "gates/core/adapt/queue_monitor.hpp"
+#include "gates/core/parameter.hpp"
+
+namespace gates::core::adapt {
+
+struct ControllerConfig {
+  /// Base step size, as a fraction of the parameter's [min,max] range, per
+  /// control period at full drive (|dP| = 1).
+  double gain = 0.015;
+  /// k in sigma(x) = 1 + k * stddev(recent x): variability amplification.
+  double variability_weight = 1.0;
+  /// Samples in the variability estimators.
+  std::size_t variability_window = 8;
+  /// Relative weights of the own-queue and downstream-exception terms.
+  double queue_weight = 1.0;
+  double downstream_weight = 1.0;
+  /// Exponential decay applied to the accumulated T1/T2 each control period,
+  /// implementing the paper's emphasis on *recently* reported exceptions.
+  double exception_decay = 0.7;
+  /// Weight of under-load exceptions relative to over-load ones inside
+  /// phi1(T1, T2). Over-load means the real-time constraint is being
+  /// violated — the middleware's primary objective — while under-load only
+  /// flags spare capacity; an idle downstream voting "send more" every
+  /// period must not drown out a congested one voting "send less". (A stage
+  /// can legitimately receive both at once: its outbound link congested
+  /// while the stage behind the link starves.)
+  double underload_discount = 0.25;
+  /// Hard cap on |step| per period, as a fraction of the range.
+  double max_step_fraction = 0.05;
+  /// Multiplier on steps that move the parameter toward MORE accuracy (and
+  /// more load): accuracy is recovered cautiously, while constraint
+  /// violations are backed out at full speed. This is the classic
+  /// additive-increase asymmetry that keeps the adaptation from slamming
+  /// between its bounds.
+  double accuracy_gain_fraction = 0.4;
+
+  void validate() const;
+};
+
+/// Drives one AdjustmentParameter from load signals.
+class ParameterController {
+ public:
+  ParameterController(AdjustmentParameter& param, ControllerConfig config);
+
+  /// Called when a downstream server reports an exception.
+  void report_downstream_exception(LoadSignal signal);
+
+  /// One control-period update given this server's normalized dtilde
+  /// (in [-1,1]). Returns the new parameter value.
+  double update(double normalized_dtilde);
+
+  // -- diagnostics -----------------------------------------------------------
+  double last_delta() const { return last_delta_; }
+  double t1() const { return t1_; }
+  double t2() const { return t2_; }
+  double last_downstream_phi1() const { return last_downstream_phi1_; }
+  const AdjustmentParameter& parameter() const { return param_; }
+  AdjustmentParameter& parameter() { return param_; }
+  const ControllerConfig& config() const { return config_; }
+
+ private:
+  double sigma(const SlidingWindowStats& stats) const;
+
+  AdjustmentParameter& param_;
+  ControllerConfig config_;
+  /// Decayed exception counts from downstream.
+  double t1_ = 0;
+  double t2_ = 0;
+  SlidingWindowStats nd_history_;
+  SlidingWindowStats phi1_history_;
+  double last_delta_ = 0;
+  double last_downstream_phi1_ = 0;
+};
+
+}  // namespace gates::core::adapt

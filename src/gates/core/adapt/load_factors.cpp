@@ -1,0 +1,39 @@
+#include "gates/core/adapt/load_factors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gates/common/check.hpp"
+
+namespace gates::core::adapt {
+
+double phi1(double t1, double t2) {
+  GATES_CHECK(t1 >= 0 && t2 >= 0);
+  const double sum = t1 + t2;
+  if (sum <= 0) return 0;
+  return (t1 - t2) / sum;
+}
+
+double phi2(int w, int window) {
+  GATES_CHECK(window > 0);
+  GATES_CHECK(w >= -window && w <= window);
+  if (w == 0) return 0;
+  const double magnitude =
+      (std::exp(std::abs(static_cast<double>(w)) / window) - 1.0) /
+      (std::exp(1.0) - 1.0);
+  return w > 0 ? magnitude : -magnitude;
+}
+
+double phi3(double dbar, double expected, double capacity) {
+  GATES_CHECK(expected > 0);
+  GATES_CHECK(capacity > expected);
+  double v;
+  if (dbar < expected) {
+    v = (dbar - expected) / expected;
+  } else {
+    v = (dbar - expected) / (capacity - expected);
+  }
+  return std::clamp(v, -1.0, 1.0);
+}
+
+}  // namespace gates::core::adapt

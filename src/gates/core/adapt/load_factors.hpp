@@ -1,0 +1,30 @@
+// The three load factors of Section 4.2, Equations 1-3.
+//
+// All return values lie in [-1, 1]; positive means over-loaded, negative
+// under-loaded, and |phi| -> 1 means "very likely over/under-loaded".
+#pragma once
+
+#include <cstdint>
+
+namespace gates::core::adapt {
+
+/// Equation 1: lifetime balance of over- vs under-load observations.
+///   phi1(t1, t2) = (t1 - t2) / (t1 + t2), or 0 when both are zero.
+/// Also reused for the downstream-exception balance phi1(T1, T2), where the
+/// counts may be fractional (exceptions decay over time) — hence doubles.
+double phi1(double t1, double t2);
+
+/// Equation 2 (substituted form — see DESIGN.md): windowed over/under-load
+/// balance. `w` is (#overload - #underload) among the last `window`
+/// observations, so |w| <= window.
+///   phi2(w, W) = sign(w) * (e^(|w|/W) - 1) / (e - 1)
+/// The printed formula in the paper is garbled (unbounded for w < 0); this
+/// form keeps the stated properties: range [-1,1], 0 at w = 0, monotone,
+/// saturating at |w| = W.
+double phi2(int w, int window);
+
+/// Equation 3: recent average queue length dbar against the expected length
+/// D, normalized by D below and by the remaining headroom (C - D) above.
+double phi3(double dbar, double expected, double capacity);
+
+}  // namespace gates::core::adapt

@@ -1,0 +1,92 @@
+#include "gates/core/adapt/queue_monitor.hpp"
+
+#include <numeric>
+
+#include "gates/common/check.hpp"
+
+namespace gates::core::adapt {
+
+void QueueMonitorConfig::validate() const {
+  GATES_CHECK(capacity > 0);
+  GATES_CHECK(expected_length > 0 && expected_length < capacity);
+  GATES_CHECK(over_threshold > under_threshold);
+  GATES_CHECK(under_threshold >= 0);
+  GATES_CHECK(window > 0);
+  GATES_CHECK(alpha > 0 && alpha < 1);
+  GATES_CHECK_MSG(std::abs(p1 + p2 + p3 - 1.0) < 1e-9, "P1+P2+P3 must be 1");
+  GATES_CHECK(p1 >= 0 && p2 >= 0 && p3 >= 0);
+  GATES_CHECK(lt1 < lt2);
+  GATES_CHECK(lt1 >= -1.0 && lt2 <= 1.0);
+  GATES_CHECK(dbar_window > 0);
+}
+
+QueueMonitor::QueueMonitor(QueueMonitorConfig config)
+    : config_(config), dbar_stats_(config.dbar_window) {
+  config_.validate();
+}
+
+int QueueMonitor::w() const {
+  return std::accumulate(window_.begin(), window_.end(), 0);
+}
+
+LoadSignal QueueMonitor::observe(double d) {
+  ++observations_;
+  last_d_ = d;
+
+  // Classify the instantaneous length.
+  int cls = 0;
+  if (d > config_.over_threshold) {
+    cls = +1;
+    ++t1_;
+  } else if (d < config_.under_threshold) {
+    cls = -1;
+    ++t2_;
+  }
+  window_.push_back(cls);
+  if (window_.size() > static_cast<std::size_t>(config_.window)) {
+    window_.pop_front();
+  }
+  dbar_stats_.add(d);
+
+  // Load factors (Equations 1-3).
+  last_phi1_ = phi1(static_cast<double>(t1_), static_cast<double>(t2_));
+  last_phi2_ = phi2(w(), config_.window);
+  last_phi3_ = phi3(dbar_stats_.mean(), config_.expected_length, config_.capacity);
+
+  // dtilde update (the learning equation).
+  const double combined =
+      config_.p1 * last_phi1_ + config_.p2 * last_phi2_ + config_.p3 * last_phi3_;
+  dtilde_ = config_.alpha * dtilde_ + (1 - config_.alpha) * combined * config_.capacity;
+
+  // Exception decision against [LT1, LT2] (fractions of C), trend-gated so
+  // a recovering queue stops shouting before it has fully drained. The
+  // epsilon absorbs float cancellation in the windowed mean; the threshold
+  // guards keep a stale dtilde from calling an empty queue overloaded (or a
+  // long one underloaded) while the smoothed reading catches up.
+  constexpr double kEps = 1e-9;
+  const double nd = dtilde_ / config_.capacity;
+  const double dbar = dbar_stats_.mean();
+  if (nd > config_.lt2 && d > config_.under_threshold &&
+      (!config_.trend_gating || d >= dbar - kEps)) {
+    ++overload_signals_;
+    return LoadSignal::kOverload;
+  }
+  if (nd < config_.lt1 && d < config_.over_threshold &&
+      (!config_.trend_gating || d <= dbar + kEps)) {
+    ++underload_signals_;
+    return LoadSignal::kUnderload;
+  }
+  return LoadSignal::kNone;
+}
+
+void QueueMonitor::reset() {
+  t1_ = t2_ = 0;
+  window_.clear();
+  dbar_stats_.reset();
+  dtilde_ = 0;
+  last_d_ = 0;
+  last_phi1_ = last_phi2_ = last_phi3_ = 0;
+  observations_ = overload_signals_ = underload_signals_ = 0;
+}
+
+}  // namespace gates::core::adapt

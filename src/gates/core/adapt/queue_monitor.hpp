@@ -1,0 +1,120 @@
+// Queue monitoring and the long-term average queue-size factor (dtilde).
+//
+// One QueueMonitor watches one queue — a stage's input buffer or a link's
+// outbound buffer. Every control period the engine feeds it the current
+// length d; it maintains the paper's indicators (t1, t2, w, dbar), combines
+// the load factors into dtilde via the learning equation, and tells the
+// engine whether to raise an over-/under-load exception to the upstream
+// server(s).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "gates/common/stats.hpp"
+#include "gates/common/types.hpp"
+#include "gates/core/adapt/load_factors.hpp"
+
+namespace gates::core::adapt {
+
+enum class LoadSignal {
+  kNone = 0,
+  kOverload,
+  kUnderload,
+};
+
+struct QueueMonitorConfig {
+  /// C — queue capacity used for normalization (and the buffer's actual
+  /// capacity in the engine).
+  double capacity = 200;
+  /// D — user-expected queue length. Must satisfy 0 < D < C.
+  double expected_length = 20;
+  /// Instantaneous classification thresholds: d > over_threshold counts an
+  /// over-load observation, d < under_threshold an under-load one.
+  double over_threshold = 40;
+  double under_threshold = 8;
+  /// W — window size for w and phi2.
+  int window = 12;
+  /// alpha — learning rate in the dtilde update (0 < alpha < 1); higher
+  /// means more smoothing.
+  double alpha = 0.8;
+  /// P1..P3 — weights of phi1 (lifetime), phi2 (windowed), phi3 (recent
+  /// average); must sum to 1.
+  double p1 = 0.15;
+  double p2 = 0.35;
+  double p3 = 0.50;
+  /// [LT1, LT2] as fractions of C: dtilde/C outside this interval raises an
+  /// exception upstream.
+  double lt1 = -0.10;
+  double lt2 = +0.10;
+  /// Samples in the dbar sliding mean.
+  std::size_t dbar_window = 4;
+  /// Trend gating: when true (default), an over-load exception is only
+  /// raised while the queue is not already draining (d >= dbar), and an
+  /// under-load exception only while it is not already filling (d <= dbar).
+  /// Without this, exceptions keep firing through the whole drain of a long
+  /// queue and drive the upstream parameter far past the equilibrium — the
+  /// "correct quickly, without making the system unstable" requirement of
+  /// §4.2.
+  bool trend_gating = true;
+
+  /// Validates invariants; GATES_CHECKs on violation.
+  void validate() const;
+};
+
+class QueueMonitor {
+ public:
+  explicit QueueMonitor(QueueMonitorConfig config);
+
+  /// One control-period observation of the instantaneous queue length.
+  /// Returns the exception (if any) to report upstream.
+  LoadSignal observe(double current_length);
+
+  /// dtilde in [-C, C].
+  double dtilde() const { return dtilde_; }
+  /// dtilde / C in [-1, 1] — the controller's queue-pressure input.
+  double normalized_dtilde() const { return dtilde_ / config_.capacity; }
+  /// Trend-gated variant: zero while the pressure reading points one way
+  /// but the queue is already moving the other (a draining overload or a
+  /// filling underload needs no further correction).
+  double normalized_dtilde_gated() const {
+    constexpr double kEps = 1e-9;
+    const double nd = normalized_dtilde();
+    if (!config_.trend_gating) return nd;
+    const double dbar = dbar_stats_.mean();
+    if (nd > 0 && last_d_ < dbar - kEps) return 0;
+    if (nd < 0 && last_d_ > dbar + kEps) return 0;
+    return nd;
+  }
+
+  // -- introspection (tests, reports) ---------------------------------------
+  double dbar() const { return dbar_stats_.mean(); }
+  std::uint64_t t1() const { return t1_; }
+  std::uint64_t t2() const { return t2_; }
+  int w() const;
+  double last_phi1() const { return last_phi1_; }
+  double last_phi2() const { return last_phi2_; }
+  double last_phi3() const { return last_phi3_; }
+  std::uint64_t observations() const { return observations_; }
+  std::uint64_t overload_signals() const { return overload_signals_; }
+  std::uint64_t underload_signals() const { return underload_signals_; }
+  const QueueMonitorConfig& config() const { return config_; }
+
+  void reset();
+
+ private:
+  QueueMonitorConfig config_;
+  std::uint64_t t1_ = 0;
+  std::uint64_t t2_ = 0;
+  /// Last W classifications as -1/0/+1.
+  std::deque<int> window_;
+  SlidingWindowStats dbar_stats_;
+  double dtilde_ = 0;
+  double last_d_ = 0;
+  double last_phi1_ = 0, last_phi2_ = 0, last_phi3_ = 0;
+  std::uint64_t observations_ = 0;
+  std::uint64_t overload_signals_ = 0;
+  std::uint64_t underload_signals_ = 0;
+};
+
+}  // namespace gates::core::adapt

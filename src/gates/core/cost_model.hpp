@@ -1,0 +1,29 @@
+// Service-time model for a stage.
+//
+// The DES engine charges a stage `service_time(packet) / host_cpu_factor`
+// of virtual time per packet; the rt engine busy-waits/sleeps the same
+// amount of wall time. comp-steer's "post-processing of k ms/byte"
+// (paper §5.4) maps directly onto per_byte_seconds.
+#pragma once
+
+#include <cstddef>
+
+#include "gates/common/types.hpp"
+#include "gates/core/packet.hpp"
+
+namespace gates::core {
+
+struct CostModel {
+  double per_packet_seconds = 0;
+  double per_byte_seconds = 0;
+  double per_record_seconds = 0;
+
+  Duration service_time(const Packet& p) const {
+    if (p.is_eos()) return 0;
+    return per_packet_seconds +
+           per_byte_seconds * static_cast<double>(p.payload_bytes()) +
+           per_record_seconds * static_cast<double>(p.records);
+  }
+};
+
+}  // namespace gates::core

@@ -1,0 +1,42 @@
+// The unit of stream data flowing between stages.
+#pragma once
+
+#include <cstdint>
+
+#include "gates/common/byte_buffer.hpp"
+#include "gates/common/types.hpp"
+
+namespace gates::core {
+
+/// Application-defined packet kind tags. Kinds below 0xFFFF0000 are free for
+/// applications; the middleware reserves the rest.
+inline constexpr std::uint32_t kPacketKindData = 0;
+inline constexpr std::uint32_t kPacketKindSummary = 1;
+/// End-of-stream marker, injected by sources and propagated by the engine
+/// once a stage has drained every upstream.
+inline constexpr std::uint32_t kPacketKindEos = 0xFFFFFFFFu;
+
+struct Packet {
+  StreamId stream = 0;
+  std::uint64_t sequence = 0;
+  /// Virtual (SimEngine) or wall (RtEngine) time the packet was created.
+  TimePoint created_at = 0;
+  std::uint32_t kind = kPacketKindData;
+  /// Logical records carried, for the per-record wire-overhead model.
+  std::size_t records = 1;
+  ByteBuffer payload;
+
+  bool is_eos() const { return kind == kPacketKindEos; }
+  std::size_t payload_bytes() const { return payload.size(); }
+
+  static Packet eos(StreamId stream, TimePoint now) {
+    Packet p;
+    p.stream = stream;
+    p.created_at = now;
+    p.kind = kPacketKindEos;
+    p.records = 0;
+    return p;
+  }
+};
+
+}  // namespace gates::core

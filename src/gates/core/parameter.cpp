@@ -1,0 +1,29 @@
+#include "gates/core/parameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gates/common/check.hpp"
+
+namespace gates::core {
+
+AdjustmentParameter::AdjustmentParameter(Spec spec) : spec_(std::move(spec)), value_(0) {
+  GATES_CHECK_MSG(spec_.max_value >= spec_.min_value,
+                  "parameter '" + spec_.name + "' has max < min");
+  GATES_CHECK_MSG(spec_.increment >= 0,
+                  "parameter '" + spec_.name + "' has negative increment");
+  set_value(spec_.initial);
+}
+
+double AdjustmentParameter::set_value(double v) {
+  v = std::clamp(v, spec_.min_value, spec_.max_value);
+  if (spec_.increment > 0) {
+    double steps = std::round((v - spec_.min_value) / spec_.increment);
+    v = std::clamp(spec_.min_value + steps * spec_.increment, spec_.min_value,
+                   spec_.max_value);
+  }
+  value_.store(v, std::memory_order_relaxed);
+  return v;
+}
+
+}  // namespace gates::core

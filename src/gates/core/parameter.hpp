@@ -1,0 +1,63 @@
+// Adjustment parameters — the paper's specifyPara / getSuggestedValue API.
+//
+// A processor exposes a tunable whose value trades processing rate against
+// accuracy (sampling rate, summary size, ...). The middleware's controller
+// rewrites the value each control period; the processor polls
+// suggested_value() once per iteration, exactly as in the paper's Sampler
+// example.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gates/common/types.hpp"
+
+namespace gates::core {
+
+class AdjustmentParameter {
+ public:
+  struct Spec {
+    std::string name;
+    double initial = 0;
+    double min_value = 0;
+    double max_value = 1;
+    /// Granularity: suggested values are quantized to multiples of this
+    /// above min_value. 0 disables quantization.
+    double increment = 0;
+    ParamDirection direction = ParamDirection::kIncreaseSlowsDown;
+  };
+
+  explicit AdjustmentParameter(Spec spec);
+
+  const Spec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  /// Current middleware-suggested value (the paper's getSuggestedValue()).
+  /// Thread-safe: the rt engine's control thread writes while stage threads
+  /// read.
+  double suggested_value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Sets the value, clamping to [min,max] and quantizing to the increment.
+  /// Returns the value actually stored.
+  double set_value(double v);
+
+  /// Appends a (time, value) sample; called by the engine's control loop
+  /// only, so it needs no locking.
+  void record(TimePoint t) {
+    trajectory_.emplace_back(t, suggested_value());
+  }
+  const std::vector<std::pair<TimePoint, double>>& trajectory() const {
+    return trajectory_;
+  }
+
+ private:
+  Spec spec_;
+  std::atomic<double> value_;
+  std::vector<std::pair<TimePoint, double>> trajectory_;
+};
+
+}  // namespace gates::core

@@ -1,0 +1,67 @@
+// The stream-processing developer API: StreamProcessor, ProcessorContext,
+// Emitter. This is the C++ rendering of the paper's §3.3 interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "gates/common/properties.hpp"
+#include "gates/common/rng.hpp"
+#include "gates/common/types.hpp"
+#include "gates/core/packet.hpp"
+#include "gates/core/parameter.hpp"
+
+namespace gates::core {
+
+/// Output side of a stage. Emitted packets are routed to the stage's
+/// downstream connection(s) on the given port.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(Packet packet, std::size_t port = 0) = 0;
+};
+
+/// Everything a processor may ask of its hosting stage.
+class ProcessorContext {
+ public:
+  virtual ~ProcessorContext() = default;
+
+  /// The paper's specifyPara(init_value, max_value, min_value, increment,
+  /// direction): registers an adjustment parameter with the middleware and
+  /// returns a handle whose suggested_value() the processor polls each
+  /// iteration. Must be called from init().
+  virtual AdjustmentParameter& specify_parameter(
+      AdjustmentParameter::Spec spec) = 0;
+
+  /// Stage configuration (the <param> entries of the XML config).
+  virtual const Properties& properties() const = 0;
+
+  /// Deterministic per-stage random stream.
+  virtual Rng& rng() = 0;
+
+  /// Engine time (virtual in SimEngine, wall in RtEngine).
+  virtual TimePoint now() const = 0;
+
+  virtual StageId stage_id() const = 0;
+  virtual const std::string& stage_name() const = 0;
+};
+
+/// User-supplied stage logic. Lifecycle: init() once before any data;
+/// process() per dequeued packet (never for EOS); finish() once after every
+/// upstream reached end-of-stream — emit any final summaries there.
+class StreamProcessor {
+ public:
+  virtual ~StreamProcessor() = default;
+
+  virtual void init(ProcessorContext& ctx) = 0;
+  virtual void process(const Packet& packet, Emitter& emitter) = 0;
+  virtual void finish(Emitter& /*emitter*/) {}
+
+  /// Diagnostic name (registry key by convention).
+  virtual std::string name() const = 0;
+};
+
+using ProcessorFactory = std::function<std::unique_ptr<StreamProcessor>()>;
+
+}  // namespace gates::core

@@ -1,0 +1,68 @@
+// Run reports: everything the benches and EXPERIMENTS.md tables read out of
+// an engine run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gates/common/stats.hpp"
+#include "gates/common/types.hpp"
+
+namespace gates::core {
+
+struct StageReport {
+  std::string name;
+  NodeId node = kInvalidNode;
+  std::uint64_t packets_processed = 0;
+  std::uint64_t records_processed = 0;
+  std::uint64_t bytes_processed = 0;
+  std::uint64_t packets_emitted = 0;
+  std::uint64_t packets_dropped = 0;
+  Duration busy_time = 0;
+  /// Queue length sampled once per control period.
+  RunningStats queue_length;
+  /// Per-packet latency from packet creation (at the source or the emitting
+  /// stage) to the end of this stage's service — the "real-time" the
+  /// middleware protects. Sinks' values are the end-to-end figures.
+  RunningStats packet_latency;
+  std::uint64_t overload_exceptions_sent = 0;
+  std::uint64_t underload_exceptions_sent = 0;
+  std::uint64_t exceptions_received = 0;
+  /// Final dtilde/C at end of run.
+  double final_normalized_dtilde = 0;
+  /// (time, value) trajectory of each adjustment parameter.
+  std::vector<std::pair<std::string, std::vector<std::pair<TimePoint, double>>>>
+      parameter_trajectories;
+};
+
+struct LinkReport {
+  std::string name;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  double utilization = 0;
+  Duration stalled_time = 0;
+  RunningStats queue_length;
+  std::uint64_t overload_exceptions_sent = 0;
+  std::uint64_t underload_exceptions_sent = 0;
+};
+
+struct RunReport {
+  /// Virtual (SimEngine) or wall (RtEngine) seconds from start to the last
+  /// stage finishing — the paper's "execution time".
+  Duration execution_time = 0;
+  bool completed = false;  // false = hit the time horizon before EOS
+  std::uint64_t events_executed = 0;
+  std::vector<StageReport> stages;
+  std::vector<LinkReport> links;
+
+  const StageReport* stage(const std::string& name) const {
+    for (const auto& s : stages) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace gates::core

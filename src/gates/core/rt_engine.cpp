@@ -1,0 +1,431 @@
+#include "gates/core/rt_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "gates/common/bounded_queue.hpp"
+#include "gates/common/check.hpp"
+#include "gates/common/clock.hpp"
+#include "gates/common/log.hpp"
+#include "gates/common/token_bucket.hpp"
+#include "gates/core/adapt/queue_monitor.hpp"
+
+namespace gates::core {
+namespace {
+
+void sleep_seconds(Duration s) {
+  if (s > 0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThrottleGate: wall-clock token bucket shared by every flow between one
+// (src,dst) node pair. acquire() blocks the calling thread until the bytes
+// fit the bandwidth budget.
+// ---------------------------------------------------------------------------
+struct RtEngine::ThrottleGate {
+  ThrottleGate(Bandwidth bandwidth, const Clock& clock)
+      : clock_(clock),
+        unthrottled_(bandwidth >= 1e12),
+        bucket_(bandwidth, std::max(bandwidth / 20, 2048.0), clock.now()) {}
+
+  void acquire(std::size_t bytes) {
+    if (unthrottled_) return;
+    const double need = static_cast<double>(bytes);
+    TimePoint ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const TimePoint now = clock_.now();
+      ready = bucket_.time_available(need, now);
+      bucket_.consume_debt(need, now);
+    }
+    sleep_seconds(ready - clock_.now());
+  }
+
+  const Clock& clock_;
+  bool unthrottled_;
+  std::mutex mu_;
+  TokenBucket bucket_;
+};
+
+// ---------------------------------------------------------------------------
+// StageWorker
+// ---------------------------------------------------------------------------
+class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
+ public:
+  struct Route {
+    std::shared_ptr<ThrottleGate> gate;
+    StageWorker* dest = nullptr;
+    std::size_t port = 0;
+  };
+
+  StageWorker(RtEngine& engine, std::size_t index, const StageSpec& spec,
+              NodeId node, double cpu_factor, Rng rng, const Clock& clock)
+      : engine_(engine),
+        index_(index),
+        spec_(spec),
+        node_(node),
+        cpu_factor_(cpu_factor),
+        queue_(spec.input_capacity),
+        monitor_(spec.monitor),
+        rng_(rng),
+        clock_(clock) {
+    processor_ = spec_.factory();
+    GATES_CHECK_MSG(processor_ != nullptr,
+                    "factory for stage '" + spec_.name + "' returned null");
+  }
+
+  void init() {
+    in_init_ = true;
+    processor_->init(*this);
+    in_init_ = false;
+  }
+
+  void add_route(Route route) { routes_.push_back(std::move(route)); }
+  void add_upstream(StageWorker* up) {
+    if (up != nullptr) upstreams_.push_back(up);
+  }
+  void set_eos_expected(std::size_t n) { eos_expected_ = n; }
+
+  BoundedQueue<Packet>& queue() { return queue_; }
+
+  void start() {
+    thread_ = std::thread([this] { run_loop(); });
+  }
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+  void force_stop() { queue_.close(); }
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  // -- Emitter ---------------------------------------------------------------
+  void emit(Packet packet, std::size_t port = 0) override {
+    ++packets_emitted_;
+    for (const auto& route : routes_) {
+      if (route.port != port) continue;
+      const std::size_t wire =
+          engine_.config_.wire.wire_size(packet.payload_bytes(), packet.records);
+      route.gate->acquire(wire);
+      // Blocking push: a full downstream buffer backpressures this thread.
+      if (!route.dest->queue().push(packet)) ++packets_dropped_;
+    }
+  }
+
+  // -- ProcessorContext --------------------------------------------------------
+  AdjustmentParameter& specify_parameter(
+      AdjustmentParameter::Spec param_spec) override {
+    GATES_CHECK_MSG(in_init_, "specify_parameter must be called from init()");
+    params_.push_back(std::make_unique<AdjustmentParameter>(param_spec));
+    controllers_.push_back(std::make_unique<adapt::ParameterController>(
+        *params_.back(), spec_.controller));
+    return *params_.back();
+  }
+  const Properties& properties() const override { return spec_.properties; }
+  Rng& rng() override { return rng_; }
+  TimePoint now() const override { return clock_.now(); }
+  StageId stage_id() const override { return static_cast<StageId>(index_); }
+  const std::string& stage_name() const override { return spec_.name; }
+
+  // -- control thread interface (single-threaded with respect to monitors) ---
+  void control_step(bool adapt) {
+    const auto d = static_cast<double>(queue_.size());
+    queue_samples_.add(d);
+    const adapt::LoadSignal signal = monitor_.observe(d);
+    if (signal == adapt::LoadSignal::kOverload) ++overload_sent_;
+    if (signal == adapt::LoadSignal::kUnderload) ++underload_sent_;
+    if (signal != adapt::LoadSignal::kNone) {
+      for (StageWorker* up : upstreams_) up->receive_exception(signal);
+    }
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
+      if (adapt) controllers_[i]->update(monitor_.normalized_dtilde_gated());
+      params_[i]->record(clock_.now());
+    }
+  }
+  void receive_exception(adapt::LoadSignal signal) {
+    ++exceptions_received_;
+    for (auto& c : controllers_) c->report_downstream_exception(signal);
+  }
+
+  StageReport build_report() const {
+    StageReport r;
+    r.name = spec_.name;
+    r.node = node_;
+    r.packets_processed = packets_processed_;
+    r.records_processed = records_processed_;
+    r.bytes_processed = bytes_processed_;
+    r.packets_emitted = packets_emitted_;
+    r.packets_dropped = packets_dropped_;
+    r.busy_time = busy_time_;
+    r.queue_length = queue_samples_;
+    r.packet_latency = latency_;
+    r.overload_exceptions_sent = overload_sent_;
+    r.underload_exceptions_sent = underload_sent_;
+    r.exceptions_received = exceptions_received_;
+    r.final_normalized_dtilde = monitor_.normalized_dtilde();
+    for (const auto& p : params_) {
+      r.parameter_trajectories.emplace_back(p->name(), p->trajectory());
+    }
+    return r;
+  }
+
+  StreamProcessor& processor() { return *processor_; }
+
+ private:
+  void run_loop() {
+    while (auto packet = queue_.pop()) {
+      const Duration service = spec_.cost.service_time(*packet) / cpu_factor_;
+      sleep_seconds(service);
+      busy_time_ += service;
+      if (packet->is_eos()) {
+        if (++eos_received_ >= eos_expected_) break;
+        continue;
+      }
+      ++packets_processed_;
+      records_processed_ += packet->records;
+      bytes_processed_ += packet->payload_bytes();
+      latency_.add(clock_.now() - packet->created_at);
+      processor_->process(*packet, *this);
+    }
+    // Either all upstreams ended or the queue was force-closed; flush.
+    processor_->finish(*this);
+    for (const auto& route : routes_) {
+      Packet eos = Packet::eos(0, clock_.now());
+      route.gate->acquire(engine_.config_.wire.per_message_overhead);
+      route.dest->queue().push(std::move(eos));
+    }
+    finished_.store(true, std::memory_order_release);
+  }
+
+  RtEngine& engine_;
+  std::size_t index_;
+  const StageSpec& spec_;
+  NodeId node_;
+  double cpu_factor_;
+  std::unique_ptr<StreamProcessor> processor_;
+  BoundedQueue<Packet> queue_;
+  std::vector<Route> routes_;
+  std::vector<StageWorker*> upstreams_;
+  adapt::QueueMonitor monitor_;
+  std::vector<std::unique_ptr<AdjustmentParameter>> params_;
+  std::vector<std::unique_ptr<adapt::ParameterController>> controllers_;
+  Rng rng_;
+  const Clock& clock_;
+  std::thread thread_;
+  bool in_init_ = false;
+  std::size_t eos_expected_ = 0;
+  std::size_t eos_received_ = 0;
+  std::atomic<bool> finished_{false};
+
+  // Written by the stage thread, read only after join().
+  std::uint64_t packets_processed_ = 0;
+  std::uint64_t records_processed_ = 0;
+  std::uint64_t bytes_processed_ = 0;
+  std::uint64_t packets_emitted_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  Duration busy_time_ = 0;
+  RunningStats latency_;
+  // Owned by the control thread.
+  RunningStats queue_samples_;
+  std::uint64_t overload_sent_ = 0;
+  std::uint64_t underload_sent_ = 0;
+  std::uint64_t exceptions_received_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SourceWorker
+// ---------------------------------------------------------------------------
+class RtEngine::SourceWorker {
+ public:
+  SourceWorker(RtEngine& engine, const SourceSpec& spec, StageWorker* target,
+               std::shared_ptr<ThrottleGate> gate, Rng rng, const Clock& clock)
+      : engine_(engine),
+        spec_(spec),
+        target_(target),
+        gate_(std::move(gate)),
+        rng_(rng),
+        clock_(clock) {}
+
+  /// horizon <= 0 means "run until total_packets".
+  void start(Duration horizon) {
+    horizon_ = horizon;
+    thread_ = std::thread([this] { run_loop(); });
+  }
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+
+ private:
+  void run_loop() {
+    std::uint64_t seq = 0;
+    const TimePoint start = clock_.now();
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (spec_.total_packets != 0 && seq >= spec_.total_packets) break;
+      if (horizon_ > 0 && clock_.now() - start >= horizon_) break;
+      Packet packet;
+      if (spec_.generator) {
+        packet = spec_.generator(seq, rng_);
+      } else {
+        packet.payload.resize(spec_.packet_bytes);
+      }
+      packet.stream = spec_.stream;
+      packet.sequence = seq;
+      packet.created_at = clock_.now();
+      ++seq;
+      const std::size_t wire = engine_.config_.wire.wire_size(
+          packet.payload_bytes(), packet.records);
+      gate_->acquire(wire);
+      if (!target_->queue().push(std::move(packet))) break;  // force-stopped
+      const Duration gap = spec_.poisson ? rng_.exponential(spec_.rate_hz)
+                                         : 1.0 / spec_.rate_hz;
+      sleep_seconds(gap);
+    }
+    Packet eos = Packet::eos(spec_.stream, clock_.now());
+    target_->queue().push(std::move(eos));
+  }
+
+  RtEngine& engine_;
+  const SourceSpec& spec_;
+  StageWorker* target_;
+  std::shared_ptr<ThrottleGate> gate_;
+  Rng rng_;
+  const Clock& clock_;
+  std::thread thread_;
+  Duration horizon_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+// ---------------------------------------------------------------------------
+// RtEngine
+// ---------------------------------------------------------------------------
+
+RtEngine::RtEngine(PipelineSpec spec, Placement placement, HostModel hosts,
+                   net::Topology topology, Config config)
+    : spec_(std::move(spec)),
+      placement_(std::move(placement)),
+      hosts_(std::move(hosts)),
+      topology_(std::move(topology)),
+      config_(config),
+      root_rng_(config.seed) {}
+
+RtEngine::~RtEngine() {
+  for (auto& s : sources_) s->join();
+  for (auto& s : stages_) {
+    s->force_stop();
+    s->join();
+  }
+}
+
+std::shared_ptr<RtEngine::ThrottleGate> RtEngine::gate_for_flow(NodeId from,
+                                                                NodeId to) {
+  // Same-node flows and flows into a shared-ingress node reuse one gate so
+  // concurrent senders share the bandwidth, mirroring SimEngine's links.
+  std::pair<NodeId, NodeId> key;
+  Bandwidth bandwidth;
+  if (from == to) {
+    key = {to, to};
+    bandwidth = net::Topology::loopback().bandwidth;
+  } else if (auto shared = topology_.shared_ingress(to)) {
+    key = {kInvalidNode, to};
+    bandwidth = shared->bandwidth;
+  } else {
+    key = {from, to};
+    bandwidth = topology_.between(from, to).bandwidth;
+  }
+  auto& slot = gates_[key];
+  if (!slot) slot = std::make_shared<ThrottleGate>(bandwidth, clock_);
+  return slot;
+}
+
+Status RtEngine::setup() {
+  if (setup_done_) return Status::ok();
+  if (auto s = spec_.validate(); !s.is_ok()) return s;
+  if (placement_.stage_nodes.size() != spec_.stages.size()) {
+    return invalid_argument("placement does not cover all stages");
+  }
+  for (const auto& stage : spec_.stages) {
+    if (!stage.factory) {
+      return failed_precondition("stage '" + stage.name +
+                                 "' has no processor factory");
+    }
+  }
+
+  for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
+    stages_.push_back(std::make_unique<StageWorker>(
+        *this, i, spec_.stages[i], placement_.stage_nodes[i],
+        hosts_.at(placement_.stage_nodes[i]), root_rng_.fork(1000 + i),
+        clock_));
+  }
+  for (const auto& edge : spec_.edges) {
+    const NodeId from = placement_.stage_nodes[edge.from_stage];
+    const NodeId to = placement_.stage_nodes[edge.to_stage];
+    stages_[edge.from_stage]->add_route(
+        {gate_for_flow(from, to), stages_[edge.to_stage].get(), edge.port});
+    stages_[edge.to_stage]->add_upstream(stages_[edge.from_stage].get());
+  }
+  for (std::size_t i = 0; i < spec_.sources.size(); ++i) {
+    const auto& src = spec_.sources[i];
+    sources_.push_back(std::make_unique<SourceWorker>(
+        *this, src, stages_[src.target_stage].get(),
+        gate_for_flow(src.location, placement_.stage_nodes[src.target_stage]),
+        root_rng_.fork(i), clock_));
+  }
+  for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
+    stages_[i]->set_eos_expected(spec_.fan_in(i));
+  }
+  for (auto& stage : stages_) stage->init();
+  setup_done_ = true;
+  return Status::ok();
+}
+
+Status RtEngine::run() { return execute(0); }
+
+Status RtEngine::run_for(Duration seconds) { return execute(seconds); }
+
+Status RtEngine::execute(Duration source_horizon) {
+  if (auto s = setup(); !s.is_ok()) return s;
+
+  const TimePoint start = clock_.now();
+  for (auto& stage : stages_) stage->start();
+  for (auto& source : sources_) source->start(source_horizon);
+
+  // Control loop doubles as the watchdog.
+  bool timed_out = false;
+  while (true) {
+    sleep_seconds(config_.control_period);
+    bool all_done = true;
+    for (auto& stage : stages_) all_done &= stage->finished();
+    if (all_done) break;
+    for (auto& stage : stages_) {
+      stage->control_step(config_.adaptation_enabled);
+    }
+    if (clock_.now() - start > config_.max_wall_time) {
+      timed_out = true;
+      GATES_LOG(kWarn, "rt-engine") << "watchdog fired; force-stopping";
+      for (auto& source : sources_) source->request_stop();
+      for (auto& stage : stages_) stage->force_stop();
+      break;
+    }
+  }
+  for (auto& source : sources_) source->join();
+  for (auto& stage : stages_) stage->join();
+  const TimePoint end = clock_.now();
+
+  report_ = RunReport{};
+  report_.completed = !timed_out;
+  report_.execution_time = end - start;
+  for (const auto& stage : stages_) {
+    report_.stages.push_back(stage->build_report());
+  }
+  return Status::ok();
+}
+
+StreamProcessor& RtEngine::processor(std::size_t stage_index) {
+  GATES_CHECK(stage_index < stages_.size());
+  return stages_[stage_index]->processor();
+}
+
+}  // namespace gates::core

@@ -1,0 +1,83 @@
+// Real-time engine: runs a pipeline on actual threads with wall-clock
+// bandwidth throttling — the closest in-process analogue of the paper's
+// deployment (one JVM per stage, TCP links with introduced delay).
+//
+// Topology maps to one thread per source and per stage; stage input buffers
+// are bounded queues; inter-node flows acquire wall-clock-paced tokens from
+// a shared per-(src,dst) throttle before a blocking push, so both bandwidth
+// limits and full buffers backpressure the sending thread exactly like a
+// blocking socket send. The control thread runs the identical QueueMonitor
+// / ParameterController code as the DES engine, on wall time.
+//
+// Use the SimEngine for experiments (deterministic, fast); use this engine
+// to demonstrate the middleware on live threads and in soak tests.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gates/common/clock.hpp"
+#include "gates/common/status.hpp"
+#include "gates/core/pipeline.hpp"
+#include "gates/core/report.hpp"
+#include "gates/net/message.hpp"
+#include "gates/net/topology.hpp"
+
+namespace gates::core {
+
+class RtEngine {
+ public:
+  struct Config {
+    /// Control loop period in wall seconds (experiments are short, so the
+    /// default is much tighter than the DES default).
+    Duration control_period = 0.05;
+    net::WireFormat wire;
+    std::uint64_t seed = 1;
+    bool adaptation_enabled = true;
+    /// Watchdog: a run not finished after this many wall seconds is force-
+    /// stopped and reported as incomplete.
+    Duration max_wall_time = 120;
+  };
+
+  RtEngine(PipelineSpec spec, Placement placement, HostModel hosts,
+           net::Topology topology, Config config);
+  ~RtEngine();
+  RtEngine(const RtEngine&) = delete;
+  RtEngine& operator=(const RtEngine&) = delete;
+
+  /// Runs to completion (all sources bounded) or the watchdog.
+  Status run();
+  /// Runs unbounded sources for `seconds` of wall time, then winds down.
+  Status run_for(Duration seconds);
+
+  const RunReport& report() const { return report_; }
+  StreamProcessor& processor(std::size_t stage_index);
+
+ private:
+  class StageWorker;
+  class SourceWorker;
+  struct ThrottleGate;
+
+  Status setup();
+  Status execute(Duration source_horizon);
+  void control_loop();
+  std::shared_ptr<ThrottleGate> gate_for_flow(NodeId from, NodeId to);
+
+  PipelineSpec spec_;
+  Placement placement_;
+  HostModel hosts_;
+  net::Topology topology_;
+  Config config_;
+
+  Rng root_rng_;
+  WallClock clock_;
+  std::vector<std::unique_ptr<StageWorker>> stages_;
+  std::vector<std::unique_ptr<SourceWorker>> sources_;
+  std::map<std::pair<NodeId, NodeId>, std::shared_ptr<ThrottleGate>> gates_;
+  bool setup_done_ = false;
+  RunReport report_;
+};
+
+}  // namespace gates::core

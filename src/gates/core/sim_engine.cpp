@@ -1,0 +1,684 @@
+#include "gates/core/sim_engine.hpp"
+
+#include <algorithm>
+
+#include "gates/common/check.hpp"
+#include "gates/common/log.hpp"
+
+namespace gates::core {
+
+// ---------------------------------------------------------------------------
+// MonitoredLink: a non-loopback link plus its queue monitor and the adaptive
+// stages that send on it (receivers of its load exceptions).
+// ---------------------------------------------------------------------------
+struct SimEngine::MonitoredLink {
+  net::SimLink* link = nullptr;
+  adapt::QueueMonitor monitor;
+  std::vector<StageRuntime*> senders;
+  RunningStats queue_samples;
+  std::uint64_t overload_sent = 0;
+  std::uint64_t underload_sent = 0;
+
+  explicit MonitoredLink(net::SimLink* l, adapt::QueueMonitorConfig cfg)
+      : link(l), monitor(cfg) {}
+
+  void add_sender(StageRuntime* s) {
+    if (s == nullptr) return;
+    if (std::find(senders.begin(), senders.end(), s) == senders.end()) {
+      senders.push_back(s);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// StageRuntime: one deployed stage. Implements the stage's network sink, the
+// processor's emitter and its middleware context.
+// ---------------------------------------------------------------------------
+class SimEngine::StageRuntime final : public net::MessageSink,
+                                      public Emitter,
+                                      public ProcessorContext {
+ public:
+  struct Route {
+    net::SimLink* link = nullptr;
+    StageRuntime* dest = nullptr;
+    std::size_t port = 0;
+  };
+
+  StageRuntime(SimEngine& engine, std::size_t index, const StageSpec& spec,
+               NodeId node, double cpu_factor, Rng rng)
+      : engine_(engine),
+        index_(index),
+        spec_(spec),
+        node_(node),
+        cpu_factor_(cpu_factor),
+        monitor_(spec.monitor),
+        rng_(rng) {
+    GATES_CHECK(cpu_factor_ > 0);
+    processor_ = spec_.factory();
+    GATES_CHECK_MSG(processor_ != nullptr,
+                    "factory for stage '" + spec_.name + "' returned null");
+  }
+
+  void init() {
+    in_init_ = true;
+    processor_->init(*this);
+    in_init_ = false;
+  }
+
+  // -- wiring (engine setup) -------------------------------------------------
+  void add_route(Route route) { routes_.push_back(route); }
+  void add_inbound_link(net::SimLink* link) {
+    if (std::find(inbound_links_.begin(), inbound_links_.end(), link) ==
+        inbound_links_.end()) {
+      inbound_links_.push_back(link);
+    }
+  }
+  void add_upstream(StageRuntime* stage) {
+    if (stage != nullptr &&
+        std::find(upstreams_.begin(), upstreams_.end(), stage) ==
+            upstreams_.end()) {
+      upstreams_.push_back(stage);
+    }
+  }
+  void set_eos_expected(std::size_t n) { eos_expected_ = n; }
+  NodeId node() const { return node_; }
+  /// Dynamic resource variation: subsequent services run at the new speed.
+  void set_cpu_factor(double factor) {
+    GATES_CHECK(factor > 0);
+    cpu_factor_ = factor;
+  }
+
+  /// Crashes this stage: discards its queue, refuses future deliveries, and
+  /// raises EOS downstream on its behalf (the middleware's failure
+  /// detection). Counts toward pipeline completion.
+  void fail() {
+    if (finished_ || failed_) return;
+    failed_ = true;
+    const std::size_t discarded = queue_.size();
+    queue_.clear();
+    packets_dropped_ += discarded;
+    for (net::SimLink* link : inbound_links_) link->notify_space();
+    for (const auto& route : routes_) {
+      Packet eos = Packet::eos(0, engine_.sim_.now());
+      net::SimMessage msg;
+      msg.wire_bytes = engine_.config_.wire.per_message_overhead;
+      msg.sink = route.dest;
+      msg.source_stage = static_cast<StageId>(index_);
+      msg.payload = std::move(eos);
+      route.link->send(std::move(msg));
+    }
+    finished_ = true;
+    GATES_LOG(kWarn, "sim-engine")
+        << "stage '" << spec_.name << "' failed at t=" << engine_.sim_.now();
+    engine_.on_stage_finished();
+  }
+  bool failed() const { return failed_; }
+
+  // -- net::MessageSink --------------------------------------------------------
+  bool try_deliver(net::SimMessage&& msg) override {
+    if (failed_) {
+      // A crashed host blackholes traffic; the sender's own backpressure
+      // and the EOS raised at failure time handle the rest.
+      ++packets_dropped_;
+      return true;
+    }
+    if (queue_.size() >= spec_.input_capacity) return false;
+    queue_.push_back(std::any_cast<Packet>(std::move(msg.payload)));
+    begin_service();
+    return true;
+  }
+
+  // -- Emitter -----------------------------------------------------------------
+  void emit(Packet packet, std::size_t port = 0) override {
+    ++packets_emitted_;
+    bool routed = false;
+    for (const auto& route : routes_) {
+      if (route.port != port) continue;
+      net::SimMessage msg;
+      msg.wire_bytes = engine_.config_.wire.wire_size(packet.payload_bytes(),
+                                                      packet.records);
+      msg.sink = route.dest;
+      msg.source_stage = static_cast<StageId>(index_);
+      msg.payload = packet;  // copy: the same packet may take several routes
+      if (!route.link->send(std::move(msg))) {
+        ++packets_dropped_;
+      }
+      routed = true;
+    }
+    if (!routed && !packet.is_eos()) {
+      ++packets_unrouted_;
+    }
+  }
+
+  // -- ProcessorContext ---------------------------------------------------------
+  AdjustmentParameter& specify_parameter(
+      AdjustmentParameter::Spec param_spec) override {
+    GATES_CHECK_MSG(in_init_, "specify_parameter must be called from init()");
+    params_.push_back(std::make_unique<AdjustmentParameter>(param_spec));
+    controllers_.push_back(std::make_unique<adapt::ParameterController>(
+        *params_.back(), spec_.controller));
+    return *params_.back();
+  }
+  const Properties& properties() const override { return spec_.properties; }
+  Rng& rng() override { return rng_; }
+  TimePoint now() const override { return engine_.sim_.now(); }
+  StageId stage_id() const override { return static_cast<StageId>(index_); }
+  const std::string& stage_name() const override { return spec_.name; }
+
+  // -- adaptation ---------------------------------------------------------------
+  /// Exception reported by a downstream server (stage monitor or outbound
+  /// link monitor).
+  void receive_downstream_exception(adapt::LoadSignal signal) {
+    ++exceptions_received_;
+    for (auto& controller : controllers_) {
+      controller->report_downstream_exception(signal);
+    }
+  }
+
+  /// One control period: observe own queue, report upstream, adjust params.
+  void control_step() {
+    if (failed_) return;
+    queue_samples_.add(static_cast<double>(queue_.size()));
+    const adapt::LoadSignal signal =
+        monitor_.observe(static_cast<double>(queue_.size()));
+    if (signal == adapt::LoadSignal::kOverload) ++overload_sent_;
+    if (signal == adapt::LoadSignal::kUnderload) ++underload_sent_;
+    if (signal != adapt::LoadSignal::kNone) {
+      for (StageRuntime* up : upstreams_) {
+        up->receive_downstream_exception(signal);
+      }
+    }
+    if (engine_.config_.adaptation_enabled) {
+      for (std::size_t i = 0; i < controllers_.size(); ++i) {
+        controllers_[i]->update(monitor_.normalized_dtilde_gated());
+        params_[i]->record(engine_.sim_.now());
+      }
+    } else {
+      for (auto& p : params_) p->record(engine_.sim_.now());
+    }
+  }
+
+  /// True while any outbound link's backlog exceeds the send buffer; the
+  /// stage stops consuming input (blocking-send semantics).
+  bool outbound_blocked() const {
+    for (const auto& route : routes_) {
+      if (route.link->backlog_seconds() >= spec_.send_buffer_seconds) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // -- service loop ---------------------------------------------------------------
+  void begin_service() {
+    if (busy_ || finished_ || queue_.empty()) return;
+    if (outbound_blocked()) {
+      ++blocked_events_;
+      return;  // resumed by the link's drain listener
+    }
+    busy_ = true;
+    Packet packet = std::move(queue_.front());
+    queue_.pop_front();
+    // Space freed: let stalled inbound links resume delivery.
+    for (net::SimLink* link : inbound_links_) link->notify_space();
+    const Duration service = spec_.cost.service_time(packet) / cpu_factor_;
+    busy_time_ += service;
+    auto shared = std::make_shared<Packet>(std::move(packet));
+    engine_.sim_.schedule_after(
+        service, [this, shared] { complete_service(std::move(*shared)); });
+  }
+
+  void complete_service(Packet packet) {
+    busy_ = false;
+    if (failed_) return;  // crashed while serving
+    if (packet.is_eos()) {
+      ++eos_received_;
+      if (eos_received_ >= eos_expected_ && !finished_) {
+        processor_->finish(*this);
+        for (const auto& route : routes_) {
+          Packet eos = Packet::eos(packet.stream, engine_.sim_.now());
+          net::SimMessage msg;
+          msg.wire_bytes = engine_.config_.wire.per_message_overhead;
+          msg.sink = route.dest;
+          msg.source_stage = static_cast<StageId>(index_);
+          msg.payload = std::move(eos);
+          route.link->send(std::move(msg));
+        }
+        finished_ = true;
+        engine_.on_stage_finished();
+        return;
+      }
+    } else {
+      ++packets_processed_;
+      records_processed_ += packet.records;
+      bytes_processed_ += packet.payload_bytes();
+      latency_.add(engine_.sim_.now() - packet.created_at);
+      processor_->process(packet, *this);
+    }
+    begin_service();
+  }
+
+  // -- reporting --------------------------------------------------------------------
+  StageReport build_report() const {
+    StageReport r;
+    r.name = spec_.name;
+    r.node = node_;
+    r.packets_processed = packets_processed_;
+    r.records_processed = records_processed_;
+    r.bytes_processed = bytes_processed_;
+    r.packets_emitted = packets_emitted_;
+    r.packets_dropped = packets_dropped_;
+    r.busy_time = busy_time_;
+    r.queue_length = queue_samples_;
+    r.packet_latency = latency_;
+    r.overload_exceptions_sent = overload_sent_;
+    r.underload_exceptions_sent = underload_sent_;
+    r.exceptions_received = exceptions_received_;
+    r.final_normalized_dtilde = monitor_.normalized_dtilde();
+    for (const auto& p : params_) {
+      r.parameter_trajectories.emplace_back(p->name(), p->trajectory());
+    }
+    return r;
+  }
+
+  StreamProcessor& processor() { return *processor_; }
+  bool finished() const { return finished_; }
+  const std::string& name() const { return spec_.name; }
+  double parameter_value(const std::string& pname) const {
+    for (const auto& p : params_) {
+      if (p->name() == pname) return p->suggested_value();
+    }
+    GATES_CHECK_MSG(false, "no parameter '" + pname + "' on stage '" +
+                               spec_.name + "'");
+    return 0;
+  }
+
+ private:
+  SimEngine& engine_;
+  std::size_t index_;
+  const StageSpec& spec_;
+  NodeId node_;
+  double cpu_factor_;
+
+  std::unique_ptr<StreamProcessor> processor_;
+  std::deque<Packet> queue_;
+  std::vector<net::SimLink*> inbound_links_;
+  std::vector<Route> routes_;
+  std::vector<StageRuntime*> upstreams_;
+
+  adapt::QueueMonitor monitor_;
+  std::vector<std::unique_ptr<AdjustmentParameter>> params_;
+  std::vector<std::unique_ptr<adapt::ParameterController>> controllers_;
+  Rng rng_;
+
+  bool in_init_ = false;
+  bool busy_ = false;
+  bool finished_ = false;
+  bool failed_ = false;
+  std::size_t eos_expected_ = 0;
+  std::size_t eos_received_ = 0;
+
+  std::uint64_t packets_processed_ = 0;
+  std::uint64_t records_processed_ = 0;
+  std::uint64_t bytes_processed_ = 0;
+  std::uint64_t packets_emitted_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_unrouted_ = 0;
+  std::uint64_t blocked_events_ = 0;
+  Duration busy_time_ = 0;
+  RunningStats queue_samples_;
+  RunningStats latency_;
+  std::uint64_t overload_sent_ = 0;
+  std::uint64_t underload_sent_ = 0;
+  std::uint64_t exceptions_received_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SourceRuntime: a data-stream source pinned to a node, feeding one stage.
+// ---------------------------------------------------------------------------
+class SimEngine::SourceRuntime {
+ public:
+  SourceRuntime(SimEngine& engine, const SourceSpec& spec,
+                StageRuntime* target, net::SimLink* link, Rng rng)
+      : engine_(engine), spec_(spec), target_(target), link_(link), rng_(rng) {}
+
+  void start() { schedule_next(0.0); }
+
+ private:
+  void schedule_next(Duration delay) {
+    engine_.sim_.schedule_after(delay, [this] { emit_one(); });
+  }
+
+  void emit_one() {
+    auto& sim = engine_.sim_;
+    Packet packet;
+    if (spec_.generator) {
+      packet = spec_.generator(seq_, rng_);
+    } else {
+      packet.payload.resize(spec_.packet_bytes);
+    }
+    packet.stream = spec_.stream;
+    packet.sequence = seq_;
+    packet.created_at = sim.now();
+    ++seq_;
+
+    net::SimMessage msg;
+    msg.wire_bytes =
+        engine_.config_.wire.wire_size(packet.payload_bytes(), packet.records);
+    msg.sink = target_;
+    msg.payload = std::move(packet);
+    link_->send(std::move(msg));
+
+    if (spec_.total_packets != 0 && seq_ >= spec_.total_packets) {
+      // End of stream: an EOS marker follows the last data packet FIFO.
+      net::SimMessage eos_msg;
+      eos_msg.wire_bytes = engine_.config_.wire.per_message_overhead;
+      eos_msg.sink = target_;
+      eos_msg.payload = Packet::eos(spec_.stream, sim.now());
+      link_->send(std::move(eos_msg));
+      return;
+    }
+    const Duration gap = spec_.poisson ? rng_.exponential(spec_.rate_hz)
+                                       : 1.0 / spec_.rate_hz;
+    schedule_next(gap);
+  }
+
+  SimEngine& engine_;
+  const SourceSpec& spec_;
+  StageRuntime* target_;
+  net::SimLink* link_;
+  Rng rng_;
+  std::uint64_t seq_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SimEngine
+// ---------------------------------------------------------------------------
+
+adapt::QueueMonitorConfig SimEngine::default_link_monitor() {
+  // Link monitors observe backlog in SECONDS (queued bytes / bandwidth), so
+  // thresholds are drain times: more than 5 s of queued data is an
+  // over-load observation, under half a second an under-load one.
+  adapt::QueueMonitorConfig cfg;
+  cfg.capacity = 120;
+  cfg.expected_length = 1;
+  cfg.over_threshold = 2.5;
+  cfg.under_threshold = 0.25;
+  cfg.window = 12;
+  cfg.alpha = 0.7;
+  cfg.p1 = 0.15;
+  cfg.p2 = 0.35;
+  cfg.p3 = 0.50;
+  cfg.lt1 = -0.10;
+  cfg.lt2 = +0.10;
+  cfg.dbar_window = 8;
+  return cfg;
+}
+
+SimEngine::SimEngine(PipelineSpec spec, Placement placement, HostModel hosts,
+                     net::Topology topology, Config config)
+    : spec_(std::move(spec)),
+      placement_(std::move(placement)),
+      hosts_(std::move(hosts)),
+      topology_(std::move(topology)),
+      config_(config),
+      root_rng_(config.seed) {}
+
+SimEngine::~SimEngine() = default;
+
+net::SimLink* SimEngine::link_for_flow(NodeId from, NodeId to) {
+  if (from == to) {
+    auto& slot = loopback_links_[to];
+    if (!slot) {
+      net::SimLink::Config cfg;
+      cfg.name = "loopback@" + std::to_string(to);
+      const auto spec = net::Topology::loopback();
+      cfg.bandwidth = spec.bandwidth;
+      cfg.latency = spec.latency;
+      slot = std::make_unique<net::SimLink>(sim_, cfg);
+    }
+    return slot.get();
+  }
+  if (auto shared = topology_.shared_ingress(to)) {
+    auto& slot = ingress_links_[to];
+    if (!slot) {
+      net::SimLink::Config cfg;
+      cfg.name = "ingress@" + std::to_string(to);
+      cfg.bandwidth = shared->bandwidth;
+      cfg.latency = shared->latency;
+      slot = std::make_unique<net::SimLink>(sim_, cfg);
+      monitored_links_.push_back(
+          std::make_unique<MonitoredLink>(slot.get(), config_.link_monitor));
+    }
+    return slot.get();
+  }
+  auto key = std::make_pair(from, to);
+  auto& slot = pair_links_[key];
+  if (!slot) {
+    const auto spec = topology_.between(from, to);
+    net::SimLink::Config cfg;
+    cfg.name = "link:" + std::to_string(from) + "->" + std::to_string(to);
+    cfg.bandwidth = spec.bandwidth;
+    cfg.latency = spec.latency;
+    slot = std::make_unique<net::SimLink>(sim_, cfg);
+    monitored_links_.push_back(
+        std::make_unique<MonitoredLink>(slot.get(), config_.link_monitor));
+  }
+  return slot.get();
+}
+
+Status SimEngine::setup() {
+  if (setup_done_) return Status::ok();
+  if (auto s = spec_.validate(); !s.is_ok()) return s;
+  if (placement_.stage_nodes.size() != spec_.stages.size()) {
+    return invalid_argument("placement covers " +
+                            std::to_string(placement_.stage_nodes.size()) +
+                            " stages but pipeline has " +
+                            std::to_string(spec_.stages.size()));
+  }
+  for (const auto& stage : spec_.stages) {
+    if (!stage.factory) {
+      return failed_precondition(
+          "stage '" + stage.name +
+          "' has no processor factory (deploy through gates::grid::Deployer "
+          "to resolve its URI, or set StageSpec::factory)");
+    }
+  }
+
+  // Instantiate stages.
+  for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
+    stages_.push_back(std::make_unique<StageRuntime>(
+        *this, i, spec_.stages[i], placement_.stage_nodes[i],
+        hosts_.at(placement_.stage_nodes[i]), root_rng_.fork(1000 + i)));
+  }
+
+  // Wire stage-to-stage edges.
+  for (const auto& edge : spec_.edges) {
+    const NodeId from = placement_.stage_nodes[edge.from_stage];
+    const NodeId to = placement_.stage_nodes[edge.to_stage];
+    net::SimLink* link = link_for_flow(from, to);
+    StageRuntime* sender = stages_[edge.from_stage].get();
+    stages_[edge.from_stage]->add_route(
+        {link, stages_[edge.to_stage].get(), edge.port});
+    stages_[edge.to_stage]->add_inbound_link(link);
+    stages_[edge.to_stage]->add_upstream(sender);
+    for (auto& ml : monitored_links_) {
+      if (ml->link == link) ml->add_sender(sender);
+    }
+    // Blocking-send resume: when the link drains, blocked senders retry.
+    link->add_drain_listener([sender] { sender->begin_service(); });
+  }
+
+  // Wire sources.
+  for (std::size_t i = 0; i < spec_.sources.size(); ++i) {
+    const auto& src = spec_.sources[i];
+    StageRuntime* target = stages_[src.target_stage].get();
+    net::SimLink* link =
+        link_for_flow(src.location, placement_.stage_nodes[src.target_stage]);
+    target->add_inbound_link(link);
+    sources_.push_back(std::make_unique<SourceRuntime>(
+        *this, src, target, link, root_rng_.fork(i)));
+  }
+
+  // EOS bookkeeping.
+  for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
+    stages_[i]->set_eos_expected(spec_.fan_in(i));
+  }
+
+  // Initialize processors (parameters get registered here).
+  for (auto& stage : stages_) stage->init();
+
+  // Dynamic resource variation events.
+  for (const auto& change : cpu_changes_) {
+    sim_.schedule_at(change.time, [this, change] {
+      for (auto& stage : stages_) {
+        if (stage->node() == change.node) stage->set_cpu_factor(change.factor);
+      }
+      GATES_LOG(kInfo, "sim-engine")
+          << "node " << change.node << " cpu factor -> " << change.factor;
+    });
+  }
+  for (const auto& change : bandwidth_changes_) {
+    // Resolve (or create) the link now so the event is cheap and the change
+    // also applies when the flow has not carried traffic yet.
+    net::SimLink* link = link_for_flow(change.from, change.to);
+    sim_.schedule_at(change.time, [link, change] {
+      link->set_bandwidth(change.bandwidth);
+      GATES_LOG(kInfo, "sim-engine")
+          << "flow " << change.from << "->" << change.to << " bandwidth -> "
+          << change.bandwidth;
+    });
+  }
+
+  for (const auto& failure : node_failures_) {
+    sim_.schedule_at(failure.time, [this, failure] {
+      for (auto& stage : stages_) {
+        if (stage->node() == failure.node) stage->fail();
+      }
+    });
+  }
+
+  // Start sources and the control loop.
+  for (auto& source : sources_) source->start();
+  control_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.control_period, [this] {
+        control_tick();
+        return !completed_;
+      });
+
+  setup_done_ = true;
+  return Status::ok();
+}
+
+void SimEngine::control_tick() {
+  // Links first: network pressure reaches the sending stages in the same
+  // period as stage-queue pressure.
+  for (auto& ml : monitored_links_) {
+    const double d = ml->link->backlog_seconds();
+    ml->queue_samples.add(d);
+    adapt::LoadSignal signal = ml->monitor.observe(d);
+    // A stalled link is empty only because its receiver refuses delivery;
+    // that is not spare capacity, so it must not solicit more data.
+    if (signal == adapt::LoadSignal::kUnderload && ml->link->stalled()) {
+      signal = adapt::LoadSignal::kNone;
+    }
+    if (signal == adapt::LoadSignal::kOverload) ++ml->overload_sent;
+    if (signal == adapt::LoadSignal::kUnderload) ++ml->underload_sent;
+    if (signal != adapt::LoadSignal::kNone) {
+      for (StageRuntime* sender : ml->senders) {
+        sender->receive_downstream_exception(signal);
+      }
+    }
+  }
+  for (auto& stage : stages_) stage->control_step();
+}
+
+void SimEngine::on_stage_finished() {
+  ++finished_stages_;
+  if (finished_stages_ == stages_.size()) {
+    completed_ = true;
+    completion_time_ = sim_.now();
+    sim_.stop();
+  }
+}
+
+Status SimEngine::run() {
+  if (auto s = setup(); !s.is_ok()) return s;
+  sim_.run_until(config_.max_time);
+  finalize_report(completed_);
+  return Status::ok();
+}
+
+Status SimEngine::run_for(Duration horizon) {
+  if (auto s = setup(); !s.is_ok()) return s;
+  sim_.run_until(horizon);
+  finalize_report(completed_);
+  return Status::ok();
+}
+
+void SimEngine::finalize_report(bool completed) {
+  report_ = RunReport{};
+  report_.completed = completed;
+  report_.execution_time = completed ? completion_time_ : sim_.now();
+  report_.events_executed = sim_.events_executed();
+  for (const auto& stage : stages_) {
+    report_.stages.push_back(stage->build_report());
+  }
+  auto add_link_report = [&](const net::SimLink& link, const MonitoredLink* ml) {
+    LinkReport r;
+    r.name = link.config().name;
+    r.messages_delivered = link.stats().messages_delivered;
+    r.bytes_delivered = link.stats().bytes_delivered;
+    r.utilization = link.utilization();
+    r.stalled_time = link.stats().stalled_time;
+    if (ml != nullptr) {
+      r.queue_length = ml->queue_samples;
+      r.overload_exceptions_sent = ml->overload_sent;
+      r.underload_exceptions_sent = ml->underload_sent;
+    }
+    report_.links.push_back(std::move(r));
+  };
+  auto monitored_for = [&](const net::SimLink* link) -> const MonitoredLink* {
+    for (const auto& ml : monitored_links_) {
+      if (ml->link == link) return ml.get();
+    }
+    return nullptr;
+  };
+  for (const auto& [node, link] : ingress_links_) {
+    add_link_report(*link, monitored_for(link.get()));
+  }
+  for (const auto& [key, link] : pair_links_) {
+    add_link_report(*link, monitored_for(link.get()));
+  }
+}
+
+StreamProcessor& SimEngine::processor(std::size_t stage_index) {
+  GATES_CHECK(stage_index < stages_.size());
+  return stages_[stage_index]->processor();
+}
+
+void SimEngine::schedule_cpu_change(NodeId node, TimePoint t, double factor) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_cpu_change must precede run()");
+  GATES_CHECK(factor > 0);
+  cpu_changes_.push_back({node, t, factor});
+}
+
+void SimEngine::schedule_bandwidth_change(NodeId from, NodeId to, TimePoint t,
+                                          Bandwidth bandwidth) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_bandwidth_change must precede run()");
+  GATES_CHECK(bandwidth > 0);
+  bandwidth_changes_.push_back({from, to, t, bandwidth});
+}
+
+void SimEngine::schedule_node_failure(NodeId node, TimePoint t) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_node_failure must precede run()");
+  node_failures_.push_back({node, t});
+}
+
+double SimEngine::parameter_value(std::size_t stage_index,
+                                  const std::string& name) const {
+  GATES_CHECK(stage_index < stages_.size());
+  return stages_[stage_index]->parameter_value(name);
+}
+
+}  // namespace gates::core

@@ -1,0 +1,142 @@
+// Discrete-event engine: runs a deployed pipeline on simulated hosts and
+// links, with the Section-4 self-adaptation loop driving adjustment
+// parameters every control period.
+//
+// Determinism: a run is a pure function of (PipelineSpec, Placement,
+// HostModel, Topology, Config) — all stochastic choices flow from
+// Config::seed through per-component forked Rngs, and the DES kernel breaks
+// event-time ties by scheduling order.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gates/common/status.hpp"
+#include "gates/core/pipeline.hpp"
+#include "gates/core/report.hpp"
+#include "gates/net/link.hpp"
+#include "gates/net/message.hpp"
+#include "gates/net/topology.hpp"
+#include "gates/sim/simulation.hpp"
+
+namespace gates::core {
+
+class SimEngine {
+ public:
+  struct Config {
+    /// Period of the adaptation control loop (queue observation, exception
+    /// reporting, parameter adjustment).
+    Duration control_period = 1.0;
+    /// Wire-overhead model applied to every emitted packet.
+    net::WireFormat wire;
+    /// Safety horizon for run(): a run that has not completed by this
+    /// virtual time reports completed = false.
+    Duration max_time = 1e7;
+    std::uint64_t seed = 1;
+    /// Disables parameter adjustment (monitors still run) — the fixed
+    /// versions of the paper's experiments.
+    bool adaptation_enabled = true;
+    /// Monitor template applied to every inter-node link's outbound queue.
+    adapt::QueueMonitorConfig link_monitor = default_link_monitor();
+  };
+
+  static adapt::QueueMonitorConfig default_link_monitor();
+
+  SimEngine(PipelineSpec spec, Placement placement, HostModel hosts,
+            net::Topology topology, Config config);
+  ~SimEngine();
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Runs until every stage has seen EOS on all inputs (bounded sources) or
+  /// the safety horizon. Returns an error status for invalid pipelines.
+  Status run();
+
+  /// Runs until the given virtual time; used with unbounded sources
+  /// (trajectory experiments, Figs. 8-9).
+  Status run_for(Duration horizon);
+
+  const RunReport& report() const { return report_; }
+
+  /// The live processor of a stage, for reading application results after a
+  /// run (e.g. the merged top-k at the sink).
+  StreamProcessor& processor(std::size_t stage_index);
+
+  /// Current suggested value of a named parameter on a stage (tests).
+  double parameter_value(std::size_t stage_index, const std::string& name) const;
+
+  // -- dynamic resource variation (call before run()/run_for()) -------------
+  /// At virtual time `t`, changes the CPU factor of every stage hosted on
+  /// `node` (subsequent services use the new speed).
+  void schedule_cpu_change(NodeId node, TimePoint t, double factor);
+  /// At virtual time `t`, changes the bandwidth of the flow from -> to:
+  /// the shared ingress of `to` when one exists, else the dedicated pair
+  /// link. Subsequent transmissions use the new rate.
+  void schedule_bandwidth_change(NodeId from, NodeId to, TimePoint t,
+                                 Bandwidth bandwidth);
+  /// At virtual time `t`, crashes every stage hosted on `node`: queued and
+  /// future packets are discarded and, as the failure becomes known, EOS is
+  /// raised on the dead stages' behalf so the rest of the pipeline can
+  /// still complete with whatever data reached it (count-samps degrades
+  /// gracefully: the sink keeps each stream's last shipped summary).
+  void schedule_node_failure(NodeId node, TimePoint t);
+
+  sim::Simulation& simulation() { return sim_; }
+
+ private:
+  class StageRuntime;
+  class SourceRuntime;
+  struct MonitoredLink;
+
+  Status setup();
+  net::SimLink* link_for_flow(NodeId from, NodeId to);
+  void control_tick();
+  void on_stage_finished();
+  void finalize_report(bool completed);
+
+  PipelineSpec spec_;
+  Placement placement_;
+  HostModel hosts_;
+  net::Topology topology_;
+  Config config_;
+
+  sim::Simulation sim_;
+  Rng root_rng_;
+  std::vector<std::unique_ptr<StageRuntime>> stages_;
+  std::vector<std::unique_ptr<SourceRuntime>> sources_;
+  /// Dedicated links per (src,dst) node pair, shared-ingress links per dst
+  /// node, loopbacks per node.
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<net::SimLink>> pair_links_;
+  std::map<NodeId, std::unique_ptr<net::SimLink>> ingress_links_;
+  std::map<NodeId, std::unique_ptr<net::SimLink>> loopback_links_;
+  std::vector<std::unique_ptr<MonitoredLink>> monitored_links_;
+  std::unique_ptr<sim::PeriodicTask> control_task_;
+
+  struct CpuChange {
+    NodeId node;
+    TimePoint time;
+    double factor;
+  };
+  struct BandwidthChange {
+    NodeId from;
+    NodeId to;
+    TimePoint time;
+    Bandwidth bandwidth;
+  };
+  struct NodeFailure {
+    NodeId node;
+    TimePoint time;
+  };
+  std::vector<CpuChange> cpu_changes_;
+  std::vector<BandwidthChange> bandwidth_changes_;
+  std::vector<NodeFailure> node_failures_;
+
+  std::size_t finished_stages_ = 0;
+  bool completed_ = false;
+  TimePoint completion_time_ = 0;
+  bool setup_done_ = false;
+  RunReport report_;
+};
+
+}  // namespace gates::core

@@ -1,0 +1,315 @@
+#include "gates/grid/app_config.hpp"
+
+#include <map>
+
+#include "gates/common/string_util.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates::grid {
+namespace {
+
+Status attr_double(const xml::Element& e, std::string_view key, double& out) {
+  auto v = e.attr(key);
+  if (!v) return Status::ok();  // keep default
+  if (!parse_double(*v, out)) {
+    return invalid_argument("attribute '" + std::string(key) + "' of <" +
+                            e.name() + "> is not a number: '" + *v + "'");
+  }
+  return Status::ok();
+}
+
+Status attr_int(const xml::Element& e, std::string_view key, long long& out) {
+  auto v = e.attr(key);
+  if (!v) return Status::ok();
+  if (!parse_int(*v, out)) {
+    return invalid_argument("attribute '" + std::string(key) + "' of <" +
+                            e.name() + "> is not an integer: '" + *v + "'");
+  }
+  return Status::ok();
+}
+
+Status parse_params(const xml::Element& parent, Properties& props) {
+  for (const xml::Element* p : parent.children_named("param")) {
+    auto name = p->required_attr("name");
+    if (!name.ok()) return name.status();
+    auto value = p->required_attr("value");
+    if (!value.ok()) return value.status();
+    props.set(std::move(*name), std::move(*value));
+  }
+  return Status::ok();
+}
+
+Status parse_stage(const xml::Element& e, core::StageSpec& stage) {
+  auto name = e.required_attr("name");
+  if (!name.ok()) return name.status();
+  stage.name = *name;
+
+  auto code = e.required_attr("code");
+  if (!code.ok()) return code.status();
+  stage.processor_uri = *code;
+
+  long long capacity = static_cast<long long>(stage.input_capacity);
+  if (auto s = attr_int(e, "capacity", capacity); !s.is_ok()) return s;
+  if (capacity <= 0) {
+    return invalid_argument("stage '" + stage.name + "' capacity must be > 0");
+  }
+  stage.input_capacity = static_cast<std::size_t>(capacity);
+  // Keep the monitor's normalization consistent with the actual buffer.
+  stage.monitor.capacity = static_cast<double>(capacity);
+
+  if (const xml::Element* req = e.child("requirement")) {
+    if (auto s = attr_double(*req, "min-cpu", stage.requirement.min_cpu_factor);
+        !s.is_ok())
+      return s;
+    if (auto s =
+            attr_double(*req, "min-memory-mb", stage.requirement.min_memory_mb);
+        !s.is_ok())
+      return s;
+  }
+  if (const xml::Element* cost = e.child("cost")) {
+    if (auto s = attr_double(*cost, "per-packet", stage.cost.per_packet_seconds);
+        !s.is_ok())
+      return s;
+    if (auto s = attr_double(*cost, "per-byte", stage.cost.per_byte_seconds);
+        !s.is_ok())
+      return s;
+    if (auto s = attr_double(*cost, "per-record", stage.cost.per_record_seconds);
+        !s.is_ok())
+      return s;
+  }
+  if (const xml::Element* placement = e.child("placement")) {
+    long long node = -1;
+    if (auto s = attr_int(*placement, "node", node); !s.is_ok()) return s;
+    if (node >= 0) stage.placement_hint = static_cast<NodeId>(node);
+  }
+  if (const xml::Element* mon = e.child("monitor")) {
+    auto& m = stage.monitor;
+    long long window = m.window;
+    std::map<std::string_view, double*> doubles = {
+        {"capacity", &m.capacity},   {"expected", &m.expected_length},
+        {"over", &m.over_threshold}, {"under", &m.under_threshold},
+        {"alpha", &m.alpha},         {"p1", &m.p1},
+        {"p2", &m.p2},               {"p3", &m.p3},
+        {"lt1", &m.lt1},             {"lt2", &m.lt2},
+    };
+    for (auto& [key, slot] : doubles) {
+      if (auto s = attr_double(*mon, key, *slot); !s.is_ok()) return s;
+    }
+    if (auto s = attr_int(*mon, "window", window); !s.is_ok()) return s;
+    m.window = static_cast<int>(window);
+  }
+  if (const xml::Element* ctl = e.child("controller")) {
+    auto& c = stage.controller;
+    if (auto s = attr_double(*ctl, "gain", c.gain); !s.is_ok()) return s;
+    if (auto s = attr_double(*ctl, "variability", c.variability_weight);
+        !s.is_ok())
+      return s;
+    if (auto s = attr_double(*ctl, "decay", c.exception_decay); !s.is_ok())
+      return s;
+  }
+  return parse_params(e, stage.properties);
+}
+
+}  // namespace
+
+StatusOr<AppConfig> parse_app_config(const std::string& xml_text,
+                                     const GeneratorRegistry& generators) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.ok()) return doc.status();
+  const xml::Element& root = *doc->root;
+  if (root.name() != "application") {
+    return invalid_argument("config root element must be <application>, got <" +
+                            root.name() + ">");
+  }
+
+  AppConfig config;
+  config.application_name = root.attr_or("name", "unnamed");
+  config.pipeline.name = config.application_name;
+
+  const xml::Element* stages_el = root.child("stages");
+  if (stages_el == nullptr || stages_el->children_named("stage").empty()) {
+    return invalid_argument("config has no <stages>/<stage> entries");
+  }
+  std::map<std::string, std::size_t> stage_index;
+  for (const xml::Element* se : stages_el->children_named("stage")) {
+    core::StageSpec stage;
+    if (auto s = parse_stage(*se, stage); !s.is_ok()) return s;
+    if (stage_index.count(stage.name)) {
+      return invalid_argument("duplicate stage name '" + stage.name + "'");
+    }
+    stage_index[stage.name] = config.pipeline.stages.size();
+    config.pipeline.stages.push_back(std::move(stage));
+  }
+
+  if (const xml::Element* edges_el = root.child("edges")) {
+    for (const xml::Element* ee : edges_el->children_named("edge")) {
+      auto from = ee->required_attr("from");
+      if (!from.ok()) return from.status();
+      auto to = ee->required_attr("to");
+      if (!to.ok()) return to.status();
+      if (!stage_index.count(*from)) {
+        return invalid_argument("edge references unknown stage '" + *from + "'");
+      }
+      if (!stage_index.count(*to)) {
+        return invalid_argument("edge references unknown stage '" + *to + "'");
+      }
+      long long port = 0;
+      if (auto s = attr_int(*ee, "port", port); !s.is_ok()) return s;
+      config.pipeline.edges.push_back(
+          {stage_index[*from], stage_index[*to], static_cast<std::size_t>(port)});
+    }
+  }
+
+  const xml::Element* sources_el = root.child("sources");
+  if (sources_el == nullptr || sources_el->children_named("source").empty()) {
+    return invalid_argument("config has no <sources>/<source> entries");
+  }
+  for (const xml::Element* se : sources_el->children_named("source")) {
+    core::SourceSpec src;
+    src.name = se->attr_or("name", "source");
+    auto target = se->required_attr("target");
+    if (!target.ok()) return target.status();
+    if (!stage_index.count(*target)) {
+      return invalid_argument("source '" + src.name +
+                              "' targets unknown stage '" + *target + "'");
+    }
+    src.target_stage = stage_index[*target];
+
+    long long stream = 0, count = 0, bytes = 64, node = 0;
+    if (auto s = attr_int(*se, "stream", stream); !s.is_ok()) return s;
+    if (auto s = attr_int(*se, "count", count); !s.is_ok()) return s;
+    if (auto s = attr_int(*se, "bytes", bytes); !s.is_ok()) return s;
+    if (auto s = attr_int(*se, "node", node); !s.is_ok()) return s;
+    if (auto s = attr_double(*se, "rate", src.rate_hz); !s.is_ok()) return s;
+    src.stream = static_cast<StreamId>(stream);
+    src.total_packets = static_cast<std::uint64_t>(count);
+    src.packet_bytes = static_cast<std::size_t>(bytes);
+    src.location = static_cast<NodeId>(node);
+    if (auto p = se->attr("poisson")) {
+      if (!parse_bool(*p, src.poisson)) {
+        return invalid_argument("source '" + src.name +
+                                "' has non-boolean poisson attribute");
+      }
+    }
+    if (auto type = se->attr("type")) {
+      Properties props;
+      if (auto s = parse_params(*se, props); !s.is_ok()) return s;
+      auto gen = generators.make(*type, props);
+      if (!gen.ok()) return gen.status();
+      src.generator = std::move(*gen);
+      src.generator_type = *type;
+      src.generator_properties = std::move(props);
+    }
+    config.pipeline.sources.push_back(std::move(src));
+  }
+
+  if (auto s = config.pipeline.validate(); !s.is_ok()) return s;
+  return config;
+}
+
+namespace {
+
+std::string format_double(double v) {
+  // %.12g keeps tiny cost coefficients (e.g. 5e-7 s/byte) exact while
+  // staying readable for round numbers.
+  return str_format("%.12g", v);
+}
+
+void write_params(xml::Element& parent, const Properties& props) {
+  for (const auto& [key, value] : props.all()) {
+    xml::Element& param = parent.add_child("param");
+    param.set_attr("name", key);
+    param.set_attr("value", value);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> write_app_config(const AppConfig& config) {
+  const core::PipelineSpec& pipeline = config.pipeline;
+  xml::Document doc;
+  doc.root = std::make_unique<xml::Element>("application");
+  xml::Element& root = *doc.root;
+  root.set_attr("name", config.application_name);
+
+  xml::Element& stages = root.add_child("stages");
+  for (const auto& stage : pipeline.stages) {
+    if (stage.processor_uri.empty()) {
+      return failed_precondition(
+          "stage '" + stage.name +
+          "' has no processor URI; factories cannot be serialized");
+    }
+    xml::Element& se = stages.add_child("stage");
+    se.set_attr("name", stage.name);
+    se.set_attr("code", stage.processor_uri);
+    se.set_attr("capacity", std::to_string(stage.input_capacity));
+    if (stage.requirement.min_cpu_factor > 0 ||
+        stage.requirement.min_memory_mb > 0) {
+      xml::Element& req = se.add_child("requirement");
+      req.set_attr("min-cpu", format_double(stage.requirement.min_cpu_factor));
+      req.set_attr("min-memory-mb",
+                   format_double(stage.requirement.min_memory_mb));
+    }
+    if (stage.cost.per_packet_seconds > 0 || stage.cost.per_byte_seconds > 0 ||
+        stage.cost.per_record_seconds > 0) {
+      xml::Element& cost = se.add_child("cost");
+      cost.set_attr("per-packet", format_double(stage.cost.per_packet_seconds));
+      cost.set_attr("per-byte", format_double(stage.cost.per_byte_seconds));
+      cost.set_attr("per-record",
+                    format_double(stage.cost.per_record_seconds));
+    }
+    if (stage.placement_hint != kInvalidNode) {
+      se.add_child("placement")
+          .set_attr("node", std::to_string(stage.placement_hint));
+    }
+    xml::Element& mon = se.add_child("monitor");
+    mon.set_attr("capacity", format_double(stage.monitor.capacity));
+    mon.set_attr("expected", format_double(stage.monitor.expected_length));
+    mon.set_attr("over", format_double(stage.monitor.over_threshold));
+    mon.set_attr("under", format_double(stage.monitor.under_threshold));
+    mon.set_attr("window", std::to_string(stage.monitor.window));
+    mon.set_attr("alpha", format_double(stage.monitor.alpha));
+    mon.set_attr("p1", format_double(stage.monitor.p1));
+    mon.set_attr("p2", format_double(stage.monitor.p2));
+    mon.set_attr("p3", format_double(stage.monitor.p3));
+    mon.set_attr("lt1", format_double(stage.monitor.lt1));
+    mon.set_attr("lt2", format_double(stage.monitor.lt2));
+    xml::Element& ctl = se.add_child("controller");
+    ctl.set_attr("gain", format_double(stage.controller.gain));
+    ctl.set_attr("variability",
+                 format_double(stage.controller.variability_weight));
+    ctl.set_attr("decay", format_double(stage.controller.exception_decay));
+    write_params(se, stage.properties);
+  }
+
+  if (!pipeline.edges.empty()) {
+    xml::Element& edges = root.add_child("edges");
+    for (const auto& edge : pipeline.edges) {
+      xml::Element& ee = edges.add_child("edge");
+      ee.set_attr("from", pipeline.stages[edge.from_stage].name);
+      ee.set_attr("to", pipeline.stages[edge.to_stage].name);
+      ee.set_attr("port", std::to_string(edge.port));
+    }
+  }
+
+  xml::Element& sources = root.add_child("sources");
+  for (const auto& src : pipeline.sources) {
+    xml::Element& se = sources.add_child("source");
+    se.set_attr("name", src.name);
+    se.set_attr("stream", std::to_string(src.stream));
+    se.set_attr("rate", format_double(src.rate_hz));
+    se.set_attr("count", std::to_string(src.total_packets));
+    se.set_attr("bytes", std::to_string(src.packet_bytes));
+    se.set_attr("target", pipeline.stages[src.target_stage].name);
+    se.set_attr("node", std::to_string(src.location));
+    if (src.poisson) se.set_attr("poisson", "true");
+    if (!src.generator_type.empty()) {
+      se.set_attr("type", src.generator_type);
+      write_params(se, src.generator_properties);
+    }
+  }
+
+  return xml::write(doc);
+}
+
+}  // namespace gates::grid

@@ -1,0 +1,57 @@
+// Application configuration files.
+//
+// The paper's developer "writes an XML file, specifying the configuration
+// information of an application ... the number of stages and where the
+// stages' codes are" (§3.2). This module parses that file into a
+// core::PipelineSpec. Schema (all sections required unless noted):
+//
+//   <application name="...">
+//     <stages>
+//       <stage name="..." code="builtin://..." capacity="200">
+//         <requirement min-cpu="0.5" min-memory-mb="128"/>   (optional)
+//         <cost per-packet="1e-5" per-byte="0" per-record="0"/> (optional)
+//         <param name="..." value="..."/>                     (repeatable)
+//         <placement node="2"/>                               (optional pin)
+//         <monitor capacity="200" expected="20" over="40" under="8"
+//                  window="12" alpha="0.7" p1="0.15" p2="0.35" p3="0.5"
+//                  lt1="-0.1" lt2="0.1"/>                     (optional)
+//         <controller gain="0.05" variability="2.0" decay="0.7"/> (optional)
+//       </stage>
+//     </stages>
+//     <edges>                                                 (optional)
+//       <edge from="stageA" to="stageB" port="0"/>
+//     </edges>
+//     <sources>
+//       <source name="s0" stream="0" rate="100" count="25000" bytes="64"
+//               target="stageA" node="1" type="zipf-u64" poisson="false">
+//         <param name="universe" value="10000"/>
+//       </source>
+//     </sources>
+//   </application>
+#pragma once
+
+#include <string>
+
+#include "gates/common/status.hpp"
+#include "gates/core/pipeline.hpp"
+#include "gates/grid/registry.hpp"
+
+namespace gates::grid {
+
+struct AppConfig {
+  std::string application_name;
+  core::PipelineSpec pipeline;
+};
+
+/// Parses an application configuration document. Source generators are
+/// built through `generators` from each <source type="...">.
+StatusOr<AppConfig> parse_app_config(const std::string& xml_text,
+                                     const GeneratorRegistry& generators);
+
+/// Serializes a configuration back to XML. Stage factories are not
+/// serializable — every stage must carry a processor_uri — and sources
+/// built from hand-written closures (no generator_type) round-trip as
+/// plain `bytes`-sized zero payloads.
+StatusOr<std::string> write_app_config(const AppConfig& config);
+
+}  // namespace gates::grid

@@ -1,0 +1,56 @@
+#include "gates/grid/container.hpp"
+
+namespace gates::grid {
+
+const char* service_state_name(GatesServiceInstance::State state) {
+  switch (state) {
+    case GatesServiceInstance::State::kCreated: return "CREATED";
+    case GatesServiceInstance::State::kCustomized: return "CUSTOMIZED";
+    case GatesServiceInstance::State::kRunning: return "RUNNING";
+    case GatesServiceInstance::State::kStopped: return "STOPPED";
+  }
+  return "?";
+}
+
+Status GatesServiceInstance::upload_code(core::ProcessorFactory factory) {
+  if (state_ != State::kCreated) {
+    return failed_precondition("instance for stage '" + stage_name_ +
+                               "' is in state " + service_state_name(state_) +
+                               ", expected CREATED");
+  }
+  if (!factory) {
+    return invalid_argument("null stage code uploaded to instance for '" +
+                            stage_name_ + "'");
+  }
+  factory_ = std::move(factory);
+  state_ = State::kCustomized;
+  return Status::ok();
+}
+
+StatusOr<std::unique_ptr<core::StreamProcessor>>
+GatesServiceInstance::instantiate() {
+  if (state_ != State::kCustomized) {
+    return failed_precondition("instance for stage '" + stage_name_ +
+                               "' is in state " + service_state_name(state_) +
+                               ", expected CUSTOMIZED");
+  }
+  auto processor = factory_();
+  if (processor == nullptr) {
+    return internal_error("stage code for '" + stage_name_ +
+                          "' produced a null processor");
+  }
+  state_ = State::kRunning;
+  return processor;
+}
+
+GatesServiceInstance& ServiceContainer::create_instance(std::string stage_name) {
+  instances_.push_back(
+      std::make_unique<GatesServiceInstance>(std::move(stage_name), node_));
+  return *instances_.back();
+}
+
+void ServiceContainer::stop_all() {
+  for (auto& instance : instances_) instance->stop();
+}
+
+}  // namespace gates::grid

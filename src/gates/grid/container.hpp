@@ -1,0 +1,75 @@
+// Service containers — the OGSA grid-service hosting environment.
+//
+// "The Deployer ... initiates instances of GATES grid services at the
+// nodes, retrieves the stage codes from the application repositories, and
+// uploads the stage specific codes to every instance, thereby customizing
+// it" (paper §3.2). A ServiceContainer lives on each grid node; the
+// Deployer creates one GatesServiceInstance per placed stage and uploads
+// the resolved factory into it. Engines then instantiate the processor
+// through the instance, which enforces the lifecycle.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gates/common/status.hpp"
+#include "gates/common/types.hpp"
+#include "gates/core/processor.hpp"
+
+namespace gates::grid {
+
+class GatesServiceInstance {
+ public:
+  enum class State {
+    kCreated,     // instance exists, no code yet
+    kCustomized,  // stage code uploaded
+    kRunning,     // processor instantiated by an engine
+    kStopped,
+  };
+
+  GatesServiceInstance(std::string stage_name, NodeId node)
+      : stage_name_(std::move(stage_name)), node_(node) {}
+
+  const std::string& stage_name() const { return stage_name_; }
+  NodeId node() const { return node_; }
+  State state() const { return state_; }
+
+  /// Deployment step 5: customize the instance with stage code.
+  Status upload_code(core::ProcessorFactory factory);
+
+  /// Engine-side: builds the processor; legal only after upload_code.
+  StatusOr<std::unique_ptr<core::StreamProcessor>> instantiate();
+
+  void stop() { state_ = State::kStopped; }
+
+ private:
+  std::string stage_name_;
+  NodeId node_;
+  State state_ = State::kCreated;
+  core::ProcessorFactory factory_;
+};
+
+const char* service_state_name(GatesServiceInstance::State state);
+
+/// Per-node container of service instances.
+class ServiceContainer {
+ public:
+  explicit ServiceContainer(NodeId node) : node_(node) {}
+
+  NodeId node() const { return node_; }
+
+  GatesServiceInstance& create_instance(std::string stage_name);
+  const std::vector<std::unique_ptr<GatesServiceInstance>>& instances() const {
+    return instances_;
+  }
+  std::size_t instance_count() const { return instances_.size(); }
+
+  void stop_all();
+
+ private:
+  NodeId node_;
+  std::vector<std::unique_ptr<GatesServiceInstance>> instances_;
+};
+
+}  // namespace gates::grid

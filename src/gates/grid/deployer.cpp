@@ -1,0 +1,122 @@
+#include "gates/grid/deployer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "gates/common/log.hpp"
+
+namespace gates::grid {
+
+StatusOr<NodeId> Deployer::place_stage(
+    const core::PipelineSpec& spec, std::size_t stage_index,
+    const std::vector<std::size_t>& load,
+    std::vector<std::string>& decisions) const {
+  const core::StageSpec& stage = spec.stages[stage_index];
+
+  // Pinned placement.
+  if (stage.placement_hint != kInvalidNode) {
+    if (!directory_.satisfies(stage.placement_hint, stage.requirement)) {
+      return failed_precondition(
+          "stage '" + stage.name + "' is pinned to node " +
+          std::to_string(stage.placement_hint) +
+          ", which is unavailable or does not meet its requirement");
+    }
+    decisions.push_back("stage '" + stage.name + "' pinned to node " +
+                        std::to_string(stage.placement_hint));
+    return stage.placement_hint;
+  }
+
+  // Near-source placement for first stages.
+  for (const auto& src : spec.sources) {
+    if (src.target_stage == stage_index &&
+        directory_.satisfies(src.location, stage.requirement)) {
+      decisions.push_back("stage '" + stage.name + "' placed near source '" +
+                          src.name + "' on node " + std::to_string(src.location));
+      return src.location;
+    }
+  }
+
+  // Least-loaded qualifying node.
+  const std::vector<NodeId> candidates = directory_.query(stage.requirement);
+  if (candidates.empty()) {
+    return resource_exhausted("no grid node satisfies the requirement of stage '" +
+                              stage.name + "' (min cpu " +
+                              std::to_string(stage.requirement.min_cpu_factor) +
+                              ", min memory " +
+                              std::to_string(stage.requirement.min_memory_mb) +
+                              " MB)");
+  }
+  NodeId best = candidates.front();
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (NodeId candidate : candidates) {
+    const std::size_t node_load =
+        candidate < load.size() ? load[candidate] : 0;
+    if (node_load < best_load) {
+      best = candidate;
+      best_load = node_load;
+    }
+  }
+  decisions.push_back("stage '" + stage.name + "' placed on least-loaded node " +
+                      std::to_string(best));
+  return best;
+}
+
+StatusOr<Deployment> Deployer::deploy(core::PipelineSpec& spec) {
+  if (auto s = spec.validate(); !s.is_ok()) return s;
+  if (directory_.size() == 0) {
+    return failed_precondition("resource directory has no registered nodes");
+  }
+
+  Deployment deployment;
+  deployment.placement.stage_nodes.resize(spec.stages.size(), kInvalidNode);
+  deployment.hosts = directory_.host_model();
+  deployment.instances.resize(spec.stages.size(), nullptr);
+
+  // Step 2: placement via the resource directory.
+  std::vector<std::size_t> load(directory_.size(), 0);
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    auto node = place_stage(spec, i, load, deployment.decisions);
+    if (!node.ok()) return node.status();
+    deployment.placement.stage_nodes[i] = *node;
+    if (*node < load.size()) ++load[*node];
+  }
+
+  // Steps 3-5: service instances, code retrieval, customization.
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    core::StageSpec& stage = spec.stages[i];
+    const NodeId node = deployment.placement.stage_nodes[i];
+
+    auto& container = deployment.containers[node];
+    if (!container) container = std::make_unique<ServiceContainer>(node);
+    GatesServiceInstance& instance = container->create_instance(stage.name);
+    deployment.instances[i] = &instance;
+
+    core::ProcessorFactory code;
+    if (stage.factory) {
+      // Programmatic pipelines may carry code directly; it still goes
+      // through the container lifecycle.
+      code = stage.factory;
+    } else {
+      auto resolved = repos_.resolve(stage.processor_uri, processors_);
+      if (!resolved.ok()) return resolved.status();
+      code = std::move(*resolved);
+    }
+    if (auto s = instance.upload_code(std::move(code)); !s.is_ok()) return s;
+
+    // Engines construct processors through the service instance.
+    GatesServiceInstance* inst = &instance;
+    stage.factory = [inst]() -> std::unique_ptr<core::StreamProcessor> {
+      auto p = inst->instantiate();
+      if (!p.ok()) {
+        GATES_LOG(kError, "deployer") << p.status().to_string();
+        return nullptr;
+      }
+      return std::move(*p);
+    };
+    GATES_LOG(kInfo, "deployer")
+        << "stage '" << stage.name << "' deployed to node " << node;
+  }
+  return deployment;
+}
+
+}  // namespace gates::grid

@@ -1,0 +1,64 @@
+// The Deployer — §3.2's five deployment steps:
+//   1) receive the configuration from the Launcher,
+//   2) consult the resource directory to find qualifying nodes,
+//   3) initiate GATES service instances at those nodes,
+//   4) retrieve stage codes from the application repositories,
+//   5) upload the code into each instance, customizing it.
+//
+// Placement policy (deterministic): a stage pinned by <placement node=.../>
+// goes there (error if the node does not qualify). A stage fed directly by
+// sources prefers a qualifying source node — "computing resources close to
+// the source ... can be used for initial processing" (§1). Everything else
+// goes to the qualifying node with the fewest stages assigned so far (ties
+// broken by lowest node id).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gates/common/status.hpp"
+#include "gates/core/pipeline.hpp"
+#include "gates/grid/container.hpp"
+#include "gates/grid/directory.hpp"
+#include "gates/grid/repository.hpp"
+
+namespace gates::grid {
+
+/// Result of a successful deployment: everything an engine needs, plus the
+/// grid-service bookkeeping.
+struct Deployment {
+  core::Placement placement;
+  core::HostModel hosts;
+  /// One container per node that received at least one stage.
+  std::map<NodeId, std::unique_ptr<ServiceContainer>> containers;
+  /// Per-stage service instances, parallel to the pipeline's stages.
+  std::vector<GatesServiceInstance*> instances;
+  /// Human-readable placement decisions, for logs and examples.
+  std::vector<std::string> decisions;
+};
+
+class Deployer {
+ public:
+  Deployer(const ResourceDirectory& directory, const RepositoryRegistry& repos,
+           const ProcessorRegistry& processors)
+      : directory_(directory), repos_(repos), processors_(processors) {}
+
+  /// Places every stage, creates service instances, resolves and uploads
+  /// stage code. On success, each spec stage's `factory` instantiates the
+  /// processor through its service instance (enforcing the lifecycle).
+  StatusOr<Deployment> deploy(core::PipelineSpec& spec);
+
+ private:
+  StatusOr<NodeId> place_stage(const core::PipelineSpec& spec,
+                               std::size_t stage_index,
+                               const std::vector<std::size_t>& load,
+                               std::vector<std::string>& decisions) const;
+
+  const ResourceDirectory& directory_;
+  const RepositoryRegistry& repos_;
+  const ProcessorRegistry& processors_;
+};
+
+}  // namespace gates::grid

@@ -1,0 +1,56 @@
+#include "gates/grid/directory.hpp"
+
+namespace gates::grid {
+
+NodeId ResourceDirectory::register_node(std::string hostname,
+                                        ResourceSpec resources) {
+  GridNode node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.hostname = std::move(hostname);
+  node.resources = resources;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+StatusOr<GridNode> ResourceDirectory::node(NodeId id) const {
+  if (id >= nodes_.size()) {
+    return not_found("no node with id " + std::to_string(id));
+  }
+  return nodes_[id];
+}
+
+Status ResourceDirectory::set_available(NodeId id, bool available) {
+  if (id >= nodes_.size()) {
+    return not_found("no node with id " + std::to_string(id));
+  }
+  nodes_[id].available = available;
+  return Status::ok();
+}
+
+bool ResourceDirectory::satisfies(NodeId id,
+                                  const core::ResourceRequirement& req) const {
+  if (id >= nodes_.size()) return false;
+  const GridNode& n = nodes_[id];
+  return n.available && n.resources.cpu_factor >= req.min_cpu_factor &&
+         n.resources.memory_mb >= req.min_memory_mb;
+}
+
+std::vector<NodeId> ResourceDirectory::query(
+    const core::ResourceRequirement& req) const {
+  std::vector<NodeId> out;
+  for (const GridNode& n : nodes_) {
+    if (satisfies(n.id, req)) out.push_back(n.id);
+  }
+  return out;
+}
+
+core::HostModel ResourceDirectory::host_model() const {
+  core::HostModel model;
+  model.cpu_factor.reserve(nodes_.size());
+  for (const GridNode& n : nodes_) {
+    model.cpu_factor.push_back(n.resources.cpu_factor);
+  }
+  return model;
+}
+
+}  // namespace gates::grid

@@ -1,0 +1,42 @@
+// Resource discovery — the MDS-like directory the Deployer consults.
+//
+// "The Globus support allows the system to do automatic resource discovery
+// and matching between the resources and the requirements" (paper §3.1).
+// Nodes register their capabilities; queries return every available node
+// satisfying a requirement, deterministically ordered.
+#pragma once
+
+#include <vector>
+
+#include "gates/common/status.hpp"
+#include "gates/core/pipeline.hpp"
+#include "gates/grid/resource.hpp"
+
+namespace gates::grid {
+
+class ResourceDirectory {
+ public:
+  /// Registers a node; ids are assigned densely from 0 in registration
+  /// order, so they double as indices into core::HostModel.
+  NodeId register_node(std::string hostname, ResourceSpec resources);
+
+  StatusOr<GridNode> node(NodeId id) const;
+  Status set_available(NodeId id, bool available);
+
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<GridNode>& all_nodes() const { return nodes_; }
+
+  /// True iff the node exists, is available and meets the requirement.
+  bool satisfies(NodeId id, const core::ResourceRequirement& req) const;
+
+  /// All available nodes meeting the requirement, ascending by id.
+  std::vector<NodeId> query(const core::ResourceRequirement& req) const;
+
+  /// Host speed model for the engines, derived from registered cpu factors.
+  core::HostModel host_model() const;
+
+ private:
+  std::vector<GridNode> nodes_;
+};
+
+}  // namespace gates::grid

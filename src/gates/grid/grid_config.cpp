@@ -1,0 +1,134 @@
+#include "gates/grid/grid_config.hpp"
+
+#include "gates/common/string_util.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates::grid {
+namespace {
+
+Status attr_double(const xml::Element& e, std::string_view key, double& out) {
+  auto v = e.attr(key);
+  if (!v) return Status::ok();
+  if (!parse_double(*v, out)) {
+    return invalid_argument("attribute '" + std::string(key) + "' of <" +
+                            e.name() + "> is not a number: '" + *v + "'");
+  }
+  return Status::ok();
+}
+
+Status required_node_id(const xml::Element& e, std::string_view key,
+                        std::size_t node_count, NodeId& out) {
+  auto v = e.required_attr(key);
+  if (!v.ok()) return v.status();
+  long long id;
+  if (!parse_int(*v, id) || id < 0) {
+    return invalid_argument("<" + e.name() + "> " + std::string(key) +
+                            " must be a non-negative integer, got '" + *v + "'");
+  }
+  if (static_cast<std::size_t>(id) >= node_count) {
+    return invalid_argument("<" + e.name() + "> references node " + *v +
+                            " but the grid declares only " +
+                            std::to_string(node_count) + " nodes");
+  }
+  out = static_cast<NodeId>(id);
+  return Status::ok();
+}
+
+}  // namespace
+
+StatusOr<GridConfig> parse_grid_config(const std::string& xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.ok()) return doc.status();
+  const xml::Element& root = *doc->root;
+  if (root.name() != "grid") {
+    return invalid_argument("grid config root element must be <grid>, got <" +
+                            root.name() + ">");
+  }
+
+  GridConfig config;
+  config.name = root.attr_or("name", "grid");
+
+  // Nodes: ids must be dense and in order so they double as HostModel
+  // indices.
+  const auto nodes = root.children_named("node");
+  if (nodes.empty()) return invalid_argument("grid declares no <node>s");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const xml::Element& e = *nodes[i];
+    auto id_text = e.required_attr("id");
+    if (!id_text.ok()) return id_text.status();
+    long long id;
+    if (!parse_int(*id_text, id) || id != static_cast<long long>(i)) {
+      return invalid_argument(
+          "grid node ids must be dense and ascending from 0; node " +
+          std::to_string(i) + " declares id '" + *id_text + "'");
+    }
+    ResourceSpec resources;
+    if (auto s = attr_double(e, "cpu", resources.cpu_factor); !s.is_ok())
+      return s;
+    if (auto s = attr_double(e, "memory-mb", resources.memory_mb); !s.is_ok())
+      return s;
+    if (resources.cpu_factor <= 0 || resources.memory_mb <= 0) {
+      return invalid_argument("grid node " + std::to_string(i) +
+                              " has non-positive cpu or memory");
+    }
+    const NodeId node = config.directory.register_node(
+        e.attr_or("hostname", "node" + std::to_string(i)), resources);
+    if (auto avail = e.attr("available")) {
+      bool available;
+      if (!parse_bool(*avail, available)) {
+        return invalid_argument("grid node " + std::to_string(i) +
+                                " has non-boolean available attribute");
+      }
+      (void)config.directory.set_available(node, available);
+    }
+  }
+
+  if (const xml::Element* default_link = root.child("default-link")) {
+    net::LinkSpec spec;
+    if (auto s = attr_double(*default_link, "bandwidth", spec.bandwidth);
+        !s.is_ok())
+      return s;
+    if (auto s = attr_double(*default_link, "latency", spec.latency); !s.is_ok())
+      return s;
+    if (spec.bandwidth <= 0 || spec.latency < 0) {
+      return invalid_argument("<default-link> has invalid bandwidth/latency");
+    }
+    config.topology.set_default_link(spec);
+  }
+
+  for (const xml::Element* e : root.children_named("link")) {
+    NodeId from, to;
+    if (auto s = required_node_id(*e, "from", nodes.size(), from); !s.is_ok())
+      return s;
+    if (auto s = required_node_id(*e, "to", nodes.size(), to); !s.is_ok())
+      return s;
+    net::LinkSpec spec = config.topology.default_link();
+    if (auto s = attr_double(*e, "bandwidth", spec.bandwidth); !s.is_ok())
+      return s;
+    if (auto s = attr_double(*e, "latency", spec.latency); !s.is_ok()) return s;
+    if (spec.bandwidth <= 0 || spec.latency < 0) {
+      return invalid_argument("<link> has invalid bandwidth/latency");
+    }
+    config.topology.set_pair(from, to, spec);
+  }
+
+  for (const xml::Element* e : root.children_named("shared-ingress")) {
+    NodeId node;
+    if (auto s = required_node_id(*e, "node", nodes.size(), node); !s.is_ok())
+      return s;
+    net::LinkSpec spec;
+    spec.bandwidth = 0;
+    if (auto s = attr_double(*e, "bandwidth", spec.bandwidth); !s.is_ok())
+      return s;
+    if (auto s = attr_double(*e, "latency", spec.latency); !s.is_ok()) return s;
+    if (spec.bandwidth <= 0 || spec.latency < 0) {
+      return invalid_argument(
+          "<shared-ingress> requires a positive bandwidth attribute");
+    }
+    config.topology.set_shared_ingress(node, spec);
+  }
+
+  return config;
+}
+
+}  // namespace gates::grid

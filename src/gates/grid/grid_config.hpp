@@ -1,0 +1,32 @@
+// Grid description files: the nodes and network of a (simulated) grid, so a
+// whole experiment — resources, topology, application — is configuration.
+//
+// Schema:
+//   <grid name="...">
+//     <node id="0" hostname="central" cpu="2.0" memory-mb="8192"
+//           available="true"/>                          (ids dense from 0)
+//     <default-link bandwidth="1e6" latency="0"/>       (optional)
+//     <link from="1" to="0" bandwidth="100e3" latency="0.001"/>  (directed)
+//     <shared-ingress node="0" bandwidth="100e3" latency="0"/>
+//   </grid>
+//
+// Bandwidths are bytes/second, latency seconds.
+#pragma once
+
+#include <string>
+
+#include "gates/common/status.hpp"
+#include "gates/grid/directory.hpp"
+#include "gates/net/topology.hpp"
+
+namespace gates::grid {
+
+struct GridConfig {
+  std::string name;
+  ResourceDirectory directory;
+  net::Topology topology;
+};
+
+StatusOr<GridConfig> parse_grid_config(const std::string& xml_text);
+
+}  // namespace gates::grid

@@ -1,0 +1,45 @@
+#include "gates/grid/launcher.hpp"
+
+#include "gates/common/log.hpp"
+#include "gates/common/uri.hpp"
+
+namespace gates::grid {
+
+void Launcher::host_config(std::string name, std::string xml_text) {
+  hosted_configs_[std::move(name)] = std::move(xml_text);
+}
+
+StatusOr<LaunchedApplication> Launcher::launch_url(const std::string& url) {
+  auto uri = parse_uri(url);
+  if (!uri.ok()) return uri.status();
+  if (uri->scheme != "config") {
+    return invalid_argument("launcher expects a config:// URL, got '" + url + "'");
+  }
+  auto it = hosted_configs_.find(uri->host);
+  if (it == hosted_configs_.end()) {
+    return not_found("no hosted configuration named '" + uri->host + "'");
+  }
+  return launch_text(it->second);
+}
+
+StatusOr<LaunchedApplication> Launcher::launch_text(
+    const std::string& xml_text) {
+  auto config = parse_app_config(xml_text, generators_);
+  if (!config.ok()) return config.status();
+
+  LaunchedApplication app;
+  app.name = config->application_name;
+  app.pipeline = std::move(config->pipeline);
+
+  auto deployment = deployer_.deploy(app.pipeline);
+  if (!deployment.ok()) return deployment.status();
+  app.deployment = std::move(*deployment);
+
+  GATES_LOG(kInfo, "launcher")
+      << "application '" << app.name << "' launched with "
+      << app.pipeline.stages.size() << " stages on "
+      << app.deployment.containers.size() << " nodes";
+  return app;
+}
+
+}  // namespace gates::grid

@@ -1,0 +1,93 @@
+#include "gates/grid/registry.hpp"
+
+#include <memory>
+
+#include "gates/common/serialize.hpp"
+#include "gates/common/zipf.hpp"
+
+namespace gates::grid {
+
+ProcessorRegistry& ProcessorRegistry::global() {
+  static ProcessorRegistry registry;
+  return registry;
+}
+
+Status ProcessorRegistry::add(std::string name, core::ProcessorFactory factory) {
+  if (!factory) return invalid_argument("null factory for '" + name + "'");
+  auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    return already_exists("processor '" + it->first + "' already registered");
+  }
+  return Status::ok();
+}
+
+StatusOr<core::ProcessorFactory> ProcessorRegistry::lookup(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return not_found("no processor registered as '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ProcessorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+GeneratorRegistry& GeneratorRegistry::global() {
+  static GeneratorRegistry registry;
+  return registry;
+}
+
+GeneratorRegistry::GeneratorRegistry() {
+  // "zeros": fixed-size zero payload.
+  factories_["zeros"] = [](const Properties& props)
+      -> StatusOr<core::PacketGenerator> {
+    const auto bytes = static_cast<std::size_t>(props.get_int("bytes", 64));
+    return core::PacketGenerator(
+        [bytes](std::uint64_t /*seq*/, Rng& /*rng*/) {
+          core::Packet p;
+          p.payload.resize(bytes);
+          return p;
+        });
+  };
+  // "zipf-u64": one Zipf-distributed 64-bit integer per packet.
+  factories_["zipf-u64"] = [](const Properties& props)
+      -> StatusOr<core::PacketGenerator> {
+    const auto universe =
+        static_cast<std::uint64_t>(props.get_int("universe", 10000));
+    const double theta = props.get_double("theta", 1.0);
+    if (universe == 0) return invalid_argument("zipf-u64: universe must be > 0");
+    if (theta < 0) return invalid_argument("zipf-u64: theta must be >= 0");
+    auto zipf = std::make_shared<ZipfGenerator>(universe, theta);
+    return core::PacketGenerator([zipf](std::uint64_t /*seq*/, Rng& rng) {
+      core::Packet p;
+      Serializer s(p.payload);
+      s.write_u64(zipf->next(rng));
+      return p;
+    });
+  };
+}
+
+Status GeneratorRegistry::add(std::string name, GeneratorFactory factory) {
+  if (!factory) return invalid_argument("null generator factory for '" + name + "'");
+  auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    return already_exists("generator '" + it->first + "' already registered");
+  }
+  return Status::ok();
+}
+
+StatusOr<core::PacketGenerator> GeneratorRegistry::make(
+    const std::string& name, const Properties& props) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return not_found("no generator registered as '" + name + "'");
+  }
+  return it->second(props);
+}
+
+}  // namespace gates::grid

@@ -1,0 +1,60 @@
+// Registries mapping names to code.
+//
+// ProcessorRegistry stands in for the JVM bytecode the paper's repositories
+// serve: stage code is referenced by URI in the configuration and resolved
+// to a C++ factory at deployment time. GeneratorRegistry does the same for
+// source payload generators named in <source type="...">.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gates/common/properties.hpp"
+#include "gates/common/status.hpp"
+#include "gates/core/pipeline.hpp"
+#include "gates/core/processor.hpp"
+
+namespace gates::grid {
+
+class ProcessorRegistry {
+ public:
+  /// Process-wide registry; applications typically register at startup.
+  static ProcessorRegistry& global();
+
+  Status add(std::string name, core::ProcessorFactory factory);
+  StatusOr<core::ProcessorFactory> lookup(const std::string& name) const;
+  bool contains(const std::string& name) const {
+    return factories_.count(name) > 0;
+  }
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, core::ProcessorFactory> factories_;
+};
+
+/// Builds a PacketGenerator from a type name plus properties.
+using GeneratorFactory =
+    std::function<StatusOr<core::PacketGenerator>(const Properties&)>;
+
+class GeneratorRegistry {
+ public:
+  /// Pre-populated with the built-in generators:
+  ///  - "zeros": zero-filled payloads of `bytes` (default 64)
+  ///  - "zipf-u64": one 8-byte integer drawn Zipf(`universe`, `theta`)
+  static GeneratorRegistry& global();
+
+  GeneratorRegistry();
+
+  Status add(std::string name, GeneratorFactory factory);
+  StatusOr<core::PacketGenerator> make(const std::string& name,
+                                       const Properties& props) const;
+  bool contains(const std::string& name) const {
+    return factories_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, GeneratorFactory> factories_;
+};
+
+}  // namespace gates::grid

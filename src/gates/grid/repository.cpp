@@ -1,0 +1,66 @@
+#include "gates/grid/repository.hpp"
+
+namespace gates::grid {
+
+Status ApplicationRepository::publish(std::string path, RepositoryEntry entry) {
+  if (entry.processor_name.empty()) {
+    return invalid_argument("repository entry at '" + path +
+                            "' names no processor");
+  }
+  auto [it, inserted] = entries_.emplace(std::move(path), std::move(entry));
+  if (!inserted) {
+    return already_exists("repository '" + name_ + "' already has an entry at '" +
+                          it->first + "'");
+  }
+  return Status::ok();
+}
+
+StatusOr<RepositoryEntry> ApplicationRepository::fetch(
+    const std::string& path) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    return not_found("repository '" + name_ + "' has no entry at '" + path + "'");
+  }
+  return it->second;
+}
+
+StatusOr<ApplicationRepository*> RepositoryRegistry::create(std::string name) {
+  auto [it, inserted] = repositories_.emplace(name, ApplicationRepository(name));
+  if (!inserted) {
+    return already_exists("repository '" + name + "' already exists");
+  }
+  return &it->second;
+}
+
+StatusOr<ApplicationRepository*> RepositoryRegistry::get(
+    const std::string& name) {
+  auto it = repositories_.find(name);
+  if (it == repositories_.end()) {
+    return not_found("no repository named '" + name + "'");
+  }
+  return &it->second;
+}
+
+StatusOr<core::ProcessorFactory> RepositoryRegistry::resolve(
+    const std::string& uri_text, const ProcessorRegistry& processors) const {
+  auto uri = parse_uri(uri_text);
+  if (!uri.ok()) return uri.status();
+
+  if (uri->scheme == "builtin") {
+    return processors.lookup(uri->host);
+  }
+  if (uri->scheme == "repo") {
+    auto it = repositories_.find(uri->host);
+    if (it == repositories_.end()) {
+      return not_found("no repository named '" + uri->host + "' (from URI '" +
+                       uri_text + "')");
+    }
+    auto entry = it->second.fetch(uri->path);
+    if (!entry.ok()) return entry.status();
+    return processors.lookup(entry->processor_name);
+  }
+  return invalid_argument("unsupported stage-code URI scheme '" + uri->scheme +
+                          "' in '" + uri_text + "'");
+}
+
+}  // namespace gates::grid

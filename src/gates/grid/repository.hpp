@@ -1,0 +1,61 @@
+// Application repositories.
+//
+// "After submitting the codes to application repositories, the application
+// developer informs an application user of the URL link to the
+// configuration file" (paper §3.2). A repository maps paths to entries
+// naming a registered processor (the stand-in for uploaded bytecode);
+// the Deployer fetches entries by URI:
+//   repo://<repository>/<path>   — entry in a named repository
+//   builtin://<processor-name>   — direct ProcessorRegistry lookup
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "gates/common/status.hpp"
+#include "gates/common/uri.hpp"
+#include "gates/core/processor.hpp"
+#include "gates/grid/registry.hpp"
+
+namespace gates::grid {
+
+struct RepositoryEntry {
+  /// ProcessorRegistry key of the stage code.
+  std::string processor_name;
+  std::string version = "1.0";
+  std::string description;
+};
+
+class ApplicationRepository {
+ public:
+  explicit ApplicationRepository(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Publishes (or errors on duplicate path).
+  Status publish(std::string path, RepositoryEntry entry);
+  StatusOr<RepositoryEntry> fetch(const std::string& path) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, RepositoryEntry> entries_;
+};
+
+/// The set of repositories a Deployer can fetch stage code from.
+class RepositoryRegistry {
+ public:
+  /// Adds an empty repository and returns it; errors on duplicate name.
+  StatusOr<ApplicationRepository*> create(std::string name);
+  StatusOr<ApplicationRepository*> get(const std::string& name);
+
+  /// Resolves a stage-code URI to a processor factory, consulting the
+  /// processor registry for the final lookup.
+  StatusOr<core::ProcessorFactory> resolve(
+      const std::string& uri_text, const ProcessorRegistry& processors) const;
+
+ private:
+  std::map<std::string, ApplicationRepository> repositories_;
+};
+
+}  // namespace gates::grid

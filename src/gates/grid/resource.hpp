@@ -1,0 +1,27 @@
+// Grid node resource descriptions.
+#pragma once
+
+#include <string>
+
+#include "gates/common/types.hpp"
+
+namespace gates::grid {
+
+/// Capabilities a node advertises to the ResourceDirectory. cpu_factor
+/// scales service times in the engines (2.0 = twice as fast as baseline).
+struct ResourceSpec {
+  double cpu_factor = 1.0;
+  double memory_mb = 1024;
+  Bandwidth egress_bw = 1e8;   // bytes/second
+  Bandwidth ingress_bw = 1e8;  // bytes/second
+};
+
+struct GridNode {
+  NodeId id = kInvalidNode;
+  std::string hostname;
+  ResourceSpec resources;
+  /// Administratively up and accepting new service instances.
+  bool available = true;
+};
+
+}  // namespace gates::grid

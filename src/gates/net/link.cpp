@@ -1,0 +1,104 @@
+#include "gates/net/link.hpp"
+
+#include "gates/common/check.hpp"
+#include "gates/common/log.hpp"
+
+namespace gates::net {
+
+SimLink::SimLink(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(std::move(config)) {
+  GATES_CHECK(config_.bandwidth > 0);
+  GATES_CHECK(config_.latency >= 0);
+}
+
+void SimLink::set_bandwidth(Bandwidth bandwidth) {
+  GATES_CHECK(bandwidth > 0);
+  config_.bandwidth = bandwidth;
+}
+
+bool SimLink::send(SimMessage msg) {
+  GATES_CHECK_MSG(msg.sink != nullptr, "message has no destination sink");
+  if (outbound_.size() >= config_.max_queue_messages) {
+    ++stats_.messages_rejected;
+    return false;
+  }
+  stats_.queue_on_send.add(static_cast<double>(outbound_.size()));
+  ++stats_.messages_sent;
+  outbound_bytes_ += msg.wire_bytes;
+  outbound_.push_back(std::move(msg));
+  pump();
+  return true;
+}
+
+void SimLink::pump() {
+  if (transmitting_ || stalled_ || outbound_.empty()) return;
+  transmitting_ = true;
+  const Duration tx_time =
+      static_cast<double>(outbound_.front().wire_bytes) / config_.bandwidth;
+  stats_.busy_time += tx_time;
+  sim_.schedule_after(tx_time, [this] { on_transmit_complete(); });
+}
+
+void SimLink::on_transmit_complete() {
+  transmitting_ = false;
+  SimMessage msg = std::move(outbound_.front());
+  outbound_.pop_front();
+  outbound_bytes_ -= msg.wire_bytes;
+  for (const auto& listener : drain_listeners_) listener();
+  if (config_.latency > 0) {
+    // Propagation pipelines with the next transmission.
+    auto shared = std::make_shared<SimMessage>(std::move(msg));
+    sim_.schedule_after(config_.latency, [this, shared] {
+      pending_deliveries_.push_back(std::move(*shared));
+      drain_deliveries();
+    });
+  } else {
+    pending_deliveries_.push_back(std::move(msg));
+    drain_deliveries();
+  }
+  pump();
+}
+
+void SimLink::drain_deliveries() {
+  // A successful delivery can synchronously free receiver space and re-enter
+  // here via notify_space(); the guard keeps one active drain loop.
+  if (draining_) return;
+  draining_ = true;
+  while (!pending_deliveries_.empty()) {
+    SimMessage msg = std::move(pending_deliveries_.front());
+    pending_deliveries_.pop_front();
+    MessageSink* sink = msg.sink;
+    const std::size_t bytes = msg.wire_bytes;
+    if (!sink->try_deliver(std::move(msg))) {
+      // A refusing sink must not consume the message, so `msg` is intact;
+      // park it and stall until the sink signals space.
+      pending_deliveries_.push_front(std::move(msg));
+      if (!stalled_) {
+        stalled_ = true;
+        stall_started_ = sim_.now();
+      }
+      draining_ = false;
+      return;
+    }
+    ++stats_.messages_delivered;
+    stats_.bytes_delivered += bytes;
+  }
+  draining_ = false;
+  if (stalled_) {
+    stalled_ = false;
+    stats_.stalled_time += sim_.now() - stall_started_;
+    pump();
+  }
+}
+
+void SimLink::notify_space() {
+  if (!pending_deliveries_.empty()) drain_deliveries();
+}
+
+double SimLink::utilization() const {
+  const TimePoint elapsed = sim_.now();
+  if (elapsed <= 0) return 0;
+  return stats_.busy_time / elapsed;
+}
+
+}  // namespace gates::net

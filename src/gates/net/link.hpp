@@ -1,0 +1,106 @@
+// Simulated network link: FIFO serialization at a fixed bandwidth, plus
+// propagation latency and receiver backpressure.
+//
+// A link may be shared by several senders (the paper's Fig. 5/6/7 share the
+// central node's ingress); messages from all senders serialize FIFO through
+// the same bandwidth. When the destination sink refuses delivery (its queue
+// is full) the link stalls — no new transmissions start — until the sink
+// calls notify_space(), which models a closed TCP receive window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gates/common/stats.hpp"
+#include "gates/net/message.hpp"
+#include "gates/sim/simulation.hpp"
+
+namespace gates::net {
+
+class SimLink {
+ public:
+  struct Config {
+    std::string name = "link";
+    Bandwidth bandwidth = 1e6;            // bytes/second
+    Duration latency = 0.0;               // seconds, one way
+    /// Outbound queue capacity in messages; senders see send() == false when
+    /// exceeded (their own buffering/backpressure decision).
+    std::size_t max_queue_messages = std::numeric_limits<std::size_t>::max();
+  };
+
+  SimLink(sim::Simulation& sim, Config config);
+  SimLink(const SimLink&) = delete;
+  SimLink& operator=(const SimLink&) = delete;
+
+  /// Enqueues a message for transmission. Returns false iff the outbound
+  /// queue is at capacity (the message is NOT taken in that case).
+  bool send(SimMessage msg);
+
+  /// Changes the bandwidth for transmissions that have not yet started (the
+  /// in-flight one completes at the old rate) — dynamic resource variation.
+  void set_bandwidth(Bandwidth bandwidth);
+
+  /// Called by a sink that previously refused a delivery, once it has room.
+  void notify_space();
+
+  /// Registers a callback invoked each time a transmission completes (the
+  /// outbound queue shrank). Senders that stopped consuming because this
+  /// link's backlog exceeded their send buffer use it to resume — the DES
+  /// rendering of a TCP sender unblocking.
+  void add_drain_listener(std::function<void()> listener) {
+    drain_listeners_.push_back(std::move(listener));
+  }
+
+  /// Estimated seconds needed to drain the queued (not yet transmitting)
+  /// bytes at the configured bandwidth — what the link's QueueMonitor
+  /// observes.
+  double backlog_seconds() const {
+    return static_cast<double>(outbound_bytes_) / config_.bandwidth;
+  }
+
+  /// Messages waiting to start transmission (excludes the in-flight one).
+  std::size_t queue_length() const { return outbound_.size(); }
+  std::size_t queue_bytes() const { return outbound_bytes_; }
+  bool idle() const { return !transmitting_ && outbound_.empty() && pending_deliveries_.empty(); }
+  bool stalled() const { return stalled_; }
+
+  const Config& config() const { return config_; }
+
+  // -- statistics -------------------------------------------------------------
+  struct Stats {
+    std::uint64_t messages_sent = 0;       // accepted into outbound queue
+    std::uint64_t messages_rejected = 0;   // send() returned false
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t bytes_delivered = 0;
+    Duration busy_time = 0;                // time spent transmitting
+    Duration stalled_time = 0;             // time spent with receiver blocked
+    RunningStats queue_on_send;            // queue length sampled at each send
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Fraction of elapsed time the link spent transmitting.
+  double utilization() const;
+
+ private:
+  void pump();
+  void on_transmit_complete();
+  void drain_deliveries();
+
+  sim::Simulation& sim_;
+  Config config_;
+  std::deque<SimMessage> outbound_;
+  std::size_t outbound_bytes_ = 0;
+  std::deque<SimMessage> pending_deliveries_;  // arrived but refused by sink
+  bool transmitting_ = false;
+  bool stalled_ = false;
+  bool draining_ = false;
+  std::vector<std::function<void()>> drain_listeners_;
+  TimePoint stall_started_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gates::net

@@ -1,0 +1,51 @@
+// Messages exchanged between deployed stages over simulated links.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+
+#include "gates/common/types.hpp"
+
+namespace gates::net {
+
+class MessageSink;
+
+/// A unit of transmission. The middleware engine stores a core::Packet in
+/// `payload`; the network layer only ever looks at `wire_bytes`.
+struct SimMessage {
+  std::size_t wire_bytes = 0;
+  std::any payload;
+  MessageSink* sink = nullptr;
+  StageId source_stage = kInvalidStage;
+};
+
+/// Receiving end of a link (a stage input buffer, in practice).
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  /// Accepts the message or returns false when full; a refusing sink MUST
+  /// later call SimLink::notify_space() on the link that attempted delivery.
+  virtual bool try_deliver(SimMessage&& msg) = 0;
+};
+
+/// Models serialization/framing overhead on the wire. The paper's Java
+/// object streams carried large per-record overhead (reverse-engineered at
+/// ~256 B/record from Fig. 5 — see DESIGN.md); this struct makes that an
+/// explicit, configurable model.
+struct WireFormat {
+  /// Fixed bytes added to every message (framing, headers).
+  std::size_t per_message_overhead = 64;
+  /// Bytes added per record inside a message (object-stream overhead).
+  std::size_t per_record_overhead = 0;
+  /// Multiplier on the raw payload bytes (text encodings etc.).
+  double payload_scale = 1.0;
+
+  std::size_t wire_size(std::size_t payload_bytes, std::size_t records = 1) const {
+    return per_message_overhead + per_record_overhead * records +
+           static_cast<std::size_t>(payload_scale *
+                                    static_cast<double>(payload_bytes));
+  }
+};
+
+}  // namespace gates::net

@@ -1,0 +1,75 @@
+// Bandwidth-throttled channel for the real-time engine.
+//
+// Couples a bounded FIFO with a token bucket: push() blocks the producing
+// thread until the configured bytes/second budget admits the item, which is
+// how the rt engine reproduces the paper's "introduced delay in the
+// networks" on real threads.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "gates/common/bounded_queue.hpp"
+#include "gates/common/clock.hpp"
+#include "gates/common/token_bucket.hpp"
+
+namespace gates::net {
+
+template <typename T>
+class ThrottledChannel {
+ public:
+  struct Config {
+    Bandwidth bandwidth = 1e6;       // bytes/second
+    double burst_bytes = 8192;       // token bucket depth
+    std::size_t capacity = 1024;     // messages
+  };
+
+  explicit ThrottledChannel(Config config)
+      : config_(config),
+        queue_(config.capacity),
+        bucket_(config.bandwidth, config.burst_bytes, clock_.now()) {}
+
+  /// Blocks until bandwidth allows, then until queue space allows.
+  /// Returns false iff the channel was closed.
+  bool push(T item, std::size_t bytes) {
+    wait_for_tokens(bytes);
+    return queue_.push(std::move(item));
+  }
+
+  /// Throttles but drops instead of blocking on a full queue.
+  bool push_or_drop(T item, std::size_t bytes) {
+    wait_for_tokens(bytes);
+    return queue_.try_push(std::move(item));
+  }
+
+  std::optional<T> pop() { return queue_.pop(); }
+  std::optional<T> try_pop() { return queue_.try_pop(); }
+
+  void close() { queue_.close(); }
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return queue_.capacity(); }
+  const Config& config() const { return config_; }
+
+ private:
+  void wait_for_tokens(std::size_t bytes) {
+    const double need = static_cast<double>(bytes);
+    std::unique_lock<std::mutex> lock(bucket_mu_);
+    const TimePoint now = clock_.now();
+    const TimePoint ready = bucket_.time_available(need, now);
+    bucket_.consume_debt(need, now);
+    lock.unlock();
+    if (ready > now) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(ready - now));
+    }
+  }
+
+  Config config_;
+  WallClock clock_;
+  BoundedQueue<T> queue_;
+  std::mutex bucket_mu_;
+  TokenBucket bucket_;
+};
+
+}  // namespace gates::net

@@ -1,0 +1,62 @@
+// Network topology specification: per-pair link characteristics and shared
+// per-node ingress capacities.
+//
+// The engine consults this when wiring deployed stages: a destination node
+// with a shared ingress capacity gets ONE SimLink that all incoming flows
+// serialize through (paper Fig. 5-7: four sources share the central node's
+// 100 KB/s); otherwise each (src,dst) pair gets a dedicated link.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "gates/common/types.hpp"
+
+namespace gates::net {
+
+struct LinkSpec {
+  Bandwidth bandwidth = 1e6;  // bytes/second
+  Duration latency = 0.0;     // seconds
+};
+
+class Topology {
+ public:
+  /// Characteristics used when no pair-specific entry exists.
+  void set_default_link(LinkSpec spec) { default_ = spec; }
+  const LinkSpec& default_link() const { return default_; }
+
+  /// Directed override for traffic src -> dst.
+  void set_pair(NodeId src, NodeId dst, LinkSpec spec) {
+    pairs_[{src, dst}] = spec;
+  }
+
+  /// Marks `node`'s ingress as a shared bottleneck of the given capacity;
+  /// all flows into the node serialize through it.
+  void set_shared_ingress(NodeId node, LinkSpec spec) {
+    shared_ingress_[node] = spec;
+  }
+  std::optional<LinkSpec> shared_ingress(NodeId node) const {
+    auto it = shared_ingress_.find(node);
+    if (it == shared_ingress_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Effective spec for a dedicated src->dst flow.
+  LinkSpec between(NodeId src, NodeId dst) const {
+    auto it = pairs_.find({src, dst});
+    if (it != pairs_.end()) return it->second;
+    return default_;
+  }
+
+  /// Stages co-located on one node communicate through an in-memory "link";
+  /// we model it as effectively infinite bandwidth and zero latency.
+  static LinkSpec loopback() { return LinkSpec{1e15, 0.0}; }
+
+ private:
+  LinkSpec default_;
+  std::map<std::pair<NodeId, NodeId>, LinkSpec> pairs_;
+  std::map<NodeId, LinkSpec> shared_ingress_;
+};
+
+}  // namespace gates::net

@@ -1,0 +1,121 @@
+#include "gates/sim/simulation.hpp"
+
+#include "gates/common/check.hpp"
+
+namespace gates::sim {
+
+struct Simulation::Event {
+  TimePoint time;
+  std::uint64_t seq;
+  EventFn fn;
+  std::shared_ptr<EventHandle::State> state;
+};
+
+bool Simulation::EventCompare::operator()(
+    const std::unique_ptr<Event>& a, const std::unique_ptr<Event>& b) const {
+  // priority_queue is a max-heap; invert for earliest-first, seq breaks ties.
+  if (a->time != b->time) return a->time > b->time;
+  return a->seq > b->seq;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->executed;
+}
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+Simulation::Simulation() : clock_adapter_(*this) {}
+Simulation::~Simulation() = default;
+
+EventHandle Simulation::schedule_at(TimePoint t, EventFn fn) {
+  GATES_CHECK_MSG(t >= now_, "event scheduled in the past");
+  auto event = std::make_unique<Event>();
+  event->time = t;
+  event->seq = next_seq_++;
+  event->fn = std::move(fn);
+  event->state = std::make_shared<EventHandle::State>();
+  EventHandle handle(event->state);
+  queue_.push(std::move(event));
+  return handle;
+}
+
+EventHandle Simulation::schedule_after(Duration dt, EventFn fn) {
+  GATES_CHECK_MSG(dt >= 0, "negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulation::step() {
+  while (!stopped_ && !queue_.empty()) {
+    // priority_queue::top() returns const&; the element is moved out via
+    // const_cast, which is safe because pop() follows immediately.
+    auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
+    std::unique_ptr<Event> event = std::move(top);
+    queue_.pop();
+    if (event->state->cancelled) continue;
+    now_ = event->time;
+    event->state->executed = true;
+    ++executed_;
+    event->fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulation::run_until(TimePoint t) {
+  GATES_CHECK(t >= now_);
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.top()->state->cancelled) {
+      // Drop cancelled events eagerly so they cannot mask a later-but-live
+      // event past the horizon.
+      auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
+      std::unique_ptr<Event> dead = std::move(top);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top()->time > t) break;
+    if (step()) ++n;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+std::size_t Simulation::pending_events() const { return queue_.size(); }
+
+PeriodicTask::PeriodicTask(Simulation& sim, Duration period,
+                           std::function<bool()> tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)),
+      alive_(std::make_shared<bool>(true)) {
+  GATES_CHECK(period > 0);
+  arm();
+}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+void PeriodicTask::cancel() {
+  active_ = false;
+  *alive_ = false;
+}
+
+void PeriodicTask::arm() {
+  std::weak_ptr<bool> alive = alive_;
+  sim_.schedule_after(period_, [this, alive] {
+    auto locked = alive.lock();
+    if (!locked || !*locked || !active_) return;
+    if (tick_()) {
+      arm();
+    } else {
+      active_ = false;
+    }
+  });
+}
+
+}  // namespace gates::sim

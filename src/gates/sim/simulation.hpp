@@ -1,0 +1,127 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The DES engine that reproduces the paper's experiments runs entirely on
+// this kernel: packet arrivals, service completions, link transmissions and
+// adaptation-control ticks are all events. Determinism: events at equal
+// times execute in scheduling order (time, then a monotonically increasing
+// sequence number breaks ties), so a run is a pure function of (config,
+// seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "gates/common/clock.hpp"
+#include "gates/common/types.hpp"
+
+namespace gates::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not executed, not cancelled).
+  bool pending() const;
+  /// Prevents a pending event from firing. Safe to call repeatedly or on a
+  /// default-constructed handle.
+  void cancel();
+
+ private:
+  friend class Simulation;
+  struct State {
+    bool cancelled = false;
+    bool executed = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulation {
+ public:
+  Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
+  EventHandle schedule_at(TimePoint t, EventFn fn);
+  /// Schedules `fn` after `dt` seconds (dt >= 0).
+  EventHandle schedule_after(Duration dt, EventFn fn);
+
+  /// Executes the next event; returns false when no events remain or the
+  /// simulation was stopped.
+  bool step();
+  /// Runs until the event queue drains (or stop()); returns events executed.
+  std::uint64_t run();
+  /// Runs events with time <= `t`, then advances the clock to exactly `t`.
+  std::uint64_t run_until(TimePoint t);
+  /// Requests termination from inside an event callback; pending events stay
+  /// queued but step()/run() return immediately afterwards.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::size_t pending_events() const;
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Clock view over virtual time, for components written against
+  /// gates::Clock (QueueMonitor etc.).
+  const Clock& clock() const { return clock_adapter_; }
+
+ private:
+  struct Event;
+  struct EventCompare {
+    bool operator()(const std::unique_ptr<Event>& a,
+                    const std::unique_ptr<Event>& b) const;
+  };
+
+  class ClockAdapter final : public Clock {
+   public:
+    explicit ClockAdapter(const Simulation& sim) : sim_(sim) {}
+    TimePoint now() const override { return sim_.now(); }
+
+   private:
+    const Simulation& sim_;
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>,
+                      EventCompare>
+      queue_;
+  ClockAdapter clock_adapter_;
+};
+
+/// Repeats a callback every `period` seconds until cancelled or until the
+/// callback returns false. The first firing is at start + period.
+class PeriodicTask {
+ public:
+  /// `tick` returns true to keep going.
+  PeriodicTask(Simulation& sim, Duration period, std::function<bool()> tick);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void cancel();
+  bool active() const { return active_; }
+
+ private:
+  void arm();
+
+  Simulation& sim_;
+  Duration period_;
+  std::function<bool()> tick_;
+  bool active_ = true;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace gates::sim

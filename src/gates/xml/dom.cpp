@@ -1,0 +1,79 @@
+#include "gates/common/string_util.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates::xml {
+
+void Element::set_attr(std::string key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string> Element::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Element::attr_or(std::string_view key, std::string fallback) const {
+  auto v = attr(key);
+  return v ? *v : std::move(fallback);
+}
+
+StatusOr<std::string> Element::required_attr(std::string_view key) const {
+  auto v = attr(key);
+  if (!v) {
+    return invalid_argument("element <" + name_ + "> is missing required attribute '" +
+                            std::string(key) + "'");
+  }
+  return *v;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::adopt(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const Element* Element::find(std::string_view path) const {
+  const Element* cur = this;
+  std::size_t start = 0;
+  while (cur != nullptr && start < path.size()) {
+    std::size_t pos = path.find('/', start);
+    std::string_view segment = (pos == std::string_view::npos)
+                                   ? path.substr(start)
+                                   : path.substr(start, pos - start);
+    cur = cur->child(segment);
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return cur;
+}
+
+std::string Element::trimmed_text() const { return std::string(trim(text_)); }
+
+}  // namespace gates::xml

@@ -1,0 +1,285 @@
+#include <cctype>
+#include <cstdlib>
+
+#include "gates/common/string_util.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates::xml {
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  StatusOr<Document> run(ParseError* error_out) {
+    auto doc = parse_document();
+    if (!doc.ok() && error_out) {
+      error_out->line = line_;
+      error_out->column = column_;
+      error_out->message = doc.status().message();
+    }
+    return doc;
+  }
+
+ private:
+  // -- low-level cursor -----------------------------------------------------
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool peek_is(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  char advance() {
+    char c = in_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  void advance_n(std::size_t n) {
+    for (std::size_t i = 0; i < n && !eof(); ++i) advance();
+  }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  Status err(std::string msg) const {
+    return invalid_argument("XML parse error at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_) + ": " +
+                            std::move(msg));
+  }
+
+  // -- grammar ----------------------------------------------------------------
+  StatusOr<Document> parse_document() {
+    skip_misc();
+    if (eof()) return err("document has no root element");
+    if (peek() != '<') return err("expected '<' before root element");
+    auto root = parse_element();
+    if (!root.ok()) return root.status();
+    skip_misc();
+    if (!eof()) return err("trailing content after root element");
+    Document doc;
+    doc.root = std::move(root).value();
+    return doc;
+  }
+
+  /// Skips whitespace, comments, and the XML prolog between top-level items.
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (peek_is("<!--")) {
+        if (!skip_comment().is_ok()) return;
+      } else if (peek_is("<?")) {
+        if (!skip_prolog().is_ok()) return;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status skip_comment() {
+    advance_n(4);  // <!--
+    while (!eof()) {
+      if (peek_is("-->")) {
+        advance_n(3);
+        return Status::ok();
+      }
+      advance();
+    }
+    return err("unterminated comment");
+  }
+
+  Status skip_prolog() {
+    advance_n(2);  // <?
+    while (!eof()) {
+      if (peek_is("?>")) {
+        advance_n(2);
+        return Status::ok();
+      }
+      advance();
+    }
+    return err("unterminated processing instruction");
+  }
+
+  StatusOr<std::string> parse_name() {
+    if (eof() || !is_name_start(peek())) return err("expected a name");
+    std::string name;
+    while (!eof() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  StatusOr<std::string> parse_entity() {
+    // cursor on '&'
+    advance();
+    std::string entity;
+    while (!eof() && peek() != ';') {
+      entity.push_back(advance());
+      if (entity.size() > 8) return err("entity reference too long");
+    }
+    if (eof()) return err("unterminated entity reference");
+    advance();  // ';'
+    if (entity == "lt") return std::string("<");
+    if (entity == "gt") return std::string(">");
+    if (entity == "amp") return std::string("&");
+    if (entity == "quot") return std::string("\"");
+    if (entity == "apos") return std::string("'");
+    if (!entity.empty() && entity[0] == '#') {
+      long code;
+      char* end = nullptr;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(entity.c_str() + 2, &end, 16);
+      } else {
+        code = std::strtol(entity.c_str() + 1, &end, 10);
+      }
+      if (end == nullptr || *end != '\0' || code <= 0 || code > 0x10FFFF) {
+        return err("bad numeric character reference '&" + entity + ";'");
+      }
+      // Encode as UTF-8.
+      std::string out;
+      auto cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+      return out;
+    }
+    return err("unknown entity '&" + entity + ";'");
+  }
+
+  StatusOr<std::string> parse_attr_value() {
+    if (eof() || (peek() != '"' && peek() != '\'')) {
+      return err("expected quoted attribute value");
+    }
+    char quote = advance();
+    std::string value;
+    while (!eof() && peek() != quote) {
+      if (peek() == '<') return err("'<' not allowed in attribute value");
+      if (peek() == '&') {
+        auto ent = parse_entity();
+        if (!ent.ok()) return ent.status();
+        value += *ent;
+      } else {
+        value.push_back(advance());
+      }
+    }
+    if (eof()) return err("unterminated attribute value");
+    advance();  // closing quote
+    return value;
+  }
+
+  StatusOr<std::unique_ptr<Element>> parse_element() {
+    advance();  // '<'
+    auto name = parse_name();
+    if (!name.ok()) return name.status();
+    auto element = std::make_unique<Element>(*name);
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) return err("unterminated start tag <" + *name + ">");
+      if (peek() == '>' || peek_is("/>")) break;
+      auto key = parse_name();
+      if (!key.ok()) return key.status();
+      skip_ws();
+      if (eof() || peek() != '=') return err("expected '=' after attribute name");
+      advance();
+      skip_ws();
+      auto value = parse_attr_value();
+      if (!value.ok()) return value.status();
+      if (element->attr(*key).has_value()) {
+        return err("duplicate attribute '" + *key + "' on <" + *name + ">");
+      }
+      element->set_attr(std::move(*key), std::move(*value));
+    }
+
+    if (peek_is("/>")) {
+      advance_n(2);
+      return element;
+    }
+    advance();  // '>'
+
+    // Content.
+    while (true) {
+      if (eof()) return err("missing </" + *name + ">");
+      if (peek_is("<!--")) {
+        if (auto s = skip_comment(); !s.is_ok()) return s;
+      } else if (peek_is("<![CDATA[")) {
+        advance_n(9);
+        std::string cdata;
+        while (!eof() && !peek_is("]]>")) cdata.push_back(advance());
+        if (eof()) return err("unterminated CDATA section");
+        advance_n(3);
+        element->append_text(cdata);
+      } else if (peek_is("</")) {
+        advance_n(2);
+        auto close = parse_name();
+        if (!close.ok()) return close.status();
+        if (*close != *name) {
+          return err("mismatched close tag </" + *close + "> for <" + *name + ">");
+        }
+        skip_ws();
+        if (eof() || peek() != '>') return err("expected '>' in close tag");
+        advance();
+        return element;
+      } else if (peek() == '<') {
+        auto child = parse_element();
+        if (!child.ok()) return child.status();
+        element->adopt(std::move(*child));
+      } else if (peek() == '&') {
+        auto ent = parse_entity();
+        if (!ent.ok()) return ent.status();
+        element->append_text(*ent);
+      } else {
+        std::string text;
+        while (!eof() && peek() != '<' && peek() != '&') text.push_back(advance());
+        element->append_text(text);
+      }
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+StatusOr<Document> parse(std::string_view input) {
+  return parse_with_location(input, nullptr);
+}
+
+StatusOr<Document> parse_with_location(std::string_view input,
+                                       ParseError* error_out) {
+  Parser parser(input);
+  return parser.run(error_out);
+}
+
+std::string ParseError::to_string() const {
+  return "line " + std::to_string(line) + ", column " + std::to_string(column) +
+         ": " + message;
+}
+
+}  // namespace gates::xml

@@ -1,0 +1,66 @@
+#include <sstream>
+
+#include "gates/common/string_util.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates::xml {
+namespace {
+
+void write_element(std::ostringstream& os, const Element& e, int depth) {
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  os << indent << '<' << e.name();
+  for (const auto& [k, v] : e.attrs()) {
+    os << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  std::string text(trim(e.text()));
+  if (e.children().empty() && text.empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (e.children().empty()) {
+    os << escape(text) << "</" << e.name() << ">\n";
+    return;
+  }
+  os << '\n';
+  if (!text.empty()) {
+    os << indent << "  " << escape(text) << '\n';
+  }
+  for (const auto& child : e.children()) {
+    write_element(os, *child, depth + 1);
+  }
+  os << indent << "</" << e.name() << ">\n";
+}
+
+}  // namespace
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string write(const Element& element) {
+  std::ostringstream os;
+  write_element(os, element, 0);
+  return os.str();
+}
+
+std::string write(const Document& doc) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if (doc.root) write_element(os, *doc.root, 0);
+  return os.str();
+}
+
+}  // namespace gates::xml

@@ -1,0 +1,98 @@
+// From-scratch XML subset: DOM, parser and writer.
+//
+// The GATES Launcher "is in charge of getting configuration files and
+// analyzing them by using an embedded XML parser" (paper §3.2); this module
+// is that embedded parser. Supported subset: prolog, comments, CDATA,
+// elements, attributes, character data, the five predefined entities and
+// numeric character references. Not supported (not needed by configs, and
+// rejected with clear errors where they would change meaning): DTDs,
+// processing instructions other than the prolog, namespaces-as-semantics
+// (colons in names are allowed but uninterpreted).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gates/common/status.hpp"
+
+namespace gates::xml {
+
+/// A parsed element. Text content is stored per-element as the concatenation
+/// of its character data (configs never interleave text and children in a
+/// way where that matters).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // -- attributes (order-preserving) ---------------------------------------
+  void set_attr(std::string key, std::string value);
+  std::optional<std::string> attr(std::string_view key) const;
+  std::string attr_or(std::string_view key, std::string fallback) const;
+  /// Attribute that must exist; error status names the element.
+  StatusOr<std::string> required_attr(std::string_view key) const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // -- children -------------------------------------------------------------
+  Element& add_child(std::string name);
+  /// Takes ownership of an already-built element.
+  Element& adopt(std::unique_ptr<Element> child);
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  /// First child with the given name, or nullptr.
+  const Element* child(std::string_view name) const;
+  /// All children with the given name.
+  std::vector<const Element*> children_named(std::string_view name) const;
+  /// Descendant by '/'-separated path of element names ("resources/node").
+  const Element* find(std::string_view path) const;
+
+  // -- text -----------------------------------------------------------------
+  void append_text(std::string_view t) { text_ += t; }
+  /// Raw accumulated character data.
+  const std::string& text() const { return text_; }
+  /// Character data with surrounding whitespace stripped.
+  std::string trimmed_text() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+  std::string text_;
+};
+
+struct Document {
+  std::unique_ptr<Element> root;
+};
+
+/// Parse error with 1-based line/column of the offending input.
+struct ParseError {
+  int line = 0;
+  int column = 0;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Parses a complete document; the root element is required.
+StatusOr<Document> parse(std::string_view input);
+
+/// Like parse() but surfaces position info.
+StatusOr<Document> parse_with_location(std::string_view input,
+                                       ParseError* error_out);
+
+/// Serializes with 2-space indentation; attributes and text are escaped such
+/// that parse(write(doc)) reproduces the document.
+std::string write(const Document& doc);
+std::string write(const Element& element);
+
+/// Escapes &, <, >, ", ' for use in attribute values / text.
+std::string escape(std::string_view raw);
+
+}  // namespace gates::xml

@@ -1,0 +1,68 @@
+#include "gates/apps/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates::apps {
+namespace {
+
+TEST(Accuracy, PerfectReportScoresHundred) {
+  std::vector<ValueCount> exact = {{1, 100}, {2, 50}, {3, 25}};
+  auto breakdown = top_k_accuracy(exact, exact);
+  EXPECT_DOUBLE_EQ(breakdown.recall, 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.frequency_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.score(), 100.0);
+}
+
+TEST(Accuracy, EmptyReportScoresZero) {
+  std::vector<ValueCount> exact = {{1, 100}};
+  auto breakdown = top_k_accuracy({}, exact);
+  EXPECT_DOUBLE_EQ(breakdown.recall, 0);
+  EXPECT_DOUBLE_EQ(breakdown.frequency_accuracy, 0);
+  EXPECT_DOUBLE_EQ(breakdown.score(), 0);
+}
+
+TEST(Accuracy, EmptyTruthScoresZero) {
+  auto breakdown = top_k_accuracy({{1, 5}}, {});
+  EXPECT_DOUBLE_EQ(breakdown.score(), 0);
+}
+
+TEST(Accuracy, PartialRecall) {
+  std::vector<ValueCount> exact = {{1, 100}, {2, 50}};
+  std::vector<ValueCount> reported = {{1, 100}, {99, 40}};
+  auto breakdown = top_k_accuracy(reported, exact);
+  EXPECT_DOUBLE_EQ(breakdown.recall, 0.5);
+  EXPECT_DOUBLE_EQ(breakdown.frequency_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.score(), 75.0);
+}
+
+TEST(Accuracy, FrequencyErrorReducesScore) {
+  std::vector<ValueCount> exact = {{1, 100}};
+  std::vector<ValueCount> reported = {{1, 80}};  // 20% off
+  auto breakdown = top_k_accuracy(reported, exact);
+  EXPECT_DOUBLE_EQ(breakdown.recall, 1.0);
+  EXPECT_NEAR(breakdown.frequency_accuracy, 0.8, 1e-12);
+}
+
+TEST(Accuracy, OverestimateSymmetricToUnderestimate) {
+  std::vector<ValueCount> exact = {{1, 100}};
+  auto over = top_k_accuracy({{1, 120}}, exact);
+  auto under = top_k_accuracy({{1, 80}}, exact);
+  EXPECT_NEAR(over.frequency_accuracy, under.frequency_accuracy, 1e-12);
+}
+
+TEST(Accuracy, WildEstimateClampsAtZero) {
+  std::vector<ValueCount> exact = {{1, 10}};
+  auto breakdown = top_k_accuracy({{1, 10000}}, exact);
+  EXPECT_DOUBLE_EQ(breakdown.frequency_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.score(), 50.0);  // recall only
+}
+
+TEST(Accuracy, ExtraReportedValuesDoNotHurt) {
+  std::vector<ValueCount> exact = {{1, 100}};
+  std::vector<ValueCount> reported = {{1, 100}, {2, 90}, {3, 80}};
+  auto breakdown = top_k_accuracy(reported, exact);
+  EXPECT_DOUBLE_EQ(breakdown.score(), 100.0);
+}
+
+}  // namespace
+}  // namespace gates::apps

@@ -1,0 +1,172 @@
+#include "gates/apps/comp_steer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/apps/scenarios.hpp"
+#include "gates/common/serialize.hpp"
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::apps {
+namespace {
+
+struct Built {
+  core::PipelineSpec spec;
+  core::Placement placement;
+  core::HostModel hosts;
+  net::Topology topology;
+};
+
+core::PacketGenerator values_gen(std::size_t n, double value = 0.5) {
+  return [n, value](std::uint64_t, Rng&) {
+    core::Packet p;
+    Serializer s(p.payload);
+    for (std::size_t i = 0; i < n; ++i) s.write_f64(value);
+    p.records = n;
+    return p;
+  };
+}
+
+Built sampler_to_analyzer(double rate_fixed, std::uint64_t packets) {
+  Built b;
+  core::StageSpec sampler;
+  sampler.name = "sampler";
+  sampler.factory = [] { return std::make_unique<SamplerProcessor>(); };
+  sampler.properties.set("rate-initial", std::to_string(rate_fixed));
+  sampler.properties.set("rate-min", std::to_string(rate_fixed));
+  sampler.properties.set("rate-max", std::to_string(rate_fixed));
+  core::StageSpec analyzer;
+  analyzer.name = "analyzer";
+  analyzer.factory = [] { return std::make_unique<SteeringAnalyzerProcessor>(); };
+  b.spec.stages = {std::move(sampler), std::move(analyzer)};
+  b.spec.edges = {{0, 1, 0}};
+  core::SourceSpec src;
+  src.rate_hz = 1000;
+  src.total_packets = packets;
+  src.generator = values_gen(64);
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0, 1};
+  return b;
+}
+
+TEST(Sampler, ForwardsConfiguredFraction) {
+  auto b = sampler_to_analyzer(0.25, 2000);
+  core::SimEngine::Config cfg;
+  cfg.adaptation_enabled = false;
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& sampler = dynamic_cast<SamplerProcessor&>(engine.processor(0));
+  EXPECT_EQ(sampler.values_seen(), 2000u * 64u);
+  const double fraction = static_cast<double>(sampler.values_forwarded()) /
+                          static_cast<double>(sampler.values_seen());
+  EXPECT_NEAR(fraction, 0.25, 0.01);
+}
+
+TEST(Sampler, FullRateForwardsEverything) {
+  auto b = sampler_to_analyzer(1.0, 500);
+  core::SimEngine::Config cfg;
+  cfg.adaptation_enabled = false;
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& sampler = dynamic_cast<SamplerProcessor&>(engine.processor(0));
+  EXPECT_EQ(sampler.values_forwarded(), sampler.values_seen());
+  auto& analyzer =
+      dynamic_cast<SteeringAnalyzerProcessor&>(engine.processor(1));
+  EXPECT_EQ(analyzer.bytes_analyzed(), 500u * 64u * 8u);
+}
+
+TEST(Sampler, TinyRateStillDeliversStatisticallyCorrectFraction) {
+  auto b = sampler_to_analyzer(0.01, 5000);
+  core::SimEngine::Config cfg;
+  cfg.adaptation_enabled = false;
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& sampler = dynamic_cast<SamplerProcessor&>(engine.processor(0));
+  const double fraction = static_cast<double>(sampler.values_forwarded()) /
+                          static_cast<double>(sampler.values_seen());
+  EXPECT_NEAR(fraction, 0.01, 0.005);
+}
+
+TEST(Analyzer, TracksFieldStatistics) {
+  auto b = sampler_to_analyzer(1.0, 100);
+  core::SimEngine::Config cfg;
+  cfg.adaptation_enabled = false;
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& analyzer =
+      dynamic_cast<SteeringAnalyzerProcessor&>(engine.processor(1));
+  EXPECT_EQ(analyzer.field_stats().count(), 100u * 64u);
+  EXPECT_NEAR(analyzer.field_stats().mean(), 0.5, 1e-9);
+  EXPECT_TRUE(analyzer.actions().empty());  // constant field: no features
+}
+
+TEST(Analyzer, DetectsFeatureCrossings) {
+  auto b = sampler_to_analyzer(1.0, 200);
+  // First half low, second half high: one refine action.
+  b.spec.sources[0].generator = [](std::uint64_t seq, Rng&) {
+    core::Packet p;
+    Serializer s(p.payload);
+    const double v = seq < 100 ? 0.2 : 0.95;
+    for (int i = 0; i < 64; ++i) s.write_f64(v);
+    p.records = 64;
+    return p;
+  };
+  b.spec.stages[1].properties.set("feature-threshold", "0.8");
+  b.spec.stages[1].properties.set("window", "64");
+  core::SimEngine::Config cfg;
+  cfg.adaptation_enabled = false;
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& analyzer =
+      dynamic_cast<SteeringAnalyzerProcessor&>(engine.processor(1));
+  ASSERT_EQ(analyzer.actions().size(), 1u);
+  EXPECT_TRUE(analyzer.actions()[0].refine);
+  EXPECT_GT(analyzer.actions()[0].windowed_mean, 0.8);
+}
+
+TEST(CompSteerScenario, ProcessingConstraintOrderingHolds) {
+  // Scaled-down Fig. 8: heavier analysis cost must settle a lower rate.
+  scenarios::CompSteerOptions cheap;
+  cheap.analyzer_ms_per_byte = 1;
+  cheap.horizon = 250;
+  scenarios::CompSteerOptions pricey = cheap;
+  pricey.analyzer_ms_per_byte = 20;
+  auto r_cheap = scenarios::run_comp_steer(cheap);
+  auto r_pricey = scenarios::run_comp_steer(pricey);
+  EXPECT_GT(r_cheap.converged_rate, 0.9);  // unconstrained -> near max
+  EXPECT_LT(r_pricey.converged_rate, 0.6);
+  EXPECT_GT(r_pricey.converged_rate, 0.05);
+}
+
+TEST(CompSteerScenario, NetworkConstraintOrderingHolds) {
+  // Scaled-down Fig. 9.
+  scenarios::CompSteerOptions slow_gen;
+  slow_gen.generation_bytes_per_sec = 5e3;
+  slow_gen.chunk_bytes = 1024;
+  slow_gen.analyzer_ms_per_byte = 0.01;
+  slow_gen.link_bw = 10e3;
+  slow_gen.rate_initial = 0.01;
+  slow_gen.horizon = 250;
+  auto fast_gen = slow_gen;
+  fast_gen.generation_bytes_per_sec = 80e3;
+  auto r_slow = scenarios::run_comp_steer(slow_gen);
+  auto r_fast = scenarios::run_comp_steer(fast_gen);
+  EXPECT_GT(r_slow.converged_rate, 0.9);  // link not a constraint
+  EXPECT_LT(r_fast.converged_rate, 0.5);  // link caps at 0.125 optimum
+}
+
+TEST(CompSteerScenario, OptimaFormulas) {
+  scenarios::CompSteerOptions o;
+  o.generation_bytes_per_sec = 160;
+  o.analyzer_ms_per_byte = 20;
+  EXPECT_NEAR(scenarios::processing_constraint_optimum(o), 0.3125, 1e-9);
+  o.analyzer_ms_per_byte = 1;
+  EXPECT_DOUBLE_EQ(scenarios::processing_constraint_optimum(o), 1.0);
+  o.link_bw = 10e3;
+  o.generation_bytes_per_sec = 40e3;
+  EXPECT_DOUBLE_EQ(scenarios::network_constraint_optimum(o), 0.25);
+}
+
+}  // namespace
+}  // namespace gates::apps

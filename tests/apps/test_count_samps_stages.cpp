@@ -1,0 +1,169 @@
+// count-samps stage processors, exercised through small SimEngine runs.
+#include "gates/apps/count_samps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/apps/scenarios.hpp"
+#include "gates/common/serialize.hpp"
+#include "gates/common/zipf.hpp"
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::apps {
+namespace {
+
+struct Built {
+  core::PipelineSpec spec;
+  core::Placement placement;
+  core::HostModel hosts;
+  net::Topology topology;
+};
+
+core::PacketGenerator zipf_gen() {
+  auto zipf = std::make_shared<ZipfGenerator>(500, 1.2);
+  return [zipf](std::uint64_t, Rng& rng) {
+    core::Packet p;
+    Serializer s(p.payload);
+    s.write_u64(zipf->next(rng));
+    return p;
+  };
+}
+
+Built summary_to_sink(std::uint64_t items, std::uint64_t emit_every) {
+  Built b;
+  core::StageSpec summary;
+  summary.name = "summary";
+  summary.factory = [] { return std::make_unique<CountSampsSummaryProcessor>(); };
+  summary.properties.set("emit-every", std::to_string(emit_every));
+  summary.properties.set("track-exact", "true");
+  core::StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountSampsSinkProcessor>(); };
+  b.spec.stages = {std::move(summary), std::move(sink)};
+  b.spec.edges = {{0, 1, 0}};
+  core::SourceSpec src;
+  src.rate_hz = 1000;
+  src.total_packets = items;
+  src.generator = zipf_gen();
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0, 1};
+  return b;
+}
+
+TEST(CountSampsStages, SummariesFlowAndMerge) {
+  auto b = summary_to_sink(5000, 1000);
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  ASSERT_TRUE(engine.report().completed);
+
+  auto& summary =
+      dynamic_cast<CountSampsSummaryProcessor&>(engine.processor(0));
+  auto& sink = dynamic_cast<CountSampsSinkProcessor&>(engine.processor(1));
+  // 5 periodic emissions plus the final flush.
+  EXPECT_EQ(summary.summaries_emitted(), 6u);
+  EXPECT_EQ(sink.summaries_received(), 6u);
+  EXPECT_EQ(sink.raw_records_received(), 0u);
+  EXPECT_FALSE(sink.result().empty());
+}
+
+TEST(CountSampsStages, ReportedTopKMatchesExactOnSkewedStream) {
+  auto b = summary_to_sink(20000, 2500);
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& summary =
+      dynamic_cast<CountSampsSummaryProcessor&>(engine.processor(0));
+  auto& sink = dynamic_cast<CountSampsSinkProcessor&>(engine.processor(1));
+  ASSERT_NE(summary.exact(), nullptr);
+  auto breakdown =
+      top_k_accuracy(sink.result(), summary.exact()->top_k(sink.top_k()));
+  EXPECT_GT(breakdown.score(), 85.0);
+}
+
+TEST(CountSampsStages, SinkHandlesRawDataDirectly) {
+  Built b;
+  core::StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountSampsSinkProcessor>(); };
+  sink.properties.set("track-exact", "true");
+  b.spec.stages = {std::move(sink)};
+  core::SourceSpec src;
+  src.rate_hz = 1000;
+  src.total_packets = 10000;
+  src.generator = zipf_gen();
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0};
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& proc = dynamic_cast<CountSampsSinkProcessor&>(engine.processor(0));
+  EXPECT_EQ(proc.raw_records_received(), 10000u);
+  EXPECT_EQ(proc.summaries_received(), 0u);
+  ASSERT_NE(proc.exact(), nullptr);
+  auto breakdown =
+      top_k_accuracy(proc.result(), proc.exact()->top_k(proc.top_k()));
+  EXPECT_GT(breakdown.score(), 90.0);
+}
+
+TEST(CountSampsStages, SummarySizeParameterBoundsEmittedItems) {
+  auto b = summary_to_sink(4000, 1000);
+  b.spec.stages[0].properties.set("summary-initial", "25");
+  b.spec.stages[0].properties.set("summary-min", "25");
+  b.spec.stages[0].properties.set("summary-max", "25");
+  core::SimEngine::Config cfg;
+  cfg.adaptation_enabled = false;
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  const auto* report = engine.report().stage("summary");
+  ASSERT_NE(report, nullptr);
+  // Each emitted summary carries at most 25 records.
+  EXPECT_GT(report->packets_emitted, 0u);
+  const auto* sink_report = engine.report().stage("sink");
+  EXPECT_LE(sink_report->records_processed,
+            report->packets_emitted * 25u);
+}
+
+TEST(CountSampsStages, MalformedSummaryIsDroppedNotFatal) {
+  // Feed the sink a data-kind packet with garbage and a summary-kind packet
+  // with garbage: the first sketches bytes, the second logs and drops.
+  Built b;
+  core::StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountSampsSinkProcessor>(); };
+  b.spec.stages = {std::move(sink)};
+  core::SourceSpec src;
+  src.rate_hz = 100;
+  src.total_packets = 10;
+  src.generator = [](std::uint64_t seq, Rng&) {
+    core::Packet p;
+    p.kind = core::kPacketKindSummary;
+    Serializer s(p.payload);
+    s.write_u8(static_cast<std::uint8_t>(seq));  // truncated summary
+    return p;
+  };
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0};
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& proc = dynamic_cast<CountSampsSinkProcessor&>(engine.processor(0));
+  EXPECT_EQ(proc.summaries_received(), 0u);
+  EXPECT_TRUE(proc.result().empty());
+}
+
+TEST(CountSampsScenario, DistributedBeatsCentralizedOnSharedIngress) {
+  // Scaled-down Fig. 5: the ordering must hold even at 1/10 scale.
+  scenarios::CountSampsOptions base;
+  base.items_per_source = 2500;
+  base.emit_every = 500;
+  auto centralized = base;
+  centralized.distributed = false;
+  auto rc = scenarios::run_count_samps(centralized);
+  auto rd = scenarios::run_count_samps(base);
+  ASSERT_TRUE(rc.completed);
+  ASSERT_TRUE(rd.completed);
+  EXPECT_LT(rd.execution_time, rc.execution_time);
+  EXPECT_GT(rc.accuracy.score(), 90);
+  EXPECT_GT(rd.accuracy.score(), 80);
+}
+
+}  // namespace
+}  // namespace gates::apps

@@ -1,0 +1,225 @@
+#include "gates/apps/counting_samples.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gates/common/zipf.hpp"
+
+namespace gates::apps {
+namespace {
+
+TEST(CountingSamples, ExactWhileUnderFootprint) {
+  CountingSamples cs(100, Rng(1));
+  for (int i = 0; i < 10; ++i) {
+    for (int copy = 0; copy <= i; ++copy) cs.insert(i);
+  }
+  EXPECT_DOUBLE_EQ(cs.tau(), 1.0);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(cs.raw_count(i), i + 1);
+    EXPECT_DOUBLE_EQ(cs.estimated_count(i), static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(cs.items_seen(), 55u);
+}
+
+TEST(CountingSamples, OverflowRaisesTauAndBoundsFootprint) {
+  CountingSamples cs(50, Rng(2));
+  for (std::uint64_t v = 0; v < 1000; ++v) cs.insert(v);  // all distinct
+  EXPECT_LE(cs.size(), 50u);
+  EXPECT_GT(cs.tau(), 1.0);
+}
+
+TEST(CountingSamples, AbsentValueHasZeroCount) {
+  CountingSamples cs(10, Rng(3));
+  cs.insert(1);
+  EXPECT_EQ(cs.raw_count(99), 0u);
+  EXPECT_DOUBLE_EQ(cs.estimated_count(99), 0);
+}
+
+TEST(CountingSamples, TopKOrderedByEstimate) {
+  CountingSamples cs(100, Rng(4));
+  for (int i = 0; i < 30; ++i) cs.insert(7);
+  for (int i = 0; i < 20; ++i) cs.insert(8);
+  for (int i = 0; i < 10; ++i) cs.insert(9);
+  auto top = cs.top_k(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].value, 7u);
+  EXPECT_EQ(top[1].value, 8u);
+}
+
+TEST(CountingSamples, TopKTiesBreakByValue) {
+  CountingSamples cs(100, Rng(5));
+  cs.insert(3);
+  cs.insert(1);
+  cs.insert(2);
+  auto top = cs.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].value, 1u);
+  EXPECT_EQ(top[1].value, 2u);
+  EXPECT_EQ(top[2].value, 3u);
+}
+
+TEST(CountingSamples, SetFootprintShrinksSample) {
+  CountingSamples cs(200, Rng(6));
+  for (std::uint64_t v = 0; v < 200; ++v) cs.insert(v);
+  ASSERT_EQ(cs.size(), 200u);
+  cs.set_footprint(20);
+  EXPECT_LE(cs.size(), 20u);
+  EXPECT_GT(cs.tau(), 1.0);
+}
+
+TEST(CountingSamples, InvalidConstruction) {
+  EXPECT_THROW(CountingSamples(0, Rng(1)), std::logic_error);
+  EXPECT_THROW(CountingSamples(10, Rng(1), 1.0), std::logic_error);
+}
+
+// Property sweep: on skewed streams, heavy hitters survive the sketch and
+// their estimates stay within a tau-scaled error band.
+class CountingSamplesAccuracy : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CountingSamplesAccuracy, HeavyHittersSurviveAndEstimatesAreClose) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  ZipfGenerator zipf(2000, 1.2);
+  CountingSamples cs(128, rng.fork(1));
+  ExactCounter exact;
+  Rng data_rng = rng.fork(2);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = zipf.next(data_rng);
+    cs.insert(v);
+    exact.insert(v);
+  }
+  auto true_top = exact.top_k(5);
+  int found = 0;
+  for (const auto& t : true_top) {
+    const double estimate = cs.estimated_count(t.value);
+    if (estimate > 0) {
+      ++found;
+      // A value's missed-before-entry count is geometric with mean ~tau (the
+      // 0.418*tau term only corrects the expectation), so individual
+      // estimates can be several tau off; bound loosely by both an absolute
+      // tau multiple and a relative error.
+      const double tolerance = std::max(8 * cs.tau(), 0.5 * t.count);
+      EXPECT_NEAR(estimate, t.count, tolerance)
+          << "value " << t.value << " seed " << seed;
+    }
+  }
+  EXPECT_GE(found, 4) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountingSamplesAccuracy,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ExactCounter, CountsAndTopK) {
+  ExactCounter c;
+  for (int i = 0; i < 5; ++i) c.insert(1);
+  for (int i = 0; i < 3; ++i) c.insert(2);
+  EXPECT_EQ(c.count(1), 5u);
+  EXPECT_EQ(c.count(99), 0u);
+  EXPECT_EQ(c.items_seen(), 8u);
+  EXPECT_EQ(c.distinct(), 2u);
+  auto top = c.top_k(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].value, 1u);
+  EXPECT_DOUBLE_EQ(top[0].count, 5);
+}
+
+TEST(ExactCounter, MergeAddsCounts) {
+  ExactCounter a, b;
+  a.insert(1);
+  a.insert(1);
+  b.insert(1);
+  b.insert(2);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 3u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.items_seen(), 4u);
+}
+
+TEST(StreamSummary, SerializeRoundTrip) {
+  StreamSummary s;
+  s.stream = 3;
+  s.epoch = 42;
+  s.items = {{100, 5.5}, {200, 2.25}};
+  auto decoded = StreamSummary::deserialize(s.serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stream, 3u);
+  EXPECT_EQ(decoded->epoch, 42u);
+  ASSERT_EQ(decoded->items.size(), 2u);
+  EXPECT_EQ(decoded->items[0], (ValueCount{100, 5.5}));
+  EXPECT_EQ(decoded->items[1], (ValueCount{200, 2.25}));
+}
+
+TEST(StreamSummary, EmptySummaryRoundTrips) {
+  StreamSummary s;
+  auto decoded = StreamSummary::deserialize(s.serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->items.empty());
+}
+
+TEST(StreamSummary, TruncatedBufferRejected) {
+  StreamSummary s;
+  s.items = {{1, 1.0}};
+  ByteBuffer buffer = s.serialize();
+  buffer.resize(buffer.size() - 4);
+  EXPECT_FALSE(StreamSummary::deserialize(buffer).ok());
+}
+
+TEST(StreamSummary, TrailingBytesRejected) {
+  StreamSummary s;
+  ByteBuffer buffer = s.serialize();
+  std::uint8_t junk = 0;
+  buffer.append(&junk, 1);
+  EXPECT_FALSE(StreamSummary::deserialize(buffer).ok());
+}
+
+TEST(SummaryMerger, LatestEpochWinsPerStream) {
+  SummaryMerger merger;
+  StreamSummary old_summary;
+  old_summary.stream = 0;
+  old_summary.epoch = 1;
+  old_summary.items = {{5, 100.0}};
+  StreamSummary new_summary;
+  new_summary.stream = 0;
+  new_summary.epoch = 2;
+  new_summary.items = {{5, 150.0}};
+  merger.add(old_summary);
+  merger.add(new_summary);
+  merger.add(old_summary);  // stale replay ignored
+  auto top = merger.top_k(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top[0].count, 150.0);  // not 100, not 250
+  EXPECT_EQ(merger.streams(), 1u);
+}
+
+TEST(SummaryMerger, SumsAcrossStreams) {
+  SummaryMerger merger;
+  for (std::uint32_t stream = 0; stream < 3; ++stream) {
+    StreamSummary s;
+    s.stream = stream;
+    s.epoch = 1;
+    s.items = {{7, 10.0}, {stream + 100, 50.0}};
+    merger.add(s);
+  }
+  auto top = merger.top_k(10);
+  // Value 7 appears in all three streams: 30 total.
+  auto it = std::find_if(top.begin(), top.end(),
+                         [](const ValueCount& v) { return v.value == 7; });
+  ASSERT_NE(it, top.end());
+  EXPECT_DOUBLE_EQ(it->count, 30.0);
+}
+
+TEST(StreamSummary, PayloadBytesScalesWithItems) {
+  EXPECT_GT(StreamSummary::payload_bytes(100),
+            StreamSummary::payload_bytes(10));
+  // Matches the serialized size closely.
+  StreamSummary s;
+  for (std::uint64_t i = 0; i < 40; ++i) s.items.push_back({i, 1.0});
+  const auto actual = s.serialize().size();
+  const auto predicted = StreamSummary::payload_bytes(40);
+  EXPECT_NEAR(static_cast<double>(actual), static_cast<double>(predicted), 4);
+}
+
+}  // namespace
+}  // namespace gates::apps

@@ -1,0 +1,58 @@
+#include "gates/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates {
+namespace {
+
+TEST(Logger, LevelNamesAreStable) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(Logger, EnabledFollowsLevel) {
+  Logger& logger = Logger::global();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.set_level(original);
+}
+
+TEST(Logger, WarningCountTracksWarnAndAbove) {
+  Logger& logger = Logger::global();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kOff);  // suppress output, still counts? no:
+  const int before = logger.warning_count();
+  logger.write(LogLevel::kWarn, "test", "suppressed below level");
+  EXPECT_EQ(logger.warning_count(), before);  // below threshold: not counted
+  logger.set_level(LogLevel::kError);
+  logger.write(LogLevel::kError, "test", "counted");
+  EXPECT_EQ(logger.warning_count(), before + 1);
+  logger.set_level(original);
+}
+
+TEST(Logger, MacroCompilesAndFiltersCheaply) {
+  Logger& logger = Logger::global();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  GATES_LOG(kInfo, "test") << "value " << expensive();
+  // The stream expression must not be evaluated when the level is off.
+  EXPECT_EQ(evaluations, 0);
+  logger.set_level(original);
+}
+
+}  // namespace
+}  // namespace gates

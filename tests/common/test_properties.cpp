@@ -1,0 +1,60 @@
+#include "gates/common/properties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates {
+namespace {
+
+TEST(Properties, SetGetContains) {
+  Properties p;
+  EXPECT_FALSE(p.contains("k"));
+  p.set("k", "v");
+  EXPECT_TRUE(p.contains("k"));
+  EXPECT_EQ(p.get("k").value(), "v");
+  EXPECT_FALSE(p.get("missing").has_value());
+}
+
+TEST(Properties, OverwriteReplaces) {
+  Properties p;
+  p.set("k", "1");
+  p.set("k", "2");
+  EXPECT_EQ(p.get("k").value(), "2");
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Properties, TypedAccessorsWithFallbacks) {
+  Properties p;
+  p.set("d", "2.5");
+  p.set("i", "42");
+  p.set("b", "true");
+  p.set("s", "text");
+  EXPECT_DOUBLE_EQ(p.get_double("d", 0), 2.5);
+  EXPECT_EQ(p.get_int("i", 0), 42);
+  EXPECT_TRUE(p.get_bool("b", false));
+  EXPECT_EQ(p.get_string("s", ""), "text");
+  EXPECT_DOUBLE_EQ(p.get_double("missing", 9.5), 9.5);
+  EXPECT_EQ(p.get_int("missing", -1), -1);
+  EXPECT_FALSE(p.get_bool("missing", false));
+  EXPECT_EQ(p.get_string("missing", "fb"), "fb");
+}
+
+TEST(Properties, MalformedValuesFallBack) {
+  Properties p;
+  p.set("d", "not-a-number");
+  p.set("i", "4.5");
+  p.set("b", "maybe");
+  EXPECT_DOUBLE_EQ(p.get_double("d", 1.25), 1.25);
+  EXPECT_EQ(p.get_int("i", 7), 7);
+  EXPECT_TRUE(p.get_bool("b", true));
+}
+
+TEST(Properties, AllExposesEntries) {
+  Properties p;
+  p.set("a", "1");
+  p.set("b", "2");
+  EXPECT_EQ(p.all().size(), 2u);
+  EXPECT_EQ(p.all().at("a"), "1");
+}
+
+}  // namespace
+}  // namespace gates

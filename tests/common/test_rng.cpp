@@ -1,0 +1,145 @@
+#include "gates/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gates {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng root(7);
+  Rng f1 = root.fork(3);
+  Rng f2 = Rng(7).fork(3);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(f1.next_u64(), f2.next_u64());
+  }
+}
+
+TEST(Rng, ForksAreIndependentStreams) {
+  Rng root(7);
+  Rng f1 = root.fork(0);
+  Rng f2 = root.fork(1);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.next_u64() != f2.next_u64()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(9), b(9);
+  (void)a.fork(5);
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(14);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextBelowZeroBoundChecks) {
+  Rng rng(15);
+  EXPECT_THROW(rng.next_below(0), std::logic_error);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(16);
+  const double rate = 4.0;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(17);
+  EXPECT_THROW(rng.exponential(0), std::logic_error);
+  EXPECT_THROW(rng.exponential(-1), std::logic_error);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(18);
+  const int n = 100000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-5, 5);
+    ASSERT_GE(x, -5);
+    ASSERT_LT(x, 5);
+  }
+}
+
+TEST(SplitMix64, KnownFirstValueIsStable) {
+  SplitMix64 a(42), b(42);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(SplitMix64(1).next(), SplitMix64(2).next());
+}
+
+}  // namespace
+}  // namespace gates

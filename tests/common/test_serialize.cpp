@@ -1,0 +1,144 @@
+#include "gates/common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "gates/common/rng.hpp"
+
+namespace gates {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  ByteBuffer buffer;
+  Serializer s(buffer);
+  s.write_u8(0xAB);
+  s.write_u32(0xDEADBEEF);
+  s.write_u64(0x0123456789ABCDEFull);
+  s.write_i64(-42);
+  s.write_f64(3.14159);
+  s.write_string("hello");
+
+  Deserializer d(buffer);
+  std::uint8_t u8;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  std::int64_t i64;
+  double f64;
+  std::string str;
+  ASSERT_TRUE(d.read_u8(u8).is_ok());
+  ASSERT_TRUE(d.read_u32(u32).is_ok());
+  ASSERT_TRUE(d.read_u64(u64).is_ok());
+  ASSERT_TRUE(d.read_i64(i64).is_ok());
+  ASSERT_TRUE(d.read_f64(f64).is_ok());
+  ASSERT_TRUE(d.read_string(str).is_ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(f64, 3.14159);
+  EXPECT_EQ(str, "hello");
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Serialize, VarintEdgeCases) {
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 16383, 16384,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    ByteBuffer buffer;
+    Serializer s(buffer);
+    s.write_varint(v);
+    Deserializer d(buffer);
+    std::uint64_t out;
+    ASSERT_TRUE(d.read_varint(out).is_ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(d.at_end());
+  }
+}
+
+TEST(Serialize, VarintSmallValuesAreOneByte) {
+  ByteBuffer buffer;
+  Serializer s(buffer);
+  s.write_varint(127);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(Serialize, TruncatedReadsFail) {
+  ByteBuffer buffer;
+  Serializer s(buffer);
+  s.write_u32(42);
+  Deserializer d(buffer);
+  std::uint64_t out;
+  EXPECT_FALSE(d.read_u64(out).is_ok());
+}
+
+TEST(Serialize, TruncatedStringFails) {
+  ByteBuffer buffer;
+  Serializer s(buffer);
+  s.write_varint(100);  // claims 100 bytes follow but none do
+  Deserializer d(buffer);
+  std::string str;
+  auto status = d.read_string(str);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Serialize, MalformedVarintOverflowFails) {
+  ByteBuffer buffer;
+  for (int i = 0; i < 11; ++i) {
+    std::uint8_t byte = 0xFF;
+    buffer.append(&byte, 1);
+  }
+  Deserializer d(buffer);
+  std::uint64_t out;
+  EXPECT_FALSE(d.read_varint(out).is_ok());
+}
+
+TEST(Serialize, EmptyString) {
+  ByteBuffer buffer;
+  Serializer s(buffer);
+  s.write_string("");
+  Deserializer d(buffer);
+  std::string str = "junk";
+  ASSERT_TRUE(d.read_string(str).is_ok());
+  EXPECT_EQ(str, "");
+}
+
+TEST(Serialize, SpanConstructorReadsSameData) {
+  ByteBuffer buffer;
+  Serializer s(buffer);
+  s.write_u64(99);
+  Deserializer d(buffer.data(), buffer.size());
+  std::uint64_t out;
+  ASSERT_TRUE(d.read_u64(out).is_ok());
+  EXPECT_EQ(out, 99u);
+}
+
+TEST(Serialize, RandomizedVarintRoundTrip) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> (rng.next_below(64));
+    ByteBuffer buffer;
+    Serializer s(buffer);
+    s.write_varint(v);
+    Deserializer d(buffer);
+    std::uint64_t out;
+    ASSERT_TRUE(d.read_varint(out).is_ok());
+    ASSERT_EQ(out, v);
+  }
+}
+
+TEST(ByteBuffer, FromStringAndView) {
+  ByteBuffer b = ByteBuffer::from_string("abc");
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.as_string_view(), "abc");
+}
+
+TEST(ByteBuffer, Equality) {
+  EXPECT_EQ(ByteBuffer::from_string("x"), ByteBuffer::from_string("x"));
+  EXPECT_FALSE(ByteBuffer::from_string("x") == ByteBuffer::from_string("y"));
+}
+
+}  // namespace
+}  // namespace gates

@@ -1,0 +1,75 @@
+#include "gates/common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace gates {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> r(5);
+  EXPECT_EQ(r.capacity(), 8u);
+  SpscRing<int> r2(8);
+  EXPECT_EQ(r2.capacity(), 8u);
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> r(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(r.try_push(i));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.try_pop().value(), i);
+}
+
+TEST(SpscRing, PushFailsWhenFull) {
+  SpscRing<int> r(2);
+  EXPECT_TRUE(r.try_push(1));
+  EXPECT_TRUE(r.try_push(2));
+  EXPECT_FALSE(r.try_push(3));
+}
+
+TEST(SpscRing, PopEmptyReturnsNullopt) {
+  SpscRing<int> r(2);
+  EXPECT_FALSE(r.try_pop().has_value());
+  r.try_push(1);
+  r.try_pop();
+  EXPECT_FALSE(r.try_pop().has_value());
+}
+
+TEST(SpscRing, WrapsAroundCorrectly) {
+  SpscRing<int> r(2);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(r.try_push(round));
+    ASSERT_EQ(r.try_pop().value(), round);
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRing, ThreadedStressConservesSequence) {
+  SpscRing<int> r(64);
+  constexpr int kItems = 200000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems;) {
+      if (r.try_push(i)) ++i;
+    }
+  });
+  long long sum = 0;
+  int received = 0;
+  int expected_next = 0;
+  while (received < kItems) {
+    if (auto v = r.try_pop()) {
+      ASSERT_EQ(*v, expected_next);  // strict FIFO, no loss, no dup
+      ++expected_next;
+      sum += *v;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(SpscRing, ZeroCapacityRejected) {
+  EXPECT_THROW(SpscRing<int>(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gates

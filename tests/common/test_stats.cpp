@@ -1,0 +1,160 @@
+#include "gates/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gates {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0);
+  EXPECT_EQ(s.variance(), 0);
+  EXPECT_EQ(s.min(), 0);
+  EXPECT_EQ(s.max(), 0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1);
+  s.add(2);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-3);
+}
+
+TEST(SlidingWindowStats, EvictsOldest) {
+  SlidingWindowStats s(3);
+  s.add(1);
+  s.add(2);
+  s.add(3);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  s.add(10);  // evicts the 1
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SlidingWindowStats, FullFlag) {
+  SlidingWindowStats s(2);
+  EXPECT_FALSE(s.full());
+  s.add(1);
+  EXPECT_FALSE(s.full());
+  s.add(1);
+  EXPECT_TRUE(s.full());
+}
+
+TEST(SlidingWindowStats, VarianceOfConstantIsZero) {
+  SlidingWindowStats s(5);
+  for (int i = 0; i < 20; ++i) s.add(7.0);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+TEST(SlidingWindowStats, VarianceMatchesDirectComputation) {
+  SlidingWindowStats s(4);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) s.add(x);
+  // Window holds {3,4,5,6}: mean 4.5, population variance 1.25.
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(SlidingWindowStats, LatestTracksLastSample) {
+  SlidingWindowStats s(2);
+  EXPECT_EQ(s.latest(), 0);
+  s.add(5);
+  EXPECT_EQ(s.latest(), 5);
+  s.add(9);
+  EXPECT_EQ(s.latest(), 9);
+}
+
+TEST(SlidingWindowStats, ZeroCapacityRejected) {
+  EXPECT_THROW(SlidingWindowStats(0), std::logic_error);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.9);
+  EXPECT_FALSE(e.initialized());
+  e.add(10);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10);
+}
+
+TEST(Ewma, ConvergesTowardConstantInput) {
+  Ewma e(0.5);
+  e.add(0);
+  for (int i = 0; i < 40; ++i) e.add(100);
+  EXPECT_NEAR(e.value(), 100, 1e-6);
+}
+
+TEST(Ewma, AlphaControlsInertia) {
+  Ewma slow(0.9), fast(0.1);
+  slow.add(0);
+  fast.add(0);
+  slow.add(100);
+  fast.add(100);
+  EXPECT_LT(slow.value(), fast.value());
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0, 10, 10);
+  h.add(-5);   // clamps into bucket 0
+  h.add(0.5);
+  h.add(9.5);
+  h.add(15);   // clamps into last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets().front(), 2u);
+  EXPECT_EQ(h.buckets().back(), 2u);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90, 2.0);
+  EXPECT_NEAR(h.quantile(0.0), 0, 2.0);
+}
+
+TEST(Histogram, BucketBounds) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(5, 5, 10), std::logic_error);
+  EXPECT_THROW(Histogram(0, 10, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gates

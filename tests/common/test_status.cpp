@@ -1,0 +1,60 @@
+#include "gates/common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("thing missing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "thing missing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: thing missing");
+}
+
+TEST(Status, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(invalid_argument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(already_exists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(resource_exhausted("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(failed_precondition("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(internal_error("").code(), StatusCode::kInternal);
+  EXPECT_EQ(unavailable("").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(not_found("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, ValueOnErrorThrows) {
+  StatusOr<int> v(internal_error("boom"));
+  EXPECT_THROW(v.value(), std::logic_error);
+}
+
+TEST(StatusOr, OkStatusConstructionIsAProgrammingError) {
+  EXPECT_THROW(StatusOr<int>(Status::ok()), std::logic_error);
+}
+
+TEST(StatusOr, MoveOut) {
+  StatusOr<std::string> v(std::string("hello"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+}  // namespace
+}  // namespace gates

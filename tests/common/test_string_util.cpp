@@ -1,0 +1,84 @@
+#include "gates/common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t\nabc"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("hello", "el"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+  EXPECT_FALSE(ends_with("hello", "he"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  double v;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double("  -2e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -2000);
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  long long v;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int(" -7 ", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_int("4.2", v));
+  EXPECT_FALSE(parse_int("x", v));
+  EXPECT_FALSE(parse_int("", v));
+}
+
+TEST(ParseBool, Variants) {
+  bool v;
+  EXPECT_TRUE(parse_bool("true", v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(parse_bool("FALSE", v));
+  EXPECT_FALSE(v);
+  EXPECT_TRUE(parse_bool("1", v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(parse_bool(" no ", v));
+  EXPECT_FALSE(v);
+  EXPECT_FALSE(parse_bool("maybe", v));
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(str_format("%.2f", 1.234), "1.23");
+  EXPECT_EQ(str_format("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace gates

@@ -1,0 +1,82 @@
+#include "gates/common/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(100, 50, 0);
+  EXPECT_DOUBLE_EQ(tb.available(0), 50);
+  EXPECT_TRUE(tb.try_consume(50, 0));
+  EXPECT_FALSE(tb.try_consume(1, 0));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(100, 50, 0);
+  ASSERT_TRUE(tb.try_consume(50, 0));
+  EXPECT_FALSE(tb.try_consume(10, 0.05));  // only 5 tokens back
+  EXPECT_TRUE(tb.try_consume(10, 0.1));    // 10 tokens back
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb(100, 50, 0);
+  EXPECT_DOUBLE_EQ(tb.available(1000), 50);  // never above burst
+}
+
+TEST(TokenBucket, TimeAvailableNowWhenEnough) {
+  TokenBucket tb(100, 50, 0);
+  EXPECT_DOUBLE_EQ(tb.time_available(50, 1.0), 1.0);
+}
+
+TEST(TokenBucket, TimeAvailableProjectsRefill) {
+  TokenBucket tb(100, 50, 0);
+  ASSERT_TRUE(tb.try_consume(50, 0));
+  // Needs 20 tokens: 0.2 s at 100/s.
+  EXPECT_NEAR(tb.time_available(20, 0), 0.2, 1e-9);
+}
+
+TEST(TokenBucket, TimeAvailableDoesNotConsume) {
+  TokenBucket tb(100, 50, 0);
+  (void)tb.time_available(30, 0);
+  EXPECT_TRUE(tb.try_consume(50, 0));
+}
+
+TEST(TokenBucket, DebtGoesNegativeAndRecovers) {
+  TokenBucket tb(100, 50, 0);
+  tb.consume_debt(150, 0);
+  EXPECT_DOUBLE_EQ(tb.available(0), -100);
+  EXPECT_FALSE(tb.try_consume(1, 0.5));  // only back to -50
+  EXPECT_NEAR(tb.time_available(1, 0.5), 1.01, 1e-9);
+  EXPECT_TRUE(tb.try_consume(1, 1.02));
+}
+
+TEST(TokenBucket, ClockGoingBackwardsIsIgnored) {
+  TokenBucket tb(100, 50, 10);
+  ASSERT_TRUE(tb.try_consume(50, 10));
+  // An earlier timestamp must not mint tokens.
+  EXPECT_FALSE(tb.try_consume(1, 5));
+}
+
+TEST(TokenBucket, LongRunRateIsHonored) {
+  TokenBucket tb(1000, 100, 0);
+  double now = 0;
+  double sent = 0;
+  // Greedy sender: take 100 whenever available over 10 seconds.
+  while (now < 10.0) {
+    now = tb.time_available(100, now);
+    if (now >= 10.0) break;
+    tb.consume_debt(100, now);
+    sent += 100;
+  }
+  // 100 burst + ~1000/s * 10 s.
+  EXPECT_NEAR(sent, 10100, 200);
+}
+
+TEST(TokenBucket, InvalidConfigRejected) {
+  EXPECT_THROW(TokenBucket(0, 10), std::logic_error);
+  EXPECT_THROW(TokenBucket(10, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gates

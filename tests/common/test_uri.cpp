@@ -1,0 +1,55 @@
+#include "gates/common/uri.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates {
+namespace {
+
+TEST(Uri, ParsesSchemeHostPath) {
+  auto uri = parse_uri("repo://myrepo/stages/summary");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->scheme, "repo");
+  EXPECT_EQ(uri->host, "myrepo");
+  EXPECT_EQ(uri->path, "stages/summary");
+}
+
+TEST(Uri, HostOnly) {
+  auto uri = parse_uri("builtin://count-samps-summary");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->scheme, "builtin");
+  EXPECT_EQ(uri->host, "count-samps-summary");
+  EXPECT_EQ(uri->path, "");
+}
+
+TEST(Uri, SchemeIsLowercased) {
+  auto uri = parse_uri("REPO://r/p");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->scheme, "repo");
+}
+
+TEST(Uri, TrimsWhitespace) {
+  auto uri = parse_uri("  config://app  ");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->host, "app");
+}
+
+TEST(Uri, RoundTripToString) {
+  auto uri = parse_uri("repo://r/a/b");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->to_string(), "repo://r/a/b");
+  auto uri2 = parse_uri("builtin://x");
+  EXPECT_EQ(uri2->to_string(), "builtin://x");
+}
+
+TEST(Uri, RejectsMissingScheme) {
+  EXPECT_FALSE(parse_uri("no-scheme").ok());
+  EXPECT_FALSE(parse_uri("://host").ok());
+}
+
+TEST(Uri, RejectsMissingHost) {
+  EXPECT_FALSE(parse_uri("repo://").ok());
+  EXPECT_FALSE(parse_uri("repo:///path").ok());
+}
+
+}  // namespace
+}  // namespace gates

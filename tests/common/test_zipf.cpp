@@ -1,0 +1,61 @@
+#include "gates/common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gates {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(100, 1.1);
+  double sum = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) sum += zipf.probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilitiesAreMonotoneDecreasing) {
+  ZipfGenerator zipf(50, 0.9);
+  for (std::uint64_t k = 1; k < 50; ++k) {
+    EXPECT_LE(zipf.probability(k), zipf.probability(k - 1));
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.probability(k), 0.1, 1e-9);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchProbabilities) {
+  ZipfGenerator zipf(20, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.next(rng)];
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.probability(k), 0.005);
+  }
+}
+
+TEST(Zipf, DrawsStayInUniverse) {
+  ZipfGenerator zipf(7, 1.3);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(zipf.next(rng), 7u);
+}
+
+TEST(Zipf, SingleValueUniverse) {
+  ZipfGenerator zipf(1, 1.0);
+  Rng rng(1);
+  EXPECT_EQ(zipf.next(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.probability(0), 1.0);
+}
+
+TEST(Zipf, InvalidConfigRejected) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), std::logic_error);
+  EXPECT_THROW(ZipfGenerator(10, -0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gates

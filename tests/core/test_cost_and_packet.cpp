@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "gates/core/cost_model.hpp"
+#include "gates/core/packet.hpp"
+
+namespace gates::core {
+namespace {
+
+TEST(CostModel, CombinesAllComponents) {
+  CostModel cost;
+  cost.per_packet_seconds = 0.5;
+  cost.per_byte_seconds = 0.01;
+  cost.per_record_seconds = 0.1;
+  Packet p;
+  p.payload.resize(10);
+  p.records = 3;
+  EXPECT_DOUBLE_EQ(cost.service_time(p), 0.5 + 0.1 + 0.3);
+}
+
+TEST(CostModel, EosIsFree) {
+  CostModel cost;
+  cost.per_packet_seconds = 100;
+  EXPECT_DOUBLE_EQ(cost.service_time(Packet::eos(0, 0)), 0);
+}
+
+TEST(CostModel, DefaultIsFree) {
+  Packet p;
+  p.payload.resize(1000);
+  EXPECT_DOUBLE_EQ(CostModel{}.service_time(p), 0);
+}
+
+TEST(Packet, EosFactoryAndPredicate) {
+  Packet p = Packet::eos(7, 3.5);
+  EXPECT_TRUE(p.is_eos());
+  EXPECT_EQ(p.stream, 7u);
+  EXPECT_DOUBLE_EQ(p.created_at, 3.5);
+  EXPECT_EQ(p.records, 0u);
+  EXPECT_EQ(p.payload_bytes(), 0u);
+
+  Packet data;
+  EXPECT_FALSE(data.is_eos());
+  EXPECT_EQ(data.kind, kPacketKindData);
+}
+
+TEST(Packet, PayloadBytesTracksPayload) {
+  Packet p;
+  EXPECT_EQ(p.payload_bytes(), 0u);
+  p.payload.resize(17);
+  EXPECT_EQ(p.payload_bytes(), 17u);
+}
+
+}  // namespace
+}  // namespace gates::core

@@ -1,0 +1,156 @@
+// Dynamic resource variation: CPU and bandwidth changes mid-run, and the
+// adaptation tracking them.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/apps/scenarios.hpp"
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::core {
+namespace {
+
+class CountingProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet&, Emitter&) override { ++packets_; }
+  std::string name() const override { return "counting"; }
+  std::uint64_t packets_ = 0;
+};
+
+struct Built {
+  PipelineSpec spec;
+  Placement placement;
+  HostModel hosts;
+  net::Topology topology;
+};
+
+Built single_stage(std::uint64_t packets, double rate) {
+  Built b;
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountingProcessor>(); };
+  b.spec.stages = {std::move(sink)};
+  SourceSpec src;
+  src.rate_hz = rate;
+  src.total_packets = packets;
+  src.packet_bytes = 100;
+  src.location = 1;
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0};
+  b.hosts.cpu_factor = {1.0, 1.0};
+  return b;
+}
+
+SimEngine::Config zero_wire() {
+  SimEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 0;
+  return cfg;
+}
+
+TEST(DynamicResources, CpuSlowdownStretchesExecution) {
+  // 100 packets at 0.1 s each = 10 s at full speed. Halving the CPU at t=5
+  // makes the second half take twice as long: ~5 + 10 = 15 s.
+  auto build = [] {
+    auto b = single_stage(100, 1000);
+    b.spec.stages[0].cost.per_packet_seconds = 0.1;
+    return b;
+  };
+  auto base = build();
+  SimEngine baseline(base.spec, base.placement, base.hosts, base.topology,
+                     zero_wire());
+  ASSERT_TRUE(baseline.run().is_ok());
+  EXPECT_NEAR(baseline.report().execution_time, 10.0, 0.5);
+
+  auto slowed = build();
+  SimEngine engine(slowed.spec, slowed.placement, slowed.hosts,
+                   slowed.topology, zero_wire());
+  engine.schedule_cpu_change(0, 5.0, 0.5);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 15.0, 0.7);
+}
+
+TEST(DynamicResources, CpuSpeedupShortensExecution) {
+  auto b = single_stage(100, 1000);
+  b.spec.stages[0].cost.per_packet_seconds = 0.1;
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, zero_wire());
+  engine.schedule_cpu_change(0, 5.0, 2.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 7.5, 0.5);
+}
+
+TEST(DynamicResources, BandwidthDropStretchesTransfer) {
+  // 100 x 100 B = 10 KB at 1 KB/s = 10 s; halving bandwidth at t=5 gives
+  // ~5 + 10 = 15 s.
+  auto b = single_stage(100, 1000);
+  b.topology.set_pair(1, 0, {1000.0, 0.0});
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, zero_wire());
+  engine.schedule_bandwidth_change(1, 0, 5.0, 500.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 15.0, 0.7);
+}
+
+TEST(DynamicResources, SharedIngressChangeApplies) {
+  auto b = single_stage(100, 1000);
+  b.topology.set_shared_ingress(0, {1000.0, 0.0});
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, zero_wire());
+  engine.schedule_bandwidth_change(1, 0, 5.0, 2000.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 7.5, 0.5);
+}
+
+TEST(DynamicResources, SchedulingAfterRunIsAProgrammingError) {
+  auto b = single_stage(10, 1000);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, zero_wire());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_THROW(engine.schedule_cpu_change(0, 1.0, 2.0), std::logic_error);
+  EXPECT_THROW(engine.schedule_bandwidth_change(1, 0, 1.0, 1.0),
+               std::logic_error);
+}
+
+TEST(DynamicResources, InvalidValuesRejected) {
+  auto b = single_stage(10, 1000);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, zero_wire());
+  EXPECT_THROW(engine.schedule_cpu_change(0, 1.0, 0.0), std::logic_error);
+  EXPECT_THROW(engine.schedule_bandwidth_change(1, 0, 1.0, -5.0),
+               std::logic_error);
+}
+
+TEST(DynamicResources, AdaptationTracksLinkDegradation) {
+  // Scaled-down version of bench/dynamic_adaptation scenario A.
+  apps::scenarios::CompSteerOptions o;
+  o.generation_bytes_per_sec = 20e3;
+  o.chunk_bytes = 1024;
+  o.analyzer_ms_per_byte = 0.01;
+  o.link_bw = 10e3;
+  o.rate_initial = 0.01;
+  o.horizon = 500;
+  o.link_bandwidth_changes = {{250, 4e3}};
+  const auto r = apps::scenarios::run_comp_steer(o);
+  RunningStats before, after;
+  for (const auto& [t, v] : r.trajectory) {
+    if (t > 125 && t < 250) before.add(v);
+    if (t > 375) after.add(v);
+  }
+  EXPECT_NEAR(before.mean(), 0.5, 0.2);
+  EXPECT_NEAR(after.mean(), 0.2, 0.12);
+  EXPECT_LT(after.mean(), before.mean());
+}
+
+TEST(DynamicResources, AdaptationTracksCpuRecovery) {
+  apps::scenarios::CompSteerOptions o;
+  o.analyzer_ms_per_byte = 10;
+  o.horizon = 500;
+  o.analyzer_cpu_changes = {{0.5, 0.5}, {250, 1.0}};  // start slow, recover
+  const auto r = apps::scenarios::run_comp_steer(o);
+  RunningStats slow_phase, fast_phase;
+  for (const auto& [t, v] : r.trajectory) {
+    if (t > 125 && t < 250) slow_phase.add(v);
+    if (t > 375) fast_phase.add(v);
+  }
+  EXPECT_GT(fast_phase.mean(), slow_phase.mean() + 0.1);
+}
+
+}  // namespace
+}  // namespace gates::core

@@ -1,0 +1,123 @@
+#include "gates/core/adapt/load_factors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gates::core::adapt {
+namespace {
+
+TEST(Phi1, ZeroCountsGiveZero) { EXPECT_DOUBLE_EQ(phi1(0, 0), 0); }
+
+TEST(Phi1, PureOverloadIsOne) { EXPECT_DOUBLE_EQ(phi1(5, 0), 1.0); }
+
+TEST(Phi1, PureUnderloadIsMinusOne) { EXPECT_DOUBLE_EQ(phi1(0, 5), -1.0); }
+
+TEST(Phi1, BalancedIsZero) { EXPECT_DOUBLE_EQ(phi1(7, 7), 0); }
+
+TEST(Phi1, MatchesEquationOne) {
+  EXPECT_DOUBLE_EQ(phi1(3, 1), 0.5);
+  EXPECT_DOUBLE_EQ(phi1(1, 3), -0.5);
+}
+
+TEST(Phi1, AcceptsFractionalCounts) {
+  // Decayed exception counts are fractional.
+  EXPECT_NEAR(phi1(1.5, 0.5), 0.5, 1e-12);
+}
+
+TEST(Phi1, NegativeCountsAreAProgrammingError) {
+  EXPECT_THROW(phi1(-1, 0), std::logic_error);
+}
+
+class Phi1Range : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Phi1Range, AlwaysInUnitInterval) {
+  auto [t1, t2] = GetParam();
+  const double v = phi1(t1, t2);
+  EXPECT_GE(v, -1.0);
+  EXPECT_LE(v, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Phi1Range,
+                         ::testing::Values(std::pair{0, 0}, std::pair{1, 0},
+                                           std::pair{0, 1}, std::pair{100, 3},
+                                           std::pair{3, 100},
+                                           std::pair{1000000, 1}));
+
+TEST(Phi2, ZeroIsZero) { EXPECT_DOUBLE_EQ(phi2(0, 10), 0); }
+
+TEST(Phi2, SaturatesAtWindow) {
+  EXPECT_DOUBLE_EQ(phi2(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(phi2(-10, 10), -1.0);
+}
+
+TEST(Phi2, OddSymmetry) {
+  for (int w = 1; w <= 10; ++w) {
+    EXPECT_DOUBLE_EQ(phi2(w, 10), -phi2(-w, 10));
+  }
+}
+
+TEST(Phi2, MonotoneIncreasingInW) {
+  double prev = phi2(-10, 10);
+  for (int w = -9; w <= 10; ++w) {
+    const double cur = phi2(w, 10);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Phi2, RangeBound) {
+  for (int window : {1, 5, 12, 100}) {
+    for (int w = -window; w <= window; ++w) {
+      const double v = phi2(w, window);
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Phi2, OutOfWindowIsAProgrammingError) {
+  EXPECT_THROW(phi2(11, 10), std::logic_error);
+  EXPECT_THROW(phi2(-11, 10), std::logic_error);
+  EXPECT_THROW(phi2(0, 0), std::logic_error);
+}
+
+TEST(Phi3, AtExpectedIsZero) { EXPECT_DOUBLE_EQ(phi3(20, 20, 100), 0); }
+
+TEST(Phi3, EmptyQueueIsMinusOne) { EXPECT_DOUBLE_EQ(phi3(0, 20, 100), -1.0); }
+
+TEST(Phi3, FullQueueIsOne) { EXPECT_DOUBLE_EQ(phi3(100, 20, 100), 1.0); }
+
+TEST(Phi3, BelowExpectedNormalizedByD) {
+  // Equation 3 lower branch: (dbar - D) / D.
+  EXPECT_DOUBLE_EQ(phi3(10, 20, 100), -0.5);
+}
+
+TEST(Phi3, AboveExpectedNormalizedByHeadroom) {
+  // Equation 3 upper branch: (dbar - D) / (C - D).
+  EXPECT_DOUBLE_EQ(phi3(60, 20, 100), 0.5);
+}
+
+TEST(Phi3, ClampsBeyondCapacity) {
+  EXPECT_DOUBLE_EQ(phi3(150, 20, 100), 1.0);
+}
+
+TEST(Phi3, InvalidParamsAreProgrammingErrors) {
+  EXPECT_THROW(phi3(0, 0, 100), std::logic_error);
+  EXPECT_THROW(phi3(0, 100, 100), std::logic_error);
+}
+
+class Phi3Range : public ::testing::TestWithParam<double> {};
+
+TEST_P(Phi3Range, AlwaysInUnitInterval) {
+  const double v = phi3(GetParam(), 20, 100);
+  EXPECT_GE(v, -1.0);
+  EXPECT_LE(v, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Phi3Range,
+                         ::testing::Values(0.0, 1.0, 19.9, 20.0, 20.1, 50.0,
+                                           99.0, 100.0, 500.0));
+
+}  // namespace
+}  // namespace gates::core::adapt

@@ -1,0 +1,195 @@
+// Node failure injection: crashed stages blackhole traffic, EOS is raised
+// on their behalf, and the rest of the pipeline completes with the data
+// that made it through.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/apps/accuracy.hpp"
+#include "gates/apps/count_samps.hpp"
+#include "gates/common/serialize.hpp"
+#include "gates/common/zipf.hpp"
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::core {
+namespace {
+
+class CountingProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet& packet, Emitter& emitter) override {
+    ++packets_;
+    if (forward_) emitter.emit(packet);
+  }
+  void finish(Emitter&) override { finished_ = true; }
+  std::string name() const override { return "counting"; }
+  std::uint64_t packets_ = 0;
+  bool forward_ = true;
+  bool finished_ = false;
+};
+
+struct Built {
+  PipelineSpec spec;
+  Placement placement;
+  HostModel hosts;
+  net::Topology topology;
+};
+
+/// Two forwarders (nodes 1, 2) into a sink (node 0), one source per
+/// forwarder at 100 packets/s for 10 s.
+Built fan_in() {
+  Built b;
+  for (int i = 0; i < 2; ++i) {
+    StageSpec fwd;
+    fwd.name = "fwd" + std::to_string(i);
+    fwd.factory = [] { return std::make_unique<CountingProcessor>(); };
+    b.spec.stages.push_back(std::move(fwd));
+    b.placement.stage_nodes.push_back(static_cast<NodeId>(i + 1));
+  }
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] {
+    auto p = std::make_unique<CountingProcessor>();
+    p->forward_ = false;
+    return p;
+  };
+  b.spec.stages.push_back(std::move(sink));
+  b.placement.stage_nodes.push_back(0);
+  b.spec.edges = {{0, 2, 0}, {1, 2, 0}};
+  for (int i = 0; i < 2; ++i) {
+    SourceSpec src;
+    src.stream = static_cast<StreamId>(i);
+    src.rate_hz = 100;
+    src.total_packets = 1000;
+    src.packet_bytes = 16;
+    src.location = static_cast<NodeId>(i + 1);
+    src.target_stage = static_cast<std::size_t>(i);
+    b.spec.sources.push_back(src);
+  }
+  return b;
+}
+
+TEST(NodeFailure, PipelineCompletesWithSurvivorsData) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  engine.schedule_node_failure(1, 5.0);  // kills fwd0 mid-stream
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+
+  auto& fwd0 = dynamic_cast<CountingProcessor&>(engine.processor(0));
+  auto& fwd1 = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(2));
+  // fwd0 processed about half its stream before dying.
+  EXPECT_NEAR(static_cast<double>(fwd0.packets_), 500, 30);
+  EXPECT_EQ(fwd1.packets_, 1000u);
+  // The sink saw everything the survivors forwarded.
+  EXPECT_NEAR(static_cast<double>(sink.packets_),
+              static_cast<double>(fwd0.packets_ + fwd1.packets_), 5);
+  EXPECT_TRUE(sink.finished_);
+  EXPECT_FALSE(fwd0.finished_);  // crashed stages get no finish() call
+}
+
+TEST(NodeFailure, FailureAtTimeZeroStillCompletes) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  engine.schedule_node_failure(1, 0.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(2));
+  EXPECT_NEAR(static_cast<double>(sink.packets_), 1000, 5);
+}
+
+TEST(NodeFailure, FailingEveryWorkerStillTerminates) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  engine.schedule_node_failure(1, 2.0);
+  engine.schedule_node_failure(2, 3.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+}
+
+TEST(NodeFailure, DroppedPacketsAreCounted) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  engine.schedule_node_failure(1, 5.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  const auto* fwd0 = engine.report().stage("fwd0");
+  ASSERT_NE(fwd0, nullptr);
+  // ~500 packets generated after the crash were blackholed.
+  EXPECT_NEAR(static_cast<double>(fwd0->packets_dropped), 500, 30);
+}
+
+TEST(NodeFailure, SchedulingAfterRunIsAProgrammingError) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_THROW(engine.schedule_node_failure(1, 1.0), std::logic_error);
+}
+
+TEST(NodeFailure, CountSampsDegradesGracefully) {
+  // Distributed count-samps where one summary site dies mid-run: the sink
+  // keeps that stream's last shipped summary, so the answer degrades
+  // instead of vanishing.
+  Built b;
+  auto zipf = std::make_shared<ZipfGenerator>(1000, 1.2);
+  for (int i = 0; i < 2; ++i) {
+    StageSpec summary;
+    summary.name = "summary" + std::to_string(i);
+    summary.factory = [] {
+      return std::make_unique<apps::CountSampsSummaryProcessor>();
+    };
+    summary.properties.set("emit-every", "500");
+    summary.properties.set("track-exact", "true");
+    b.spec.stages.push_back(std::move(summary));
+    b.placement.stage_nodes.push_back(static_cast<NodeId>(i + 1));
+  }
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] {
+    return std::make_unique<apps::CountSampsSinkProcessor>();
+  };
+  b.spec.stages.push_back(std::move(sink));
+  b.placement.stage_nodes.push_back(0);
+  b.spec.edges = {{0, 2, 0}, {1, 2, 0}};
+  for (int i = 0; i < 2; ++i) {
+    SourceSpec src;
+    src.stream = static_cast<StreamId>(i);
+    src.rate_hz = 1000;
+    src.total_packets = 10000;
+    src.location = static_cast<NodeId>(i + 1);
+    src.target_stage = static_cast<std::size_t>(i);
+    src.generator = [zipf](std::uint64_t, Rng& rng) {
+      Packet p;
+      Serializer s(p.payload);
+      s.write_u64(zipf->next(rng));
+      return p;
+    };
+    b.spec.sources.push_back(std::move(src));
+  }
+
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  engine.schedule_node_failure(1, 5.0);  // summary0 dies halfway
+  ASSERT_TRUE(engine.run().is_ok());
+  ASSERT_TRUE(engine.report().completed);
+
+  auto& sink_proc =
+      dynamic_cast<apps::CountSampsSinkProcessor&>(engine.processor(2));
+  // Summaries from the dead site up to the crash survived.
+  EXPECT_GE(sink_proc.summaries_received(), 10u);
+  EXPECT_FALSE(sink_proc.result().empty());
+  // The answer still finds the global heavy hitters (both streams share a
+  // distribution, so the surviving stream plus the stale summary cover the
+  // top values).
+  apps::ExactCounter exact;
+  for (int i = 0; i < 2; ++i) {
+    auto& summary =
+        dynamic_cast<apps::CountSampsSummaryProcessor&>(engine.processor(i));
+    exact.merge(*summary.exact());  // exact over what was actually processed
+  }
+  const auto breakdown =
+      apps::top_k_accuracy(sink_proc.result(), exact.top_k(10));
+  EXPECT_GT(breakdown.recall, 0.7);
+}
+
+}  // namespace
+}  // namespace gates::core

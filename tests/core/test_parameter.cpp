@@ -1,0 +1,76 @@
+#include "gates/core/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates::core {
+namespace {
+
+AdjustmentParameter::Spec spec(double init, double lo, double hi,
+                               double increment = 0) {
+  AdjustmentParameter::Spec s;
+  s.name = "p";
+  s.initial = init;
+  s.min_value = lo;
+  s.max_value = hi;
+  s.increment = increment;
+  return s;
+}
+
+TEST(AdjustmentParameter, InitialValueApplied) {
+  AdjustmentParameter p(spec(0.13, 0.01, 1.0));
+  EXPECT_DOUBLE_EQ(p.suggested_value(), 0.13);
+}
+
+TEST(AdjustmentParameter, InitialValueClampedIntoRange) {
+  AdjustmentParameter p(spec(5.0, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(p.suggested_value(), 1.0);
+}
+
+TEST(AdjustmentParameter, SetValueClamps) {
+  AdjustmentParameter p(spec(0.5, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(p.set_value(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.set_value(-2.0), 0.0);
+}
+
+TEST(AdjustmentParameter, IncrementQuantizes) {
+  AdjustmentParameter p(spec(0.0, 0.0, 1.0, 0.25));
+  EXPECT_DOUBLE_EQ(p.set_value(0.3), 0.25);
+  EXPECT_DOUBLE_EQ(p.set_value(0.4), 0.5);
+  EXPECT_DOUBLE_EQ(p.set_value(0.99), 1.0);
+}
+
+TEST(AdjustmentParameter, QuantizationAnchorsAtMin) {
+  AdjustmentParameter p(spec(10, 10, 240, 1));
+  EXPECT_DOUBLE_EQ(p.set_value(99.6), 100);
+}
+
+TEST(AdjustmentParameter, ZeroIncrementMeansContinuous) {
+  AdjustmentParameter p(spec(0.0, 0.0, 1.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.set_value(0.123456), 0.123456);
+}
+
+TEST(AdjustmentParameter, TrajectoryRecordsTimeValuePairs) {
+  AdjustmentParameter p(spec(0.2, 0.0, 1.0));
+  p.record(1.0);
+  p.set_value(0.4);
+  p.record(2.0);
+  ASSERT_EQ(p.trajectory().size(), 2u);
+  EXPECT_DOUBLE_EQ(p.trajectory()[0].second, 0.2);
+  EXPECT_DOUBLE_EQ(p.trajectory()[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(p.trajectory()[1].second, 0.4);
+}
+
+TEST(AdjustmentParameter, InvalidSpecRejected) {
+  EXPECT_THROW(AdjustmentParameter(spec(0, 1, 0)), std::logic_error);
+  auto bad = spec(0, 0, 1);
+  bad.increment = -0.1;
+  EXPECT_THROW(AdjustmentParameter{bad}, std::logic_error);
+}
+
+TEST(AdjustmentParameter, DegenerateRangeIsAllowed) {
+  AdjustmentParameter p(spec(5, 5, 5));
+  EXPECT_DOUBLE_EQ(p.set_value(100), 5);
+}
+
+}  // namespace
+}  // namespace gates::core

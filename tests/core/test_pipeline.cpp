@@ -1,0 +1,160 @@
+#include "gates/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gates::core {
+namespace {
+
+/// No-op processor for wiring tests.
+class NullProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet&, Emitter&) override {}
+  std::string name() const override { return "null"; }
+};
+
+ProcessorFactory null_factory() {
+  return [] { return std::make_unique<NullProcessor>(); };
+}
+
+PipelineSpec two_stage_pipeline() {
+  PipelineSpec spec;
+  StageSpec a;
+  a.name = "a";
+  a.factory = null_factory();
+  StageSpec b;
+  b.name = "b";
+  b.factory = null_factory();
+  spec.stages = {std::move(a), std::move(b)};
+  SourceSpec src;
+  src.target_stage = 0;
+  spec.sources = {src};
+  spec.edges = {{0, 1, 0}};
+  return spec;
+}
+
+TEST(PipelineSpec, ValidTwoStagePasses) {
+  EXPECT_TRUE(two_stage_pipeline().validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsEmptyStages) {
+  PipelineSpec spec;
+  SourceSpec src;
+  spec.sources = {src};
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsNoSources) {
+  auto spec = two_stage_pipeline();
+  spec.sources.clear();
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsSourceTargetOutOfRange) {
+  auto spec = two_stage_pipeline();
+  spec.sources[0].target_stage = 9;
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsNonPositiveSourceRate) {
+  auto spec = two_stage_pipeline();
+  spec.sources[0].rate_hz = 0;
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsEdgeOutOfRange) {
+  auto spec = two_stage_pipeline();
+  spec.edges.push_back({0, 5, 0});
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsSelfLoop) {
+  auto spec = two_stage_pipeline();
+  spec.edges.push_back({1, 1, 0});
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsCycle) {
+  auto spec = two_stage_pipeline();
+  spec.edges.push_back({1, 0, 0});
+  auto status = spec.validate();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("cycle"), std::string::npos);
+}
+
+TEST(PipelineSpec, RejectsUnreachableStage) {
+  auto spec = two_stage_pipeline();
+  StageSpec orphan;
+  orphan.name = "orphan";
+  orphan.factory = null_factory();
+  spec.stages.push_back(std::move(orphan));
+  auto status = spec.validate();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("orphan"), std::string::npos);
+}
+
+TEST(PipelineSpec, RejectsZeroCapacity) {
+  auto spec = two_stage_pipeline();
+  spec.stages[0].input_capacity = 0;
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, RejectsStageWithoutCode) {
+  auto spec = two_stage_pipeline();
+  spec.stages[0].factory = nullptr;
+  spec.stages[0].processor_uri.clear();
+  EXPECT_FALSE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, UriInsteadOfFactoryIsAccepted) {
+  auto spec = two_stage_pipeline();
+  spec.stages[0].factory = nullptr;
+  spec.stages[0].processor_uri = "builtin://something";
+  EXPECT_TRUE(spec.validate().is_ok());
+}
+
+TEST(PipelineSpec, TopologicalOrderRespectsEdges) {
+  PipelineSpec spec;
+  for (const char* name : {"d", "c", "b", "a"}) {
+    StageSpec s;
+    s.name = name;
+    s.factory = null_factory();
+    spec.stages.push_back(std::move(s));
+  }
+  // a(3) -> b(2) -> c(1) -> d(0)
+  spec.edges = {{3, 2, 0}, {2, 1, 0}, {1, 0, 0}};
+  SourceSpec src;
+  src.target_stage = 3;
+  spec.sources = {src};
+  ASSERT_TRUE(spec.validate().is_ok());
+  EXPECT_EQ(spec.topological_order(), (std::vector<std::size_t>{3, 2, 1, 0}));
+}
+
+TEST(PipelineSpec, FanInCountsSourcesAndEdges) {
+  auto spec = two_stage_pipeline();
+  SourceSpec extra;
+  extra.target_stage = 1;
+  spec.sources.push_back(extra);
+  EXPECT_EQ(spec.fan_in(0), 1u);  // one source
+  EXPECT_EQ(spec.fan_in(1), 2u);  // edge from 0 plus the extra source
+}
+
+TEST(PipelineSpec, EdgesFromFiltersBySource) {
+  PipelineSpec spec = two_stage_pipeline();
+  spec.edges.push_back({0, 1, 3});
+  auto edges = spec.edges_from(0);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(spec.edges_from(1).empty());
+}
+
+TEST(HostModel, MissingEntriesDefaultToUnitSpeed) {
+  HostModel hosts;
+  hosts.cpu_factor = {2.0};
+  EXPECT_DOUBLE_EQ(hosts.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(hosts.at(7), 1.0);
+}
+
+}  // namespace
+}  // namespace gates::core

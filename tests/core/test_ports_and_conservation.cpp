@@ -1,0 +1,163 @@
+// Output ports (a stage splitting its output across downstream consumers)
+// and flow-conservation invariants across the simulated network.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::core {
+namespace {
+
+/// Routes even-sequence packets to port 0 and odd to port 1.
+class SplitterProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet& packet, Emitter& emitter) override {
+    emitter.emit(packet, packet.sequence % 2);
+  }
+  std::string name() const override { return "splitter"; }
+};
+
+class CountingProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet&, Emitter&) override { ++packets_; }
+  std::string name() const override { return "counting"; }
+  std::uint64_t packets_ = 0;
+};
+
+TEST(Ports, SplitterRoutesByPort) {
+  PipelineSpec spec;
+  StageSpec splitter;
+  splitter.name = "splitter";
+  splitter.factory = [] { return std::make_unique<SplitterProcessor>(); };
+  StageSpec even;
+  even.name = "even";
+  even.factory = [] { return std::make_unique<CountingProcessor>(); };
+  StageSpec odd;
+  odd.name = "odd";
+  odd.factory = [] { return std::make_unique<CountingProcessor>(); };
+  spec.stages = {std::move(splitter), std::move(even), std::move(odd)};
+  spec.edges = {{0, 1, 0}, {0, 2, 1}};
+  SourceSpec src;
+  src.rate_hz = 1000;
+  src.total_packets = 100;
+  src.packet_bytes = 8;
+  spec.sources = {src};
+
+  Placement placement;
+  placement.stage_nodes = {0, 1, 2};
+  SimEngine engine(std::move(spec), std::move(placement), {}, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  EXPECT_EQ(dynamic_cast<CountingProcessor&>(engine.processor(1)).packets_, 50u);
+  EXPECT_EQ(dynamic_cast<CountingProcessor&>(engine.processor(2)).packets_, 50u);
+}
+
+TEST(Ports, BroadcastWhenTwoEdgesShareAPort) {
+  PipelineSpec spec;
+  StageSpec fwd;
+  fwd.name = "fwd";
+  fwd.factory = [] {
+    class Forward : public StreamProcessor {
+     public:
+      void init(ProcessorContext&) override {}
+      void process(const Packet& p, Emitter& e) override { e.emit(p); }
+      std::string name() const override { return "forward"; }
+    };
+    return std::make_unique<Forward>();
+  };
+  StageSpec a;
+  a.name = "a";
+  a.factory = [] { return std::make_unique<CountingProcessor>(); };
+  StageSpec b;
+  b.name = "b";
+  b.factory = [] { return std::make_unique<CountingProcessor>(); };
+  spec.stages = {std::move(fwd), std::move(a), std::move(b)};
+  spec.edges = {{0, 1, 0}, {0, 2, 0}};  // same port: broadcast
+  SourceSpec src;
+  src.rate_hz = 1000;
+  src.total_packets = 40;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0, 0, 0};
+  SimEngine engine(std::move(spec), std::move(placement), {}, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_EQ(dynamic_cast<CountingProcessor&>(engine.processor(1)).packets_, 40u);
+  EXPECT_EQ(dynamic_cast<CountingProcessor&>(engine.processor(2)).packets_, 40u);
+}
+
+TEST(Conservation, LinkDeliversExactlyWhatStagesEmit) {
+  // Chain across three nodes; every stage report's emissions must equal the
+  // next stage's processed count, and link message stats must match (plus
+  // the EOS markers).
+  PipelineSpec spec;
+  for (const char* name : {"s0", "s1", "s2"}) {
+    StageSpec stage;
+    stage.name = name;
+    stage.factory = [] {
+      class Forward : public StreamProcessor {
+       public:
+        void init(ProcessorContext&) override {}
+        void process(const Packet& p, Emitter& e) override { e.emit(p); }
+        std::string name() const override { return "forward"; }
+      };
+      return std::make_unique<Forward>();
+    };
+    spec.stages.push_back(std::move(stage));
+  }
+  spec.edges = {{0, 1, 0}, {1, 2, 0}};
+  SourceSpec src;
+  src.rate_hz = 500;
+  src.total_packets = 300;
+  src.packet_bytes = 24;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0, 1, 2};
+  SimEngine::Config cfg;
+  cfg.wire.per_message_overhead = 10;
+  cfg.wire.per_record_overhead = 0;
+  SimEngine engine(std::move(spec), std::move(placement), {}, {}, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  const auto& report = engine.report();
+  ASSERT_TRUE(report.completed);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto* stage = report.stage("s" + std::to_string(i));
+    ASSERT_NE(stage, nullptr);
+    EXPECT_EQ(stage->packets_processed, 300u);
+    EXPECT_EQ(stage->packets_emitted, 300u);
+    EXPECT_EQ(stage->packets_dropped, 0u);
+  }
+  // Two inter-node links, each carrying 300 data packets + 1 EOS.
+  ASSERT_EQ(report.links.size(), 2u);
+  for (const auto& link : report.links) {
+    EXPECT_EQ(link.messages_delivered, 301u);
+    // 300 x (24 + 10) data bytes + 10 EOS bytes.
+    EXPECT_EQ(link.bytes_delivered, 300u * 34u + 10u);
+  }
+}
+
+TEST(Conservation, PoissonArrivalsConserveToo) {
+  PipelineSpec spec;
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountingProcessor>(); };
+  spec.stages = {std::move(sink)};
+  SourceSpec src;
+  src.rate_hz = 700;
+  src.total_packets = 1234;
+  src.poisson = true;
+  src.location = 1;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0};
+  SimEngine engine(std::move(spec), std::move(placement), {}, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_EQ(dynamic_cast<CountingProcessor&>(engine.processor(0)).packets_,
+            1234u);
+}
+
+}  // namespace
+}  // namespace gates::core

@@ -1,0 +1,180 @@
+#include "gates/core/adapt/queue_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/common/rng.hpp"
+
+namespace gates::core::adapt {
+namespace {
+
+QueueMonitorConfig test_config() {
+  QueueMonitorConfig cfg;
+  cfg.capacity = 100;
+  cfg.expected_length = 20;
+  cfg.over_threshold = 40;
+  cfg.under_threshold = 5;
+  cfg.window = 10;
+  cfg.alpha = 0.5;
+  cfg.p1 = 0.2;
+  cfg.p2 = 0.3;
+  cfg.p3 = 0.5;
+  cfg.lt1 = -0.2;
+  cfg.lt2 = 0.2;
+  cfg.dbar_window = 4;
+  return cfg;
+}
+
+TEST(QueueMonitor, SustainedOverloadSignalsUpstream) {
+  QueueMonitor m(test_config());
+  LoadSignal last = LoadSignal::kNone;
+  for (int i = 0; i < 20; ++i) last = m.observe(90);
+  EXPECT_EQ(last, LoadSignal::kOverload);
+  EXPECT_GT(m.overload_signals(), 0u);
+  EXPECT_GT(m.normalized_dtilde(), 0.2);
+}
+
+TEST(QueueMonitor, SustainedUnderloadSignalsUpstream) {
+  QueueMonitor m(test_config());
+  LoadSignal last = LoadSignal::kNone;
+  for (int i = 0; i < 20; ++i) last = m.observe(0);
+  EXPECT_EQ(last, LoadSignal::kUnderload);
+  EXPECT_LT(m.normalized_dtilde(), -0.2);
+}
+
+TEST(QueueMonitor, BalancedLoadStaysQuiet) {
+  QueueMonitor m(test_config());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(m.observe(20), LoadSignal::kNone);  // exactly the expectation
+  }
+  EXPECT_EQ(m.overload_signals(), 0u);
+  EXPECT_EQ(m.underload_signals(), 0u);
+}
+
+TEST(QueueMonitor, DtildeBoundedByCapacityProperty) {
+  auto cfg = test_config();
+  QueueMonitor m(cfg);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    m.observe(rng.uniform(0, cfg.capacity * 1.5));
+    ASSERT_GE(m.dtilde(), -cfg.capacity - 1e-9);
+    ASSERT_LE(m.dtilde(), cfg.capacity + 1e-9);
+  }
+}
+
+TEST(QueueMonitor, ClassificationCountersTrackThresholds) {
+  QueueMonitor m(test_config());
+  m.observe(50);  // over
+  m.observe(41);  // over
+  m.observe(20);  // normal
+  m.observe(2);   // under
+  EXPECT_EQ(m.t1(), 2u);
+  EXPECT_EQ(m.t2(), 1u);
+  EXPECT_EQ(m.w(), 1);  // +1 +1 0 -1
+}
+
+TEST(QueueMonitor, WindowEvictsOldClassifications) {
+  auto cfg = test_config();
+  cfg.window = 3;
+  QueueMonitor m(cfg);
+  m.observe(50);
+  m.observe(50);
+  m.observe(50);
+  EXPECT_EQ(m.w(), 3);
+  m.observe(0);
+  m.observe(0);
+  m.observe(0);
+  EXPECT_EQ(m.w(), -3);  // overloads fell out of the window
+  EXPECT_EQ(m.t1(), 3u);  // lifetime counters remember them
+}
+
+TEST(QueueMonitor, PhiValuesExposedAndInRange) {
+  QueueMonitor m(test_config());
+  for (int i = 0; i < 10; ++i) m.observe(70);
+  EXPECT_GT(m.last_phi1(), 0);
+  EXPECT_GT(m.last_phi2(), 0);
+  EXPECT_GT(m.last_phi3(), 0);
+  EXPECT_LE(m.last_phi1(), 1.0);
+  EXPECT_LE(m.last_phi2(), 1.0);
+  EXPECT_LE(m.last_phi3(), 1.0);
+}
+
+TEST(QueueMonitor, AlphaSmoothsResponse) {
+  auto fast_cfg = test_config();
+  fast_cfg.alpha = 0.1;
+  auto slow_cfg = test_config();
+  slow_cfg.alpha = 0.9;
+  QueueMonitor fast(fast_cfg), slow(slow_cfg);
+  for (int i = 0; i < 3; ++i) {
+    fast.observe(90);
+    slow.observe(90);
+  }
+  EXPECT_GT(fast.dtilde(), slow.dtilde());
+}
+
+TEST(QueueMonitor, TrendGatingSuppressesSignalWhileDraining) {
+  auto cfg = test_config();
+  QueueMonitor m(cfg);
+  for (int i = 0; i < 10; ++i) m.observe(90);
+  // Queue now clearly draining: d well below the recent average.
+  const LoadSignal signal = m.observe(30);
+  EXPECT_EQ(signal, LoadSignal::kNone);
+  EXPECT_GT(m.normalized_dtilde(), cfg.lt2);  // pressure reading still high
+}
+
+TEST(QueueMonitor, TrendGatingDisabledKeepsSignalling) {
+  auto cfg = test_config();
+  cfg.trend_gating = false;
+  QueueMonitor m(cfg);
+  for (int i = 0; i < 10; ++i) m.observe(90);
+  EXPECT_EQ(m.observe(30), LoadSignal::kOverload);
+}
+
+TEST(QueueMonitor, GatedDtildeZeroWhileDraining) {
+  QueueMonitor m(test_config());
+  for (int i = 0; i < 10; ++i) m.observe(90);
+  m.observe(10);
+  EXPECT_DOUBLE_EQ(m.normalized_dtilde_gated(), 0);
+  EXPECT_GT(m.normalized_dtilde(), 0);
+}
+
+TEST(QueueMonitor, ResetClearsState) {
+  QueueMonitor m(test_config());
+  for (int i = 0; i < 10; ++i) m.observe(90);
+  m.reset();
+  EXPECT_EQ(m.t1(), 0u);
+  EXPECT_EQ(m.t2(), 0u);
+  EXPECT_EQ(m.w(), 0);
+  EXPECT_DOUBLE_EQ(m.dtilde(), 0);
+  EXPECT_EQ(m.observations(), 0u);
+}
+
+TEST(QueueMonitorConfig, ValidationCatchesBadConfigs) {
+  auto check_bad = [](auto mutate) {
+    auto cfg = test_config();
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), std::logic_error);
+  };
+  check_bad([](auto& c) { c.capacity = 0; });
+  check_bad([](auto& c) { c.expected_length = 0; });
+  check_bad([](auto& c) { c.expected_length = c.capacity; });
+  check_bad([](auto& c) { c.over_threshold = c.under_threshold; });
+  check_bad([](auto& c) { c.window = 0; });
+  check_bad([](auto& c) { c.alpha = 0; });
+  check_bad([](auto& c) { c.alpha = 1; });
+  check_bad([](auto& c) { c.p1 = 0.9; });  // weights no longer sum to 1
+  check_bad([](auto& c) { c.lt1 = c.lt2; });
+  check_bad([](auto& c) { c.dbar_window = 0; });
+}
+
+TEST(QueueMonitor, DbarIsWindowedMean) {
+  auto cfg = test_config();
+  cfg.dbar_window = 2;
+  QueueMonitor m(cfg);
+  m.observe(10);
+  m.observe(20);
+  m.observe(30);
+  EXPECT_DOUBLE_EQ(m.dbar(), 25);  // mean of last two
+}
+
+}  // namespace
+}  // namespace gates::core::adapt

@@ -1,0 +1,176 @@
+// Real-time engine tests use short runs and generous timing tolerances —
+// they check plumbing (counts, EOS, backpressure survival), not timing
+// precision, which the deterministic SimEngine tests cover.
+#include "gates/core/rt_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gates::core {
+namespace {
+
+class CountingProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext& ctx) override {
+    forward_ = ctx.properties().get_bool("forward", false);
+  }
+  void process(const Packet& packet, Emitter& emitter) override {
+    ++packets_;
+    bytes_ += packet.payload_bytes();
+    if (forward_) emitter.emit(packet);
+  }
+  void finish(Emitter&) override { finished_ = true; }
+  std::string name() const override { return "counting"; }
+
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool forward_ = false;
+  bool finished_ = false;
+};
+
+struct Built {
+  PipelineSpec spec;
+  Placement placement;
+  HostModel hosts;
+  net::Topology topology;
+};
+
+Built chain(std::uint64_t packets, double rate, std::size_t bytes) {
+  Built b;
+  StageSpec a;
+  a.name = "A";
+  a.properties.set("forward", "true");
+  a.factory = [] { return std::make_unique<CountingProcessor>(); };
+  StageSpec sink;
+  sink.name = "B";
+  sink.factory = [] { return std::make_unique<CountingProcessor>(); };
+  b.spec.stages = {std::move(a), std::move(sink)};
+  b.spec.edges = {{0, 1, 0}};
+  SourceSpec src;
+  src.rate_hz = rate;
+  src.total_packets = packets;
+  src.packet_bytes = bytes;
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0, 1};
+  b.hosts.cpu_factor = {1.0, 1.0};
+  return b;
+}
+
+TEST(RtEngine, AllPacketsFlowThroughAndComplete) {
+  auto b = chain(200, 2000, 32);
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  auto& a = dynamic_cast<CountingProcessor&>(engine.processor(0));
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_EQ(a.packets_, 200u);
+  EXPECT_EQ(sink.packets_, 200u);
+  EXPECT_TRUE(sink.finished_);
+}
+
+TEST(RtEngine, ThrottledLinkSlowsTransfer) {
+  auto b = chain(50, 5000, 100);  // 5 KB of payload
+  b.topology.set_pair(0, 1, {10e3, 0.0});  // 10 KB/s
+  RtEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 0;
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  // ~0.5 s of transfer minus the burst allowance; just require a visible
+  // slowdown versus the ~25 ms generation time.
+  EXPECT_GT(engine.report().execution_time, 0.15);
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_EQ(sink.packets_, 50u);
+}
+
+TEST(RtEngine, BackpressureWithTinyQueuePreservesPackets) {
+  auto b = chain(100, 5000, 16);
+  b.spec.stages[1].input_capacity = 2;
+  b.spec.stages[1].cost.per_packet_seconds = 0.001;
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_EQ(sink.packets_, 100u);
+}
+
+TEST(RtEngine, RunForWindsDownUnboundedSources) {
+  auto b = chain(0, 500, 16);  // unbounded
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run_for(0.3).is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_GT(sink.packets_, 20u);
+}
+
+TEST(RtEngine, WatchdogForceStopsRunawayRun) {
+  auto b = chain(1000000, 10, 16);  // would take ~28 hours
+  RtEngine::Config cfg;
+  cfg.max_wall_time = 0.3;
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_FALSE(engine.report().completed);
+}
+
+TEST(RtEngine, InvalidPipelineSurfacesStatus) {
+  auto b = chain(10, 100, 16);
+  b.spec.edges.push_back({1, 0, 0});
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  EXPECT_FALSE(engine.run().is_ok());
+}
+
+TEST(RtEngine, ReportCarriesStageStats) {
+  auto b = chain(100, 2000, 32);
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  const auto* a = engine.report().stage("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->packets_processed, 100u);
+  EXPECT_EQ(a->packets_emitted, 100u);
+}
+
+TEST(RtEngine, AdaptationAdjustsParameterUnderLoad) {
+  // A volume parameter on stage A with a deliberately overloaded sink must
+  // move down from its initial value.
+  class AdaptiveForwarder : public StreamProcessor {
+   public:
+    void init(ProcessorContext& ctx) override {
+      AdjustmentParameter::Spec s;
+      s.name = "volume";
+      s.initial = 1.0;
+      s.min_value = 0.0;
+      s.max_value = 1.0;
+      s.direction = ParamDirection::kIncreaseSlowsDown;
+      param_ = &ctx.specify_parameter(s);
+    }
+    void process(const Packet& packet, Emitter& emitter) override {
+      emitter.emit(packet);
+    }
+    std::string name() const override { return "adaptive-forwarder"; }
+    AdjustmentParameter* param_ = nullptr;
+  };
+
+  auto b = chain(0, 300, 16);
+  b.spec.stages[0].factory = [] {
+    return std::make_unique<AdaptiveForwarder>();
+  };
+  b.spec.stages[1].cost.per_packet_seconds = 0.02;  // sink keeps ~6x too slow
+  b.spec.stages[1].input_capacity = 50;
+  b.spec.stages[1].monitor.capacity = 50;
+  b.spec.stages[1].monitor.expected_length = 5;
+  b.spec.stages[1].monitor.over_threshold = 10;
+  b.spec.stages[1].monitor.under_threshold = 2;
+  RtEngine::Config cfg;
+  cfg.control_period = 0.02;
+  RtEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run_for(1.5).is_ok());
+  const auto* a = engine.report().stage("A");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->parameter_trajectories.size(), 1u);
+  const auto& trajectory = a->parameter_trajectories[0].second;
+  ASSERT_FALSE(trajectory.empty());
+  EXPECT_LT(trajectory.back().second, 1.0);
+}
+
+}  // namespace
+}  // namespace gates::core

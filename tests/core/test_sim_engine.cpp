@@ -1,0 +1,295 @@
+#include "gates/core/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/common/serialize.hpp"
+
+namespace gates::core {
+namespace {
+
+/// Counts packets/bytes it processes; forwards a configurable fraction.
+class CountingProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext& ctx) override {
+    forward_ = ctx.properties().get_bool("forward", false);
+  }
+  void process(const Packet& packet, Emitter& emitter) override {
+    ++packets_;
+    bytes_ += packet.payload_bytes();
+    last_created_at_ = packet.created_at;
+    if (forward_) emitter.emit(packet);
+  }
+  void finish(Emitter&) override { finished_ = true; }
+  std::string name() const override { return "counting"; }
+
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  double last_created_at_ = -1;
+  bool forward_ = false;
+  bool finished_ = false;
+};
+
+struct Built {
+  PipelineSpec spec;
+  Placement placement;
+  HostModel hosts;
+  net::Topology topology;
+};
+
+/// source(node 0) -> stage A(node 0) -> stage B(node 1).
+Built chain(std::uint64_t packets, double rate, std::size_t bytes) {
+  Built b;
+  StageSpec a;
+  a.name = "A";
+  a.properties.set("forward", "true");
+  a.factory = [] { return std::make_unique<CountingProcessor>(); };
+  StageSpec sink;
+  sink.name = "B";
+  sink.factory = [] { return std::make_unique<CountingProcessor>(); };
+  b.spec.stages = {std::move(a), std::move(sink)};
+  b.spec.edges = {{0, 1, 0}};
+  SourceSpec src;
+  src.rate_hz = rate;
+  src.total_packets = packets;
+  src.packet_bytes = bytes;
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0, 1};
+  b.hosts.cpu_factor = {1.0, 1.0};
+  return b;
+}
+
+SimEngine::Config zero_overhead_config() {
+  SimEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 0;
+  return cfg;
+}
+
+TEST(SimEngine, AllPacketsFlowThroughAndComplete) {
+  auto b = chain(100, 100, 64);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  auto& a = dynamic_cast<CountingProcessor&>(engine.processor(0));
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_EQ(a.packets_, 100u);
+  EXPECT_EQ(sink.packets_, 100u);
+  EXPECT_EQ(sink.bytes_, 6400u);
+  EXPECT_TRUE(a.finished_);
+  EXPECT_TRUE(sink.finished_);
+}
+
+TEST(SimEngine, ExecutionTimeIsGenerationBoundWhenNetworkIsFast) {
+  auto b = chain(1000, 100, 64);  // 10 seconds of generation
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 10.0, 0.2);
+}
+
+TEST(SimEngine, ExecutionTimeIsBandwidthBoundOnSlowLink) {
+  auto b = chain(100, 1000, 100);  // 10 KB total, generated in 0.1 s
+  b.topology.set_pair(0, 1, {1000.0, 0.0});  // 1 KB/s -> 10 s to drain
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 10.0, 0.5);
+}
+
+TEST(SimEngine, ServiceCostDelaysCompletion) {
+  auto b = chain(100, 1000, 64);
+  b.spec.stages[1].cost.per_packet_seconds = 0.1;  // 10 s of service demand
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 10.0, 0.5);
+}
+
+TEST(SimEngine, FasterHostShortensService) {
+  auto b = chain(100, 1000, 64);
+  b.spec.stages[1].cost.per_packet_seconds = 0.1;
+  b.hosts.cpu_factor = {1.0, 4.0};  // node 1 is 4x faster
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 2.5, 0.3);
+}
+
+TEST(SimEngine, WireOverheadModelSlowsTransfers) {
+  auto b = chain(100, 1000, 4);
+  b.topology.set_pair(0, 1, {1000.0, 0.0});
+  SimEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 96;  // 100 B/packet on the wire
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 10.0, 0.5);
+}
+
+TEST(SimEngine, SharedIngressSerializesAllSenders) {
+  // Two sources on different nodes feed one sink through a shared ingress.
+  Built b;
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountingProcessor>(); };
+  b.spec.stages = {std::move(sink)};
+  for (int i = 0; i < 2; ++i) {
+    SourceSpec src;
+    src.stream = static_cast<StreamId>(i);
+    src.rate_hz = 1000;
+    src.total_packets = 50;
+    src.packet_bytes = 100;
+    src.location = static_cast<NodeId>(i + 1);
+    src.target_stage = 0;
+    b.spec.sources.push_back(src);
+  }
+  b.placement.stage_nodes = {0};
+  b.topology.set_shared_ingress(0, {1000.0, 0.0});  // 10 KB total -> 10 s
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_NEAR(engine.report().execution_time, 10.0, 0.5);
+  auto& proc = dynamic_cast<CountingProcessor&>(engine.processor(0));
+  EXPECT_EQ(proc.packets_, 100u);
+}
+
+TEST(SimEngine, ReportCountsAndStageNames) {
+  auto b = chain(50, 100, 64);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  const auto& report = engine.report();
+  ASSERT_EQ(report.stages.size(), 2u);
+  const auto* a = report.stage("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->packets_processed, 50u);
+  EXPECT_EQ(a->packets_emitted, 50u);
+  EXPECT_EQ(a->node, 0u);
+  EXPECT_EQ(report.stage("B")->packets_processed, 50u);
+  EXPECT_EQ(report.stage("nope"), nullptr);
+  EXPECT_GT(report.events_executed, 100u);
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto b = chain(200, 500, 32);
+    b.spec.sources[0].poisson = true;
+    SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                     zero_overhead_config());
+    EXPECT_TRUE(engine.run().is_ok());
+    return engine.report().execution_time;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(SimEngine, SeedChangesPoissonTimings) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    auto b = chain(200, 500, 32);
+    b.spec.sources[0].poisson = true;
+    auto cfg = zero_overhead_config();
+    cfg.seed = seed;
+    SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+    EXPECT_TRUE(engine.run().is_ok());
+    return engine.report().execution_time;
+  };
+  EXPECT_NE(run_with_seed(1), run_with_seed(2));
+}
+
+TEST(SimEngine, InvalidPipelineSurfacesStatus) {
+  auto b = chain(10, 100, 64);
+  b.spec.edges.push_back({1, 0, 0});  // cycle
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  EXPECT_FALSE(engine.run().is_ok());
+}
+
+TEST(SimEngine, MissingFactorySurfacesStatus) {
+  auto b = chain(10, 100, 64);
+  b.spec.stages[0].factory = nullptr;
+  b.spec.stages[0].processor_uri = "builtin://unresolved";
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  auto status = engine.run();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimEngine, PlacementSizeMismatchSurfacesStatus) {
+  auto b = chain(10, 100, 64);
+  b.placement.stage_nodes = {0};  // two stages
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  EXPECT_FALSE(engine.run().is_ok());
+}
+
+TEST(SimEngine, RunForStopsAtHorizonWithUnboundedSource) {
+  auto b = chain(0, 100, 64);  // unbounded
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run_for(5.0).is_ok());
+  EXPECT_FALSE(engine.report().completed);
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_NEAR(static_cast<double>(sink.packets_), 500, 10);
+}
+
+TEST(SimEngine, MaxTimeHorizonReportsIncomplete) {
+  auto b = chain(1000, 1, 64);  // would need 1000 s
+  auto cfg = zero_overhead_config();
+  cfg.max_time = 10;
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_FALSE(engine.report().completed);
+}
+
+TEST(SimEngine, BackpressurePreservesEveryPacket) {
+  // Slow sink with a tiny queue: deliveries stall, nothing is lost.
+  auto b = chain(300, 1000, 16);
+  b.spec.stages[1].input_capacity = 4;
+  b.spec.stages[1].cost.per_packet_seconds = 0.01;
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_EQ(sink.packets_, 300u);
+  EXPECT_TRUE(engine.report().completed);
+}
+
+TEST(SimEngine, PacketTimestampsAreMonotoneThroughChain) {
+  auto b = chain(50, 100, 16);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   zero_overhead_config());
+  ASSERT_TRUE(engine.run().is_ok());
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(1));
+  EXPECT_GE(sink.last_created_at_, 0.0);
+  EXPECT_LE(sink.last_created_at_, engine.report().execution_time);
+}
+
+TEST(SimEngine, ParameterValueAccessor) {
+  auto b = chain(10, 100, 16);
+  class ParamProcessor : public StreamProcessor {
+   public:
+    void init(ProcessorContext& ctx) override {
+      AdjustmentParameter::Spec s;
+      s.name = "knob";
+      s.initial = 0.4;
+      s.min_value = 0;
+      s.max_value = 1;
+      ctx.specify_parameter(s);
+    }
+    void process(const Packet&, Emitter&) override {}
+    std::string name() const override { return "param"; }
+  };
+  b.spec.stages[1].factory = [] { return std::make_unique<ParamProcessor>(); };
+  auto cfg = zero_overhead_config();
+  cfg.adaptation_enabled = false;
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_DOUBLE_EQ(engine.parameter_value(1, "knob"), 0.4);
+  EXPECT_THROW(engine.parameter_value(1, "missing"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gates::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "gates/grid/app_config.hpp"
+
+namespace gates::grid {
+namespace {
+
+const char* kConfig = R"(
+<application name="roundtrip">
+  <stages>
+    <stage name="summary" code="builtin://count-samps-summary" capacity="150">
+      <requirement min-cpu="0.5" min-memory-mb="128"/>
+      <cost per-packet="0.00001" per-byte="0.0000005"/>
+      <param name="emit-every" value="2500"/>
+      <placement node="1"/>
+      <monitor expected="15" over="30" under="4" window="8" alpha="0.6"
+               p1="0.2" p2="0.3" p3="0.5" lt1="-0.15" lt2="0.15"/>
+      <controller gain="0.08" variability="1.5" decay="0.6"/>
+    </stage>
+    <stage name="sink" code="builtin://count-samps-sink"/>
+  </stages>
+  <edges><edge from="summary" to="sink" port="2"/></edges>
+  <sources>
+    <source name="s0" stream="3" rate="138.5" count="25000" target="summary"
+            node="1" type="zipf-u64" poisson="true">
+      <param name="universe" value="5000"/>
+      <param name="theta" value="1.1"/>
+    </source>
+  </sources>
+</application>)";
+
+TEST(AppConfigWriter, RoundTripPreservesEverything) {
+  const auto& generators = GeneratorRegistry::global();
+  auto original = parse_app_config(kConfig, generators);
+  ASSERT_TRUE(original.ok()) << original.status().to_string();
+
+  auto text = write_app_config(*original);
+  ASSERT_TRUE(text.ok()) << text.status().to_string();
+  auto reparsed = parse_app_config(*text, generators);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string() << "\n" << *text;
+
+  EXPECT_EQ(reparsed->application_name, "roundtrip");
+  const auto& a = original->pipeline;
+  const auto& b = reparsed->pipeline;
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    SCOPED_TRACE(a.stages[i].name);
+    EXPECT_EQ(a.stages[i].name, b.stages[i].name);
+    EXPECT_EQ(a.stages[i].processor_uri, b.stages[i].processor_uri);
+    EXPECT_EQ(a.stages[i].input_capacity, b.stages[i].input_capacity);
+    EXPECT_EQ(a.stages[i].placement_hint, b.stages[i].placement_hint);
+    EXPECT_NEAR(a.stages[i].cost.per_packet_seconds,
+                b.stages[i].cost.per_packet_seconds, 1e-9);
+    EXPECT_NEAR(a.stages[i].cost.per_byte_seconds,
+                b.stages[i].cost.per_byte_seconds, 1e-9);
+    EXPECT_NEAR(a.stages[i].requirement.min_cpu_factor,
+                b.stages[i].requirement.min_cpu_factor, 1e-9);
+    EXPECT_NEAR(a.stages[i].monitor.expected_length,
+                b.stages[i].monitor.expected_length, 1e-6);
+    EXPECT_EQ(a.stages[i].monitor.window, b.stages[i].monitor.window);
+    EXPECT_NEAR(a.stages[i].monitor.lt2, b.stages[i].monitor.lt2, 1e-6);
+    EXPECT_NEAR(a.stages[i].controller.gain, b.stages[i].controller.gain, 1e-6);
+    EXPECT_EQ(a.stages[i].properties.all(), b.stages[i].properties.all());
+  }
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_EQ(b.edges[0].from_stage, 0u);
+  EXPECT_EQ(b.edges[0].to_stage, 1u);
+  EXPECT_EQ(b.edges[0].port, 2u);
+
+  ASSERT_EQ(a.sources.size(), b.sources.size());
+  EXPECT_EQ(b.sources[0].name, "s0");
+  EXPECT_EQ(b.sources[0].stream, 3u);
+  EXPECT_NEAR(b.sources[0].rate_hz, 138.5, 1e-6);
+  EXPECT_EQ(b.sources[0].total_packets, 25000u);
+  EXPECT_TRUE(b.sources[0].poisson);
+  EXPECT_EQ(b.sources[0].generator_type, "zipf-u64");
+  EXPECT_EQ(b.sources[0].generator_properties.all(),
+            a.sources[0].generator_properties.all());
+  EXPECT_TRUE(static_cast<bool>(b.sources[0].generator));
+}
+
+TEST(AppConfigWriter, RejectsFactoryOnlyStages) {
+  AppConfig config;
+  config.application_name = "x";
+  core::StageSpec stage;
+  stage.name = "s";
+  stage.factory = []() -> std::unique_ptr<core::StreamProcessor> {
+    return nullptr;
+  };
+  config.pipeline.stages.push_back(std::move(stage));
+  auto text = write_app_config(config);
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AppConfigWriter, EscapesAttributeValues) {
+  AppConfig config;
+  config.application_name = "needs <escaping> & \"quotes\"";
+  core::StageSpec stage;
+  stage.name = "s";
+  stage.processor_uri = "builtin://x";
+  config.pipeline.stages.push_back(std::move(stage));
+  core::SourceSpec src;
+  src.name = "src";
+  config.pipeline.sources.push_back(src);
+  auto text = write_app_config(config);
+  ASSERT_TRUE(text.ok());
+  auto parsed = parse_app_config(*text, GeneratorRegistry::global());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->application_name, "needs <escaping> & \"quotes\"");
+}
+
+}  // namespace
+}  // namespace gates::grid

@@ -1,0 +1,103 @@
+#include "gates/grid/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gates::grid {
+namespace {
+
+class DummyProcessor : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet&, core::Emitter&) override {}
+  std::string name() const override { return "dummy"; }
+};
+
+core::ProcessorFactory dummy_factory() {
+  return [] { return std::make_unique<DummyProcessor>(); };
+}
+
+TEST(GatesServiceInstance, HappyPathLifecycle) {
+  GatesServiceInstance instance("stage", 3);
+  EXPECT_EQ(instance.state(), GatesServiceInstance::State::kCreated);
+  EXPECT_EQ(instance.node(), 3u);
+
+  ASSERT_TRUE(instance.upload_code(dummy_factory()).is_ok());
+  EXPECT_EQ(instance.state(), GatesServiceInstance::State::kCustomized);
+
+  auto processor = instance.instantiate();
+  ASSERT_TRUE(processor.ok());
+  EXPECT_EQ((*processor)->name(), "dummy");
+  EXPECT_EQ(instance.state(), GatesServiceInstance::State::kRunning);
+
+  instance.stop();
+  EXPECT_EQ(instance.state(), GatesServiceInstance::State::kStopped);
+}
+
+TEST(GatesServiceInstance, InstantiateBeforeUploadFails) {
+  GatesServiceInstance instance("stage", 0);
+  auto processor = instance.instantiate();
+  EXPECT_EQ(processor.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GatesServiceInstance, DoubleUploadFails) {
+  GatesServiceInstance instance("stage", 0);
+  ASSERT_TRUE(instance.upload_code(dummy_factory()).is_ok());
+  EXPECT_EQ(instance.upload_code(dummy_factory()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GatesServiceInstance, NullCodeRejected) {
+  GatesServiceInstance instance("stage", 0);
+  EXPECT_EQ(instance.upload_code(nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GatesServiceInstance, DoubleInstantiateFails) {
+  GatesServiceInstance instance("stage", 0);
+  ASSERT_TRUE(instance.upload_code(dummy_factory()).is_ok());
+  ASSERT_TRUE(instance.instantiate().ok());
+  EXPECT_EQ(instance.instantiate().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GatesServiceInstance, NullProducingFactorySurfacesInternal) {
+  GatesServiceInstance instance("stage", 0);
+  ASSERT_TRUE(instance
+                  .upload_code([]() -> std::unique_ptr<core::StreamProcessor> {
+                    return nullptr;
+                  })
+                  .is_ok());
+  EXPECT_EQ(instance.instantiate().status().code(), StatusCode::kInternal);
+}
+
+TEST(ServiceContainer, TracksInstances) {
+  ServiceContainer container(7);
+  EXPECT_EQ(container.node(), 7u);
+  auto& a = container.create_instance("a");
+  auto& b = container.create_instance("b");
+  EXPECT_EQ(container.instance_count(), 2u);
+  EXPECT_EQ(a.stage_name(), "a");
+  EXPECT_EQ(b.node(), 7u);
+}
+
+TEST(ServiceContainer, StopAllStopsEveryInstance) {
+  ServiceContainer container(0);
+  container.create_instance("a");
+  container.create_instance("b");
+  container.stop_all();
+  for (const auto& instance : container.instances()) {
+    EXPECT_EQ(instance->state(), GatesServiceInstance::State::kStopped);
+  }
+}
+
+TEST(ServiceState, NamesAreStable) {
+  EXPECT_STREQ(service_state_name(GatesServiceInstance::State::kCreated),
+               "CREATED");
+  EXPECT_STREQ(service_state_name(GatesServiceInstance::State::kRunning),
+               "RUNNING");
+}
+
+}  // namespace
+}  // namespace gates::grid

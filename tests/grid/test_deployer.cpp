@@ -1,0 +1,211 @@
+#include "gates/grid/deployer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gates::grid {
+namespace {
+
+class DummyProcessor : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet&, core::Emitter&) override {}
+  std::string name() const override { return "dummy"; }
+};
+
+struct Fixture {
+  ResourceDirectory directory;
+  RepositoryRegistry repos;
+  ProcessorRegistry processors;
+
+  Fixture() {
+    (void)processors.add("dummy",
+                         [] { return std::make_unique<DummyProcessor>(); });
+  }
+
+  core::PipelineSpec pipeline(std::size_t stages) {
+    core::PipelineSpec spec;
+    for (std::size_t i = 0; i < stages; ++i) {
+      core::StageSpec s;
+      s.name = "stage" + std::to_string(i);
+      s.processor_uri = "builtin://dummy";
+      spec.stages.push_back(std::move(s));
+    }
+    core::SourceSpec src;
+    src.location = 1;
+    src.target_stage = 0;
+    spec.sources = {src};
+    for (std::size_t i = 0; i + 1 < stages; ++i) {
+      spec.edges.push_back({i, i + 1, 0});
+    }
+    return spec;
+  }
+};
+
+TEST(Deployer, PlacesFirstStageNearSource) {
+  Fixture f;
+  f.directory.register_node("central", {});
+  f.directory.register_node("edge", {});
+  auto spec = f.pipeline(2);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok()) << deployment.status().to_string();
+  EXPECT_EQ(deployment->placement.stage_nodes[0], 1u);  // source node
+}
+
+TEST(Deployer, HonorsPlacementPins) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto spec = f.pipeline(2);
+  spec.stages[1].placement_hint = 0;
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  EXPECT_EQ(deployment->placement.stage_nodes[1], 0u);
+}
+
+TEST(Deployer, PinToUnqualifiedNodeFails) {
+  Fixture f;
+  ResourceSpec weak;
+  weak.cpu_factor = 0.2;
+  f.directory.register_node("weak", weak);
+  f.directory.register_node("ok", {});
+  auto spec = f.pipeline(1);
+  spec.stages[0].placement_hint = 0;
+  spec.stages[0].requirement.min_cpu_factor = 1.0;
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  EXPECT_EQ(deployment.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Deployer, SpreadsLoadAcrossQualifyingNodes) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  f.directory.register_node("n2", {});
+  // Chain of four stages: stage0 near the source (node 1); the rest spread.
+  auto spec = f.pipeline(4);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  const auto& nodes = deployment->placement.stage_nodes;
+  // Least-loaded policy: after stage0 lands on node 1, the next stages fill
+  // nodes 0 and 2; with all nodes equally loaded, ties break to the lowest
+  // node id.
+  EXPECT_EQ(nodes[0], 1u);
+  EXPECT_EQ(nodes[1], 0u);
+  EXPECT_EQ(nodes[2], 2u);
+  EXPECT_EQ(nodes[3], 0u);
+}
+
+TEST(Deployer, RequirementFiltersNodes) {
+  Fixture f;
+  ResourceSpec weak;
+  weak.cpu_factor = 0.5;
+  ResourceSpec strong;
+  strong.cpu_factor = 4.0;
+  f.directory.register_node("weak", weak);   // node 0
+  f.directory.register_node("strong", strong);  // node 1
+  auto spec = f.pipeline(1);
+  spec.sources[0].location = 0;
+  spec.stages[0].requirement.min_cpu_factor = 2.0;
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  // Source node 0 does not qualify; must fall through to node 1.
+  EXPECT_EQ(deployment->placement.stage_nodes[0], 1u);
+}
+
+TEST(Deployer, NoQualifyingNodeIsResourceExhausted) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  auto spec = f.pipeline(1);
+  spec.stages[0].requirement.min_cpu_factor = 99;
+  Deployer deployer(f.directory, f.repos, f.processors);
+  EXPECT_EQ(deployer.deploy(spec).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(Deployer, EmptyDirectoryIsFailedPrecondition) {
+  Fixture f;
+  auto spec = f.pipeline(1);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  EXPECT_EQ(deployer.deploy(spec).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Deployer, UnresolvableCodeUriFails) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto spec = f.pipeline(1);
+  spec.stages[0].processor_uri = "builtin://ghost";
+  Deployer deployer(f.directory, f.repos, f.processors);
+  EXPECT_EQ(deployer.deploy(spec).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Deployer, CreatesContainersAndCustomizedInstances) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto spec = f.pipeline(2);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  ASSERT_EQ(deployment->instances.size(), 2u);
+  for (auto* instance : deployment->instances) {
+    ASSERT_NE(instance, nullptr);
+    EXPECT_EQ(instance->state(), GatesServiceInstance::State::kCustomized);
+  }
+  // Spec factories now route through the instances.
+  auto processor = spec.stages[0].factory();
+  ASSERT_NE(processor, nullptr);
+  EXPECT_EQ(deployment->instances[0]->state(),
+            GatesServiceInstance::State::kRunning);
+  // A second engine instantiation of the same service instance fails.
+  EXPECT_EQ(spec.stages[0].factory(), nullptr);
+}
+
+TEST(Deployer, ResolvesThroughNamedRepository) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto repo = f.repos.create("apps");
+  ASSERT_TRUE(repo.ok());
+  ASSERT_TRUE((*repo)->publish("stages/s", {"dummy", "1", ""}).is_ok());
+  auto spec = f.pipeline(1);
+  spec.stages[0].processor_uri = "repo://apps/stages/s";
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok()) << deployment.status().to_string();
+}
+
+TEST(Deployer, DecisionsAreHumanReadable) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto spec = f.pipeline(2);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  ASSERT_EQ(deployment->decisions.size(), 2u);
+  EXPECT_NE(deployment->decisions[0].find("stage0"), std::string::npos);
+}
+
+TEST(Deployer, HostModelComesFromDirectory) {
+  Fixture f;
+  ResourceSpec fast;
+  fast.cpu_factor = 3.0;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", fast);
+  auto spec = f.pipeline(1);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  EXPECT_DOUBLE_EQ(deployment->hosts.at(1), 3.0);
+}
+
+}  // namespace
+}  // namespace gates::grid

@@ -1,0 +1,73 @@
+#include "gates/grid/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates::grid {
+namespace {
+
+TEST(ResourceDirectory, RegistersWithDenseIds) {
+  ResourceDirectory dir;
+  EXPECT_EQ(dir.register_node("a", {}), 0u);
+  EXPECT_EQ(dir.register_node("b", {}), 1u);
+  EXPECT_EQ(dir.size(), 2u);
+  EXPECT_EQ(dir.node(1)->hostname, "b");
+}
+
+TEST(ResourceDirectory, UnknownNodeIsNotFound) {
+  ResourceDirectory dir;
+  EXPECT_FALSE(dir.node(0).ok());
+  EXPECT_FALSE(dir.set_available(5, false).is_ok());
+}
+
+TEST(ResourceDirectory, SatisfiesChecksCpuAndMemory) {
+  ResourceDirectory dir;
+  ResourceSpec weak;
+  weak.cpu_factor = 0.5;
+  weak.memory_mb = 128;
+  dir.register_node("weak", weak);
+
+  core::ResourceRequirement req;
+  req.min_cpu_factor = 1.0;
+  EXPECT_FALSE(dir.satisfies(0, req));
+  req.min_cpu_factor = 0.5;
+  EXPECT_TRUE(dir.satisfies(0, req));
+  req.min_memory_mb = 256;
+  EXPECT_FALSE(dir.satisfies(0, req));
+  EXPECT_FALSE(dir.satisfies(99, req));
+}
+
+TEST(ResourceDirectory, UnavailableNodesAreExcluded) {
+  ResourceDirectory dir;
+  dir.register_node("a", {});
+  ASSERT_TRUE(dir.set_available(0, false).is_ok());
+  EXPECT_FALSE(dir.satisfies(0, {}));
+  EXPECT_TRUE(dir.query({}).empty());
+  ASSERT_TRUE(dir.set_available(0, true).is_ok());
+  EXPECT_EQ(dir.query({}).size(), 1u);
+}
+
+TEST(ResourceDirectory, QueryReturnsAscendingMatches) {
+  ResourceDirectory dir;
+  ResourceSpec big;
+  big.cpu_factor = 4;
+  dir.register_node("n0", {});
+  dir.register_node("n1", big);
+  dir.register_node("n2", big);
+  core::ResourceRequirement req;
+  req.min_cpu_factor = 2;
+  EXPECT_EQ(dir.query(req), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ResourceDirectory, HostModelMirrorsCpuFactors) {
+  ResourceDirectory dir;
+  ResourceSpec fast;
+  fast.cpu_factor = 2.5;
+  dir.register_node("slow", {});
+  dir.register_node("fast", fast);
+  auto model = dir.host_model();
+  EXPECT_DOUBLE_EQ(model.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.at(1), 2.5);
+}
+
+}  // namespace
+}  // namespace gates::grid

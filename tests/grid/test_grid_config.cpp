@@ -1,0 +1,94 @@
+#include "gates/grid/grid_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates::grid {
+namespace {
+
+const char* kGrid = R"(<?xml version="1.0"?>
+<grid name="demo">
+  <node id="0" hostname="central" cpu="2.0" memory-mb="8192"/>
+  <node id="1" hostname="edge1"/>
+  <node id="2" hostname="edge2" available="false"/>
+  <default-link bandwidth="1e6" latency="0.002"/>
+  <link from="1" to="0" bandwidth="100e3" latency="0.01"/>
+  <shared-ingress node="0" bandwidth="50e3"/>
+</grid>)";
+
+TEST(GridConfig, ParsesNodesLinksAndIngress) {
+  auto config = parse_grid_config(kGrid);
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  EXPECT_EQ(config->name, "demo");
+  ASSERT_EQ(config->directory.size(), 3u);
+  EXPECT_EQ(config->directory.node(0)->hostname, "central");
+  EXPECT_DOUBLE_EQ(config->directory.node(0)->resources.cpu_factor, 2.0);
+  EXPECT_DOUBLE_EQ(config->directory.node(1)->resources.cpu_factor, 1.0);
+  EXPECT_FALSE(config->directory.node(2)->available);
+
+  EXPECT_DOUBLE_EQ(config->topology.default_link().bandwidth, 1e6);
+  EXPECT_DOUBLE_EQ(config->topology.default_link().latency, 0.002);
+  EXPECT_DOUBLE_EQ(config->topology.between(1, 0).bandwidth, 100e3);
+  EXPECT_DOUBLE_EQ(config->topology.between(0, 1).bandwidth, 1e6);  // default
+  ASSERT_TRUE(config->topology.shared_ingress(0).has_value());
+  EXPECT_DOUBLE_EQ(config->topology.shared_ingress(0)->bandwidth, 50e3);
+}
+
+TEST(GridConfig, HostModelFollowsNodes) {
+  auto config = parse_grid_config(kGrid);
+  ASSERT_TRUE(config.ok());
+  auto hosts = config->directory.host_model();
+  EXPECT_DOUBLE_EQ(hosts.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(hosts.at(1), 1.0);
+}
+
+struct BadGridCase {
+  const char* name;
+  const char* xml;
+};
+
+class GridConfigRejects : public ::testing::TestWithParam<BadGridCase> {};
+
+TEST_P(GridConfigRejects, MalformedConfig) {
+  EXPECT_FALSE(parse_grid_config(GetParam().xml).ok()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GridConfigRejects,
+    ::testing::Values(
+        BadGridCase{"not_xml", "nope"},
+        BadGridCase{"wrong_root", "<gird/>"},
+        BadGridCase{"no_nodes", "<grid/>"},
+        BadGridCase{"sparse_ids", "<grid><node id='0'/><node id='2'/></grid>"},
+        BadGridCase{"missing_id", "<grid><node/></grid>"},
+        BadGridCase{"bad_cpu", "<grid><node id='0' cpu='-1'/></grid>"},
+        BadGridCase{"bad_available",
+                    "<grid><node id='0' available='perhaps'/></grid>"},
+        BadGridCase{"link_unknown_node",
+                    "<grid><node id='0'/><link from='0' to='9'/></grid>"},
+        BadGridCase{"link_bad_bandwidth",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' bandwidth='0'/></grid>"},
+        BadGridCase{"ingress_missing_bandwidth",
+                    "<grid><node id='0'/><shared-ingress node='0'/></grid>"},
+        BadGridCase{"ingress_unknown_node",
+                    "<grid><node id='0'/>"
+                    "<shared-ingress node='3' bandwidth='1e3'/></grid>"},
+        BadGridCase{"default_link_bad_latency",
+                    "<grid><node id='0'/>"
+                    "<default-link bandwidth='1e3' latency='-1'/></grid>"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(GridConfig, LinkInheritsDefaultLatency) {
+  auto config = parse_grid_config(R"(
+    <grid>
+      <node id="0"/><node id="1"/>
+      <default-link bandwidth="1e5" latency="0.5"/>
+      <link from="0" to="1" bandwidth="7e3"/>
+    </grid>)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->topology.between(0, 1).bandwidth, 7e3);
+  EXPECT_DOUBLE_EQ(config->topology.between(0, 1).latency, 0.5);
+}
+
+}  // namespace
+}  // namespace gates::grid

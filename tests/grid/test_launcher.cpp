@@ -1,0 +1,88 @@
+#include "gates/grid/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/apps/registration.hpp"
+
+namespace gates::grid {
+namespace {
+
+const char* kConfig = R"(
+<application name="mini">
+  <stages>
+    <stage name="summary" code="builtin://count-samps-summary"/>
+    <stage name="sink" code="builtin://count-samps-sink"/>
+  </stages>
+  <edges><edge from="summary" to="sink"/></edges>
+  <sources>
+    <source name="s" rate="100" count="100" target="summary" node="1"
+            type="zipf-u64"/>
+  </sources>
+</application>)";
+
+struct Fixture {
+  ResourceDirectory directory;
+  RepositoryRegistry repos;
+  Deployer deployer{directory, repos, ProcessorRegistry::global()};
+  Launcher launcher{deployer, GeneratorRegistry::global()};
+
+  Fixture() {
+    apps::register_all();
+    directory.register_node("central", {});
+    directory.register_node("edge", {});
+  }
+};
+
+TEST(Launcher, LaunchFromText) {
+  Fixture f;
+  auto app = f.launcher.launch_text(kConfig);
+  ASSERT_TRUE(app.ok()) << app.status().to_string();
+  EXPECT_EQ(app->name, "mini");
+  EXPECT_EQ(app->pipeline.stages.size(), 2u);
+  EXPECT_EQ(app->deployment.placement.stage_nodes.size(), 2u);
+  // Factories are wired through containers and usable.
+  ASSERT_TRUE(static_cast<bool>(app->pipeline.stages[0].factory));
+  EXPECT_NE(app->pipeline.stages[0].factory(), nullptr);
+}
+
+TEST(Launcher, LaunchFromHostedUrl) {
+  Fixture f;
+  f.launcher.host_config("mini", kConfig);
+  auto app = f.launcher.launch_url("config://mini");
+  ASSERT_TRUE(app.ok()) << app.status().to_string();
+  EXPECT_EQ(app->name, "mini");
+}
+
+TEST(Launcher, UnknownHostedConfigIsNotFound) {
+  Fixture f;
+  EXPECT_EQ(f.launcher.launch_url("config://ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Launcher, WrongUrlSchemeRejected) {
+  Fixture f;
+  EXPECT_EQ(f.launcher.launch_url("http://x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(f.launcher.launch_url("not a url").ok());
+}
+
+TEST(Launcher, MalformedConfigSurfacesParserError) {
+  Fixture f;
+  auto app = f.launcher.launch_text("<application><broken");
+  ASSERT_FALSE(app.ok());
+  EXPECT_EQ(app.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Launcher, DeploymentFailureSurfaces) {
+  // Directory without nodes: parsing succeeds, deployment fails.
+  ResourceDirectory empty_directory;
+  RepositoryRegistry repos;
+  Deployer deployer(empty_directory, repos, ProcessorRegistry::global());
+  Launcher launcher(deployer, GeneratorRegistry::global());
+  apps::register_all();
+  auto app = launcher.launch_text(kConfig);
+  EXPECT_EQ(app.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace gates::grid

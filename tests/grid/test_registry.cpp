@@ -1,0 +1,120 @@
+#include "gates/grid/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/common/serialize.hpp"
+
+namespace gates::grid {
+namespace {
+
+class DummyProcessor : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet&, core::Emitter&) override {}
+  std::string name() const override { return "dummy"; }
+};
+
+TEST(ProcessorRegistry, AddAndLookup) {
+  ProcessorRegistry registry;
+  ASSERT_TRUE(registry.add("dummy", [] {
+    return std::make_unique<DummyProcessor>();
+  }).is_ok());
+  EXPECT_TRUE(registry.contains("dummy"));
+  auto factory = registry.lookup("dummy");
+  ASSERT_TRUE(factory.ok());
+  EXPECT_EQ((*factory)()->name(), "dummy");
+}
+
+TEST(ProcessorRegistry, DuplicateNameRejected) {
+  ProcessorRegistry registry;
+  auto factory = [] { return std::make_unique<DummyProcessor>(); };
+  ASSERT_TRUE(registry.add("x", factory).is_ok());
+  auto status = registry.add("x", factory);
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ProcessorRegistry, NullFactoryRejected) {
+  ProcessorRegistry registry;
+  EXPECT_EQ(registry.add("x", nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProcessorRegistry, UnknownLookupIsNotFound) {
+  ProcessorRegistry registry;
+  EXPECT_EQ(registry.lookup("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProcessorRegistry, NamesAreSorted) {
+  ProcessorRegistry registry;
+  auto factory = [] { return std::make_unique<DummyProcessor>(); };
+  (void)registry.add("zeta", factory);
+  (void)registry.add("alpha", factory);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(GeneratorRegistry, BuiltinZerosGenerator) {
+  GeneratorRegistry registry;
+  Properties props;
+  props.set("bytes", "32");
+  auto gen = registry.make("zeros", props);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(1);
+  auto packet = (*gen)(0, rng);
+  EXPECT_EQ(packet.payload_bytes(), 32u);
+}
+
+TEST(GeneratorRegistry, BuiltinZipfGenerator) {
+  GeneratorRegistry registry;
+  Properties props;
+  props.set("universe", "100");
+  props.set("theta", "1.0");
+  auto gen = registry.make("zipf-u64", props);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    auto packet = (*gen)(i, rng);
+    ASSERT_EQ(packet.payload_bytes(), 8u);
+    Deserializer d(packet.payload);
+    std::uint64_t v;
+    ASSERT_TRUE(d.read_u64(v).is_ok());
+    ASSERT_LT(v, 100u);
+  }
+}
+
+TEST(GeneratorRegistry, ZipfValidatesProperties) {
+  GeneratorRegistry registry;
+  Properties props;
+  props.set("universe", "0");
+  EXPECT_FALSE(registry.make("zipf-u64", props).ok());
+  Properties props2;
+  props2.set("theta", "-1");
+  EXPECT_FALSE(registry.make("zipf-u64", props2).ok());
+}
+
+TEST(GeneratorRegistry, UnknownGeneratorIsNotFound) {
+  GeneratorRegistry registry;
+  EXPECT_EQ(registry.make("nope", {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(GeneratorRegistry, CustomGeneratorRegisters) {
+  GeneratorRegistry registry;
+  ASSERT_TRUE(registry
+                  .add("custom",
+                       [](const Properties&) -> StatusOr<core::PacketGenerator> {
+                         return core::PacketGenerator(
+                             [](std::uint64_t, Rng&) { return core::Packet{}; });
+                       })
+                  .is_ok());
+  EXPECT_TRUE(registry.contains("custom"));
+  EXPECT_EQ(registry.add("custom", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorRegistry, GlobalHasBuiltins) {
+  EXPECT_TRUE(GeneratorRegistry::global().contains("zeros"));
+  EXPECT_TRUE(GeneratorRegistry::global().contains("zipf-u64"));
+}
+
+}  // namespace
+}  // namespace gates::grid

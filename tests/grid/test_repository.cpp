@@ -1,0 +1,107 @@
+#include "gates/grid/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gates::grid {
+namespace {
+
+class DummyProcessor : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet&, core::Emitter&) override {}
+  std::string name() const override { return "dummy"; }
+};
+
+ProcessorRegistry registry_with_dummy() {
+  ProcessorRegistry registry;
+  (void)registry.add("dummy", [] { return std::make_unique<DummyProcessor>(); });
+  return registry;
+}
+
+TEST(ApplicationRepository, PublishAndFetch) {
+  ApplicationRepository repo("r");
+  ASSERT_TRUE(repo.publish("stages/x", {"dummy", "2.1", "desc"}).is_ok());
+  auto entry = repo.fetch("stages/x");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->processor_name, "dummy");
+  EXPECT_EQ(entry->version, "2.1");
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(ApplicationRepository, DuplicatePathRejected) {
+  ApplicationRepository repo("r");
+  ASSERT_TRUE(repo.publish("p", {"dummy", "1", ""}).is_ok());
+  EXPECT_EQ(repo.publish("p", {"other", "1", ""}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ApplicationRepository, EmptyProcessorNameRejected) {
+  ApplicationRepository repo("r");
+  EXPECT_EQ(repo.publish("p", {"", "1", ""}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApplicationRepository, MissingPathIsNotFound) {
+  ApplicationRepository repo("r");
+  EXPECT_EQ(repo.fetch("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RepositoryRegistry, CreateAndGet) {
+  RepositoryRegistry registry;
+  auto repo = registry.create("apps");
+  ASSERT_TRUE(repo.ok());
+  EXPECT_EQ((*repo)->name(), "apps");
+  EXPECT_TRUE(registry.get("apps").ok());
+  EXPECT_EQ(registry.create("apps").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.get("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RepositoryRegistry, ResolvesBuiltinScheme) {
+  RepositoryRegistry repos;
+  auto processors = registry_with_dummy();
+  auto factory = repos.resolve("builtin://dummy", processors);
+  ASSERT_TRUE(factory.ok());
+  EXPECT_EQ((*factory)()->name(), "dummy");
+}
+
+TEST(RepositoryRegistry, ResolvesRepoScheme) {
+  RepositoryRegistry repos;
+  auto repo = repos.create("apps");
+  ASSERT_TRUE(repo.ok());
+  ASSERT_TRUE((*repo)->publish("stages/s1", {"dummy", "1", ""}).is_ok());
+  auto processors = registry_with_dummy();
+  auto factory = repos.resolve("repo://apps/stages/s1", processors);
+  ASSERT_TRUE(factory.ok());
+  EXPECT_EQ((*factory)()->name(), "dummy");
+}
+
+TEST(RepositoryRegistry, ResolveErrors) {
+  RepositoryRegistry repos;
+  auto processors = registry_with_dummy();
+  // Unknown scheme.
+  EXPECT_EQ(repos.resolve("http://x/y", processors).status().code(),
+            StatusCode::kInvalidArgument);
+  // Malformed URI.
+  EXPECT_FALSE(repos.resolve("not-a-uri", processors).ok());
+  // Unknown repository.
+  EXPECT_EQ(repos.resolve("repo://ghost/p", processors).status().code(),
+            StatusCode::kNotFound);
+  // Known repository, unknown path.
+  (void)repos.create("apps");
+  EXPECT_EQ(repos.resolve("repo://apps/ghost", processors).status().code(),
+            StatusCode::kNotFound);
+  // Entry referencing an unregistered processor.
+  ASSERT_TRUE(
+      (*repos.get("apps"))->publish("p", {"unregistered", "1", ""}).is_ok());
+  EXPECT_EQ(repos.resolve("repo://apps/p", processors).status().code(),
+            StatusCode::kNotFound);
+  // Builtin referencing an unregistered processor.
+  EXPECT_EQ(repos.resolve("builtin://ghost", processors).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gates::grid

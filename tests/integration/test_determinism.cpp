@@ -1,0 +1,65 @@
+// Reproducibility: a SimEngine experiment is a pure function of its
+// configuration and seed.
+#include <gtest/gtest.h>
+
+#include "gates/apps/scenarios.hpp"
+
+namespace gates::apps::scenarios {
+namespace {
+
+TEST(Determinism, CountSampsIdenticalAcrossRuns) {
+  CountSampsOptions options;
+  options.items_per_source = 2000;
+  options.emit_every = 500;
+  auto a = run_count_samps(options);
+  auto b = run_count_samps(options);
+  EXPECT_DOUBLE_EQ(a.execution_time, b.execution_time);
+  EXPECT_DOUBLE_EQ(a.accuracy.score(), b.accuracy.score());
+  ASSERT_EQ(a.reported.size(), b.reported.size());
+  for (std::size_t i = 0; i < a.reported.size(); ++i) {
+    EXPECT_EQ(a.reported[i], b.reported[i]);
+  }
+  EXPECT_EQ(a.report.events_executed, b.report.events_executed);
+}
+
+TEST(Determinism, CountSampsSeedChangesData) {
+  CountSampsOptions options;
+  options.items_per_source = 2000;
+  options.emit_every = 500;
+  auto a = run_count_samps(options);
+  options.seed = options.seed + 1;
+  auto b = run_count_samps(options);
+  // Different streams, so the exact top-10 counts differ.
+  bool any_difference = a.exact.size() != b.exact.size();
+  for (std::size_t i = 0; !any_difference && i < a.exact.size(); ++i) {
+    any_difference = !(a.exact[i] == b.exact[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Determinism, CompSteerTrajectoriesIdentical) {
+  CompSteerOptions options;
+  options.analyzer_ms_per_byte = 10;
+  options.horizon = 120;
+  auto a = run_comp_steer(options);
+  auto b = run_comp_steer(options);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (std::size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trajectory[i].second, b.trajectory[i].second);
+  }
+}
+
+TEST(Determinism, AdaptiveCountSampsIdenticalAcrossRuns) {
+  CountSampsOptions options;
+  options.items_per_source = 2000;
+  options.emit_every = 500;
+  options.adaptive = true;
+  options.central_ingress_bw = 5e3;
+  auto a = run_count_samps(options);
+  auto b = run_count_samps(options);
+  EXPECT_DOUBLE_EQ(a.execution_time, b.execution_time);
+  EXPECT_DOUBLE_EQ(a.mean_summary_size, b.mean_summary_size);
+}
+
+}  // namespace
+}  // namespace gates::apps::scenarios

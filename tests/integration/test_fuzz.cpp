@@ -1,0 +1,151 @@
+// Randomized robustness: random pipeline DAGs must run with exact packet
+// conservation; random corruptions of a valid config must never crash the
+// parser (only produce a clean error or a different-but-valid document).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/core/sim_engine.hpp"
+#include "gates/grid/app_config.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates {
+namespace {
+
+/// Forwards everything; counts what passed through.
+class RelayCounter : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet& packet, core::Emitter& emitter) override {
+    ++packets_;
+    emitter.emit(packet);
+  }
+  std::string name() const override { return "relay-counter"; }
+  std::uint64_t packets_ = 0;
+};
+
+class DagFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagFuzz, RandomPipelineConservesPackets) {
+  Rng rng(GetParam());
+  const std::size_t n_stages = 2 + rng.next_below(6);      // 2..7
+  const std::size_t n_sources = 1 + rng.next_below(3);     // 1..3
+  const std::size_t n_nodes = 1 + rng.next_below(4);       // 1..4
+
+  core::PipelineSpec spec;
+  core::Placement placement;
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    core::StageSpec stage;
+    stage.name = "stage" + std::to_string(i);
+    stage.factory = [] { return std::make_unique<RelayCounter>(); };
+    stage.input_capacity = 4 + rng.next_below(64);
+    stage.cost.per_packet_seconds = rng.uniform(0, 2e-4);
+    spec.stages.push_back(std::move(stage));
+    placement.stage_nodes.push_back(
+        static_cast<NodeId>(rng.next_below(n_nodes)));
+  }
+  // Forward-only random edges keep the graph acyclic; every stage i > 0
+  // gets at least one in-edge from an earlier stage so everything is fed.
+  for (std::size_t i = 1; i < n_stages; ++i) {
+    const std::size_t from = rng.next_below(i);
+    spec.edges.push_back({from, i, 0});
+    if (rng.next_bool(0.3) && i >= 2) {
+      const std::size_t extra = rng.next_below(i);
+      if (extra != from) spec.edges.push_back({extra, i, 0});
+    }
+  }
+  std::uint64_t total_generated = 0;
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    core::SourceSpec src;
+    src.stream = static_cast<StreamId>(s);
+    src.rate_hz = 200 + rng.uniform(0, 800);
+    src.total_packets = 50 + rng.next_below(300);
+    src.packet_bytes = 8 + rng.next_below(64);
+    src.poisson = rng.next_bool(0.5);
+    src.location = static_cast<NodeId>(rng.next_below(n_nodes));
+    src.target_stage = 0;  // the root feeds the DAG
+    total_generated += src.total_packets;
+    spec.sources.push_back(std::move(src));
+  }
+  ASSERT_TRUE(spec.validate().is_ok());
+
+  net::Topology topology;
+  if (rng.next_bool(0.5)) {
+    topology.set_default_link({rng.uniform(5e3, 1e6), rng.uniform(0, 0.01)});
+  }
+
+  core::SimEngine::Config config;
+  config.seed = GetParam() * 7919;
+  core::SimEngine engine(spec, placement, {}, topology, config);
+  ASSERT_TRUE(engine.run().is_ok());
+  ASSERT_TRUE(engine.report().completed) << "seed " << GetParam();
+
+  // Conservation: stage 0 sees every generated packet; every other stage
+  // sees the sum of its upstream emissions (forwarding is 1:1 and edges on
+  // the same port broadcast).
+  std::vector<std::uint64_t> processed(n_stages);
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    processed[i] = dynamic_cast<RelayCounter&>(engine.processor(i)).packets_;
+  }
+  EXPECT_EQ(processed[0], total_generated) << "seed " << GetParam();
+  for (std::size_t i = 1; i < n_stages; ++i) {
+    std::uint64_t expected = 0;
+    for (const auto& edge : spec.edges) {
+      if (edge.to_stage == i) expected += processed[edge.from_stage];
+    }
+    EXPECT_EQ(processed[i], expected)
+        << "stage " << i << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagFuzz, ::testing::Range<std::uint64_t>(1, 21));
+
+const char* kValidConfig = R"(
+<application name="fuzz">
+  <stages>
+    <stage name="a" code="builtin://x" capacity="50">
+      <param name="k" value="v"/>
+      <monitor alpha="0.7" window="12"/>
+    </stage>
+    <stage name="b" code="builtin://y"/>
+  </stages>
+  <edges><edge from="a" to="b"/></edges>
+  <sources><source target="a" rate="100" count="10" type="zeros"/></sources>
+</application>)";
+
+class XmlMutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlMutationFuzz, CorruptedConfigNeverCrashes) {
+  Rng rng(GetParam());
+  std::string text = kValidConfig;
+  // Apply 1..4 random mutations: byte flips, deletions, duplications.
+  const int mutations = 1 + static_cast<int>(rng.next_below(4));
+  for (int m = 0; m < mutations && !text.empty(); ++m) {
+    const std::size_t pos = rng.next_below(text.size());
+    switch (rng.next_below(3)) {
+      case 0:
+        text[pos] = static_cast<char>(32 + rng.next_below(95));
+        break;
+      case 1:
+        text.erase(pos, 1 + rng.next_below(5));
+        break;
+      default:
+        text.insert(pos, text.substr(pos, 1 + rng.next_below(8)));
+        break;
+    }
+  }
+  // Must not throw or crash; any Status outcome is acceptable.
+  auto config =
+      grid::parse_app_config(text, grid::GeneratorRegistry::global());
+  if (config.ok()) {
+    EXPECT_TRUE(config->pipeline.validate().is_ok());
+  } else {
+    EXPECT_FALSE(config.status().message().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlMutationFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace gates

@@ -1,0 +1,171 @@
+// Scaled-down versions of the paper's experiments, asserting the orderings
+// Section 5 reports (not absolute numbers — those live in the full-size
+// bench binaries and EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "gates/apps/scenarios.hpp"
+
+namespace gates::apps::scenarios {
+namespace {
+
+CountSampsOptions small_count_samps() {
+  CountSampsOptions o;
+  o.items_per_source = 5000;
+  o.emit_every = 1000;
+  return o;
+}
+
+TEST(PaperFig5, DistributedFasterWithModestAccuracyLoss) {
+  auto centralized = small_count_samps();
+  centralized.distributed = false;
+  auto rc = run_count_samps(centralized);
+
+  auto distributed = small_count_samps();
+  auto rd = run_count_samps(distributed);
+
+  ASSERT_TRUE(rc.completed);
+  ASSERT_TRUE(rd.completed);
+  // "distributed processing results in faster execution, with only a small
+  // loss of accuracy"
+  EXPECT_LT(rd.execution_time, rc.execution_time);
+  EXPECT_GT(rc.accuracy.score(), 95);
+  EXPECT_GT(rd.accuracy.score(), 85);
+  EXPECT_LE(rd.accuracy.score(), rc.accuracy.score() + 2);
+}
+
+TEST(PaperFig6, TimeGrowsWithSummarySizeAtLowBandwidth) {
+  double previous = 0;
+  for (double n : {40.0, 80.0, 160.0}) {
+    auto o = small_count_samps();
+    o.central_ingress_bw = 1e3;
+    o.summary_initial = o.summary_min = o.summary_max = n;
+    auto r = run_count_samps(o);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(r.execution_time, previous) << "n=" << n;
+    previous = r.execution_time;
+  }
+}
+
+TEST(PaperFig6, TimeShrinksWithBandwidth) {
+  double previous = 1e18;
+  for (double bw : {1e3, 10e3, 100e3}) {
+    auto o = small_count_samps();
+    o.central_ingress_bw = bw;
+    o.summary_initial = o.summary_min = o.summary_max = 160;
+    auto r = run_count_samps(o);
+    ASSERT_TRUE(r.completed);
+    EXPECT_LE(r.execution_time, previous) << "bw=" << bw;
+    previous = r.execution_time;
+  }
+}
+
+TEST(PaperFig7, AccuracyGrowsWithSummarySize) {
+  auto small = small_count_samps();
+  small.summary_initial = small.summary_min = small.summary_max = 20;
+  auto large = small_count_samps();
+  large.summary_initial = large.summary_min = large.summary_max = 160;
+  auto r_small = run_count_samps(small);
+  auto r_large = run_count_samps(large);
+  EXPECT_GT(r_large.accuracy.score(), r_small.accuracy.score());
+}
+
+TEST(PaperFig6And7, AdaptiveAvoidsTheWorstOfBothWorlds) {
+  // At 1 KB/s the largest fixed version takes far longer than the adaptive
+  // one; the adaptive version also completes with usable accuracy.
+  auto fixed = small_count_samps();
+  fixed.central_ingress_bw = 1e3;
+  fixed.summary_initial = fixed.summary_min = fixed.summary_max = 160;
+  auto adaptive = small_count_samps();
+  adaptive.central_ingress_bw = 1e3;
+  adaptive.adaptive = true;
+  auto rf = run_count_samps(fixed);
+  auto ra = run_count_samps(adaptive);
+  ASSERT_TRUE(rf.completed);
+  ASSERT_TRUE(ra.completed);
+  EXPECT_LT(ra.execution_time, rf.execution_time);
+  EXPECT_GT(ra.accuracy.score(), 30);
+  // At high bandwidth the adaptive version pushes the parameter up and
+  // matches the best fixed accuracy.
+  auto adaptive_fast = small_count_samps();
+  adaptive_fast.central_ingress_bw = 1e6;
+  adaptive_fast.adaptive = true;
+  auto raf = run_count_samps(adaptive_fast);
+  EXPECT_GT(raf.mean_summary_size, 150);
+  EXPECT_GT(raf.accuracy.score(), 85);
+}
+
+TEST(PaperFig8, SamplingRateOrderedByProcessingCost) {
+  // Heavier post-processing must settle a lower sampling rate; the
+  // unconstrained versions converge to 1 (paper: cost 1 and 5 ms/B).
+  double previous = 2.0;
+  for (double cost : {1.0, 8.0, 20.0}) {
+    CompSteerOptions o;
+    o.analyzer_ms_per_byte = cost;
+    o.horizon = 300;
+    auto r = run_comp_steer(o);
+    EXPECT_LT(r.converged_rate, previous + 0.05) << "cost=" << cost;
+    previous = r.converged_rate;
+  }
+}
+
+TEST(PaperFig8, UnconstrainedConvergesToFullSampling) {
+  CompSteerOptions o;
+  o.analyzer_ms_per_byte = 1;
+  o.horizon = 300;
+  auto r = run_comp_steer(o);
+  EXPECT_GT(r.converged_rate, 0.95);
+  EXPECT_DOUBLE_EQ(r.final_rate, 1.0);
+}
+
+TEST(PaperFig8, ConstrainedSettlesNearTheoreticalOptimum) {
+  CompSteerOptions o;
+  o.analyzer_ms_per_byte = 20;
+  o.horizon = 400;
+  auto r = run_comp_steer(o);
+  const double optimum = processing_constraint_optimum(o);  // 0.3125
+  EXPECT_NEAR(r.converged_rate, optimum, 0.15);
+}
+
+TEST(PaperFig9, SamplingRateOrderedByGenerationRate) {
+  double previous = 2.0;
+  for (double gen : {5e3, 20e3, 80e3}) {
+    CompSteerOptions o;
+    o.generation_bytes_per_sec = gen;
+    o.chunk_bytes = 1024;
+    o.analyzer_ms_per_byte = 0.01;
+    o.link_bw = 10e3;
+    o.rate_initial = 0.01;
+    o.horizon = 300;
+    auto r = run_comp_steer(o);
+    EXPECT_LT(r.converged_rate, previous + 0.05) << "gen=" << gen;
+    previous = r.converged_rate;
+  }
+}
+
+TEST(PaperFig9, RateClimbsFromTinyInitialWhenUnconstrained) {
+  CompSteerOptions o;
+  o.generation_bytes_per_sec = 5e3;
+  o.chunk_bytes = 1024;
+  o.analyzer_ms_per_byte = 0.01;
+  o.link_bw = 10e3;
+  o.rate_initial = 0.01;
+  o.horizon = 300;
+  auto r = run_comp_steer(o);
+  EXPECT_GT(r.converged_rate, 0.9);
+}
+
+TEST(PaperFig9, ConstrainedStaysWellBelowFullSampling) {
+  CompSteerOptions o;
+  o.generation_bytes_per_sec = 80e3;
+  o.chunk_bytes = 1024;
+  o.analyzer_ms_per_byte = 0.01;
+  o.link_bw = 10e3;
+  o.rate_initial = 0.01;
+  o.horizon = 400;
+  auto r = run_comp_steer(o);
+  EXPECT_LT(r.converged_rate, 0.45);
+  EXPECT_GT(r.converged_rate, 0.03);
+}
+
+}  // namespace
+}  // namespace gates::apps::scenarios

@@ -1,0 +1,119 @@
+// Full middleware path: XML config -> Launcher -> Deployer (resource
+// discovery, service containers, code upload) -> SimEngine run -> results.
+#include <gtest/gtest.h>
+
+#include "gates/apps/accuracy.hpp"
+#include "gates/apps/count_samps.hpp"
+#include "gates/apps/registration.hpp"
+#include "gates/core/rt_engine.hpp"
+#include "gates/core/sim_engine.hpp"
+#include "gates/grid/launcher.hpp"
+
+namespace gates {
+namespace {
+
+const char* kCountSampsConfig = R"(
+<application name="count-samps-demo">
+  <stages>
+    <stage name="summary0" code="builtin://count-samps-summary">
+      <param name="emit-every" value="500"/>
+      <param name="track-exact" value="true"/>
+      <placement node="1"/>
+    </stage>
+    <stage name="summary1" code="builtin://count-samps-summary">
+      <param name="emit-every" value="500"/>
+      <param name="track-exact" value="true"/>
+      <placement node="2"/>
+    </stage>
+    <stage name="merge" code="builtin://count-samps-sink">
+      <param name="top-k" value="10"/>
+      <placement node="0"/>
+    </stage>
+  </stages>
+  <edges>
+    <edge from="summary0" to="merge"/>
+    <edge from="summary1" to="merge"/>
+  </edges>
+  <sources>
+    <source name="s0" stream="0" rate="1000" count="4000" target="summary0"
+            node="1" type="zipf-u64">
+      <param name="universe" value="1000"/>
+      <param name="theta" value="1.1"/>
+    </source>
+    <source name="s1" stream="1" rate="1000" count="4000" target="summary1"
+            node="2" type="zipf-u64">
+      <param name="universe" value="1000"/>
+      <param name="theta" value="1.1"/>
+    </source>
+  </sources>
+</application>)";
+
+struct GridFixture {
+  grid::ResourceDirectory directory;
+  grid::RepositoryRegistry repos;
+  grid::Deployer deployer{directory, repos, grid::ProcessorRegistry::global()};
+  grid::Launcher launcher{deployer, grid::GeneratorRegistry::global()};
+
+  GridFixture() {
+    apps::register_all();
+    directory.register_node("central", {});
+    directory.register_node("edge-a", {});
+    directory.register_node("edge-b", {});
+  }
+};
+
+TEST(XmlToRun, CountSampsEndToEnd) {
+  GridFixture f;
+  f.launcher.host_config("count-samps", kCountSampsConfig);
+  auto app = f.launcher.launch_url("config://count-samps");
+  ASSERT_TRUE(app.ok()) << app.status().to_string();
+
+  // Placement pins honored.
+  EXPECT_EQ(app->deployment.placement.stage_nodes,
+            (std::vector<NodeId>{1, 2, 0}));
+  EXPECT_EQ(app->deployment.containers.size(), 3u);
+
+  core::SimEngine engine(app->pipeline, app->deployment.placement,
+                         app->deployment.hosts, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  ASSERT_TRUE(engine.report().completed);
+
+  // Service instances transitioned to RUNNING when the engine built the
+  // processors.
+  for (auto* instance : app->deployment.instances) {
+    EXPECT_EQ(instance->state(), grid::GatesServiceInstance::State::kRunning);
+  }
+
+  auto& sink = dynamic_cast<apps::CountSampsSinkProcessor&>(engine.processor(2));
+  EXPECT_EQ(sink.summaries_received(), 18u);  // (8 periodic + 1 final) x 2
+  apps::ExactCounter exact;
+  for (int i = 0; i < 2; ++i) {
+    auto& summary =
+        dynamic_cast<apps::CountSampsSummaryProcessor&>(engine.processor(i));
+    ASSERT_NE(summary.exact(), nullptr);
+    exact.merge(*summary.exact());
+  }
+  auto breakdown = apps::top_k_accuracy(sink.result(), exact.top_k(10));
+  EXPECT_GT(breakdown.score(), 80);
+}
+
+TEST(XmlToRun, SameConfigRunsOnBothEngines) {
+  // The rt engine consumes the identical launched application.
+  GridFixture f;
+  auto app = f.launcher.launch_text(kCountSampsConfig);
+  ASSERT_TRUE(app.ok());
+  // Shrink the workload for wall-clock sanity.
+  for (auto& src : app->pipeline.sources) {
+    src.total_packets = 500;
+    src.rate_hz = 5000;
+  }
+  core::RtEngine engine(app->pipeline, app->deployment.placement,
+                        app->deployment.hosts, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  auto& sink = dynamic_cast<apps::CountSampsSinkProcessor&>(engine.processor(2));
+  EXPECT_GT(sink.summaries_received(), 0u);
+}
+
+}  // namespace
+}  // namespace gates

@@ -1,0 +1,205 @@
+#include "gates/net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace gates::net {
+namespace {
+
+/// Sink recording deliveries, with a switchable capacity for backpressure
+/// tests. Refusals leave the message untouched per the sink contract.
+class RecordingSink : public MessageSink {
+ public:
+  explicit RecordingSink(std::size_t capacity = SIZE_MAX)
+      : capacity_(capacity) {}
+
+  bool try_deliver(SimMessage&& msg) override {
+    if (delivered_.size() >= capacity_) return false;
+    delivered_.push_back(std::move(msg));
+    return true;
+  }
+
+  /// Consumes one delivered message, then lets the link resume.
+  void consume_one(SimLink& link) {
+    if (!delivered_.empty()) delivered_.pop_front();
+    ++capacity_headroom_;
+    link.notify_space();
+  }
+
+  void raise_capacity(std::size_t capacity, SimLink& link) {
+    capacity_ = capacity;
+    link.notify_space();
+  }
+
+  std::deque<SimMessage> delivered_;
+  std::size_t capacity_;
+  std::size_t capacity_headroom_ = 0;
+};
+
+SimMessage make_msg(std::size_t bytes, MessageSink* sink) {
+  SimMessage msg;
+  msg.wire_bytes = bytes;
+  msg.sink = sink;
+  msg.payload = 0;
+  return msg;
+}
+
+TEST(SimLink, TransmissionTimeMatchesBandwidth) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"l", 1000.0, 0.0, SIZE_MAX});
+  ASSERT_TRUE(link.send(make_msg(500, &sink)));
+  sim.run();
+  ASSERT_EQ(sink.delivered_.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.5);  // 500 B at 1000 B/s
+}
+
+TEST(SimLink, FifoSerialization) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"l", 1000.0, 0.0, SIZE_MAX});
+  for (std::size_t bytes : {100u, 200u, 300u}) {
+    ASSERT_TRUE(link.send(make_msg(bytes, &sink)));
+  }
+  sim.run();
+  ASSERT_EQ(sink.delivered_.size(), 3u);
+  EXPECT_EQ(sink.delivered_[0].wire_bytes, 100u);
+  EXPECT_EQ(sink.delivered_[2].wire_bytes, 300u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.6);  // serialized back to back
+}
+
+TEST(SimLink, LatencyAddsToDelivery) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"l", 1000.0, 0.25, SIZE_MAX});
+  ASSERT_TRUE(link.send(make_msg(500, &sink)));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.75);
+}
+
+TEST(SimLink, LatencyPipelinesWithNextTransmission) {
+  sim::Simulation sim;
+  std::vector<double> arrival_times;
+  class TimeSink : public MessageSink {
+   public:
+    TimeSink(sim::Simulation& sim, std::vector<double>& times)
+        : sim_(sim), times_(times) {}
+    bool try_deliver(SimMessage&&) override {
+      times_.push_back(sim_.now());
+      return true;
+    }
+    sim::Simulation& sim_;
+    std::vector<double>& times_;
+  } sink(sim, arrival_times);
+
+  SimLink link(sim, {"l", 1000.0, 1.0, SIZE_MAX});
+  link.send(make_msg(100, &sink));
+  link.send(make_msg(100, &sink));
+  sim.run();
+  ASSERT_EQ(arrival_times.size(), 2u);
+  // Transmissions at 0.1 and 0.2; arrivals at 1.1 and 1.2 — propagation
+  // overlaps the second transmission instead of serializing after it.
+  EXPECT_DOUBLE_EQ(arrival_times[0], 1.1);
+  EXPECT_DOUBLE_EQ(arrival_times[1], 1.2);
+}
+
+TEST(SimLink, SharedSendersInterleaveFifo) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"shared", 100.0, 0.0, SIZE_MAX});
+  // Two "senders" both push at t=0; the shared trunk serializes them.
+  link.send(make_msg(100, &sink));
+  link.send(make_msg(100, &sink));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(link.stats().messages_delivered, 2u);
+}
+
+TEST(SimLink, BackpressureStallsAndResumes) {
+  sim::Simulation sim;
+  RecordingSink sink(1);  // room for one message only
+  SimLink link(sim, {"l", 1000.0, 0.0, SIZE_MAX});
+  link.send(make_msg(100, &sink));
+  link.send(make_msg(100, &sink));
+  link.send(make_msg(100, &sink));
+  sim.run_until(0.5);
+  // First delivered, the rest stuck behind the full receiver.
+  EXPECT_EQ(sink.delivered_.size(), 1u);
+  EXPECT_TRUE(link.stalled());
+
+  // The receiver frees space at t = 1.0; the stall window [0.2, 1.0] must
+  // land in stalled_time.
+  sim.schedule_at(1.0, [&] { sink.raise_capacity(SIZE_MAX, link); });
+  sim.run();
+  EXPECT_EQ(sink.delivered_.size(), 3u);
+  EXPECT_FALSE(link.stalled());
+  EXPECT_NEAR(link.stats().stalled_time, 0.8, 1e-9);
+}
+
+TEST(SimLink, QueueBytesTracksOutbound) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"l", 1.0, 0.0, SIZE_MAX});  // very slow
+  link.send(make_msg(10, &sink));
+  link.send(make_msg(20, &sink));
+  // First message starts transmitting immediately (leaves the queue count),
+  // second waits.
+  EXPECT_EQ(link.queue_length(), 2u);
+  EXPECT_EQ(link.queue_bytes(), 30u);
+  EXPECT_DOUBLE_EQ(link.backlog_seconds(), 30.0);
+}
+
+TEST(SimLink, MaxQueueRejectsExcess) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"l", 1.0, 0.0, 2});
+  EXPECT_TRUE(link.send(make_msg(10, &sink)));
+  EXPECT_TRUE(link.send(make_msg(10, &sink)));
+  EXPECT_FALSE(link.send(make_msg(10, &sink)));
+  EXPECT_EQ(link.stats().messages_rejected, 1u);
+}
+
+TEST(SimLink, DrainListenersFirePerCompletedTransmission) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"l", 1000.0, 0.0, SIZE_MAX});
+  int drained = 0;
+  link.add_drain_listener([&] { ++drained; });
+  link.send(make_msg(100, &sink));
+  link.send(make_msg(100, &sink));
+  sim.run();
+  EXPECT_EQ(drained, 2);
+}
+
+TEST(SimLink, StatsAccumulate) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  SimLink link(sim, {"l", 1000.0, 0.0, SIZE_MAX});
+  link.send(make_msg(400, &sink));
+  link.send(make_msg(600, &sink));
+  sim.run();
+  EXPECT_EQ(link.stats().messages_sent, 2u);
+  EXPECT_EQ(link.stats().messages_delivered, 2u);
+  EXPECT_EQ(link.stats().bytes_delivered, 1000u);
+  EXPECT_DOUBLE_EQ(link.stats().busy_time, 1.0);
+  EXPECT_NEAR(link.utilization(), 1.0, 1e-9);
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(SimLink, InvalidConfigRejected) {
+  sim::Simulation sim;
+  EXPECT_THROW(SimLink(sim, {"l", 0.0, 0.0, SIZE_MAX}), std::logic_error);
+  EXPECT_THROW(SimLink(sim, {"l", 1.0, -1.0, SIZE_MAX}), std::logic_error);
+}
+
+TEST(SimLink, MessageWithoutSinkIsAProgrammingError) {
+  sim::Simulation sim;
+  SimLink link(sim, {"l", 1.0, 0.0, SIZE_MAX});
+  SimMessage msg;
+  msg.wire_bytes = 1;
+  EXPECT_THROW(link.send(std::move(msg)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gates::net

@@ -1,0 +1,55 @@
+#include "gates/net/throttled_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace gates::net {
+namespace {
+
+TEST(ThrottledChannel, PassesItemsInOrder) {
+  ThrottledChannel<int> ch({1e9, 8192, 16});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ch.push(i, 10));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ch.pop().value(), i);
+}
+
+TEST(ThrottledChannel, CloseUnblocksPop) {
+  ThrottledChannel<int> ch({1e9, 8192, 4});
+  std::thread t([&] { EXPECT_FALSE(ch.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  t.join();
+}
+
+TEST(ThrottledChannel, ThrottlesToConfiguredBandwidth) {
+  // 100 KB/s with a small burst; pushing 30 KB beyond the burst should take
+  // roughly 0.25+ seconds. Loose bounds: wall-clock test.
+  ThrottledChannel<int> ch({100e3, 1e3, 1024});
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(ch.push(i, 1000));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(elapsed, 0.15);
+  EXPECT_LT(elapsed, 2.0);
+  EXPECT_EQ(ch.size(), 30u);
+}
+
+TEST(ThrottledChannel, PushOrDropDropsWhenFull) {
+  ThrottledChannel<int> ch({1e9, 8192, 2});
+  EXPECT_TRUE(ch.push_or_drop(1, 1));
+  EXPECT_TRUE(ch.push_or_drop(2, 1));
+  EXPECT_FALSE(ch.push_or_drop(3, 1));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ThrottledChannel, TryPopNonBlocking) {
+  ThrottledChannel<int> ch({1e9, 8192, 2});
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.push(7, 1);
+  EXPECT_EQ(ch.try_pop().value(), 7);
+}
+
+}  // namespace
+}  // namespace gates::net

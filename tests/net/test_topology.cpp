@@ -1,0 +1,38 @@
+#include "gates/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates::net {
+namespace {
+
+TEST(Topology, DefaultLinkApplies) {
+  Topology t;
+  t.set_default_link({5000, 0.1});
+  EXPECT_DOUBLE_EQ(t.between(1, 2).bandwidth, 5000);
+  EXPECT_DOUBLE_EQ(t.between(1, 2).latency, 0.1);
+}
+
+TEST(Topology, PairOverrideIsDirected) {
+  Topology t;
+  t.set_default_link({1000, 0});
+  t.set_pair(1, 2, {99, 0.5});
+  EXPECT_DOUBLE_EQ(t.between(1, 2).bandwidth, 99);
+  EXPECT_DOUBLE_EQ(t.between(2, 1).bandwidth, 1000);  // reverse unaffected
+}
+
+TEST(Topology, SharedIngressLookup) {
+  Topology t;
+  EXPECT_FALSE(t.shared_ingress(3).has_value());
+  t.set_shared_ingress(3, {100e3, 0});
+  ASSERT_TRUE(t.shared_ingress(3).has_value());
+  EXPECT_DOUBLE_EQ(t.shared_ingress(3)->bandwidth, 100e3);
+  EXPECT_FALSE(t.shared_ingress(4).has_value());
+}
+
+TEST(Topology, LoopbackIsEffectivelyInfinite) {
+  EXPECT_GE(Topology::loopback().bandwidth, 1e12);
+  EXPECT_DOUBLE_EQ(Topology::loopback().latency, 0);
+}
+
+}  // namespace
+}  // namespace gates::net

@@ -1,0 +1,177 @@
+#include "gates/sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gates::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, TiesBreakByScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulation, SchedulingInThePastIsAnError) {
+  Simulation sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::logic_error);
+  });
+  sim.run();
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto handle = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelAfterExecutionIsHarmless) {
+  Simulation sim;
+  auto handle = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no effect
+}
+
+TEST(Simulation, DefaultHandleIsSafe) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+}
+
+TEST(Simulation, RunUntilAdvancesClockToHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  const auto executed = sim.run_until(5.0);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, RunUntilSkipsCancelledHeadEvent) {
+  Simulation sim;
+  bool late_fired = false;
+  auto head = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [&] { late_fired = true; });
+  head.cancel();
+  sim.run_until(3.0);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulation, StopHaltsFromWithinCallback) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulation, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulation, ClockAdapterTracksVirtualTime) {
+  Simulation sim;
+  double seen = -1;
+  sim.schedule_at(4.5, [&] { seen = sim.clock().now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(PeriodicTask, FiresAtPeriodUntilFalse) {
+  Simulation sim;
+  std::vector<double> fire_times;
+  PeriodicTask task(sim, 1.0, [&] {
+    fire_times.push_back(sim.now());
+    return fire_times.size() < 3;
+  });
+  sim.run();
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_FALSE(task.active());
+}
+
+TEST(PeriodicTask, CancelStopsFutureFirings) {
+  Simulation sim;
+  int fired = 0;
+  PeriodicTask task(sim, 1.0, [&] {
+    ++fired;
+    return true;
+  });
+  sim.schedule_at(2.5, [&] { task.cancel(); });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTask, DestructionCancelsSafely) {
+  Simulation sim;
+  int fired = 0;
+  {
+    PeriodicTask task(sim, 1.0, [&] {
+      ++fired;
+      return true;
+    });
+  }
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, DeterministicTwoRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<double> times;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(static_cast<double>((i * 37) % 11),
+                      [&times, &sim] { times.push_back(sim.now()); });
+    }
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace gates::sim

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "gates/common/rng.hpp"
+#include "gates/xml/xml.hpp"
+
+namespace gates::xml {
+namespace {
+
+TEST(XmlWriter, EscapesSpecials) {
+  EXPECT_EQ(escape("<a&b>\"'"), "&lt;a&amp;b&gt;&quot;&apos;");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(XmlWriter, EmptyElementSelfCloses) {
+  Element e("root");
+  EXPECT_EQ(write(e), "<root/>\n");
+}
+
+TEST(XmlWriter, AttributesAndText) {
+  Element e("root");
+  e.set_attr("a", "1<2");
+  e.append_text("hi & bye");
+  EXPECT_EQ(write(e), "<root a=\"1&lt;2\">hi &amp; bye</root>\n");
+}
+
+TEST(XmlWriter, DocumentHasProlog) {
+  Document doc;
+  doc.root = std::make_unique<Element>("r");
+  const std::string out = write(doc);
+  EXPECT_EQ(out.substr(0, 5), "<?xml");
+}
+
+TEST(XmlWriter, NestedIndentation) {
+  Element root("a");
+  root.add_child("b").add_child("c");
+  EXPECT_EQ(write(root), "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+}
+
+TEST(XmlWriter, ParseWriteRoundTripPreservesStructure) {
+  const char* input = R"(<app name="x">
+    <stage code="builtin://a" capacity="10"><param name="k" value="v &amp; w"/></stage>
+    <stage code="builtin://b"/>
+  </app>)";
+  auto doc1 = parse(input);
+  ASSERT_TRUE(doc1.ok());
+  auto doc2 = parse(write(*doc1));
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2->root->children().size(), 2u);
+  EXPECT_EQ(doc2->root->children()[0]->child("param")->attr("value").value(),
+            "v & w");
+}
+
+// Property: write(parse(write(random tree))) is stable.
+void compare_trees(const Element& a, const Element& b) {
+  ASSERT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.attrs(), b.attrs());
+  ASSERT_EQ(a.children().size(), b.children().size());
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    compare_trees(*a.children()[i], *b.children()[i]);
+  }
+}
+
+void build_random(Element& e, Rng& rng, int depth) {
+  const int attrs = static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < attrs; ++i) {
+    e.set_attr("a" + std::to_string(i),
+               std::string("v<&\">'") + std::to_string(rng.next_below(100)));
+  }
+  if (depth <= 0) return;
+  const int kids = static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < kids; ++i) {
+    build_random(e.add_child("n" + std::to_string(rng.next_below(5))), rng,
+                 depth - 1);
+  }
+}
+
+class XmlRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlRoundTrip, RandomTreeSurvivesRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Element root("root");
+  build_random(root, rng, 4);
+  auto parsed = parse(write(root));
+  ASSERT_TRUE(parsed.ok());
+  compare_trees(root, *parsed->root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTrip, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gates::xml

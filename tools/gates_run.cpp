@@ -1,0 +1,238 @@
+// gates_run — the command-line face of the middleware: load a grid
+// description and an application configuration, launch through the
+// Launcher/Deployer, run on the chosen engine, and print the run report.
+//
+//   gates_run --grid configs/grid_demo.xml --app configs/count_samps.xml
+//   gates_run --grid g.xml --app a.xml --engine rt --horizon 5
+//
+// Flags:
+//   --grid FILE        grid description XML (required)
+//   --app FILE         application configuration XML (required)
+//   --engine sim|rt    engine selection (default sim)
+//   --horizon SECONDS  run_for horizon; 0 = run to completion (default 0)
+//   --seed N           RNG seed (default 42)
+//   --control-period S adaptation period (default 1.0 sim / 0.05 rt)
+//   --wire-message N   per-message wire overhead bytes (default 32)
+//   --wire-record N    per-record wire overhead bytes (default 0)
+//   --no-adapt         disable parameter adaptation (monitors still run)
+//   --verbose          middleware INFO logging
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "gates/apps/registration.hpp"
+#include "gates/common/log.hpp"
+#include "gates/common/string_util.hpp"
+#include "gates/core/rt_engine.hpp"
+#include "gates/core/sim_engine.hpp"
+#include "gates/grid/grid_config.hpp"
+#include "gates/grid/launcher.hpp"
+
+namespace {
+
+using namespace gates;
+
+struct Options {
+  std::string grid_file;
+  std::string app_file;
+  std::string engine = "sim";
+  double horizon = 0;
+  std::uint64_t seed = 42;
+  std::optional<double> control_period;
+  std::size_t wire_message = 32;
+  std::size_t wire_record = 0;
+  bool adapt = true;
+  bool verbose = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --grid FILE --app FILE [--engine sim|rt] "
+               "[--horizon S] [--seed N]\n"
+               "       [--control-period S] [--wire-message N] "
+               "[--wire-record N] [--no-adapt] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--grid") {
+      const char* v = next();
+      if (!v) return false;
+      options.grid_file = v;
+    } else if (arg == "--app") {
+      const char* v = next();
+      if (!v) return false;
+      options.app_file = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (!v) return false;
+      options.engine = v;
+    } else if (arg == "--horizon") {
+      const char* v = next();
+      if (!v || !parse_double(v, options.horizon)) return false;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      long long seed;
+      if (!v || !parse_int(v, seed) || seed < 0) return false;
+      options.seed = static_cast<std::uint64_t>(seed);
+    } else if (arg == "--control-period") {
+      const char* v = next();
+      double period;
+      if (!v || !parse_double(v, period) || period <= 0) return false;
+      options.control_period = period;
+    } else if (arg == "--wire-message") {
+      const char* v = next();
+      long long n;
+      if (!v || !parse_int(v, n) || n < 0) return false;
+      options.wire_message = static_cast<std::size_t>(n);
+    } else if (arg == "--wire-record") {
+      const char* v = next();
+      long long n;
+      if (!v || !parse_int(v, n) || n < 0) return false;
+      options.wire_record = static_cast<std::size_t>(n);
+    } else if (arg == "--no-adapt") {
+      options.adapt = false;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options.grid_file.empty() && !options.app_file.empty() &&
+         (options.engine == "sim" || options.engine == "rt");
+}
+
+void print_report(const core::RunReport& report) {
+  std::printf("\nexecution time: %.2f s%s\n", report.execution_time,
+              report.completed ? "" : "  (INCOMPLETE: horizon reached)");
+  std::printf("%-14s %5s %10s %10s %9s %11s %11s %9s\n", "stage", "node",
+              "processed", "emitted", "queue~", "latency~ms", "latencyMax",
+              "excpt i/o");
+  for (const auto& stage : report.stages) {
+    std::printf(
+        "%-14s %5u %10llu %10llu %9.1f %11.1f %11.1f %4llu/%llu\n",
+        stage.name.c_str(), stage.node,
+        static_cast<unsigned long long>(stage.packets_processed),
+        static_cast<unsigned long long>(stage.packets_emitted),
+        stage.queue_length.mean(), stage.packet_latency.mean() * 1e3,
+        stage.packet_latency.max() * 1e3,
+        static_cast<unsigned long long>(stage.exceptions_received),
+        static_cast<unsigned long long>(stage.overload_exceptions_sent +
+                                        stage.underload_exceptions_sent));
+    for (const auto& [name, trajectory] : stage.parameter_trajectories) {
+      if (trajectory.empty()) continue;
+      std::printf("  %-12s %.4g -> %.4g over %zu control periods\n",
+                  name.c_str(), trajectory.front().second,
+                  trajectory.back().second, trajectory.size());
+    }
+  }
+  if (!report.links.empty()) {
+    std::printf("%-24s %10s %12s %8s %9s\n", "link", "messages", "bytes",
+                "util", "stalled s");
+    for (const auto& link : report.links) {
+      std::printf("%-24s %10llu %12llu %7.1f%% %9.1f\n", link.name.c_str(),
+                  static_cast<unsigned long long>(link.messages_delivered),
+                  static_cast<unsigned long long>(link.bytes_delivered),
+                  100 * link.utilization, link.stalled_time);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return usage(argv[0]);
+  Logger::global().set_level(options.verbose ? LogLevel::kInfo
+                                             : LogLevel::kWarn);
+
+  const auto grid_text = read_file(options.grid_file);
+  if (!grid_text) {
+    std::fprintf(stderr, "cannot read grid file '%s'\n",
+                 options.grid_file.c_str());
+    return 1;
+  }
+  const auto app_text = read_file(options.app_file);
+  if (!app_text) {
+    std::fprintf(stderr, "cannot read app file '%s'\n",
+                 options.app_file.c_str());
+    return 1;
+  }
+
+  auto grid = grid::parse_grid_config(*grid_text);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "grid config: %s\n", grid.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("grid '%s': %zu nodes\n", grid->name.c_str(),
+              grid->directory.size());
+
+  apps::register_all();
+  grid::RepositoryRegistry repos;
+  grid::Deployer deployer(grid->directory, repos,
+                          grid::ProcessorRegistry::global());
+  grid::Launcher launcher(deployer, grid::GeneratorRegistry::global());
+  auto app = launcher.launch_text(*app_text);
+  if (!app.ok()) {
+    std::fprintf(stderr, "launch: %s\n", app.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("application '%s': %zu stages, %zu sources\n", app->name.c_str(),
+              app->pipeline.stages.size(), app->pipeline.sources.size());
+  for (const auto& decision : app->deployment.decisions) {
+    std::printf("  %s\n", decision.c_str());
+  }
+
+  if (options.engine == "sim") {
+    core::SimEngine::Config config;
+    config.seed = options.seed;
+    config.adaptation_enabled = options.adapt;
+    config.wire.per_message_overhead = options.wire_message;
+    config.wire.per_record_overhead = options.wire_record;
+    if (options.control_period) config.control_period = *options.control_period;
+    core::SimEngine engine(app->pipeline, app->deployment.placement,
+                           app->deployment.hosts, grid->topology, config);
+    const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
+                                            : engine.run();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "run: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    print_report(engine.report());
+  } else {
+    core::RtEngine::Config config;
+    config.seed = options.seed;
+    config.adaptation_enabled = options.adapt;
+    config.wire.per_message_overhead = options.wire_message;
+    config.wire.per_record_overhead = options.wire_record;
+    if (options.control_period) config.control_period = *options.control_period;
+    core::RtEngine engine(app->pipeline, app->deployment.placement,
+                          app->deployment.hosts, grid->topology, config);
+    const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
+                                            : engine.run();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "run: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    print_report(engine.report());
+  }
+  return 0;
+}
