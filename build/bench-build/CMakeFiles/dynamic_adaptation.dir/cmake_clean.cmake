@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dynamic_adaptation"
+  "../bench/dynamic_adaptation.pdb"
+  "CMakeFiles/dynamic_adaptation.dir/dynamic_adaptation.cpp.o"
+  "CMakeFiles/dynamic_adaptation.dir/dynamic_adaptation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_distributed_vs_centralized"
+  "../bench/fig5_distributed_vs_centralized.pdb"
+  "CMakeFiles/fig5_distributed_vs_centralized.dir/fig5_distributed_vs_centralized.cpp.o"
+  "CMakeFiles/fig5_distributed_vs_centralized.dir/fig5_distributed_vs_centralized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_distributed_vs_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_processing_constraint"
+  "../bench/fig8_processing_constraint.pdb"
+  "CMakeFiles/fig8_processing_constraint.dir/fig8_processing_constraint.cpp.o"
+  "CMakeFiles/fig8_processing_constraint.dir/fig8_processing_constraint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_processing_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_network_constraint"
+  "../bench/fig9_network_constraint.pdb"
+  "CMakeFiles/fig9_network_constraint.dir/fig9_network_constraint.cpp.o"
+  "CMakeFiles/fig9_network_constraint.dir/fig9_network_constraint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_network_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

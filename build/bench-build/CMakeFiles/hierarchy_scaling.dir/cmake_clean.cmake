@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hierarchy_scaling"
+  "../bench/hierarchy_scaling.pdb"
+  "CMakeFiles/hierarchy_scaling.dir/hierarchy_scaling.cpp.o"
+  "CMakeFiles/hierarchy_scaling.dir/hierarchy_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

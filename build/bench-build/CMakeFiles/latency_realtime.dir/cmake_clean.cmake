@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/latency_realtime"
+  "../bench/latency_realtime.pdb"
+  "CMakeFiles/latency_realtime.dir/latency_realtime.cpp.o"
+  "CMakeFiles/latency_realtime.dir/latency_realtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comp_steer_demo.dir/comp_steer_demo.cpp.o"
+  "CMakeFiles/comp_steer_demo.dir/comp_steer_demo.cpp.o.d"
+  "comp_steer_demo"
+  "comp_steer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comp_steer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dist_topk.cpp" "examples/CMakeFiles/dist_topk.dir/dist_topk.cpp.o" "gcc" "examples/CMakeFiles/dist_topk.dir/dist_topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/apps/CMakeFiles/gates_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/grid/CMakeFiles/gates_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/core/CMakeFiles/gates_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/net/CMakeFiles/gates_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/sim/CMakeFiles/gates_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/xml/CMakeFiles/gates_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/common/CMakeFiles/gates_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_topk.dir/dist_topk.cpp.o"
+  "CMakeFiles/dist_topk.dir/dist_topk.cpp.o.d"
+  "dist_topk"
+  "dist_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_detect.dir/intrusion_detect.cpp.o"
+  "CMakeFiles/intrusion_detect.dir/intrusion_detect.cpp.o.d"
+  "intrusion_detect"
+  "intrusion_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_pipeline.dir/rt_pipeline.cpp.o"
+  "CMakeFiles/rt_pipeline.dir/rt_pipeline.cpp.o.d"
+  "rt_pipeline"
+  "rt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

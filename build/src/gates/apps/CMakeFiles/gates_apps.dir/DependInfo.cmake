@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/apps/accuracy.cpp" "src/gates/apps/CMakeFiles/gates_apps.dir/accuracy.cpp.o" "gcc" "src/gates/apps/CMakeFiles/gates_apps.dir/accuracy.cpp.o.d"
+  "/root/repo/src/gates/apps/comp_steer.cpp" "src/gates/apps/CMakeFiles/gates_apps.dir/comp_steer.cpp.o" "gcc" "src/gates/apps/CMakeFiles/gates_apps.dir/comp_steer.cpp.o.d"
+  "/root/repo/src/gates/apps/count_samps.cpp" "src/gates/apps/CMakeFiles/gates_apps.dir/count_samps.cpp.o" "gcc" "src/gates/apps/CMakeFiles/gates_apps.dir/count_samps.cpp.o.d"
+  "/root/repo/src/gates/apps/counting_samples.cpp" "src/gates/apps/CMakeFiles/gates_apps.dir/counting_samples.cpp.o" "gcc" "src/gates/apps/CMakeFiles/gates_apps.dir/counting_samples.cpp.o.d"
+  "/root/repo/src/gates/apps/intrusion.cpp" "src/gates/apps/CMakeFiles/gates_apps.dir/intrusion.cpp.o" "gcc" "src/gates/apps/CMakeFiles/gates_apps.dir/intrusion.cpp.o.d"
+  "/root/repo/src/gates/apps/registration.cpp" "src/gates/apps/CMakeFiles/gates_apps.dir/registration.cpp.o" "gcc" "src/gates/apps/CMakeFiles/gates_apps.dir/registration.cpp.o.d"
+  "/root/repo/src/gates/apps/scenarios.cpp" "src/gates/apps/CMakeFiles/gates_apps.dir/scenarios.cpp.o" "gcc" "src/gates/apps/CMakeFiles/gates_apps.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/common/CMakeFiles/gates_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/core/CMakeFiles/gates_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/grid/CMakeFiles/gates_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/net/CMakeFiles/gates_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/sim/CMakeFiles/gates_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/xml/CMakeFiles/gates_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

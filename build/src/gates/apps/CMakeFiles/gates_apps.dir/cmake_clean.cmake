@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_apps.dir/accuracy.cpp.o"
+  "CMakeFiles/gates_apps.dir/accuracy.cpp.o.d"
+  "CMakeFiles/gates_apps.dir/comp_steer.cpp.o"
+  "CMakeFiles/gates_apps.dir/comp_steer.cpp.o.d"
+  "CMakeFiles/gates_apps.dir/count_samps.cpp.o"
+  "CMakeFiles/gates_apps.dir/count_samps.cpp.o.d"
+  "CMakeFiles/gates_apps.dir/counting_samples.cpp.o"
+  "CMakeFiles/gates_apps.dir/counting_samples.cpp.o.d"
+  "CMakeFiles/gates_apps.dir/intrusion.cpp.o"
+  "CMakeFiles/gates_apps.dir/intrusion.cpp.o.d"
+  "CMakeFiles/gates_apps.dir/registration.cpp.o"
+  "CMakeFiles/gates_apps.dir/registration.cpp.o.d"
+  "CMakeFiles/gates_apps.dir/scenarios.cpp.o"
+  "CMakeFiles/gates_apps.dir/scenarios.cpp.o.d"
+  "libgates_apps.a"
+  "libgates_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

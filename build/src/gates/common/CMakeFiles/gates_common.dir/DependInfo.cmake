@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/common/log.cpp" "src/gates/common/CMakeFiles/gates_common.dir/log.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/log.cpp.o.d"
+  "/root/repo/src/gates/common/properties.cpp" "src/gates/common/CMakeFiles/gates_common.dir/properties.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/properties.cpp.o.d"
+  "/root/repo/src/gates/common/rng.cpp" "src/gates/common/CMakeFiles/gates_common.dir/rng.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/rng.cpp.o.d"
+  "/root/repo/src/gates/common/serialize.cpp" "src/gates/common/CMakeFiles/gates_common.dir/serialize.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/serialize.cpp.o.d"
+  "/root/repo/src/gates/common/stats.cpp" "src/gates/common/CMakeFiles/gates_common.dir/stats.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/stats.cpp.o.d"
+  "/root/repo/src/gates/common/status.cpp" "src/gates/common/CMakeFiles/gates_common.dir/status.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/status.cpp.o.d"
+  "/root/repo/src/gates/common/string_util.cpp" "src/gates/common/CMakeFiles/gates_common.dir/string_util.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/string_util.cpp.o.d"
+  "/root/repo/src/gates/common/token_bucket.cpp" "src/gates/common/CMakeFiles/gates_common.dir/token_bucket.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/gates/common/uri.cpp" "src/gates/common/CMakeFiles/gates_common.dir/uri.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/uri.cpp.o.d"
+  "/root/repo/src/gates/common/zipf.cpp" "src/gates/common/CMakeFiles/gates_common.dir/zipf.cpp.o" "gcc" "src/gates/common/CMakeFiles/gates_common.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

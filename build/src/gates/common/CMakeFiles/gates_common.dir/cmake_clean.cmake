@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_common.dir/log.cpp.o"
+  "CMakeFiles/gates_common.dir/log.cpp.o.d"
+  "CMakeFiles/gates_common.dir/properties.cpp.o"
+  "CMakeFiles/gates_common.dir/properties.cpp.o.d"
+  "CMakeFiles/gates_common.dir/rng.cpp.o"
+  "CMakeFiles/gates_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gates_common.dir/serialize.cpp.o"
+  "CMakeFiles/gates_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/gates_common.dir/stats.cpp.o"
+  "CMakeFiles/gates_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gates_common.dir/status.cpp.o"
+  "CMakeFiles/gates_common.dir/status.cpp.o.d"
+  "CMakeFiles/gates_common.dir/string_util.cpp.o"
+  "CMakeFiles/gates_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/gates_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/gates_common.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/gates_common.dir/uri.cpp.o"
+  "CMakeFiles/gates_common.dir/uri.cpp.o.d"
+  "CMakeFiles/gates_common.dir/zipf.cpp.o"
+  "CMakeFiles/gates_common.dir/zipf.cpp.o.d"
+  "libgates_common.a"
+  "libgates_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

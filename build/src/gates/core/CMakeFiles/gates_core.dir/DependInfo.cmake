@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/core/adapt/controller.cpp" "src/gates/core/CMakeFiles/gates_core.dir/adapt/controller.cpp.o" "gcc" "src/gates/core/CMakeFiles/gates_core.dir/adapt/controller.cpp.o.d"
+  "/root/repo/src/gates/core/adapt/load_factors.cpp" "src/gates/core/CMakeFiles/gates_core.dir/adapt/load_factors.cpp.o" "gcc" "src/gates/core/CMakeFiles/gates_core.dir/adapt/load_factors.cpp.o.d"
+  "/root/repo/src/gates/core/adapt/queue_monitor.cpp" "src/gates/core/CMakeFiles/gates_core.dir/adapt/queue_monitor.cpp.o" "gcc" "src/gates/core/CMakeFiles/gates_core.dir/adapt/queue_monitor.cpp.o.d"
+  "/root/repo/src/gates/core/parameter.cpp" "src/gates/core/CMakeFiles/gates_core.dir/parameter.cpp.o" "gcc" "src/gates/core/CMakeFiles/gates_core.dir/parameter.cpp.o.d"
+  "/root/repo/src/gates/core/pipeline.cpp" "src/gates/core/CMakeFiles/gates_core.dir/pipeline.cpp.o" "gcc" "src/gates/core/CMakeFiles/gates_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/gates/core/rt_engine.cpp" "src/gates/core/CMakeFiles/gates_core.dir/rt_engine.cpp.o" "gcc" "src/gates/core/CMakeFiles/gates_core.dir/rt_engine.cpp.o.d"
+  "/root/repo/src/gates/core/sim_engine.cpp" "src/gates/core/CMakeFiles/gates_core.dir/sim_engine.cpp.o" "gcc" "src/gates/core/CMakeFiles/gates_core.dir/sim_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/common/CMakeFiles/gates_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/sim/CMakeFiles/gates_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/net/CMakeFiles/gates_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_core.dir/adapt/controller.cpp.o"
+  "CMakeFiles/gates_core.dir/adapt/controller.cpp.o.d"
+  "CMakeFiles/gates_core.dir/adapt/load_factors.cpp.o"
+  "CMakeFiles/gates_core.dir/adapt/load_factors.cpp.o.d"
+  "CMakeFiles/gates_core.dir/adapt/queue_monitor.cpp.o"
+  "CMakeFiles/gates_core.dir/adapt/queue_monitor.cpp.o.d"
+  "CMakeFiles/gates_core.dir/parameter.cpp.o"
+  "CMakeFiles/gates_core.dir/parameter.cpp.o.d"
+  "CMakeFiles/gates_core.dir/pipeline.cpp.o"
+  "CMakeFiles/gates_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gates_core.dir/rt_engine.cpp.o"
+  "CMakeFiles/gates_core.dir/rt_engine.cpp.o.d"
+  "CMakeFiles/gates_core.dir/sim_engine.cpp.o"
+  "CMakeFiles/gates_core.dir/sim_engine.cpp.o.d"
+  "libgates_core.a"
+  "libgates_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/grid/app_config.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/app_config.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/app_config.cpp.o.d"
+  "/root/repo/src/gates/grid/container.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/container.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/container.cpp.o.d"
+  "/root/repo/src/gates/grid/deployer.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/deployer.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/deployer.cpp.o.d"
+  "/root/repo/src/gates/grid/directory.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/directory.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/directory.cpp.o.d"
+  "/root/repo/src/gates/grid/grid_config.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/grid_config.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/grid_config.cpp.o.d"
+  "/root/repo/src/gates/grid/launcher.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/launcher.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/launcher.cpp.o.d"
+  "/root/repo/src/gates/grid/registry.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/registry.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/registry.cpp.o.d"
+  "/root/repo/src/gates/grid/repository.cpp" "src/gates/grid/CMakeFiles/gates_grid.dir/repository.cpp.o" "gcc" "src/gates/grid/CMakeFiles/gates_grid.dir/repository.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/common/CMakeFiles/gates_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/core/CMakeFiles/gates_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/xml/CMakeFiles/gates_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/net/CMakeFiles/gates_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/sim/CMakeFiles/gates_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

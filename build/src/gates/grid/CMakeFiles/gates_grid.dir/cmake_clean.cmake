@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_grid.dir/app_config.cpp.o"
+  "CMakeFiles/gates_grid.dir/app_config.cpp.o.d"
+  "CMakeFiles/gates_grid.dir/container.cpp.o"
+  "CMakeFiles/gates_grid.dir/container.cpp.o.d"
+  "CMakeFiles/gates_grid.dir/deployer.cpp.o"
+  "CMakeFiles/gates_grid.dir/deployer.cpp.o.d"
+  "CMakeFiles/gates_grid.dir/directory.cpp.o"
+  "CMakeFiles/gates_grid.dir/directory.cpp.o.d"
+  "CMakeFiles/gates_grid.dir/grid_config.cpp.o"
+  "CMakeFiles/gates_grid.dir/grid_config.cpp.o.d"
+  "CMakeFiles/gates_grid.dir/launcher.cpp.o"
+  "CMakeFiles/gates_grid.dir/launcher.cpp.o.d"
+  "CMakeFiles/gates_grid.dir/registry.cpp.o"
+  "CMakeFiles/gates_grid.dir/registry.cpp.o.d"
+  "CMakeFiles/gates_grid.dir/repository.cpp.o"
+  "CMakeFiles/gates_grid.dir/repository.cpp.o.d"
+  "libgates_grid.a"
+  "libgates_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

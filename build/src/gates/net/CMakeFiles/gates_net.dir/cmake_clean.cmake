@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_net.dir/link.cpp.o"
+  "CMakeFiles/gates_net.dir/link.cpp.o.d"
+  "libgates_net.a"
+  "libgates_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_sim.dir/simulation.cpp.o"
+  "CMakeFiles/gates_sim.dir/simulation.cpp.o.d"
+  "libgates_sim.a"
+  "libgates_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_xml.dir/dom.cpp.o"
+  "CMakeFiles/gates_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/gates_xml.dir/parser.cpp.o"
+  "CMakeFiles/gates_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/gates_xml.dir/writer.cpp.o"
+  "CMakeFiles/gates_xml.dir/writer.cpp.o.d"
+  "libgates_xml.a"
+  "libgates_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

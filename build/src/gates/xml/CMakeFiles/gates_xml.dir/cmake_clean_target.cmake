@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgates_xml.a"
+)

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_accuracy.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_accuracy.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_comp_steer.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_comp_steer.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_count_samps_stages.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_count_samps_stages.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_counting_samples.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_counting_samples.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_hierarchy.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_hierarchy.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_intrusion.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_intrusion.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

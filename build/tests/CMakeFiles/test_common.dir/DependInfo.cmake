@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_bounded_queue.cpp" "tests/CMakeFiles/test_common.dir/common/test_bounded_queue.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_bounded_queue.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_properties.cpp" "tests/CMakeFiles/test_common.dir/common/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_properties.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_serialize.cpp" "tests/CMakeFiles/test_common.dir/common/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_serialize.cpp.o.d"
+  "/root/repo/tests/common/test_spsc_ring.cpp" "tests/CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_status.cpp" "tests/CMakeFiles/test_common.dir/common/test_status.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_status.cpp.o.d"
+  "/root/repo/tests/common/test_string_util.cpp" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o.d"
+  "/root/repo/tests/common/test_token_bucket.cpp" "tests/CMakeFiles/test_common.dir/common/test_token_bucket.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_token_bucket.cpp.o.d"
+  "/root/repo/tests/common/test_uri.cpp" "tests/CMakeFiles/test_common.dir/common/test_uri.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_uri.cpp.o.d"
+  "/root/repo/tests/common/test_zipf.cpp" "tests/CMakeFiles/test_common.dir/common/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/apps/CMakeFiles/gates_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/grid/CMakeFiles/gates_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/core/CMakeFiles/gates_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/net/CMakeFiles/gates_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/sim/CMakeFiles/gates_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/xml/CMakeFiles/gates_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/common/CMakeFiles/gates_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

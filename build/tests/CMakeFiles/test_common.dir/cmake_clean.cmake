@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_bounded_queue.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_bounded_queue.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_log.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_properties.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_properties.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_serialize.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_serialize.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_spsc_ring.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_status.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_status.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_string_util.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_string_util.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_token_bucket.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_token_bucket.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_uri.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_uri.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_zipf.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_zipf.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

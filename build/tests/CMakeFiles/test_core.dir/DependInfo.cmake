@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_controller.cpp" "tests/CMakeFiles/test_core.dir/core/test_controller.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "/root/repo/tests/core/test_cost_and_packet.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_and_packet.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_and_packet.cpp.o.d"
+  "/root/repo/tests/core/test_dynamic_resources.cpp" "tests/CMakeFiles/test_core.dir/core/test_dynamic_resources.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dynamic_resources.cpp.o.d"
+  "/root/repo/tests/core/test_load_factors.cpp" "tests/CMakeFiles/test_core.dir/core/test_load_factors.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_load_factors.cpp.o.d"
+  "/root/repo/tests/core/test_node_failure.cpp" "tests/CMakeFiles/test_core.dir/core/test_node_failure.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_node_failure.cpp.o.d"
+  "/root/repo/tests/core/test_parameter.cpp" "tests/CMakeFiles/test_core.dir/core/test_parameter.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_parameter.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_ports_and_conservation.cpp" "tests/CMakeFiles/test_core.dir/core/test_ports_and_conservation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ports_and_conservation.cpp.o.d"
+  "/root/repo/tests/core/test_queue_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_queue_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_queue_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_rt_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_rt_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rt_engine.cpp.o.d"
+  "/root/repo/tests/core/test_sim_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gates/apps/CMakeFiles/gates_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/grid/CMakeFiles/gates_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/core/CMakeFiles/gates_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/net/CMakeFiles/gates_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/sim/CMakeFiles/gates_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/xml/CMakeFiles/gates_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/common/CMakeFiles/gates_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_and_packet.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_and_packet.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dynamic_resources.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dynamic_resources.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_load_factors.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_load_factors.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_node_failure.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_node_failure.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_parameter.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_parameter.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ports_and_conservation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ports_and_conservation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_queue_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_queue_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rt_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rt_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid.dir/grid/test_app_config.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_app_config.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_app_config_writer.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_app_config_writer.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_container.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_container.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_deployer.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_deployer.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_directory.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_directory.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_grid_config.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_grid_config.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_launcher.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_launcher.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_registry.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_registry.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_repository.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_repository.cpp.o.d"
+  "test_grid"
+  "test_grid.pdb"
+  "test_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_run.dir/gates_run.cpp.o"
+  "CMakeFiles/gates_run.dir/gates_run.cpp.o.d"
+  "gates_run"
+  "gates_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
