@@ -6,6 +6,7 @@
 // input buffer.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -57,6 +58,22 @@ class BoundedQueue {
     return item;
   }
 
+  /// Blocks up to `timeout_seconds` for an item. Returns nullopt on timeout
+  /// as well as on close-and-drained; callers that need to tell the two
+  /// apart check closed(). Lets a consumer thread wake periodically (e.g.
+  /// to publish a heartbeat) while the queue is idle.
+  std::optional<T> pop_for(double timeout_seconds) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                        [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;  // timed out, or closed+drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::optional<T> out;
@@ -77,6 +94,19 @@ class BoundedQueue {
       closed_ = true;
     }
     not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Reverses close() and discards whatever was queued — the crash-stop
+  /// restart path: a revived consumer must not see its predecessor's
+  /// undrained input (upstream replay re-sends the unacknowledged part).
+  /// Only call when no consumer thread is running.
+  void reopen() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = false;
+      items_.clear();
+    }
     not_full_.notify_all();
   }
 

@@ -1,0 +1,42 @@
+// Exponential-backoff retry schedule, shared by the failover paths of both
+// engines (and anything else that re-attempts an operation against a
+// changing grid).
+//
+// Deterministic by design: delay(attempt) is a pure function, so a DES run
+// that schedules retries through it stays a pure function of its config.
+#pragma once
+
+#include <cstddef>
+
+#include "gates/common/types.hpp"
+
+namespace gates {
+
+struct RetryPolicy {
+  /// Delay before the second attempt (the first happens immediately).
+  Duration initial_delay = 0.5;
+  /// Growth factor per subsequent attempt.
+  double multiplier = 2.0;
+  /// Cap on any single delay.
+  Duration max_delay = 30.0;
+  /// Total attempts before giving up (>= 1).
+  std::size_t max_attempts = 4;
+
+  /// Backoff before attempt `attempt` (0-based): attempt 0 is immediate,
+  /// attempt k waits initial_delay * multiplier^(k-1), capped at max_delay.
+  Duration delay(std::size_t attempt) const {
+    if (attempt == 0) return 0;
+    Duration d = initial_delay;
+    for (std::size_t i = 1; i < attempt; ++i) {
+      d *= multiplier;
+      if (d >= max_delay) return max_delay;
+    }
+    return d < max_delay ? d : max_delay;
+  }
+
+  bool exhausted(std::size_t attempts_made) const {
+    return attempts_made >= max_attempts;
+  }
+};
+
+}  // namespace gates

@@ -1,0 +1,57 @@
+// Fault-tolerance configuration shared by both engines.
+//
+// Fault model (see DESIGN.md "Fault model"): nodes are crash-stop — a
+// failed node silently stops processing and blackholes traffic. A
+// heartbeat/lease failure detector declares the node down after K missed
+// beats; the middleware then re-places each stage the node hosted onto a
+// surviving node (retrying with exponential backoff while no candidate
+// qualifies) and replays the bounded per-flow retention buffers, giving
+// at-least-once delivery with a loss window bounded by the retention depth.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "gates/common/retry_policy.hpp"
+#include "gates/common/types.hpp"
+#include "gates/core/processor.hpp"
+
+namespace gates::core {
+
+struct FailoverConfig {
+  /// Master switch. Disabled (the default) preserves the legacy behavior:
+  /// a crashed stage blackholes its input and EOS is raised on its behalf.
+  bool enabled = false;
+  /// Heartbeat period of the failure detector (virtual seconds in the
+  /// SimEngine, wall seconds in the RtEngine).
+  Duration heartbeat_period = 0.5;
+  /// Missed beats before a node is suspected dead (lease = period * beats).
+  std::size_t suspicion_beats = 3;
+  /// Per-flow retention: each inter-stage flow keeps this many unacked
+  /// packets for replay after failover. Packets evicted beyond this depth
+  /// are the (bounded) loss window. 0 disables replay.
+  std::size_t replay_buffer_packets = 256;
+  /// Backoff schedule for re-placement attempts when no node qualifies.
+  RetryPolicy retry;
+};
+
+/// What a re-placement (matchmaking) round decided for one crashed stage.
+struct ReplacementDecision {
+  NodeId node = kInvalidNode;
+  /// Fresh code for the replacement instance. Empty = the engine reuses the
+  /// stage's own factory (fine for programmatic pipelines; grid-deployed
+  /// pipelines need a new service instance, which Deployer::replace_stage
+  /// provides).
+  ProcessorFactory factory;
+};
+
+/// Re-runs matchmaking for `stage_index` against nodes not in `down` and
+/// returns the decision, or nullopt when no node currently qualifies (the
+/// engine retries per RetryPolicy). Must be deterministic for SimEngine
+/// runs to stay reproducible.
+using ReplacementProvider = std::function<std::optional<ReplacementDecision>(
+    std::size_t stage_index, const std::vector<NodeId>& down)>;
+
+}  // namespace gates::core

@@ -50,6 +50,12 @@ class ProcessorContext {
 /// User-supplied stage logic. Lifecycle: init() once before any data;
 /// process() per dequeued packet (never for EOS); finish() once after every
 /// upstream reached end-of-stream — emit any final summaries there.
+///
+/// Failover: when a stage is re-placed after its node crashed, a *fresh*
+/// processor instance is built, init() runs, then on_recover() — the hook
+/// for re-initializing state the crash lost (re-seeding sketches, asking
+/// peers for checkpoints, ...). Unacked input is then replayed at least
+/// once from the upstream retention buffers.
 class StreamProcessor {
  public:
   virtual ~StreamProcessor() = default;
@@ -57,6 +63,9 @@ class StreamProcessor {
   virtual void init(ProcessorContext& ctx) = 0;
   virtual void process(const Packet& packet, Emitter& emitter) = 0;
   virtual void finish(Emitter& /*emitter*/) {}
+  /// Called (after init()) on the replacement instance of a failed-over
+  /// stage, before any replayed packets arrive.
+  virtual void on_recover(ProcessorContext& /*ctx*/) {}
 
   /// Diagnostic name (registry key by convention).
   virtual std::string name() const = 0;

@@ -37,6 +37,49 @@ struct StageReport {
       parameter_trajectories;
 };
 
+/// One node failure and what the middleware did about it.
+struct FailureReport {
+  NodeId node = kInvalidNode;
+  /// Stage the failure took down (one entry per affected stage).
+  std::string stage;
+  TimePoint failed_at = 0;
+  /// When the failure detector declared the node down (lease expiry).
+  TimePoint detected_at = 0;
+  enum class Outcome {
+    /// Failover disabled or replay exhausted: EOS raised on the stage's
+    /// behalf, its in-flight data lost (the legacy degradation).
+    kEosOnBehalf,
+    /// Stage re-placed on a surviving node and replayed.
+    kRecovered,
+    /// Every re-placement attempt failed; degraded to EOS-on-behalf.
+    kAbandoned,
+    /// Run ended before the failover path resolved.
+    kUnresolved,
+  };
+  Outcome outcome = Outcome::kUnresolved;
+  /// Node hosting the replacement (kInvalidNode unless kRecovered).
+  NodeId recovered_on = kInvalidNode;
+  TimePoint recovered_at = 0;
+  /// Re-placement attempts made (>= 1 once detection fired).
+  std::size_t attempts = 0;
+  /// Packets re-sent from upstream retention buffers.
+  std::uint64_t packets_replayed = 0;
+  /// Unacked packets evicted from bounded retention — the loss window.
+  std::uint64_t packets_lost_retention = 0;
+
+  Duration detection_latency() const { return detected_at - failed_at; }
+
+  static const char* outcome_name(Outcome o) {
+    switch (o) {
+      case Outcome::kEosOnBehalf: return "eos-on-behalf";
+      case Outcome::kRecovered: return "recovered";
+      case Outcome::kAbandoned: return "abandoned";
+      case Outcome::kUnresolved: return "unresolved";
+    }
+    return "?";
+  }
+};
+
 struct LinkReport {
   std::string name;
   std::uint64_t messages_delivered = 0;
@@ -56,6 +99,8 @@ struct RunReport {
   std::uint64_t events_executed = 0;
   std::vector<StageReport> stages;
   std::vector<LinkReport> links;
+  /// Node failures observed during the run, in failure-time order.
+  std::vector<FailureReport> failures;
 
   const StageReport* stage(const std::string& name) const {
     for (const auto& s : stages) {

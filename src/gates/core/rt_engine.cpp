@@ -1,8 +1,10 @@
 #include "gates/core/rt_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 
 #include "gates/common/bounded_queue.hpp"
@@ -52,14 +54,104 @@ struct RtEngine::ThrottleGate {
 };
 
 // ---------------------------------------------------------------------------
+// ReplayChannel: sender-side bounded retention for one flow, shared between
+// the sending thread (retain), the receiving thread (ack) and the control
+// thread (snapshot for replay) — hence the mutex. EOS markers are pinned:
+// evicting one would wedge the revived receiver's termination.
+// ---------------------------------------------------------------------------
+struct RtEngine::ReplayChannel {
+  explicit ReplayChannel(std::size_t cap) : capacity(cap) {}
+
+  struct Entry {
+    std::uint64_t seq;
+    Packet packet;
+    bool acked = false;
+  };
+
+  std::mutex mu;
+  const std::size_t capacity;
+  std::deque<Entry> retained;  // ascending seq
+  std::uint64_t next_seq = 0;
+  std::size_t data_retained = 0;  // non-EOS unacked entries
+  std::uint64_t evicted = 0;
+  std::uint64_t evicted_reported = 0;
+
+  std::uint64_t retain(const Packet& packet) {
+    std::lock_guard<std::mutex> lock(mu);
+    const std::uint64_t seq = next_seq++;
+    if (capacity == 0 && !packet.is_eos()) {
+      ++evicted;
+      return seq;
+    }
+    retained.push_back({seq, packet, false});
+    if (!packet.is_eos()) {
+      ++data_retained;
+      while (data_retained > capacity) {
+        for (auto it = retained.begin(); it != retained.end(); ++it) {
+          if (!it->acked && !it->packet.is_eos()) {
+            retained.erase(it);
+            --data_retained;
+            ++evicted;
+            break;
+          }
+        }
+      }
+    }
+    return seq;
+  }
+
+  /// Exact, not cumulative: across a restart, a replayed tail interleaves
+  /// with new traffic, so a processed high seq does NOT imply earlier seqs
+  /// were delivered — acking only what was actually processed keeps the
+  /// undelivered tail replayable.
+  void ack(std::uint64_t seq) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = std::lower_bound(
+        retained.begin(), retained.end(), seq,
+        [](const Entry& e, std::uint64_t s) { return e.seq < s; });
+    if (it != retained.end() && it->seq == seq && !it->acked) {
+      it->acked = true;
+      if (!it->packet.is_eos()) --data_retained;
+    }
+    while (!retained.empty() && retained.front().acked) retained.pop_front();
+  }
+
+  std::vector<std::pair<std::uint64_t, Packet>> snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::uint64_t, Packet>> out;
+    for (const Entry& e : retained) {
+      if (!e.acked) out.emplace_back(e.seq, e.packet);
+    }
+    return out;
+  }
+
+  /// Evictions not yet attributed to a FailureReport.
+  std::uint64_t take_unreported_evictions() {
+    std::lock_guard<std::mutex> lock(mu);
+    const std::uint64_t n = evicted - evicted_reported;
+    evicted_reported = evicted;
+    return n;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // StageWorker
 // ---------------------------------------------------------------------------
 class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
  public:
+  /// One queue entry: the packet plus its replay origin, so this worker can
+  /// acknowledge it after processing. Null origin (failover disabled, or
+  /// the control thread's EOS-on-behalf) never acks.
+  struct Item {
+    Packet packet;
+    ReplayChannel* origin = nullptr;
+    std::uint64_t seq = 0;
+  };
   struct Route {
     std::shared_ptr<ThrottleGate> gate;
     StageWorker* dest = nullptr;
     std::size_t port = 0;
+    std::shared_ptr<ReplayChannel> channel;
   };
 
   StageWorker(RtEngine& engine, std::size_t index, const StageSpec& spec,
@@ -84,15 +176,25 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     in_init_ = false;
   }
 
-  void add_route(Route route) { routes_.push_back(std::move(route)); }
+  void add_route(Route route) {
+    if (!route.channel && engine_.config_.failover.enabled) {
+      route.channel = std::make_shared<ReplayChannel>(
+          engine_.config_.failover.replay_buffer_packets);
+    }
+    routes_.push_back(std::move(route));
+  }
   void add_upstream(StageWorker* up) {
     if (up != nullptr) upstreams_.push_back(up);
   }
   void set_eos_expected(std::size_t n) { eos_expected_ = n; }
 
-  BoundedQueue<Packet>& queue() { return queue_; }
+  BoundedQueue<Item>& queue() { return queue_; }
+  NodeId node() const { return node_; }
+  const std::string& name() const { return spec_.name; }
+  std::vector<Route>& routes() { return routes_; }
 
   void start() {
+    last_beat_.store(clock_.now(), std::memory_order_release);
     thread_ = std::thread([this] { run_loop(); });
   }
   void join() {
@@ -100,6 +202,61 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   }
   void force_stop() { queue_.close(); }
   bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  // -- crash injection / failover (control thread + any injector thread) -----
+  /// Crash-stop: the worker thread exits at its next queue interaction
+  /// without flushing or sending EOS; queued input is discarded.
+  void crash(TimePoint now) {
+    bool expected = false;
+    if (!crashed_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      return;  // already crashed
+    }
+    crash_time_.store(now, std::memory_order_release);
+    queue_.close();
+  }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  TimePoint crash_time() const {
+    return crash_time_.load(std::memory_order_acquire);
+  }
+  TimePoint last_beat() const {
+    return last_beat_.load(std::memory_order_acquire);
+  }
+
+  /// Restart in place after a crash: fresh processor, reopened (emptied)
+  /// queue, new thread. EOS bookkeeping carries over; upstream replay
+  /// restores the unacknowledged input. Caller must have join()ed the dead
+  /// thread first.
+  void revive(const ProcessorFactory& factory) {
+    GATES_CHECK(crashed() && !finished());
+    join();
+    queue_.reopen();
+    processor_ = factory ? factory() : spec_.factory();
+    GATES_CHECK_MSG(processor_ != nullptr,
+                    "replacement factory for stage '" + spec_.name +
+                        "' returned null");
+    params_.clear();
+    controllers_.clear();
+    ++recoveries_;
+    init();
+    processor_->on_recover(*this);
+    crashed_.store(false, std::memory_order_release);
+    start();
+  }
+
+  /// Failover disabled: degrade a crashed stage the legacy way — EOS on its
+  /// behalf so downstream still terminates. Runs on the control thread.
+  void finish_on_behalf() {
+    GATES_CHECK(crashed() && !finished());
+    join();
+    for (const auto& route : routes_) {
+      route.gate->acquire(engine_.config_.wire.per_message_overhead);
+      route.dest->queue().push({Packet::eos(0, clock_.now()), nullptr, 0});
+    }
+    finished_.store(true, std::memory_order_release);
+  }
+
+  std::size_t recoveries() const { return recoveries_; }
 
   // -- Emitter ---------------------------------------------------------------
   void emit(Packet packet, std::size_t port = 0) override {
@@ -109,8 +266,15 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       const std::size_t wire =
           engine_.config_.wire.wire_size(packet.payload_bytes(), packet.records);
       route.gate->acquire(wire);
+      Item item{packet, nullptr, 0};
+      if (route.channel) {
+        item.origin = route.channel.get();
+        item.seq = route.channel->retain(packet);
+      }
       // Blocking push: a full downstream buffer backpressures this thread.
-      if (!route.dest->queue().push(packet)) ++packets_dropped_;
+      // A closed (crashed) downstream queue fails fast; with retention on,
+      // the packet survives in the channel and returns via replay.
+      if (!route.dest->queue().push(std::move(item))) ++packets_dropped_;
     }
   }
 
@@ -175,26 +339,51 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 
  private:
   void run_loop() {
-    while (auto packet = queue_.pop()) {
-      const Duration service = spec_.cost.service_time(*packet) / cpu_factor_;
+    const bool failover = engine_.config_.failover.enabled;
+    const Duration beat = engine_.config_.failover.heartbeat_period;
+    while (true) {
+      std::optional<Item> item;
+      if (failover) {
+        // Timed pop so the heartbeat advances even while idle.
+        last_beat_.store(clock_.now(), std::memory_order_release);
+        item = queue_.pop_for(beat);
+      } else {
+        item = queue_.pop();
+      }
+      // Crash-stop: exit without flushing, acking, or sending EOS.
+      if (crashed_.load(std::memory_order_acquire)) return;
+      if (!item) {
+        if (failover && !queue_.closed()) continue;  // idle beat
+        break;  // closed and drained (EOS logic below) or force-stopped
+      }
+      Packet& packet = item->packet;
+      const Duration service = spec_.cost.service_time(packet) / cpu_factor_;
       sleep_seconds(service);
       busy_time_ += service;
-      if (packet->is_eos()) {
+      if (crashed_.load(std::memory_order_acquire)) return;
+      if (packet.is_eos()) {
+        if (item->origin != nullptr) item->origin->ack(item->seq);
         if (++eos_received_ >= eos_expected_) break;
         continue;
       }
       ++packets_processed_;
-      records_processed_ += packet->records;
-      bytes_processed_ += packet->payload_bytes();
-      latency_.add(clock_.now() - packet->created_at);
-      processor_->process(*packet, *this);
+      records_processed_ += packet.records;
+      bytes_processed_ += packet.payload_bytes();
+      latency_.add(clock_.now() - packet.created_at);
+      processor_->process(packet, *this);
+      // Ack-on-process: only now may the sender release it from retention.
+      if (item->origin != nullptr) item->origin->ack(item->seq);
     }
     // Either all upstreams ended or the queue was force-closed; flush.
     processor_->finish(*this);
     for (const auto& route : routes_) {
-      Packet eos = Packet::eos(0, clock_.now());
       route.gate->acquire(engine_.config_.wire.per_message_overhead);
-      route.dest->queue().push(std::move(eos));
+      Item item{Packet::eos(0, clock_.now()), nullptr, 0};
+      if (route.channel) {
+        item.origin = route.channel.get();
+        item.seq = route.channel->retain(item.packet);
+      }
+      route.dest->queue().push(std::move(item));
     }
     finished_.store(true, std::memory_order_release);
   }
@@ -205,7 +394,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   NodeId node_;
   double cpu_factor_;
   std::unique_ptr<StreamProcessor> processor_;
-  BoundedQueue<Packet> queue_;
+  BoundedQueue<Item> queue_;
   std::vector<Route> routes_;
   std::vector<StageWorker*> upstreams_;
   adapt::QueueMonitor monitor_;
@@ -218,6 +407,10 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::size_t eos_expected_ = 0;
   std::size_t eos_received_ = 0;
   std::atomic<bool> finished_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<TimePoint> crash_time_{0};
+  std::atomic<TimePoint> last_beat_{0};
+  std::size_t recoveries_ = 0;  // control thread only
 
   // Written by the stage thread, read only after join().
   std::uint64_t packets_processed_ = 0;
@@ -246,7 +439,15 @@ class RtEngine::SourceWorker {
         target_(target),
         gate_(std::move(gate)),
         rng_(rng),
-        clock_(clock) {}
+        clock_(clock) {
+    if (engine_.config_.failover.enabled) {
+      channel_ = std::make_shared<ReplayChannel>(
+          engine_.config_.failover.replay_buffer_packets);
+    }
+  }
+
+  StageWorker* target() { return target_; }
+  ReplayChannel* channel() { return channel_.get(); }
 
   /// horizon <= 0 means "run until total_packets".
   void start(Duration horizon) {
@@ -278,19 +479,34 @@ class RtEngine::SourceWorker {
       const std::size_t wire = engine_.config_.wire.wire_size(
           packet.payload_bytes(), packet.records);
       gate_->acquire(wire);
-      if (!target_->queue().push(std::move(packet))) break;  // force-stopped
+      StageWorker::Item item{std::move(packet), nullptr, 0};
+      if (channel_) {
+        item.origin = channel_.get();
+        item.seq = channel_->retain(item.packet);
+      }
+      if (!target_->queue().push(std::move(item))) {
+        // Closed queue: force-stop (legacy → quit) or a crashed target
+        // (failover → keep producing; retention holds the tail for replay).
+        if (!channel_) break;
+      }
       const Duration gap = spec_.poisson ? rng_.exponential(spec_.rate_hz)
                                          : 1.0 / spec_.rate_hz;
       sleep_seconds(gap);
     }
     Packet eos = Packet::eos(spec_.stream, clock_.now());
-    target_->queue().push(std::move(eos));
+    StageWorker::Item item{std::move(eos), nullptr, 0};
+    if (channel_) {
+      item.origin = channel_.get();
+      item.seq = channel_->retain(item.packet);
+    }
+    target_->queue().push(std::move(item));
   }
 
   RtEngine& engine_;
   const SourceSpec& spec_;
   StageWorker* target_;
   std::shared_ptr<ThrottleGate> gate_;
+  std::shared_ptr<ReplayChannel> channel_;
   Rng rng_;
   const Clock& clock_;
   std::thread thread_;
@@ -392,10 +608,11 @@ Status RtEngine::execute(Duration source_horizon) {
   for (auto& stage : stages_) stage->start();
   for (auto& source : sources_) source->start(source_horizon);
 
-  // Control loop doubles as the watchdog.
+  // Control loop doubles as the watchdog and the failure detector.
   bool timed_out = false;
   while (true) {
     sleep_seconds(config_.control_period);
+    handle_failures(start);
     bool all_done = true;
     for (auto& stage : stages_) all_done &= stage->finished();
     if (all_done) break;
@@ -420,7 +637,101 @@ Status RtEngine::execute(Duration source_horizon) {
   for (const auto& stage : stages_) {
     report_.stages.push_back(stage->build_report());
   }
+  report_.failures = failures_;
   return Status::ok();
+}
+
+void RtEngine::handle_failures(TimePoint run_started) {
+  const TimePoint now = clock_.now();
+  for (auto& f : node_failures_) {
+    if (f.fired || now - run_started < f.time) continue;
+    f.fired = true;
+    for (auto& stage : stages_) {
+      if (stage->node() == f.node) stage->crash(now);
+    }
+  }
+  const auto& fo = config_.failover;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    StageWorker* stage = stages_[i].get();
+    if (!stage->crashed() || stage->finished()) continue;
+    // Detection: the dead worker stopped publishing heartbeats; its lease
+    // expires after `suspicion_beats` periods. (crashed() gates the check —
+    // a slow-but-alive worker is never declared dead, so join() below
+    // cannot hang.) With failover off there are no beats; the legacy path
+    // reacts on the next control tick.
+    if (fo.enabled &&
+        now - stage->last_beat() < fo.heartbeat_period * fo.suspicion_beats) {
+      continue;
+    }
+    FailureReport rec;
+    rec.node = stage->node();
+    rec.stage = stage->name();
+    rec.failed_at = stage->crash_time() - run_started;
+    rec.detected_at = now - run_started;
+    rec.attempts = 1;
+    if (!fo.enabled) {
+      rec.outcome = FailureReport::Outcome::kEosOnBehalf;
+      stage->finish_on_behalf();
+      GATES_LOG(kWarn, "rt-engine")
+          << "stage '" << stage->name() << "' crashed; EOS on its behalf";
+    } else {
+      restart_stage(i, rec);
+      rec.recovered_at = clock_.now() - run_started;
+    }
+    failures_.push_back(std::move(rec));
+  }
+}
+
+void RtEngine::restart_stage(std::size_t stage_index, FailureReport& record) {
+  StageWorker* stage = stages_[stage_index].get();
+  stage->revive(recovery_factory_provider_ ? recovery_factory_provider_(stage_index)
+                                           : ProcessorFactory{});
+  // Replay the unacknowledged tail of every inbound flow. The recovery
+  // burst bypasses the throttle gates (it is bounded by the retention
+  // capacity); blocking pushes pace it against the revived worker. New
+  // traffic from live senders may interleave with the replayed tail — the
+  // flows are at-least-once, not ordered, across a restart.
+  std::uint64_t replayed = 0;
+  std::uint64_t lost = 0;
+  auto replay = [&](ReplayChannel* ch) {
+    if (ch == nullptr) return;
+    lost += ch->take_unreported_evictions();
+    for (auto& [seq, packet] : ch->snapshot()) {
+      if (stage->queue().push({packet, ch, seq})) ++replayed;
+    }
+  };
+  for (auto& up : stages_) {
+    for (auto& route : up->routes()) {
+      if (route.dest == stage) replay(route.channel.get());
+    }
+  }
+  for (auto& src : sources_) {
+    if (src->target() == stage) replay(src->channel());
+  }
+  record.outcome = FailureReport::Outcome::kRecovered;
+  record.recovered_on = stage->node();
+  record.packets_replayed = replayed;
+  record.packets_lost_retention = lost;
+  GATES_LOG(kInfo, "rt-engine")
+      << "stage '" << stage->name() << "' restarted (" << replayed
+      << " replayed, " << lost << " lost to retention)";
+}
+
+void RtEngine::schedule_node_failure(NodeId node, TimePoint t) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_node_failure must precede run()");
+  node_failures_.push_back({node, t, false});
+}
+
+void RtEngine::set_recovery_factory_provider(RecoveryFactoryProvider provider) {
+  GATES_CHECK_MSG(!setup_done_,
+                  "set_recovery_factory_provider must precede run()");
+  recovery_factory_provider_ = std::move(provider);
+}
+
+void RtEngine::kill_stage(std::size_t stage_index) {
+  GATES_CHECK(stage_index < spec_.stages.size());
+  GATES_CHECK_MSG(setup_done_, "kill_stage targets a running engine");
+  stages_[stage_index]->crash(clock_.now());
 }
 
 StreamProcessor& RtEngine::processor(std::size_t stage_index) {

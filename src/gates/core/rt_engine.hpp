@@ -20,6 +20,7 @@
 
 #include "gates/common/clock.hpp"
 #include "gates/common/status.hpp"
+#include "gates/core/failover.hpp"
 #include "gates/core/pipeline.hpp"
 #include "gates/core/report.hpp"
 #include "gates/net/message.hpp"
@@ -39,6 +40,13 @@ class RtEngine {
     /// Watchdog: a run not finished after this many wall seconds is force-
     /// stopped and reported as incomplete.
     Duration max_wall_time = 120;
+    /// Fault tolerance. Disabled (default): a killed stage's thread exits
+    /// silently and the control loop raises EOS on its behalf. Enabled: the
+    /// worker publishes heartbeats, the control loop declares the stage dead
+    /// after `suspicion_beats` missed beats, restarts it in place with a
+    /// fresh processor, and replays the unacknowledged tail of every
+    /// inbound flow from bounded retention.
+    FailoverConfig failover;
   };
 
   RtEngine(PipelineSpec spec, Placement placement, HostModel hosts,
@@ -55,15 +63,39 @@ class RtEngine {
   const RunReport& report() const { return report_; }
   StreamProcessor& processor(std::size_t stage_index);
 
+  // -- crash injection ---------------------------------------------------------
+  /// At `t` wall seconds into the run, crash-stops every stage hosted on
+  /// `node` (threads exit; queued input is lost). Must precede run().
+  void schedule_node_failure(NodeId node, TimePoint t);
+  /// Immediately crash-stops one stage. Thread-safe: tests call this from a
+  /// second thread while run() blocks, to kill a stage mid-run.
+  void kill_stage(std::size_t stage_index);
+
+  /// Optional hook consulted when a crashed stage restarts: returns the
+  /// factory building its replacement processor. Without one the stage's
+  /// own spec factory is reused — fine for programmatic pipelines, but
+  /// grid-deployed factories are single-shot service instances; wire a
+  /// provider that restarts the instance (GatesServiceInstance::restart)
+  /// there. Must precede run().
+  using RecoveryFactoryProvider =
+      std::function<ProcessorFactory(std::size_t stage_index)>;
+  void set_recovery_factory_provider(RecoveryFactoryProvider provider);
+
  private:
   class StageWorker;
   class SourceWorker;
   struct ThrottleGate;
+  struct ReplayChannel;
 
   Status setup();
   Status execute(Duration source_horizon);
   void control_loop();
   std::shared_ptr<ThrottleGate> gate_for_flow(NodeId from, NodeId to);
+  /// Control-loop pass over injected/killed stages: detects dead workers by
+  /// heartbeat staleness, then restarts (failover on) or raises EOS on
+  /// their behalf (failover off).
+  void handle_failures(TimePoint run_started);
+  void restart_stage(std::size_t stage_index, FailureReport& record);
 
   PipelineSpec spec_;
   Placement placement_;
@@ -76,6 +108,14 @@ class RtEngine {
   std::vector<std::unique_ptr<StageWorker>> stages_;
   std::vector<std::unique_ptr<SourceWorker>> sources_;
   std::map<std::pair<NodeId, NodeId>, std::shared_ptr<ThrottleGate>> gates_;
+  struct NodeFailure {
+    NodeId node;
+    TimePoint time;
+    bool fired = false;
+  };
+  std::vector<NodeFailure> node_failures_;
+  std::vector<FailureReport> failures_;  // control thread only
+  RecoveryFactoryProvider recovery_factory_provider_;
   bool setup_done_ = false;
   RunReport report_;
 };

@@ -1,11 +1,78 @@
 #include "gates/core/sim_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "gates/common/check.hpp"
 #include "gates/common/log.hpp"
 
 namespace gates::core {
+
+// ---------------------------------------------------------------------------
+// Delivery: what rides in a SimMessage payload. The replay origin lets the
+// receiving stage acknowledge the packet after processing it, releasing it
+// from the sender's bounded retention buffer. Null origin = retention off.
+// ---------------------------------------------------------------------------
+struct SimEngine::Delivery {
+  Packet packet;
+  ReplayChannel* origin = nullptr;
+  std::uint64_t seq = 0;
+  /// Destination incarnation at send time. A revived stage rejects messages
+  /// stamped for a previous incarnation: they were in flight across its
+  /// outage, their retained copies have already been replayed, and accepting
+  /// both would deliver duplicates.
+  std::uint64_t dest_incarnation = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ReplayChannel: sender-side bounded retention for one flow (one route, or
+// one source's feed). Holds the last N unacknowledged packets; EOS markers
+// are pinned regardless of capacity — losing a termination marker would
+// wedge the recovered stage forever.
+// ---------------------------------------------------------------------------
+struct SimEngine::ReplayChannel {
+  explicit ReplayChannel(std::size_t cap) : capacity(cap) {}
+
+  std::size_t capacity;
+  std::deque<std::pair<std::uint64_t, Packet>> retained;
+  std::uint64_t next_seq = 0;
+  std::size_t data_retained = 0;  // non-EOS entries in `retained`
+  std::uint64_t evicted = 0;
+  std::uint64_t evicted_reported = 0;  // already attributed to a FailureReport
+
+  std::uint64_t retain(const Packet& packet) {
+    const std::uint64_t seq = next_seq++;
+    if (capacity == 0 && !packet.is_eos()) {
+      ++evicted;
+      return seq;
+    }
+    retained.emplace_back(seq, packet);
+    if (!packet.is_eos()) {
+      ++data_retained;
+      while (data_retained > capacity) {
+        // Evict the oldest non-EOS entry.
+        for (auto it = retained.begin(); it != retained.end(); ++it) {
+          if (!it->second.is_eos()) {
+            retained.erase(it);
+            --data_retained;
+            ++evicted;
+            break;
+          }
+        }
+      }
+    }
+    return seq;
+  }
+
+  /// Cumulative ack: flows are FIFO, so processing seq implies everything
+  /// before it was processed (or replayed ahead of it).
+  void ack(std::uint64_t seq) {
+    while (!retained.empty() && retained.front().first <= seq) {
+      if (!retained.front().second.is_eos()) --data_retained;
+      retained.pop_front();
+    }
+  }
+};
 
 // ---------------------------------------------------------------------------
 // MonitoredLink: a non-loopback link plus its queue monitor and the adaptive
@@ -42,6 +109,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     net::SimLink* link = nullptr;
     StageRuntime* dest = nullptr;
     std::size_t port = 0;
+    /// Retention buffer for this flow; null when failover is disabled.
+    ReplayChannel* channel = nullptr;
   };
 
   StageRuntime(SimEngine& engine, std::size_t index, const StageSpec& spec,
@@ -66,13 +135,21 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   }
 
   // -- wiring (engine setup) -------------------------------------------------
-  void add_route(Route route) { routes_.push_back(route); }
+  void add_route(Route route) {
+    if (route.channel == nullptr && engine_.config_.failover.enabled) {
+      channels_.push_back(std::make_unique<ReplayChannel>(
+          engine_.config_.failover.replay_buffer_packets));
+      route.channel = channels_.back().get();
+    }
+    routes_.push_back(route);
+  }
   void add_inbound_link(net::SimLink* link) {
     if (std::find(inbound_links_.begin(), inbound_links_.end(), link) ==
         inbound_links_.end()) {
       inbound_links_.push_back(link);
     }
   }
+  void clear_inbound_links() { inbound_links_.clear(); }
   void add_upstream(StageRuntime* stage) {
     if (stage != nullptr &&
         std::find(upstreams_.begin(), upstreams_.end(), stage) ==
@@ -82,6 +159,7 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   }
   void set_eos_expected(std::size_t n) { eos_expected_ = n; }
   NodeId node() const { return node_; }
+  std::vector<Route>& routes() { return routes_; }
   /// Dynamic resource variation: subsequent services run at the new speed.
   void set_cpu_factor(double factor) {
     GATES_CHECK(factor > 0);
@@ -90,40 +168,86 @@ class SimEngine::StageRuntime final : public net::MessageSink,
 
   /// Crashes this stage: discards its queue, refuses future deliveries, and
   /// raises EOS downstream on its behalf (the middleware's failure
-  /// detection). Counts toward pipeline completion.
+  /// detection). Counts toward pipeline completion. The legacy, no-failover
+  /// degradation.
   void fail() {
     if (finished_ || failed_) return;
     failed_ = true;
+    ++incarnation_;
     const std::size_t discarded = queue_.size();
     queue_.clear();
     packets_dropped_ += discarded;
     for (net::SimLink* link : inbound_links_) link->notify_space();
-    for (const auto& route : routes_) {
-      Packet eos = Packet::eos(0, engine_.sim_.now());
-      net::SimMessage msg;
-      msg.wire_bytes = engine_.config_.wire.per_message_overhead;
-      msg.sink = route.dest;
-      msg.source_stage = static_cast<StageId>(index_);
-      msg.payload = std::move(eos);
-      route.link->send(std::move(msg));
-    }
-    finished_ = true;
+    raise_eos_on_behalf();
     GATES_LOG(kWarn, "sim-engine")
         << "stage '" << spec_.name << "' failed at t=" << engine_.sim_.now();
-    engine_.on_stage_finished();
   }
+
+  /// Crash-stop for the failover path: the stage goes dark (queued input
+  /// and in-flight messages toward it are lost) but no EOS is raised — the
+  /// failure detector and the re-placement path decide what happens next.
+  void crash() {
+    if (finished_ || failed_) return;
+    failed_ = true;
+    ++incarnation_;
+    packets_dropped_ += queue_.size();
+    queue_.clear();
+    for (net::SimLink* link : inbound_links_) {
+      packets_dropped_ += link->drop_messages_for(this);
+      link->notify_space();
+    }
+    GATES_LOG(kWarn, "sim-engine")
+        << "stage '" << spec_.name << "' crashed at t=" << engine_.sim_.now();
+  }
+
+  /// Failover gave up on this crashed stage: degrade exactly like fail().
+  void abandon() {
+    if (finished_ || !failed_) return;
+    raise_eos_on_behalf();
+    GATES_LOG(kWarn, "sim-engine")
+        << "stage '" << spec_.name << "' abandoned at t=" << engine_.sim_.now();
+  }
+
+  /// Re-deploys this stage on `node` with a fresh processor from `factory`
+  /// (empty = the stage's own spec factory). Counters and EOS bookkeeping
+  /// carry over; processor state starts from init() + on_recover().
+  void revive(NodeId node, double cpu_factor, const ProcessorFactory& factory) {
+    GATES_CHECK(failed_ && !finished_);
+    node_ = node;
+    cpu_factor_ = cpu_factor;
+    processor_ = factory ? factory() : spec_.factory();
+    GATES_CHECK_MSG(processor_ != nullptr,
+                    "replacement factory for stage '" + spec_.name +
+                        "' returned null");
+    params_.clear();
+    controllers_.clear();
+    failed_ = false;
+    busy_ = false;
+    // New incarnation: anything still in flight from before the revival is
+    // stale (its retained copy is about to be replayed) and must not be
+    // double-delivered.
+    ++incarnation_;
+    ++recoveries_;
+    init();
+    processor_->on_recover(*this);
+  }
+
   bool failed() const { return failed_; }
+  std::uint64_t incarnation() const { return incarnation_; }
 
   // -- net::MessageSink --------------------------------------------------------
   bool try_deliver(net::SimMessage&& msg) override {
-    if (failed_) {
-      // A crashed host blackholes traffic; the sender's own backpressure
-      // and the EOS raised at failure time handle the rest.
+    const auto* peek = std::any_cast<Delivery>(&msg.payload);
+    if (failed_ || peek->dest_incarnation != incarnation_) {
+      // A crashed host blackholes traffic, and a revived one rejects stale
+      // in-flight messages from before its outage; the sender's
+      // backpressure and the failure handling (EOS on behalf, or detection
+      // + replay) cover the rest.
       ++packets_dropped_;
       return true;
     }
     if (queue_.size() >= spec_.input_capacity) return false;
-    queue_.push_back(std::any_cast<Packet>(std::move(msg.payload)));
+    queue_.push_back(std::any_cast<Delivery>(std::move(msg.payload)));
     begin_service();
     return true;
   }
@@ -132,14 +256,21 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   void emit(Packet packet, std::size_t port = 0) override {
     ++packets_emitted_;
     bool routed = false;
-    for (const auto& route : routes_) {
+    for (auto& route : routes_) {
       if (route.port != port) continue;
       net::SimMessage msg;
       msg.wire_bytes = engine_.config_.wire.wire_size(packet.payload_bytes(),
                                                       packet.records);
       msg.sink = route.dest;
       msg.source_stage = static_cast<StageId>(index_);
-      msg.payload = packet;  // copy: the same packet may take several routes
+      Delivery d;
+      d.packet = packet;  // copy: the same packet may take several routes
+      d.dest_incarnation = route.dest->incarnation();
+      if (route.channel != nullptr) {
+        d.origin = route.channel;
+        d.seq = route.channel->retain(d.packet);
+      }
+      msg.payload = std::move(d);
       if (!route.link->send(std::move(msg))) {
         ++packets_dropped_;
       }
@@ -211,38 +342,40 @@ class SimEngine::StageRuntime final : public net::MessageSink,
 
   // -- service loop ---------------------------------------------------------------
   void begin_service() {
-    if (busy_ || finished_ || queue_.empty()) return;
+    if (busy_ || finished_ || failed_ || queue_.empty()) return;
     if (outbound_blocked()) {
       ++blocked_events_;
       return;  // resumed by the link's drain listener
     }
     busy_ = true;
-    Packet packet = std::move(queue_.front());
+    Delivery item = std::move(queue_.front());
     queue_.pop_front();
     // Space freed: let stalled inbound links resume delivery.
     for (net::SimLink* link : inbound_links_) link->notify_space();
-    const Duration service = spec_.cost.service_time(packet) / cpu_factor_;
+    const Duration service = spec_.cost.service_time(item.packet) / cpu_factor_;
     busy_time_ += service;
-    auto shared = std::make_shared<Packet>(std::move(packet));
-    engine_.sim_.schedule_after(
-        service, [this, shared] { complete_service(std::move(*shared)); });
+    auto shared = std::make_shared<Delivery>(std::move(item));
+    const std::uint64_t inc = incarnation_;
+    engine_.sim_.schedule_after(service, [this, shared, inc] {
+      complete_service(std::move(*shared), inc);
+    });
   }
 
-  void complete_service(Packet packet) {
+  void complete_service(Delivery item, std::uint64_t incarnation) {
+    if (incarnation != incarnation_) return;  // crashed while serving
     busy_ = false;
-    if (failed_) return;  // crashed while serving
+    if (failed_) return;
+    // Processing is the acknowledgment point: the packet's effects are now
+    // in this stage's state (and anything it emitted is downstream), so the
+    // sender may release it from retention.
+    if (item.origin != nullptr) item.origin->ack(item.seq);
+    Packet& packet = item.packet;
     if (packet.is_eos()) {
       ++eos_received_;
       if (eos_received_ >= eos_expected_ && !finished_) {
         processor_->finish(*this);
-        for (const auto& route : routes_) {
-          Packet eos = Packet::eos(packet.stream, engine_.sim_.now());
-          net::SimMessage msg;
-          msg.wire_bytes = engine_.config_.wire.per_message_overhead;
-          msg.sink = route.dest;
-          msg.source_stage = static_cast<StageId>(index_);
-          msg.payload = std::move(eos);
-          route.link->send(std::move(msg));
+        for (auto& route : routes_) {
+          send_eos_on_route(route, packet.stream);
         }
         finished_ = true;
         engine_.on_stage_finished();
@@ -256,6 +389,29 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       processor_->process(packet, *this);
     }
     begin_service();
+  }
+
+  // -- failover support --------------------------------------------------------
+  /// Re-sends every retained (unacked) packet of `route`'s channel — called
+  /// after the route's destination was revived and rewired.
+  std::uint64_t replay_route(Route& route) {
+    if (route.channel == nullptr) return 0;
+    std::uint64_t n = 0;
+    for (const auto& [seq, packet] : route.channel->retained) {
+      net::SimMessage msg;
+      msg.wire_bytes = engine_.config_.wire.wire_size(packet.payload_bytes(),
+                                                      packet.records);
+      msg.sink = route.dest;
+      msg.source_stage = static_cast<StageId>(index_);
+      Delivery d;
+      d.packet = packet;
+      d.origin = route.channel;
+      d.seq = seq;
+      d.dest_incarnation = route.dest->incarnation();
+      msg.payload = std::move(d);
+      if (route.link->send(std::move(msg))) ++n;
+    }
+    return n;
   }
 
   // -- reporting --------------------------------------------------------------------
@@ -284,6 +440,7 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   StreamProcessor& processor() { return *processor_; }
   bool finished() const { return finished_; }
   const std::string& name() const { return spec_.name; }
+  std::size_t recoveries() const { return recoveries_; }
   double parameter_value(const std::string& pname) const {
     for (const auto& p : params_) {
       if (p->name() == pname) return p->suggested_value();
@@ -294,6 +451,31 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   }
 
  private:
+  void raise_eos_on_behalf() {
+    for (auto& route : routes_) {
+      send_eos_on_route(route, 0);
+    }
+    finished_ = true;
+    engine_.on_stage_finished();
+  }
+
+  void send_eos_on_route(Route& route, StreamId stream) {
+    Packet eos = Packet::eos(stream, engine_.sim_.now());
+    net::SimMessage msg;
+    msg.wire_bytes = engine_.config_.wire.per_message_overhead;
+    msg.sink = route.dest;
+    msg.source_stage = static_cast<StageId>(index_);
+    Delivery d;
+    d.packet = std::move(eos);
+    d.dest_incarnation = route.dest->incarnation();
+    if (route.channel != nullptr) {
+      d.origin = route.channel;
+      d.seq = route.channel->retain(d.packet);
+    }
+    msg.payload = std::move(d);
+    route.link->send(std::move(msg));
+  }
+
   SimEngine& engine_;
   std::size_t index_;
   const StageSpec& spec_;
@@ -301,9 +483,10 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   double cpu_factor_;
 
   std::unique_ptr<StreamProcessor> processor_;
-  std::deque<Packet> queue_;
+  std::deque<Delivery> queue_;
   std::vector<net::SimLink*> inbound_links_;
   std::vector<Route> routes_;
+  std::vector<std::unique_ptr<ReplayChannel>> channels_;
   std::vector<StageRuntime*> upstreams_;
 
   adapt::QueueMonitor monitor_;
@@ -315,6 +498,10 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   bool busy_ = false;
   bool finished_ = false;
   bool failed_ = false;
+  /// Bumped on every crash; stale service-completion events compare against
+  /// it and abort, so a revived stage never sees pre-crash completions.
+  std::uint64_t incarnation_ = 0;
+  std::size_t recoveries_ = 0;
   std::size_t eos_expected_ = 0;
   std::size_t eos_received_ = 0;
 
@@ -340,13 +527,57 @@ class SimEngine::SourceRuntime {
  public:
   SourceRuntime(SimEngine& engine, const SourceSpec& spec,
                 StageRuntime* target, net::SimLink* link, Rng rng)
-      : engine_(engine), spec_(spec), target_(target), link_(link), rng_(rng) {}
+      : engine_(engine), spec_(spec), target_(target), link_(link), rng_(rng) {
+    if (engine_.config_.failover.enabled) {
+      channel_ = std::make_unique<ReplayChannel>(
+          engine_.config_.failover.replay_buffer_packets);
+    }
+  }
 
   void start() { schedule_next(0.0); }
+
+  StageRuntime* target() { return target_; }
+  /// Failover rewiring: subsequent (and replayed) packets use the new link.
+  void set_link(net::SimLink* link) { link_ = link; }
+  ReplayChannel* channel() { return channel_.get(); }
+
+  std::uint64_t replay() {
+    if (channel_ == nullptr) return 0;
+    std::uint64_t n = 0;
+    for (const auto& [seq, packet] : channel_->retained) {
+      net::SimMessage msg;
+      msg.wire_bytes = engine_.config_.wire.wire_size(packet.payload_bytes(),
+                                                      packet.records);
+      msg.sink = target_;
+      Delivery d;
+      d.packet = packet;
+      d.origin = channel_.get();
+      d.seq = seq;
+      d.dest_incarnation = target_->incarnation();
+      msg.payload = std::move(d);
+      if (link_->send(std::move(msg))) ++n;
+    }
+    return n;
+  }
 
  private:
   void schedule_next(Duration delay) {
     engine_.sim_.schedule_after(delay, [this] { emit_one(); });
+  }
+
+  void send_packet(Packet packet, std::size_t wire_bytes) {
+    net::SimMessage msg;
+    msg.wire_bytes = wire_bytes;
+    msg.sink = target_;
+    Delivery d;
+    d.packet = std::move(packet);
+    d.dest_incarnation = target_->incarnation();
+    if (channel_ != nullptr) {
+      d.origin = channel_.get();
+      d.seq = channel_->retain(d.packet);
+    }
+    msg.payload = std::move(d);
+    link_->send(std::move(msg));
   }
 
   void emit_one() {
@@ -362,20 +593,14 @@ class SimEngine::SourceRuntime {
     packet.created_at = sim.now();
     ++seq_;
 
-    net::SimMessage msg;
-    msg.wire_bytes =
+    const std::size_t wire =
         engine_.config_.wire.wire_size(packet.payload_bytes(), packet.records);
-    msg.sink = target_;
-    msg.payload = std::move(packet);
-    link_->send(std::move(msg));
+    send_packet(std::move(packet), wire);
 
     if (spec_.total_packets != 0 && seq_ >= spec_.total_packets) {
       // End of stream: an EOS marker follows the last data packet FIFO.
-      net::SimMessage eos_msg;
-      eos_msg.wire_bytes = engine_.config_.wire.per_message_overhead;
-      eos_msg.sink = target_;
-      eos_msg.payload = Packet::eos(spec_.stream, sim.now());
-      link_->send(std::move(eos_msg));
+      send_packet(Packet::eos(spec_.stream, sim.now()),
+                  engine_.config_.wire.per_message_overhead);
       return;
     }
     const Duration gap = spec_.poisson ? rng_.exponential(spec_.rate_hz)
@@ -387,6 +612,7 @@ class SimEngine::SourceRuntime {
   const SourceSpec& spec_;
   StageRuntime* target_;
   net::SimLink* link_;
+  std::unique_ptr<ReplayChannel> channel_;
   Rng rng_;
   std::uint64_t seq_ = 0;
 };
@@ -467,6 +693,17 @@ net::SimLink* SimEngine::link_for_flow(NodeId from, NodeId to) {
   return slot.get();
 }
 
+net::SimLink* SimEngine::attach_flow(StageRuntime* sender, StageRuntime* dest) {
+  net::SimLink* link = link_for_flow(sender->node(), dest->node());
+  for (auto& ml : monitored_links_) {
+    if (ml->link == link) ml->add_sender(sender);
+  }
+  // Blocking-send resume: when the link drains, blocked senders retry.
+  link->add_drain_listener([sender] { sender->begin_service(); });
+  dest->add_inbound_link(link);
+  return link;
+}
+
 Status SimEngine::setup() {
   if (setup_done_) return Status::ok();
   if (auto s = spec_.validate(); !s.is_ok()) return s;
@@ -494,19 +731,11 @@ Status SimEngine::setup() {
 
   // Wire stage-to-stage edges.
   for (const auto& edge : spec_.edges) {
-    const NodeId from = placement_.stage_nodes[edge.from_stage];
-    const NodeId to = placement_.stage_nodes[edge.to_stage];
-    net::SimLink* link = link_for_flow(from, to);
     StageRuntime* sender = stages_[edge.from_stage].get();
-    stages_[edge.from_stage]->add_route(
-        {link, stages_[edge.to_stage].get(), edge.port});
-    stages_[edge.to_stage]->add_inbound_link(link);
-    stages_[edge.to_stage]->add_upstream(sender);
-    for (auto& ml : monitored_links_) {
-      if (ml->link == link) ml->add_sender(sender);
-    }
-    // Blocking-send resume: when the link drains, blocked senders retry.
-    link->add_drain_listener([sender] { sender->begin_service(); });
+    StageRuntime* dest = stages_[edge.to_stage].get();
+    net::SimLink* link = attach_flow(sender, dest);
+    sender->add_route({link, dest, edge.port, nullptr});
+    dest->add_upstream(sender);
   }
 
   // Wire sources.
@@ -552,9 +781,16 @@ Status SimEngine::setup() {
 
   for (const auto& failure : node_failures_) {
     sim_.schedule_at(failure.time, [this, failure] {
-      for (auto& stage : stages_) {
-        if (stage->node() == failure.node) stage->fail();
-      }
+      on_node_failure(failure.node, failure.time);
+    });
+  }
+  for (const auto& recovery : node_recoveries_) {
+    sim_.schedule_at(recovery.time, [this, recovery] {
+      auto it =
+          std::find(down_nodes_.begin(), down_nodes_.end(), recovery.node);
+      if (it != down_nodes_.end()) down_nodes_.erase(it);
+      GATES_LOG(kInfo, "sim-engine")
+          << "node " << recovery.node << " recovered at t=" << sim_.now();
     });
   }
 
@@ -602,6 +838,174 @@ void SimEngine::on_stage_finished() {
   }
 }
 
+// -- failover ----------------------------------------------------------------
+
+bool SimEngine::node_down(NodeId node) const {
+  return std::find(down_nodes_.begin(), down_nodes_.end(), node) !=
+         down_nodes_.end();
+}
+
+void SimEngine::on_node_failure(NodeId node, TimePoint t) {
+  if (!node_down(node)) {
+    down_nodes_.push_back(node);
+    std::sort(down_nodes_.begin(), down_nodes_.end());
+  }
+  const auto& fo = config_.failover;
+  // Failure detector model: the node beats every heartbeat_period; the K-th
+  // consecutive missed beat declares it down. Deterministic by arithmetic
+  // instead of simulating each beat.
+  const TimePoint detect_t =
+      fo.heartbeat_period *
+      (std::floor(t / fo.heartbeat_period) +
+       static_cast<double>(fo.suspicion_beats));
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    StageRuntime* stage = stages_[i].get();
+    if (stage->node() != node || stage->finished() || stage->failed()) continue;
+    FailureReport rec;
+    rec.node = node;
+    rec.stage = stage->name();
+    rec.failed_at = t;
+    if (!fo.enabled) {
+      // Legacy path: omniscient detection, EOS on the stage's behalf.
+      rec.detected_at = t;
+      rec.outcome = FailureReport::Outcome::kEosOnBehalf;
+      failures_.push_back(std::move(rec));
+      stage->fail();
+      continue;
+    }
+    const TimePoint when = std::max(detect_t, t);
+    rec.detected_at = when;
+    failures_.push_back(std::move(rec));
+    const std::size_t report_index = failures_.size() - 1;
+    stage->crash();
+    sim_.schedule_at(when, [this, i, report_index] {
+      on_failure_detected(i, report_index);
+    });
+  }
+}
+
+void SimEngine::on_failure_detected(std::size_t stage_index,
+                                    std::size_t report_index) {
+  StageRuntime* stage = stages_[stage_index].get();
+  if (stage->finished() || !stage->failed()) return;  // already resolved
+  GATES_LOG(kInfo, "sim-engine")
+      << "failure of stage '" << stage->name() << "' detected at t="
+      << sim_.now();
+  try_failover(stage_index, report_index, 0);
+}
+
+std::optional<ReplacementDecision> SimEngine::default_replacement(
+    std::size_t stage_index) const {
+  // Candidate universe: every node this engine has heard of.
+  std::vector<NodeId> candidates;
+  auto consider = [&](NodeId n) {
+    if (n == kInvalidNode || node_down(n)) return;
+    if (std::find(candidates.begin(), candidates.end(), n) ==
+        candidates.end()) {
+      candidates.push_back(n);
+    }
+  };
+  for (NodeId n = 0; n < hosts_.cpu_factor.size(); ++n) consider(n);
+  for (const auto& stage : stages_) consider(stage->node());
+  for (const auto& src : spec_.sources) consider(src.location);
+  if (candidates.empty()) return std::nullopt;
+  std::sort(candidates.begin(), candidates.end());
+  // Least-loaded by live stages, ties to the lowest id — the same policy the
+  // Deployer uses.
+  NodeId best = kInvalidNode;
+  std::size_t best_load = 0;
+  for (NodeId candidate : candidates) {
+    std::size_t load = 0;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (i != stage_index && stages_[i]->node() == candidate &&
+          !stages_[i]->failed()) {
+        ++load;
+      }
+    }
+    if (best == kInvalidNode || load < best_load) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  ReplacementDecision decision;
+  decision.node = best;
+  return decision;
+}
+
+void SimEngine::try_failover(std::size_t stage_index, std::size_t report_index,
+                             std::size_t attempt) {
+  StageRuntime* stage = stages_[stage_index].get();
+  if (stage->finished() || !stage->failed()) return;
+  FailureReport& rec = failures_[report_index];
+  rec.attempts = attempt + 1;
+  std::optional<ReplacementDecision> decision =
+      replacement_provider_ ? replacement_provider_(stage_index, down_nodes_)
+                            : default_replacement(stage_index);
+  if (decision && decision->node != kInvalidNode &&
+      !node_down(decision->node)) {
+    revive_stage(stage_index, *decision, rec);
+    return;
+  }
+  if (config_.failover.retry.exhausted(attempt + 1)) {
+    rec.outcome = FailureReport::Outcome::kAbandoned;
+    stage->abandon();
+    return;
+  }
+  sim_.schedule_after(config_.failover.retry.delay(attempt + 1),
+                      [this, stage_index, report_index, attempt] {
+                        try_failover(stage_index, report_index, attempt + 1);
+                      });
+}
+
+void SimEngine::revive_stage(std::size_t stage_index,
+                             const ReplacementDecision& decision,
+                             FailureReport& record) {
+  StageRuntime* stage = stages_[stage_index].get();
+  const NodeId node = decision.node;
+  stage->revive(node, hosts_.at(node), decision.factory);
+
+  // Rewire: inbound flows now terminate at the stage's new node, outbound
+  // flows originate from it. Links are created lazily as needed.
+  stage->clear_inbound_links();
+  std::uint64_t replayed = 0;
+  std::uint64_t lost = 0;
+  auto account = [&](ReplayChannel* ch) {
+    if (ch == nullptr) return;
+    lost += ch->evicted - ch->evicted_reported;
+    ch->evicted_reported = ch->evicted;
+  };
+  for (auto& up : stages_) {
+    for (auto& route : up->routes()) {
+      if (route.dest != stage) continue;
+      route.link = attach_flow(up.get(), stage);
+      account(route.channel);
+      replayed += up->replay_route(route);
+    }
+  }
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    if (sources_[s]->target() != stage) continue;
+    // Source locations are fixed (instruments); only the stage end moved.
+    net::SimLink* link = link_for_flow(spec_.sources[s].location, node);
+    sources_[s]->set_link(link);
+    stage->add_inbound_link(link);
+    account(sources_[s]->channel());
+    replayed += sources_[s]->replay();
+  }
+  for (auto& route : stage->routes()) {
+    route.link = attach_flow(stage, route.dest);
+  }
+
+  record.outcome = FailureReport::Outcome::kRecovered;
+  record.recovered_on = node;
+  record.recovered_at = sim_.now();
+  record.packets_replayed = replayed;
+  record.packets_lost_retention = lost;
+  GATES_LOG(kInfo, "sim-engine")
+      << "stage '" << stage->name() << "' failed over to node " << node
+      << " at t=" << sim_.now() << " (" << replayed << " replayed, " << lost
+      << " lost to retention)";
+}
+
 Status SimEngine::run() {
   if (auto s = setup(); !s.is_ok()) return s;
   sim_.run_until(config_.max_time);
@@ -624,6 +1028,7 @@ void SimEngine::finalize_report(bool completed) {
   for (const auto& stage : stages_) {
     report_.stages.push_back(stage->build_report());
   }
+  report_.failures = failures_;
   auto add_link_report = [&](const net::SimLink& link, const MonitoredLink* ml) {
     LinkReport r;
     r.name = link.config().name;
@@ -673,6 +1078,16 @@ void SimEngine::schedule_bandwidth_change(NodeId from, NodeId to, TimePoint t,
 void SimEngine::schedule_node_failure(NodeId node, TimePoint t) {
   GATES_CHECK_MSG(!setup_done_, "schedule_node_failure must precede run()");
   node_failures_.push_back({node, t});
+}
+
+void SimEngine::schedule_node_recovery(NodeId node, TimePoint t) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_node_recovery must precede run()");
+  node_recoveries_.push_back({node, t});
+}
+
+void SimEngine::set_replacement_provider(ReplacementProvider provider) {
+  GATES_CHECK_MSG(!setup_done_, "set_replacement_provider must precede run()");
+  replacement_provider_ = std::move(provider);
 }
 
 double SimEngine::parameter_value(std::size_t stage_index,

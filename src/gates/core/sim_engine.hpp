@@ -5,7 +5,9 @@
 // Determinism: a run is a pure function of (PipelineSpec, Placement,
 // HostModel, Topology, Config) — all stochastic choices flow from
 // Config::seed through per-component forked Rngs, and the DES kernel breaks
-// event-time ties by scheduling order.
+// event-time ties by scheduling order. The failover path preserves this:
+// detection latency is computed from the heartbeat schedule, retries follow
+// the RetryPolicy, and replacement matchmaking must be deterministic.
 #pragma once
 
 #include <map>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "gates/common/status.hpp"
+#include "gates/core/failover.hpp"
 #include "gates/core/pipeline.hpp"
 #include "gates/core/report.hpp"
 #include "gates/net/link.hpp"
@@ -39,6 +42,9 @@ class SimEngine {
     bool adaptation_enabled = true;
     /// Monitor template applied to every inter-node link's outbound queue.
     adapt::QueueMonitorConfig link_monitor = default_link_monitor();
+    /// Fault tolerance. Disabled by default: a crashed stage blackholes its
+    /// input and EOS is raised on its behalf (the legacy degradation).
+    FailoverConfig failover;
   };
 
   static adapt::QueueMonitorConfig default_link_monitor();
@@ -75,12 +81,25 @@ class SimEngine {
   /// link. Subsequent transmissions use the new rate.
   void schedule_bandwidth_change(NodeId from, NodeId to, TimePoint t,
                                  Bandwidth bandwidth);
-  /// At virtual time `t`, crashes every stage hosted on `node`: queued and
-  /// future packets are discarded and, as the failure becomes known, EOS is
-  /// raised on the dead stages' behalf so the rest of the pipeline can
-  /// still complete with whatever data reached it (count-samps degrades
-  /// gracefully: the sink keeps each stream's last shipped summary).
+  /// At virtual time `t`, crashes every stage hosted on `node` (crash-stop:
+  /// queued and in-flight packets toward the node are lost). With failover
+  /// disabled, EOS is raised on the dead stages' behalf so the rest of the
+  /// pipeline still completes with whatever data reached it. With failover
+  /// enabled, the failure detector declares the node down after K missed
+  /// heartbeats, each stage is re-placed on a surviving node and the
+  /// bounded retention buffers of its inbound flows are replayed.
   void schedule_node_failure(NodeId node, TimePoint t);
+  /// At virtual time `t`, returns a previously failed node to the candidate
+  /// pool — subsequent re-placement attempts may pick it again. Stages lost
+  /// with the node do not restart by themselves; the failover path revives
+  /// them (possibly onto this node).
+  void schedule_node_recovery(NodeId node, TimePoint t);
+
+  /// Installs the matchmaking callback the failover path consults (e.g.
+  /// grid::make_replacement_provider wrapping Deployer::replace_stage).
+  /// Without one, a built-in least-loaded policy over the nodes already
+  /// known to the engine is used. Must precede run().
+  void set_replacement_provider(ReplacementProvider provider);
 
   sim::Simulation& simulation() { return sim_; }
 
@@ -88,12 +107,28 @@ class SimEngine {
   class StageRuntime;
   class SourceRuntime;
   struct MonitoredLink;
+  struct ReplayChannel;
+  struct Delivery;
 
   Status setup();
   net::SimLink* link_for_flow(NodeId from, NodeId to);
   void control_tick();
   void on_stage_finished();
   void finalize_report(bool completed);
+
+  // -- failover ---------------------------------------------------------------
+  bool node_down(NodeId node) const;
+  void on_node_failure(NodeId node, TimePoint t);
+  void on_failure_detected(std::size_t stage_index, std::size_t report_index);
+  void try_failover(std::size_t stage_index, std::size_t report_index,
+                    std::size_t attempt);
+  std::optional<ReplacementDecision> default_replacement(
+      std::size_t stage_index) const;
+  void revive_stage(std::size_t stage_index, const ReplacementDecision& decision,
+                    FailureReport& record);
+  /// Routes `sender`'s traffic for `dest` over the link between their
+  /// current nodes, registering monitors and drain listeners as needed.
+  net::SimLink* attach_flow(StageRuntime* sender, StageRuntime* dest);
 
   PipelineSpec spec_;
   Placement placement_;
@@ -128,9 +163,18 @@ class SimEngine {
     NodeId node;
     TimePoint time;
   };
+  struct NodeRecovery {
+    NodeId node;
+    TimePoint time;
+  };
   std::vector<CpuChange> cpu_changes_;
   std::vector<BandwidthChange> bandwidth_changes_;
   std::vector<NodeFailure> node_failures_;
+  std::vector<NodeRecovery> node_recoveries_;
+
+  ReplacementProvider replacement_provider_;
+  std::vector<NodeId> down_nodes_;  // sorted
+  std::vector<FailureReport> failures_;
 
   std::size_t finished_stages_ = 0;
   bool completed_ = false;

@@ -43,6 +43,16 @@ GatesServiceInstance::instantiate() {
   return processor;
 }
 
+Status GatesServiceInstance::restart() {
+  if (state_ != State::kRunning) {
+    return failed_precondition("instance for stage '" + stage_name_ +
+                               "' is in state " + service_state_name(state_) +
+                               ", expected RUNNING");
+  }
+  state_ = State::kCustomized;
+  return Status::ok();
+}
+
 GatesServiceInstance& ServiceContainer::create_instance(std::string stage_name) {
   instances_.push_back(
       std::make_unique<GatesServiceInstance>(std::move(stage_name), node_));

@@ -41,6 +41,13 @@ class GatesServiceInstance {
   /// Engine-side: builds the processor; legal only after upload_code.
   StatusOr<std::unique_ptr<core::StreamProcessor>> instantiate();
 
+  /// Container-side crash recovery: returns a RUNNING instance to
+  /// CUSTOMIZED (the uploaded code is retained) so instantiate() can build
+  /// a replacement processor on the same node — the restart-in-place path
+  /// of the real-time engine. Not a way around the single-shot lifecycle
+  /// for healthy instances: callers invoke it only after observing a crash.
+  Status restart();
+
   void stop() { state_ = State::kStopped; }
 
  private:

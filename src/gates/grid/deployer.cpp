@@ -71,6 +71,7 @@ StatusOr<Deployment> Deployer::deploy(core::PipelineSpec& spec) {
   deployment.placement.stage_nodes.resize(spec.stages.size(), kInvalidNode);
   deployment.hosts = directory_.host_model();
   deployment.instances.resize(spec.stages.size(), nullptr);
+  deployment.stage_code.resize(spec.stages.size());
 
   // Step 2: placement via the resource directory.
   std::vector<std::size_t> load(directory_.size(), 0);
@@ -101,6 +102,7 @@ StatusOr<Deployment> Deployer::deploy(core::PipelineSpec& spec) {
       if (!resolved.ok()) return resolved.status();
       code = std::move(*resolved);
     }
+    deployment.stage_code[i] = code;  // retained for failover re-upload
     if (auto s = instance.upload_code(std::move(code)); !s.is_ok()) return s;
 
     // Engines construct processors through the service instance.
@@ -117,6 +119,102 @@ StatusOr<Deployment> Deployer::deploy(core::PipelineSpec& spec) {
         << "stage '" << stage.name << "' deployed to node " << node;
   }
   return deployment;
+}
+
+StatusOr<core::ReplacementDecision> Deployer::replace_stage(
+    const core::PipelineSpec& spec, Deployment& deployment,
+    std::size_t stage_index, const std::vector<NodeId>& exclude) {
+  if (stage_index >= spec.stages.size()) {
+    return invalid_argument("no stage with index " +
+                            std::to_string(stage_index));
+  }
+  const core::StageSpec& stage = spec.stages[stage_index];
+  if (!deployment.stage_code[stage_index]) {
+    return failed_precondition("stage '" + stage.name +
+                               "' has no retained code to re-upload");
+  }
+  const auto excluded = [&](NodeId n) {
+    return std::find(exclude.begin(), exclude.end(), n) != exclude.end();
+  };
+
+  // Matchmaking against the surviving nodes, least-loaded first (load =
+  // stages currently placed there), ties to the lowest id. The pin is
+  // honored when its node survived; otherwise the stage migrates.
+  NodeId best = kInvalidNode;
+  if (stage.placement_hint != kInvalidNode &&
+      !excluded(stage.placement_hint) &&
+      directory_.satisfies(stage.placement_hint, stage.requirement)) {
+    best = stage.placement_hint;
+  } else {
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (NodeId candidate : directory_.query(stage.requirement)) {
+      if (excluded(candidate)) continue;
+      std::size_t load = 0;
+      for (std::size_t i = 0; i < deployment.placement.stage_nodes.size(); ++i) {
+        if (i != stage_index &&
+            deployment.placement.stage_nodes[i] == candidate) {
+          ++load;
+        }
+      }
+      if (load < best_load) {
+        best = candidate;
+        best_load = load;
+      }
+    }
+  }
+  if (best == kInvalidNode) {
+    return resource_exhausted(
+        "no surviving grid node satisfies the requirement of stage '" +
+        stage.name + "'");
+  }
+
+  // Fresh instance on the chosen node: the old one is single-shot and its
+  // host is gone anyway.
+  auto& container = deployment.containers[best];
+  if (!container) container = std::make_unique<ServiceContainer>(best);
+  GatesServiceInstance& instance = container->create_instance(stage.name);
+  if (auto s = instance.upload_code(deployment.stage_code[stage_index]);
+      !s.is_ok()) {
+    return s;
+  }
+  if (deployment.instances[stage_index] != nullptr) {
+    deployment.instances[stage_index]->stop();
+  }
+  deployment.instances[stage_index] = &instance;
+  deployment.placement.stage_nodes[stage_index] = best;
+  deployment.decisions.push_back("stage '" + stage.name +
+                                 "' failed over to node " +
+                                 std::to_string(best));
+  GATES_LOG(kInfo, "deployer")
+      << "stage '" << stage.name << "' re-placed on node " << best;
+
+  core::ReplacementDecision decision;
+  decision.node = best;
+  GatesServiceInstance* inst = &instance;
+  decision.factory = [inst]() -> std::unique_ptr<core::StreamProcessor> {
+    auto p = inst->instantiate();
+    if (!p.ok()) {
+      GATES_LOG(kError, "deployer") << p.status().to_string();
+      return nullptr;
+    }
+    return std::move(*p);
+  };
+  return decision;
+}
+
+core::ReplacementProvider make_replacement_provider(
+    Deployer& deployer, const core::PipelineSpec& spec,
+    Deployment& deployment) {
+  return [&deployer, &spec, &deployment](std::size_t stage_index,
+                                         const std::vector<NodeId>& down)
+             -> std::optional<core::ReplacementDecision> {
+    auto decision = deployer.replace_stage(spec, deployment, stage_index, down);
+    if (!decision.ok()) {
+      GATES_LOG(kWarn, "deployer") << decision.status().to_string();
+      return std::nullopt;
+    }
+    return std::move(*decision);
+  };
 }
 
 }  // namespace gates::grid

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gates/common/status.hpp"
+#include "gates/core/failover.hpp"
 #include "gates/core/pipeline.hpp"
 #include "gates/grid/container.hpp"
 #include "gates/grid/directory.hpp"
@@ -35,6 +36,10 @@ struct Deployment {
   std::map<NodeId, std::unique_ptr<ServiceContainer>> containers;
   /// Per-stage service instances, parallel to the pipeline's stages.
   std::vector<GatesServiceInstance*> instances;
+  /// Raw resolved stage code (pre-lifecycle-wrapping), kept so failover can
+  /// upload it into a fresh instance — a GatesServiceInstance is single-
+  /// shot: once kRunning it will not instantiate again.
+  std::vector<core::ProcessorFactory> stage_code;
   /// Human-readable placement decisions, for logs and examples.
   std::vector<std::string> decisions;
 };
@@ -50,6 +55,17 @@ class Deployer {
   /// processor through its service instance (enforcing the lifecycle).
   StatusOr<Deployment> deploy(core::PipelineSpec& spec);
 
+  /// Stage failover — re-runs matchmaking for one already-deployed stage
+  /// whose node crashed: picks the least-loaded surviving node that meets
+  /// the stage's requirement (never one in `exclude`), creates a fresh
+  /// service instance there, re-uploads the retained stage code, and
+  /// updates `deployment` (placement, instances, decisions) in place. The
+  /// returned decision carries the new node and a factory bound to the new
+  /// instance, ready for an engine's revive path.
+  StatusOr<core::ReplacementDecision> replace_stage(
+      const core::PipelineSpec& spec, Deployment& deployment,
+      std::size_t stage_index, const std::vector<NodeId>& exclude);
+
  private:
   StatusOr<NodeId> place_stage(const core::PipelineSpec& spec,
                                std::size_t stage_index,
@@ -60,5 +76,15 @@ class Deployer {
   const RepositoryRegistry& repos_;
   const ProcessorRegistry& processors_;
 };
+
+/// Adapts Deployer::replace_stage into the callback engines consult on a
+/// detected failure (SimEngine::set_replacement_provider). The returned
+/// closure keeps references to all three arguments — they must outlive the
+/// engine run. Matchmaking failures (every candidate down or unqualified)
+/// surface as nullopt, which the engine's RetryPolicy turns into backoff
+/// and retry.
+core::ReplacementProvider make_replacement_provider(Deployer& deployer,
+                                                    const core::PipelineSpec& spec,
+                                                    Deployment& deployment);
 
 }  // namespace gates::grid

@@ -2,6 +2,15 @@
 
 namespace gates::grid {
 
+const char* node_health_name(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kAlive: return "alive";
+    case NodeHealth::kSuspect: return "suspect";
+    case NodeHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
 NodeId ResourceDirectory::register_node(std::string hostname,
                                         ResourceSpec resources) {
   GridNode node;
@@ -27,6 +36,33 @@ Status ResourceDirectory::set_available(NodeId id, bool available) {
   return Status::ok();
 }
 
+Status ResourceDirectory::heartbeat(NodeId id, TimePoint now) {
+  if (id >= nodes_.size()) {
+    return not_found("no node with id " + std::to_string(id));
+  }
+  nodes_[id].last_heartbeat = now;
+  nodes_[id].failed = false;  // a beating node is by definition back
+  return Status::ok();
+}
+
+Status ResourceDirectory::mark_failed(NodeId id) {
+  if (id >= nodes_.size()) {
+    return not_found("no node with id " + std::to_string(id));
+  }
+  nodes_[id].failed = true;
+  return Status::ok();
+}
+
+NodeHealth ResourceDirectory::health(NodeId id, TimePoint now) const {
+  if (id >= nodes_.size()) return NodeHealth::kDead;
+  const GridNode& n = nodes_[id];
+  if (n.failed || !n.available) return NodeHealth::kDead;
+  // A node that never beat is trusted for one lease from time 0.
+  const TimePoint base = n.last_heartbeat < 0 ? 0 : n.last_heartbeat;
+  if (now - base > health_config_.lease()) return NodeHealth::kSuspect;
+  return NodeHealth::kAlive;
+}
+
 bool ResourceDirectory::satisfies(NodeId id,
                                   const core::ResourceRequirement& req) const {
   if (id >= nodes_.size()) return false;
@@ -40,6 +76,17 @@ std::vector<NodeId> ResourceDirectory::query(
   std::vector<NodeId> out;
   for (const GridNode& n : nodes_) {
     if (satisfies(n.id, req)) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> ResourceDirectory::query_healthy(
+    const core::ResourceRequirement& req, TimePoint now) const {
+  std::vector<NodeId> out;
+  for (const GridNode& n : nodes_) {
+    if (satisfies(n.id, req) && health(n.id, now) == NodeHealth::kAlive) {
+      out.push_back(n.id);
+    }
   }
   return out;
 }

@@ -14,6 +14,26 @@
 
 namespace gates::grid {
 
+/// Lease-based failure detection parameters: a node is expected to beat
+/// every `heartbeat_period`; its lease is `heartbeat_period *
+/// suspicion_beats` and a node past its lease is suspect.
+struct HealthConfig {
+  Duration heartbeat_period = 0.5;
+  std::size_t suspicion_beats = 3;
+
+  Duration lease() const {
+    return heartbeat_period * static_cast<double>(suspicion_beats);
+  }
+};
+
+enum class NodeHealth {
+  kAlive,    // lease current (or no beat seen yet and still within grace)
+  kSuspect,  // lease expired: K consecutive beats missed
+  kDead,     // declared failed (mark_failed, or administratively down)
+};
+
+const char* node_health_name(NodeHealth health);
+
 class ResourceDirectory {
  public:
   /// Registers a node; ids are assigned densely from 0 in registration
@@ -22,6 +42,22 @@ class ResourceDirectory {
 
   StatusOr<GridNode> node(NodeId id) const;
   Status set_available(NodeId id, bool available);
+
+  // -- failure detection -------------------------------------------------------
+  void set_health_config(HealthConfig config) { health_config_ = config; }
+  const HealthConfig& health_config() const { return health_config_; }
+
+  /// Records a liveness beat from the node. Beating also clears a previous
+  /// failure declaration — a recovered node re-enters the candidate pool.
+  Status heartbeat(NodeId id, TimePoint now);
+
+  /// Declares the node crashed; it stays dead until it beats again.
+  Status mark_failed(NodeId id);
+
+  /// Health as of `now`: dead if declared failed or administratively down,
+  /// suspect once `suspicion_beats` consecutive beats are missed. A node
+  /// that never beat is trusted for one lease from time 0.
+  NodeHealth health(NodeId id, TimePoint now) const;
 
   std::size_t size() const { return nodes_.size(); }
   const std::vector<GridNode>& all_nodes() const { return nodes_; }
@@ -32,11 +68,18 @@ class ResourceDirectory {
   /// All available nodes meeting the requirement, ascending by id.
   std::vector<NodeId> query(const core::ResourceRequirement& req) const;
 
+  /// As query(), but only nodes whose health at `now` is kAlive — what
+  /// failover matchmaking consults so a re-placed stage never lands on a
+  /// node that is itself past its lease.
+  std::vector<NodeId> query_healthy(const core::ResourceRequirement& req,
+                                    TimePoint now) const;
+
   /// Host speed model for the engines, derived from registered cpu factors.
   core::HostModel host_model() const;
 
  private:
   std::vector<GridNode> nodes_;
+  HealthConfig health_config_;
 };
 
 }  // namespace gates::grid

@@ -22,6 +22,13 @@ struct GridNode {
   ResourceSpec resources;
   /// Administratively up and accepting new service instances.
   bool available = true;
+  /// Last heartbeat the directory received (failure detection); negative
+  /// until the first beat arrives — such a node is given the benefit of the
+  /// doubt from time 0.
+  TimePoint last_heartbeat = -1;
+  /// Declared crashed (lease expired or crash observed); distinct from an
+  /// administrative set_available(false).
+  bool failed = false;
 };
 
 }  // namespace gates::grid

@@ -95,6 +95,35 @@ void SimLink::notify_space() {
   if (!pending_deliveries_.empty()) drain_deliveries();
 }
 
+std::size_t SimLink::drop_messages_for(const MessageSink* sink) {
+  std::size_t dropped = 0;
+  // The head of `outbound_` is mid-transmission when transmitting_; it still
+  // completes and delivers (or blackholes at the sink).
+  const std::size_t first = transmitting_ ? 1 : 0;
+  std::deque<SimMessage> kept;
+  for (std::size_t i = 0; i < outbound_.size(); ++i) {
+    if (i >= first && outbound_[i].sink == sink) {
+      outbound_bytes_ -= outbound_[i].wire_bytes;
+      ++dropped;
+    } else {
+      kept.push_back(std::move(outbound_[i]));
+    }
+  }
+  outbound_ = std::move(kept);
+  std::deque<SimMessage> arrived;
+  for (auto& msg : pending_deliveries_) {
+    if (msg.sink == sink) {
+      ++dropped;
+    } else {
+      arrived.push_back(std::move(msg));
+    }
+  }
+  pending_deliveries_ = std::move(arrived);
+  // Removing the message a stalled receiver refused lets the rest flow.
+  if (stalled_) drain_deliveries();
+  return dropped;
+}
+
 double SimLink::utilization() const {
   const TimePoint elapsed = sim_.now();
   if (elapsed <= 0) return 0;

@@ -47,6 +47,13 @@ class SimLink {
   /// Called by a sink that previously refused a delivery, once it has room.
   void notify_space();
 
+  /// Drops every queued or arrived-but-undelivered message addressed to
+  /// `sink` (the in-flight transmission, if any, is past the point of no
+  /// return and still delivers). Returns the number of messages dropped.
+  /// Models the route to a crashed node going down: what was on the wire is
+  /// lost and must come back, if at all, via upstream replay.
+  std::size_t drop_messages_for(const MessageSink* sink);
+
   /// Registers a callback invoked each time a transmission completes (the
   /// outbound queue shrank). Senders that stopped consuming because this
   /// link's backlog exceeded their send buffer use it to resume — the DES

@@ -1,0 +1,52 @@
+#include "gates/common/retry_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates {
+namespace {
+
+TEST(RetryPolicy, FirstAttemptIsImmediate) {
+  RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.delay(0), 0.0);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentially) {
+  RetryPolicy policy;
+  policy.initial_delay = 0.5;
+  policy.multiplier = 2.0;
+  policy.max_delay = 1e9;
+  EXPECT_DOUBLE_EQ(policy.delay(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.delay(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.delay(3), 2.0);
+  EXPECT_DOUBLE_EQ(policy.delay(4), 4.0);
+}
+
+TEST(RetryPolicy, DelayIsCappedAtMax) {
+  RetryPolicy policy;
+  policy.initial_delay = 1.0;
+  policy.multiplier = 10.0;
+  policy.max_delay = 30.0;
+  EXPECT_DOUBLE_EQ(policy.delay(2), 10.0);
+  EXPECT_DOUBLE_EQ(policy.delay(3), 30.0);  // 100 capped
+  EXPECT_DOUBLE_EQ(policy.delay(9), 30.0);
+}
+
+TEST(RetryPolicy, ExhaustedAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_FALSE(policy.exhausted(0));
+  EXPECT_FALSE(policy.exhausted(2));
+  EXPECT_TRUE(policy.exhausted(3));
+  EXPECT_TRUE(policy.exhausted(4));
+}
+
+TEST(RetryPolicy, DefaultsAreSane) {
+  RetryPolicy policy;
+  EXPECT_GT(policy.initial_delay, 0.0);
+  EXPECT_GE(policy.multiplier, 1.0);
+  EXPECT_GE(policy.max_delay, policy.initial_delay);
+  EXPECT_GE(policy.max_attempts, 1u);
+}
+
+}  // namespace
+}  // namespace gates

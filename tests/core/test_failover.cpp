@@ -1,0 +1,251 @@
+// Stage failover: heartbeat-lease failure detection, re-placement on a
+// surviving node, and bounded-retention replay of unacknowledged packets.
+// The disabled path must degrade exactly like the legacy EOS-on-behalf
+// behavior exercised by test_node_failure.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::core {
+namespace {
+
+struct LifecycleCounters {
+  int inits = 0;
+  int recovers = 0;
+  std::uint64_t processed = 0;
+};
+
+class CountingProcessor : public StreamProcessor {
+ public:
+  explicit CountingProcessor(std::shared_ptr<LifecycleCounters> counters =
+                                 nullptr,
+                             bool forward = true)
+      : counters_(std::move(counters)), forward_(forward) {}
+  void init(ProcessorContext&) override {
+    if (counters_) ++counters_->inits;
+  }
+  void on_recover(ProcessorContext&) override {
+    if (counters_) ++counters_->recovers;
+  }
+  void process(const Packet& packet, Emitter& emitter) override {
+    ++packets_;
+    if (counters_) ++counters_->processed;
+    if (forward_) emitter.emit(packet);
+  }
+  void finish(Emitter&) override { finished_ = true; }
+  std::string name() const override { return "counting"; }
+
+  std::shared_ptr<LifecycleCounters> counters_;
+  bool forward_ = true;
+  std::uint64_t packets_ = 0;
+  bool finished_ = false;
+};
+
+struct Built {
+  PipelineSpec spec;
+  Placement placement;
+  HostModel hosts;
+  net::Topology topology;
+};
+
+/// Two forwarders (nodes 1, 2) into a sink (node 0), one source per
+/// forwarder at 100 packets/s for 10 s — the fan-in fixture of
+/// test_node_failure.cpp, optionally with lifecycle counters on fwd0.
+Built fan_in(std::shared_ptr<LifecycleCounters> fwd0_counters = nullptr) {
+  Built b;
+  for (int i = 0; i < 2; ++i) {
+    StageSpec fwd;
+    fwd.name = "fwd" + std::to_string(i);
+    if (i == 0 && fwd0_counters) {
+      fwd.factory = [fwd0_counters] {
+        return std::make_unique<CountingProcessor>(fwd0_counters);
+      };
+    } else {
+      fwd.factory = [] { return std::make_unique<CountingProcessor>(); };
+    }
+    b.spec.stages.push_back(std::move(fwd));
+    b.placement.stage_nodes.push_back(static_cast<NodeId>(i + 1));
+  }
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] {
+    return std::make_unique<CountingProcessor>(nullptr, /*forward=*/false);
+  };
+  b.spec.stages.push_back(std::move(sink));
+  b.placement.stage_nodes.push_back(0);
+  b.spec.edges = {{0, 2, 0}, {1, 2, 0}};
+  for (int i = 0; i < 2; ++i) {
+    SourceSpec src;
+    src.stream = static_cast<StreamId>(i);
+    src.rate_hz = 100;
+    src.total_packets = 1000;
+    src.packet_bytes = 16;
+    src.location = static_cast<NodeId>(i + 1);
+    src.target_stage = static_cast<std::size_t>(i);
+    b.spec.sources.push_back(src);
+  }
+  return b;
+}
+
+SimEngine::Config failover_config(std::size_t retention = 256) {
+  SimEngine::Config config;
+  config.failover.enabled = true;
+  config.failover.heartbeat_period = 0.5;
+  config.failover.suspicion_beats = 3;
+  config.failover.replay_buffer_packets = retention;
+  return config;
+}
+
+TEST(Failover, FanInCrashRecoversWithinLossWindow) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, failover_config());
+  engine.schedule_node_failure(1, 5.0);  // fwd0's node dies mid-stream
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+
+  ASSERT_EQ(engine.report().failures.size(), 1u);
+  const FailureReport& f = engine.report().failures[0];
+  EXPECT_EQ(f.outcome, FailureReport::Outcome::kRecovered);
+  EXPECT_NE(f.recovered_on, 1u);
+  EXPECT_GT(f.packets_replayed, 0u);
+
+  // Sink counts are exact up to the bounded-retention loss window: every
+  // packet either reached the sink or was evicted from a retention buffer.
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(2));
+  EXPECT_EQ(sink.packets_ + f.packets_lost_retention, 2000u);
+  // The outage was short and retention generous, so nothing was evicted.
+  EXPECT_EQ(f.packets_lost_retention, 0u);
+  EXPECT_TRUE(sink.finished_);
+}
+
+TEST(Failover, DetectionLatencyIsDeterministicLeaseExpiry) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, failover_config());
+  engine.schedule_node_failure(1, 5.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  ASSERT_EQ(engine.report().failures.size(), 1u);
+  const FailureReport& f = engine.report().failures[0];
+  // Crash at 5.0 with 0.5 s beats and K = 3: the detector declares the
+  // node down at 0.5 * (floor(5.0/0.5) + 3) = 6.5.
+  EXPECT_DOUBLE_EQ(f.failed_at, 5.0);
+  EXPECT_DOUBLE_EQ(f.detected_at, 6.5);
+  EXPECT_DOUBLE_EQ(f.detection_latency(), 1.5);
+  EXPECT_EQ(f.attempts, 1u);
+}
+
+TEST(Failover, TinyRetentionBoundsTheLoss) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   failover_config(/*retention=*/32));
+  engine.schedule_node_failure(1, 5.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  ASSERT_EQ(engine.report().failures.size(), 1u);
+  const FailureReport& f = engine.report().failures[0];
+  EXPECT_EQ(f.outcome, FailureReport::Outcome::kRecovered);
+  // ~150 packets arrive during the 1.5 s detection window but only 32 fit
+  // the buffer — the excess is the (bounded, accounted) loss.
+  EXPECT_GT(f.packets_lost_retention, 0u);
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(2));
+  EXPECT_EQ(sink.packets_ + f.packets_lost_retention, 2000u);
+}
+
+TEST(Failover, FreshProcessorGetsInitThenOnRecover) {
+  auto counters = std::make_shared<LifecycleCounters>();
+  auto b = fan_in(counters);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, failover_config());
+  engine.schedule_node_failure(1, 5.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_EQ(counters->inits, 2);     // original + replacement
+  EXPECT_EQ(counters->recovers, 1);  // replacement only
+  // Replay fills the gap: across both incarnations every packet of the
+  // stream was processed.
+  EXPECT_EQ(counters->processed, 1000u);
+}
+
+TEST(Failover, ExhaustedRetriesAbandonTheStage) {
+  auto b = fan_in();
+  auto config = failover_config();
+  config.failover.retry.initial_delay = 0.1;
+  config.failover.retry.max_attempts = 2;
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, config);
+  engine.schedule_node_failure(1, 5.0);
+  // Matchmaking that never finds a node: every attempt fails.
+  engine.set_replacement_provider(
+      [](std::size_t, const std::vector<NodeId>&)
+          -> std::optional<ReplacementDecision> { return std::nullopt; });
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);  // degraded, not wedged
+  ASSERT_EQ(engine.report().failures.size(), 1u);
+  const FailureReport& f = engine.report().failures[0];
+  EXPECT_EQ(f.outcome, FailureReport::Outcome::kAbandoned);
+  EXPECT_EQ(f.attempts, 2u);
+  // Legacy degradation: the sink got the survivor's stream plus fwd0's
+  // pre-crash output.
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(2));
+  EXPECT_NEAR(static_cast<double>(sink.packets_), 1500, 40);
+}
+
+TEST(Failover, RecoveredNodeRejoinsTheCandidatePool) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, failover_config());
+  engine.schedule_node_failure(1, 5.0);
+  engine.schedule_node_recovery(1, 5.2);  // back before detection at 6.5
+  ASSERT_TRUE(engine.run().is_ok());
+  ASSERT_EQ(engine.report().failures.size(), 1u);
+  const FailureReport& f = engine.report().failures[0];
+  EXPECT_EQ(f.outcome, FailureReport::Outcome::kRecovered);
+  // Node 1 hosts no live stage, so least-loaded matchmaking re-picks it.
+  EXPECT_EQ(f.recovered_on, 1u);
+}
+
+TEST(Failover, DisabledPathDegradesExactlyLikeLegacy) {
+  // With failover off the run must match the legacy EOS-on-behalf
+  // behavior bit for bit — same counts as test_node_failure.cpp asserts.
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  engine.schedule_node_failure(1, 5.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  ASSERT_EQ(engine.report().failures.size(), 1u);
+  const FailureReport& f = engine.report().failures[0];
+  EXPECT_EQ(f.outcome, FailureReport::Outcome::kEosOnBehalf);
+  EXPECT_DOUBLE_EQ(f.detection_latency(), 0.0);  // legacy is omniscient
+  auto& fwd0 = dynamic_cast<CountingProcessor&>(engine.processor(0));
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(2));
+  EXPECT_NEAR(static_cast<double>(fwd0.packets_), 500, 30);
+  EXPECT_NEAR(static_cast<double>(sink.packets_),
+              static_cast<double>(fwd0.packets_) + 1000, 5);
+  EXPECT_FALSE(fwd0.finished_);
+}
+
+TEST(Failover, FailingEveryWorkerRecoversBoth) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, failover_config());
+  engine.schedule_node_failure(1, 2.0);
+  engine.schedule_node_failure(2, 3.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  ASSERT_EQ(engine.report().failures.size(), 2u);
+  for (const auto& f : engine.report().failures) {
+    EXPECT_EQ(f.outcome, FailureReport::Outcome::kRecovered);
+  }
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(2));
+  std::uint64_t lost = 0;
+  for (const auto& f : engine.report().failures) {
+    lost += f.packets_lost_retention;
+  }
+  EXPECT_EQ(sink.packets_ + lost, 2000u);
+}
+
+TEST(Failover, RecoverySchedulingAfterRunIsAProgrammingError) {
+  auto b = fan_in();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_THROW(engine.schedule_node_recovery(1, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gates::core

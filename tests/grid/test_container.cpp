@@ -72,6 +72,30 @@ TEST(GatesServiceInstance, NullProducingFactorySurfacesInternal) {
   EXPECT_EQ(instance.instantiate().status().code(), StatusCode::kInternal);
 }
 
+TEST(GatesServiceInstance, RestartAllowsReinstantiation) {
+  GatesServiceInstance instance("stage", 0);
+  ASSERT_TRUE(instance.upload_code(dummy_factory()).is_ok());
+  ASSERT_TRUE(instance.instantiate().ok());
+  EXPECT_EQ(instance.state(), GatesServiceInstance::State::kRunning);
+
+  ASSERT_TRUE(instance.restart().is_ok());
+  EXPECT_EQ(instance.state(), GatesServiceInstance::State::kCustomized);
+  // The retained code produces a fresh processor for the restarted worker.
+  auto processor = instance.instantiate();
+  ASSERT_TRUE(processor.ok());
+  EXPECT_EQ((*processor)->name(), "dummy");
+}
+
+TEST(GatesServiceInstance, RestartRequiresRunningState) {
+  GatesServiceInstance instance("stage", 0);
+  EXPECT_EQ(instance.restart().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(instance.upload_code(dummy_factory()).is_ok());
+  EXPECT_EQ(instance.restart().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(instance.instantiate().ok());
+  instance.stop();
+  EXPECT_EQ(instance.restart().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(ServiceContainer, TracksInstances) {
   ServiceContainer container(7);
   EXPECT_EQ(container.node(), 7u);

@@ -194,6 +194,83 @@ TEST(Deployer, DecisionsAreHumanReadable) {
   EXPECT_NE(deployment->decisions[0].find("stage0"), std::string::npos);
 }
 
+TEST(Deployer, ReplaceStageMigratesOffTheDeadNode) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  f.directory.register_node("n2", {});
+  auto spec = f.pipeline(2);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  const NodeId old_node = deployment->placement.stage_nodes[0];
+
+  auto decision = deployer.replace_stage(spec, *deployment, 0, {old_node});
+  ASSERT_TRUE(decision.ok()) << decision.status().to_string();
+  EXPECT_NE(decision->node, old_node);
+  // Deployment bookkeeping follows the move.
+  EXPECT_EQ(deployment->placement.stage_nodes[0], decision->node);
+  EXPECT_EQ(deployment->instances[0]->node(), decision->node);
+  EXPECT_EQ(deployment->instances[0]->state(),
+            GatesServiceInstance::State::kCustomized);
+  // The decision's factory yields a working replacement processor.
+  ASSERT_TRUE(decision->factory);
+  auto processor = decision->factory();
+  ASSERT_NE(processor, nullptr);
+  EXPECT_EQ(processor->name(), "dummy");
+}
+
+TEST(Deployer, ReplaceStagePrefersTheLeastLoadedSurvivor) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  f.directory.register_node("n2", {});
+  // Four stages: nodes 1, 0, 2, 0 under the least-loaded policy.
+  auto spec = f.pipeline(4);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  ASSERT_EQ(deployment->placement.stage_nodes[0], 1u);
+
+  // Node 1 dies. Survivors host: node 0 two stages, node 2 one stage.
+  auto decision = deployer.replace_stage(spec, *deployment, 0, {1});
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->node, 2u);
+}
+
+TEST(Deployer, ReplaceStageWithNoSurvivorIsResourceExhausted) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto spec = f.pipeline(1);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  auto decision = deployer.replace_stage(spec, *deployment, 0, {0, 1});
+  EXPECT_EQ(decision.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Deployer, ReplacementProviderAdaptsReplaceStage) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  f.directory.register_node("n2", {});
+  auto spec = f.pipeline(2);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  auto provider = make_replacement_provider(deployer, spec, *deployment);
+
+  const NodeId old_node = deployment->placement.stage_nodes[1];
+  auto decision = provider(1, {old_node});
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_NE(decision->node, old_node);
+
+  // All nodes excluded: matchmaking failure surfaces as nullopt (the
+  // engine's retry policy takes it from there).
+  EXPECT_FALSE(provider(1, {0, 1, 2}).has_value());
+}
+
 TEST(Deployer, HostModelComesFromDirectory) {
   Fixture f;
   ResourceSpec fast;

@@ -58,6 +58,82 @@ TEST(ResourceDirectory, QueryReturnsAscendingMatches) {
   EXPECT_EQ(dir.query(req), (std::vector<NodeId>{1, 2}));
 }
 
+TEST(ResourceDirectory, FreshNodeIsAliveForOneLeaseFromZero) {
+  ResourceDirectory dir;
+  dir.register_node("a", {});
+  // Never beat: trusted for one lease (0.5 * 3 = 1.5 s) from time 0.
+  EXPECT_EQ(dir.health(0, 1.0), NodeHealth::kAlive);
+  EXPECT_EQ(dir.health(0, 2.0), NodeHealth::kSuspect);
+}
+
+TEST(ResourceDirectory, HeartbeatExtendsTheLease) {
+  ResourceDirectory dir;
+  dir.register_node("a", {});
+  ASSERT_TRUE(dir.heartbeat(0, 10.0).is_ok());
+  EXPECT_EQ(dir.health(0, 11.0), NodeHealth::kAlive);
+  EXPECT_EQ(dir.health(0, 11.5), NodeHealth::kAlive);  // exactly the lease
+  EXPECT_EQ(dir.health(0, 11.6), NodeHealth::kSuspect);
+}
+
+TEST(ResourceDirectory, HealthConfigScalesTheLease) {
+  ResourceDirectory dir;
+  HealthConfig health;
+  health.heartbeat_period = 1.0;
+  health.suspicion_beats = 5;
+  dir.set_health_config(health);
+  dir.register_node("a", {});
+  ASSERT_TRUE(dir.heartbeat(0, 0.0).is_ok());
+  EXPECT_EQ(dir.health(0, 4.9), NodeHealth::kAlive);
+  EXPECT_EQ(dir.health(0, 5.1), NodeHealth::kSuspect);
+}
+
+TEST(ResourceDirectory, MarkFailedIsDeadUntilItBeatsAgain) {
+  ResourceDirectory dir;
+  dir.register_node("a", {});
+  ASSERT_TRUE(dir.heartbeat(0, 1.0).is_ok());
+  ASSERT_TRUE(dir.mark_failed(0).is_ok());
+  EXPECT_EQ(dir.health(0, 1.1), NodeHealth::kDead);
+  // A beating node has demonstrably recovered.
+  ASSERT_TRUE(dir.heartbeat(0, 2.0).is_ok());
+  EXPECT_EQ(dir.health(0, 2.1), NodeHealth::kAlive);
+}
+
+TEST(ResourceDirectory, UnavailableNodeIsDead) {
+  ResourceDirectory dir;
+  dir.register_node("a", {});
+  ASSERT_TRUE(dir.set_available(0, false).is_ok());
+  EXPECT_EQ(dir.health(0, 0.0), NodeHealth::kDead);
+}
+
+TEST(ResourceDirectory, HealthOfUnknownNodeIsDead) {
+  ResourceDirectory dir;
+  EXPECT_EQ(dir.health(42, 0.0), NodeHealth::kDead);
+}
+
+TEST(ResourceDirectory, QueryHealthyFiltersSuspectsAndDead) {
+  ResourceDirectory dir;
+  dir.register_node("alive", {});
+  dir.register_node("stale", {});
+  dir.register_node("failed", {});
+  ASSERT_TRUE(dir.heartbeat(0, 10.0).is_ok());
+  ASSERT_TRUE(dir.heartbeat(1, 5.0).is_ok());  // lease long expired at 10.5
+  ASSERT_TRUE(dir.heartbeat(2, 10.0).is_ok());
+  ASSERT_TRUE(dir.mark_failed(2).is_ok());
+  EXPECT_EQ(dir.query_healthy({}, 10.5), (std::vector<NodeId>{0}));
+}
+
+TEST(ResourceDirectory, HeartbeatOnUnknownNodeFails) {
+  ResourceDirectory dir;
+  EXPECT_FALSE(dir.heartbeat(3, 0.0).is_ok());
+  EXPECT_FALSE(dir.mark_failed(3).is_ok());
+}
+
+TEST(NodeHealth, NamesAreStable) {
+  EXPECT_STREQ(node_health_name(NodeHealth::kAlive), "alive");
+  EXPECT_STREQ(node_health_name(NodeHealth::kSuspect), "suspect");
+  EXPECT_STREQ(node_health_name(NodeHealth::kDead), "dead");
+}
+
 TEST(ResourceDirectory, HostModelMirrorsCpuFactors) {
   ResourceDirectory dir;
   ResourceSpec fast;

@@ -2,7 +2,10 @@
 // configuration and seed.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "gates/apps/scenarios.hpp"
+#include "gates/core/sim_engine.hpp"
 
 namespace gates::apps::scenarios {
 namespace {
@@ -59,6 +62,86 @@ TEST(Determinism, AdaptiveCountSampsIdenticalAcrossRuns) {
   auto b = run_count_samps(options);
   EXPECT_DOUBLE_EQ(a.execution_time, b.execution_time);
   EXPECT_DOUBLE_EQ(a.mean_summary_size, b.mean_summary_size);
+}
+
+// Failover adds detection, retries, migration and replay to the event
+// stream — all of it must stay a pure function of the configuration too.
+class PassThrough : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet& packet, core::Emitter& emitter) override {
+    ++packets_;
+    emitter.emit(packet);
+  }
+  std::string name() const override { return "pass"; }
+  std::uint64_t packets_ = 0;
+};
+
+core::RunReport run_failover_scenario() {
+  core::PipelineSpec spec;
+  core::Placement placement;
+  for (int i = 0; i < 2; ++i) {
+    core::StageSpec fwd;
+    fwd.name = "fwd" + std::to_string(i);
+    fwd.factory = [] { return std::make_unique<PassThrough>(); };
+    spec.stages.push_back(std::move(fwd));
+    placement.stage_nodes.push_back(static_cast<NodeId>(i + 1));
+  }
+  core::StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<PassThrough>(); };
+  spec.stages.push_back(std::move(sink));
+  placement.stage_nodes.push_back(0);
+  spec.edges = {{0, 2, 0}, {1, 2, 0}};
+  for (int i = 0; i < 2; ++i) {
+    core::SourceSpec src;
+    src.stream = static_cast<StreamId>(i);
+    src.rate_hz = 200;
+    src.total_packets = 1500;
+    src.packet_bytes = 32;
+    src.poisson = true;  // randomized inter-arrivals, same seed
+    src.location = static_cast<NodeId>(i + 1);
+    src.target_stage = static_cast<std::size_t>(i);
+    spec.sources.push_back(src);
+  }
+  core::SimEngine::Config config;
+  config.failover.enabled = true;
+  config.failover.replay_buffer_packets = 64;  // force some retention loss
+  core::SimEngine engine(spec, placement, {}, {}, config);
+  engine.schedule_node_failure(1, 3.0);
+  engine.schedule_node_failure(2, 4.0);
+  engine.schedule_node_recovery(1, 3.2);
+  EXPECT_TRUE(engine.run().is_ok());
+  return engine.report();
+}
+
+TEST(Determinism, FailoverRunsAreIdentical) {
+  auto a = run_failover_scenario();
+  auto b = run_failover_scenario();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.execution_time, b.execution_time);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    const auto& fa = a.failures[i];
+    const auto& fb = b.failures[i];
+    EXPECT_EQ(fa.node, fb.node);
+    EXPECT_EQ(fa.stage, fb.stage);
+    EXPECT_DOUBLE_EQ(fa.failed_at, fb.failed_at);
+    EXPECT_DOUBLE_EQ(fa.detected_at, fb.detected_at);
+    EXPECT_EQ(fa.outcome, fb.outcome);
+    EXPECT_EQ(fa.recovered_on, fb.recovered_on);
+    EXPECT_DOUBLE_EQ(fa.recovered_at, fb.recovered_at);
+    EXPECT_EQ(fa.attempts, fb.attempts);
+    EXPECT_EQ(fa.packets_replayed, fb.packets_replayed);
+    EXPECT_EQ(fa.packets_lost_retention, fb.packets_lost_retention);
+  }
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].packets_processed, b.stages[i].packets_processed);
+    EXPECT_EQ(a.stages[i].packets_emitted, b.stages[i].packets_emitted);
+    EXPECT_EQ(a.stages[i].packets_dropped, b.stages[i].packets_dropped);
+  }
 }
 
 }  // namespace

@@ -15,6 +15,10 @@
 //   --wire-message N   per-message wire overhead bytes (default 32)
 //   --wire-record N    per-record wire overhead bytes (default 0)
 //   --no-adapt         disable parameter adaptation (monitors still run)
+//   --failover         enable failure detection + stage failover + replay
+//   --retention N      replay retention per flow, in packets (default 256)
+//   --kill-node N@T    crash node N at T seconds into the run (repeatable)
+//   --recover-node N@T return node N to the candidate pool at T (sim only)
 //   --verbose          middleware INFO logging
 #include <cstdio>
 #include <cstring>
@@ -45,15 +49,34 @@ struct Options {
   std::size_t wire_message = 32;
   std::size_t wire_record = 0;
   bool adapt = true;
+  bool failover = false;
+  std::size_t retention = 256;
+  std::vector<std::pair<NodeId, double>> kill_nodes;
+  std::vector<std::pair<NodeId, double>> recover_nodes;
   bool verbose = false;
 };
+
+/// Parses "NODE@TIME", e.g. "2@5.5".
+bool parse_node_time(const char* text, std::pair<NodeId, double>& out) {
+  const std::string s = text;
+  const auto at = s.find('@');
+  if (at == std::string::npos) return false;
+  long long node;
+  double t;
+  if (!parse_int(s.substr(0, at), node) || node < 0) return false;
+  if (!parse_double(s.substr(at + 1), t) || t < 0) return false;
+  out = {static_cast<NodeId>(node), t};
+  return true;
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --grid FILE --app FILE [--engine sim|rt] "
                "[--horizon S] [--seed N]\n"
                "       [--control-period S] [--wire-message N] "
-               "[--wire-record N] [--no-adapt] [--verbose]\n",
+               "[--wire-record N] [--no-adapt] [--verbose]\n"
+               "       [--failover] [--retention N] [--kill-node N@T] "
+               "[--recover-node N@T]\n",
                argv0);
   return 2;
 }
@@ -109,6 +132,23 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.wire_record = static_cast<std::size_t>(n);
     } else if (arg == "--no-adapt") {
       options.adapt = false;
+    } else if (arg == "--failover") {
+      options.failover = true;
+    } else if (arg == "--retention") {
+      const char* v = next();
+      long long n;
+      if (!v || !parse_int(v, n) || n < 0) return false;
+      options.retention = static_cast<std::size_t>(n);
+    } else if (arg == "--kill-node") {
+      const char* v = next();
+      std::pair<NodeId, double> nt;
+      if (!v || !parse_node_time(v, nt)) return false;
+      options.kill_nodes.push_back(nt);
+    } else if (arg == "--recover-node") {
+      const char* v = next();
+      std::pair<NodeId, double> nt;
+      if (!v || !parse_node_time(v, nt)) return false;
+      options.recover_nodes.push_back(nt);
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else {
@@ -152,6 +192,23 @@ void print_report(const core::RunReport& report) {
                   static_cast<unsigned long long>(link.messages_delivered),
                   static_cast<unsigned long long>(link.bytes_delivered),
                   100 * link.utilization, link.stalled_time);
+    }
+  }
+  if (!report.failures.empty()) {
+    std::printf("%-14s %5s %9s %9s %-14s %8s %9s %6s\n", "failed stage",
+                "node", "at", "detect s", "outcome", "replayed", "lost", "tries");
+    for (const auto& f : report.failures) {
+      char where[32] = "";
+      if (f.outcome == core::FailureReport::Outcome::kRecovered) {
+        std::snprintf(where, sizeof(where), " -> node %u at %.2f",
+                      f.recovered_on, f.recovered_at);
+      }
+      std::printf("%-14s %5u %9.2f %9.2f %-14s %8llu %9llu %6zu%s\n",
+                  f.stage.c_str(), f.node, f.failed_at, f.detection_latency(),
+                  core::FailureReport::outcome_name(f.outcome),
+                  static_cast<unsigned long long>(f.packets_replayed),
+                  static_cast<unsigned long long>(f.packets_lost_retention),
+                  f.attempts, where);
     }
   }
 }
@@ -208,8 +265,20 @@ int main(int argc, char** argv) {
     config.wire.per_message_overhead = options.wire_message;
     config.wire.per_record_overhead = options.wire_record;
     if (options.control_period) config.control_period = *options.control_period;
+    config.failover.enabled = options.failover;
+    config.failover.replay_buffer_packets = options.retention;
     core::SimEngine engine(app->pipeline, app->deployment.placement,
                            app->deployment.hosts, grid->topology, config);
+    for (const auto& [node, t] : options.kill_nodes) {
+      engine.schedule_node_failure(node, t);
+    }
+    for (const auto& [node, t] : options.recover_nodes) {
+      engine.schedule_node_recovery(node, t);
+    }
+    if (options.failover) {
+      engine.set_replacement_provider(grid::make_replacement_provider(
+          deployer, app->pipeline, app->deployment));
+    }
     const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
                                             : engine.run();
     if (!status.is_ok()) {
@@ -224,8 +293,34 @@ int main(int argc, char** argv) {
     config.wire.per_message_overhead = options.wire_message;
     config.wire.per_record_overhead = options.wire_record;
     if (options.control_period) config.control_period = *options.control_period;
+    config.failover.enabled = options.failover;
+    config.failover.replay_buffer_packets = options.retention;
     core::RtEngine engine(app->pipeline, app->deployment.placement,
                           app->deployment.hosts, grid->topology, config);
+    for (const auto& [node, t] : options.kill_nodes) {
+      engine.schedule_node_failure(node, t);
+    }
+    if (!options.recover_nodes.empty()) {
+      std::fprintf(stderr, "--recover-node applies to the sim engine only\n");
+    }
+    if (options.failover) {
+      // Grid-deployed factories are single-shot service instances; restart
+      // the crashed stage's instance in place before re-instantiating.
+      auto* deployment = &app->deployment;
+      engine.set_recovery_factory_provider(
+          [deployment](std::size_t i) -> core::ProcessorFactory {
+            grid::GatesServiceInstance* inst = deployment->instances[i];
+            if (inst == nullptr) return {};
+            if (auto s = inst->restart(); !s.is_ok()) {
+              std::fprintf(stderr, "restart: %s\n", s.to_string().c_str());
+              return {};
+            }
+            return [inst]() -> std::unique_ptr<core::StreamProcessor> {
+              auto p = inst->instantiate();
+              return p.ok() ? std::move(*p) : nullptr;
+            };
+          });
+    }
     const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
                                             : engine.run();
     if (!status.is_ok()) {
