@@ -4,15 +4,35 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
+#include "gates/common/json.hpp"
 #include "gates/common/log.hpp"
+#include "gates/core/report.hpp"
 
 namespace gates::bench {
 
 inline void init() {
   // Keep bench tables clean of middleware logging.
   Logger::global().set_level(LogLevel::kError);
+}
+
+/// Machine-readable artifact escape hatch: when GATES_BENCH_JSON names a
+/// file, every reported run is appended to it as one JSON line (label +
+/// full RunReport), leaving the human-readable tables untouched.
+inline void persist_report(const std::string& label,
+                           const core::RunReport& report) {
+  const char* path = std::getenv("GATES_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot append to '%s'\n", path);
+    return;
+  }
+  out << "{\"label\":\"" << json_escape(label)
+      << "\",\"report\":" << report.to_json() << "}\n";
 }
 
 inline void header(const char* figure, const char* title) {

@@ -71,6 +71,9 @@ Outcome run(std::size_t retention, Duration heartbeat, std::size_t beats) {
   if (!engine.run().is_ok()) return {};
 
   Outcome out;
+  persist_report("failover_recovery/retention=" + std::to_string(retention) +
+                     "/heartbeat=" + std::to_string(heartbeat),
+                 engine.report());
   out.delivered =
       dynamic_cast<Relay&>(engine.processor(2)).packets_;
   for (const auto& f : engine.report().failures) {

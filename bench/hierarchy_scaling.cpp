@@ -73,6 +73,8 @@ Outcome measure(core::SimEngine& engine, std::size_t global_index) {
     return out;
   }
   const auto& report = engine.report();
+  bench::persist_report("hierarchy_scaling/" + std::to_string(global_index),
+                        report);
   out.completed = report.completed;
   out.execution_time = report.execution_time;
   apps::ExactCounter exact;

@@ -1,0 +1,58 @@
+// Minimal JSON writer — the same discipline as gates::xml::write: a small
+// from-scratch serializer, no external dependency, output stable enough for
+// golden-file tests. Used by RunReport::to_json, the telemetry exporters and
+// the Logger's JSON mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gates {
+
+/// Escapes ", \, control characters (\b \f \n \r \t, \u00XX for the rest).
+std::string json_escape(std::string_view raw);
+
+/// Formats a double as a JSON number. Non-finite values (illegal in JSON)
+/// serialize as null.
+std::string json_number(double v);
+
+/// Streaming writer with automatic comma placement. Misuse (value with no
+/// pending key inside an object, unbalanced end_*) is a programming error
+/// and asserts via GATES_CHECK.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no element written yet
+  bool after_key_ = false;
+};
+
+}  // namespace gates

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "gates/common/json.hpp"
+
 namespace gates {
 
 const char* log_level_name(LogLevel level) {
@@ -23,11 +25,27 @@ Logger& Logger::global() {
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
+  if (!enabled(level)) return;
   std::lock_guard<std::mutex> lock(mu_);
-  if (level < level_) return;
   if (level >= LogLevel::kWarn) ++warning_count_;
-  std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level),
-               component.c_str(), message.c_str());
+  std::string line;
+  if (format_ == LogFormat::kJson) {
+    JsonWriter w;
+    w.begin_object()
+        .kv("level", log_level_name(level))
+        .kv("component", component)
+        .kv("message", message)
+        .end_object();
+    line = w.str();
+  } else {
+    line = "[" + std::string(log_level_name(level)) + "] " + component + ": " +
+           message;
+  }
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace gates

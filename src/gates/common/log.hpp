@@ -3,8 +3,14 @@
 // The middleware logs deployment and adaptation decisions at kInfo; the DES
 // engine logs per-event detail at kTrace (off by default). Benches silence
 // the logger entirely so tables stay clean.
+//
+// The level gate is a relaxed atomic so the GATES_LOG macro (and the
+// GATES_TRACE hook, which follows the same discipline) costs one load and a
+// predicted branch on the hot path; the mutex only guards actual writes.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -22,22 +28,49 @@ enum class LogLevel : int {
 
 const char* log_level_name(LogLevel level);
 
+/// Output shape of one line. kText is the legacy, byte-identical
+/// "[LEVEL] component: message"; kJson emits one JSON object per line
+/// ({"level":...,"component":...,"message":...}) for machine consumers.
+enum class LogFormat {
+  kText = 0,
+  kJson = 1,
+};
+
 class Logger {
  public:
+  /// Receives each formatted line (without trailing newline). Installed via
+  /// set_sink; tests capture lines into a string instead of scraping stderr.
+  using Sink = std::function<void(const std::string& line)>;
+
   /// Process-wide logger used by the GATES_LOG macro.
   static Logger& global();
 
   void set_level(LogLevel level) {
-    std::lock_guard<std::mutex> lock(mu_);
-    level_ = level;
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
   }
   LogLevel level() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return level_;
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
   }
+  /// Lock-free: safe on every hot path.
   bool enabled(LogLevel level) const { return level >= this->level(); }
 
-  /// Writes a single line "[LEVEL] component: message" to stderr.
+  void set_format(LogFormat format) {
+    std::lock_guard<std::mutex> lock(mu_);
+    format_ = format;
+  }
+  LogFormat format() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return format_;
+  }
+
+  /// Redirects output away from stderr. An empty Sink restores stderr.
+  void set_sink(Sink sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = std::move(sink);
+  }
+
+  /// Writes a single line — "[LEVEL] component: message" (kText) or a JSON
+  /// object (kJson) — to stderr or the installed sink.
   void write(LogLevel level, const std::string& component,
              const std::string& message);
 
@@ -50,7 +83,9 @@ class Logger {
 
  private:
   mutable std::mutex mu_;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  LogFormat format_ = LogFormat::kText;
+  Sink sink_;
   int warning_count_ = 0;
 };
 

@@ -85,6 +85,8 @@ double ParameterController::update(double normalized_dtilde) {
       config_.queue_weight * s * own * sigma(nd_history_) -
       config_.downstream_weight * last_downstream_phi1_ * sigma(phi1_history_);
   last_delta_ = delta;
+  last_update_ = {normalized_dtilde, last_downstream_phi1_,
+                  param_.suggested_value(), param_.suggested_value(), delta};
 
   // Decay exception counts so only recently reported exceptions influence
   // future periods.
@@ -102,7 +104,8 @@ double ParameterController::update(double normalized_dtilde) {
   if (toward_accuracy) step *= config_.accuracy_gain_fraction;
   const double cap = config_.max_step_fraction * range;
   step = std::clamp(step, -cap, cap);
-  return param_.set_value(param_.suggested_value() + step);
+  last_update_.new_value = param_.set_value(param_.suggested_value() + step);
+  return last_update_.new_value;
 }
 
 }  // namespace gates::core::adapt

@@ -65,6 +65,17 @@ class ParameterController {
   /// (in [-1,1]). Returns the new parameter value.
   double update(double normalized_dtilde);
 
+  /// Everything the last update() consumed and decided — the engines emit
+  /// this as a kParamAdjust trace event (with stage name and time attached).
+  struct LastUpdate {
+    double dtilde = 0;     // normalized dtilde input (Eq. 4 first term)
+    double phi1 = 0;       // downstream phi1(T1,T2) input (second term)
+    double old_value = 0;  // parameter value before the step
+    double new_value = 0;  // value actually stored (clamped / quantized)
+    double delta = 0;      // raw dP before gain and caps
+  };
+  const LastUpdate& last_update() const { return last_update_; }
+
   // -- diagnostics -----------------------------------------------------------
   double last_delta() const { return last_delta_; }
   double t1() const { return t1_; }
@@ -86,6 +97,7 @@ class ParameterController {
   SlidingWindowStats phi1_history_;
   double last_delta_ = 0;
   double last_downstream_phi1_ = 0;
+  LastUpdate last_update_;
 };
 
 }  // namespace gates::core::adapt

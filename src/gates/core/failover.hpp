@@ -14,9 +14,12 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "gates/common/retry_policy.hpp"
 #include "gates/common/types.hpp"
 #include "gates/core/processor.hpp"
+#include "gates/obs/trace.hpp"
 
 namespace gates::core {
 
@@ -53,5 +56,27 @@ struct ReplacementDecision {
 /// runs to stay reproducible.
 using ReplacementProvider = std::function<std::optional<ReplacementDecision>(
     std::size_t stage_index, const std::vector<NodeId>& down)>;
+
+// -- telemetry hooks shared by both engines' failover paths ------------------
+
+/// One failover span on the stage's trace track: crash -> resolution, with
+/// the replay/loss accounting in the numeric payload.
+inline void trace_failover_span(const std::string& stage, TimePoint failed_at,
+                                TimePoint resolved_at, NodeId node,
+                                std::uint64_t replayed, std::uint64_t lost) {
+  GATES_TRACE(.time = failed_at, .duration = resolved_at - failed_at,
+              .kind = obs::TraceKind::kFailoverSpan, .component = stage,
+              .detail = "node " + std::to_string(node),
+              .value_old = static_cast<double>(replayed),
+              .value_new = static_cast<double>(lost));
+}
+
+/// Heartbeat/lease state transition of the failure detector
+/// (alive -> suspect -> dead, or back to alive after a revival).
+inline void trace_heartbeat_transition(const std::string& stage, TimePoint t,
+                                       const char* state) {
+  GATES_TRACE(.time = t, .kind = obs::TraceKind::kHeartbeat,
+              .component = stage, .detail = state);
+}
 
 }  // namespace gates::core

@@ -9,6 +9,8 @@
 
 #include "gates/common/stats.hpp"
 #include "gates/common/types.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/trace.hpp"
 
 namespace gates::core {
 
@@ -101,6 +103,11 @@ struct RunReport {
   std::vector<LinkReport> links;
   /// Node failures observed during the run, in failure-time order.
   std::vector<FailureReport> failures;
+  /// End-of-run MetricsRegistry snapshot (empty when metrics were disabled).
+  obs::MetricsSnapshot metrics;
+  /// Trace volume/drop accounting (all-zero when tracing was disabled) —
+  /// records whether the persisted event log is complete.
+  obs::TraceSummary trace_summary;
 
   const StageReport* stage(const std::string& name) const {
     for (const auto& s : stages) {
@@ -108,6 +115,10 @@ struct RunReport {
     }
     return nullptr;
   }
+
+  /// Machine-readable form of everything above, including the full parameter
+  /// trajectories (gates_run --emit-report-json, bench artifacts).
+  std::string to_json() const;
 };
 
 }  // namespace gates::core

@@ -13,6 +13,9 @@
 #include "gates/common/log.hpp"
 #include "gates/common/token_bucket.hpp"
 #include "gates/core/adapt/queue_monitor.hpp"
+#include "gates/core/failover.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/trace.hpp"
 
 namespace gates::core {
 namespace {
@@ -214,6 +217,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     }
     crash_time_.store(now, std::memory_order_release);
     queue_.close();
+    GATES_TRACE(.time = now, .kind = obs::TraceKind::kCrash,
+                .component = spec_.name, .detail = "crash-stop");
+    trace_heartbeat_transition(spec_.name, now, "suspect");
   }
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
   TimePoint crash_time() const {
@@ -253,6 +259,8 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       route.gate->acquire(engine_.config_.wire.per_message_overhead);
       route.dest->queue().push({Packet::eos(0, clock_.now()), nullptr, 0});
     }
+    GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kAbandoned,
+                .component = spec_.name, .detail = "eos-on-behalf");
     finished_.store(true, std::memory_order_release);
   }
 
@@ -260,7 +268,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 
   // -- Emitter ---------------------------------------------------------------
   void emit(Packet packet, std::size_t port = 0) override {
-    ++packets_emitted_;
+    packets_emitted_.fetch_add(1, std::memory_order_relaxed);
     for (const auto& route : routes_) {
       if (route.port != port) continue;
       const std::size_t wire =
@@ -274,7 +282,13 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       // Blocking push: a full downstream buffer backpressures this thread.
       // A closed (crashed) downstream queue fails fast; with retention on,
       // the packet survives in the channel and returns via replay.
-      if (!route.dest->queue().push(std::move(item))) ++packets_dropped_;
+      if (!route.dest->queue().push(std::move(item))) {
+        packets_dropped_.fetch_add(1, std::memory_order_relaxed);
+        GATES_TRACE(.time = clock_.now(),
+                    .kind = obs::TraceKind::kPacketDrop,
+                    .component = spec_.name,
+                    .detail = "downstream queue closed", .value_new = 1);
+      }
     }
   }
 
@@ -298,15 +312,70 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     const auto d = static_cast<double>(queue_.size());
     queue_samples_.add(d);
     const adapt::LoadSignal signal = monitor_.observe(d);
-    if (signal == adapt::LoadSignal::kOverload) ++overload_sent_;
-    if (signal == adapt::LoadSignal::kUnderload) ++underload_sent_;
+    if (signal == adapt::LoadSignal::kOverload) {
+      ++overload_sent_;
+      GATES_TRACE(.time = clock_.now(),
+                  .kind = obs::TraceKind::kOverloadException,
+                  .component = spec_.name,
+                  .dtilde = monitor_.normalized_dtilde());
+    }
+    if (signal == adapt::LoadSignal::kUnderload) {
+      ++underload_sent_;
+      GATES_TRACE(.time = clock_.now(),
+                  .kind = obs::TraceKind::kUnderloadException,
+                  .component = spec_.name,
+                  .dtilde = monitor_.normalized_dtilde());
+    }
     if (signal != adapt::LoadSignal::kNone) {
       for (StageWorker* up : upstreams_) up->receive_exception(signal);
     }
     for (std::size_t i = 0; i < controllers_.size(); ++i) {
-      if (adapt) controllers_[i]->update(monitor_.normalized_dtilde_gated());
+      if (adapt) {
+        controllers_[i]->update(monitor_.normalized_dtilde_gated());
+        const adapt::ParameterController::LastUpdate& u =
+            controllers_[i]->last_update();
+        GATES_TRACE(.time = clock_.now(),
+                    .kind = obs::TraceKind::kParamAdjust,
+                    .component = spec_.name, .detail = params_[i]->name(),
+                    .value_old = u.old_value, .value_new = u.new_value,
+                    .dtilde = u.dtilde, .phi1 = u.phi1);
+      }
       params_[i]->record(clock_.now());
     }
+    if (obs::MetricsRegistry::global().enabled()) sample_metrics();
+  }
+
+  /// Control-tick publication into the registry. Worker-thread counters are
+  /// relaxed atomics, so sampling them mid-run is race-free; handles are
+  /// resolved on the first sampled tick.
+  void sample_metrics() {
+    if (processed_ctr_ == nullptr) {
+      auto& reg = obs::MetricsRegistry::global();
+      const obs::Labels labels = {{"stage", spec_.name}};
+      processed_ctr_ = &reg.counter("gates_stage_packets_processed", labels);
+      emitted_ctr_ = &reg.counter("gates_stage_packets_emitted", labels);
+      dropped_ctr_ = &reg.counter("gates_stage_packets_dropped", labels);
+      overload_ctr_ =
+          &reg.counter("gates_stage_overload_exceptions", labels);
+      underload_ctr_ =
+          &reg.counter("gates_stage_underload_exceptions", labels);
+      received_ctr_ =
+          &reg.counter("gates_stage_exceptions_received", labels);
+      queue_gauge_ = &reg.gauge("gates_stage_queue_length", labels);
+      dtilde_gauge_ = &reg.gauge("gates_stage_dtilde", labels);
+      queue_hist_ = &reg.histogram(
+          "gates_stage_queue_length_hist", 0,
+          static_cast<double>(spec_.monitor.capacity), 16, labels);
+    }
+    processed_ctr_->set(packets_processed_.load(std::memory_order_relaxed));
+    emitted_ctr_->set(packets_emitted_.load(std::memory_order_relaxed));
+    dropped_ctr_->set(packets_dropped_.load(std::memory_order_relaxed));
+    overload_ctr_->set(overload_sent_);
+    underload_ctr_->set(underload_sent_);
+    received_ctr_->set(exceptions_received_);
+    queue_gauge_->set(static_cast<double>(queue_.size()));
+    dtilde_gauge_->set(monitor_.normalized_dtilde());
+    queue_hist_->observe(static_cast<double>(queue_.size()));
   }
   void receive_exception(adapt::LoadSignal signal) {
     ++exceptions_received_;
@@ -317,11 +386,11 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     StageReport r;
     r.name = spec_.name;
     r.node = node_;
-    r.packets_processed = packets_processed_;
-    r.records_processed = records_processed_;
-    r.bytes_processed = bytes_processed_;
-    r.packets_emitted = packets_emitted_;
-    r.packets_dropped = packets_dropped_;
+    r.packets_processed = packets_processed_.load(std::memory_order_relaxed);
+    r.records_processed = records_processed_.load(std::memory_order_relaxed);
+    r.bytes_processed = bytes_processed_.load(std::memory_order_relaxed);
+    r.packets_emitted = packets_emitted_.load(std::memory_order_relaxed);
+    r.packets_dropped = packets_dropped_.load(std::memory_order_relaxed);
     r.busy_time = busy_time_;
     r.queue_length = queue_samples_;
     r.packet_latency = latency_;
@@ -360,15 +429,19 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       const Duration service = spec_.cost.service_time(packet) / cpu_factor_;
       sleep_seconds(service);
       busy_time_ += service;
+      GATES_TRACE(.time = clock_.now() - service, .duration = service,
+                  .kind = obs::TraceKind::kServiceSpan,
+                  .component = spec_.name);
       if (crashed_.load(std::memory_order_acquire)) return;
       if (packet.is_eos()) {
         if (item->origin != nullptr) item->origin->ack(item->seq);
         if (++eos_received_ >= eos_expected_) break;
         continue;
       }
-      ++packets_processed_;
-      records_processed_ += packet.records;
-      bytes_processed_ += packet.payload_bytes();
+      packets_processed_.fetch_add(1, std::memory_order_relaxed);
+      records_processed_.fetch_add(packet.records, std::memory_order_relaxed);
+      bytes_processed_.fetch_add(packet.payload_bytes(),
+                                 std::memory_order_relaxed);
       latency_.add(clock_.now() - packet.created_at);
       processor_->process(packet, *this);
       // Ack-on-process: only now may the sender release it from retention.
@@ -385,6 +458,8 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       }
       route.dest->queue().push(std::move(item));
     }
+    GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
+                .component = spec_.name);
     finished_.store(true, std::memory_order_release);
   }
 
@@ -412,12 +487,15 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::atomic<TimePoint> last_beat_{0};
   std::size_t recoveries_ = 0;  // control thread only
 
-  // Written by the stage thread, read only after join().
-  std::uint64_t packets_processed_ = 0;
-  std::uint64_t records_processed_ = 0;
-  std::uint64_t bytes_processed_ = 0;
-  std::uint64_t packets_emitted_ = 0;
-  std::uint64_t packets_dropped_ = 0;
+  // Written by the stage thread; relaxed atomics so the control thread can
+  // sample them into the MetricsRegistry mid-run (final values are still
+  // read after join()).
+  std::atomic<std::uint64_t> packets_processed_{0};
+  std::atomic<std::uint64_t> records_processed_{0};
+  std::atomic<std::uint64_t> bytes_processed_{0};
+  std::atomic<std::uint64_t> packets_emitted_{0};
+  std::atomic<std::uint64_t> packets_dropped_{0};
+  // Stage thread only, read after join().
   Duration busy_time_ = 0;
   RunningStats latency_;
   // Owned by the control thread.
@@ -425,6 +503,17 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::uint64_t overload_sent_ = 0;
   std::uint64_t underload_sent_ = 0;
   std::uint64_t exceptions_received_ = 0;
+
+  // Cached metric handles (resolved on the first sampled control tick).
+  obs::Counter* processed_ctr_ = nullptr;
+  obs::Counter* emitted_ctr_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
+  obs::Counter* overload_ctr_ = nullptr;
+  obs::Counter* underload_ctr_ = nullptr;
+  obs::Counter* received_ctr_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
+  obs::Gauge* dtilde_gauge_ = nullptr;
+  obs::FixedHistogram* queue_hist_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -638,6 +727,12 @@ Status RtEngine::execute(Duration source_horizon) {
     report_.stages.push_back(stage->build_report());
   }
   report_.failures = failures_;
+  if (obs::MetricsRegistry::global().enabled()) {
+    report_.metrics = obs::MetricsRegistry::global().snapshot();
+  }
+  if (obs::TraceBuffer::global().enabled()) {
+    report_.trace_summary = obs::TraceBuffer::global().summary();
+  }
   return Status::ok();
 }
 
@@ -669,6 +764,12 @@ void RtEngine::handle_failures(TimePoint run_started) {
     rec.failed_at = stage->crash_time() - run_started;
     rec.detected_at = now - run_started;
     rec.attempts = 1;
+    if (fo.enabled) {
+      GATES_TRACE(.time = now, .kind = obs::TraceKind::kFailureDetected,
+                  .component = stage->name(),
+                  .value_old = stage->crash_time());
+      trace_heartbeat_transition(stage->name(), now, "dead");
+    }
     if (!fo.enabled) {
       rec.outcome = FailureReport::Outcome::kEosOnBehalf;
       stage->finish_on_behalf();
@@ -677,6 +778,14 @@ void RtEngine::handle_failures(TimePoint run_started) {
     } else {
       restart_stage(i, rec);
       rec.recovered_at = clock_.now() - run_started;
+      if (rec.outcome == FailureReport::Outcome::kRecovered) {
+        // Absolute wall times, like every other RtEngine event (the Chrome
+        // exporter re-bases the whole trace to its earliest event).
+        trace_failover_span(rec.stage, stage->crash_time(), clock_.now(),
+                            rec.recovered_on, rec.packets_replayed,
+                            rec.packets_lost_retention);
+        trace_heartbeat_transition(rec.stage, clock_.now(), "alive");
+      }
     }
     failures_.push_back(std::move(rec));
   }
@@ -712,6 +821,9 @@ void RtEngine::restart_stage(std::size_t stage_index, FailureReport& record) {
   record.recovered_on = stage->node();
   record.packets_replayed = replayed;
   record.packets_lost_retention = lost;
+  GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kRecovered,
+              .component = stage->name(),
+              .value_new = static_cast<double>(stage->node()));
   GATES_LOG(kInfo, "rt-engine")
       << "stage '" << stage->name() << "' restarted (" << replayed
       << " replayed, " << lost << " lost to retention)";

@@ -5,6 +5,8 @@
 
 #include "gates/common/check.hpp"
 #include "gates/common/log.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/trace.hpp"
 
 namespace gates::core {
 
@@ -89,6 +91,32 @@ struct SimEngine::MonitoredLink {
   explicit MonitoredLink(net::SimLink* l, adapt::QueueMonitorConfig cfg)
       : link(l), monitor(cfg) {}
 
+  /// Control-tick sampling into the registry; handles resolved on first use.
+  void sample_metrics() {
+    if (backlog_gauge_ == nullptr) {
+      auto& reg = obs::MetricsRegistry::global();
+      const obs::Labels labels = {{"link", link->config().name}};
+      backlog_gauge_ = &reg.gauge("gates_link_backlog_seconds", labels);
+      delivered_ = &reg.counter("gates_link_messages_delivered", labels);
+      bytes_ = &reg.counter("gates_link_bytes_delivered", labels);
+      overload_ = &reg.counter("gates_link_overload_exceptions", labels);
+      underload_ = &reg.counter("gates_link_underload_exceptions", labels);
+    }
+    backlog_gauge_->set(link->backlog_seconds());
+    delivered_->set(link->stats().messages_delivered);
+    bytes_->set(link->stats().bytes_delivered);
+    overload_->set(overload_sent);
+    underload_->set(underload_sent);
+  }
+
+ private:
+  obs::Gauge* backlog_gauge_ = nullptr;
+  obs::Counter* delivered_ = nullptr;
+  obs::Counter* bytes_ = nullptr;
+  obs::Counter* overload_ = nullptr;
+  obs::Counter* underload_ = nullptr;
+
+ public:
   void add_sender(StageRuntime* s) {
     if (s == nullptr) return;
     if (std::find(senders.begin(), senders.end(), s) == senders.end()) {
@@ -178,6 +206,9 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     queue_.clear();
     packets_dropped_ += discarded;
     for (net::SimLink* link : inbound_links_) link->notify_space();
+    GATES_TRACE(.time = engine_.sim_.now(), .kind = obs::TraceKind::kCrash,
+                .component = spec_.name, .detail = "fail (eos on behalf)",
+                .value_new = static_cast<double>(discarded));
     raise_eos_on_behalf();
     GATES_LOG(kWarn, "sim-engine")
         << "stage '" << spec_.name << "' failed at t=" << engine_.sim_.now();
@@ -196,6 +227,9 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       packets_dropped_ += link->drop_messages_for(this);
       link->notify_space();
     }
+    GATES_TRACE(.time = engine_.sim_.now(), .kind = obs::TraceKind::kCrash,
+                .component = spec_.name, .detail = "crash-stop");
+    trace_heartbeat_transition(spec_.name, engine_.sim_.now(), "suspect");
     GATES_LOG(kWarn, "sim-engine")
         << "stage '" << spec_.name << "' crashed at t=" << engine_.sim_.now();
   }
@@ -203,6 +237,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   /// Failover gave up on this crashed stage: degrade exactly like fail().
   void abandon() {
     if (finished_ || !failed_) return;
+    GATES_TRACE(.time = engine_.sim_.now(), .kind = obs::TraceKind::kAbandoned,
+                .component = spec_.name);
     raise_eos_on_behalf();
     GATES_LOG(kWarn, "sim-engine")
         << "stage '" << spec_.name << "' abandoned at t=" << engine_.sim_.now();
@@ -244,6 +280,11 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       // backpressure and the failure handling (EOS on behalf, or detection
       // + replay) cover the rest.
       ++packets_dropped_;
+      GATES_TRACE(.time = engine_.sim_.now(),
+                  .kind = obs::TraceKind::kPacketDrop, .component = spec_.name,
+                  .detail = failed_ ? "blackholed (host down)"
+                                    : "stale incarnation",
+                  .value_new = 1);
       return true;
     }
     if (queue_.size() >= spec_.input_capacity) return false;
@@ -273,6 +314,10 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       msg.payload = std::move(d);
       if (!route.link->send(std::move(msg))) {
         ++packets_dropped_;
+        GATES_TRACE(.time = engine_.sim_.now(),
+                    .kind = obs::TraceKind::kPacketDrop,
+                    .component = spec_.name, .detail = "link send failed",
+                    .value_new = 1);
       }
       routed = true;
     }
@@ -312,8 +357,20 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     queue_samples_.add(static_cast<double>(queue_.size()));
     const adapt::LoadSignal signal =
         monitor_.observe(static_cast<double>(queue_.size()));
-    if (signal == adapt::LoadSignal::kOverload) ++overload_sent_;
-    if (signal == adapt::LoadSignal::kUnderload) ++underload_sent_;
+    if (signal == adapt::LoadSignal::kOverload) {
+      ++overload_sent_;
+      GATES_TRACE(.time = engine_.sim_.now(),
+                  .kind = obs::TraceKind::kOverloadException,
+                  .component = spec_.name,
+                  .dtilde = monitor_.normalized_dtilde());
+    }
+    if (signal == adapt::LoadSignal::kUnderload) {
+      ++underload_sent_;
+      GATES_TRACE(.time = engine_.sim_.now(),
+                  .kind = obs::TraceKind::kUnderloadException,
+                  .component = spec_.name,
+                  .dtilde = monitor_.normalized_dtilde());
+    }
     if (signal != adapt::LoadSignal::kNone) {
       for (StageRuntime* up : upstreams_) {
         up->receive_downstream_exception(signal);
@@ -323,10 +380,50 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       for (std::size_t i = 0; i < controllers_.size(); ++i) {
         controllers_[i]->update(monitor_.normalized_dtilde_gated());
         params_[i]->record(engine_.sim_.now());
+        const adapt::ParameterController::LastUpdate& u =
+            controllers_[i]->last_update();
+        GATES_TRACE(.time = engine_.sim_.now(),
+                    .kind = obs::TraceKind::kParamAdjust,
+                    .component = spec_.name, .detail = params_[i]->name(),
+                    .value_old = u.old_value, .value_new = u.new_value,
+                    .dtilde = u.dtilde, .phi1 = u.phi1);
       }
     } else {
       for (auto& p : params_) p->record(engine_.sim_.now());
     }
+    if (obs::MetricsRegistry::global().enabled()) sample_metrics();
+  }
+
+  /// Control-tick publication of this stage's counters into the registry;
+  /// handles resolved (registration mutex) on first use only.
+  void sample_metrics() {
+    if (processed_ctr_ == nullptr) {
+      auto& reg = obs::MetricsRegistry::global();
+      const obs::Labels labels = {{"stage", spec_.name}};
+      processed_ctr_ = &reg.counter("gates_stage_packets_processed", labels);
+      emitted_ctr_ = &reg.counter("gates_stage_packets_emitted", labels);
+      dropped_ctr_ = &reg.counter("gates_stage_packets_dropped", labels);
+      overload_ctr_ =
+          &reg.counter("gates_stage_overload_exceptions", labels);
+      underload_ctr_ =
+          &reg.counter("gates_stage_underload_exceptions", labels);
+      received_ctr_ =
+          &reg.counter("gates_stage_exceptions_received", labels);
+      queue_gauge_ = &reg.gauge("gates_stage_queue_length", labels);
+      dtilde_gauge_ = &reg.gauge("gates_stage_dtilde", labels);
+      queue_hist_ = &reg.histogram(
+          "gates_stage_queue_length_hist", 0,
+          static_cast<double>(spec_.monitor.capacity), 16, labels);
+    }
+    processed_ctr_->set(packets_processed_);
+    emitted_ctr_->set(packets_emitted_);
+    dropped_ctr_->set(packets_dropped_);
+    overload_ctr_->set(overload_sent_);
+    underload_ctr_->set(underload_sent_);
+    received_ctr_->set(exceptions_received_);
+    queue_gauge_->set(static_cast<double>(queue_.size()));
+    dtilde_gauge_->set(monitor_.normalized_dtilde());
+    queue_hist_->observe(static_cast<double>(queue_.size()));
   }
 
   /// True while any outbound link's backlog exceeds the send buffer; the
@@ -354,6 +451,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     for (net::SimLink* link : inbound_links_) link->notify_space();
     const Duration service = spec_.cost.service_time(item.packet) / cpu_factor_;
     busy_time_ += service;
+    GATES_TRACE(.time = engine_.sim_.now(), .duration = service,
+                .kind = obs::TraceKind::kServiceSpan, .component = spec_.name);
     auto shared = std::make_shared<Delivery>(std::move(item));
     const std::uint64_t inc = incarnation_;
     engine_.sim_.schedule_after(service, [this, shared, inc] {
@@ -378,6 +477,9 @@ class SimEngine::StageRuntime final : public net::MessageSink,
           send_eos_on_route(route, packet.stream);
         }
         finished_ = true;
+        GATES_TRACE(.time = engine_.sim_.now(),
+                    .kind = obs::TraceKind::kStageFinished,
+                    .component = spec_.name);
         engine_.on_stage_finished();
         return;
       }
@@ -518,6 +620,17 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   std::uint64_t overload_sent_ = 0;
   std::uint64_t underload_sent_ = 0;
   std::uint64_t exceptions_received_ = 0;
+
+  // Cached metric handles (resolved on the first sampled control tick).
+  obs::Counter* processed_ctr_ = nullptr;
+  obs::Counter* emitted_ctr_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
+  obs::Counter* overload_ctr_ = nullptr;
+  obs::Counter* underload_ctr_ = nullptr;
+  obs::Counter* received_ctr_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
+  obs::Gauge* dtilde_gauge_ = nullptr;
+  obs::FixedHistogram* queue_hist_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -818,13 +931,24 @@ void SimEngine::control_tick() {
     if (signal == adapt::LoadSignal::kUnderload && ml->link->stalled()) {
       signal = adapt::LoadSignal::kNone;
     }
-    if (signal == adapt::LoadSignal::kOverload) ++ml->overload_sent;
-    if (signal == adapt::LoadSignal::kUnderload) ++ml->underload_sent;
+    if (signal == adapt::LoadSignal::kOverload) {
+      ++ml->overload_sent;
+      GATES_TRACE(.time = sim_.now(),
+                  .kind = obs::TraceKind::kOverloadException,
+                  .component = ml->link->config().name, .dtilde = d);
+    }
+    if (signal == adapt::LoadSignal::kUnderload) {
+      ++ml->underload_sent;
+      GATES_TRACE(.time = sim_.now(),
+                  .kind = obs::TraceKind::kUnderloadException,
+                  .component = ml->link->config().name, .dtilde = d);
+    }
     if (signal != adapt::LoadSignal::kNone) {
       for (StageRuntime* sender : ml->senders) {
         sender->receive_downstream_exception(signal);
       }
     }
+    if (obs::MetricsRegistry::global().enabled()) ml->sample_metrics();
   }
   for (auto& stage : stages_) stage->control_step();
 }
@@ -888,6 +1012,10 @@ void SimEngine::on_failure_detected(std::size_t stage_index,
                                     std::size_t report_index) {
   StageRuntime* stage = stages_[stage_index].get();
   if (stage->finished() || !stage->failed()) return;  // already resolved
+  GATES_TRACE(.time = sim_.now(), .kind = obs::TraceKind::kFailureDetected,
+              .component = stage->name(),
+              .value_old = failures_[report_index].failed_at);
+  trace_heartbeat_transition(stage->name(), sim_.now(), "dead");
   GATES_LOG(kInfo, "sim-engine")
       << "failure of stage '" << stage->name() << "' detected at t="
       << sim_.now();
@@ -1000,6 +1128,12 @@ void SimEngine::revive_stage(std::size_t stage_index,
   record.recovered_at = sim_.now();
   record.packets_replayed = replayed;
   record.packets_lost_retention = lost;
+  GATES_TRACE(.time = sim_.now(), .kind = obs::TraceKind::kRecovered,
+              .component = stage->name(),
+              .value_new = static_cast<double>(node));
+  trace_failover_span(stage->name(), record.failed_at, sim_.now(), node,
+                      replayed, lost);
+  trace_heartbeat_transition(stage->name(), sim_.now(), "alive");
   GATES_LOG(kInfo, "sim-engine")
       << "stage '" << stage->name() << "' failed over to node " << node
       << " at t=" << sim_.now() << " (" << replayed << " replayed, " << lost
@@ -1054,6 +1188,12 @@ void SimEngine::finalize_report(bool completed) {
   }
   for (const auto& [key, link] : pair_links_) {
     add_link_report(*link, monitored_for(link.get()));
+  }
+  if (obs::MetricsRegistry::global().enabled()) {
+    report_.metrics = obs::MetricsRegistry::global().snapshot();
+  }
+  if (obs::TraceBuffer::global().enabled()) {
+    report_.trace_summary = obs::TraceBuffer::global().summary();
   }
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "gates/common/log.hpp"
+#include "gates/obs/trace.hpp"
 
 namespace gates::grid {
 
@@ -80,6 +81,11 @@ StatusOr<Deployment> Deployer::deploy(core::PipelineSpec& spec) {
     if (!node.ok()) return node.status();
     deployment.placement.stage_nodes[i] = *node;
     if (*node < load.size()) ++load[*node];
+    // Deployment precedes the run, so placement events sit at t=0.
+    GATES_TRACE(.kind = obs::TraceKind::kDeploy,
+                .component = spec.stages[i].name,
+                .detail = deployment.decisions.back(),
+                .value_new = static_cast<double>(*node));
   }
 
   // Steps 3-5: service instances, code retrieval, customization.
@@ -185,6 +191,9 @@ StatusOr<core::ReplacementDecision> Deployer::replace_stage(
   deployment.decisions.push_back("stage '" + stage.name +
                                  "' failed over to node " +
                                  std::to_string(best));
+  GATES_TRACE(.kind = obs::TraceKind::kReplacement, .component = stage.name,
+              .detail = deployment.decisions.back(),
+              .value_new = static_cast<double>(best));
   GATES_LOG(kInfo, "deployer")
       << "stage '" << stage.name << "' re-placed on node " << best;
 

@@ -1,0 +1,129 @@
+#include "gates/obs/exporters.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "gates/common/json.hpp"
+
+namespace gates::obs {
+
+std::string to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& e : events) {
+    JsonWriter w;
+    w.begin_object()
+        .kv("t", e.time)
+        .kv("kind", trace_kind_name(e.kind))
+        .kv("component", e.component)
+        .kv("detail", e.detail)
+        .kv("dur", e.duration)
+        .kv("value_old", e.value_old)
+        .kv("value_new", e.value_new)
+        .kv("dtilde", e.dtilde)
+        .kv("phi1", e.phi1)
+        .end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Chrome's "ts" unit is microseconds.
+constexpr double kMicros = 1e6;
+
+void common_fields(JsonWriter& w, const char* name, const char* phase,
+                   double ts_us, int tid) {
+  w.kv("name", name).kv("ph", phase).kv("ts", ts_us).kv("pid", 0).kv("tid",
+                                                                     tid);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  // RtEngine timestamps are absolute wall seconds; re-base everything to the
+  // earliest event so both engines produce traces starting near t=0.
+  double base = 0;
+  if (!events.empty()) {
+    base = events.front().time;
+    for (const TraceEvent& e : events) base = std::min(base, e.time);
+  }
+
+  // One track (tid) per component, in first-appearance order; tid 0 is the
+  // middleware-global track ("" components: deploy decisions etc.).
+  std::map<std::string, int> tids;
+  tids[""] = 0;
+  for (const TraceEvent& e : events) {
+    tids.emplace(e.component, static_cast<int>(tids.size()));
+  }
+
+  JsonWriter w;
+  w.begin_object().kv("displayTimeUnit", "ms").key("traceEvents").begin_array();
+
+  for (const auto& [component, tid] : tids) {
+    w.begin_object();
+    common_fields(w, "thread_name", "M", 0, tid);
+    w.key("args").begin_object()
+        .kv("name", component.empty() ? std::string("middleware") : component)
+        .end_object();
+    w.end_object();
+  }
+
+  for (const TraceEvent& e : events) {
+    const double ts = (e.time - base) * kMicros;
+    const int tid = tids[e.component];
+    const char* name = trace_kind_name(e.kind);
+    w.begin_object();
+    switch (e.kind) {
+      case TraceKind::kServiceSpan:
+        common_fields(w, name, "X", ts, tid);
+        w.kv("cat", "service").kv("dur", e.duration * kMicros);
+        break;
+      case TraceKind::kFailoverSpan:
+        common_fields(w, name, "X", ts, tid);
+        w.kv("cat", "failover").kv("dur", e.duration * kMicros);
+        w.key("args").begin_object()
+            .kv("replayed", e.value_old)
+            .kv("lost", e.value_new)
+            .kv("detail", e.detail)
+            .end_object();
+        break;
+      case TraceKind::kParamAdjust: {
+        // Counter events render the parameter trajectory on the timeline.
+        const std::string counter = e.component + "/" + e.detail;
+        w.kv("name", counter).kv("ph", "C").kv("ts", ts).kv("pid", 0).kv("tid",
+                                                                         tid);
+        w.key("args").begin_object().kv(e.detail, e.value_new).end_object();
+        break;
+      }
+      default:
+        common_fields(w, name, "i", ts, tid);
+        w.kv("s", "t");
+        w.key("args").begin_object()
+            .kv("detail", e.detail)
+            .kv("value_old", e.value_old)
+            .kv("value_new", e.value_new)
+            .kv("dtilde", e.dtilde)
+            .kv("phi1", e.phi1)
+            .end_object();
+        break;
+    }
+    w.end_object();
+  }
+
+  w.end_array().end_object();
+  return w.str();
+}
+
+Status write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return invalid_argument("cannot open '" + path + "' for writing");
+  out << content;
+  out.close();
+  if (!out) return internal_error("short write to '" + path + "'");
+  return Status::ok();
+}
+
+}  // namespace gates::obs

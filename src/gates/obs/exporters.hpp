@@ -1,0 +1,28 @@
+// Exporters for the telemetry artifacts gates_run and the benches persist:
+//
+//  * to_jsonl        — one JSON object per line per trace event; the
+//                      grep/jq-able event log (EXPERIMENTS.md shows how to
+//                      regenerate a Fig. 6-style curve from it).
+//  * to_chrome_trace — Chrome trace_event JSON, loadable in chrome://tracing
+//                      or https://ui.perfetto.dev: one track per stage/link
+//                      with service slices, exception instants, parameter
+//                      counters and failover spans.
+//  * Prometheus text comes from MetricsRegistry::prometheus_text().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gates/common/status.hpp"
+#include "gates/obs/trace.hpp"
+
+namespace gates::obs {
+
+std::string to_jsonl(const std::vector<TraceEvent>& events);
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Writes `content` to `path`, overwriting; plain-filesystem error reporting.
+Status write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace gates::obs

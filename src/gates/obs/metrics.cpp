@@ -1,0 +1,159 @@
+#include "gates/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gates/common/check.hpp"
+#include "gates/common/json.hpp"
+
+namespace gates::obs {
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets) {
+  GATES_CHECK(buckets > 0 && hi > lo);
+}
+
+void FixedHistogram::observe(double x) {
+  double idx = std::floor((x - lo_) / width_);
+  if (idx < 0) idx = 0;
+  const auto last = static_cast<double>(counts_.size() - 1);
+  if (idx > last) idx = last;
+  counts_[static_cast<std::size_t>(idx)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double FixedHistogram::upper_bound(std::size_t i) const {
+  if (i + 1 == counts_.size()) return hi_;
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string metric_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ",";
+    key += labels[i].first + "=\"" + json_escape(labels[i].second) + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[metric_key(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[metric_key(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                           double hi, std::size_t buckets,
+                                           const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[metric_key(name, labels)];
+  if (!slot) slot = std::make_unique<FixedHistogram>(lo, hi, buckets);
+  return *slot;
+}
+
+namespace {
+
+/// `name{...}` -> `name`: the Prometheus family a series belongs to.
+std::string family_of(const std::string& key) {
+  const auto brace = key.find('{');
+  return brace == std::string::npos ? key : key.substr(0, brace);
+}
+
+/// Splits `name{labels}` into (name, "labels" incl. braces or "").
+std::pair<std::string, std::string> split_key(const std::string& key) {
+  const auto brace = key.find('{');
+  if (brace == std::string::npos) return {key, ""};
+  return {key.substr(0, brace), key.substr(brace)};
+}
+
+void append_type_line(std::string& out, std::string& last_family,
+                      const std::string& key, const char* type) {
+  const std::string family = family_of(key);
+  if (family != last_family) {
+    out += "# TYPE " + family + " " + type + "\n";
+    last_family = family;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, c] : counters_) {
+    append_type_line(out, last_family, key, "counter");
+    out += key + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    append_type_line(out, last_family, key, "gauge");
+    out += key + " " + json_number(g->value()) + "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    append_type_line(out, last_family, key, "histogram");
+    const auto [name, labels] = split_key(key);
+    // Cumulative buckets with `le`, then +Inf, _sum and _count.
+    const std::string label_prefix =
+        labels.empty() ? "{" : labels.substr(0, labels.size() - 1) + ",";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      cumulative += h->bucket(i);
+      out += name + "_bucket" + label_prefix + "le=\"" +
+             json_number(h->upper_bound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket" + label_prefix + "le=\"+Inf\"} " +
+           std::to_string(h->total()) + "\n";
+    out += name + "_sum" + labels + " " + json_number(h->sum()) + "\n";
+    out += name + "_count" + labels + " " + std::to_string(h->total()) + "\n";
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [key, c] : counters_) {
+    out.push_back({MetricSample::Kind::kCounter, key,
+                   static_cast<double>(c->value())});
+  }
+  for (const auto& [key, g] : gauges_) {
+    out.push_back({MetricSample::Kind::kGauge, key, g->value()});
+  }
+  for (const auto& [key, h] : histograms_) {
+    out.push_back({MetricSample::Kind::kHistogram, key,
+                   static_cast<double>(h->total())});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace gates::obs

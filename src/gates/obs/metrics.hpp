@@ -1,0 +1,117 @@
+// MetricsRegistry — named counters, gauges and fixed-bucket histograms with
+// per-stage / per-link label scopes.
+//
+// Registration (name lookup) takes a mutex and is meant to happen once per
+// metric, at setup or on the first control tick; the returned handles are
+// stable for the registry's lifetime and every data-path operation on them
+// (add/set/observe) is a relaxed atomic — safe against RtEngine's stage
+// threads without locks. Engines sample their per-stage counters into the
+// registry on the existing control-period tick, so the hot packet path never
+// touches the registry at all; the single predicted branch guarding that
+// sampling is `enabled()`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gates::obs {
+
+/// Monotonic (or set-from-source) event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Engines own the authoritative count and publish it each control tick.
+  void set(std::uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-observed value (queue length, dtilde, parameter value, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp into the
+/// edge buckets (same policy as gates::Histogram, but with atomic buckets so
+/// concurrent observers need no lock).
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t buckets);
+
+  void observe(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i (hi for the last bucket).
+  double upper_bound(std::size_t i) const;
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0};
+};
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders `name{k="v",...}` — the registry key and the Prometheus exposition
+/// series name. Empty labels render as just `name`.
+std::string metric_key(const std::string& name, const Labels& labels);
+
+/// One exported series, embedded into RunReport as the end-of-run snapshot.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string key;     // name{labels}
+  double value = 0;    // counter/gauge value; histogram total count
+};
+using MetricsSnapshot = std::vector<MetricSample>;
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by the engines and gates_run.
+  static MetricsRegistry& global();
+
+  /// Master switch for the control-tick sampling in the engines. Off (the
+  /// default) costs one predicted branch per tick.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  FixedHistogram& histogram(const std::string& name, double lo, double hi,
+                            std::size_t buckets, const Labels& labels = {});
+
+  /// Prometheus text exposition: `# TYPE` per family, series sorted by key.
+  std::string prometheus_text() const;
+  MetricsSnapshot snapshot() const;
+  /// Drops every registered metric (start of a fresh run / test isolation).
+  /// Invalidates previously returned handles.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  // Keyed by metric_key(): deterministic export order for golden tests.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+}  // namespace gates::obs

@@ -1,0 +1,83 @@
+#include "gates/obs/trace.hpp"
+
+namespace gates::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPacketDrop: return "packet-drop";
+    case TraceKind::kOverloadException: return "overload-exception";
+    case TraceKind::kUnderloadException: return "underload-exception";
+    case TraceKind::kParamAdjust: return "param-adjust";
+    case TraceKind::kServiceSpan: return "service";
+    case TraceKind::kDeploy: return "deploy";
+    case TraceKind::kReplacement: return "replacement";
+    case TraceKind::kHeartbeat: return "heartbeat";
+    case TraceKind::kCrash: return "crash";
+    case TraceKind::kFailureDetected: return "failure-detected";
+    case TraceKind::kRecovered: return "recovered";
+    case TraceKind::kAbandoned: return "abandoned";
+    case TraceKind::kFailoverSpan: return "failover";
+    case TraceKind::kStageFinished: return "stage-finished";
+  }
+  return "?";
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+std::size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceBuffer::emit(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  ++by_kind_[static_cast<std::size_t>(event.kind)];
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+TraceSummary TraceBuffer::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSummary s;
+  s.emitted = events_.size();
+  s.dropped = dropped_;
+  for (std::size_t i = 0; i < kTraceKindCount; ++i) {
+    if (by_kind_[i] > 0) {
+      s.by_kind.emplace_back(trace_kind_name(static_cast<TraceKind>(i)),
+                             by_kind_[i]);
+    }
+  }
+  return s;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  for (auto& n : by_kind_) n = 0;
+}
+
+}  // namespace gates::obs

@@ -1,0 +1,119 @@
+// TraceBuffer — a bounded, process-wide buffer of structured telemetry
+// events: the signals §4's self-adaptation runs on (queue pressure, exception
+// traffic, parameter trajectories) and the fault-tolerance lifecycle, so a
+// run can be diagnosed from its artifact instead of re-run under kTrace
+// logging.
+//
+// Cost model: every emission site is wrapped in GATES_TRACE, which compiles
+// to one relaxed atomic load and a predicted branch when tracing is disabled
+// (the same discipline as GATES_LOG). Event construction and the buffer
+// mutex are only reached when enabled. The buffer is bounded: once full,
+// new events are counted in dropped() and discarded — the trace never grows
+// without limit and never blocks an engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gates::obs {
+
+enum class TraceKind : std::uint8_t {
+  kPacketDrop = 0,       // value_new = packets dropped; detail = reason
+  kOverloadException,    // dtilde at signal time; component = stage or link
+  kUnderloadException,   //   "
+  kParamAdjust,          // detail = parameter; value_old -> value_new;
+                         // dtilde/phi1 = the Eq. 4 inputs that drove the step
+  kServiceSpan,          // duration = service time; component = stage
+  kDeploy,               // detail = placement decision text
+  kReplacement,          // detail = matchmaking decision; value_new = node
+  kHeartbeat,            // heartbeat state transition; detail = alive|suspect|dead
+  kCrash,                // stage crash-stopped
+  kFailureDetected,      // lease expired; value_old = failed_at
+  kRecovered,            // value_new = replacement node
+  kAbandoned,            // failover gave up; EOS on behalf
+  kFailoverSpan,         // duration = failure -> resolution;
+                         // value_old = packets replayed, value_new = packets lost
+  kStageFinished,        // EOS propagated
+};
+inline constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::kStageFinished) + 1;
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  /// Engine time: virtual seconds (SimEngine) or wall seconds (RtEngine; the
+  /// Chrome exporter re-bases to the earliest event).
+  double time = 0;
+  /// Span kinds only (kServiceSpan, kFailoverSpan); 0 = instant event.
+  double duration = 0;
+  TraceKind kind = TraceKind::kPacketDrop;
+  /// Stage or link the event belongs to ("" = middleware-global).
+  std::string component;
+  /// Kind-specific text (parameter name, decision, reason).
+  std::string detail;
+  // Kind-specific numeric payload — see the enum comments.
+  double value_old = 0;
+  double value_new = 0;
+  double dtilde = 0;
+  double phi1 = 0;
+};
+
+/// What RunReport embeds: volume per kind plus the drop count, so a report
+/// records whether its trace artifact is complete.
+struct TraceSummary {
+  std::uint64_t emitted = 0;  // accepted into the buffer
+  std::uint64_t dropped = 0;  // rejected because the buffer was full
+  std::vector<std::pair<std::string, std::uint64_t>> by_kind;  // kinds seen
+};
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  /// Process-wide buffer used by the GATES_TRACE macro.
+  static TraceBuffer& global();
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  /// Applies to subsequent emits; existing events beyond the new capacity
+  /// are kept (capacity bounds growth, it is not a truncation).
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  void emit(TraceEvent event);
+
+  std::vector<TraceEvent> events() const;
+  std::uint64_t dropped() const;
+  TraceSummary summary() const;
+  /// Clears events and counters; enabled/capacity are preserved.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t by_kind_[kTraceKindCount] = {};
+};
+
+}  // namespace gates::obs
+
+/// Usage (designated initializers, any subset of TraceEvent's fields):
+///   GATES_TRACE(.time = now, .kind = obs::TraceKind::kCrash,
+///               .component = stage_name);
+/// Disabled cost: one relaxed atomic load + predicted branch; the event
+/// expression is not evaluated.
+#define GATES_TRACE(...)                                          \
+  do {                                                            \
+    if (::gates::obs::TraceBuffer::global().enabled()) {          \
+      ::gates::obs::TraceBuffer::global().emit(                   \
+          ::gates::obs::TraceEvent{__VA_ARGS__});                 \
+    }                                                             \
+  } while (0)

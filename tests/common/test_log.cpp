@@ -2,8 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace gates {
 namespace {
+
+/// Captures formatted lines and restores the logger's level/format/sink on
+/// destruction so later tests see the defaults.
+struct CapturedLogger {
+  CapturedLogger() : original_level(Logger::global().level()) {
+    Logger::global().set_level(LogLevel::kTrace);
+    Logger::global().set_sink(
+        [this](const std::string& line) { lines.push_back(line); });
+  }
+  ~CapturedLogger() {
+    Logger::global().set_sink({});
+    Logger::global().set_format(LogFormat::kText);
+    Logger::global().set_level(original_level);
+  }
+  std::vector<std::string> lines;
+  LogLevel original_level;
+};
 
 TEST(Logger, LevelNamesAreStable) {
   EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
@@ -52,6 +72,33 @@ TEST(Logger, MacroCompilesAndFiltersCheaply) {
   // The stream expression must not be evaluated when the level is off.
   EXPECT_EQ(evaluations, 0);
   logger.set_level(original);
+}
+
+TEST(Logger, TextFormatIsTheLegacyLine) {
+  CapturedLogger capture;
+  GATES_LOG(kInfo, "deployer") << "placed stage 3";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0], "[INFO] deployer: placed stage 3");
+}
+
+TEST(Logger, JsonFormatEmitsOneObjectPerLine) {
+  CapturedLogger capture;
+  Logger::global().set_format(LogFormat::kJson);
+  Logger::global().write(LogLevel::kWarn, "engine", "queue \"q\" full");
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0],
+            "{\"level\":\"WARN\",\"component\":\"engine\","
+            "\"message\":\"queue \\\"q\\\" full\"}");
+}
+
+TEST(Logger, EmptySinkRestoresStderrWithoutLosingFilters) {
+  CapturedLogger capture;
+  Logger::global().set_level(LogLevel::kError);
+  GATES_LOG(kInfo, "test") << "filtered out";
+  EXPECT_TRUE(capture.lines.empty());
+  GATES_LOG(kError, "test") << "captured";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0], "[ERROR] test: captured");
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+#include "gates/obs/exporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gates::obs {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  return {
+      TraceEvent{.time = 1.5,
+                 .duration = 0.25,
+                 .kind = TraceKind::kServiceSpan,
+                 .component = "A"},
+      TraceEvent{.time = 2.0,
+                 .kind = TraceKind::kParamAdjust,
+                 .component = "A",
+                 .detail = "rate",
+                 .value_old = 0.5,
+                 .value_new = 0.75,
+                 .dtilde = 0.4,
+                 .phi1 = 0.1},
+      TraceEvent{.time = 3.0, .kind = TraceKind::kCrash, .component = "B"},
+  };
+}
+
+TEST(Jsonl, GoldenLines) {
+  EXPECT_EQ(
+      to_jsonl(sample_events()),
+      "{\"t\":1.5,\"kind\":\"service\",\"component\":\"A\",\"detail\":\"\","
+      "\"dur\":0.25,\"value_old\":0,\"value_new\":0,\"dtilde\":0,\"phi1\":0}\n"
+      "{\"t\":2,\"kind\":\"param-adjust\",\"component\":\"A\",\"detail\":"
+      "\"rate\",\"dur\":0,\"value_old\":0.5,\"value_new\":0.75,\"dtilde\":0.4,"
+      "\"phi1\":0.1}\n"
+      "{\"t\":3,\"kind\":\"crash\",\"component\":\"B\",\"detail\":\"\","
+      "\"dur\":0,\"value_old\":0,\"value_new\":0,\"dtilde\":0,\"phi1\":0}\n");
+}
+
+TEST(Jsonl, EscapesDetailText) {
+  std::vector<TraceEvent> events = {
+      TraceEvent{.kind = TraceKind::kDeploy, .detail = "say \"hi\"\n"}};
+  const std::string line = to_jsonl(events);
+  EXPECT_NE(line.find("\"detail\":\"say \\\"hi\\\"\\n\""), std::string::npos);
+}
+
+TEST(ChromeTrace, RebasesToEarliestEventAndAssignsTracks) {
+  const std::string trace = to_chrome_trace(sample_events());
+  // Valid top-level shape.
+  EXPECT_EQ(trace.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(trace.back(), '}');
+  // Thread-name metadata: tid 0 is the middleware track, components follow.
+  EXPECT_NE(trace.find("\"name\":\"middleware\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"A\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"B\""), std::string::npos);
+  // Service span: complete event, re-based to ts=0, dur in microseconds.
+  EXPECT_NE(trace.find("\"name\":\"service\",\"ph\":\"X\",\"ts\":0"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":250000"), std::string::npos);
+  // Parameter adjustment renders as a counter event carrying the new value.
+  EXPECT_NE(trace.find("\"name\":\"A/rate\",\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"rate\":0.75}"), std::string::npos);
+  // Crash renders as a thread-scoped instant at (3.0 - 1.5) s = 1.5e6 us.
+  EXPECT_NE(trace.find("\"name\":\"crash\",\"ph\":\"i\",\"ts\":1500000"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyInputIsStillValidJson) {
+  const std::string trace = to_chrome_trace({});
+  EXPECT_EQ(trace.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  // Only the middleware metadata track, no data events.
+  EXPECT_NE(trace.find("\"name\":\"middleware\""), std::string::npos);
+}
+
+TEST(ChromeTrace, FailoverSpanCarriesReplayAccounting) {
+  std::vector<TraceEvent> events = {
+      TraceEvent{.time = 10,
+                 .duration = 2,
+                 .kind = TraceKind::kFailoverSpan,
+                 .component = "join",
+                 .detail = "node 3",
+                 .value_old = 17,
+                 .value_new = 4}};
+  const std::string trace = to_chrome_trace(events);
+  EXPECT_NE(trace.find("\"name\":\"failover\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"failover\""), std::string::npos);
+  EXPECT_NE(
+      trace.find(
+          "\"args\":{\"replayed\":17,\"lost\":4,\"detail\":\"node 3\"}"),
+      std::string::npos);
+}
+
+TEST(WriteTextFile, RoundTripsAndReportsBadPath) {
+  const std::string path = ::testing::TempDir() + "gates_obs_export_test.txt";
+  ASSERT_TRUE(write_text_file(path, "payload\n").is_ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "payload\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_text_file("/nonexistent-dir/x/y.txt", "z").is_ok());
+}
+
+}  // namespace
+}  // namespace gates::obs

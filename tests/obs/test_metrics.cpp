@@ -1,0 +1,114 @@
+#include "gates/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gates::obs {
+namespace {
+
+TEST(MetricKey, RendersNameAndLabels) {
+  EXPECT_EQ(metric_key("up", {}), "up");
+  EXPECT_EQ(metric_key("pkts", {{"stage", "join"}}), "pkts{stage=\"join\"}");
+  EXPECT_EQ(metric_key("pkts", {{"stage", "a"}, {"node", "2"}}),
+            "pkts{stage=\"a\",node=\"2\"}");
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(FixedHistogram, ClampsOutOfRangeIntoEdgeBuckets) {
+  FixedHistogram h(0, 10, 5);  // buckets of width 2
+  h.observe(-3);               // clamps to bucket 0
+  h.observe(1);                // bucket 0
+  h.observe(5);                // bucket 2
+  h.observe(99);               // clamps to bucket 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), -3 + 1 + 5 + 99);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 2);
+  EXPECT_DOUBLE_EQ(h.upper_bound(4), 10);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("c", {{"stage", "x"}});
+  Counter& b = registry.counter("c", {{"stage", "x"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = registry.counter("c", {{"stage", "y"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsRegistry, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.counter("gates_test_packets", {{"stage", "a"}}).set(3);
+  registry.gauge("gates_test_queue").set(2.5);
+  FixedHistogram& h =
+      registry.histogram("gates_test_lat", 0, 4, 2, {{"stage", "a"}});
+  h.observe(1);
+  h.observe(3);
+  EXPECT_EQ(registry.prometheus_text(),
+            "# TYPE gates_test_packets counter\n"
+            "gates_test_packets{stage=\"a\"} 3\n"
+            "# TYPE gates_test_queue gauge\n"
+            "gates_test_queue 2.5\n"
+            "# TYPE gates_test_lat histogram\n"
+            "gates_test_lat_bucket{stage=\"a\",le=\"2\"} 1\n"
+            "gates_test_lat_bucket{stage=\"a\",le=\"4\"} 2\n"
+            "gates_test_lat_bucket{stage=\"a\",le=\"+Inf\"} 2\n"
+            "gates_test_lat_sum{stage=\"a\"} 4\n"
+            "gates_test_lat_count{stage=\"a\"} 2\n");
+}
+
+TEST(MetricsRegistry, SnapshotCoversEveryKindInKeyOrder) {
+  MetricsRegistry registry;
+  registry.counter("b_counter").set(7);
+  registry.gauge("a_gauge").set(-1.5);
+  registry.histogram("c_hist", 0, 1, 2).observe(0.2);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].key, "b_counter");
+  EXPECT_EQ(snap[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(snap[0].value, 7);
+  EXPECT_EQ(snap[1].key, "a_gauge");
+  EXPECT_EQ(snap[1].kind, MetricSample::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[1].value, -1.5);
+  EXPECT_EQ(snap[2].key, "c_hist");
+  EXPECT_EQ(snap[2].kind, MetricSample::Kind::kHistogram);
+  EXPECT_DOUBLE_EQ(snap[2].value, 1);  // histogram samples report the count
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.counter("c").add(5);
+  registry.reset();
+  EXPECT_TRUE(registry.snapshot().empty());
+  // Re-registration after reset starts from zero.
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+}
+
+TEST(MetricsRegistry, EnabledDefaultsOff) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.enabled());
+  registry.set_enabled(true);
+  EXPECT_TRUE(registry.enabled());
+}
+
+}  // namespace
+}  // namespace gates::obs

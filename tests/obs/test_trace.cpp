@@ -1,0 +1,92 @@
+#include "gates/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gates::obs {
+namespace {
+
+TraceEvent crash_at(double t) {
+  return TraceEvent{.time = t, .kind = TraceKind::kCrash, .component = "s"};
+}
+
+TEST(TraceBuffer, BoundedDropsNewestAndCounts) {
+  TraceBuffer buffer(/*capacity=*/4);
+  buffer.set_enabled(true);
+  for (int i = 0; i < 6; ++i) buffer.emit(crash_at(i));
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Drop-newest: the first `capacity` events survive, later ones are counted.
+  EXPECT_DOUBLE_EQ(events.front().time, 0);
+  EXPECT_DOUBLE_EQ(events.back().time, 3);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  const TraceSummary summary = buffer.summary();
+  EXPECT_EQ(summary.emitted, 4u);
+  EXPECT_EQ(summary.dropped, 2u);
+}
+
+TEST(TraceBuffer, SummaryCountsByKind) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  buffer.emit({.kind = TraceKind::kParamAdjust});
+  buffer.emit({.kind = TraceKind::kParamAdjust});
+  buffer.emit({.kind = TraceKind::kFailoverSpan});
+  const TraceSummary summary = buffer.summary();
+  ASSERT_EQ(summary.by_kind.size(), 2u);
+  EXPECT_EQ(summary.by_kind[0].first, "param-adjust");
+  EXPECT_EQ(summary.by_kind[0].second, 2u);
+  EXPECT_EQ(summary.by_kind[1].first, "failover");
+  EXPECT_EQ(summary.by_kind[1].second, 1u);
+}
+
+TEST(TraceBuffer, ClearPreservesEnabledAndCapacity) {
+  TraceBuffer buffer(/*capacity=*/2);
+  buffer.set_enabled(true);
+  for (int i = 0; i < 3; ++i) buffer.emit(crash_at(i));
+  buffer.clear();
+  EXPECT_TRUE(buffer.enabled());
+  EXPECT_EQ(buffer.capacity(), 2u);
+  EXPECT_TRUE(buffer.events().empty());
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_EQ(buffer.summary().emitted, 0u);
+}
+
+TEST(TraceBuffer, RaisingCapacityAppliesToSubsequentEmits) {
+  TraceBuffer buffer(/*capacity=*/1);
+  buffer.set_enabled(true);
+  buffer.emit(crash_at(0));
+  buffer.emit(crash_at(1));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  buffer.set_capacity(3);
+  buffer.emit(crash_at(2));
+  EXPECT_EQ(buffer.events().size(), 2u);
+}
+
+TEST(TraceMacro, DisabledCostsNoEventConstruction) {
+  TraceBuffer& buffer = TraceBuffer::global();
+  const bool was_enabled = buffer.enabled();
+  buffer.set_enabled(false);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 1.0;
+  };
+  GATES_TRACE(.time = expensive(), .kind = TraceKind::kCrash);
+  EXPECT_EQ(evaluations, 0);
+  buffer.set_enabled(true);
+  GATES_TRACE(.time = expensive(), .kind = TraceKind::kCrash);
+  EXPECT_EQ(evaluations, 1);
+  buffer.set_enabled(was_enabled);
+  buffer.clear();
+}
+
+TEST(TraceKindNames, AreStable) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kPacketDrop), "packet-drop");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kParamAdjust), "param-adjust");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kServiceSpan), "service");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kHeartbeat), "heartbeat");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kFailoverSpan), "failover");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kStageFinished), "stage-finished");
+}
+
+}  // namespace
+}  // namespace gates::obs

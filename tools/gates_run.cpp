@@ -20,6 +20,14 @@
 //   --kill-node N@T    crash node N at T seconds into the run (repeatable)
 //   --recover-node N@T return node N to the candidate pool at T (sim only)
 //   --verbose          middleware INFO logging
+//
+// Telemetry artifacts (each flag enables the subsystem behind it):
+//   --metrics-out FILE      Prometheus text dump of the metrics registry
+//   --events-out FILE       JSONL trace event log
+//   --trace-out FILE        Chrome trace_event JSON (chrome://tracing, Perfetto)
+//   --trace-buffer N        trace buffer capacity in events (default 65536)
+//   --emit-report-json FILE full RunReport as JSON
+//   --print-trajectories    print every (t, value) parameter sample
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +42,9 @@
 #include "gates/core/sim_engine.hpp"
 #include "gates/grid/grid_config.hpp"
 #include "gates/grid/launcher.hpp"
+#include "gates/obs/exporters.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/trace.hpp"
 
 namespace {
 
@@ -54,6 +65,12 @@ struct Options {
   std::vector<std::pair<NodeId, double>> kill_nodes;
   std::vector<std::pair<NodeId, double>> recover_nodes;
   bool verbose = false;
+  std::string metrics_out;
+  std::string events_out;
+  std::string trace_out;
+  std::string report_json_out;
+  std::size_t trace_buffer = 0;  // 0 = TraceBuffer::kDefaultCapacity
+  bool print_trajectories = false;
 };
 
 /// Parses "NODE@TIME", e.g. "2@5.5".
@@ -76,7 +93,10 @@ int usage(const char* argv0) {
                "       [--control-period S] [--wire-message N] "
                "[--wire-record N] [--no-adapt] [--verbose]\n"
                "       [--failover] [--retention N] [--kill-node N@T] "
-               "[--recover-node N@T]\n",
+               "[--recover-node N@T]\n"
+               "       [--metrics-out FILE] [--events-out FILE] "
+               "[--trace-out FILE] [--trace-buffer N]\n"
+               "       [--emit-report-json FILE] [--print-trajectories]\n",
                argv0);
   return 2;
 }
@@ -151,6 +171,29 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.recover_nodes.push_back(nt);
     } else if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      options.metrics_out = v;
+    } else if (arg == "--events-out") {
+      const char* v = next();
+      if (!v) return false;
+      options.events_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      options.trace_out = v;
+    } else if (arg == "--trace-buffer") {
+      const char* v = next();
+      long long n;
+      if (!v || !parse_int(v, n) || n <= 0) return false;
+      options.trace_buffer = static_cast<std::size_t>(n);
+    } else if (arg == "--emit-report-json") {
+      const char* v = next();
+      if (!v) return false;
+      options.report_json_out = v;
+    } else if (arg == "--print-trajectories") {
+      options.print_trajectories = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return false;
@@ -213,6 +256,51 @@ void print_report(const core::RunReport& report) {
   }
 }
 
+void print_trajectories(const core::RunReport& report) {
+  for (const auto& stage : report.stages) {
+    for (const auto& [name, trajectory] : stage.parameter_trajectories) {
+      for (const auto& [t, v] : trajectory) {
+        std::printf("trajectory %s %s %.6f %.6g\n", stage.name.c_str(),
+                    name.c_str(), t, v);
+      }
+    }
+  }
+}
+
+/// Persists whatever artifacts the flags asked for. Failures are reported
+/// but do not fail the run — the run itself succeeded.
+int write_artifacts(const Options& options, const core::RunReport& report) {
+  int rc = 0;
+  auto persist = [&rc](const std::string& path, const std::string& content) {
+    if (auto s = obs::write_text_file(path, content); !s.is_ok()) {
+      std::fprintf(stderr, "artifact: %s\n", s.to_string().c_str());
+      rc = 1;
+    }
+  };
+  if (options.print_trajectories) print_trajectories(report);
+  if (!options.report_json_out.empty()) {
+    persist(options.report_json_out, report.to_json() + "\n");
+  }
+  if (!options.metrics_out.empty()) {
+    persist(options.metrics_out,
+            obs::MetricsRegistry::global().prometheus_text());
+  }
+  const auto& buffer = obs::TraceBuffer::global();
+  if (!options.events_out.empty()) {
+    persist(options.events_out, obs::to_jsonl(buffer.events()));
+  }
+  if (!options.trace_out.empty()) {
+    persist(options.trace_out, obs::to_chrome_trace(buffer.events()));
+  }
+  if (buffer.enabled() && buffer.dropped() > 0) {
+    std::fprintf(stderr,
+                 "trace buffer full: %llu events dropped "
+                 "(raise --trace-buffer)\n",
+                 static_cast<unsigned long long>(buffer.dropped()));
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +308,18 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, options)) return usage(argv[0]);
   Logger::global().set_level(options.verbose ? LogLevel::kInfo
                                              : LogLevel::kWarn);
+
+  // Telemetry switches: each artifact flag turns on the subsystem feeding it.
+  if (!options.metrics_out.empty() || !options.report_json_out.empty()) {
+    obs::MetricsRegistry::global().set_enabled(true);
+  }
+  if (!options.events_out.empty() || !options.trace_out.empty() ||
+      !options.report_json_out.empty()) {
+    obs::TraceBuffer::global().set_enabled(true);
+  }
+  if (options.trace_buffer > 0) {
+    obs::TraceBuffer::global().set_capacity(options.trace_buffer);
+  }
 
   const auto grid_text = read_file(options.grid_file);
   if (!grid_text) {
@@ -286,6 +386,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     print_report(engine.report());
+    return write_artifacts(options, engine.report());
   } else {
     core::RtEngine::Config config;
     config.seed = options.seed;
@@ -328,6 +429,6 @@ int main(int argc, char** argv) {
       return 1;
     }
     print_report(engine.report());
+    return write_artifacts(options, engine.report());
   }
-  return 0;
 }
