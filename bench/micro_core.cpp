@@ -3,13 +3,18 @@
 // link simulation, XML parsing and one adaptation control step.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "gates/apps/counting_samples.hpp"
 #include "gates/common/bounded_queue.hpp"
+#include "gates/common/byte_buffer.hpp"
 #include "gates/common/rng.hpp"
 #include "gates/common/spsc_ring.hpp"
 #include "gates/common/zipf.hpp"
+#include "gates/core/packet.hpp"
 #include "gates/core/adapt/controller.hpp"
 #include "gates/core/adapt/queue_monitor.hpp"
 #include "gates/net/link.hpp"
@@ -150,6 +155,82 @@ void BM_SpscRingPingPong(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpscRingPingPong);
+
+// Batched handoff vs the per-item ping-pongs above: moves `range(0)` items
+// per push_all/drain transaction (one lock + notify per batch).
+void BM_BoundedQueueBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  BoundedQueue<int> queue(1024);
+  std::vector<int> in;
+  std::vector<int> out;
+  out.reserve(batch_size);
+  for (auto _ : state) {
+    in.assign(batch_size, 1);
+    queue.push_all(in);
+    out.clear();
+    benchmark::DoNotOptimize(queue.drain(out, batch_size));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_BoundedQueueBatch)->Arg(8)->Arg(32)->Arg(128);
+
+// Cross-thread SPSC handoff in batches of `range(0)`: the rt-engine 1:1
+// fast path, including the single release-store batch publication.
+void BM_SpscRingHandoff(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  SpscRing<int> ring(1024);
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    std::vector<int> batch(batch_size, 1);
+    while (!stop.load(std::memory_order_acquire)) {
+      std::size_t pushed = 0;
+      while (pushed < batch.size() &&
+             !stop.load(std::memory_order_relaxed)) {
+        const std::size_t n = ring.try_push_n(batch, pushed);
+        pushed += n;
+        // Yield when full so the benchmark stays meaningful on one core.
+        if (n == 0) std::this_thread::yield();
+      }
+      // try_push_n moves from the batch; refill the moved-from ints.
+      batch.assign(batch_size, 1);
+    }
+  });
+  std::vector<int> out;
+  out.reserve(batch_size);
+  std::int64_t received = 0;
+  for (auto _ : state) {
+    out.clear();
+    std::size_t n;
+    while ((n = ring.try_pop_n(out, batch_size)) == 0) {
+      std::this_thread::yield();
+    }
+    received += static_cast<std::int64_t>(n);
+  }
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  state.SetItemsProcessed(received);
+}
+BENCHMARK(BM_SpscRingHandoff)->Arg(1)->Arg(8)->Arg(32);
+
+// Fan-out cost per downstream route: COW payload copies are refcount bumps,
+// independent of payload size — compare Arg(64) with Arg(4096).
+void BM_PacketFanoutCopy(benchmark::State& state) {
+  core::Packet packet;
+  packet.payload = ByteBuffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Packet a = packet;
+    core::Packet b = packet;
+    core::Packet c = packet;
+    core::Packet d = packet;
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+    benchmark::DoNotOptimize(c);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_PacketFanoutCopy)->Arg(64)->Arg(4096);
 
 void BM_ZipfDraw(benchmark::State& state) {
   ZipfGenerator zipf(static_cast<std::uint64_t>(state.range(0)), 1.1);

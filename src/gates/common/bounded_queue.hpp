@@ -6,11 +6,13 @@
 // input buffer.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "gates/common/check.hpp"
 
@@ -33,6 +35,39 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Pushes every item of `items` in order, blocking as space frees up:
+  /// one lock acquisition and one notification per wakeup window instead of
+  /// per item. Returns the number pushed — `items.size()` unless the queue
+  /// was closed mid-way. On full success `items` is left cleared; on a
+  /// close, unpushed items stay behind (moved-from slots precede them).
+  std::size_t push_all(std::vector<T>& items) {
+    std::size_t pushed = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (pushed < items.size()) {
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) break;
+      std::size_t round = 0;
+      while (pushed < items.size() && items_.size() < capacity_) {
+        items_.push_back(std::move(items[pushed]));
+        ++pushed;
+        ++round;
+      }
+      // Publish before (possibly) waiting for more space so a consumer can
+      // make room; one wakeup covers the whole round.
+      lock.unlock();
+      if (round > 1) {
+        not_empty_.notify_all();
+      } else if (round == 1) {
+        not_empty_.notify_one();
+      }
+      lock.lock();
+    }
+    lock.unlock();
+    if (pushed == items.size()) items.clear();
+    return pushed;
   }
 
   /// Non-blocking push; returns false when full or closed.
@@ -74,7 +109,10 @@ class BoundedQueue {
     return item;
   }
 
-  /// Non-blocking pop.
+  /// Non-blocking pop. Like every pop/drain variant, notifies `not_full_`
+  /// only when an item was actually removed — a pop that comes back empty
+  /// (timeout, closed-and-drained, or nothing queued) must not wake a
+  /// producer that would only re-check a still-full queue and sleep again.
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
@@ -85,6 +123,26 @@ class BoundedQueue {
     }
     not_full_.notify_one();
     return out;
+  }
+
+  /// Moves up to `max` items into `out` (appending) under one lock,
+  /// blocking until at least one item is available or the queue is closed
+  /// and drained. Returns the number moved (0 = closed and drained).
+  std::size_t drain(std::vector<T>& out, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return drain_locked(lock, out, max);
+  }
+
+  /// As drain(), but waits at most `timeout_seconds`; returns 0 on timeout
+  /// as well as on close-and-drained (callers check closed() to tell the
+  /// two apart, as with pop_for).
+  std::size_t drain_for(std::vector<T>& out, std::size_t max,
+                        double timeout_seconds) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                        [&] { return !items_.empty() || closed_; });
+    return drain_locked(lock, out, max);
   }
 
   /// Wakes all waiters; subsequent pushes fail, pops drain remaining items.
@@ -122,6 +180,25 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Shared tail of the drain variants: move up to `max` items out, then
+  /// wake producers commensurate with the space actually freed (none when
+  /// nothing was removed).
+  std::size_t drain_locked(std::unique_lock<std::mutex>& lock,
+                           std::vector<T>& out, std::size_t max) {
+    const std::size_t n = std::min(max, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (n > 1) {
+      not_full_.notify_all();
+    } else if (n == 1) {
+      not_full_.notify_one();
+    }
+    return n;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

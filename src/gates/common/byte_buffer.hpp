@@ -1,47 +1,115 @@
-// Owned byte payloads carried by packets and repository blobs.
+// Byte payloads carried by packets and repository blobs.
+//
+// Copying a ByteBuffer shares the underlying bytes (refcounted, immutable
+// while shared); the first mutation through a shared handle clones them —
+// copy-on-write. This is what makes the engines' fan-out routing, sender-
+// side replay retention and failover re-injection alias one allocation
+// instead of deep-copying per hop.
+//
+// Thread-safety: concurrent const reads of a shared buffer are safe, and a
+// mutation through one handle never disturbs the bytes other handles see
+// (it detaches onto a private clone first). Each ByteBuffer *object* is
+// still single-owner: two threads may not touch the same handle without
+// external synchronization.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string_view>
 #include <vector>
 
 namespace gates {
 
 class ByteBuffer {
+  using Vec = std::vector<std::uint8_t>;
+
  public:
   ByteBuffer() = default;
-  explicit ByteBuffer(std::size_t size) : data_(size) {}
-  explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  explicit ByteBuffer(std::size_t size)
+      : data_(size != 0 ? std::make_shared<Vec>(size) : nullptr) {}
+  explicit ByteBuffer(std::vector<std::uint8_t> data)
+      : data_(data.empty() ? nullptr
+                           : std::make_shared<Vec>(std::move(data))) {}
   static ByteBuffer from_string(std::string_view s) {
     ByteBuffer b(s.size());
-    std::memcpy(b.data(), s.data(), s.size());
+    if (!s.empty()) std::memcpy(b.data(), s.data(), s.size());
     return b;
   }
 
-  std::uint8_t* data() { return data_.data(); }
-  const std::uint8_t* data() const { return data_.data(); }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
-  void resize(std::size_t n) { data_.resize(n); }
-  void clear() { data_.clear(); }
+  // Copies share; mutations below detach.
+  ByteBuffer(const ByteBuffer&) = default;
+  ByteBuffer& operator=(const ByteBuffer&) = default;
+  ByteBuffer(ByteBuffer&&) = default;
+  ByteBuffer& operator=(ByteBuffer&&) = default;
+
+  const std::uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+  std::uint8_t* data() {
+    detach();
+    return data_ ? data_->data() : nullptr;
+  }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  void resize(std::size_t n) {
+    if (n == 0 && data_ == nullptr) return;
+    detach();
+    if (data_ == nullptr) data_ = std::make_shared<Vec>();
+    data_->resize(n);
+  }
+  /// Drops this handle's reference; never copies.
+  void clear() { data_.reset(); }
 
   void append(const void* src, std::size_t n) {
+    if (n == 0) return;
+    detach();
+    if (data_ == nullptr) data_ = std::make_shared<Vec>();
     const auto* p = static_cast<const std::uint8_t*>(src);
-    data_.insert(data_.end(), p, p + n);
+    data_->insert(data_->end(), p, p + n);
   }
 
   std::string_view as_string_view() const {
-    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+    return {reinterpret_cast<const char*>(data()), size()};
+  }
+
+  /// True when both handles alias the same allocation (diagnostics/tests).
+  bool shares_storage(const ByteBuffer& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+  /// Process-wide count of payload byte duplications — COW detaches. The
+  /// steady-state engine data path must add zero; tests and bench assert on
+  /// the delta across a run.
+  static std::uint64_t deep_copies() {
+    return deep_copies_().load(std::memory_order_relaxed);
   }
 
   friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
-    return a.data_ == b.data_;
+    if (a.data_ == b.data_) return true;
+    if (a.size() != b.size()) return false;
+    return a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0;
   }
 
  private:
-  std::vector<std::uint8_t> data_;
+  /// Clone before mutating when the bytes are shared with another handle.
+  /// use_count() > 1 may be stale under concurrency only in the direction
+  /// of over-counting for handles being destroyed, so a racing reader can
+  /// at worst cause an unnecessary clone, never a shared mutation.
+  void detach() {
+    if (data_ != nullptr && data_.use_count() > 1) {
+      data_ = std::make_shared<Vec>(*data_);
+      deep_copies_().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  static std::atomic<std::uint64_t>& deep_copies_() {
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+  }
+
+  std::shared_ptr<Vec> data_;
 };
 
 }  // namespace gates

@@ -5,6 +5,7 @@
 // dominate. Capacity is rounded up to a power of two.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstddef>
@@ -35,6 +36,20 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side: pushes items[from..) until the ring fills, publishing
+  /// the whole batch with a single release-store. Returns the count pushed.
+  std::size_t try_push_n(std::vector<T>& items, std::size_t from = 0) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t space = slots_.size() - (head - tail);
+    const std::size_t n = std::min(space, items.size() - from);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(head + i) & mask_] = std::move(items[from + i]);
+    }
+    if (n != 0) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer side. Returns nullopt when empty.
   std::optional<T> try_pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
@@ -43,6 +58,19 @@ class SpscRing {
     T item = std::move(slots_[tail & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
     return item;
+  }
+
+  /// Consumer side: moves up to `max` items into `out` (appending),
+  /// freeing the whole batch of slots with a single release-store.
+  std::size_t try_pop_n(std::vector<T>& out, std::size_t max) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t n = std::min(max, head - tail);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(slots_[(tail + i) & mask_]));
+    }
+    if (n != 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
   }
 
   std::size_t size() const {

@@ -1,0 +1,180 @@
+// Sender-side replay retention, as an indexed ring.
+//
+// Replaces the deque-with-linear-eviction-scan both engines used: every
+// operation — retain, eviction of the oldest unacked data packet when the
+// channel is over capacity, exact ack (RtEngine) and cumulative ack
+// (SimEngine) — is O(1) amortized.
+//
+// Layout: retained sequence numbers form the dense window
+// [base_seq, next_seq); the slot for seq s lives at s & mask, valid as long
+// as the window fits the (power-of-two, geometrically grown) slot array.
+// Evicted and acked entries stay behind as tombstones until the window's
+// base advances past them, which keeps the seq -> slot arithmetic O(1)
+// instead of shifting positions the way a deque erase does. The eviction
+// cursor only ever moves forward (an acked or evicted slot never becomes
+// live again), so the scan it replaces is paid once per seq over the
+// channel's lifetime.
+//
+// EOS markers are pinned: they are never evicted regardless of capacity —
+// losing a termination marker would wedge a recovered stage forever. They
+// hold no payload, and no data follows an EOS on a flow (a stage emits it
+// only when finishing for good), so a pinned EOS cannot force unbounded
+// window growth.
+//
+// Not thread-safe; the RtEngine's ReplayChannel wraps it in a mutex, the
+// single-threaded SimEngine uses it bare.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/common/check.hpp"
+#include "gates/core/packet.hpp"
+
+namespace gates::core {
+
+class RetentionRing {
+ public:
+  /// `capacity` bounds unacked non-EOS entries; 0 disables data retention
+  /// (data packets are counted as evicted immediately, EOS still pinned).
+  explicit RetentionRing(std::size_t capacity) : capacity_(capacity) {
+    slots_.resize(kInitialSlots);
+    mask_ = slots_.size() - 1;
+  }
+
+  /// Stores a copy (a refcount bump — ByteBuffer payloads are COW) and
+  /// returns the assigned sequence number. May evict the oldest unacked
+  /// data entry when over capacity.
+  std::uint64_t retain(const Packet& packet) {
+    const std::uint64_t seq = next_seq_;
+    const bool eos = packet.is_eos();
+    if (capacity_ == 0 && !eos) {
+      // Not stored: tombstone the seq so the window stays dense.
+      ensure_slot(seq);
+      slot(seq).state = State::kEvicted;
+      ++next_seq_;
+      ++evicted_;
+      advance_base();
+      return seq;
+    }
+    ensure_slot(seq);
+    Slot& s = slot(seq);
+    s.packet = packet;
+    s.state = State::kLive;
+    ++next_seq_;
+    if (!eos) {
+      ++data_retained_;
+      while (data_retained_ > capacity_) evict_oldest_data();
+    }
+    return seq;
+  }
+
+  /// Releases exactly `seq` (RtEngine: across a restart a replayed tail
+  /// interleaves with new traffic, so a processed high seq does NOT imply
+  /// earlier seqs arrived). Unknown / already-released seqs are ignored.
+  void ack_exact(std::uint64_t seq) {
+    if (seq < base_seq_ || seq >= next_seq_) return;
+    Slot& s = slot(seq);
+    if (s.state != State::kLive) return;
+    if (!s.packet.is_eos()) --data_retained_;
+    s.state = State::kAcked;
+    s.packet = Packet{};  // release the payload reference now
+    advance_base();
+  }
+
+  /// Releases everything up to and including `seq` (SimEngine: flows are
+  /// FIFO, so processing seq implies everything before it was handled).
+  void ack_cumulative(std::uint64_t seq) {
+    while (base_seq_ < next_seq_ && base_seq_ <= seq) {
+      Slot& s = slot(base_seq_);
+      if (s.state == State::kLive && !s.packet.is_eos()) --data_retained_;
+      s.state = State::kEmpty;
+      s.packet = Packet{};
+      ++base_seq_;
+    }
+    if (evict_seq_ < base_seq_) evict_seq_ = base_seq_;
+  }
+
+  /// Visits every retained (live, unacked) entry in seq order — the replay
+  /// walk after a failover.
+  template <typename Fn>
+  void for_each_unacked(Fn&& fn) const {
+    for (std::uint64_t s = base_seq_; s < next_seq_; ++s) {
+      const Slot& entry = slots_[s & mask_];
+      if (entry.state == State::kLive) fn(s, entry.packet);
+    }
+  }
+
+  std::size_t data_retained() const { return data_retained_; }
+  std::uint64_t evicted() const { return evicted_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Slot-array footprint (tests: growth stays bounded near capacity).
+  std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  enum class State : std::uint8_t { kEmpty, kLive, kAcked, kEvicted };
+  struct Slot {
+    Packet packet;
+    State state = State::kEmpty;
+  };
+  static constexpr std::size_t kInitialSlots = 16;
+
+  Slot& slot(std::uint64_t seq) { return slots_[seq & mask_]; }
+
+  /// Makes room for `seq`: first let the window's base slide past dead
+  /// entries, then grow (double) if the window still wouldn't fit.
+  void ensure_slot(std::uint64_t seq) {
+    advance_base();
+    if (seq - base_seq_ < slots_.size()) return;
+    std::size_t new_size = slots_.size() * 2;
+    while (seq - base_seq_ >= new_size) new_size *= 2;
+    std::vector<Slot> grown(new_size);
+    const std::size_t new_mask = new_size - 1;
+    for (std::uint64_t s = base_seq_; s < next_seq_; ++s) {
+      grown[s & new_mask] = std::move(slots_[s & mask_]);
+    }
+    slots_ = std::move(grown);
+    mask_ = new_mask;
+  }
+
+  /// Tombstones the oldest live non-EOS entry. The cursor is monotone:
+  /// everything before it is acked, evicted, or a pinned EOS forever.
+  void evict_oldest_data() {
+    if (evict_seq_ < base_seq_) evict_seq_ = base_seq_;
+    while (evict_seq_ < next_seq_) {
+      Slot& s = slot(evict_seq_);
+      if (s.state == State::kLive && !s.packet.is_eos()) {
+        s.state = State::kEvicted;
+        s.packet = Packet{};
+        --data_retained_;
+        ++evicted_;
+        advance_base();
+        return;
+      }
+      ++evict_seq_;
+    }
+    GATES_CHECK_MSG(false, "retention over capacity with no evictable entry");
+  }
+
+  void advance_base() {
+    while (base_seq_ < next_seq_) {
+      Slot& s = slot(base_seq_);
+      if (s.state == State::kLive) break;
+      s.state = State::kEmpty;
+      s.packet = Packet{};
+      ++base_seq_;
+    }
+    if (evict_seq_ < base_seq_) evict_seq_ = base_seq_;
+  }
+
+  const std::size_t capacity_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::uint64_t base_seq_ = 0;   // oldest slot still in the window
+  std::uint64_t next_seq_ = 0;   // next seq to assign
+  std::uint64_t evict_seq_ = 0;  // monotone eviction cursor
+  std::size_t data_retained_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace gates::core

@@ -7,13 +7,14 @@
 #include <deque>
 #include <mutex>
 
-#include "gates/common/bounded_queue.hpp"
 #include "gates/common/check.hpp"
 #include "gates/common/clock.hpp"
 #include "gates/common/log.hpp"
 #include "gates/common/token_bucket.hpp"
 #include "gates/core/adapt/queue_monitor.hpp"
 #include "gates/core/failover.hpp"
+#include "gates/core/retention_ring.hpp"
+#include "gates/core/stage_inbox.hpp"
 #include "gates/obs/metrics.hpp"
 #include "gates/obs/trace.hpp"
 
@@ -59,48 +60,34 @@ struct RtEngine::ThrottleGate {
 // ---------------------------------------------------------------------------
 // ReplayChannel: sender-side bounded retention for one flow, shared between
 // the sending thread (retain), the receiving thread (ack) and the control
-// thread (snapshot for replay) — hence the mutex. EOS markers are pinned:
-// evicting one would wedge the revived receiver's termination.
+// thread (snapshot for replay) — hence the mutex. The batch entry points
+// take it once per batch, which is what makes retention affordable on the
+// hot path. Storage is the O(1)-amortized RetentionRing; retained payloads
+// alias the sender's allocation (COW ByteBuffer), so retention adds a
+// refcount bump, not a copy. EOS markers are pinned: evicting one would
+// wedge the revived receiver's termination.
 // ---------------------------------------------------------------------------
 struct RtEngine::ReplayChannel {
-  explicit ReplayChannel(std::size_t cap) : capacity(cap) {}
-
-  struct Entry {
-    std::uint64_t seq;
-    Packet packet;
-    bool acked = false;
-  };
+  explicit ReplayChannel(std::size_t cap) : ring(cap) {}
 
   std::mutex mu;
-  const std::size_t capacity;
-  std::deque<Entry> retained;  // ascending seq
-  std::uint64_t next_seq = 0;
-  std::size_t data_retained = 0;  // non-EOS unacked entries
-  std::uint64_t evicted = 0;
+  RetentionRing ring;
   std::uint64_t evicted_reported = 0;
 
   std::uint64_t retain(const Packet& packet) {
     std::lock_guard<std::mutex> lock(mu);
-    const std::uint64_t seq = next_seq++;
-    if (capacity == 0 && !packet.is_eos()) {
-      ++evicted;
-      return seq;
+    return ring.retain(packet);
+  }
+
+  /// Stamps origin and seq onto every item of an outgoing batch under one
+  /// lock acquisition.
+  template <typename ItemT>
+  void retain_batch(std::vector<ItemT>& items) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& item : items) {
+      item.origin = this;
+      item.seq = ring.retain(item.packet);
     }
-    retained.push_back({seq, packet, false});
-    if (!packet.is_eos()) {
-      ++data_retained;
-      while (data_retained > capacity) {
-        for (auto it = retained.begin(); it != retained.end(); ++it) {
-          if (!it->acked && !it->packet.is_eos()) {
-            retained.erase(it);
-            --data_retained;
-            ++evicted;
-            break;
-          }
-        }
-      }
-    }
-    return seq;
   }
 
   /// Exact, not cumulative: across a restart, a replayed tail interleaves
@@ -109,30 +96,28 @@ struct RtEngine::ReplayChannel {
   /// undelivered tail replayable.
   void ack(std::uint64_t seq) {
     std::lock_guard<std::mutex> lock(mu);
-    auto it = std::lower_bound(
-        retained.begin(), retained.end(), seq,
-        [](const Entry& e, std::uint64_t s) { return e.seq < s; });
-    if (it != retained.end() && it->seq == seq && !it->acked) {
-      it->acked = true;
-      if (!it->packet.is_eos()) --data_retained;
-    }
-    while (!retained.empty() && retained.front().acked) retained.pop_front();
+    ring.ack_exact(seq);
+  }
+
+  void ack_batch(const std::vector<std::uint64_t>& seqs) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::uint64_t seq : seqs) ring.ack_exact(seq);
   }
 
   std::vector<std::pair<std::uint64_t, Packet>> snapshot() {
     std::lock_guard<std::mutex> lock(mu);
     std::vector<std::pair<std::uint64_t, Packet>> out;
-    for (const Entry& e : retained) {
-      if (!e.acked) out.emplace_back(e.seq, e.packet);
-    }
+    ring.for_each_unacked([&](std::uint64_t seq, const Packet& packet) {
+      out.emplace_back(seq, packet);
+    });
     return out;
   }
 
   /// Evictions not yet attributed to a FailureReport.
   std::uint64_t take_unreported_evictions() {
     std::lock_guard<std::mutex> lock(mu);
-    const std::uint64_t n = evicted - evicted_reported;
-    evicted_reported = evicted;
+    const std::uint64_t n = ring.evicted() - evicted_reported;
+    evicted_reported = ring.evicted();
     return n;
   }
 };
@@ -149,6 +134,11 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     Packet packet;
     ReplayChannel* origin = nullptr;
     std::uint64_t seq = 0;
+  };
+  /// Per-route output staging (emit() fills, flush_route() sends).
+  struct RouteBatch {
+    std::vector<Item> items;
+    std::size_t wire_bytes = 0;
   };
   struct Route {
     std::shared_ptr<ThrottleGate> gate;
@@ -185,13 +175,17 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
           engine_.config_.failover.replay_buffer_packets);
     }
     routes_.push_back(std::move(route));
+    out_.emplace_back();
   }
   void add_upstream(StageWorker* up) {
     if (up != nullptr) upstreams_.push_back(up);
   }
   void set_eos_expected(std::size_t n) { eos_expected_ = n; }
 
-  BoundedQueue<Item>& queue() { return queue_; }
+  StageInbox<Item>& queue() { return queue_; }
+  /// SPSC fast path; the engine calls this from setup() for stages with
+  /// exactly one data-plane producer, before any thread starts.
+  void enable_spsc() { queue_.use_spsc(); }
   NodeId node() const { return node_; }
   const std::string& name() const { return spec_.name; }
   std::vector<Route>& routes() { return routes_; }
@@ -251,13 +245,15 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   }
 
   /// Failover disabled: degrade a crashed stage the legacy way — EOS on its
-  /// behalf so downstream still terminates. Runs on the control thread.
+  /// behalf so downstream still terminates. Runs on the control thread, so
+  /// it uses the inbox's aux channel (the ring fast path is reserved for
+  /// the flow's own producer thread).
   void finish_on_behalf() {
     GATES_CHECK(crashed() && !finished());
     join();
     for (const auto& route : routes_) {
       route.gate->acquire(engine_.config_.wire.per_message_overhead);
-      route.dest->queue().push({Packet::eos(0, clock_.now()), nullptr, 0});
+      route.dest->queue().push_aux({Packet::eos(0, clock_.now()), nullptr, 0});
     }
     GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kAbandoned,
                 .component = spec_.name, .detail = "eos-on-behalf");
@@ -267,28 +263,60 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::size_t recoveries() const { return recoveries_; }
 
   // -- Emitter ---------------------------------------------------------------
+  /// Stages the packet on every matching route; each staged copy aliases
+  /// the same payload (COW ByteBuffer), so fan-out is a refcount bump per
+  /// route, not a deep copy. The staged batch is flushed — one throttle
+  /// acquire, one retention lock, one queue transaction per route — when it
+  /// reaches max_batch or when the worker finishes its input batch.
   void emit(Packet packet, std::size_t port = 0) override {
-    packets_emitted_.fetch_add(1, std::memory_order_relaxed);
-    for (const auto& route : routes_) {
-      if (route.port != port) continue;
-      const std::size_t wire =
-          engine_.config_.wire.wire_size(packet.payload_bytes(), packet.records);
-      route.gate->acquire(wire);
-      Item item{packet, nullptr, 0};
-      if (route.channel) {
-        item.origin = route.channel.get();
-        item.seq = route.channel->retain(packet);
+    ++emitted_pending_;
+    for (std::size_t r = 0; r < routes_.size(); ++r) {
+      if (routes_[r].port != port) continue;
+      RouteBatch& batch = out_[r];
+      batch.wire_bytes += engine_.config_.wire.wire_size(
+          packet.payload_bytes(), packet.records);
+      batch.items.push_back({packet, nullptr, 0});
+      if (batch.items.size() >= engine_.config_.batching.max_batch) {
+        flush_route(r);
       }
-      // Blocking push: a full downstream buffer backpressures this thread.
-      // A closed (crashed) downstream queue fails fast; with retention on,
-      // the packet survives in the channel and returns via replay.
-      if (!route.dest->queue().push(std::move(item))) {
-        packets_dropped_.fetch_add(1, std::memory_order_relaxed);
-        GATES_TRACE(.time = clock_.now(),
-                    .kind = obs::TraceKind::kPacketDrop,
-                    .component = spec_.name,
-                    .detail = "downstream queue closed", .value_new = 1);
-      }
+    }
+  }
+
+  /// One batched send on route `r`: amortizes the throttle-gate lock, the
+  /// retention lock and the queue lock/notify over the whole batch.
+  void flush_route(std::size_t r) {
+    RouteBatch& batch = out_[r];
+    if (batch.items.empty()) return;
+    const Route& route = routes_[r];
+    route.gate->acquire(batch.wire_bytes);
+    if (route.channel) route.channel->retain_batch(batch.items);
+    const std::size_t n = batch.items.size();
+    // Blocking push: a full downstream buffer backpressures this thread.
+    // A closed (crashed) downstream queue fails fast; with retention on,
+    // the packets survive in the channel and return via replay.
+    const std::size_t pushed = route.dest->queue().push_all(batch.items);
+    if (pushed < n) {
+      dropped_pending_ += n - pushed;
+      GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kPacketDrop,
+                  .component = spec_.name,
+                  .detail = "downstream queue closed",
+                  .value_new = static_cast<double>(n - pushed));
+    }
+    batch.items.clear();
+    batch.wire_bytes = 0;
+  }
+
+  /// Flushes every route's staging and publishes the per-batch counter
+  /// deltas (exact packet counts, one atomic add per counter per batch).
+  void flush_emits() {
+    for (std::size_t r = 0; r < routes_.size(); ++r) flush_route(r);
+    if (emitted_pending_ != 0) {
+      packets_emitted_.fetch_add(emitted_pending_, std::memory_order_relaxed);
+      emitted_pending_ = 0;
+    }
+    if (dropped_pending_ != 0) {
+      packets_dropped_.fetch_add(dropped_pending_, std::memory_order_relaxed);
+      dropped_pending_ = 0;
     }
   }
 
@@ -407,48 +435,103 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   StreamProcessor& processor() { return *processor_; }
 
  private:
+  /// Flushes staged emissions, then acks the batch of processed inputs —
+  /// in that order, so an input is never released from upstream retention
+  /// before the outputs derived from it are durably downstream
+  /// (at-least-once across a crash between the two steps). Acks are grouped
+  /// per origin channel: one lock per channel per batch.
+  void flush_batch_effects(std::vector<Item>& batch, std::size_t upto) {
+    flush_emits();
+    for (std::size_t i = 0; i < upto; ++i) {
+      if (batch[i].origin == nullptr) continue;
+      ReplayChannel* origin = batch[i].origin;
+      ack_seqs_.clear();
+      ack_seqs_.push_back(batch[i].seq);
+      batch[i].origin = nullptr;
+      for (std::size_t j = i + 1; j < upto; ++j) {
+        if (batch[j].origin == origin) {
+          ack_seqs_.push_back(batch[j].seq);
+          batch[j].origin = nullptr;
+        }
+      }
+      origin->ack_batch(ack_seqs_);
+    }
+  }
+
   void run_loop() {
     const bool failover = engine_.config_.failover.enabled;
     const Duration beat = engine_.config_.failover.heartbeat_period;
-    while (true) {
-      std::optional<Item> item;
+    const std::size_t max_batch = std::max<std::size_t>(
+        engine_.config_.batching.max_batch, 1);
+    std::vector<Item> batch;
+    batch.reserve(max_batch);
+    bool stop_after_flush = false;
+    while (!stop_after_flush) {
+      batch.clear();
+      std::size_t n;
       if (failover) {
-        // Timed pop so the heartbeat advances even while idle.
+        // Timed drain so the heartbeat advances even while idle.
         last_beat_.store(clock_.now(), std::memory_order_release);
-        item = queue_.pop_for(beat);
+        n = queue_.drain_for(batch, max_batch, beat);
       } else {
-        item = queue_.pop();
+        n = queue_.drain(batch, max_batch);
       }
-      // Crash-stop: exit without flushing, acking, or sending EOS.
+      // Crash-stop: exit without flushing, acking, or sending EOS. Batched
+      // effects not yet flushed are simply dropped; upstream retention
+      // still holds every unacked input, so nothing is lost.
       if (crashed_.load(std::memory_order_acquire)) return;
-      if (!item) {
+      if (n == 0) {
         if (failover && !queue_.closed()) continue;  // idle beat
         break;  // closed and drained (EOS logic below) or force-stopped
       }
-      Packet& packet = item->packet;
-      const Duration service = spec_.cost.service_time(packet) / cpu_factor_;
-      sleep_seconds(service);
-      busy_time_ += service;
-      GATES_TRACE(.time = clock_.now() - service, .duration = service,
-                  .kind = obs::TraceKind::kServiceSpan,
-                  .component = spec_.name);
-      if (crashed_.load(std::memory_order_acquire)) return;
-      if (packet.is_eos()) {
-        if (item->origin != nullptr) item->origin->ack(item->seq);
-        if (++eos_received_ >= eos_expected_) break;
-        continue;
+      // Per-batch counter deltas, published once after the batch.
+      std::uint64_t d_packets = 0;
+      std::uint64_t d_records = 0;
+      std::uint64_t d_bytes = 0;
+      std::size_t processed_upto = 0;
+      bool latency_sampled = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        Packet& packet = batch[i].packet;
+        const Duration service =
+            spec_.cost.service_time(packet) / cpu_factor_;
+        sleep_seconds(service);
+        busy_time_ += service;
+        GATES_TRACE(.time = clock_.now() - service, .duration = service,
+                    .kind = obs::TraceKind::kServiceSpan,
+                    .component = spec_.name);
+        if (crashed_.load(std::memory_order_acquire)) return;
+        if (packet.is_eos()) {
+          processed_upto = i + 1;
+          if (++eos_received_ >= eos_expected_) {
+            stop_after_flush = true;
+            break;
+          }
+          continue;
+        }
+        ++d_packets;
+        d_records += packet.records;
+        d_bytes += packet.payload_bytes();
+        // Latency is sampled once per drained batch (one clock read per
+        // batch, not per packet). The sample is the batch head — the
+        // oldest entry — so the estimate errs high, never low.
+        if (!latency_sampled) {
+          latency_.add(clock_.now() - packet.created_at);
+          latency_sampled = true;
+        }
+        processor_->process(packet, *this);
+        processed_upto = i + 1;
       }
-      packets_processed_.fetch_add(1, std::memory_order_relaxed);
-      records_processed_.fetch_add(packet.records, std::memory_order_relaxed);
-      bytes_processed_.fetch_add(packet.payload_bytes(),
-                                 std::memory_order_relaxed);
-      latency_.add(clock_.now() - packet.created_at);
-      processor_->process(packet, *this);
-      // Ack-on-process: only now may the sender release it from retention.
-      if (item->origin != nullptr) item->origin->ack(item->seq);
+      if (d_packets != 0) {
+        packets_processed_.fetch_add(d_packets, std::memory_order_relaxed);
+        records_processed_.fetch_add(d_records, std::memory_order_relaxed);
+        bytes_processed_.fetch_add(d_bytes, std::memory_order_relaxed);
+      }
+      // Outputs first, then acks (see flush_batch_effects).
+      flush_batch_effects(batch, processed_upto);
     }
     // Either all upstreams ended or the queue was force-closed; flush.
     processor_->finish(*this);
+    flush_emits();
     for (const auto& route : routes_) {
       route.gate->acquire(engine_.config_.wire.per_message_overhead);
       Item item{Packet::eos(0, clock_.now()), nullptr, 0};
@@ -469,8 +552,14 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   NodeId node_;
   double cpu_factor_;
   std::unique_ptr<StreamProcessor> processor_;
-  BoundedQueue<Item> queue_;
+  StageInbox<Item> queue_;
   std::vector<Route> routes_;
+  // Worker-thread staging (no locks): per-route output batches, counter
+  // deltas accumulated across a batch, and an ack-seq scratch vector.
+  std::vector<RouteBatch> out_;
+  std::uint64_t emitted_pending_ = 0;
+  std::uint64_t dropped_pending_ = 0;
+  std::vector<std::uint64_t> ack_seqs_;
   std::vector<StageWorker*> upstreams_;
   adapt::QueueMonitor monitor_;
   std::vector<std::unique_ptr<AdjustmentParameter>> params_;
@@ -549,8 +638,41 @@ class RtEngine::SourceWorker {
   void request_stop() { stop_.store(true, std::memory_order_release); }
 
  private:
+  /// One batched send: a single throttle acquire of the batch's summed wire
+  /// bytes, one retention lock, one queue transaction. Returns false when
+  /// production should stop (downstream closed by force-stop, no failover).
+  bool flush(std::vector<StageWorker::Item>& staged, std::size_t& wire_bytes) {
+    if (staged.empty()) return true;
+    gate_->acquire(wire_bytes);
+    wire_bytes = 0;
+    if (channel_) channel_->retain_batch(staged);
+    const std::size_t n = staged.size();
+    if (target_->queue().push_all(staged) < n) {
+      // Closed queue: force-stop (legacy → quit) or a crashed target
+      // (failover → keep producing; retention holds the tail for replay).
+      staged.clear();
+      if (!channel_) return false;
+    }
+    return true;
+  }
+
   void run_loop() {
+    const std::size_t max_batch = std::max<std::size_t>(
+        engine_.config_.batching.max_batch, 1);
+    std::vector<StageWorker::Item> staged;
+    staged.reserve(max_batch);
+    std::size_t staged_wire = 0;
+    // Pacing debt: inter-arrival gaps accumulate while a batch builds and
+    // are slept in one go at each flush. A flush is forced whenever the
+    // debt reaches max_source_delay, so slow sources (gap >= the bound)
+    // still emit packet-by-packet and pacing error stays under one bound.
+    Duration owed_sleep = 0;
     std::uint64_t seq = 0;
+    // Default (generator-less) sources send identical zero-filled payloads:
+    // build the buffer once and alias it into every packet — a refcount
+    // bump instead of an allocation. Any downstream mutation detaches via
+    // COW, so sharing is invisible to processors.
+    ByteBuffer proto(spec_.packet_bytes);
     const TimePoint start = clock_.now();
     while (!stop_.load(std::memory_order_acquire)) {
       if (spec_.total_packets != 0 && seq >= spec_.total_packets) break;
@@ -559,29 +681,29 @@ class RtEngine::SourceWorker {
       if (spec_.generator) {
         packet = spec_.generator(seq, rng_);
       } else {
-        packet.payload.resize(spec_.packet_bytes);
+        packet.payload = proto;
       }
       packet.stream = spec_.stream;
       packet.sequence = seq;
       packet.created_at = clock_.now();
       ++seq;
-      const std::size_t wire = engine_.config_.wire.wire_size(
-          packet.payload_bytes(), packet.records);
-      gate_->acquire(wire);
-      StageWorker::Item item{std::move(packet), nullptr, 0};
-      if (channel_) {
-        item.origin = channel_.get();
-        item.seq = channel_->retain(item.packet);
+      staged_wire += engine_.config_.wire.wire_size(packet.payload_bytes(),
+                                                    packet.records);
+      staged.push_back({std::move(packet), nullptr, 0});
+      owed_sleep += spec_.poisson ? rng_.exponential(spec_.rate_hz)
+                                  : 1.0 / spec_.rate_hz;
+      if (staged.size() >= max_batch ||
+          owed_sleep >= engine_.config_.batching.max_source_delay) {
+        if (!flush(staged, staged_wire)) return finish_eos();
+        sleep_seconds(owed_sleep);
+        owed_sleep = 0;
       }
-      if (!target_->queue().push(std::move(item))) {
-        // Closed queue: force-stop (legacy → quit) or a crashed target
-        // (failover → keep producing; retention holds the tail for replay).
-        if (!channel_) break;
-      }
-      const Duration gap = spec_.poisson ? rng_.exponential(spec_.rate_hz)
-                                         : 1.0 / spec_.rate_hz;
-      sleep_seconds(gap);
     }
+    flush(staged, staged_wire);
+    finish_eos();
+  }
+
+  void finish_eos() {
     Packet eos = Packet::eos(spec_.stream, clock_.now());
     StageWorker::Item item{std::move(eos), nullptr, 0};
     if (channel_) {
@@ -680,6 +802,19 @@ Status RtEngine::setup() {
   }
   for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
     stages_[i]->set_eos_expected(spec_.fan_in(i));
+  }
+  // SPSC fast path for 1:1 flows: a stage whose inbox has exactly one
+  // data-plane producer thread (one inbound edge XOR one source) can use
+  // the lock-free ring. Fan-in stages keep the mutex queue; control-plane
+  // injections (replay, EOS-on-behalf) use the inbox's aux channel either
+  // way, so they never violate the single-producer invariant.
+  if (config_.batching.spsc) {
+    std::vector<std::size_t> producers(spec_.stages.size(), 0);
+    for (const auto& edge : spec_.edges) ++producers[edge.to_stage];
+    for (const auto& src : spec_.sources) ++producers[src.target_stage];
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (producers[i] == 1) stages_[i]->enable_spsc();
+    }
   }
   for (auto& stage : stages_) stage->init();
   setup_done_ = true;
@@ -806,7 +941,9 @@ void RtEngine::restart_stage(std::size_t stage_index, FailureReport& record) {
     if (ch == nullptr) return;
     lost += ch->take_unreported_evictions();
     for (auto& [seq, packet] : ch->snapshot()) {
-      if (stage->queue().push({packet, ch, seq})) ++replayed;
+      // Aux channel: this runs on the control thread, which must not touch
+      // an SPSC inbox's ring (that is the flow producer's lane).
+      if (stage->queue().push_aux({packet, ch, seq})) ++replayed;
     }
   };
   for (auto& up : stages_) {

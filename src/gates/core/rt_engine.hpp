@@ -40,6 +40,22 @@ class RtEngine {
     /// Watchdog: a run not finished after this many wall seconds is force-
     /// stopped and reported as incomplete.
     Duration max_wall_time = 120;
+    /// Data-plane batching (see DESIGN.md "Zero-copy, batched data path").
+    struct Batching {
+      /// Max packets moved per queue/throttle/retention transaction.
+      /// 1 restores the pre-batching per-packet behavior.
+      std::size_t max_batch = 32;
+      /// Lock-free SPSC-ring fast path for stage inboxes with exactly one
+      /// data-plane producer (sources and fan-in stages keep the mutex
+      /// queue; control-plane injections ride a side channel either way).
+      bool spsc = true;
+      /// Sources flush their staged batch whenever the accumulated
+      /// inter-arrival pacing debt reaches this many seconds, so slow
+      /// sources (gap >= this) still emit packet-by-packet and pacing is
+      /// distorted by at most one batch flush.
+      double max_source_delay = 1e-3;
+    };
+    Batching batching;
     /// Fault tolerance. Disabled (default): a killed stage's thread exits
     /// silently and the control loop raises EOS on its behalf. Enabled: the
     /// worker publishes heartbeats, the control loop declares the stage dead

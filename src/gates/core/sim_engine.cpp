@@ -5,6 +5,7 @@
 
 #include "gates/common/check.hpp"
 #include "gates/common/log.hpp"
+#include "gates/core/retention_ring.hpp"
 #include "gates/obs/metrics.hpp"
 #include "gates/obs/trace.hpp"
 
@@ -33,47 +34,16 @@ struct SimEngine::Delivery {
 // wedge the recovered stage forever.
 // ---------------------------------------------------------------------------
 struct SimEngine::ReplayChannel {
-  explicit ReplayChannel(std::size_t cap) : capacity(cap) {}
+  explicit ReplayChannel(std::size_t cap) : ring(cap) {}
 
-  std::size_t capacity;
-  std::deque<std::pair<std::uint64_t, Packet>> retained;
-  std::uint64_t next_seq = 0;
-  std::size_t data_retained = 0;  // non-EOS entries in `retained`
-  std::uint64_t evicted = 0;
+  RetentionRing ring;  // O(1)-amortized retain/ack/evict (was a deque scan)
   std::uint64_t evicted_reported = 0;  // already attributed to a FailureReport
 
-  std::uint64_t retain(const Packet& packet) {
-    const std::uint64_t seq = next_seq++;
-    if (capacity == 0 && !packet.is_eos()) {
-      ++evicted;
-      return seq;
-    }
-    retained.emplace_back(seq, packet);
-    if (!packet.is_eos()) {
-      ++data_retained;
-      while (data_retained > capacity) {
-        // Evict the oldest non-EOS entry.
-        for (auto it = retained.begin(); it != retained.end(); ++it) {
-          if (!it->second.is_eos()) {
-            retained.erase(it);
-            --data_retained;
-            ++evicted;
-            break;
-          }
-        }
-      }
-    }
-    return seq;
-  }
+  std::uint64_t retain(const Packet& packet) { return ring.retain(packet); }
 
   /// Cumulative ack: flows are FIFO, so processing seq implies everything
   /// before it was processed (or replayed ahead of it).
-  void ack(std::uint64_t seq) {
-    while (!retained.empty() && retained.front().first <= seq) {
-      if (!retained.front().second.is_eos()) --data_retained;
-      retained.pop_front();
-    }
-  }
+  void ack(std::uint64_t seq) { ring.ack_cumulative(seq); }
 };
 
 // ---------------------------------------------------------------------------
@@ -499,7 +469,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   std::uint64_t replay_route(Route& route) {
     if (route.channel == nullptr) return 0;
     std::uint64_t n = 0;
-    for (const auto& [seq, packet] : route.channel->retained) {
+    route.channel->ring.for_each_unacked([&](std::uint64_t seq,
+                                             const Packet& packet) {
       net::SimMessage msg;
       msg.wire_bytes = engine_.config_.wire.wire_size(packet.payload_bytes(),
                                                       packet.records);
@@ -512,7 +483,7 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       d.dest_incarnation = route.dest->incarnation();
       msg.payload = std::move(d);
       if (route.link->send(std::move(msg))) ++n;
-    }
+    });
     return n;
   }
 
@@ -657,7 +628,8 @@ class SimEngine::SourceRuntime {
   std::uint64_t replay() {
     if (channel_ == nullptr) return 0;
     std::uint64_t n = 0;
-    for (const auto& [seq, packet] : channel_->retained) {
+    channel_->ring.for_each_unacked([&](std::uint64_t seq,
+                                        const Packet& packet) {
       net::SimMessage msg;
       msg.wire_bytes = engine_.config_.wire.wire_size(packet.payload_bytes(),
                                                       packet.records);
@@ -669,7 +641,7 @@ class SimEngine::SourceRuntime {
       d.dest_incarnation = target_->incarnation();
       msg.payload = std::move(d);
       if (link_->send(std::move(msg))) ++n;
-    }
+    });
     return n;
   }
 
@@ -1099,8 +1071,8 @@ void SimEngine::revive_stage(std::size_t stage_index,
   std::uint64_t lost = 0;
   auto account = [&](ReplayChannel* ch) {
     if (ch == nullptr) return;
-    lost += ch->evicted - ch->evicted_reported;
-    ch->evicted_reported = ch->evicted;
+    lost += ch->ring.evicted() - ch->evicted_reported;
+    ch->evicted_reported = ch->ring.evicted();
   };
   for (auto& up : stages_) {
     for (auto& route : up->routes()) {

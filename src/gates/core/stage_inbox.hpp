@@ -1,0 +1,243 @@
+// Stage input buffer for the real-time engine.
+//
+// Two interchangeable implementations behind one blocking, batch-oriented
+// interface:
+//
+//  - mutex mode (default): a BoundedQueue. Correct for any number of
+//    producers — fan-in stages, and any stage when simplicity wins.
+//  - SPSC mode: the lock-free SpscRing as the fast path for 1:1 flows
+//    (exactly one upstream thread feeding exactly one worker thread), with
+//    a condvar fallback that preserves blocking push/pop semantics. The
+//    engine selects this at setup time once the flow graph is known.
+//
+// Control-plane producers — failover replay re-injection and EOS-on-behalf,
+// which run on the control thread and would violate the ring's single-
+// producer invariant — go through push_aux(), a small mutex-guarded side
+// queue the consumer folds into its drains. It is intentionally unbounded:
+// its occupancy is bounded externally by the replay retention depth.
+//
+// Sleep/wake protocol (SPSC mode): pushes and pops are lock-free; a side
+// that finds the ring full (producer) or empty (consumer) registers itself
+// in a waiting flag, re-checks, and sleeps on a condvar. The opposite side
+// publishes its batch, issues a seq_cst fence, and only takes the wakeup
+// mutex when the flag says someone is actually asleep — so the steady-state
+// path never touches the mutex, and the store(batch)/load(flag) vs
+// store(flag)/load(batch) races that would lose a wakeup are fenced out.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gates/common/bounded_queue.hpp"
+#include "gates/common/check.hpp"
+#include "gates/common/spsc_ring.hpp"
+
+namespace gates::core {
+
+template <typename T>
+class StageInbox {
+ public:
+  explicit StageInbox(std::size_t capacity)
+      : capacity_(capacity), queue_(capacity) {}
+
+  /// Switches to the SPSC fast path. Only valid before any concurrent use;
+  /// the engine calls this from setup() for stages with exactly one
+  /// data-plane producer.
+  void use_spsc() {
+    GATES_CHECK(ring_ == nullptr);
+    ring_ = std::make_unique<SpscRing<T>>(capacity_);
+  }
+  bool spsc() const { return ring_ != nullptr; }
+
+  // -- producer side (the single data-plane producer in SPSC mode) -----------
+
+  /// Blocking push; returns false iff closed.
+  bool push(T item) {
+    if (ring_ == nullptr) return queue_.push(std::move(item));
+    std::vector<T> one;
+    one.push_back(std::move(item));
+    return push_all(one) == 1;
+  }
+
+  /// Pushes every item, blocking as space frees. Returns the number pushed
+  /// (< items.size() iff closed mid-way). On full success `items` is left
+  /// cleared.
+  std::size_t push_all(std::vector<T>& items) {
+    if (ring_ == nullptr) return queue_.push_all(items);
+    std::size_t pushed = 0;
+    while (pushed < items.size()) {
+      if (closed_.load(std::memory_order_acquire)) break;
+      const std::size_t n = ring_->try_push_n(items, pushed);
+      pushed += n;
+      if (n != 0) {
+        wake(consumer_waiting_, not_empty_);
+        continue;
+      }
+      // Ring full: register, re-check, sleep until the consumer frees slots.
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      producer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      not_full_.wait(lock, [&] {
+        return ring_->size() < ring_->capacity() ||
+               closed_.load(std::memory_order_acquire);
+      });
+      producer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    if (pushed == items.size()) items.clear();
+    return pushed;
+  }
+
+  /// Control-plane push from any thread (replay re-injection, EOS on a
+  /// crashed stage's behalf). Never blocks in SPSC mode; returns false iff
+  /// closed.
+  bool push_aux(T item) {
+    if (ring_ == nullptr) return queue_.push(std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(aux_mu_);
+      if (closed_.load(std::memory_order_acquire)) return false;
+      aux_.push_back(std::move(item));
+      aux_size_.store(aux_.size(), std::memory_order_release);
+    }
+    wake(consumer_waiting_, not_empty_);
+    return true;
+  }
+
+  // -- consumer side (single worker thread) ----------------------------------
+
+  /// Moves up to `max` items into `out`, blocking until at least one is
+  /// available or the inbox is closed and drained (returns 0).
+  std::size_t drain(std::vector<T>& out, std::size_t max) {
+    if (ring_ == nullptr) return queue_.drain(out, max);
+    return drain_spsc(out, max, -1.0);
+  }
+
+  /// As drain(), but waits at most `timeout_seconds`; 0 on timeout too
+  /// (check closed() to distinguish, as with BoundedQueue::pop_for).
+  std::size_t drain_for(std::vector<T>& out, std::size_t max,
+                        double timeout_seconds) {
+    if (ring_ == nullptr) return queue_.drain_for(out, max, timeout_seconds);
+    return drain_spsc(out, max, timeout_seconds);
+  }
+
+  // -- control ---------------------------------------------------------------
+
+  /// Wakes all waiters; subsequent pushes fail, drains empty what remains.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    queue_.close();
+    if (ring_ != nullptr) {
+      std::lock_guard<std::mutex> lock(sleep_mu_);
+      not_empty_.notify_all();
+      not_full_.notify_all();
+    }
+  }
+
+  /// Reverses close() and discards queued input (crash-restart path: the
+  /// revived consumer must not see its predecessor's undrained input). Only
+  /// call when no consumer thread is running; the caller momentarily acts
+  /// as the consumer, which is legal because the dead worker was joined.
+  void reopen() {
+    queue_.reopen();
+    if (ring_ != nullptr) {
+      std::vector<T> discard;
+      while (ring_->try_pop_n(discard, ring_->capacity()) != 0) {
+        discard.clear();
+      }
+      std::lock_guard<std::mutex> lock(aux_mu_);
+      aux_.clear();
+      aux_size_.store(0, std::memory_order_release);
+    }
+    closed_.store(false, std::memory_order_release);
+    if (ring_ != nullptr) {
+      std::lock_guard<std::mutex> lock(sleep_mu_);
+      not_full_.notify_all();
+    }
+  }
+
+  bool closed() const {
+    return ring_ == nullptr ? queue_.closed()
+                            : closed_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    if (ring_ == nullptr) return queue_.size();
+    return ring_->size() + aux_size_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const {
+    return ring_ == nullptr ? queue_.capacity() : ring_->capacity();
+  }
+
+ private:
+  /// Lock-free grab from ring then aux; returns how many landed in `out`.
+  std::size_t take(std::vector<T>& out, std::size_t max) {
+    std::size_t n = ring_->try_pop_n(out, max);
+    if (n < max && aux_size_.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> lock(aux_mu_);
+      while (n < max && !aux_.empty()) {
+        out.push_back(std::move(aux_.front()));
+        aux_.pop_front();
+        ++n;
+      }
+      aux_size_.store(aux_.size(), std::memory_order_release);
+    }
+    return n;
+  }
+
+  std::size_t drain_spsc(std::vector<T>& out, std::size_t max,
+                         double timeout_seconds) {
+    std::size_t n = take(out, max);
+    if (n != 0) {
+      wake(producer_waiting_, not_full_);
+      return n;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    consumer_waiting_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    auto ready = [&] {
+      n = take(out, max);
+      return n != 0 || closed_.load(std::memory_order_acquire);
+    };
+    if (timeout_seconds < 0) {
+      not_empty_.wait(lock, ready);
+    } else {
+      not_empty_.wait_for(
+          lock, std::chrono::duration<double>(timeout_seconds), ready);
+    }
+    consumer_waiting_.store(false, std::memory_order_relaxed);
+    lock.unlock();
+    if (n != 0) wake(producer_waiting_, not_full_);
+    return n;
+  }
+
+  /// Post-publish wakeup: fence so the just-published batch and the flag
+  /// read can't reorder, then notify only if the peer is actually asleep.
+  void wake(std::atomic<bool>& peer_waiting, std::condition_variable& cv) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (peer_waiting.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(sleep_mu_);
+      cv.notify_all();
+    }
+  }
+
+  const std::size_t capacity_;
+  BoundedQueue<T> queue_;  // mutex mode (also holds capacity semantics)
+
+  // SPSC mode state; unused (ring_ == nullptr) in mutex mode.
+  std::unique_ptr<SpscRing<T>> ring_;
+  std::atomic<bool> closed_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::atomic<bool> consumer_waiting_{false};
+  std::atomic<bool> producer_waiting_{false};
+  mutable std::mutex aux_mu_;
+  std::deque<T> aux_;
+  std::atomic<std::size_t> aux_size_{0};
+};
+
+}  // namespace gates::core

@@ -111,5 +111,129 @@ TEST(BoundedQueue, MoveOnlyItems) {
   EXPECT_EQ(**v, 7);
 }
 
+// -- batch operations --------------------------------------------------------
+
+TEST(BoundedQueueBatch, PushAllThenDrainPreservesOrder) {
+  BoundedQueue<int> q(16);
+  std::vector<int> in = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.push_all(in), 5u);
+  EXPECT_TRUE(in.empty());  // cleared on full success
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out, 64), 5u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BoundedQueueBatch, DrainRespectsMaxAndAppends) {
+  BoundedQueue<int> q(16);
+  std::vector<int> in = {1, 2, 3, 4, 5};
+  q.push_all(in);
+  std::vector<int> out = {0};
+  EXPECT_EQ(q.drain(out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.drain(out, 10), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(BoundedQueueBatch, PushAllLargerThanCapacityBlocksUntilDrained) {
+  BoundedQueue<int> q(4);
+  std::vector<int> in(32);
+  for (int i = 0; i < 32; ++i) in[static_cast<std::size_t>(i)] = i;
+  std::thread producer([&] { EXPECT_EQ(q.push_all(in), 32u); });
+  std::vector<int> out;
+  while (out.size() < 32) q.drain(out, 8);
+  producer.join();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueueBatch, PushAllReturnsShortCountOnClose) {
+  BoundedQueue<int> q(2);
+  std::vector<int> in = {1, 2, 3, 4};
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  EXPECT_EQ(q.push_all(in), 2u);  // filled to capacity, then closed
+  closer.join();
+}
+
+TEST(BoundedQueueBatch, DrainForTimesOutEmptyHanded) {
+  BoundedQueue<int> q(4);
+  std::vector<int> out;
+  EXPECT_EQ(q.drain_for(out, 8, 0.01), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(q.closed());
+}
+
+TEST(BoundedQueueBatch, DrainReturnsZeroWhenClosedAndEmpty) {
+  BoundedQueue<int> q(4);
+  q.close();
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out, 8), 0u);
+}
+
+// Regression for the notify-hygiene fix: an empty-handed drain/try_pop must
+// not wake a producer blocked on a still-full queue (it would only re-check
+// and sleep again). Asserts the observable contract: the blocked producer
+// stays blocked until space actually frees, then proceeds promptly.
+TEST(BoundedQueueBatch, BlockedProducerOnlyWakesWhenSpaceFrees) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out, 4), 1u);  // frees a slot -> producer proceeds
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueueBatch, BatchedMpmcStressConservesItems) {
+  BoundedQueue<int> q(32);
+  constexpr int kProducers = 4;
+  constexpr int kBatches = 200;
+  constexpr int kBatchSize = 16;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> got;
+      while (true) {
+        got.clear();
+        if (q.drain(got, 8) == 0) break;
+        for (int v : got) sum += v;
+        popped += static_cast<int>(got.size());
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<int> batch;
+      for (int b = 0; b < kBatches; ++b) {
+        batch.clear();
+        for (int i = 0; i < kBatchSize; ++i) {
+          batch.push_back(p * kBatches * kBatchSize + b * kBatchSize + i);
+        }
+        ASSERT_EQ(q.push_all(batch), static_cast<std::size_t>(kBatchSize));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const long long total = kProducers * kBatches * kBatchSize;
+  EXPECT_EQ(popped.load(), total);
+  EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+}
+
 }  // namespace
 }  // namespace gates

@@ -1,0 +1,131 @@
+#include "gates/common/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace gates {
+namespace {
+
+TEST(ByteBuffer, DefaultIsEmpty) {
+  ByteBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(ByteBuffer, SizedConstructionZeroFills) {
+  ByteBuffer b(8);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(b.data()[i], 0);
+}
+
+TEST(ByteBuffer, FromStringRoundTrips) {
+  auto b = ByteBuffer::from_string("hello");
+  EXPECT_EQ(b.as_string_view(), "hello");
+  EXPECT_TRUE(ByteBuffer::from_string("").empty());
+}
+
+TEST(ByteBuffer, CopySharesStorage) {
+  auto a = ByteBuffer::from_string("shared");
+  const std::uint64_t before = ByteBuffer::deep_copies();
+  ByteBuffer b = a;
+  ByteBuffer c;
+  c = a;
+  EXPECT_EQ(ByteBuffer::deep_copies(), before);  // copies are refcount bumps
+  EXPECT_TRUE(b.shares_storage(a));
+  EXPECT_TRUE(c.shares_storage(a));
+  // Const access must not detach: both handles expose the same bytes.
+  EXPECT_EQ(static_cast<const ByteBuffer&>(b).data(),
+            static_cast<const ByteBuffer&>(a).data());
+}
+
+TEST(ByteBuffer, MutationDetachesAndPreservesOriginal) {
+  auto a = ByteBuffer::from_string("original");
+  ByteBuffer b = a;
+  const std::uint64_t before = ByteBuffer::deep_copies();
+  b.data()[0] = 'X';  // non-const access through a shared handle
+  EXPECT_EQ(ByteBuffer::deep_copies(), before + 1);
+  EXPECT_EQ(a.as_string_view(), "original");
+  EXPECT_EQ(b.as_string_view(), "Xriginal");
+  EXPECT_FALSE(b.shares_storage(a));
+}
+
+TEST(ByteBuffer, MutatingUniqueHandleDoesNotCopy) {
+  auto a = ByteBuffer::from_string("solo");
+  const std::uint64_t before = ByteBuffer::deep_copies();
+  a.data()[0] = 'S';
+  a.append("!", 1);
+  a.resize(3);
+  EXPECT_EQ(ByteBuffer::deep_copies(), before);
+  EXPECT_EQ(a.as_string_view(), "Sol");
+}
+
+TEST(ByteBuffer, AppendDetachesSharedBuffer) {
+  auto a = ByteBuffer::from_string("ab");
+  ByteBuffer b = a;
+  b.append("c", 1);
+  EXPECT_EQ(a.as_string_view(), "ab");
+  EXPECT_EQ(b.as_string_view(), "abc");
+}
+
+TEST(ByteBuffer, ResizeDetachesSharedBuffer) {
+  auto a = ByteBuffer::from_string("abcd");
+  ByteBuffer b = a;
+  b.resize(2);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(b.as_string_view(), "ab");
+}
+
+TEST(ByteBuffer, ClearDropsReferenceWithoutCopy) {
+  auto a = ByteBuffer::from_string("keep");
+  ByteBuffer b = a;
+  const std::uint64_t before = ByteBuffer::deep_copies();
+  b.clear();
+  EXPECT_EQ(ByteBuffer::deep_copies(), before);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.as_string_view(), "keep");
+}
+
+TEST(ByteBuffer, EqualityComparesContents) {
+  auto a = ByteBuffer::from_string("same");
+  auto b = ByteBuffer::from_string("same");
+  ByteBuffer shared = a;
+  EXPECT_EQ(a, b);        // distinct allocations, same bytes
+  EXPECT_EQ(a, shared);   // aliased allocation
+  EXPECT_NE(a, ByteBuffer::from_string("diff"));
+  EXPECT_NE(a, ByteBuffer::from_string("sam"));
+  EXPECT_EQ(ByteBuffer{}, ByteBuffer{});
+}
+
+TEST(ByteBuffer, MoveTransfersWithoutCopy) {
+  auto a = ByteBuffer::from_string("moved");
+  const std::uint64_t before = ByteBuffer::deep_copies();
+  ByteBuffer b = std::move(a);
+  EXPECT_EQ(ByteBuffer::deep_copies(), before);
+  EXPECT_EQ(b.as_string_view(), "moved");
+}
+
+// Many threads copy one buffer, read it, and mutate their private copy.
+// Under TSan this validates the COW detach discipline: mutation never
+// touches bytes another thread is reading through its own handle.
+TEST(ByteBuffer, ConcurrentSharedReadsWithPrivateMutation) {
+  auto base = ByteBuffer::from_string("concurrent-payload");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([base, t] {  // copy = share
+      for (int i = 0; i < 1000; ++i) {
+        ByteBuffer mine = base;
+        ASSERT_EQ(mine.as_string_view(), "concurrent-payload");
+        mine.data()[0] = static_cast<std::uint8_t>('A' + t);  // COW detach
+        ASSERT_EQ(mine.data()[0], static_cast<std::uint8_t>('A' + t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(base.as_string_view(), "concurrent-payload");
+}
+
+}  // namespace
+}  // namespace gates

@@ -1,0 +1,151 @@
+#include "gates/core/retention_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/common/byte_buffer.hpp"
+#include "gates/core/packet.hpp"
+
+namespace gates::core {
+namespace {
+
+Packet data_packet(std::uint64_t sequence, const char* text = "payload") {
+  Packet p;
+  p.sequence = sequence;
+  p.payload = ByteBuffer::from_string(text);
+  return p;
+}
+
+std::vector<std::uint64_t> unacked_seqs(const RetentionRing& ring) {
+  std::vector<std::uint64_t> out;
+  ring.for_each_unacked([&](std::uint64_t seq, const Packet&) {
+    out.push_back(seq);
+  });
+  return out;
+}
+
+TEST(RetentionRing, RetainAssignsMonotonicSeqs) {
+  RetentionRing ring(8);
+  EXPECT_EQ(ring.retain(data_packet(0)), 0u);
+  EXPECT_EQ(ring.retain(data_packet(1)), 1u);
+  EXPECT_EQ(ring.retain(data_packet(2)), 2u);
+  EXPECT_EQ(ring.data_retained(), 3u);
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(RetentionRing, OverCapacityEvictsOldestData) {
+  RetentionRing ring(3);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.retain(data_packet(i));
+  EXPECT_EQ(ring.data_retained(), 3u);
+  EXPECT_EQ(ring.evicted(), 2u);
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(RetentionRing, ExactAckReleasesOnlyThatSeq) {
+  RetentionRing ring(8);
+  for (std::uint64_t i = 0; i < 4; ++i) ring.retain(data_packet(i));
+  ring.ack_exact(2);  // a replayed tail interleaves: 2 landed, 0/1 did not
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{0, 1, 3}));
+  EXPECT_EQ(ring.data_retained(), 3u);
+  // Idempotent and range-checked.
+  ring.ack_exact(2);
+  ring.ack_exact(99);
+  EXPECT_EQ(ring.data_retained(), 3u);
+}
+
+TEST(RetentionRing, CumulativeAckReleasesPrefix) {
+  RetentionRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ring.retain(data_packet(i));
+  ring.ack_cumulative(2);
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(ring.data_retained(), 2u);
+  ring.ack_cumulative(100);
+  EXPECT_TRUE(unacked_seqs(ring).empty());
+  EXPECT_EQ(ring.data_retained(), 0u);
+}
+
+TEST(RetentionRing, EosIsPinnedAcrossEvictions) {
+  RetentionRing ring(2);
+  ring.retain(data_packet(0));
+  const std::uint64_t eos_seq = ring.retain(Packet::eos(0, 0.0));
+  for (std::uint64_t i = 0; i < 10; ++i) ring.retain(data_packet(i));
+  // Data was evicted down to capacity, but the EOS survived.
+  bool eos_alive = false;
+  ring.for_each_unacked([&](std::uint64_t seq, const Packet& p) {
+    if (seq == eos_seq) eos_alive = p.is_eos();
+  });
+  EXPECT_TRUE(eos_alive);
+  EXPECT_EQ(ring.data_retained(), 2u);
+}
+
+TEST(RetentionRing, ZeroCapacityRetainsOnlyEos) {
+  RetentionRing ring(0);
+  for (std::uint64_t i = 0; i < 100; ++i) ring.retain(data_packet(i));
+  const std::uint64_t eos_seq = ring.retain(Packet::eos(0, 0.0));
+  EXPECT_EQ(ring.evicted(), 100u);
+  EXPECT_EQ(ring.data_retained(), 0u);
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{eos_seq}));
+  // Seq assignment stays monotonic across the unstored stretch.
+  EXPECT_EQ(ring.next_seq(), 101u);
+}
+
+TEST(RetentionRing, SlotFootprintStaysBoundedNearCapacity) {
+  RetentionRing ring(64);
+  // Steady state: retain far more than capacity; eviction + the advancing
+  // base must keep the slot array near the capacity, not near the volume.
+  for (std::uint64_t i = 0; i < 100000; ++i) ring.retain(data_packet(i));
+  EXPECT_EQ(ring.data_retained(), 64u);
+  EXPECT_LE(ring.slot_count(), 256u);
+}
+
+TEST(RetentionRing, AckedPrefixKeepsWindowDense) {
+  RetentionRing ring(1024);
+  // FIFO retain/ack in lockstep: the window never grows past a handful of
+  // slots even though seqs run far beyond the initial slot count.
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    ring.retain(data_packet(i));
+    ring.ack_cumulative(i);
+  }
+  EXPECT_EQ(ring.data_retained(), 0u);
+  EXPECT_EQ(ring.slot_count(), 16u);  // never grew past the initial array
+}
+
+TEST(RetentionRing, RetainedPayloadAliasesSender) {
+  RetentionRing ring(8);
+  Packet p = data_packet(0, "shared-bytes");
+  const std::uint64_t before = ByteBuffer::deep_copies();
+  ring.retain(p);
+  EXPECT_EQ(ByteBuffer::deep_copies(), before);  // refcount bump, no copy
+  ring.for_each_unacked([&](std::uint64_t, const Packet& kept) {
+    EXPECT_TRUE(kept.payload.shares_storage(p.payload));
+  });
+}
+
+TEST(RetentionRing, CowProtectsRetainedCopyFromSenderMutation) {
+  RetentionRing ring(8);
+  Packet p = data_packet(0, "original");
+  ring.retain(p);
+  // The sender recycles its buffer after handing the packet off; the
+  // retained copy must still replay the original bytes.
+  p.payload.data()[0] = 'X';
+  ring.for_each_unacked([&](std::uint64_t, const Packet& kept) {
+    EXPECT_EQ(kept.payload.as_string_view(), "original");
+    EXPECT_FALSE(kept.payload.shares_storage(p.payload));
+  });
+}
+
+TEST(RetentionRing, InterleavedExactAcksThenReplayOrder) {
+  RetentionRing ring(16);
+  for (std::uint64_t i = 0; i < 8; ++i) ring.retain(data_packet(i));
+  ring.ack_exact(1);
+  ring.ack_exact(4);
+  ring.ack_exact(7);
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{0, 2, 3, 5, 6}));
+  ring.ack_exact(0);  // base advances over the acked prefix (0, then 1)
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{2, 3, 5, 6}));
+}
+
+}  // namespace
+}  // namespace gates::core
