@@ -15,6 +15,8 @@
 #include "gates/common/spsc_ring.hpp"
 #include "gates/common/zipf.hpp"
 #include "gates/core/packet.hpp"
+#include "gates/core/processor.hpp"
+#include "gates/core/stage_inbox.hpp"
 #include "gates/core/adapt/controller.hpp"
 #include "gates/core/adapt/queue_monitor.hpp"
 #include "gates/net/link.hpp"
@@ -231,6 +233,73 @@ void BM_PacketFanoutCopy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4);
 }
 BENCHMARK(BM_PacketFanoutCopy)->Arg(64)->Arg(4096);
+
+// Cross-thread reorder-merge round trip: the dispatcher acquires dense
+// sequences and `range(0)` completer threads deposit them out of order; the
+// dispatcher runs the release election. Measures the per-completion cost of
+// the order-preserving window (mutex, slot recycle, release claim).
+void BM_ReorderMerge(benchmark::State& state) {
+  const auto completers = static_cast<std::size_t>(state.range(0));
+  core::ReorderMerge<int> merge(256);
+  std::vector<std::unique_ptr<core::StageInbox<std::uint64_t>>> inboxes;
+  for (std::size_t i = 0; i < completers; ++i) {
+    inboxes.push_back(std::make_unique<core::StageInbox<std::uint64_t>>(64));
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < completers; ++i) {
+    threads.emplace_back([&, i] {
+      std::vector<std::uint64_t> batch;
+      while (true) {
+        batch.clear();
+        if (inboxes[i]->drain(batch, 16) == 0) return;
+        for (const std::uint64_t seq : batch) {
+          merge.complete(seq, static_cast<int>(seq));
+          while (merge.claim_release()) {
+            while (merge.pop_ready()) {
+            }
+            merge.end_release();
+          }
+        }
+      }
+    });
+  }
+  std::uint64_t seq = 0;
+  std::int64_t dispatched = 0;
+  for (auto _ : state) {
+    merge.acquire(seq);
+    inboxes[seq % completers]->push(seq);
+    ++seq;
+    ++dispatched;
+  }
+  for (auto& inbox : inboxes) inbox->close();
+  for (auto& t : threads) t.join();
+  merge.close();
+  state.SetItemsProcessed(dispatched);
+}
+BENCHMARK(BM_ReorderMerge)->Arg(1)->Arg(2)->Arg(4);
+
+// Dispatcher-side cost of routing one packet to a shard: hash the key,
+// modulo the active replica count, batch into the per-replica staging
+// vector. No threads — isolates the routing arithmetic and staging moves.
+void BM_ShardDispatch(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const core::ShardFn shard = [](const core::Packet& p) {
+    return p.sequence * 1099511628211ull;
+  };
+  std::vector<std::vector<core::Packet>> staged(replicas);
+  core::Packet packet;
+  packet.payload = ByteBuffer(64);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    packet.sequence = seq++;
+    const std::size_t r = static_cast<std::size_t>(shard(packet) % replicas);
+    staged[r].push_back(packet);
+    if (staged[r].size() == 32) staged[r].clear();
+    benchmark::DoNotOptimize(staged[r].data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardDispatch)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_ZipfDraw(benchmark::State& state) {
   ZipfGenerator zipf(static_cast<std::uint64_t>(state.range(0)), 1.1);

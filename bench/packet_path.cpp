@@ -8,10 +8,17 @@
 //   chain4/<bytes>B            4-stage chain, failover off
 //   chain4-replay/<bytes>B     4-stage chain, failover + retention on
 //   fanout4/<bytes>B           1 stage fanning out to 4 sinks (copy cost)
+//   heavy4/r<n>                4-stage chain whose middle stage costs 200us
+//                              per packet, run as a pool of n replicas —
+//                              the data-parallel scaling scenario. The sink
+//                              FNV-hashes arrival order; the hash must be
+//                              identical across replica counts.
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "gates/common/byte_buffer.hpp"
@@ -34,6 +41,31 @@ class Sink : public StreamProcessor {
   void init(ProcessorContext&) override {}
   void process(const Packet&, Emitter&) override {}
   std::string name() const override { return "sink"; }
+};
+
+/// Order-sensitive FNV-1a over arrival sequence numbers, plus end-to-end
+/// latency samples for the p99 column of the scaling table.
+class HashingSink : public StreamProcessor {
+ public:
+  void init(ProcessorContext& ctx) override { ctx_ = &ctx; }
+  void process(const Packet& packet, Emitter&) override {
+    hash_ = (hash_ ^ packet.sequence) * 1099511628211ull;
+    latencies_.push_back(ctx_->now() - packet.created_at);
+  }
+  std::string name() const override { return "hashing-sink"; }
+
+  std::uint64_t order_hash() const { return hash_; }
+  double latency_p99() const {
+    if (latencies_.empty()) return 0;
+    std::vector<double> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[(sorted.size() - 1) * 99 / 100];
+  }
+
+ private:
+  ProcessorContext* ctx_ = nullptr;
+  std::uint64_t hash_ = 1469598103934665603ull;
+  std::vector<double> latencies_;
 };
 
 struct Built {
@@ -95,6 +127,51 @@ Built fanout4(std::uint64_t packets, std::size_t bytes) {
   return b;
 }
 
+/// chain4 with a 200us/packet middle stage run as a stateless pool of
+/// `replicas` workers. The pool is the bottleneck by three orders of
+/// magnitude, so throughput should scale near-linearly with replicas.
+Built heavy4(std::uint64_t packets, std::size_t replicas) {
+  Built b = chain4(packets, 64);
+  StageSpec& heavy = b.spec.stages[1];
+  heavy.name = "heavy";
+  heavy.cost.per_packet_seconds = 200e-6;
+  heavy.parallelism.mode = ParallelismMode::kStateless;
+  heavy.parallelism.replicas = replicas;
+  heavy.parallelism.max_replicas = replicas;
+  b.spec.stages[3].factory = [] { return std::make_unique<HashingSink>(); };
+  return b;
+}
+
+/// Runs one heavy4 point and returns the sink's arrival-order hash (0 on
+/// failure) so the driver can assert order is byte-identical across counts.
+std::uint64_t run_heavy_case(const char* label, std::size_t replicas,
+                             std::uint64_t packets) {
+  RtEngine::Config cfg;
+  cfg.control_period = 0.02;
+  cfg.max_wall_time = 300;
+  cfg.adaptation_enabled = false;
+  const std::uint64_t copies_before = ByteBuffer::deep_copies();
+  Built b = heavy4(packets, replicas);
+  RtEngine engine(std::move(b.spec), std::move(b.placement),
+                  std::move(b.hosts), std::move(b.topology), cfg);
+  const Status s = engine.run();
+  const std::uint64_t copies = ByteBuffer::deep_copies() - copies_before;
+  if (!s.is_ok() || !engine.report().completed) {
+    std::printf("%-28s FAILED (%s)\n", label, s.message().c_str());
+    return 0;
+  }
+  auto& sink = dynamic_cast<HashingSink&>(engine.processor(3));
+  const double secs = engine.report().execution_time;
+  const double pps = static_cast<double>(packets) / secs;
+  std::printf(
+      "%-28s %10.0f pkt/s  (%6.2f s, p99 %.1f ms, %llu payload deep-copies)\n",
+      label, pps, secs, sink.latency_p99() * 1e3,
+      static_cast<unsigned long long>(copies));
+  gates::bench::persist_report(std::string("packet_path/") + label,
+                               engine.report());
+  return sink.order_hash();
+}
+
 void run_case(const char* label, Built b, std::uint64_t packets,
               bool failover) {
   RtEngine::Config cfg;
@@ -142,6 +219,24 @@ int main() {
   run_case("chain4/256B", chain4(n, 256), n, false);
   run_case("chain4-replay/64B", chain4(n, 64), n, true);
   run_case("fanout4/64B", fanout4(n, 64), n, false);
+  gates::bench::rule();
+  gates::bench::note(
+      "heavy4: 200us/packet middle stage as a replica pool; downstream order"
+      "\nmust be byte-identical at every replica count (FNV hash printed).");
+  using gates::core::run_heavy_case;
+  const std::uint64_t hn = 3000;
+  const std::uint64_t h1 = run_heavy_case("heavy4/r1", 1, hn);
+  const std::uint64_t h2 = run_heavy_case("heavy4/r2", 2, hn);
+  const std::uint64_t h4 = run_heavy_case("heavy4/r4", 4, hn);
+  if (h1 != 0 && h1 == h2 && h1 == h4) {
+    std::printf("order hash %016llx identical across r1/r2/r4\n",
+                static_cast<unsigned long long>(h1));
+  } else {
+    std::printf("ORDER MISMATCH: r1=%016llx r2=%016llx r4=%016llx\n",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2),
+                static_cast<unsigned long long>(h4));
+  }
   gates::bench::rule();
   return 0;
 }

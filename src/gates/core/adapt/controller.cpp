@@ -108,4 +108,54 @@ double ParameterController::update(double normalized_dtilde) {
   return last_update_.new_value;
 }
 
+void ReplicaScalerConfig::validate() const {
+  GATES_CHECK(up_after > 0);
+  GATES_CHECK(down_after > 0);
+}
+
+ReplicaScaler::ReplicaScaler(std::size_t min_replicas,
+                             std::size_t max_replicas,
+                             ReplicaScalerConfig config)
+    : min_replicas_(min_replicas),
+      max_replicas_(max_replicas),
+      config_(config) {
+  config_.validate();
+  GATES_CHECK(min_replicas_ >= 1);
+  GATES_CHECK(max_replicas_ >= min_replicas_);
+}
+
+ReplicaScaler::Decision ReplicaScaler::observe(LoadSignal signal,
+                                               std::size_t current) {
+  if (cooldown_left_ > 0) --cooldown_left_;
+  switch (signal) {
+    case LoadSignal::kNone:
+      overload_streak_ = 0;
+      underload_streak_ = 0;
+      return Decision::kNone;
+    case LoadSignal::kOverload: {
+      underload_streak_ = 0;
+      if (current >= max_replicas_) return Decision::kPropagate;
+      ++overload_streak_;
+      if (overload_streak_ < config_.up_after || cooldown_left_ > 0) {
+        return Decision::kNone;  // swallowed: headroom remains
+      }
+      overload_streak_ = 0;
+      cooldown_left_ = config_.cooldown;
+      return Decision::kScaleUp;
+    }
+    case LoadSignal::kUnderload: {
+      overload_streak_ = 0;
+      if (current <= min_replicas_) return Decision::kPropagate;
+      ++underload_streak_;
+      if (underload_streak_ < config_.down_after || cooldown_left_ > 0) {
+        return Decision::kNone;  // swallowed: retire later if it persists
+      }
+      underload_streak_ = 0;
+      cooldown_left_ = config_.cooldown;
+      return Decision::kScaleDown;
+    }
+  }
+  return Decision::kNone;
+}
+
 }  // namespace gates::core::adapt

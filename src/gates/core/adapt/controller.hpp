@@ -100,4 +100,54 @@ class ParameterController {
   LastUpdate last_update_;
 };
 
+struct ReplicaScalerConfig {
+  /// Consecutive overload periods before adding a replica.
+  std::size_t up_after = 2;
+  /// Consecutive underload periods before retiring a replica (deliberately
+  /// slower than up_after: releasing cores is cheap to defer, thrashing
+  /// replica pools is not).
+  std::size_t down_after = 5;
+  /// Quiet periods after a scale step before the next one may fire, giving
+  /// the queue monitor time to see the new service rate.
+  std::size_t cooldown = 2;
+
+  void validate() const;
+};
+
+/// Scale-before-degrade policy for a replicated stage — the middleware-owned
+/// leg of §4's adaptation. An overload exception (dtilde > LT2) on a
+/// replicated stage first buys cores: the scaler swallows the exception and,
+/// after `up_after` consecutive overloaded periods, tells the engine to add
+/// a replica. Only when the host's core budget is exhausted do exceptions
+/// propagate upstream and degrade accuracy via Eq. 4. Underload is the
+/// mirror image: retire replicas down to the configured floor first, and
+/// only at the floor let upstream recover accuracy.
+class ReplicaScaler {
+ public:
+  /// What the engine should do with this period's load signal.
+  enum class Decision {
+    kNone,       // nothing: signal swallowed (or no signal)
+    kScaleUp,    // add one replica; do not propagate the exception
+    kScaleDown,  // retire one replica; do not propagate the exception
+    kPropagate,  // budget/floor reached: forward the exception upstream
+  };
+
+  ReplicaScaler(std::size_t min_replicas, std::size_t max_replicas,
+                ReplicaScalerConfig config);
+
+  /// One control period. `current` is the replica count now running.
+  Decision observe(LoadSignal signal, std::size_t current);
+
+  std::size_t min_replicas() const { return min_replicas_; }
+  std::size_t max_replicas() const { return max_replicas_; }
+
+ private:
+  std::size_t min_replicas_;
+  std::size_t max_replicas_;
+  ReplicaScalerConfig config_;
+  std::size_t overload_streak_ = 0;
+  std::size_t underload_streak_ = 0;
+  std::size_t cooldown_left_ = 0;
+};
+
 }  // namespace gates::core::adapt

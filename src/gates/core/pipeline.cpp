@@ -38,6 +38,23 @@ Status PipelineSpec::validate() const {
       return invalid_argument("stage '" + stage.name +
                               "' has neither a factory nor a processor URI");
     }
+    const Parallelism& par = stage.parallelism;
+    if (par.replicas == 0) {
+      return invalid_argument("stage '" + stage.name + "' has zero replicas");
+    }
+    if (par.mode == ParallelismMode::kSerial && par.replicas > 1) {
+      return invalid_argument("stage '" + stage.name +
+                              "' is serial but declares " +
+                              std::to_string(par.replicas) + " replicas");
+    }
+    if (par.mode == ParallelismMode::kKeyed && !par.shard_fn) {
+      return invalid_argument("stage '" + stage.name +
+                              "' is keyed but has no shard function");
+    }
+    if (par.max_replicas != 0 && par.max_replicas < par.replicas) {
+      return invalid_argument("stage '" + stage.name +
+                              "' max_replicas below initial replicas");
+    }
   }
 
   // Acyclicity via Kahn's algorithm over stage edges.

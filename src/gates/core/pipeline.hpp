@@ -82,6 +82,13 @@ struct StageSpec {
   adapt::QueueMonitorConfig monitor;
   adapt::ControllerConfig controller;
   ResourceRequirement requirement;
+  /// Replication declaration (serial, stateless pool, or keyed shards).
+  Parallelism parallelism;
+  /// Named built-in shard key ("sequence" | "stream") for keyed stages that
+  /// come from XML configs — kept so the writer can round-trip it.
+  /// Programmatic pipelines set parallelism.shard_fn directly and leave
+  /// this empty.
+  std::string parallelism_key;
   /// Pin to a specific node; kInvalidNode lets the Deployer choose.
   NodeId placement_hint = kInvalidNode;
 };
@@ -127,10 +134,20 @@ struct Placement {
 /// factor. Missing entries default to 1.0.
 struct HostModel {
   std::vector<double> cpu_factor;
+  /// Core budget per node: the ceiling on how many stage replicas the
+  /// adaptation controller may run on that host. Missing entries default
+  /// to `default_cores`.
+  std::vector<std::size_t> cores;
+  std::size_t default_cores = 4;
 
   double at(NodeId node) const {
     if (node < cpu_factor.size()) return cpu_factor[node];
     return 1.0;
+  }
+
+  std::size_t cores_at(NodeId node) const {
+    if (node < cores.size() && cores[node] > 0) return cores[node];
+    return default_cores;
   }
 };
 

@@ -73,4 +73,33 @@ class StreamProcessor {
 
 using ProcessorFactory = std::function<std::unique_ptr<StreamProcessor>()>;
 
+/// How a stage may be replicated into a pool of workers behind its inbox.
+enum class ParallelismMode {
+  /// One worker, today's behavior (the default).
+  kSerial,
+  /// Any replica may take any packet (round-robin dispatch). The processor
+  /// must not keep cross-packet state that the merge order can't reconstruct.
+  kStateless,
+  /// Packets are hash-sharded by `shard_fn`; every packet of a key goes to
+  /// the same replica, so per-key state stays replica-local.
+  kKeyed,
+};
+
+/// Maps a packet to a shard key; replica = shard_fn(packet) % replicas.
+using ShardFn = std::function<std::uint64_t(const Packet&)>;
+
+/// Replication declaration on a stage. The processor factory is instantiated
+/// once per replica; emissions are merged back into input order before
+/// anything flows downstream, so acks/EOS/replay semantics are unchanged.
+struct Parallelism {
+  ParallelismMode mode = ParallelismMode::kSerial;
+  /// Initial replica count (>= 1).
+  std::size_t replicas = 1;
+  /// Scaling ceiling for the adaptation controller; 0 means "the hosting
+  /// node's core budget" (HostModel::cores_at).
+  std::size_t max_replicas = 0;
+  /// Required for kKeyed; ignored otherwise.
+  ShardFn shard_fn;
+};
+
 }  // namespace gates::core

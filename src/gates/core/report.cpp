@@ -39,7 +39,10 @@ std::string RunReport::to_json() const {
         .kv("overload_exceptions_sent", s.overload_exceptions_sent)
         .kv("underload_exceptions_sent", s.underload_exceptions_sent)
         .kv("exceptions_received", s.exceptions_received)
-        .kv("final_normalized_dtilde", s.final_normalized_dtilde);
+        .kv("final_normalized_dtilde", s.final_normalized_dtilde)
+        .kv("final_replicas", static_cast<std::uint64_t>(s.final_replicas))
+        .kv("max_replicas_used",
+            static_cast<std::uint64_t>(s.max_replicas_used));
     w.key("queue_length");
     write_running_stats(w, s.queue_length);
     w.key("packet_latency");

@@ -34,6 +34,9 @@ struct StageReport {
   std::uint64_t exceptions_received = 0;
   /// Final dtilde/C at end of run.
   double final_normalized_dtilde = 0;
+  /// Replica pool accounting (1/1 for serial stages).
+  std::size_t final_replicas = 1;
+  std::size_t max_replicas_used = 1;
   /// (time, value) trajectory of each adjustment parameter.
   std::vector<std::pair<std::string, std::vector<std::pair<TimePoint, double>>>>
       parameter_trajectories;

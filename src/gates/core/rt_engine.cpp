@@ -147,6 +147,77 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     std::shared_ptr<ReplayChannel> channel;
   };
 
+  // -- replica pool types (parallelism != kSerial) ----------------------------
+  /// What one replica hands back through the merge window: the emissions its
+  /// process()/finish() call produced, plus the ack bookkeeping of the input
+  /// that produced them. Released strictly in input-arrival order.
+  struct Completion {
+    std::vector<std::pair<Packet, std::size_t>> emissions;  // (packet, port)
+    ReplayChannel* origin = nullptr;
+    std::uint64_t ack_seq = 0;
+    TimePoint created_at = 0;
+    bool has_data = false;
+    /// Set on the last finish() result: its releaser runs the stage's
+    /// downstream-EOS epilogue.
+    bool is_final = false;
+  };
+  /// One entry in a replica's private SPSC queue.
+  struct PoolItem {
+    Packet packet;
+    ReplayChannel* origin = nullptr;
+    std::uint64_t ack_seq = 0;
+    std::uint64_t merge_seq = 0;
+    bool finish_marker = false;
+    bool is_final = false;
+  };
+  /// Captures a replica's emissions instead of routing them: ordering is
+  /// restored by the merge window before anything goes downstream.
+  class CaptureEmitter final : public Emitter {
+   public:
+    explicit CaptureEmitter(std::vector<std::pair<Packet, std::size_t>>& out)
+        : out_(out) {}
+    void emit(Packet packet, std::size_t port = 0) override {
+      out_.emplace_back(std::move(packet), port);
+    }
+
+   private:
+    std::vector<std::pair<Packet, std::size_t>>& out_;
+  };
+  /// Per-replica ProcessorContext: shares the stage's identity/properties
+  /// but forks the Rng so replicas draw independent, deterministic streams.
+  class ReplicaContext final : public ProcessorContext {
+   public:
+    ReplicaContext(StageWorker& worker, Rng rng) : worker_(worker), rng_(rng) {}
+    AdjustmentParameter& specify_parameter(
+        AdjustmentParameter::Spec param_spec) override {
+      return worker_.specify_parameter(std::move(param_spec));
+    }
+    const Properties& properties() const override {
+      return worker_.properties();
+    }
+    Rng& rng() override { return rng_; }
+    TimePoint now() const override { return worker_.now(); }
+    StageId stage_id() const override { return worker_.stage_id(); }
+    const std::string& stage_name() const override {
+      return worker_.stage_name();
+    }
+
+   private:
+    StageWorker& worker_;
+    Rng rng_;
+  };
+  /// One replica slot. All `budget_` slots are built at setup so the control
+  /// thread can read queue sizes without racing slot creation; only the
+  /// active prefix has running threads.
+  struct Replica {
+    std::unique_ptr<StreamProcessor> processor;
+    std::unique_ptr<ReplicaContext> context;
+    std::unique_ptr<StageInbox<PoolItem>> queue;
+    std::thread thread;
+    Duration busy_time = 0;  // replica thread only, read after join
+    std::atomic<std::uint64_t> packets{0};
+  };
+
   StageWorker(RtEngine& engine, std::size_t index, const StageSpec& spec,
               NodeId node, double cpu_factor, Rng rng, const Clock& clock)
       : engine_(engine),
@@ -158,15 +229,69 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         monitor_(spec.monitor),
         rng_(rng),
         clock_(clock) {
-    processor_ = spec_.factory();
-    GATES_CHECK_MSG(processor_ != nullptr,
-                    "factory for stage '" + spec_.name + "' returned null");
+    if (!pooled()) {
+      processor_ = spec_.factory();
+      GATES_CHECK_MSG(processor_ != nullptr,
+                      "factory for stage '" + spec_.name + "' returned null");
+      return;
+    }
+    const Parallelism& par = spec_.parallelism;
+    // Core budget: explicit max_replicas wins, else the host's core count.
+    budget_ = par.max_replicas != 0 ? par.max_replicas
+                                    : engine_.hosts_.cores_at(node_);
+    budget_ = std::max(budget_, par.replicas);
+    replica_cap_ = std::max<std::size_t>(
+        2 * std::max<std::size_t>(engine_.config_.batching.max_batch, 1), 4);
+    // Window sized so every replica can have a full queue plus in-flight
+    // work without the dispatcher stalling on the merge ring.
+    merge_ = std::make_unique<ReorderMerge<Completion>>(budget_ *
+                                                        (replica_cap_ + 2));
+    for (std::size_t r = 0; r < budget_; ++r) {
+      auto rep = std::make_unique<Replica>();
+      rep->processor = spec_.factory();
+      GATES_CHECK_MSG(rep->processor != nullptr,
+                      "factory for stage '" + spec_.name + "' returned null");
+      rep->context = std::make_unique<ReplicaContext>(*this, rng_.fork(r + 1));
+      rep->queue = std::make_unique<StageInbox<PoolItem>>(replica_cap_);
+      // Dispatcher is the only producer, the replica the only consumer.
+      if (engine_.config_.batching.spsc) rep->queue->use_spsc();
+      replicas_.push_back(std::move(rep));
+    }
+    active_replicas_.store(par.replicas, std::memory_order_relaxed);
+    scale_target_.store(par.replicas, std::memory_order_relaxed);
+    max_replicas_used_ = par.replicas;
+    if (par.mode == ParallelismMode::kStateless) {
+      // Dynamic scaling is stateless-only: keyed pools would have to migrate
+      // per-key state to re-shard. Keyed exceptions propagate as usual.
+      scaler_ = std::make_unique<adapt::ReplicaScaler>(
+          par.replicas, budget_, adapt::ReplicaScalerConfig{});
+      AdjustmentParameter::Spec rspec;
+      rspec.name = "replicas";
+      rspec.initial = static_cast<double>(par.replicas);
+      rspec.min_value = static_cast<double>(par.replicas);
+      rspec.max_value = static_cast<double>(budget_);
+      rspec.increment = 1;
+      rspec.direction = ParamDirection::kIncreaseSpeedsUp;
+      replicas_param_ = std::make_unique<AdjustmentParameter>(rspec);
+    }
+  }
+
+  bool pooled() const {
+    return spec_.parallelism.mode != ParallelismMode::kSerial;
   }
 
   void init() {
-    in_init_ = true;
-    processor_->init(*this);
-    in_init_ = false;
+    if (!pooled()) {
+      in_init_ = true;
+      processor_->init(*this);
+      in_init_ = false;
+      return;
+    }
+    for (auto& rep : replicas_) {
+      in_init_ = true;
+      rep->processor->init(*rep->context);
+      in_init_ = false;
+    }
   }
 
   void add_route(Route route) {
@@ -192,10 +317,20 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 
   void start() {
     last_beat_.store(clock_.now(), std::memory_order_release);
+    if (pooled()) {
+      const std::size_t active =
+          active_replicas_.load(std::memory_order_relaxed);
+      for (std::size_t r = 0; r < active; ++r) {
+        replicas_[r]->thread = std::thread([this, r] { replica_loop(r); });
+      }
+    }
     thread_ = std::thread([this] { run_loop(); });
   }
   void join() {
     if (thread_.joinable()) thread_.join();
+    for (auto& rep : replicas_) {
+      if (rep->thread.joinable()) rep->thread.join();
+    }
   }
   void force_stop() { queue_.close(); }
   bool finished() const { return finished_.load(std::memory_order_acquire); }
@@ -211,6 +346,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     }
     crash_time_.store(now, std::memory_order_release);
     queue_.close();
+    close_pool();  // no-op for serial stages
     GATES_TRACE(.time = now, .kind = obs::TraceKind::kCrash,
                 .component = spec_.name, .detail = "crash-stop");
     trace_heartbeat_transition(spec_.name, now, "suspect");
@@ -231,15 +367,41 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     GATES_CHECK(crashed() && !finished());
     join();
     queue_.reopen();
-    processor_ = factory ? factory() : spec_.factory();
-    GATES_CHECK_MSG(processor_ != nullptr,
-                    "replacement factory for stage '" + spec_.name +
-                        "' returned null");
     params_.clear();
     controllers_.clear();
     ++recoveries_;
-    init();
-    processor_->on_recover(*this);
+    if (!pooled()) {
+      processor_ = factory ? factory() : spec_.factory();
+      GATES_CHECK_MSG(processor_ != nullptr,
+                      "replacement factory for stage '" + spec_.name +
+                          "' returned null");
+      init();
+      processor_->on_recover(*this);
+    } else {
+      // Pool restart: every slot gets a fresh processor (crash semantics:
+      // in-memory state is lost), the merge window rewinds to a fresh
+      // sequence space, and half-staged outputs/acks are discarded — their
+      // inputs were never acked, so upstream replay regenerates them.
+      merge_->reset();
+      next_seq_ = 0;
+      rr_next_ = 0;
+      pending_acks_.clear();
+      for (auto& batch : out_) {
+        batch.items.clear();
+        batch.wire_bytes = 0;
+      }
+      emitted_pending_ = 0;
+      dropped_pending_ = 0;
+      for (auto& rep : replicas_) {
+        rep->queue->reopen();
+        rep->processor = factory ? factory() : spec_.factory();
+        GATES_CHECK_MSG(rep->processor != nullptr,
+                        "replacement factory for stage '" + spec_.name +
+                            "' returned null");
+      }
+      init();
+      for (auto& rep : replicas_) rep->processor->on_recover(*rep->context);
+    }
     crashed_.store(false, std::memory_order_release);
     start();
   }
@@ -324,6 +486,13 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   AdjustmentParameter& specify_parameter(
       AdjustmentParameter::Spec param_spec) override {
     GATES_CHECK_MSG(in_init_, "specify_parameter must be called from init()");
+    if (pooled()) {
+      // The factory runs once per replica, but the pool is one stage to the
+      // controller: replicas share one middleware-owned parameter per name.
+      for (auto& p : params_) {
+        if (p->name() == param_spec.name) return *p;
+      }
+    }
     params_.push_back(std::make_unique<AdjustmentParameter>(param_spec));
     controllers_.push_back(std::make_unique<adapt::ParameterController>(
         *params_.back(), spec_.controller));
@@ -337,7 +506,17 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 
   // -- control thread interface (single-threaded with respect to monitors) ---
   void control_step(bool adapt) {
-    const auto d = static_cast<double>(queue_.size());
+    // A pooled stage's backlog is the dispatcher inbox plus every active
+    // replica's private queue — the monitor must see work the dispatcher
+    // already handed out.
+    double d = static_cast<double>(queue_.size());
+    if (pooled()) {
+      const std::size_t active =
+          active_replicas_.load(std::memory_order_acquire);
+      for (std::size_t r = 0; r < active; ++r) {
+        d += static_cast<double>(replicas_[r]->queue->size());
+      }
+    }
     queue_samples_.add(d);
     const adapt::LoadSignal signal = monitor_.observe(d);
     if (signal == adapt::LoadSignal::kOverload) {
@@ -355,7 +534,20 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
                   .dtilde = monitor_.normalized_dtilde());
     }
     if (signal != adapt::LoadSignal::kNone) {
-      for (StageWorker* up : upstreams_) up->receive_exception(signal);
+      // Scale-before-degrade (§4 + DESIGN.md §5.6): a replicated stage's
+      // exception first buys replicas from the host's core budget; only
+      // once the scaler says kPropagate (budget or floor reached) does the
+      // exception reach upstream and trade accuracy via Eq. 4.
+      bool propagate = true;
+      if (scaler_ != nullptr && adapt) propagate = !apply_scaling(signal);
+      if (propagate) {
+        for (StageWorker* up : upstreams_) up->receive_exception(signal);
+      }
+    }
+    if (replicas_param_ != nullptr) {
+      replicas_param_->set_value(static_cast<double>(
+          scale_target_.load(std::memory_order_relaxed)));
+      replicas_param_->record(clock_.now());
     }
     for (std::size_t i = 0; i < controllers_.size(); ++i) {
       if (adapt) {
@@ -371,6 +563,39 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       params_[i]->record(clock_.now());
     }
     if (obs::MetricsRegistry::global().enabled()) sample_metrics();
+  }
+
+  /// One load signal through the replica scaler. Returns true when the pool
+  /// consumed the signal (scaled, or is waiting out a streak/cooldown);
+  /// false means the budget or floor is exhausted and the caller should
+  /// propagate the exception upstream.
+  bool apply_scaling(adapt::LoadSignal signal) {
+    const std::size_t target = scale_target_.load(std::memory_order_relaxed);
+    switch (scaler_->observe(signal, target)) {
+      case adapt::ReplicaScaler::Decision::kPropagate:
+        return false;
+      case adapt::ReplicaScaler::Decision::kNone:
+        return true;
+      case adapt::ReplicaScaler::Decision::kScaleUp:
+        scale_target_.store(target + 1, std::memory_order_release);
+        GATES_TRACE(.time = clock_.now(),
+                    .kind = obs::TraceKind::kReplicaScaleUp,
+                    .component = spec_.name,
+                    .value_old = static_cast<double>(target),
+                    .value_new = static_cast<double>(target + 1),
+                    .dtilde = monitor_.normalized_dtilde());
+        return true;
+      case adapt::ReplicaScaler::Decision::kScaleDown:
+        scale_target_.store(target - 1, std::memory_order_release);
+        GATES_TRACE(.time = clock_.now(),
+                    .kind = obs::TraceKind::kReplicaScaleDown,
+                    .component = spec_.name,
+                    .value_old = static_cast<double>(target),
+                    .value_new = static_cast<double>(target - 1),
+                    .dtilde = monitor_.normalized_dtilde());
+        return true;
+    }
+    return false;
   }
 
   /// Control-tick publication into the registry. Worker-thread counters are
@@ -394,6 +619,15 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       queue_hist_ = &reg.histogram(
           "gates_stage_queue_length_hist", 0,
           static_cast<double>(spec_.monitor.capacity), 16, labels);
+      if (pooled()) {
+        replicas_gauge_ = &reg.gauge("gates_stage_replicas", labels);
+        replica_ctrs_.resize(replicas_.size());
+        for (std::size_t r = 0; r < replicas_.size(); ++r) {
+          replica_ctrs_[r] = &reg.counter(
+              "gates_stage_replica_packets_processed",
+              {{"stage", spec_.name}, {"replica", std::to_string(r)}});
+        }
+      }
     }
     processed_ctr_->set(packets_processed_.load(std::memory_order_relaxed));
     emitted_ctr_->set(packets_emitted_.load(std::memory_order_relaxed));
@@ -404,6 +638,14 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     queue_gauge_->set(static_cast<double>(queue_.size()));
     dtilde_gauge_->set(monitor_.normalized_dtilde());
     queue_hist_->observe(static_cast<double>(queue_.size()));
+    if (pooled()) {
+      replicas_gauge_->set(static_cast<double>(
+          active_replicas_.load(std::memory_order_relaxed)));
+      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        replica_ctrs_[r]->set(
+            replicas_[r]->packets.load(std::memory_order_relaxed));
+      }
+    }
   }
   void receive_exception(adapt::LoadSignal signal) {
     ++exceptions_received_;
@@ -426,13 +668,34 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     r.underload_exceptions_sent = underload_sent_;
     r.exceptions_received = exceptions_received_;
     r.final_normalized_dtilde = monitor_.normalized_dtilde();
+    if (pooled()) {
+      r.final_replicas = active_replicas_.load(std::memory_order_relaxed);
+      r.max_replicas_used = max_replicas_used_;
+      Duration busy = 0;
+      for (const auto& rep : replicas_) busy += rep->busy_time;
+      r.busy_time = busy;
+    }
     for (const auto& p : params_) {
       r.parameter_trajectories.emplace_back(p->name(), p->trajectory());
+    }
+    if (replicas_param_ != nullptr) {
+      r.parameter_trajectories.emplace_back(replicas_param_->name(),
+                                            replicas_param_->trajectory());
     }
     return r;
   }
 
-  StreamProcessor& processor() { return *processor_; }
+  StreamProcessor& processor() {
+    return pooled() ? *replicas_[0]->processor : *processor_;
+  }
+  StreamProcessor& replica_processor(std::size_t r) {
+    GATES_CHECK(pooled() && r < replicas_.size());
+    return *replicas_[r]->processor;
+  }
+  std::size_t active_replicas() const {
+    return pooled() ? active_replicas_.load(std::memory_order_acquire) : 1;
+  }
+  bool inbox_spsc() const { return queue_.spsc(); }
 
  private:
   /// Flushes staged emissions, then acks the batch of processed inputs —
@@ -459,6 +722,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   }
 
   void run_loop() {
+    if (pooled()) return run_loop_pooled();
     const bool failover = engine_.config_.failover.enabled;
     const Duration beat = engine_.config_.failover.heartbeat_period;
     const std::size_t max_batch = std::max<std::size_t>(
@@ -546,6 +810,259 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     finished_.store(true, std::memory_order_release);
   }
 
+  // -- replica pool data plane ------------------------------------------------
+  /// Dispatcher thread body (parallelism != serial). The stage's own thread
+  /// drains the inbox exactly like the serial loop (same heartbeat, same
+  /// EOS counting), but instead of servicing packets it stamps each with a
+  /// dense merge sequence and hands it to a replica — round-robin when
+  /// stateless, shard_fn(packet) % active when keyed. EOS and finish() run
+  /// through the same merge window, so ordering, acks, and termination are
+  /// indistinguishable from the serial path as seen from downstream.
+  void run_loop_pooled() {
+    const bool failover = engine_.config_.failover.enabled;
+    const Duration beat = engine_.config_.failover.heartbeat_period;
+    const std::size_t max_batch = std::max<std::size_t>(
+        engine_.config_.batching.max_batch, 1);
+    const bool keyed = spec_.parallelism.mode == ParallelismMode::kKeyed;
+    std::vector<Item> batch;
+    batch.reserve(max_batch);
+    while (true) {
+      apply_scale();
+      batch.clear();
+      std::size_t n;
+      if (failover) {
+        last_beat_.store(clock_.now(), std::memory_order_release);
+        n = queue_.drain_for(batch, max_batch, beat);
+      } else {
+        n = queue_.drain(batch, max_batch);
+      }
+      if (crashed_.load(std::memory_order_acquire)) return close_pool();
+      if (n == 0) {
+        if (failover && !queue_.closed()) continue;  // idle beat
+        break;  // force-stopped: wind down like the serial epilogue
+      }
+      bool terminal = false;
+      for (std::size_t i = 0; i < n && !terminal; ++i) {
+        Item& item = batch[i];
+        if (crashed_.load(std::memory_order_acquire)) return close_pool();
+        const std::uint64_t mseq = next_seq_++;
+        if (!merge_->acquire(mseq)) return close_pool();
+        if (item.packet.is_eos()) {
+          // The dispatcher completes EOS itself: it carries no service work,
+          // only ack bookkeeping, and must hold its arrival-order slot so
+          // acks stay ordered behind the data that preceded it.
+          Completion c;
+          c.origin = item.origin;
+          c.ack_seq = item.seq;
+          merge_->complete(mseq, std::move(c));
+          if (++eos_received_ >= eos_expected_) terminal = true;
+          continue;
+        }
+        const std::size_t active =
+            active_replicas_.load(std::memory_order_relaxed);
+        std::size_t r;
+        if (keyed) {
+          r = static_cast<std::size_t>(
+              spec_.parallelism.shard_fn(item.packet) % active);
+        } else {
+          r = rr_next_;
+          rr_next_ = (rr_next_ + 1) % active;
+        }
+        PoolItem pi;
+        pi.packet = std::move(item.packet);
+        pi.origin = item.origin;
+        pi.ack_seq = item.seq;
+        pi.merge_seq = mseq;
+        if (!replicas_[r]->queue->push(std::move(pi))) {
+          if (crashed_.load(std::memory_order_acquire)) return close_pool();
+          merge_->complete(mseq, Completion{});  // keep the window moving
+        }
+      }
+      release_pass();
+      if (terminal) break;
+    }
+    wind_down_pool();
+  }
+
+  /// Replica worker body: drain the private queue, pay the service time,
+  /// run the processor with emissions captured, and deposit the result in
+  /// the merge window. Whoever completes the window head releases (below).
+  void replica_loop(std::size_t r) {
+    Replica& rep = *replicas_[r];
+    const std::size_t max_batch = std::max<std::size_t>(
+        engine_.config_.batching.max_batch, 1);
+    std::vector<PoolItem> batch;
+    batch.reserve(max_batch);
+    while (true) {
+      batch.clear();
+      const std::size_t n = rep.queue->drain(batch, max_batch);
+      if (n == 0) return;  // closed and drained: retired or winding down
+      std::uint64_t d_packets = 0;
+      std::uint64_t d_records = 0;
+      std::uint64_t d_bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (crashed_.load(std::memory_order_acquire)) return;
+        PoolItem& item = batch[i];
+        Completion c;
+        c.origin = item.origin;
+        c.ack_seq = item.ack_seq;
+        CaptureEmitter capture(c.emissions);
+        if (item.finish_marker) {
+          rep.processor->finish(capture);
+          c.is_final = item.is_final;
+        } else {
+          const Duration service =
+              spec_.cost.service_time(item.packet) / cpu_factor_;
+          sleep_seconds(service);
+          rep.busy_time += service;
+          GATES_TRACE(.time = clock_.now() - service, .duration = service,
+                      .kind = obs::TraceKind::kServiceSpan,
+                      .component = spec_.name,
+                      .detail = "replica-" + std::to_string(r));
+          ++d_packets;
+          d_records += item.packet.records;
+          d_bytes += item.packet.payload_bytes();
+          c.created_at = item.packet.created_at;
+          c.has_data = true;
+          rep.processor->process(item.packet, capture);
+        }
+        merge_->complete(item.merge_seq, std::move(c));
+        release_pass();
+      }
+      if (d_packets != 0) {
+        packets_processed_.fetch_add(d_packets, std::memory_order_relaxed);
+        records_processed_.fetch_add(d_records, std::memory_order_relaxed);
+        bytes_processed_.fetch_add(d_bytes, std::memory_order_relaxed);
+        rep.packets.fetch_add(d_packets, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Release election (see ReorderMerge): whoever completed the window head
+  /// drains every contiguous ready completion, stages its emissions through
+  /// the normal route batching, flushes, then acks the released inputs —
+  /// outputs-before-acks, exactly like the serial flush_batch_effects. The
+  /// merge mutex hands the releaser role (and the non-atomic staging state
+  /// it touches) between threads with a happens-before edge.
+  void release_pass() {
+    while (merge_->claim_release()) {
+      bool latency_sampled = false;
+      bool final_seen = false;
+      while (auto c = merge_->pop_ready()) {
+        if (c->has_data && !latency_sampled) {
+          latency_.add(clock_.now() - c->created_at);
+          latency_sampled = true;
+        }
+        for (auto& [packet, port] : c->emissions) {
+          emit(std::move(packet), port);
+        }
+        if (c->origin != nullptr) {
+          pending_acks_.emplace_back(c->origin, c->ack_seq);
+        }
+        final_seen |= c->is_final;
+      }
+      flush_emits();
+      flush_pending_acks();
+      if (final_seen) finish_pool();
+      merge_->end_release();
+    }
+  }
+
+  /// Grouped exact acks for everything released in this pass: one retention
+  /// lock per distinct origin channel, mirroring flush_batch_effects.
+  void flush_pending_acks() {
+    for (std::size_t i = 0; i < pending_acks_.size(); ++i) {
+      ReplayChannel* origin = pending_acks_[i].first;
+      if (origin == nullptr) continue;
+      ack_seqs_.clear();
+      ack_seqs_.push_back(pending_acks_[i].second);
+      pending_acks_[i].first = nullptr;
+      for (std::size_t j = i + 1; j < pending_acks_.size(); ++j) {
+        if (pending_acks_[j].first == origin) {
+          ack_seqs_.push_back(pending_acks_[j].second);
+          pending_acks_[j].first = nullptr;
+        }
+      }
+      origin->ack_batch(ack_seqs_);
+    }
+    pending_acks_.clear();
+  }
+
+  /// Runs once, by whichever releaser pops the pool's final finish()
+  /// completion: the downstream-EOS half of the serial epilogue.
+  void finish_pool() {
+    for (const auto& route : routes_) {
+      route.gate->acquire(engine_.config_.wire.per_message_overhead);
+      Item item{Packet::eos(0, clock_.now()), nullptr, 0};
+      if (route.channel) {
+        item.origin = route.channel.get();
+        item.seq = route.channel->retain(item.packet);
+      }
+      route.dest->queue().push(std::move(item));
+    }
+    GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
+                .component = spec_.name);
+    finished_.store(true, std::memory_order_release);
+  }
+
+  /// Terminal EOS (or force-stop): every active replica gets a finish
+  /// marker — each replica processor must flush its partial state, in a
+  /// merge slot ordered after all data — then the pool queues close so the
+  /// replica threads exit once drained. The last marker carries is_final;
+  /// its releaser runs finish_pool().
+  void wind_down_pool() {
+    const std::size_t active = active_replicas_.load(std::memory_order_relaxed);
+    for (std::size_t r = 0; r < active; ++r) {
+      const std::uint64_t mseq = next_seq_++;
+      if (!merge_->acquire(mseq)) return close_pool();
+      PoolItem marker;
+      marker.finish_marker = true;
+      marker.is_final = r + 1 == active;
+      marker.merge_seq = mseq;
+      if (!replicas_[r]->queue->push(std::move(marker))) {
+        Completion c;
+        c.is_final = r + 1 == active;
+        merge_->complete(mseq, std::move(c));
+      }
+    }
+    for (auto& rep : replicas_) rep->queue->close();
+    release_pass();
+  }
+
+  /// Crash-stop teardown: unblock everyone, complete nothing.
+  void close_pool() {
+    if (!pooled()) return;
+    merge_->close();
+    for (auto& rep : replicas_) rep->queue->close();
+  }
+
+  /// Dispatcher-side application of the control thread's scale target,
+  /// between batches. Grow revives the next parked slot (join its retired
+  /// thread, reopen its queue, start a fresh thread); shrink retires the
+  /// highest active slot by closing its queue — the replica completes what
+  /// it already holds into the merge window and exits. Invariant: slot r is
+  /// active iff r < active_replicas_.
+  void apply_scale() {
+    const std::size_t target = scale_target_.load(std::memory_order_acquire);
+    std::size_t active = active_replicas_.load(std::memory_order_relaxed);
+    if (target == active) return;
+    while (active < target) {
+      Replica& rep = *replicas_[active];
+      if (rep.thread.joinable()) rep.thread.join();
+      rep.queue->reopen();
+      const std::size_t r = active;
+      rep.thread = std::thread([this, r] { replica_loop(r); });
+      ++active;
+      max_replicas_used_ = std::max(max_replicas_used_, active);
+    }
+    while (active > target && active > 1) {
+      --active;
+      replicas_[active]->queue->close();
+    }
+    active_replicas_.store(active, std::memory_order_release);
+    if (rr_next_ >= active) rr_next_ = 0;
+  }
+
   RtEngine& engine_;
   std::size_t index_;
   const StageSpec& spec_;
@@ -593,6 +1110,23 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::uint64_t underload_sent_ = 0;
   std::uint64_t exceptions_received_ = 0;
 
+  // -- replica pool state (empty/unused for serial stages) --------------------
+  std::size_t budget_ = 1;       // max replicas (explicit or host cores)
+  std::size_t replica_cap_ = 0;  // per-replica queue capacity
+  std::unique_ptr<ReorderMerge<Completion>> merge_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::atomic<std::size_t> active_replicas_{1};
+  /// Written by the control thread (apply_scaling), applied by the
+  /// dispatcher (apply_scale) between batches.
+  std::atomic<std::size_t> scale_target_{1};
+  std::size_t max_replicas_used_ = 1;  // dispatcher thread; read after join
+  std::uint64_t next_seq_ = 0;         // dispatcher thread only
+  std::size_t rr_next_ = 0;            // dispatcher thread only
+  /// Releaser-only (handed between threads by the merge mutex).
+  std::vector<std::pair<ReplayChannel*, std::uint64_t>> pending_acks_;
+  std::unique_ptr<adapt::ReplicaScaler> scaler_;         // control thread only
+  std::unique_ptr<AdjustmentParameter> replicas_param_;  // control thread only
+
   // Cached metric handles (resolved on the first sampled control tick).
   obs::Counter* processed_ctr_ = nullptr;
   obs::Counter* emitted_ctr_ = nullptr;
@@ -603,6 +1137,8 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   obs::Gauge* queue_gauge_ = nullptr;
   obs::Gauge* dtilde_gauge_ = nullptr;
   obs::FixedHistogram* queue_hist_ = nullptr;
+  obs::Gauge* replicas_gauge_ = nullptr;
+  std::vector<obs::Counter*> replica_ctrs_;
 };
 
 // ---------------------------------------------------------------------------
@@ -807,10 +1343,19 @@ Status RtEngine::setup() {
   // data-plane producer thread (one inbound edge XOR one source) can use
   // the lock-free ring. Fan-in stages keep the mutex queue; control-plane
   // injections (replay, EOS-on-behalf) use the inbox's aux channel either
-  // way, so they never violate the single-producer invariant.
+  // way, so they never violate the single-producer invariant. A replicated
+  // upstream edge is NOT one producer: its outputs are pushed by whichever
+  // thread wins the merge-release election (any replica or the
+  // dispatcher), so it counts as multiple producers and the downstream
+  // inbox keeps the mutex queue.
   if (config_.batching.spsc) {
     std::vector<std::size_t> producers(spec_.stages.size(), 0);
-    for (const auto& edge : spec_.edges) ++producers[edge.to_stage];
+    for (const auto& edge : spec_.edges) {
+      const bool pooled_upstream = spec_.stages[edge.from_stage]
+                                       .parallelism.mode !=
+                                   ParallelismMode::kSerial;
+      producers[edge.to_stage] += pooled_upstream ? 2 : 1;
+    }
     for (const auto& src : spec_.sources) ++producers[src.target_stage];
     for (std::size_t i = 0; i < stages_.size(); ++i) {
       if (producers[i] == 1) stages_[i]->enable_spsc();
@@ -986,6 +1531,22 @@ void RtEngine::kill_stage(std::size_t stage_index) {
 StreamProcessor& RtEngine::processor(std::size_t stage_index) {
   GATES_CHECK(stage_index < stages_.size());
   return stages_[stage_index]->processor();
+}
+
+std::size_t RtEngine::replica_count(std::size_t stage_index) const {
+  GATES_CHECK(stage_index < stages_.size());
+  return stages_[stage_index]->active_replicas();
+}
+
+StreamProcessor& RtEngine::replica_processor(std::size_t stage_index,
+                                             std::size_t replica) {
+  GATES_CHECK(stage_index < stages_.size());
+  return stages_[stage_index]->replica_processor(replica);
+}
+
+bool RtEngine::stage_inbox_spsc(std::size_t stage_index) const {
+  GATES_CHECK(stage_index < stages_.size());
+  return stages_[stage_index]->inbox_spsc();
 }
 
 }  // namespace gates::core

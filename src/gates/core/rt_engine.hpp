@@ -79,6 +79,18 @@ class RtEngine {
   const RunReport& report() const { return report_; }
   StreamProcessor& processor(std::size_t stage_index);
 
+  // -- replica pools (StageSpec::parallelism != kSerial) -----------------------
+  /// Replicas currently active on a stage (1 for serial stages).
+  std::size_t replica_count(std::size_t stage_index) const;
+  /// One replica's processor instance. For pooled stages, processor(i)
+  /// returns replica 0.
+  StreamProcessor& replica_processor(std::size_t stage_index,
+                                     std::size_t replica);
+  /// Whether the stage's inbox took the lock-free SPSC fast path (test
+  /// hook: a stage fed by a replicated upstream must NOT, since every
+  /// replica is a distinct producer).
+  bool stage_inbox_spsc(std::size_t stage_index) const;
+
   // -- crash injection ---------------------------------------------------------
   /// At `t` wall seconds into the run, crash-stops every stage hosted on
   /// `node` (threads exit; queued input is lost). Must precede run().

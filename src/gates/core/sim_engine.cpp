@@ -124,6 +124,30 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     processor_ = spec_.factory();
     GATES_CHECK_MSG(processor_ != nullptr,
                     "factory for stage '" + spec_.name + "' returned null");
+    if (spec_.parallelism.mode != ParallelismMode::kSerial) {
+      const Parallelism& par = spec_.parallelism;
+      replica_budget_ = par.max_replicas != 0
+                            ? par.max_replicas
+                            : engine_.hosts_.cores_at(node_);
+      replica_budget_ = std::max(replica_budget_, par.replicas);
+      active_replicas_ = par.replicas;
+      max_replicas_used_ = par.replicas;
+      if (par.mode == ParallelismMode::kStateless) {
+        // Scale-before-degrade: same policy object the RtEngine uses. The
+        // DES models the pool as one server whose rate is multiplied by the
+        // active replica count (§4's overload exception first buys cores).
+        scaler_ = std::make_unique<adapt::ReplicaScaler>(
+            par.replicas, replica_budget_, adapt::ReplicaScalerConfig{});
+        AdjustmentParameter::Spec rspec;
+        rspec.name = "replicas";
+        rspec.initial = static_cast<double>(par.replicas);
+        rspec.min_value = static_cast<double>(par.replicas);
+        rspec.max_value = static_cast<double>(replica_budget_);
+        rspec.increment = 1;
+        rspec.direction = ParamDirection::kIncreaseSpeedsUp;
+        replicas_param_ = std::make_unique<AdjustmentParameter>(rspec);
+      }
+    }
   }
 
   void init() {
@@ -342,9 +366,22 @@ class SimEngine::StageRuntime final : public net::MessageSink,
                   .dtilde = monitor_.normalized_dtilde());
     }
     if (signal != adapt::LoadSignal::kNone) {
-      for (StageRuntime* up : upstreams_) {
-        up->receive_downstream_exception(signal);
+      // Scale-before-degrade: a replicated stage's exception is offered to
+      // the replica scaler first; only a kPropagate verdict (core budget or
+      // floor exhausted) lets it reach upstream accuracy controllers.
+      bool propagate = true;
+      if (scaler_ != nullptr && engine_.config_.adaptation_enabled) {
+        propagate = !apply_scaling(signal);
       }
+      if (propagate) {
+        for (StageRuntime* up : upstreams_) {
+          up->receive_downstream_exception(signal);
+        }
+      }
+    }
+    if (replicas_param_ != nullptr) {
+      replicas_param_->set_value(static_cast<double>(active_replicas_));
+      replicas_param_->record(engine_.sim_.now());
     }
     if (engine_.config_.adaptation_enabled) {
       for (std::size_t i = 0; i < controllers_.size(); ++i) {
@@ -362,6 +399,37 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       for (auto& p : params_) p->record(engine_.sim_.now());
     }
     if (obs::MetricsRegistry::global().enabled()) sample_metrics();
+  }
+
+  /// One load signal through the replica scaler; returns true when the pool
+  /// consumed it (a DES scale step is instantaneous — no dispatcher handoff).
+  bool apply_scaling(adapt::LoadSignal signal) {
+    switch (scaler_->observe(signal, active_replicas_)) {
+      case adapt::ReplicaScaler::Decision::kPropagate:
+        return false;
+      case adapt::ReplicaScaler::Decision::kNone:
+        return true;
+      case adapt::ReplicaScaler::Decision::kScaleUp:
+        GATES_TRACE(.time = engine_.sim_.now(),
+                    .kind = obs::TraceKind::kReplicaScaleUp,
+                    .component = spec_.name,
+                    .value_old = static_cast<double>(active_replicas_),
+                    .value_new = static_cast<double>(active_replicas_ + 1),
+                    .dtilde = monitor_.normalized_dtilde());
+        ++active_replicas_;
+        max_replicas_used_ = std::max(max_replicas_used_, active_replicas_);
+        return true;
+      case adapt::ReplicaScaler::Decision::kScaleDown:
+        GATES_TRACE(.time = engine_.sim_.now(),
+                    .kind = obs::TraceKind::kReplicaScaleDown,
+                    .component = spec_.name,
+                    .value_old = static_cast<double>(active_replicas_),
+                    .value_new = static_cast<double>(active_replicas_ - 1),
+                    .dtilde = monitor_.normalized_dtilde());
+        --active_replicas_;
+        return true;
+    }
+    return false;
   }
 
   /// Control-tick publication of this stage's counters into the registry;
@@ -419,7 +487,11 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     queue_.pop_front();
     // Space freed: let stalled inbound links resume delivery.
     for (net::SimLink* link : inbound_links_) link->notify_space();
-    const Duration service = spec_.cost.service_time(item.packet) / cpu_factor_;
+    // Replicated stages serve at a multiplied rate: the DES models the pool
+    // as a single server `active_replicas_` times faster (order-preserving
+    // merge makes the pool externally indistinguishable from that).
+    const Duration service = spec_.cost.service_time(item.packet) /
+                             (cpu_factor_ * static_cast<double>(active_replicas_));
     busy_time_ += service;
     GATES_TRACE(.time = engine_.sim_.now(), .duration = service,
                 .kind = obs::TraceKind::kServiceSpan, .component = spec_.name);
@@ -504,13 +576,20 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     r.underload_exceptions_sent = underload_sent_;
     r.exceptions_received = exceptions_received_;
     r.final_normalized_dtilde = monitor_.normalized_dtilde();
+    r.final_replicas = active_replicas_;
+    r.max_replicas_used = max_replicas_used_;
     for (const auto& p : params_) {
       r.parameter_trajectories.emplace_back(p->name(), p->trajectory());
+    }
+    if (replicas_param_ != nullptr) {
+      r.parameter_trajectories.emplace_back(replicas_param_->name(),
+                                            replicas_param_->trajectory());
     }
     return r;
   }
 
   StreamProcessor& processor() { return *processor_; }
+  std::size_t active_replicas() const { return active_replicas_; }
   bool finished() const { return finished_; }
   const std::string& name() const { return spec_.name; }
   std::size_t recoveries() const { return recoveries_; }
@@ -566,6 +645,13 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   std::vector<std::unique_ptr<AdjustmentParameter>> params_;
   std::vector<std::unique_ptr<adapt::ParameterController>> controllers_;
   Rng rng_;
+
+  // Replica pool model (1 server, multiplied service rate).
+  std::size_t active_replicas_ = 1;
+  std::size_t replica_budget_ = 1;
+  std::size_t max_replicas_used_ = 1;
+  std::unique_ptr<adapt::ReplicaScaler> scaler_;
+  std::unique_ptr<AdjustmentParameter> replicas_param_;
 
   bool in_init_ = false;
   bool busy_ = false;
@@ -1172,6 +1258,11 @@ void SimEngine::finalize_report(bool completed) {
 StreamProcessor& SimEngine::processor(std::size_t stage_index) {
   GATES_CHECK(stage_index < stages_.size());
   return stages_[stage_index]->processor();
+}
+
+std::size_t SimEngine::replica_count(std::size_t stage_index) const {
+  GATES_CHECK(stage_index < stages_.size());
+  return stages_[stage_index]->active_replicas();
 }
 
 void SimEngine::schedule_cpu_change(NodeId node, TimePoint t, double factor) {

@@ -72,6 +72,10 @@ class SimEngine {
   /// Current suggested value of a named parameter on a stage (tests).
   double parameter_value(std::size_t stage_index, const std::string& name) const;
 
+  /// Replicas currently active on a stage (1 for serial stages). The DES
+  /// models a pool as one server with a multiplied service rate.
+  std::size_t replica_count(std::size_t stage_index) const;
+
   // -- dynamic resource variation (call before run()/run_for()) -------------
   /// At virtual time `t`, changes the CPU factor of every stage hosted on
   /// `node` (subsequent services use the new speed).

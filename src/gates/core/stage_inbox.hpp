@@ -28,9 +28,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "gates/common/bounded_queue.hpp"
@@ -238,6 +240,133 @@ class StageInbox {
   mutable std::mutex aux_mu_;
   std::deque<T> aux_;
   std::atomic<std::size_t> aux_size_{0};
+};
+
+/// Order-preserving merge window for a replicated stage.
+///
+/// The dispatcher stamps every input with a dense arrival sequence and
+/// acquire()s a window slot before handing it to a replica; replicas deposit
+/// their result (emissions + ack bookkeeping) with complete(). Results leave
+/// strictly in sequence order through a *release election*: whichever thread
+/// completes the head claims the releaser role, drains every contiguous
+/// ready slot, performs all downstream effects, and only then ends the
+/// claim. claim_release()/end_release() bracket the releaser's critical
+/// region under the merge mutex, so the non-atomic state touched on the
+/// release path (staged route batches, ack scratch buffers) is handed from
+/// releaser to releaser with proper happens-before. The caller must loop
+///
+///   while (merge.claim_release()) {
+///     while (auto c = merge.pop_ready()) { /* stage effects of *c */ }
+///     /* flush effects downstream, ack inputs */
+///     merge.end_release();
+///   }
+///
+/// re-checking claim_release() after end_release(): a completion that lands
+/// between the last empty pop_ready() and end_release() is picked up by the
+/// next claim (by this thread or the completing one), never lost.
+///
+/// Capacity doubles as backpressure: acquire() blocks while the sequence is
+/// a full window ahead of the release point, bounding in-flight work.
+template <typename C>
+class ReorderMerge {
+ public:
+  explicit ReorderMerge(std::size_t window) : window_(window), slots_(window) {
+    GATES_CHECK(window > 0);
+  }
+
+  /// Dispatcher side: waits for sequence `seq` to fit in the window.
+  /// Returns false iff closed.
+  bool acquire(std::uint64_t seq) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return seq < base_ + window_ || closed_;
+    });
+    return !closed_;
+  }
+
+  /// Deposits the result for an acquired sequence. Dropped if closed.
+  void complete(std::uint64_t seq, C completion) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    GATES_CHECK(seq >= base_ && seq < base_ + window_);
+    Slot& slot = slots_[seq % window_];
+    GATES_CHECK(!slot.filled);
+    slot.value = std::move(completion);
+    slot.filled = true;
+  }
+
+  /// Tries to become the releaser: succeeds iff nobody holds the claim and
+  /// the head-of-window result is ready.
+  bool claim_release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || releasing_ || !slots_[base_ % window_].filled) return false;
+    releasing_ = true;
+    return true;
+  }
+
+  /// Pops the next in-order result; only valid while holding the claim.
+  std::optional<C> pop_ready() {
+    std::unique_lock<std::mutex> lock(mu_);
+    Slot& slot = slots_[base_ % window_];
+    if (closed_ || !slot.filled) return std::nullopt;
+    std::optional<C> out(std::move(slot.value));
+    slot.value = C{};
+    slot.filled = false;
+    ++base_;
+    lock.unlock();
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Ends the claim. All downstream effects of popped results must have
+  /// happened before this call.
+  void end_release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    releasing_ = false;
+  }
+
+  /// Unblocks acquire() waiters and discards pending results (crash path).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+  }
+
+  /// Returns to the initial state (sequence restarts at 0). Only call when
+  /// no dispatcher/replica threads are running.
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Slot& slot : slots_) {
+      slot.value = C{};
+      slot.filled = false;
+    }
+    base_ = 0;
+    closed_ = false;
+    releasing_ = false;
+  }
+
+  std::size_t window() const { return window_; }
+  /// Next sequence to be released (test/diagnostic).
+  std::uint64_t release_base() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return base_;
+  }
+
+ private:
+  struct Slot {
+    C value{};
+    bool filled = false;
+  };
+
+  const std::size_t window_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::vector<Slot> slots_;
+  std::uint64_t base_ = 0;
+  bool closed_ = false;
+  bool releasing_ = false;
 };
 
 }  // namespace gates::core

@@ -82,6 +82,54 @@ Status parse_stage(const xml::Element& e, core::StageSpec& stage) {
     if (auto s = attr_int(*placement, "node", node); !s.is_ok()) return s;
     if (node >= 0) stage.placement_hint = static_cast<NodeId>(node);
   }
+  if (const xml::Element* par = e.child("parallelism")) {
+    auto& p = stage.parallelism;
+    const std::string mode = par->attr_or("mode", "stateless");
+    if (mode == "serial") {
+      p.mode = core::ParallelismMode::kSerial;
+    } else if (mode == "stateless") {
+      p.mode = core::ParallelismMode::kStateless;
+    } else if (mode == "keyed") {
+      p.mode = core::ParallelismMode::kKeyed;
+    } else {
+      return invalid_argument("stage '" + stage.name +
+                              "' has unknown parallelism mode '" + mode + "'");
+    }
+    long long replicas = static_cast<long long>(p.replicas);
+    if (auto s = attr_int(*par, "replicas", replicas); !s.is_ok()) return s;
+    if (replicas <= 0) {
+      return invalid_argument("stage '" + stage.name +
+                              "' parallelism replicas must be > 0");
+    }
+    p.replicas = static_cast<std::size_t>(replicas);
+    long long max_replicas = static_cast<long long>(p.max_replicas);
+    if (auto s = attr_int(*par, "max-replicas", max_replicas); !s.is_ok())
+      return s;
+    if (max_replicas < 0) {
+      return invalid_argument("stage '" + stage.name +
+                              "' parallelism max-replicas must be >= 0");
+    }
+    p.max_replicas = static_cast<std::size_t>(max_replicas);
+    if (p.mode == core::ParallelismMode::kKeyed) {
+      // Grid configs can only name a built-in shard key; arbitrary shard
+      // functions are a programmatic-pipeline feature.
+      const std::string key = par->attr_or("key", "sequence");
+      stage.parallelism_key = key;
+      if (key == "sequence") {
+        p.shard_fn = [](const core::Packet& packet) {
+          return packet.sequence;
+        };
+      } else if (key == "stream") {
+        p.shard_fn = [](const core::Packet& packet) {
+          return static_cast<std::uint64_t>(packet.stream);
+        };
+      } else {
+        return invalid_argument("stage '" + stage.name +
+                                "' has unknown parallelism key '" + key +
+                                "' (sequence|stream)");
+      }
+    }
+  }
   if (const xml::Element* mon = e.child("monitor")) {
     auto& m = stage.monitor;
     long long window = m.window;
@@ -261,6 +309,23 @@ StatusOr<std::string> write_app_config(const AppConfig& config) {
     if (stage.placement_hint != kInvalidNode) {
       se.add_child("placement")
           .set_attr("node", std::to_string(stage.placement_hint));
+    }
+    if (stage.parallelism.mode != core::ParallelismMode::kSerial) {
+      xml::Element& par = se.add_child("parallelism");
+      par.set_attr("mode",
+                   stage.parallelism.mode == core::ParallelismMode::kKeyed
+                       ? "keyed"
+                       : "stateless");
+      par.set_attr("replicas", std::to_string(stage.parallelism.replicas));
+      if (stage.parallelism.max_replicas != 0) {
+        par.set_attr("max-replicas",
+                     std::to_string(stage.parallelism.max_replicas));
+      }
+      if (stage.parallelism.mode == core::ParallelismMode::kKeyed) {
+        par.set_attr("key", stage.parallelism_key.empty()
+                                ? "sequence"
+                                : stage.parallelism_key);
+      }
     }
     xml::Element& mon = se.add_child("monitor");
     mon.set_attr("capacity", format_double(stage.monitor.capacity));

@@ -7,6 +7,47 @@
 #include "gates/obs/trace.hpp"
 
 namespace gates::grid {
+namespace {
+
+// A serial stage keeps the single-shot service lifecycle: its factory wraps
+// exactly one instance, and a second instantiate() is a caught bug. A pooled
+// stage's factory is invoked once per replica slot, so every call after the
+// first gets a sibling instance in the same container — one GATES service
+// per replica, all customized with the same uploaded code.
+core::ProcessorFactory make_stage_factory(GatesServiceInstance* inst,
+                                          ServiceContainer* container,
+                                          core::ProcessorFactory code,
+                                          bool pooled) {
+  if (!pooled) {
+    return [inst]() -> std::unique_ptr<core::StreamProcessor> {
+      auto p = inst->instantiate();
+      if (!p.ok()) {
+        GATES_LOG(kError, "deployer") << p.status().to_string();
+        return nullptr;
+      }
+      return std::move(*p);
+    };
+  }
+  return [inst, container,
+          code = std::move(code)]() -> std::unique_ptr<core::StreamProcessor> {
+    GatesServiceInstance* target = inst;
+    if (target->state() != GatesServiceInstance::State::kCustomized) {
+      target = &container->create_instance(inst->stage_name());
+      if (auto s = target->upload_code(code); !s.is_ok()) {
+        GATES_LOG(kError, "deployer") << s.to_string();
+        return nullptr;
+      }
+    }
+    auto p = target->instantiate();
+    if (!p.ok()) {
+      GATES_LOG(kError, "deployer") << p.status().to_string();
+      return nullptr;
+    }
+    return std::move(*p);
+  };
+}
+
+}  // namespace
 
 StatusOr<NodeId> Deployer::place_stage(
     const core::PipelineSpec& spec, std::size_t stage_index,
@@ -112,15 +153,9 @@ StatusOr<Deployment> Deployer::deploy(core::PipelineSpec& spec) {
     if (auto s = instance.upload_code(std::move(code)); !s.is_ok()) return s;
 
     // Engines construct processors through the service instance.
-    GatesServiceInstance* inst = &instance;
-    stage.factory = [inst]() -> std::unique_ptr<core::StreamProcessor> {
-      auto p = inst->instantiate();
-      if (!p.ok()) {
-        GATES_LOG(kError, "deployer") << p.status().to_string();
-        return nullptr;
-      }
-      return std::move(*p);
-    };
+    stage.factory = make_stage_factory(
+        &instance, container.get(), deployment.stage_code[i],
+        stage.parallelism.mode != core::ParallelismMode::kSerial);
     GATES_LOG(kInfo, "deployer")
         << "stage '" << stage.name << "' deployed to node " << node;
   }
@@ -199,16 +234,31 @@ StatusOr<core::ReplacementDecision> Deployer::replace_stage(
 
   core::ReplacementDecision decision;
   decision.node = best;
-  GatesServiceInstance* inst = &instance;
-  decision.factory = [inst]() -> std::unique_ptr<core::StreamProcessor> {
-    auto p = inst->instantiate();
-    if (!p.ok()) {
-      GATES_LOG(kError, "deployer") << p.status().to_string();
-      return nullptr;
-    }
-    return std::move(*p);
-  };
+  decision.factory = make_stage_factory(
+      &instance, container.get(), deployment.stage_code[stage_index],
+      stage.parallelism.mode != core::ParallelismMode::kSerial);
   return decision;
+}
+
+core::ProcessorFactory make_recovery_factory(const core::PipelineSpec& spec,
+                                             Deployment& deployment,
+                                             std::size_t stage_index) {
+  if (stage_index >= spec.stages.size() ||
+      stage_index >= deployment.instances.size()) {
+    return {};
+  }
+  GatesServiceInstance* inst = deployment.instances[stage_index];
+  if (inst == nullptr) return {};
+  if (auto s = inst->restart(); !s.is_ok()) {
+    GATES_LOG(kError, "deployer") << s.to_string();
+    return {};
+  }
+  auto& container = deployment.containers[inst->node()];
+  if (!container) container = std::make_unique<ServiceContainer>(inst->node());
+  return make_stage_factory(inst, container.get(),
+                            deployment.stage_code[stage_index],
+                            spec.stages[stage_index].parallelism.mode !=
+                                core::ParallelismMode::kSerial);
 }
 
 core::ReplacementProvider make_replacement_provider(

@@ -87,4 +87,15 @@ core::ReplacementProvider make_replacement_provider(Deployer& deployer,
                                                     const core::PipelineSpec& spec,
                                                     Deployment& deployment);
 
+/// Restart-in-place recovery (RtEngine::set_recovery_factory_provider):
+/// returns the stage's service instance to CUSTOMIZED and wraps it in a
+/// fresh instantiating factory. Serial stages keep the single-shot
+/// lifecycle; a pooled stage's factory mints one sibling instance per
+/// replica slot beyond the first, mirroring the deploy-time wiring. An
+/// empty factory is returned when the instance is missing or will not
+/// restart (the engine then falls back to the raw spec factory).
+core::ProcessorFactory make_recovery_factory(const core::PipelineSpec& spec,
+                                             Deployment& deployment,
+                                             std::size_t stage_index);
+
 }  // namespace gates::grid

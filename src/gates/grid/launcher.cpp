@@ -9,7 +9,8 @@ void Launcher::host_config(std::string name, std::string xml_text) {
   hosted_configs_[std::move(name)] = std::move(xml_text);
 }
 
-StatusOr<LaunchedApplication> Launcher::launch_url(const std::string& url) {
+StatusOr<LaunchedApplication> Launcher::launch_url(
+    const std::string& url, const PipelineCustomizer& customize) {
   auto uri = parse_uri(url);
   if (!uri.ok()) return uri.status();
   if (uri->scheme != "config") {
@@ -19,17 +20,20 @@ StatusOr<LaunchedApplication> Launcher::launch_url(const std::string& url) {
   if (it == hosted_configs_.end()) {
     return not_found("no hosted configuration named '" + uri->host + "'");
   }
-  return launch_text(it->second);
+  return launch_text(it->second, customize);
 }
 
 StatusOr<LaunchedApplication> Launcher::launch_text(
-    const std::string& xml_text) {
+    const std::string& xml_text, const PipelineCustomizer& customize) {
   auto config = parse_app_config(xml_text, generators_);
   if (!config.ok()) return config.status();
 
   LaunchedApplication app;
   app.name = config->application_name;
   app.pipeline = std::move(config->pipeline);
+  if (customize) {
+    if (auto s = customize(app.pipeline); !s.is_ok()) return s;
+  }
 
   auto deployment = deployer_.deploy(app.pipeline);
   if (!deployment.ok()) return deployment.status();

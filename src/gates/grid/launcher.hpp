@@ -7,6 +7,7 @@
 // then runs the returned application on an engine of its choice.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -32,11 +33,21 @@ class Launcher {
   /// for the paper's web-hosted config URL.
   void host_config(std::string name, std::string xml_text);
 
+  /// Optional launch-time customization, applied to the parsed pipeline
+  /// before deployment. Deployment bakes the parallelism declaration into
+  /// the stage factories (pooled stages get one service instance per
+  /// replica), so anything that rewrites the spec — e.g. a command-line
+  /// replica override — must run through this hook, not on the launched
+  /// application.
+  using PipelineCustomizer = std::function<Status(core::PipelineSpec&)>;
+
   /// Launches from a config://<name> URL.
-  StatusOr<LaunchedApplication> launch_url(const std::string& url);
+  StatusOr<LaunchedApplication> launch_url(
+      const std::string& url, const PipelineCustomizer& customize = {});
 
   /// Launches from raw configuration text.
-  StatusOr<LaunchedApplication> launch_text(const std::string& xml_text);
+  StatusOr<LaunchedApplication> launch_text(
+      const std::string& xml_text, const PipelineCustomizer& customize = {});
 
  private:
   Deployer& deployer_;

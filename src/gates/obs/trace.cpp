@@ -18,6 +18,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kAbandoned: return "abandoned";
     case TraceKind::kFailoverSpan: return "failover";
     case TraceKind::kStageFinished: return "stage-finished";
+    case TraceKind::kReplicaScaleUp: return "replica-scale-up";
+    case TraceKind::kReplicaScaleDown: return "replica-scale-down";
   }
   return "?";
 }

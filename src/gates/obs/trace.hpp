@@ -38,9 +38,12 @@ enum class TraceKind : std::uint8_t {
   kFailoverSpan,         // duration = failure -> resolution;
                          // value_old = packets replayed, value_new = packets lost
   kStageFinished,        // EOS propagated
+  kReplicaScaleUp,       // value_old -> value_new = replica counts;
+                         // dtilde = the overload signal that drove it
+  kReplicaScaleDown,     //   " (underload signal)
 };
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kStageFinished) + 1;
+    static_cast<std::size_t>(TraceKind::kReplicaScaleDown) + 1;
 
 const char* trace_kind_name(TraceKind kind);
 

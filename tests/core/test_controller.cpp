@@ -222,5 +222,92 @@ TEST(ControllerConfig, ValidationCatchesBadConfigs) {
   check_bad([](auto& c) { c.accuracy_gain_fraction = 1.5; });
 }
 
+// -- replica scaler (scale-before-degrade) -----------------------------------
+
+TEST(ReplicaScaler, ScalesUpAfterConsecutiveOverloadsOnly) {
+  ReplicaScalerConfig config;
+  config.cooldown = 3;  // outlasts the streak rebuild, so it's observable
+  ReplicaScaler scaler(1, 4, config);
+  // One overloaded period is not a trend.
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 1),
+            ReplicaScaler::Decision::kNone);
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 1),
+            ReplicaScaler::Decision::kScaleUp);
+  // Cooldown: the monitor needs time to see the new service rate, so the
+  // streak alone (period 4) is not enough; one more period is.
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 2),
+            ReplicaScaler::Decision::kNone);
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 2),
+            ReplicaScaler::Decision::kNone);
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 2),
+            ReplicaScaler::Decision::kScaleUp);
+}
+
+TEST(ReplicaScaler, QuietPeriodResetsTheStreak) {
+  ReplicaScaler scaler(1, 4, {});
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 1),
+            ReplicaScaler::Decision::kNone);
+  EXPECT_EQ(scaler.observe(LoadSignal::kNone, 1),
+            ReplicaScaler::Decision::kNone);
+  // The earlier overload no longer counts toward the streak.
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 1),
+            ReplicaScaler::Decision::kNone);
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 1),
+            ReplicaScaler::Decision::kScaleUp);
+}
+
+TEST(ReplicaScaler, PropagatesWhenBudgetExhausted) {
+  ReplicaScaler scaler(1, 2, {});
+  // At the core budget the exception goes upstream immediately — Eq. 4 is
+  // the fallback, not blocked behind a streak.
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 2),
+            ReplicaScaler::Decision::kPropagate);
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 2),
+            ReplicaScaler::Decision::kPropagate);
+}
+
+TEST(ReplicaScaler, ScalesDownSlowerAndStopsAtFloor) {
+  ReplicaScalerConfig config;
+  config.cooldown = 0;
+  ReplicaScaler scaler(1, 4, config);
+  for (std::size_t i = 0; i < config.down_after - 1; ++i) {
+    EXPECT_EQ(scaler.observe(LoadSignal::kUnderload, 3),
+              ReplicaScaler::Decision::kNone);
+  }
+  EXPECT_EQ(scaler.observe(LoadSignal::kUnderload, 3),
+            ReplicaScaler::Decision::kScaleDown);
+  // At the floor, underload propagates so upstream can recover accuracy.
+  EXPECT_EQ(scaler.observe(LoadSignal::kUnderload, 1),
+            ReplicaScaler::Decision::kPropagate);
+}
+
+TEST(ReplicaScaler, OpposingSignalsResetEachOther) {
+  ReplicaScalerConfig config;
+  config.cooldown = 0;
+  ReplicaScaler scaler(1, 4, config);
+  for (std::size_t i = 0; i < config.down_after - 1; ++i) {
+    scaler.observe(LoadSignal::kUnderload, 2);
+  }
+  // A single overload wipes the underload streak.
+  EXPECT_EQ(scaler.observe(LoadSignal::kOverload, 2),
+            ReplicaScaler::Decision::kNone);
+  for (std::size_t i = 0; i < config.down_after - 1; ++i) {
+    EXPECT_EQ(scaler.observe(LoadSignal::kUnderload, 2),
+              ReplicaScaler::Decision::kNone);
+  }
+  EXPECT_EQ(scaler.observe(LoadSignal::kUnderload, 2),
+            ReplicaScaler::Decision::kScaleDown);
+}
+
+TEST(ReplicaScaler, ValidationCatchesBadConfigs) {
+  ReplicaScalerConfig bad;
+  bad.up_after = 0;
+  EXPECT_THROW(ReplicaScaler(1, 4, bad), std::logic_error);
+  ReplicaScalerConfig bad2;
+  bad2.down_after = 0;
+  EXPECT_THROW(ReplicaScaler(1, 4, bad2), std::logic_error);
+  EXPECT_THROW(ReplicaScaler(3, 2, {}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace gates::core::adapt

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -168,6 +170,150 @@ TEST(StageInboxSpsc, ProducerConsumerWithAuxInjection) {
   EXPECT_EQ(data_count, kItems);
   EXPECT_EQ(aux_count, kAux);
   EXPECT_EQ(data_sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+// -- order-preserving merge window -------------------------------------------
+
+/// Drains everything currently releasable, appending to `out`.
+void release_all(ReorderMerge<int>& merge, std::vector<int>& out) {
+  while (merge.claim_release()) {
+    while (auto c = merge.pop_ready()) out.push_back(*c);
+    merge.end_release();
+  }
+}
+
+TEST(ReorderMerge, ReleasesInInputOrderDespiteCompletionOrder) {
+  ReorderMerge<int> merge(8);
+  for (std::uint64_t seq = 0; seq < 4; ++seq) ASSERT_TRUE(merge.acquire(seq));
+  std::vector<int> out;
+  merge.complete(2, 2);
+  release_all(merge, out);  // head (0) missing: nothing releasable
+  EXPECT_TRUE(out.empty());
+  merge.complete(0, 0);
+  release_all(merge, out);  // 0 ready, 1 missing: releases exactly [0]
+  EXPECT_EQ(out, (std::vector<int>{0}));
+  merge.complete(3, 3);
+  merge.complete(1, 1);
+  release_all(merge, out);  // 1..3 now contiguous
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(merge.release_base(), 4u);
+}
+
+TEST(ReorderMerge, AcquireBlocksAtWindowBoundaryUntilARelease) {
+  ReorderMerge<int> merge(2);
+  ASSERT_TRUE(merge.acquire(0));
+  ASSERT_TRUE(merge.acquire(1));
+  std::atomic<bool> acquired{false};
+  std::thread dispatcher([&] {
+    EXPECT_TRUE(merge.acquire(2));  // 2 >= base(0) + window(2): must wait
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  merge.complete(0, 0);
+  std::vector<int> out;
+  release_all(merge, out);  // frees the head slot -> acquire(2) unblocks
+  dispatcher.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(out, (std::vector<int>{0}));
+}
+
+TEST(ReorderMerge, CloseUnblocksBlockedAcquire) {
+  ReorderMerge<int> merge(1);
+  ASSERT_TRUE(merge.acquire(0));
+  std::thread dispatcher([&] { EXPECT_FALSE(merge.acquire(1)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  merge.close();
+  dispatcher.join();
+}
+
+TEST(ReorderMerge, CompletionDuringClaimIsPickedUpByNextClaim) {
+  // The election protocol's re-check: a result that lands after the
+  // releaser's last empty pop but before end_release() must be releasable
+  // by the *next* claim, not lost.
+  ReorderMerge<int> merge(4);
+  ASSERT_TRUE(merge.acquire(0));
+  ASSERT_TRUE(merge.acquire(1));
+  merge.complete(0, 0);
+  std::vector<int> out;
+  ASSERT_TRUE(merge.claim_release());
+  while (auto c = merge.pop_ready()) out.push_back(*c);
+  merge.complete(1, 1);  // lands mid-claim
+  merge.end_release();
+  release_all(merge, out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1}));
+}
+
+TEST(ReorderMerge, OnlyOneThreadWinsTheReleaseElection) {
+  ReorderMerge<int> merge(4);
+  ASSERT_TRUE(merge.acquire(0));
+  merge.complete(0, 0);
+  ASSERT_TRUE(merge.claim_release());
+  EXPECT_FALSE(merge.claim_release());  // already claimed
+  merge.end_release();
+  ASSERT_TRUE(merge.claim_release());  // head still filled, claim reopens
+  std::vector<int> out;
+  while (auto c = merge.pop_ready()) out.push_back(*c);
+  merge.end_release();
+  EXPECT_EQ(out, (std::vector<int>{0}));
+}
+
+TEST(ReorderMerge, ResetRestartsSequencingFromZero) {
+  ReorderMerge<int> merge(2);
+  ASSERT_TRUE(merge.acquire(0));
+  merge.complete(0, 7);
+  merge.close();
+  EXPECT_FALSE(merge.acquire(1));
+  merge.reset();
+  ASSERT_TRUE(merge.acquire(0));
+  merge.complete(0, 9);
+  std::vector<int> out;
+  release_all(merge, out);
+  EXPECT_EQ(out, (std::vector<int>{9}));  // the pre-close result is gone
+}
+
+TEST(ReorderMerge, ManyCompleterThreadsPreserveOrder) {
+  // 4 completer threads race completions and the release election; the
+  // released order must still be exactly the acquire order.
+  constexpr std::uint64_t kItems = 2000;
+  constexpr std::size_t kThreads = 4;
+  ReorderMerge<int> merge(64);
+  std::vector<int> out;
+  std::mutex out_mu;  // release effects are serialized by the election, but
+                      // successive releasers are different threads
+  std::vector<std::unique_ptr<StageInbox<std::uint64_t>>> queues;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    queues.push_back(std::make_unique<StageInbox<std::uint64_t>>(32));
+  }
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&, i] {
+      std::vector<std::uint64_t> batch;
+      while (true) {
+        batch.clear();
+        if (queues[i]->drain(batch, 8) == 0) return;
+        for (const std::uint64_t seq : batch) {
+          merge.complete(seq, static_cast<int>(seq));
+          while (merge.claim_release()) {
+            std::lock_guard<std::mutex> lock(out_mu);
+            while (auto c = merge.pop_ready()) out.push_back(*c);
+            merge.end_release();
+          }
+        }
+      }
+    });
+  }
+  for (std::uint64_t seq = 0; seq < kItems; ++seq) {
+    ASSERT_TRUE(merge.acquire(seq));
+    ASSERT_TRUE(queues[seq % kThreads]->push(seq));
+  }
+  for (auto& q : queues) q->close();
+  for (auto& w : workers) w.join();
+  release_all(merge, out);
+  ASSERT_EQ(out.size(), kItems);
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i));
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@ const char* kFullConfig = R"(<?xml version="1.0"?>
       <param name="emit-every" value="2500"/>
       <param name="track-exact" value="true"/>
       <placement node="1"/>
+      <parallelism mode="keyed" replicas="2" max-replicas="4" key="stream"/>
       <monitor expected="15" over="30" under="4" window="8" alpha="0.6"
                p1="0.2" p2="0.3" p3="0.5" lt1="-0.15" lt2="0.15"/>
       <controller gain="0.08" variability="1.5" decay="0.6"/>
@@ -62,8 +63,20 @@ TEST(AppConfig, ParsesFullDocument) {
   EXPECT_DOUBLE_EQ(stage.controller.variability_weight, 1.5);
   EXPECT_DOUBLE_EQ(stage.controller.exception_decay, 0.6);
 
+  EXPECT_EQ(stage.parallelism.mode, core::ParallelismMode::kKeyed);
+  EXPECT_EQ(stage.parallelism.replicas, 2u);
+  EXPECT_EQ(stage.parallelism.max_replicas, 4u);
+  EXPECT_EQ(stage.parallelism_key, "stream");
+  ASSERT_TRUE(static_cast<bool>(stage.parallelism.shard_fn));
+  core::Packet probe;
+  probe.stream = 7;
+  probe.sequence = 3;
+  EXPECT_EQ(stage.parallelism.shard_fn(probe), 7u);  // shards by stream
+
   const auto& sink = config->pipeline.stages[1];
   EXPECT_EQ(sink.placement_hint, kInvalidNode);  // deployer chooses
+  EXPECT_EQ(sink.parallelism.mode, core::ParallelismMode::kSerial);
+  EXPECT_EQ(sink.parallelism.replicas, 1u);
 
   const auto& edge = config->pipeline.edges[0];
   EXPECT_EQ(edge.from_stage, 0u);
@@ -165,6 +178,29 @@ INSTANTIATE_TEST_SUITE_P(
         BadConfigCase{"param_missing_value",
                       "<application><stages><stage name='s' "
                       "code='builtin://x'><param name='k'/></stage></stages>"
+                      "<sources><source target='s'/></sources>"
+                      "</application>"},
+        BadConfigCase{"parallelism_unknown_mode",
+                      "<application><stages><stage name='s' "
+                      "code='builtin://x'><parallelism mode='magic'/></stage>"
+                      "</stages><sources><source target='s'/></sources>"
+                      "</application>"},
+        BadConfigCase{"parallelism_zero_replicas",
+                      "<application><stages><stage name='s' "
+                      "code='builtin://x'><parallelism mode='stateless' "
+                      "replicas='0'/></stage></stages>"
+                      "<sources><source target='s'/></sources>"
+                      "</application>"},
+        BadConfigCase{"parallelism_ceiling_below_replicas",
+                      "<application><stages><stage name='s' "
+                      "code='builtin://x'><parallelism mode='stateless' "
+                      "replicas='4' max-replicas='2'/></stage></stages>"
+                      "<sources><source target='s'/></sources>"
+                      "</application>"},
+        BadConfigCase{"parallelism_unknown_key",
+                      "<application><stages><stage name='s' "
+                      "code='builtin://x'><parallelism mode='keyed' "
+                      "key='color'/></stage></stages>"
                       "<sources><source target='s'/></sources>"
                       "</application>"},
         BadConfigCase{"cyclic_edges",

@@ -13,6 +13,7 @@ const char* kConfig = R"(
       <cost per-packet="0.00001" per-byte="0.0000005"/>
       <param name="emit-every" value="2500"/>
       <placement node="1"/>
+      <parallelism mode="keyed" replicas="2" max-replicas="4" key="stream"/>
       <monitor expected="15" over="30" under="4" window="8" alpha="0.6"
                p1="0.2" p2="0.3" p3="0.5" lt1="-0.15" lt2="0.15"/>
       <controller gain="0.08" variability="1.5" decay="0.6"/>
@@ -61,7 +62,20 @@ TEST(AppConfigWriter, RoundTripPreservesEverything) {
     EXPECT_NEAR(a.stages[i].monitor.lt2, b.stages[i].monitor.lt2, 1e-6);
     EXPECT_NEAR(a.stages[i].controller.gain, b.stages[i].controller.gain, 1e-6);
     EXPECT_EQ(a.stages[i].properties.all(), b.stages[i].properties.all());
+    EXPECT_EQ(a.stages[i].parallelism.mode, b.stages[i].parallelism.mode);
+    EXPECT_EQ(a.stages[i].parallelism.replicas,
+              b.stages[i].parallelism.replicas);
+    EXPECT_EQ(a.stages[i].parallelism.max_replicas,
+              b.stages[i].parallelism.max_replicas);
+    EXPECT_EQ(a.stages[i].parallelism_key, b.stages[i].parallelism_key);
+    EXPECT_EQ(static_cast<bool>(a.stages[i].parallelism.shard_fn),
+              static_cast<bool>(b.stages[i].parallelism.shard_fn));
   }
+  // The keyed declaration survived: replica-2 keyed pool sharded by stream.
+  EXPECT_EQ(b.stages[0].parallelism.mode, core::ParallelismMode::kKeyed);
+  EXPECT_EQ(b.stages[0].parallelism_key, "stream");
+  // A serial stage stays serial with no <parallelism> element emitted.
+  EXPECT_EQ(b.stages[1].parallelism.mode, core::ParallelismMode::kSerial);
   ASSERT_EQ(a.edges.size(), b.edges.size());
   EXPECT_EQ(b.edges[0].from_stage, 0u);
   EXPECT_EQ(b.edges[0].to_stage, 1u);

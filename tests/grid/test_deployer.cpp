@@ -271,6 +271,62 @@ TEST(Deployer, ReplacementProviderAdaptsReplaceStage) {
   EXPECT_FALSE(provider(1, {0, 1, 2}).has_value());
 }
 
+TEST(Deployer, PooledStageFactoryMintsOneInstancePerReplica) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto spec = f.pipeline(2);
+  spec.stages[0].parallelism.mode = core::ParallelismMode::kStateless;
+  spec.stages[0].parallelism.replicas = 2;
+  spec.stages[0].parallelism.max_replicas = 3;
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok()) << deployment.status().to_string();
+
+  // An engine calls a pooled stage's factory once per replica slot; each
+  // call past the first gets a sibling service instance, so none fails.
+  for (int slot = 0; slot < 3; ++slot) {
+    EXPECT_NE(spec.stages[0].factory(), nullptr) << "slot " << slot;
+  }
+  const NodeId pool_node = deployment->placement.stage_nodes[0];
+  const NodeId serial_node = deployment->placement.stage_nodes[1];
+  ASSERT_NE(pool_node, serial_node);  // load spreading separates them
+  EXPECT_EQ(deployment->containers[pool_node]->instances().size(), 3u)
+      << "primary pooled instance + 2 siblings";
+  // The serial stage keeps the single-shot lifecycle.
+  EXPECT_NE(spec.stages[1].factory(), nullptr);
+  EXPECT_EQ(spec.stages[1].factory(), nullptr);
+}
+
+TEST(Deployer, RecoveryFactoryRestartsPooledStageInPlace) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  auto spec = f.pipeline(1);
+  spec.stages[0].parallelism.mode = core::ParallelismMode::kStateless;
+  spec.stages[0].parallelism.replicas = 2;
+  spec.stages[0].parallelism.max_replicas = 2;
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok()) << deployment.status().to_string();
+  for (int slot = 0; slot < 2; ++slot) {
+    ASSERT_NE(spec.stages[0].factory(), nullptr);
+  }
+
+  // Crash recovery re-instantiates every replica slot through the restarted
+  // instance (plus fresh siblings), on the same node.
+  auto factory = make_recovery_factory(spec, *deployment, 0);
+  ASSERT_TRUE(static_cast<bool>(factory));
+  for (int slot = 0; slot < 2; ++slot) {
+    EXPECT_NE(factory(), nullptr) << "slot " << slot;
+  }
+  EXPECT_EQ(deployment->instances[0]->state(),
+            GatesServiceInstance::State::kRunning);
+
+  // Out-of-range or missing instances degrade to an empty factory.
+  EXPECT_FALSE(static_cast<bool>(make_recovery_factory(spec, *deployment, 7)));
+}
+
 TEST(Deployer, HostModelComesFromDirectory) {
   Fixture f;
   ResourceSpec fast;

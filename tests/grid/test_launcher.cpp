@@ -45,6 +45,31 @@ TEST(Launcher, LaunchFromText) {
   EXPECT_NE(app->pipeline.stages[0].factory(), nullptr);
 }
 
+TEST(Launcher, CustomizerRunsBeforeDeployment) {
+  Fixture f;
+  auto app = f.launcher.launch_text(
+      kConfig, [](core::PipelineSpec& pipeline) {
+        pipeline.stages[0].parallelism.mode =
+            core::ParallelismMode::kStateless;
+        pipeline.stages[0].parallelism.replicas = 2;
+        pipeline.stages[0].parallelism.max_replicas = 2;
+        return Status::ok();
+      });
+  ASSERT_TRUE(app.ok()) << app.status().to_string();
+  // Deployment saw the customized spec: the pooled stage's factory can be
+  // invoked once per replica slot.
+  EXPECT_NE(app->pipeline.stages[0].factory(), nullptr);
+  EXPECT_NE(app->pipeline.stages[0].factory(), nullptr);
+}
+
+TEST(Launcher, CustomizerErrorAbortsLaunch) {
+  Fixture f;
+  auto app = f.launcher.launch_text(kConfig, [](core::PipelineSpec&) {
+    return invalid_argument("no such stage");
+  });
+  EXPECT_EQ(app.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Launcher, LaunchFromHostedUrl) {
   Fixture f;
   f.launcher.host_config("mini", kConfig);

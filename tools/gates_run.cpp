@@ -19,6 +19,8 @@
 //   --retention N      replay retention per flow, in packets (default 256)
 //   --kill-node N@T    crash node N at T seconds into the run (repeatable)
 //   --recover-node N@T return node N to the candidate pool at T (sim only)
+//   --replicas S=N     run stage S as N replica workers (repeatable); a
+//                      serial stage is promoted to a stateless pool
 //   --verbose          middleware INFO logging
 //
 // Telemetry artifacts (each flag enables the subsystem behind it):
@@ -28,6 +30,7 @@
 //   --trace-buffer N        trace buffer capacity in events (default 65536)
 //   --emit-report-json FILE full RunReport as JSON
 //   --print-trajectories    print every (t, value) parameter sample
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,6 +67,7 @@ struct Options {
   std::size_t retention = 256;
   std::vector<std::pair<NodeId, double>> kill_nodes;
   std::vector<std::pair<NodeId, double>> recover_nodes;
+  std::vector<std::pair<std::string, std::size_t>> replicas;
   bool verbose = false;
   std::string metrics_out;
   std::string events_out;
@@ -72,6 +76,18 @@ struct Options {
   std::size_t trace_buffer = 0;  // 0 = TraceBuffer::kDefaultCapacity
   bool print_trajectories = false;
 };
+
+/// Parses "STAGE=N", e.g. "detect=4".
+bool parse_stage_count(const char* text,
+                       std::pair<std::string, std::size_t>& out) {
+  const std::string s = text;
+  const auto eq = s.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  long long n;
+  if (!parse_int(s.substr(eq + 1), n) || n <= 0) return false;
+  out = {s.substr(0, eq), static_cast<std::size_t>(n)};
+  return true;
+}
 
 /// Parses "NODE@TIME", e.g. "2@5.5".
 bool parse_node_time(const char* text, std::pair<NodeId, double>& out) {
@@ -93,7 +109,7 @@ int usage(const char* argv0) {
                "       [--control-period S] [--wire-message N] "
                "[--wire-record N] [--no-adapt] [--verbose]\n"
                "       [--failover] [--retention N] [--kill-node N@T] "
-               "[--recover-node N@T]\n"
+               "[--recover-node N@T] [--replicas STAGE=N]\n"
                "       [--metrics-out FILE] [--events-out FILE] "
                "[--trace-out FILE] [--trace-buffer N]\n"
                "       [--emit-report-json FILE] [--print-trajectories]\n",
@@ -169,6 +185,11 @@ bool parse_args(int argc, char** argv, Options& options) {
       std::pair<NodeId, double> nt;
       if (!v || !parse_node_time(v, nt)) return false;
       options.recover_nodes.push_back(nt);
+    } else if (arg == "--replicas") {
+      const char* v = next();
+      std::pair<std::string, std::size_t> sc;
+      if (!v || !parse_stage_count(v, sc)) return false;
+      options.replicas.push_back(sc);
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--metrics-out") {
@@ -347,7 +368,33 @@ int main(int argc, char** argv) {
   grid::Deployer deployer(grid->directory, repos,
                           grid::ProcessorRegistry::global());
   grid::Launcher launcher(deployer, grid::GeneratorRegistry::global());
-  auto app = launcher.launch_text(*app_text);
+  // Command-line replica overrides win over the app config's <parallelism>.
+  // They must land before deployment: the deployer bakes the parallelism
+  // declaration into the stage factories (one service instance per replica
+  // for pooled stages), so a post-launch rewrite would be ignored.
+  const auto apply_replicas = [&options](core::PipelineSpec& pipeline) {
+    for (const auto& [name, count] : options.replicas) {
+      auto& stages = pipeline.stages;
+      const auto it = std::find_if(
+          stages.begin(), stages.end(),
+          [&](const core::StageSpec& s) { return s.name == name; });
+      if (it == stages.end()) {
+        return invalid_argument("--replicas: no stage named '" + name + "'");
+      }
+      if (it->parallelism.mode == core::ParallelismMode::kSerial) {
+        it->parallelism.mode = core::ParallelismMode::kStateless;
+      }
+      it->parallelism.replicas = count;
+      if (it->parallelism.max_replicas != 0 &&
+          it->parallelism.max_replicas < count) {
+        it->parallelism.max_replicas = count;
+      }
+      std::printf("  stage '%s': %zu replicas (command line)\n", name.c_str(),
+                  count);
+    }
+    return Status::ok();
+  };
+  auto app = launcher.launch_text(*app_text, apply_replicas);
   if (!app.ok()) {
     std::fprintf(stderr, "launch: %s\n", app.status().to_string().c_str());
     return 1;
@@ -405,21 +452,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--recover-node applies to the sim engine only\n");
     }
     if (options.failover) {
-      // Grid-deployed factories are single-shot service instances; restart
-      // the crashed stage's instance in place before re-instantiating.
+      // Grid-deployed factories run through the service-instance lifecycle;
+      // restart the crashed stage's instance in place before
+      // re-instantiating (pooled stages get one instance per replica slot).
       auto* deployment = &app->deployment;
+      auto* pipeline = &app->pipeline;
       engine.set_recovery_factory_provider(
-          [deployment](std::size_t i) -> core::ProcessorFactory {
-            grid::GatesServiceInstance* inst = deployment->instances[i];
-            if (inst == nullptr) return {};
-            if (auto s = inst->restart(); !s.is_ok()) {
-              std::fprintf(stderr, "restart: %s\n", s.to_string().c_str());
-              return {};
-            }
-            return [inst]() -> std::unique_ptr<core::StreamProcessor> {
-              auto p = inst->instantiate();
-              return p.ok() ? std::move(*p) : nullptr;
-            };
+          [deployment, pipeline](std::size_t i) -> core::ProcessorFactory {
+            return grid::make_recovery_factory(*pipeline, *deployment, i);
           });
     }
     const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
