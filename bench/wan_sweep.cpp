@@ -1,0 +1,211 @@
+// WAN sweep: the Fig. 6/7 bandwidth curves rerun over emulated WAN links,
+// in both engines.
+//
+// Part 1 (SimEngine): adaptive count-samps across central-ingress bandwidths
+// {1, 10, 100, 1000} KB/s, each under three link profiles — clean, bursty
+// loss (Gilbert–Elliott), and heavy jitter. The paper's shape must survive
+// impairment: execution time falls monotonically as bandwidth rises, and the
+// Eq. 4 controller keeps adjusting the summary size (the printed `adj`
+// column counts its trajectory points). A monotonicity violation makes the
+// binary exit nonzero — the sweep is a deterministic DES, so this is a hard
+// check, not a flaky one.
+//
+// Part 2 (RtEngine): a 2-stage forwarding chain over one shaped link, swept
+// across shaper bandwidths plus one lossy point. The `wan_rt/unshaped/64B`
+// line runs with the shaper machinery compiled in but no impairment and no
+// bandwidth cap — its pkt/s is the CI-gated baseline proving the impairment
+// path costs nothing when disabled (bench/BENCH_packet_path.json, wan_rt
+// gate).
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gates/apps/count_samps.hpp"
+#include "gates/apps/scenarios.hpp"
+#include "gates/core/rt_engine.hpp"
+
+namespace gates::core {
+namespace {
+
+class Passthrough : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet& packet, Emitter& emitter) override {
+    emitter.emit(packet);
+  }
+  std::string name() const override { return "passthrough"; }
+};
+
+class Sink : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet&, Emitter&) override {}
+  std::string name() const override { return "sink"; }
+};
+
+/// source (node 1) -> fwd (node 1) -> sink (node 0); the 1->0 hop carries
+/// the link spec under test.
+void run_rt_point(const char* label, net::LinkSpec link,
+                  std::uint64_t packets) {
+  PipelineSpec spec;
+  Placement placement;
+  StageSpec fwd;
+  fwd.name = "fwd";
+  fwd.input_capacity = 1024;
+  fwd.monitor.capacity = 1024;
+  fwd.factory = [] { return std::make_unique<Passthrough>(); };
+  spec.stages.push_back(std::move(fwd));
+  placement.stage_nodes.push_back(1);
+  StageSpec sink;
+  sink.name = "sink";
+  sink.input_capacity = 1024;
+  sink.monitor.capacity = 1024;
+  sink.factory = [] { return std::make_unique<Sink>(); };
+  spec.stages.push_back(std::move(sink));
+  placement.stage_nodes.push_back(0);
+  spec.edges = {{0, 1, 0}};
+  SourceSpec src;
+  src.rate_hz = std::numeric_limits<double>::infinity();
+  src.total_packets = packets;
+  src.packet_bytes = 64;
+  src.location = 1;
+  src.target_stage = 0;
+  spec.sources = {src};
+  HostModel hosts;
+  hosts.cpu_factor = {1.0, 1.0};
+  net::Topology topology;
+  topology.set_pair(1, 0, link);
+
+  RtEngine::Config cfg;
+  cfg.control_period = 0.02;
+  cfg.max_wall_time = 120;
+  cfg.adaptation_enabled = false;
+  RtEngine engine(std::move(spec), std::move(placement), std::move(hosts),
+                  std::move(topology), cfg);
+  const Status s = engine.run();
+  if (!s.is_ok() || !engine.report().completed) {
+    std::printf("%-24s FAILED (%s)\n", label, s.message().c_str());
+    return;
+  }
+  const double secs = engine.report().execution_time;
+  const double pps = static_cast<double>(packets) / secs;
+  std::printf("%-24s %10.0f pkt/s  (%6.2f s)\n", label, pps, secs);
+  gates::bench::persist_report(std::string("wan_sweep/") + label,
+                               engine.report());
+}
+
+}  // namespace
+}  // namespace gates::core
+
+namespace {
+
+struct WanProfile {
+  const char* name;
+  gates::net::ImpairmentSpec impair;
+};
+
+std::vector<WanProfile> sim_profiles() {
+  using gates::net::ImpairmentSpec;
+  WanProfile clean{"clean", {}};
+  WanProfile bursty{"burst-loss", {}};
+  bursty.impair.burst = true;
+  bursty.impair.p_good_bad = 0.02;
+  bursty.impair.p_bad_good = 0.3;
+  bursty.impair.loss_good = 0.001;
+  bursty.impair.loss_bad = 0.3;
+  bursty.impair.retransmit_delay = 0.05;
+  WanProfile jittery{"jitter", {}};
+  jittery.impair.jitter = 0.05;
+  jittery.impair.reorder = 0.2;
+  jittery.impair.reorder_delay = 0.05;
+  return {clean, bursty, jittery};
+}
+
+/// Eq. 4 adjustment count: trajectory points the controller recorded for
+/// the summary-size parameter across all summary stages.
+std::size_t count_adjustments(
+    const gates::apps::scenarios::CountSampsResult& r,
+    std::size_t num_sources) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    const auto* sr = r.report.stage("summary" + std::to_string(i));
+    if (sr == nullptr) continue;
+    for (const auto& [pname, trajectory] : sr->parameter_trajectories) {
+      if (pname == gates::apps::CountSampsSummaryProcessor::kParamName) {
+        n += trajectory.size();
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  gates::bench::init();
+  gates::bench::header("wan_sweep",
+                       "Fig. 6/7 bandwidth curves over emulated WAN links");
+  gates::bench::note(
+      "Sim: adaptive count-samps vs central-ingress bandwidth under clean,"
+      "\nburst-loss and jitter profiles. Time must fall monotonically with"
+      "\nbandwidth; `adj` counts Eq. 4 summary-size adjustments.");
+  gates::bench::rule();
+
+  const std::vector<double> bandwidths = {1e3, 10e3, 100e3, 1000e3};
+  bool monotone = true;
+  std::printf("%-12s %11s %8s %6s %9s %10s\n", "profile", "bandwidth",
+              "exec_s", "adj", "accuracy", "mean_n");
+  for (const WanProfile& profile : sim_profiles()) {
+    double prev_time = std::numeric_limits<double>::infinity();
+    for (double bw : bandwidths) {
+      gates::apps::scenarios::CountSampsOptions o;
+      o.items_per_source = 10000;
+      o.central_ingress_bw = bw;
+      o.ingress_latency = 0.02;
+      o.ingress_impair = profile.impair;
+      o.summary_initial = 100;
+      o.summary_min = 10;
+      o.summary_max = 240;
+      o.adaptive = true;
+      const auto r = gates::apps::scenarios::run_count_samps(o);
+      const std::size_t adj = count_adjustments(r, o.num_sources);
+      std::printf("%-12s %8.0f KB/s %8.1f %6zu %8.1f%% %10.1f\n",
+                  profile.name, bw / 1e3, r.execution_time, adj,
+                  r.accuracy.score(), r.mean_summary_size);
+      std::fflush(stdout);
+      // The DES is deterministic; allow 5% slack for adaptation transients.
+      if (r.execution_time > prev_time * 1.05) {
+        std::printf("MONOTONE VIOLATION: %s at %.0f KB/s\n", profile.name,
+                    bw / 1e3);
+        monotone = false;
+      }
+      prev_time = r.execution_time;
+    }
+  }
+  std::printf("monotone degradation: %s\n", monotone ? "ok" : "VIOLATED");
+  gates::bench::rule();
+
+  gates::bench::note(
+      "Rt: 2-stage chain over one shaped link. unshaped = shaper compiled in,"
+      "\nimpairment disabled, no cap — the CI-gated baseline.");
+  using gates::core::run_rt_point;
+  run_rt_point("wan_rt/unshaped/64B", {1e13, 0.0, {}}, 1000000);
+  for (double bw : {25e3, 100e3, 400e3}) {
+    const std::uint64_t n =
+        static_cast<std::uint64_t>(bw / 64 * 2);  // ~2 s per point
+    const std::string label =
+        "wan_rt/" + std::to_string(static_cast<int>(bw / 1e3)) + "KBs/64B";
+    run_rt_point(label.c_str(), {bw, 0.02, {}}, n);
+  }
+  gates::net::ImpairmentSpec lossy;
+  lossy.loss = 0.05;
+  lossy.loss_mode = gates::net::LossMode::kRetransmit;
+  lossy.retransmit_delay = 0.01;
+  run_rt_point("wan_rt/100KBs+loss5/64B", {100e3, 0.02, lossy},
+               static_cast<std::uint64_t>(100e3 / 64 * 2));
+  gates::bench::rule();
+  return monotone ? 0 : 1;
+}

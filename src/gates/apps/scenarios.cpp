@@ -101,7 +101,9 @@ CountSampsResult run_count_samps(const CountSampsOptions& options) {
   }
 
   net::Topology topology;
-  topology.set_shared_ingress(0, {options.central_ingress_bw, 0.0});
+  topology.set_shared_ingress(0, {options.central_ingress_bw,
+                                  options.ingress_latency,
+                                  options.ingress_impair});
 
   core::HostModel hosts;
   hosts.cpu_factor.assign(options.num_sources + 1, 1.0);

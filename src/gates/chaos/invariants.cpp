@@ -1,0 +1,182 @@
+#include "gates/chaos/invariants.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "gates/common/json.hpp"
+
+namespace gates::chaos {
+namespace {
+
+std::string format_count(const char* what, std::uint64_t n) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s=%llu", what,
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+
+InvariantResult check_completed(const core::RunReport& report,
+                                bool bounded_run) {
+  InvariantResult r;
+  r.name = "run-completed";
+  if (!bounded_run && !report.completed) {
+    r.passed = true;
+    r.detail = "vacuous: run_for horizon cuts the run off by design";
+    return r;
+  }
+  r.passed = report.completed;
+  r.detail = report.completed ? "pipeline reached EOS"
+                              : "run hit the time horizon before EOS";
+  return r;
+}
+
+InvariantResult check_loss_accounting(const ChaosScenario& scenario,
+                                      const core::RunReport& report) {
+  InvariantResult r;
+  r.name = "no-unaccounted-loss";
+  std::uint64_t lost = 0;
+  std::uint64_t retransmitted = 0;
+  for (const core::LinkReport& l : report.links) {
+    lost += l.messages_lost;
+    retransmitted += l.messages_retransmitted;
+  }
+  if (scenario.lossy_drop) {
+    // Permanent loss was injected: it is legal, but it must be visible on
+    // the link accounting rather than silently vanishing.
+    r.passed = true;
+    r.detail = format_count("accounted messages_lost", lost);
+    return r;
+  }
+  r.passed = lost == 0;
+  r.detail = format_count("messages_lost", lost) + ", " +
+             format_count("messages_retransmitted", retransmitted) +
+             (r.passed ? "" : " — retransmit-mode impairments must not lose");
+  return r;
+}
+
+InvariantResult check_no_false_failover(const ChaosScenario& scenario,
+                                        const core::RunReport& report) {
+  InvariantResult r;
+  r.name = "heartbeat-no-false-positive";
+  if (scenario.has_kills) {
+    r.passed = true;
+    r.detail = "vacuous: scenario injects crashes";
+    return r;
+  }
+  r.passed = report.failures.empty();
+  if (r.passed) {
+    r.detail = "no failure declared under pure delay/loss";
+  } else {
+    r.detail = "failure detector fired with no crash injected: stage '" +
+               report.failures.front().stage + "' at t=" +
+               std::to_string(report.failures.front().detected_at);
+  }
+  return r;
+}
+
+InvariantResult check_crashes_detected(const ChaosScenario& scenario,
+                                       const core::RunReport& report) {
+  InvariantResult r;
+  r.name = "injected-crashes-detected";
+  if (!scenario.has_kills) {
+    r.passed = true;
+    r.detail = "vacuous: scenario injects no crashes";
+    return r;
+  }
+  std::vector<NodeId> missing;
+  for (NodeId node : scenario.expected_failed_nodes) {
+    const bool seen = std::any_of(
+        report.failures.begin(), report.failures.end(),
+        [node](const core::FailureReport& f) { return f.node == node; });
+    if (!seen) missing.push_back(node);
+  }
+  // Rt-driven kills land as kill_stage: the failure record carries the
+  // stage's placement node, which the expected_failed_nodes list names too,
+  // so the node check covers both engines.
+  r.passed = missing.empty();
+  if (r.passed) {
+    r.detail = format_count("failures detected",
+                            static_cast<std::uint64_t>(report.failures.size()));
+  } else {
+    r.detail = "crashed node(s) never detected:";
+    for (NodeId node : missing) r.detail += " " + std::to_string(node);
+  }
+  return r;
+}
+
+InvariantResult check_eq4_reconverges(
+    const ChaosScenario& scenario,
+    const std::vector<obs::TraceEvent>& events) {
+  InvariantResult r;
+  r.name = "eq4-adapts-after-transition";
+  bool any_adjust = false;
+  bool after = false;
+  double last_adjust = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind != obs::TraceKind::kParamAdjust &&
+        e.kind != obs::TraceKind::kReplicaScaleUp &&
+        e.kind != obs::TraceKind::kReplicaScaleDown) {
+      continue;
+    }
+    any_adjust = true;
+    last_adjust = std::max(last_adjust, e.time);
+    if (e.time > scenario.last_transition) after = true;
+  }
+  if (!any_adjust) {
+    r.passed = true;
+    r.detail = "vacuous: no adaptive parameters adjusted during the run";
+    return r;
+  }
+  r.passed = after;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "last adjustment t=%.3f, last transition t=%.3f", last_adjust,
+                scenario.last_transition);
+  r.detail = buf;
+  return r;
+}
+
+}  // namespace
+
+std::vector<InvariantResult> evaluate_invariants(
+    const ChaosScenario& scenario, const core::RunReport& report,
+    const std::vector<obs::TraceEvent>& events, bool bounded_run) {
+  std::vector<InvariantResult> results;
+  results.push_back(check_completed(report, bounded_run));
+  results.push_back(check_loss_accounting(scenario, report));
+  results.push_back(check_no_false_failover(scenario, report));
+  results.push_back(check_crashes_detected(scenario, report));
+  results.push_back(check_eq4_reconverges(scenario, events));
+  return results;
+}
+
+bool ChaosReport::all_passed() const {
+  return std::all_of(invariants.begin(), invariants.end(),
+                     [](const InvariantResult& r) { return r.passed; });
+}
+
+std::string ChaosReport::to_json() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("scenario", scenario)
+      .kv("engine", engine)
+      .kv("seed", seed)
+      .kv("all_passed", all_passed());
+  w.key("invariants").begin_array();
+  for (const InvariantResult& r : invariants) {
+    w.begin_object()
+        .kv("name", r.name)
+        .kv("passed", r.passed)
+        .kv("detail", r.detail)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+  // Splice the embedded RunReport (already valid JSON) before the closing
+  // brace — JsonWriter has no raw-value passthrough.
+  std::string out = w.str();
+  out.insert(out.size() - 1, ",\"run\":" + run.to_json());
+  return out;
+}
+
+}  // namespace gates::chaos

@@ -1,0 +1,55 @@
+// Invariant checkers: what must stay true about a run regardless of how its
+// links were impaired, evaluated from the RunReport + trace event log after
+// the run ends. A chaos soak is only as strong as these checks — the
+// scenario schedule produces stress, the invariants decide pass/fail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/chaos/scenario.hpp"
+#include "gates/core/report.hpp"
+#include "gates/obs/trace.hpp"
+
+namespace gates::chaos {
+
+struct InvariantResult {
+  std::string name;
+  bool passed = false;
+  /// What was observed (violation specifics, or pass context like
+  /// "vacuous: pipeline has no adaptive parameters").
+  std::string detail;
+};
+
+/// Runs every checker against the finished run:
+///  - run-completed: the pipeline reached EOS inside the horizon. Vacuous
+///    when `bounded_run` is false (run_for cuts the run off by design).
+///  - no-unaccounted-loss: kRetransmit impairments lose nothing; kDrop loss
+///    appears on LinkReport::messages_lost, never silently.
+///  - heartbeat-no-false-positive: with no injected crashes, pure delay and
+///    loss must not trip failure detection — report.failures stays empty.
+///  - injected-crashes-detected: every deliberately crashed node shows up in
+///    report.failures (only when the scenario injects crashes).
+///  - eq4-adapts-after-transition: a kParamAdjust or kReplicaScale* trace
+///    event lands after the scenario's last transition — the Section-4
+///    controller re-converges on the post-chaos link. Vacuously passes (with
+///    detail) when the pipeline has no adaptive parameters at all.
+std::vector<InvariantResult> evaluate_invariants(
+    const ChaosScenario& scenario, const core::RunReport& report,
+    const std::vector<obs::TraceEvent>& events, bool bounded_run = true);
+
+/// The chaos artifact: scenario + engine + seed + full run report + verdicts.
+struct ChaosReport {
+  std::string scenario;
+  std::string engine;  // "sim" | "rt"
+  std::uint64_t seed = 0;
+  core::RunReport run;
+  std::vector<InvariantResult> invariants;
+
+  bool all_passed() const;
+  /// JSON artifact for CI upload (chaos-smoke job) and offline triage.
+  std::string to_json() const;
+};
+
+}  // namespace gates::chaos

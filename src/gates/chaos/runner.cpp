@@ -1,0 +1,154 @@
+#include "gates/chaos/runner.hpp"
+
+#include <chrono>
+
+#include "gates/common/check.hpp"
+
+namespace gates::chaos {
+
+ChaosTarget default_target(const core::PipelineSpec& spec,
+                           const core::Placement& placement,
+                           const net::Topology& topology) {
+  ChaosTarget target;
+  bool found = false;
+  for (const core::EdgeSpec& edge : spec.edges) {
+    const NodeId from = placement.stage_nodes[edge.from_stage];
+    const NodeId to = placement.stage_nodes[edge.to_stage];
+    if (from != to) {
+      target.from = from;
+      target.to = to;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    for (const core::SourceSpec& src : spec.sources) {
+      const NodeId to = placement.stage_nodes[src.target_stage];
+      if (src.location != to) {
+        target.from = src.location;
+        target.to = to;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found && !spec.sources.empty()) {
+    // Fully co-located pipeline: impair the first source flow anyway (the
+    // loopback stays clean, but bandwidth transitions still apply).
+    target.from = spec.sources.front().location;
+    target.to = placement.stage_nodes[spec.sources.front().target_stage];
+  }
+  if (auto ingress = topology.shared_ingress(target.to)) {
+    target.base = *ingress;
+  } else {
+    target.base = topology.between(target.from, target.to);
+  }
+  if (!spec.stages.empty()) {
+    // Crash a mid-pipeline stage: upstream retention replays it, downstream
+    // observes the recovery — the interesting failover path.
+    target.victim_stage = spec.stages.size() > 1 ? spec.stages.size() / 2 : 0;
+    target.victim_node = placement.stage_nodes[target.victim_stage];
+  }
+  return target;
+}
+
+void apply_to_sim(core::SimEngine& engine, const ChaosScenario& scenario,
+                  const core::Placement& placement) {
+  for (const ChaosAction& a : scenario.actions) {
+    switch (a.kind) {
+      case ChaosAction::Kind::kLinkChange:
+        engine.schedule_link_change(a.from, a.to, a.time, a.spec);
+        break;
+      case ChaosAction::Kind::kNodeFailure:
+        engine.schedule_node_failure(a.node, a.time);
+        break;
+      case ChaosAction::Kind::kNodeRecovery:
+        engine.schedule_node_recovery(a.node, a.time);
+        break;
+      case ChaosAction::Kind::kKillStage:
+        // The DES has no per-stage kill; the stage's hosting node fails.
+        engine.schedule_node_failure(placement.stage_nodes[a.stage_index],
+                                     a.time);
+        break;
+    }
+  }
+}
+
+void prepare_rt(core::RtEngine& engine, const ChaosScenario& scenario) {
+  for (const ChaosAction& a : scenario.actions) {
+    switch (a.kind) {
+      case ChaosAction::Kind::kLinkChange:
+        engine.prepare_link_change(a.from, a.to);
+        break;
+      case ChaosAction::Kind::kNodeFailure:
+        engine.schedule_node_failure(a.node, a.time);
+        break;
+      case ChaosAction::Kind::kNodeRecovery:
+        // Rt failover restarts a killed stage in place — recovery needs no
+        // scheduling.
+        break;
+      case ChaosAction::Kind::kKillStage:
+        // Injected live by the driver thread.
+        break;
+    }
+  }
+}
+
+RtChaosDriver::RtChaosDriver(core::RtEngine& engine, ChaosScenario scenario)
+    : engine_(engine), scenario_(std::move(scenario)) {}
+
+RtChaosDriver::~RtChaosDriver() { finish(); }
+
+void RtChaosDriver::start() {
+  GATES_CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { run(); });
+}
+
+void RtChaosDriver::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RtChaosDriver::run() {
+  const auto start = std::chrono::steady_clock::now();
+  for (const ChaosAction& a : scenario_.actions) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto deadline =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(a.time));
+      if (cv_.wait_until(lock, deadline, [this] { return stop_; })) return;
+    }
+    switch (a.kind) {
+      case ChaosAction::Kind::kLinkChange:
+        engine_.apply_link_change(a.from, a.to, a.spec);
+        break;
+      case ChaosAction::Kind::kKillStage:
+        engine_.kill_stage(a.stage_index);
+        break;
+      case ChaosAction::Kind::kNodeFailure:
+      case ChaosAction::Kind::kNodeRecovery:
+        // Scheduled pre-run by prepare_rt (failures) or a no-op (recovery).
+        break;
+    }
+  }
+}
+
+ChaosReport make_report(const ChaosScenario& scenario, const char* engine,
+                        std::uint64_t seed, const core::RunReport& report,
+                        const std::vector<obs::TraceEvent>& events,
+                        bool bounded_run) {
+  ChaosReport out;
+  out.scenario = scenario.name;
+  out.engine = engine;
+  out.seed = seed;
+  out.run = report;
+  out.invariants = evaluate_invariants(scenario, report, events, bounded_run);
+  return out;
+}
+
+}  // namespace gates::chaos

@@ -1,0 +1,76 @@
+// Chaos runner: replays one ChaosScenario against either engine.
+//
+// SimEngine: every action becomes a scheduled event before run() — the whole
+// soak is deterministic and replayable from (config, seed, scenario).
+// RtEngine: crash injections are scheduled pre-run; link transitions are
+// driven by a timer thread (RtChaosDriver) calling apply_link_change /
+// kill_stage while run() blocks, after a prepare pass registered every
+// touched flow so its shaper exists.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "gates/chaos/invariants.hpp"
+#include "gates/chaos/scenario.hpp"
+#include "gates/core/rt_engine.hpp"
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::chaos {
+
+/// Picks the flow a scenario should impair from a deployed pipeline: the
+/// first inter-node stage edge, else the first source->stage flow, with the
+/// flow's configured spec as the restore point. victim_node/victim_stage are
+/// filled from the last pipeline stage (crash scenarios recover everything
+/// upstream of the sink by replay).
+ChaosTarget default_target(const core::PipelineSpec& spec,
+                           const core::Placement& placement,
+                           const net::Topology& topology);
+
+/// Schedules every action into the DES before run(). kKillStage actions are
+/// mapped to node failures of the stage's placement node.
+void apply_to_sim(core::SimEngine& engine, const ChaosScenario& scenario,
+                  const core::Placement& placement);
+
+/// Pre-run pass for the RtEngine: registers every link the scenario touches
+/// (prepare_link_change, so clean flows still get shapers) and schedules
+/// crash injections. Must precede run().
+void prepare_rt(core::RtEngine& engine, const ChaosScenario& scenario);
+
+/// Timer thread driving the runtime half of a scenario against a live
+/// RtEngine. Usage:
+///   prepare_rt(engine, scenario);
+///   RtChaosDriver driver(engine, scenario);
+///   driver.start();              // immediately before run()
+///   Status s = engine.run();
+///   driver.finish();             // joins; safe if actions remain
+class RtChaosDriver {
+ public:
+  RtChaosDriver(core::RtEngine& engine, ChaosScenario scenario);
+  ~RtChaosDriver();
+  RtChaosDriver(const RtChaosDriver&) = delete;
+  RtChaosDriver& operator=(const RtChaosDriver&) = delete;
+
+  void start();
+  void finish();
+
+ private:
+  void run();
+
+  core::RtEngine& engine_;
+  ChaosScenario scenario_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Assembles the chaos artifact from a finished run: evaluates every
+/// invariant against the report and the global trace buffer's event log.
+ChaosReport make_report(const ChaosScenario& scenario, const char* engine,
+                        std::uint64_t seed, const core::RunReport& report,
+                        const std::vector<obs::TraceEvent>& events,
+                        bool bounded_run = true);
+
+}  // namespace gates::chaos

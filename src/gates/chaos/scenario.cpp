@@ -1,0 +1,194 @@
+#include "gates/chaos/scenario.hpp"
+
+#include <algorithm>
+
+namespace gates::chaos {
+namespace {
+
+/// Degraded variant of a base spec: quarter bandwidth, +200 ms propagation,
+/// 20 ms jitter, 5% retransmit loss — a congested WAN path.
+net::LinkSpec degraded_spec(const net::LinkSpec& base) {
+  net::LinkSpec spec = base;
+  spec.bandwidth = std::max(base.bandwidth / 4, 1.0);
+  spec.latency = base.latency + 0.2;
+  spec.impair.jitter = 0.02;
+  spec.impair.loss = 0.05;
+  spec.impair.loss_mode = net::LossMode::kRetransmit;
+  spec.impair.retransmit_delay = 0.02;
+  return spec;
+}
+
+net::LinkSpec partitioned_spec(const net::LinkSpec& base) {
+  net::LinkSpec spec = base;
+  spec.impair.loss = 1.0;
+  spec.impair.loss_mode = net::LossMode::kRetransmit;
+  // The RTO bounds the DES event rate while the head message retries; on
+  // heal the backlog drains normally.
+  spec.impair.retransmit_delay = 0.05;
+  return spec;
+}
+
+ChaosAction link_change(TimePoint t, const ChaosTarget& target,
+                        net::LinkSpec spec) {
+  ChaosAction a;
+  a.kind = ChaosAction::Kind::kLinkChange;
+  a.time = t;
+  a.from = target.from;
+  a.to = target.to;
+  a.spec = spec;
+  return a;
+}
+
+void finish(ChaosScenario& s) {
+  std::stable_sort(s.actions.begin(), s.actions.end(),
+                   [](const ChaosAction& a, const ChaosAction& b) {
+                     return a.time < b.time;
+                   });
+  for (const ChaosAction& a : s.actions) {
+    s.last_transition = std::max(s.last_transition, a.time);
+    if (a.kind == ChaosAction::Kind::kNodeFailure) {
+      s.has_kills = true;
+      s.expected_failed_nodes.push_back(a.node);
+    }
+    if (a.kind == ChaosAction::Kind::kKillStage) {
+      s.has_kills = true;
+      s.expected_killed_stages.push_back(a.stage_index);
+    }
+    if (a.kind == ChaosAction::Kind::kLinkChange &&
+        a.spec.impair.loss_mode == net::LossMode::kDrop &&
+        a.spec.impair.lossy()) {
+      s.lossy_drop = true;
+    }
+  }
+}
+
+}  // namespace
+
+ChaosScenario degrade(const ChaosTarget& target, Duration horizon) {
+  ChaosScenario s;
+  s.name = "degrade";
+  s.horizon = horizon;
+  s.actions.push_back(
+      link_change(horizon * 0.25, target, degraded_spec(target.base)));
+  s.actions.push_back(link_change(horizon * 0.75, target, target.base));
+  finish(s);
+  return s;
+}
+
+ChaosScenario flap(const ChaosTarget& target, Duration horizon) {
+  ChaosScenario s;
+  s.name = "flap";
+  s.horizon = horizon;
+  const Duration step = horizon / 8;
+  for (int i = 1; i <= 6; ++i) {
+    s.actions.push_back(link_change(
+        step * i, target,
+        i % 2 == 1 ? degraded_spec(target.base) : target.base));
+  }
+  finish(s);
+  return s;
+}
+
+ChaosScenario partition(const ChaosTarget& target, Duration horizon) {
+  ChaosScenario s;
+  s.name = "partition";
+  s.horizon = horizon;
+  s.actions.push_back(
+      link_change(horizon * 0.25, target, partitioned_spec(target.base)));
+  s.actions.push_back(link_change(horizon * 0.5, target, target.base));
+  finish(s);
+  return s;
+}
+
+ChaosScenario asymmetric(const ChaosTarget& target, Duration horizon) {
+  ChaosScenario s;
+  s.name = "asymmetric";
+  s.horizon = horizon;
+  s.actions.push_back(
+      link_change(horizon * 0.25, target, degraded_spec(target.base)));
+  // Reverse path: same nodes swapped, delay only — the asymmetry the
+  // heartbeat/lease budget has to absorb.
+  ChaosAction reverse = link_change(horizon * 0.25, target, target.base);
+  reverse.from = target.to;
+  reverse.to = target.from;
+  reverse.spec.latency = target.base.latency + 0.05;
+  s.actions.push_back(reverse);
+  s.actions.push_back(link_change(horizon * 0.75, target, target.base));
+  ChaosAction reverse_heal = reverse;
+  reverse_heal.time = horizon * 0.75;
+  reverse_heal.spec = target.base;
+  s.actions.push_back(reverse_heal);
+  finish(s);
+  return s;
+}
+
+ChaosScenario slow_start_burst(const ChaosTarget& target, Duration horizon) {
+  ChaosScenario s;
+  s.name = "slow-start-burst";
+  s.horizon = horizon;
+  // Burst-loss regime at 1/8 bandwidth, then ramp back up in doubling steps
+  // (slow start) with the burst channel easing off.
+  net::LinkSpec burst = target.base;
+  burst.bandwidth = std::max(target.base.bandwidth / 8, 1.0);
+  burst.impair.burst = true;
+  burst.impair.p_good_bad = 0.05;
+  burst.impair.p_bad_good = 0.3;
+  burst.impair.loss_good = 0.0;
+  burst.impair.loss_bad = 0.8;
+  burst.impair.loss_mode = net::LossMode::kRetransmit;
+  burst.impair.retransmit_delay = 0.01;
+  s.actions.push_back(link_change(horizon * 0.2, target, burst));
+  net::LinkSpec ramp = burst;
+  for (int i = 1; i <= 3; ++i) {
+    ramp.bandwidth = std::min(target.base.bandwidth, ramp.bandwidth * 2);
+    ramp.impair.loss_bad *= 0.5;
+    s.actions.push_back(
+        link_change(horizon * (0.2 + 0.15 * i), target, ramp));
+  }
+  s.actions.push_back(link_change(horizon * 0.8, target, target.base));
+  finish(s);
+  return s;
+}
+
+ChaosScenario crash_flap(const ChaosTarget& target, Duration horizon) {
+  ChaosScenario s = flap(target, horizon);
+  s.name = "crash-flap";
+  // Crash mid-flap, recover the node for the tail of the run. When driven
+  // against an RtEngine the failure maps to kill_stage(victim_stage).
+  ChaosAction crash;
+  crash.kind = ChaosAction::Kind::kNodeFailure;
+  crash.time = horizon * 0.4;
+  crash.node = target.victim_node;
+  crash.stage_index = target.victim_stage;
+  s.actions.push_back(crash);
+  ChaosAction recover;
+  recover.kind = ChaosAction::Kind::kNodeRecovery;
+  recover.time = horizon * 0.6;
+  recover.node = target.victim_node;
+  s.actions.push_back(recover);
+  s.last_transition = 0;
+  s.expected_failed_nodes.clear();
+  s.expected_killed_stages.clear();
+  s.has_kills = false;
+  finish(s);
+  return s;
+}
+
+bool scenario_by_name(const std::string& name, const ChaosTarget& target,
+                      Duration horizon, ChaosScenario* out) {
+  if (name == "degrade") *out = degrade(target, horizon);
+  else if (name == "flap") *out = flap(target, horizon);
+  else if (name == "partition") *out = partition(target, horizon);
+  else if (name == "asymmetric") *out = asymmetric(target, horizon);
+  else if (name == "slow-start-burst") *out = slow_start_burst(target, horizon);
+  else if (name == "crash-flap") *out = crash_flap(target, horizon);
+  else return false;
+  return true;
+}
+
+std::vector<std::string> scenario_names() {
+  return {"degrade",         "flap",       "partition",
+          "asymmetric",      "slow-start-burst", "crash-flap"};
+}
+
+}  // namespace gates::chaos

@@ -1,0 +1,93 @@
+// Chaos scenarios: timed sequences of link-impairment transitions and crash
+// injections, replayed identically against either engine.
+//
+// A scenario is pure data — (time, action) pairs — so the same scenario is
+// scheduled into the SimEngine's event queue (deterministic replay) or
+// driven against a live RtEngine by a timer thread (runner.hpp). The
+// builders below cover the soak matrix ISSUE 6 calls for: degrade, flap,
+// partition, asymmetric paths, slow-start bursts, and the composed
+// flapping-link + stage-crash case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gates/common/types.hpp"
+#include "gates/net/topology.hpp"
+
+namespace gates::chaos {
+
+struct ChaosAction {
+  enum class Kind : std::uint8_t {
+    kLinkChange,    // apply `spec` to the flow from -> to
+    kNodeFailure,   // crash-stop every stage on `node`
+    kNodeRecovery,  // return `node` to the replacement candidate pool (Sim)
+    kKillStage,     // crash-stop one stage by index (Rt kill_stage)
+  };
+  Kind kind = Kind::kLinkChange;
+  TimePoint time = 0;
+  // kLinkChange
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  net::LinkSpec spec;
+  // kNodeFailure / kNodeRecovery
+  NodeId node = kInvalidNode;
+  // kKillStage
+  std::size_t stage_index = 0;
+};
+
+/// Which flow a scenario impairs and who it crashes; builders fill in the
+/// schedule around it.
+struct ChaosTarget {
+  NodeId from = 0;
+  NodeId to = 1;
+  /// The flow's configured (healthy) spec — restores return to it.
+  net::LinkSpec base;
+  /// Node crashed by composed scenarios (crash-flap); kInvalidNode = none.
+  NodeId victim_node = kInvalidNode;
+  /// Stage killed by composed scenarios when driving an RtEngine.
+  std::size_t victim_stage = 0;
+};
+
+struct ChaosScenario {
+  std::string name;
+  std::vector<ChaosAction> actions;  // sorted by time
+  /// Suggested run horizon: transitions all land well inside it.
+  Duration horizon = 30;
+  /// Latest transition time — Eq. 4 convergence is checked after this.
+  TimePoint last_transition = 0;
+  /// True when the scenario injects crashes (failures are then expected).
+  bool has_kills = false;
+  /// True when any action uses kDrop loss (permanent link loss is then
+  /// accounted, not forbidden).
+  bool lossy_drop = false;
+  /// Nodes the scenario deliberately takes down.
+  std::vector<NodeId> expected_failed_nodes;
+  /// Stage indices the scenario deliberately kills.
+  std::vector<std::size_t> expected_killed_stages;
+};
+
+// -- the soak matrix ---------------------------------------------------------
+/// Bandwidth/latency degrade at t=h/4, restore at t=3h/4.
+ChaosScenario degrade(const ChaosTarget& target, Duration horizon = 30);
+/// Link alternates degraded/healthy every horizon/8.
+ChaosScenario flap(const ChaosTarget& target, Duration horizon = 30);
+/// Full partition (loss 1.0, retransmit mode: traffic blocks, nothing is
+/// lost) for horizon/4, then heal.
+ChaosScenario partition(const ChaosTarget& target, Duration horizon = 30);
+/// Forward path degrades hard while the reverse path only picks up delay.
+ChaosScenario asymmetric(const ChaosTarget& target, Duration horizon = 30);
+/// Gilbert-Elliott burst loss plus a slow-start bandwidth ramp back up.
+ChaosScenario slow_start_burst(const ChaosTarget& target,
+                               Duration horizon = 30);
+/// The acceptance-criteria composition: flapping link + a node crash (and
+/// recovery) mid-flap. Requires target.victim_node.
+ChaosScenario crash_flap(const ChaosTarget& target, Duration horizon = 30);
+
+/// Builder lookup for --chaos NAME; returns false for unknown names.
+bool scenario_by_name(const std::string& name, const ChaosTarget& target,
+                      Duration horizon, ChaosScenario* out);
+/// Names accepted by scenario_by_name, for usage text and CI matrices.
+std::vector<std::string> scenario_names();
+
+}  // namespace gates::chaos

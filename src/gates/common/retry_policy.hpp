@@ -4,10 +4,14 @@
 //
 // Deterministic by design: delay(attempt) is a pure function, so a DES run
 // that schedules retries through it stays a pure function of its config.
+// The jittered overload stays deterministic too — callers pass a seeded,
+// forked Rng — while decorrelating replicas that fail together (e.g. every
+// stage behind a partition retrying in lockstep).
 #pragma once
 
 #include <cstddef>
 
+#include "gates/common/rng.hpp"
 #include "gates/common/types.hpp"
 
 namespace gates {
@@ -21,6 +25,10 @@ struct RetryPolicy {
   Duration max_delay = 30.0;
   /// Total attempts before giving up (>= 1).
   std::size_t max_attempts = 4;
+  /// Fraction of each backoff that is randomized by the jittered overload:
+  /// delay is drawn uniformly from [base*(1-jitter), base]. 1.0 = AWS-style
+  /// full jitter; 0.0 = deterministic even via the Rng overload.
+  double jitter = 1.0;
 
   /// Backoff before attempt `attempt` (0-based): attempt 0 is immediate,
   /// attempt k waits initial_delay * multiplier^(k-1), capped at max_delay.
@@ -32,6 +40,15 @@ struct RetryPolicy {
       if (d >= max_delay) return max_delay;
     }
     return d < max_delay ? d : max_delay;
+  }
+
+  /// Jittered backoff: uniform over [base*(1-jitter), base] where base is
+  /// the deterministic delay(attempt). Attempt 0 stays immediate.
+  Duration delay(std::size_t attempt, Rng& rng) const {
+    const Duration base = delay(attempt);
+    if (base <= 0 || jitter <= 0) return base;
+    const double j = jitter > 1.0 ? 1.0 : jitter;
+    return rng.uniform(base * (1.0 - j), base);
   }
 
   bool exhausted(std::size_t attempts_made) const {

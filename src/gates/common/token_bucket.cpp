@@ -34,6 +34,12 @@ TimePoint TokenBucket::time_available(double tokens, TimePoint now) const {
   return now + (tokens - level) / rate_;
 }
 
+void TokenBucket::set_rate(double rate, TimePoint now) {
+  GATES_CHECK(rate > 0);
+  refill(now);
+  rate_ = rate;
+}
+
 void TokenBucket::consume_debt(double tokens, TimePoint now) {
   refill(now);
   tokens_ -= tokens;  // may go negative

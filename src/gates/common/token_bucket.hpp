@@ -27,6 +27,10 @@ class TokenBucket {
   /// the debt.
   void consume_debt(double tokens, TimePoint now);
 
+  /// Changes the refill rate at time `now` (tokens accrued so far at the
+  /// old rate are settled first) — dynamic bandwidth variation.
+  void set_rate(double rate, TimePoint now);
+
   double available(TimePoint now) const;
   double rate() const { return rate_; }
   double burst() const { return burst_; }

@@ -38,7 +38,27 @@ struct FailoverConfig {
   std::size_t replay_buffer_packets = 256;
   /// Backoff schedule for re-placement attempts when no node qualifies.
   RetryPolicy retry;
+
+  /// The lease the failure detector grants before declaring a node dead.
+  Duration lease() const {
+    return heartbeat_period * static_cast<double>(suspicion_beats);
+  }
 };
+
+/// Minimum suspicion_beats so the lease covers the worst-case one-way
+/// heartbeat delay (propagation + jitter + reorder hold-back) with a safety
+/// factor of 2: a heartbeat leaves up to one period after its predecessor
+/// and may be delayed a full worst-case delay more than it, so a lease of
+/// period + 2*worst is the false-positive-free floor; we round beats up.
+inline std::size_t lease_beats_for_delay(Duration heartbeat_period,
+                                         Duration worst_one_way,
+                                         std::size_t configured_beats) {
+  if (worst_one_way <= 0 || heartbeat_period <= 0) return configured_beats;
+  const Duration needed = heartbeat_period + 2.0 * worst_one_way;
+  std::size_t beats = static_cast<std::size_t>(needed / heartbeat_period);
+  if (static_cast<double>(beats) * heartbeat_period < needed) ++beats;
+  return beats > configured_beats ? beats : configured_beats;
+}
 
 /// What a re-placement (matchmaking) round decided for one crashed stage.
 struct ReplacementDecision {

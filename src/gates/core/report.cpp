@@ -66,6 +66,8 @@ std::string RunReport::to_json() const {
         .kv("name", l.name)
         .kv("messages_delivered", l.messages_delivered)
         .kv("bytes_delivered", l.bytes_delivered)
+        .kv("messages_lost", l.messages_lost)
+        .kv("messages_retransmitted", l.messages_retransmitted)
         .kv("utilization", l.utilization)
         .kv("stalled_time", l.stalled_time)
         .kv("overload_exceptions_sent", l.overload_exceptions_sent)

@@ -89,6 +89,10 @@ struct LinkReport {
   std::string name;
   std::uint64_t messages_delivered = 0;
   std::uint64_t bytes_delivered = 0;
+  /// Dropped by the link's loss process (kDrop impairments only).
+  std::uint64_t messages_lost = 0;
+  /// Extra transmissions charged by kRetransmit impairments.
+  std::uint64_t messages_retransmitted = 0;
   double utilization = 0;
   Duration stalled_time = 0;
   RunningStats queue_length;

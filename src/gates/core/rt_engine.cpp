@@ -39,7 +39,7 @@ struct RtEngine::ThrottleGate {
         bucket_(bandwidth, std::max(bandwidth / 20, 2048.0), clock.now()) {}
 
   void acquire(std::size_t bytes) {
-    if (unthrottled_) return;
+    if (unthrottled_.load(std::memory_order_relaxed)) return;
     const double need = static_cast<double>(bytes);
     TimePoint ready;
     {
@@ -51,8 +51,18 @@ struct RtEngine::ThrottleGate {
     sleep_seconds(ready - clock_.now());
   }
 
+  /// Mid-run bandwidth change (chaos transition). The bucket is rebuilt so
+  /// the burst depth tracks the new rate — a degraded link must not keep
+  /// the old rate's burst allowance.
+  void set_rate(Bandwidth bandwidth) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bucket_ = TokenBucket(bandwidth, std::max(bandwidth / 20, 2048.0),
+                          clock_.now());
+    unthrottled_.store(bandwidth >= 1e12, std::memory_order_relaxed);
+  }
+
   const Clock& clock_;
-  bool unthrottled_;
+  std::atomic<bool> unthrottled_;
   std::mutex mu_;
   TokenBucket bucket_;
 };
@@ -145,6 +155,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     StageWorker* dest = nullptr;
     std::size_t port = 0;
     std::shared_ptr<ReplayChannel> channel;
+    /// Impairment shaper for the flow; null on clean flows (the direct,
+    /// zero-overhead path).
+    std::shared_ptr<net::LinkShaper> shaper;
   };
 
   // -- replica pool types (parallelism != kSerial) ----------------------------
@@ -450,6 +463,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     RouteBatch& batch = out_[r];
     if (batch.items.empty()) return;
     const Route& route = routes_[r];
+    if (route.shaper) return flush_route_shaped(r);
     route.gate->acquire(batch.wire_bytes);
     if (route.channel) route.channel->retain_batch(batch.items);
     const std::size_t n = batch.items.size();
@@ -466,6 +480,83 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     }
     batch.items.clear();
     batch.wire_bytes = 0;
+  }
+
+  /// Shaped variant of flush_route: the sender thread samples per-item
+  /// loss/delay plans (so retention order matches wire order), charges the
+  /// throttle gate for the surviving bytes plus retransmissions, retains,
+  /// and hands the queue push to the shaper thread after the batch's delay.
+  /// Jitter is per-batch (max over items) — a batch is one wire burst.
+  void flush_route_shaped(std::size_t r) {
+    RouteBatch& batch = out_[r];
+    const Route& route = routes_[r];
+    std::size_t wire = batch.wire_bytes;
+    Duration extra = 0;
+    std::size_t kept = 0;
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < batch.items.size(); ++i) {
+      const net::LinkShaper::Plan plan = route.shaper->plan_send();
+      const std::size_t item_wire = engine_.config_.wire.wire_size(
+          batch.items[i].packet.payload_bytes(), batch.items[i].packet.records);
+      if (plan.dropped) {
+        // Link loss (kDrop): the message never reaches retention or the
+        // receiver. Accounted on the link, not the stage — stage drop
+        // counters keep meaning "receiver queue closed".
+        wire -= item_wire;
+        ++lost;
+        continue;
+      }
+      wire += item_wire * plan.retransmissions;
+      extra = std::max(extra, plan.extra_delay);
+      if (kept != i) batch.items[kept] = std::move(batch.items[i]);
+      ++kept;
+    }
+    if (lost != 0) {
+      GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kPacketDrop,
+                  .component = route.shaper->name(), .detail = "link loss",
+                  .value_new = static_cast<double>(lost));
+    }
+    batch.items.resize(kept);
+    if (wire > 0) route.gate->acquire(wire);
+    batch.wire_bytes = 0;
+    if (batch.items.empty()) return;
+    if (route.channel) route.channel->retain_batch(batch.items);
+    auto items = std::make_shared<std::vector<Item>>(std::move(batch.items));
+    batch.items = {};
+    StageWorker* dest = route.dest;
+    route.shaper->deliver_after(extra, [dest, items] {
+      const std::size_t n = items->size();
+      const std::size_t pushed = dest->queue().push_all(*items);
+      if (pushed < n) {
+        // Receiver gone mid-flight: with retention the packets replay after
+        // failover; without it they are the crash's loss window, traced
+        // against the receiver like the direct path does.
+        GATES_TRACE(.time = dest->now(), .kind = obs::TraceKind::kPacketDrop,
+                    .component = dest->stage_name(),
+                    .detail = "downstream queue closed",
+                    .value_new = static_cast<double>(n - pushed));
+      }
+    });
+  }
+
+  /// Downstream-EOS send used by both the serial epilogue and finish_pool:
+  /// EOS rides the shaper in FIFO order but is never subject to loss or
+  /// jitter — termination stays reliable on any link.
+  void send_eos_on_route(const Route& route) {
+    route.gate->acquire(engine_.config_.wire.per_message_overhead);
+    Item item{Packet::eos(0, clock_.now()), nullptr, 0};
+    if (route.channel) {
+      item.origin = route.channel.get();
+      item.seq = route.channel->retain(item.packet);
+    }
+    if (route.shaper) {
+      auto shared = std::make_shared<Item>(std::move(item));
+      StageWorker* dest = route.dest;
+      route.shaper->deliver_in_order(
+          [dest, shared] { dest->queue().push(std::move(*shared)); });
+    } else {
+      route.dest->queue().push(std::move(item));
+    }
   }
 
   /// Flushes every route's staging and publishes the per-batch counter
@@ -796,15 +887,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     // Either all upstreams ended or the queue was force-closed; flush.
     processor_->finish(*this);
     flush_emits();
-    for (const auto& route : routes_) {
-      route.gate->acquire(engine_.config_.wire.per_message_overhead);
-      Item item{Packet::eos(0, clock_.now()), nullptr, 0};
-      if (route.channel) {
-        item.origin = route.channel.get();
-        item.seq = route.channel->retain(item.packet);
-      }
-      route.dest->queue().push(std::move(item));
-    }
+    for (const auto& route : routes_) send_eos_on_route(route);
     GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
                 .component = spec_.name);
     finished_.store(true, std::memory_order_release);
@@ -991,15 +1074,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   /// Runs once, by whichever releaser pops the pool's final finish()
   /// completion: the downstream-EOS half of the serial epilogue.
   void finish_pool() {
-    for (const auto& route : routes_) {
-      route.gate->acquire(engine_.config_.wire.per_message_overhead);
-      Item item{Packet::eos(0, clock_.now()), nullptr, 0};
-      if (route.channel) {
-        item.origin = route.channel.get();
-        item.seq = route.channel->retain(item.packet);
-      }
-      route.dest->queue().push(std::move(item));
-    }
+    for (const auto& route : routes_) send_eos_on_route(route);
     GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
                 .component = spec_.name);
     finished_.store(true, std::memory_order_release);
@@ -1147,11 +1222,14 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 class RtEngine::SourceWorker {
  public:
   SourceWorker(RtEngine& engine, const SourceSpec& spec, StageWorker* target,
-               std::shared_ptr<ThrottleGate> gate, Rng rng, const Clock& clock)
+               std::shared_ptr<ThrottleGate> gate,
+               std::shared_ptr<net::LinkShaper> shaper, Rng rng,
+               const Clock& clock)
       : engine_(engine),
         spec_(spec),
         target_(target),
         gate_(std::move(gate)),
+        shaper_(std::move(shaper)),
         rng_(rng),
         clock_(clock) {
     if (engine_.config_.failover.enabled) {
@@ -1179,6 +1257,7 @@ class RtEngine::SourceWorker {
   /// production should stop (downstream closed by force-stop, no failover).
   bool flush(std::vector<StageWorker::Item>& staged, std::size_t& wire_bytes) {
     if (staged.empty()) return true;
+    if (shaper_) return flush_shaped(staged, wire_bytes);
     gate_->acquire(wire_bytes);
     wire_bytes = 0;
     if (channel_) channel_->retain_batch(staged);
@@ -1189,6 +1268,49 @@ class RtEngine::SourceWorker {
       staged.clear();
       if (!channel_) return false;
     }
+    return true;
+  }
+
+  /// Shaped variant: same plan/charge/retain discipline as the stage-side
+  /// flush_route_shaped. The push happens on the shaper thread, so a closed
+  /// target can no longer stop production synchronously — a force-stopped
+  /// run ends via request_stop() instead.
+  bool flush_shaped(std::vector<StageWorker::Item>& staged,
+                    std::size_t& wire_bytes) {
+    std::size_t wire = wire_bytes;
+    wire_bytes = 0;
+    Duration extra = 0;
+    std::size_t kept = 0;
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      const net::LinkShaper::Plan plan = shaper_->plan_send();
+      const std::size_t item_wire = engine_.config_.wire.wire_size(
+          staged[i].packet.payload_bytes(), staged[i].packet.records);
+      if (plan.dropped) {
+        wire -= item_wire;
+        ++lost;
+        continue;
+      }
+      wire += item_wire * plan.retransmissions;
+      extra = std::max(extra, plan.extra_delay);
+      if (kept != i) staged[kept] = std::move(staged[i]);
+      ++kept;
+    }
+    if (lost != 0) {
+      GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kPacketDrop,
+                  .component = shaper_->name(), .detail = "link loss",
+                  .value_new = static_cast<double>(lost));
+    }
+    staged.resize(kept);
+    if (wire > 0) gate_->acquire(wire);
+    if (staged.empty()) return true;
+    if (channel_) channel_->retain_batch(staged);
+    auto items =
+        std::make_shared<std::vector<StageWorker::Item>>(std::move(staged));
+    staged = {};
+    StageWorker* target = target_;
+    shaper_->deliver_after(extra,
+                           [target, items] { target->queue().push_all(*items); });
     return true;
   }
 
@@ -1246,13 +1368,22 @@ class RtEngine::SourceWorker {
       item.origin = channel_.get();
       item.seq = channel_->retain(item.packet);
     }
-    target_->queue().push(std::move(item));
+    if (shaper_) {
+      // FIFO behind any in-flight data, immune to loss/jitter.
+      auto shared = std::make_shared<StageWorker::Item>(std::move(item));
+      StageWorker* target = target_;
+      shaper_->deliver_in_order(
+          [target, shared] { target->queue().push(std::move(*shared)); });
+    } else {
+      target_->queue().push(std::move(item));
+    }
   }
 
   RtEngine& engine_;
   const SourceSpec& spec_;
   StageWorker* target_;
   std::shared_ptr<ThrottleGate> gate_;
+  std::shared_ptr<net::LinkShaper> shaper_;
   std::shared_ptr<ReplayChannel> channel_;
   Rng rng_;
   const Clock& clock_;
@@ -1282,25 +1413,93 @@ RtEngine::~RtEngine() {
   }
 }
 
+std::pair<std::pair<NodeId, NodeId>, net::LinkSpec> RtEngine::flow_key(
+    NodeId from, NodeId to) const {
+  // Same-node flows and flows into a shared-ingress node reuse one gate (and
+  // shaper) so concurrent senders share the bandwidth, mirroring SimEngine's
+  // links.
+  if (from == to) return {{to, to}, net::Topology::loopback()};
+  if (auto shared = topology_.shared_ingress(to)) {
+    return {{kInvalidNode, to}, *shared};
+  }
+  return {{from, to}, topology_.between(from, to)};
+}
+
 std::shared_ptr<RtEngine::ThrottleGate> RtEngine::gate_for_flow(NodeId from,
                                                                 NodeId to) {
-  // Same-node flows and flows into a shared-ingress node reuse one gate so
-  // concurrent senders share the bandwidth, mirroring SimEngine's links.
-  std::pair<NodeId, NodeId> key;
-  Bandwidth bandwidth;
-  if (from == to) {
-    key = {to, to};
-    bandwidth = net::Topology::loopback().bandwidth;
-  } else if (auto shared = topology_.shared_ingress(to)) {
-    key = {kInvalidNode, to};
-    bandwidth = shared->bandwidth;
-  } else {
-    key = {from, to};
-    bandwidth = topology_.between(from, to).bandwidth;
-  }
+  const auto [key, spec] = flow_key(from, to);
   auto& slot = gates_[key];
-  if (!slot) slot = std::make_shared<ThrottleGate>(bandwidth, clock_);
+  if (!slot) slot = std::make_shared<ThrottleGate>(spec.bandwidth, clock_);
   return slot;
+}
+
+std::shared_ptr<net::LinkShaper> RtEngine::shaper_for_flow(NodeId from,
+                                                           NodeId to) {
+  if (from == to) return nullptr;  // loopback is never shaped
+  const auto [key, spec] = flow_key(from, to);
+  auto it = shapers_.find(key);
+  if (it != shapers_.end()) return it->second;
+  const bool prepared = prepared_flows_.count(key) != 0;
+  if (spec.latency <= 0 && !spec.impair.any() && !prepared) {
+    // Clean flow: direct gate -> inbox path, zero added cost (the perf-gate
+    // configuration compiles the shaper in but never routes through it).
+    return nullptr;
+  }
+  net::LinkShaper::Config cfg;
+  cfg.name = key.first == kInvalidNode
+                 ? "ingress@" + std::to_string(key.second)
+                 : "link:" + std::to_string(key.first) + "->" +
+                       std::to_string(key.second);
+  cfg.latency = spec.latency;
+  cfg.impair = spec.impair;
+  cfg.rng = root_rng_.fork(2000 + impair_stream_++);
+  auto shaper = std::make_shared<net::LinkShaper>(std::move(cfg));
+  shapers_[key] = shaper;
+  return shaper;
+}
+
+void RtEngine::prepare_link_change(NodeId from, NodeId to) {
+  GATES_CHECK_MSG(!setup_done_, "prepare_link_change must precede run()");
+  prepared_flows_.insert(flow_key(from, to).first);
+}
+
+void RtEngine::apply_link_change(NodeId from, NodeId to,
+                                 const net::LinkSpec& spec) {
+  GATES_CHECK_MSG(setup_done_, "apply_link_change targets a running engine");
+  GATES_CHECK(spec.bandwidth > 0);
+  // gates_ and shapers_ are read-only after setup, so lookups are safe from
+  // any thread; the objects themselves are internally synchronized.
+  const auto [key, base] = flow_key(from, to);
+  auto git = gates_.find(key);
+  if (git != gates_.end()) git->second->set_rate(spec.bandwidth);
+  auto sit = shapers_.find(key);
+  if (sit != shapers_.end()) {
+    sit->second->set_spec(spec.latency, spec.impair);
+  } else if (spec.latency > 0 || spec.impair.any()) {
+    GATES_LOG(kWarn, "rt-engine")
+        << "flow " << from << "->" << to << " has no shaper; call "
+        << "prepare_link_change() before run() to impair a clean flow";
+  }
+  if (git == gates_.end() && sit == shapers_.end()) {
+    GATES_LOG(kWarn, "rt-engine")
+        << "link change for unknown flow " << from << "->" << to
+        << " ignored";
+    return;
+  }
+  const net::LinkTransition tr = net::classify_transition(base, spec);
+  const obs::TraceKind kind =
+      tr == net::LinkTransition::kPartition ? obs::TraceKind::kPartition
+      : tr == net::LinkTransition::kDegrade ? obs::TraceKind::kLinkDegrade
+                                            : obs::TraceKind::kLinkRestore;
+  const std::string name =
+      sit != shapers_.end()
+          ? sit->second->name()
+          : "link:" + std::to_string(from) + "->" + std::to_string(to);
+  GATES_TRACE(.time = clock_.now(), .kind = kind, .component = name,
+              .detail = net::describe_spec(spec), .value_old = base.bandwidth,
+              .value_new = spec.bandwidth);
+  GATES_LOG(kInfo, "rt-engine") << "flow " << from << "->" << to
+                                << " link change: " << net::describe_spec(spec);
 }
 
 Status RtEngine::setup() {
@@ -1325,15 +1524,18 @@ Status RtEngine::setup() {
   for (const auto& edge : spec_.edges) {
     const NodeId from = placement_.stage_nodes[edge.from_stage];
     const NodeId to = placement_.stage_nodes[edge.to_stage];
-    stages_[edge.from_stage]->add_route(
-        {gate_for_flow(from, to), stages_[edge.to_stage].get(), edge.port});
+    StageWorker::Route route{gate_for_flow(from, to),
+                             stages_[edge.to_stage].get(), edge.port};
+    route.shaper = shaper_for_flow(from, to);
+    stages_[edge.from_stage]->add_route(std::move(route));
     stages_[edge.to_stage]->add_upstream(stages_[edge.from_stage].get());
   }
   for (std::size_t i = 0; i < spec_.sources.size(); ++i) {
     const auto& src = spec_.sources[i];
+    const NodeId to = placement_.stage_nodes[src.target_stage];
     sources_.push_back(std::make_unique<SourceWorker>(
         *this, src, stages_[src.target_stage].get(),
-        gate_for_flow(src.location, placement_.stage_nodes[src.target_stage]),
+        gate_for_flow(src.location, to), shaper_for_flow(src.location, to),
         root_rng_.fork(i), clock_));
   }
   for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
@@ -1350,13 +1552,25 @@ Status RtEngine::setup() {
   // inbox keeps the mutex queue.
   if (config_.batching.spsc) {
     std::vector<std::size_t> producers(spec_.stages.size(), 0);
+    // A shaped flow's pushes come from its shaper thread, which may be
+    // shared with other flows into the same stage — count it like a pooled
+    // upstream (2) so the inbox conservatively keeps the mutex queue.
+    auto flow_shaped = [this](NodeId from, NodeId to) {
+      return shapers_.count(flow_key(from, to).first) != 0;
+    };
     for (const auto& edge : spec_.edges) {
       const bool pooled_upstream = spec_.stages[edge.from_stage]
                                        .parallelism.mode !=
                                    ParallelismMode::kSerial;
-      producers[edge.to_stage] += pooled_upstream ? 2 : 1;
+      const bool shaped = flow_shaped(placement_.stage_nodes[edge.from_stage],
+                                      placement_.stage_nodes[edge.to_stage]);
+      producers[edge.to_stage] += (pooled_upstream || shaped) ? 2 : 1;
     }
-    for (const auto& src : spec_.sources) ++producers[src.target_stage];
+    for (const auto& src : spec_.sources) {
+      const bool shaped = flow_shaped(src.location,
+                                      placement_.stage_nodes[src.target_stage]);
+      producers[src.target_stage] += shaped ? 2 : 1;
+    }
     for (std::size_t i = 0; i < stages_.size(); ++i) {
       if (producers[i] == 1) stages_[i]->enable_spsc();
     }
@@ -1398,6 +1612,9 @@ Status RtEngine::execute(Duration source_horizon) {
   }
   for (auto& source : sources_) source->join();
   for (auto& stage : stages_) stage->join();
+  // Drain shaper queues before reading any stats: in-flight deliveries land
+  // (into closed queues on a timed-out run) and the shaper threads exit.
+  for (auto& [key, shaper] : shapers_) shaper->stop();
   const TimePoint end = clock_.now();
 
   report_ = RunReport{};
@@ -1407,6 +1624,15 @@ Status RtEngine::execute(Duration source_horizon) {
     report_.stages.push_back(stage->build_report());
   }
   report_.failures = failures_;
+  for (const auto& [key, shaper] : shapers_) {
+    const net::LinkShaper::Stats st = shaper->stats();
+    LinkReport lr;
+    lr.name = shaper->name();
+    lr.messages_delivered = st.messages_shaped - st.messages_lost;
+    lr.messages_lost = st.messages_lost;
+    lr.messages_retransmitted = st.messages_retransmitted;
+    report_.links.push_back(std::move(lr));
+  }
   if (obs::MetricsRegistry::global().enabled()) {
     report_.metrics = obs::MetricsRegistry::global().snapshot();
   }

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "gates/core/failover.hpp"
 #include "gates/core/pipeline.hpp"
 #include "gates/core/report.hpp"
+#include "gates/net/link_shaper.hpp"
 #include "gates/net/message.hpp"
 #include "gates/net/topology.hpp"
 
@@ -91,6 +93,20 @@ class RtEngine {
   /// replica is a distinct producer).
   bool stage_inbox_spsc(std::size_t stage_index) const;
 
+  // -- link impairment ---------------------------------------------------------
+  /// Replaces the LinkSpec (bandwidth, latency, impairments) of the flow
+  /// from -> to while the engine runs. Thread-safe: chaos drivers call this
+  /// from a second thread while run() blocks. Bandwidth always applies (the
+  /// throttle gate re-rates); latency/impairments need the flow's shaper,
+  /// which exists when the configured topology spec is already impaired or
+  /// the flow was registered with prepare_link_change() before run().
+  void apply_link_change(NodeId from, NodeId to, const net::LinkSpec& spec);
+  /// Registers a flow for mid-run impairment: its shaper is built at setup
+  /// even when the configured spec is clean. Must precede run(). Without
+  /// this, a clean flow keeps the zero-overhead direct path and a later
+  /// apply_link_change can only change its bandwidth.
+  void prepare_link_change(NodeId from, NodeId to);
+
   // -- crash injection ---------------------------------------------------------
   /// At `t` wall seconds into the run, crash-stops every stage hosted on
   /// `node` (threads exit; queued input is lost). Must precede run().
@@ -119,6 +135,14 @@ class RtEngine {
   Status execute(Duration source_horizon);
   void control_loop();
   std::shared_ptr<ThrottleGate> gate_for_flow(NodeId from, NodeId to);
+  /// Canonical gate/shaper map key for a flow (loopback / shared-ingress /
+  /// pair) plus the flow's configured topology spec.
+  std::pair<std::pair<NodeId, NodeId>, net::LinkSpec> flow_key(
+      NodeId from, NodeId to) const;
+  /// The flow's impairment shaper, created lazily at setup; nullptr for
+  /// clean flows that were not registered via prepare_link_change() — those
+  /// keep the direct gate -> inbox path with zero added cost.
+  std::shared_ptr<net::LinkShaper> shaper_for_flow(NodeId from, NodeId to);
   /// Control-loop pass over injected/killed stages: detects dead workers by
   /// heartbeat staleness, then restarts (failover on) or raises EOS on
   /// their behalf (failover off).
@@ -136,6 +160,12 @@ class RtEngine {
   std::vector<std::unique_ptr<StageWorker>> stages_;
   std::vector<std::unique_ptr<SourceWorker>> sources_;
   std::map<std::pair<NodeId, NodeId>, std::shared_ptr<ThrottleGate>> gates_;
+  /// Declared after stages_ so shaper threads are torn down (deliveries
+  /// drained) while the stage workers they push into are still alive.
+  std::map<std::pair<NodeId, NodeId>, std::shared_ptr<net::LinkShaper>>
+      shapers_;
+  std::set<std::pair<NodeId, NodeId>> prepared_flows_;
+  std::uint64_t impair_stream_ = 0;  // Rng sub-stream per shaper
   struct NodeFailure {
     NodeId node;
     TimePoint time;

@@ -41,9 +41,12 @@ struct SimEngine::ReplayChannel {
 
   std::uint64_t retain(const Packet& packet) { return ring.retain(packet); }
 
-  /// Cumulative ack: flows are FIFO, so processing seq implies everything
-  /// before it was processed (or replayed ahead of it).
-  void ack(std::uint64_t seq) { ring.ack_cumulative(seq); }
+  /// Exact ack. Impaired links reorder deliveries, so processing seq does
+  /// NOT imply earlier seqs arrived — a cumulative ack here would release a
+  /// reorder-held packet from retention and lose it if the receiver crashed
+  /// before it landed. On FIFO flows exact acks advance the window
+  /// identically, so the clean path is unchanged.
+  void ack(std::uint64_t seq) { ring.ack_exact(seq); }
 };
 
 // ---------------------------------------------------------------------------
@@ -298,6 +301,7 @@ class SimEngine::StageRuntime final : public net::MessageSink,
                                                       packet.records);
       msg.sink = route.dest;
       msg.source_stage = static_cast<StageId>(index_);
+      msg.barrier = packet.is_eos();
       Delivery d;
       d.packet = packet;  // copy: the same packet may take several routes
       d.dest_incarnation = route.dest->incarnation();
@@ -548,6 +552,7 @@ class SimEngine::StageRuntime final : public net::MessageSink,
                                                       packet.records);
       msg.sink = route.dest;
       msg.source_stage = static_cast<StageId>(index_);
+      msg.barrier = packet.is_eos();
       Delivery d;
       d.packet = packet;
       d.origin = route.channel;
@@ -617,6 +622,7 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     msg.wire_bytes = engine_.config_.wire.per_message_overhead;
     msg.sink = route.dest;
     msg.source_stage = static_cast<StageId>(index_);
+    msg.barrier = true;
     Delivery d;
     d.packet = std::move(eos);
     d.dest_incarnation = route.dest->incarnation();
@@ -720,6 +726,7 @@ class SimEngine::SourceRuntime {
       msg.wire_bytes = engine_.config_.wire.wire_size(packet.payload_bytes(),
                                                       packet.records);
       msg.sink = target_;
+      msg.barrier = packet.is_eos();
       Delivery d;
       d.packet = packet;
       d.origin = channel_.get();
@@ -740,6 +747,7 @@ class SimEngine::SourceRuntime {
     net::SimMessage msg;
     msg.wire_bytes = wire_bytes;
     msg.sink = target_;
+    msg.barrier = packet.is_eos();
     Delivery d;
     d.packet = std::move(packet);
     d.dest_incarnation = target_->incarnation();
@@ -819,7 +827,8 @@ SimEngine::SimEngine(PipelineSpec spec, Placement placement, HostModel hosts,
       hosts_(std::move(hosts)),
       topology_(std::move(topology)),
       config_(config),
-      root_rng_(config.seed) {}
+      root_rng_(config.seed),
+      retry_rng_(root_rng_.fork(3000)) {}
 
 SimEngine::~SimEngine() = default;
 
@@ -843,6 +852,8 @@ net::SimLink* SimEngine::link_for_flow(NodeId from, NodeId to) {
       cfg.name = "ingress@" + std::to_string(to);
       cfg.bandwidth = shared->bandwidth;
       cfg.latency = shared->latency;
+      cfg.impair = shared->impair;
+      cfg.rng = root_rng_.fork(2000 + impair_stream_++);
       slot = std::make_unique<net::SimLink>(sim_, cfg);
       monitored_links_.push_back(
           std::make_unique<MonitoredLink>(slot.get(), config_.link_monitor));
@@ -857,6 +868,8 @@ net::SimLink* SimEngine::link_for_flow(NodeId from, NodeId to) {
     cfg.name = "link:" + std::to_string(from) + "->" + std::to_string(to);
     cfg.bandwidth = spec.bandwidth;
     cfg.latency = spec.latency;
+    cfg.impair = spec.impair;
+    cfg.rng = root_rng_.fork(2000 + impair_stream_++);
     slot = std::make_unique<net::SimLink>(sim_, cfg);
     monitored_links_.push_back(
         std::make_unique<MonitoredLink>(slot.get(), config_.link_monitor));
@@ -950,6 +963,55 @@ Status SimEngine::setup() {
     });
   }
 
+  for (const auto& change : link_changes_) {
+    net::SimLink* link = link_for_flow(change.from, change.to);
+    // The transition is classified against the flow's *configured* spec, so
+    // a later change back to it traces as a restore.
+    const net::LinkSpec base =
+        change.from == change.to ? net::Topology::loopback()
+        : topology_.shared_ingress(change.to)
+            ? *topology_.shared_ingress(change.to)
+            : topology_.between(change.from, change.to);
+    sim_.schedule_at(change.time, [this, link, change, base] {
+      link->apply_spec(change.spec);
+      const net::LinkTransition tr =
+          net::classify_transition(base, change.spec);
+      const obs::TraceKind kind =
+          tr == net::LinkTransition::kPartition ? obs::TraceKind::kPartition
+          : tr == net::LinkTransition::kDegrade ? obs::TraceKind::kLinkDegrade
+                                                : obs::TraceKind::kLinkRestore;
+      GATES_TRACE(.time = sim_.now(), .kind = kind,
+                  .component = link->config().name,
+                  .detail = net::describe_spec(change.spec),
+                  .value_old = base.bandwidth,
+                  .value_new = change.spec.bandwidth);
+      GATES_LOG(kInfo, "sim-engine")
+          << "flow " << change.from << "->" << change.to << " link change: "
+          << net::describe_spec(change.spec);
+    });
+  }
+
+  // Lease validation (heartbeats travel the same impaired links as data): a
+  // lease shorter than one period + 2x the worst one-way delay can expire
+  // on delay alone, so widen suspicion_beats to the false-positive-free
+  // floor before the detector arms.
+  if (config_.failover.enabled) {
+    Duration worst = topology_.worst_case_one_way();
+    for (const auto& change : link_changes_) {
+      worst = std::max(worst, change.spec.worst_case_one_way());
+    }
+    const std::size_t beats = lease_beats_for_delay(
+        config_.failover.heartbeat_period, worst,
+        config_.failover.suspicion_beats);
+    if (beats > config_.failover.suspicion_beats) {
+      GATES_LOG(kInfo, "sim-engine")
+          << "lease " << config_.failover.lease() << "s cannot cover worst "
+          << "one-way delay " << worst << "s; suspicion_beats "
+          << config_.failover.suspicion_beats << " -> " << beats;
+      config_.failover.suspicion_beats = beats;
+    }
+  }
+
   for (const auto& failure : node_failures_) {
     sim_.schedule_at(failure.time, [this, failure] {
       on_node_failure(failure.node, failure.time);
@@ -1027,6 +1089,16 @@ bool SimEngine::node_down(NodeId node) const {
          down_nodes_.end();
 }
 
+Duration SimEngine::heartbeat_delay(NodeId node) const {
+  Duration d = topology_.worst_case_one_way(node);
+  for (const auto& change : link_changes_) {
+    if (change.from == node || change.to == node) {
+      d = std::max(d, change.spec.worst_case_one_way());
+    }
+  }
+  return d;
+}
+
 void SimEngine::on_node_failure(NodeId node, TimePoint t) {
   if (!node_down(node)) {
     down_nodes_.push_back(node);
@@ -1035,11 +1107,14 @@ void SimEngine::on_node_failure(NodeId node, TimePoint t) {
   const auto& fo = config_.failover;
   // Failure detector model: the node beats every heartbeat_period; the K-th
   // consecutive missed beat declares it down. Deterministic by arithmetic
-  // instead of simulating each beat.
+  // instead of simulating each beat. The last heartbeat that did arrive was
+  // in flight for up to the worst one-way delay of the node's links, which
+  // shifts the whole observation window later by that much.
   const TimePoint detect_t =
       fo.heartbeat_period *
-      (std::floor(t / fo.heartbeat_period) +
-       static_cast<double>(fo.suspicion_beats));
+          (std::floor(t / fo.heartbeat_period) +
+           static_cast<double>(fo.suspicion_beats)) +
+      heartbeat_delay(node);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     StageRuntime* stage = stages_[i].get();
     if (stage->node() != node || stage->finished() || stage->failed()) continue;
@@ -1137,7 +1212,10 @@ void SimEngine::try_failover(std::size_t stage_index, std::size_t report_index,
     stage->abandon();
     return;
   }
-  sim_.schedule_after(config_.failover.retry.delay(attempt + 1),
+  // Jittered backoff (satellite of the chaos work): replicas knocked out by
+  // one partition must not retry in lockstep. retry_rng_ is a forked seeded
+  // stream, so the schedule stays deterministic per (config, seed).
+  sim_.schedule_after(config_.failover.retry.delay(attempt + 1, retry_rng_),
                       [this, stage_index, report_index, attempt] {
                         try_failover(stage_index, report_index, attempt + 1);
                       });
@@ -1228,6 +1306,8 @@ void SimEngine::finalize_report(bool completed) {
     r.bytes_delivered = link.stats().bytes_delivered;
     r.utilization = link.utilization();
     r.stalled_time = link.stats().stalled_time;
+    r.messages_lost = link.stats().messages_lost;
+    r.messages_retransmitted = link.stats().messages_retransmitted;
     if (ml != nullptr) {
       r.queue_length = ml->queue_samples;
       r.overload_exceptions_sent = ml->overload_sent;
@@ -1276,6 +1356,14 @@ void SimEngine::schedule_bandwidth_change(NodeId from, NodeId to, TimePoint t,
   GATES_CHECK_MSG(!setup_done_, "schedule_bandwidth_change must precede run()");
   GATES_CHECK(bandwidth > 0);
   bandwidth_changes_.push_back({from, to, t, bandwidth});
+}
+
+void SimEngine::schedule_link_change(NodeId from, NodeId to, TimePoint t,
+                                     net::LinkSpec spec) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_link_change must precede run()");
+  GATES_CHECK(spec.bandwidth > 0);
+  GATES_CHECK(spec.latency >= 0);
+  link_changes_.push_back({from, to, t, spec});
 }
 
 void SimEngine::schedule_node_failure(NodeId node, TimePoint t) {

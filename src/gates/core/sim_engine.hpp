@@ -85,6 +85,12 @@ class SimEngine {
   /// link. Subsequent transmissions use the new rate.
   void schedule_bandwidth_change(NodeId from, NodeId to, TimePoint t,
                                  Bandwidth bandwidth);
+  /// At virtual time `t`, replaces the full LinkSpec (bandwidth, latency,
+  /// impairments) of the flow from -> to — a chaos transition. Emits a
+  /// kLinkDegrade/kLinkRestore/kPartition trace event classified against
+  /// the flow's configured topology spec.
+  void schedule_link_change(NodeId from, NodeId to, TimePoint t,
+                            net::LinkSpec spec);
   /// At virtual time `t`, crashes every stage hosted on `node` (crash-stop:
   /// queued and in-flight packets toward the node are lost). With failover
   /// disabled, EOS is raised on the dead stages' behalf so the rest of the
@@ -122,6 +128,9 @@ class SimEngine {
 
   // -- failover ---------------------------------------------------------------
   bool node_down(NodeId node) const;
+  /// Worst-case one-way delay a heartbeat from `node` can see, across the
+  /// configured topology and every scheduled link change touching the node.
+  Duration heartbeat_delay(NodeId node) const;
   void on_node_failure(NodeId node, TimePoint t);
   void on_failure_detected(std::size_t stage_index, std::size_t report_index);
   void try_failover(std::size_t stage_index, std::size_t report_index,
@@ -163,6 +172,12 @@ class SimEngine {
     TimePoint time;
     Bandwidth bandwidth;
   };
+  struct LinkChange {
+    NodeId from;
+    NodeId to;
+    TimePoint time;
+    net::LinkSpec spec;
+  };
   struct NodeFailure {
     NodeId node;
     TimePoint time;
@@ -173,8 +188,14 @@ class SimEngine {
   };
   std::vector<CpuChange> cpu_changes_;
   std::vector<BandwidthChange> bandwidth_changes_;
+  std::vector<LinkChange> link_changes_;
   std::vector<NodeFailure> node_failures_;
   std::vector<NodeRecovery> node_recoveries_;
+  /// Next Rng sub-stream for a link impairment model (streams 2000+; link
+  /// creation order is deterministic, so forks are too).
+  std::uint64_t impair_stream_ = 0;
+  /// Rng stream for jittered failover retry backoff.
+  Rng retry_rng_;
 
   ReplacementProvider replacement_provider_;
   std::vector<NodeId> down_nodes_;  // sorted

@@ -34,6 +34,63 @@ Status required_node_id(const xml::Element& e, std::string_view key,
   return Status::ok();
 }
 
+/// Impairment attributes shared by <default-link>, <link> and
+/// <shared-ingress>: loss, jitter, reorder, reorder-delay, burst,
+/// p-good-bad, p-bad-good, loss-good, loss-bad, loss-mode
+/// (retransmit|drop), retransmit-delay. All optional; absent attributes
+/// keep the (inherited) spec's values.
+Status parse_impairment(const xml::Element& e, net::ImpairmentSpec& impair) {
+  if (auto s = attr_double(e, "loss", impair.loss); !s.is_ok()) return s;
+  if (auto s = attr_double(e, "jitter", impair.jitter); !s.is_ok()) return s;
+  if (auto s = attr_double(e, "reorder", impair.reorder); !s.is_ok()) return s;
+  if (auto s = attr_double(e, "reorder-delay", impair.reorder_delay);
+      !s.is_ok())
+    return s;
+  if (auto s = attr_double(e, "p-good-bad", impair.p_good_bad); !s.is_ok())
+    return s;
+  if (auto s = attr_double(e, "p-bad-good", impair.p_bad_good); !s.is_ok())
+    return s;
+  if (auto s = attr_double(e, "loss-good", impair.loss_good); !s.is_ok())
+    return s;
+  if (auto s = attr_double(e, "loss-bad", impair.loss_bad); !s.is_ok())
+    return s;
+  if (auto s = attr_double(e, "retransmit-delay", impair.retransmit_delay);
+      !s.is_ok())
+    return s;
+  if (auto v = e.attr("burst")) {
+    if (!parse_bool(*v, impair.burst)) {
+      return invalid_argument("<" + e.name() +
+                              "> burst attribute must be a boolean");
+    }
+  }
+  if (auto v = e.attr("loss-mode")) {
+    if (*v == "retransmit") {
+      impair.loss_mode = net::LossMode::kRetransmit;
+    } else if (*v == "drop") {
+      impair.loss_mode = net::LossMode::kDrop;
+    } else {
+      return invalid_argument("<" + e.name() + "> loss-mode must be " +
+                              "'retransmit' or 'drop', got '" + *v + "'");
+    }
+  }
+  const bool probabilities_valid =
+      impair.loss >= 0 && impair.loss <= 1 && impair.reorder >= 0 &&
+      impair.reorder <= 1 && impair.loss_good >= 0 && impair.loss_good <= 1 &&
+      impair.loss_bad >= 0 && impair.loss_bad <= 1 && impair.p_good_bad >= 0 &&
+      impair.p_good_bad <= 1 && impair.p_bad_good >= 0 &&
+      impair.p_bad_good <= 1;
+  if (!probabilities_valid) {
+    return invalid_argument("<" + e.name() +
+                            "> impairment probabilities must be in [0, 1]");
+  }
+  if (impair.jitter < 0 || impair.reorder_delay < 0 ||
+      impair.retransmit_delay < 0) {
+    return invalid_argument("<" + e.name() +
+                            "> impairment delays must be non-negative");
+  }
+  return Status::ok();
+}
+
 }  // namespace
 
 StatusOr<GridConfig> parse_grid_config(const std::string& xml_text) {
@@ -93,6 +150,8 @@ StatusOr<GridConfig> parse_grid_config(const std::string& xml_text) {
     if (spec.bandwidth <= 0 || spec.latency < 0) {
       return invalid_argument("<default-link> has invalid bandwidth/latency");
     }
+    if (auto s = parse_impairment(*default_link, spec.impair); !s.is_ok())
+      return s;
     config.topology.set_default_link(spec);
   }
 
@@ -109,6 +168,7 @@ StatusOr<GridConfig> parse_grid_config(const std::string& xml_text) {
     if (spec.bandwidth <= 0 || spec.latency < 0) {
       return invalid_argument("<link> has invalid bandwidth/latency");
     }
+    if (auto s = parse_impairment(*e, spec.impair); !s.is_ok()) return s;
     config.topology.set_pair(from, to, spec);
   }
 
@@ -125,6 +185,7 @@ StatusOr<GridConfig> parse_grid_config(const std::string& xml_text) {
       return invalid_argument(
           "<shared-ingress> requires a positive bandwidth attribute");
     }
+    if (auto s = parse_impairment(*e, spec.impair); !s.is_ok()) return s;
     config.topology.set_shared_ingress(node, spec);
   }
 

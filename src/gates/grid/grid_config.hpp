@@ -10,7 +10,15 @@
 //     <shared-ingress node="0" bandwidth="100e3" latency="0"/>
 //   </grid>
 //
-// Bandwidths are bytes/second, latency seconds.
+// <default-link>, <link> and <shared-ingress> also accept the impairment
+// attributes (all optional; see net::ImpairmentSpec):
+//   loss="0.05" jitter="0.02" reorder="0.1" reorder-delay="0.05"
+//   loss-mode="retransmit|drop" retransmit-delay="0.02"
+//   burst="true" p-good-bad="0.01" p-bad-good="0.25"
+//   loss-good="0" loss-bad="1.0"
+//
+// Bandwidths are bytes/second, latency/jitter/delays seconds, loss and the
+// Gilbert-Elliott probabilities in [0, 1].
 #pragma once
 
 #include <string>

@@ -9,11 +9,34 @@ SimLink::SimLink(sim::Simulation& sim, Config config)
     : sim_(sim), config_(std::move(config)) {
   GATES_CHECK(config_.bandwidth > 0);
   GATES_CHECK(config_.latency >= 0);
+  if (config_.impair.any()) {
+    impair_.emplace(config_.impair, config_.rng);
+  }
 }
 
 void SimLink::set_bandwidth(Bandwidth bandwidth) {
   GATES_CHECK(bandwidth > 0);
   config_.bandwidth = bandwidth;
+}
+
+void SimLink::set_latency(Duration latency) {
+  GATES_CHECK(latency >= 0);
+  config_.latency = latency;
+}
+
+void SimLink::set_profile(const ImpairmentSpec& impair) {
+  config_.impair = impair;
+  if (impair_) {
+    impair_->set_spec(impair);  // keep the Rng stream + burst state
+  } else if (impair.any()) {
+    impair_.emplace(impair, config_.rng);
+  }
+}
+
+void SimLink::apply_spec(const LinkSpec& spec) {
+  set_bandwidth(spec.bandwidth);
+  set_latency(spec.latency);
+  set_profile(spec.impair);
 }
 
 bool SimLink::send(SimMessage msg) {
@@ -31,7 +54,7 @@ bool SimLink::send(SimMessage msg) {
 }
 
 void SimLink::pump() {
-  if (transmitting_ || stalled_ || outbound_.empty()) return;
+  if (transmitting_ || paused_ || stalled_ || outbound_.empty()) return;
   transmitting_ = true;
   const Duration tx_time =
       static_cast<double>(outbound_.front().wire_bytes) / config_.bandwidth;
@@ -41,14 +64,62 @@ void SimLink::pump() {
 
 void SimLink::on_transmit_complete() {
   transmitting_ = false;
+  // Barriers (EOS) are tiny control messages the endpoints would retry
+  // forever: exempt from loss, jitter and reordering, and released no
+  // earlier than every delivery already scheduled.
+  const bool barrier = outbound_.front().barrier;
+  if (!barrier && impair_ && impair_->roll_loss()) {
+    if (impair_->spec().loss_mode == LossMode::kRetransmit) {
+      // Reliable link: the head stays queued and re-serializes (bandwidth is
+      // charged again by pump), optionally after an RTO. Loss becomes
+      // latency + reduced goodput — the paper's WAN regime.
+      ++stats_.messages_retransmitted;
+      const Duration rto = impair_->spec().retransmit_delay;
+      if (rto > 0) {
+        paused_ = true;
+        sim_.schedule_after(rto, [this] {
+          paused_ = false;
+          pump();
+        });
+      } else {
+        pump();
+      }
+      return;
+    }
+    // UDP-like link: the message evaporates. Recovery, if any, is the
+    // middleware's at-least-once replay.
+    SimMessage lost = std::move(outbound_.front());
+    outbound_.pop_front();
+    outbound_bytes_ -= lost.wire_bytes;
+    ++stats_.messages_lost;
+    for (const auto& listener : drain_listeners_) listener();
+    pump();
+    return;
+  }
   SimMessage msg = std::move(outbound_.front());
   outbound_.pop_front();
   outbound_bytes_ -= msg.wire_bytes;
   for (const auto& listener : drain_listeners_) listener();
-  if (config_.latency > 0) {
-    // Propagation pipelines with the next transmission.
+  Duration delay = config_.latency;
+  if (!barrier && impair_) {
+    const Duration extra = impair_->roll_delay();
+    if (extra > 0) {
+      ++stats_.messages_jittered;
+      delay += extra;
+    }
+  }
+  if (barrier && sim_.now() + delay < delivery_watermark_) {
+    delay = delivery_watermark_ - sim_.now();
+  }
+  if (delivery_watermark_ < sim_.now() + delay) {
+    delivery_watermark_ = sim_.now() + delay;
+  }
+  if (delay > 0) {
+    // Propagation pipelines with the next transmission. Per-message jitter
+    // means later messages can land first; the DES delivers each when its
+    // own event fires, which is exactly bounded reordering.
     auto shared = std::make_shared<SimMessage>(std::move(msg));
-    sim_.schedule_after(config_.latency, [this, shared] {
+    sim_.schedule_after(delay, [this, shared] {
       pending_deliveries_.push_back(std::move(*shared));
       drain_deliveries();
     });

@@ -12,11 +12,15 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "gates/common/rng.hpp"
 #include "gates/common/stats.hpp"
+#include "gates/net/link_profile.hpp"
 #include "gates/net/message.hpp"
+#include "gates/net/topology.hpp"
 #include "gates/sim/simulation.hpp"
 
 namespace gates::net {
@@ -30,6 +34,13 @@ class SimLink {
     /// Outbound queue capacity in messages; senders see send() == false when
     /// exceeded (their own buffering/backpressure decision).
     std::size_t max_queue_messages = std::numeric_limits<std::size_t>::max();
+    /// Loss/jitter/reordering applied at transmit-complete time. The model
+    /// is only instantiated when impair.any(); the ideal-link fast path is
+    /// byte-for-byte the pre-impairment behaviour.
+    ImpairmentSpec impair;
+    /// Seeded randomness for the impairment model. Engines fork a dedicated
+    /// stream per link so runs stay deterministic.
+    Rng rng;
   };
 
   SimLink(sim::Simulation& sim, Config config);
@@ -43,6 +54,19 @@ class SimLink {
   /// Changes the bandwidth for transmissions that have not yet started (the
   /// in-flight one completes at the old rate) — dynamic resource variation.
   void set_bandwidth(Bandwidth bandwidth);
+
+  /// Changes the propagation latency for deliveries that have not yet left
+  /// the transmitter (in-flight propagation completes at the old latency).
+  void set_latency(Duration latency);
+
+  /// Swaps the impairment profile mid-run (chaos transition). Keeps the
+  /// existing Rng stream and burst-channel state when a model already
+  /// exists, so the run stays deterministic across transitions.
+  void set_profile(const ImpairmentSpec& impair);
+
+  /// Applies bandwidth + latency + impairments from a topology spec in one
+  /// step — the runtime LinkProfile entry point chaos scenarios use.
+  void apply_spec(const LinkSpec& spec);
 
   /// Called by a sink that previously refused a delivery, once it has room.
   void notify_space();
@@ -83,6 +107,9 @@ class SimLink {
     std::uint64_t messages_rejected = 0;   // send() returned false
     std::uint64_t messages_delivered = 0;
     std::uint64_t bytes_delivered = 0;
+    std::uint64_t messages_lost = 0;           // dropped by the loss process
+    std::uint64_t messages_retransmitted = 0;  // re-serialized (kRetransmit)
+    std::uint64_t messages_jittered = 0;       // given extra delay
     Duration busy_time = 0;                // time spent transmitting
     Duration stalled_time = 0;             // time spent with receiver blocked
     RunningStats queue_on_send;            // queue length sampled at each send
@@ -99,14 +126,19 @@ class SimLink {
 
   sim::Simulation& sim_;
   Config config_;
+  std::optional<ImpairmentModel> impair_;
   std::deque<SimMessage> outbound_;
   std::size_t outbound_bytes_ = 0;
   std::deque<SimMessage> pending_deliveries_;  // arrived but refused by sink
   bool transmitting_ = false;
+  bool paused_ = false;  // waiting out a retransmission timeout
   bool stalled_ = false;
   bool draining_ = false;
   std::vector<std::function<void()>> drain_listeners_;
   TimePoint stall_started_ = 0;
+  /// Latest delivery time handed to the scheduler; barrier messages (EOS)
+  /// release no earlier than this so they cannot overtake reorder-held data.
+  TimePoint delivery_watermark_ = 0;
   Stats stats_;
 };
 

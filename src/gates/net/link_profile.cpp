@@ -1,0 +1,30 @@
+#include "gates/net/link_profile.hpp"
+
+#include <cstdio>
+
+#include "gates/net/topology.hpp"
+
+namespace gates::net {
+
+LinkTransition classify_transition(const LinkSpec& base, const LinkSpec& next) {
+  const double effective_loss =
+      next.impair.burst ? next.impair.loss_bad : next.impair.loss;
+  if (effective_loss >= 1.0) return LinkTransition::kPartition;
+  if (next.bandwidth < base.bandwidth || next.latency > base.latency ||
+      next.impair.any()) {
+    return LinkTransition::kDegrade;
+  }
+  return LinkTransition::kRestore;
+}
+
+std::string describe_spec(const LinkSpec& spec) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "bw=%g delay=%g loss=%g jitter=%g reorder=%g%s",
+                spec.bandwidth, spec.latency,
+                spec.impair.burst ? spec.impair.loss_bad : spec.impair.loss,
+                spec.impair.jitter, spec.impair.reorder,
+                spec.impair.burst ? " burst" : "");
+  return std::string(buf);
+}
+
+}  // namespace gates::net

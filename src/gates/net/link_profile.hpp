@@ -1,0 +1,125 @@
+// Programmable link impairments: loss (i.i.d. or Gilbert-Elliott burst),
+// jitter and bounded reordering, layered on top of the bandwidth/latency
+// model every gates::net link already has.
+//
+// The same ImpairmentSpec drives both engines. SimEngine applies it inside
+// SimLink at transmit-complete time (event-time, fully deterministic);
+// RtEngine applies it in a LinkShaper thread that delays real deliveries.
+// Randomness always comes from a seeded, forked gates::Rng so an impaired
+// simulation stays a pure function of (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gates/common/rng.hpp"
+#include "gates/common/types.hpp"
+
+namespace gates::net {
+
+/// What happens to a message the loss process selects.
+enum class LossMode : std::uint8_t {
+  /// TCP-like reliable link: the message is retransmitted (re-serialized at
+  /// the link bandwidth, optionally after `retransmit_delay`). Nothing is
+  /// lost; loss shows up as reduced goodput and added latency — the regime
+  /// the paper's Fig. 6/7 WAN experiments live in.
+  kRetransmit,
+  /// UDP-like link: the message is dropped on the floor. Downstream recovery
+  /// is the middleware's problem (at-least-once replay, PR 1).
+  kDrop,
+};
+
+struct ImpairmentSpec {
+  /// i.i.d. per-message loss probability (ignored when `burst` is set).
+  double loss = 0.0;
+  /// Uniform extra propagation delay in [0, jitter] seconds per message.
+  Duration jitter = 0.0;
+  /// Probability a message is held back `reorder_delay` extra seconds. In
+  /// the DES this lets later messages overtake it (bounded reordering); the
+  /// real-time shaper keeps per-flow FIFO and renders it as pure delay.
+  double reorder = 0.0;
+  Duration reorder_delay = 0.0;
+  /// Gilbert-Elliott two-state burst loss. When set, `loss` is ignored and
+  /// each message samples loss_good/loss_bad per the current channel state.
+  bool burst = false;
+  double p_good_bad = 0.01;  // P(good -> bad) per message
+  double p_bad_good = 0.25;  // P(bad -> good) per message
+  double loss_good = 0.0;    // loss probability in the good state
+  double loss_bad = 1.0;     // loss probability in the bad state
+  LossMode loss_mode = LossMode::kRetransmit;
+  /// Retransmission timeout charged before a kRetransmit re-serialization
+  /// (0 = immediate back-to-back retransmit).
+  Duration retransmit_delay = 0.0;
+
+  bool lossy() const { return burst ? (loss_bad > 0 || loss_good > 0) : loss > 0; }
+  bool any() const {
+    return lossy() || jitter > 0 || (reorder > 0 && reorder_delay > 0);
+  }
+  /// Upper bound on extra one-way delay this spec can add to a message —
+  /// what lease/heartbeat validation budgets for.
+  Duration worst_case_extra_delay() const {
+    return jitter + (reorder > 0 ? reorder_delay : 0.0);
+  }
+};
+
+/// Stateful sampler for one link direction. Owns the forked Rng stream and
+/// the Gilbert-Elliott channel state; survives spec changes (a chaos
+/// transition swaps the spec, the random stream keeps advancing).
+class ImpairmentModel {
+ public:
+  ImpairmentModel(ImpairmentSpec spec, Rng rng)
+      : spec_(spec), rng_(rng) {}
+
+  const ImpairmentSpec& spec() const { return spec_; }
+  /// Replaces the spec; keeps the Rng stream and burst-channel state.
+  void set_spec(const ImpairmentSpec& spec) { spec_ = spec; }
+
+  /// Samples whether the next message is selected by the loss process
+  /// (advances the Gilbert-Elliott chain when burst mode is on).
+  bool roll_loss() {
+    if (spec_.burst) {
+      if (bad_state_) {
+        if (rng_.next_bool(spec_.p_bad_good)) bad_state_ = false;
+      } else {
+        if (rng_.next_bool(spec_.p_good_bad)) bad_state_ = true;
+      }
+      const double p = bad_state_ ? spec_.loss_bad : spec_.loss_good;
+      return p > 0 && rng_.next_bool(p);
+    }
+    return spec_.loss > 0 && rng_.next_bool(spec_.loss);
+  }
+
+  /// Samples the extra propagation delay (jitter + reorder hold-back) for
+  /// one delivered message.
+  Duration roll_delay() {
+    Duration extra = 0;
+    if (spec_.jitter > 0) extra += rng_.uniform(0.0, spec_.jitter);
+    if (spec_.reorder > 0 && spec_.reorder_delay > 0 &&
+        rng_.next_bool(spec_.reorder)) {
+      extra += spec_.reorder_delay;
+    }
+    return extra;
+  }
+
+  bool in_bad_state() const { return bad_state_; }
+
+ private:
+  ImpairmentSpec spec_;
+  Rng rng_;
+  bool bad_state_ = false;
+};
+
+/// How a link transition should be traced (obs::TraceKind is chosen by the
+/// engines from this — net cannot depend on obs).
+enum class LinkTransition : std::uint8_t { kDegrade, kRestore, kPartition };
+
+struct LinkSpec;  // topology.hpp
+
+/// Classifies a transition from `base` (the configured spec) to `next`.
+LinkTransition classify_transition(const LinkSpec& base, const LinkSpec& next);
+
+/// Human-readable one-liner for logs/trace detail ("bw=50e3 delay=0.2
+/// loss=0.05 ...").
+std::string describe_spec(const LinkSpec& spec);
+
+}  // namespace gates::net

@@ -1,0 +1,114 @@
+#include "gates/net/link_shaper.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace gates::net {
+
+LinkShaper::LinkShaper(Config config)
+    : config_(std::move(config)),
+      model_(config_.impair, config_.rng),
+      latency_(config_.latency) {
+  thread_ = std::thread([this] { run(); });
+}
+
+LinkShaper::~LinkShaper() { stop(); }
+
+LinkShaper::Plan LinkShaper::plan_send() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Plan plan;
+  ++stats_.messages_shaped;
+  const ImpairmentSpec& spec = model_.spec();
+  if (model_.roll_loss()) {
+    if (spec.loss_mode == LossMode::kDrop) {
+      plan.dropped = true;
+      ++stats_.messages_lost;
+      return plan;
+    }
+    // Each retransmission is another loss roll; cap so loss=1.0 partitions
+    // stay bounded (they degrade to max_retransmits × RTO of delay).
+    plan.retransmissions = 1;
+    while (plan.retransmissions < config_.max_retransmits && model_.roll_loss()) {
+      ++plan.retransmissions;
+    }
+    stats_.messages_retransmitted += plan.retransmissions;
+    plan.extra_delay += spec.retransmit_delay * plan.retransmissions;
+  }
+  const Duration extra = model_.roll_delay();
+  if (extra > 0) {
+    ++stats_.messages_jittered;
+    plan.extra_delay += extra;
+  }
+  return plan;
+}
+
+void LinkShaper::deliver_after(Duration extra, std::function<void()> deliver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimePoint now = clock_.now();
+  // Monotone releases keep the flow FIFO: a jittered message holds back its
+  // successors rather than being overtaken (see header).
+  const TimePoint release =
+      std::max(last_release_, now + latency_ + std::max(0.0, extra));
+  last_release_ = release;
+  queue_.push_back({release, std::move(deliver)});
+  cv_.notify_all();
+}
+
+void LinkShaper::deliver_in_order(std::function<void()> deliver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimePoint release = std::max(last_release_, clock_.now() + latency_);
+  last_release_ = release;
+  queue_.push_back({release, std::move(deliver)});
+  cv_.notify_all();
+}
+
+void LinkShaper::set_spec(Duration latency, const ImpairmentSpec& impair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_ = std::max(0.0, latency);
+  model_.set_spec(impair);
+}
+
+LinkShaper::Stats LinkShaper::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LinkShaper::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second call (destructor after explicit stop): thread already asked
+      // to exit; just make sure it is joined below.
+    }
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void LinkShaper::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (stopping_) return;
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const TimePoint now = clock_.now();
+    Pending& head = queue_.front();
+    if (head.release > now) {
+      // Even when stopping we wait deliveries out: dropping them would lose
+      // in-flight packets (and EOS) at shutdown.
+      cv_.wait_for(lock, std::chrono::duration<double>(head.release - now));
+      continue;
+    }
+    std::function<void()> deliver = std::move(head.deliver);
+    queue_.pop_front();
+    lock.unlock();
+    deliver();
+    lock.lock();
+  }
+}
+
+}  // namespace gates::net

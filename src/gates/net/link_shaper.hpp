@@ -1,0 +1,118 @@
+// Real-time link impairment shaper.
+//
+// The RtEngine's ideal flow path is ThrottleGate (token-bucket bandwidth)
+// straight into the destination inbox. A LinkShaper sits between them when
+// the flow's LinkSpec has propagation latency or impairments: the sender
+// thread plans each batch (loss sampling, retransmission charge, extra
+// delay) and hands the actual queue push to the shaper thread, which
+// releases it after the planned delay.
+//
+// Semantics relative to SimEngine (documented in DESIGN.md §8):
+//  - Release times are forced monotone per shaper, so a flow stays FIFO.
+//    `reorder` therefore renders as pure hold-back delay here; genuine
+//    overtaking is a SimEngine-only behaviour (EOS overtaking data on a real
+//    queue would truncate batches and break conservation).
+//  - kRetransmit loss converts to extra bandwidth charge (wire bytes × extra
+//    transmissions, applied at the ThrottleGate) plus RTO delay — goodput
+//    and latency degrade, nothing is lost.
+//  - kDrop loss removes items before retention/delivery and is counted here,
+//    so reports can distinguish link loss from queue drops.
+// Randomness comes from a forked seeded Rng; with real threads the *timing*
+// is not reproducible, but loss/jitter decisions for a given message
+// sequence are.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "gates/common/clock.hpp"
+#include "gates/common/rng.hpp"
+#include "gates/net/link_profile.hpp"
+#include "gates/net/topology.hpp"
+
+namespace gates::net {
+
+class LinkShaper {
+ public:
+  struct Config {
+    std::string name = "link";
+    Duration latency = 0.0;
+    ImpairmentSpec impair;
+    Rng rng;
+    /// Cap on extra transmissions charged per message under kRetransmit loss
+    /// (a loss~1.0 link would otherwise plan unbounded retries).
+    std::uint32_t max_retransmits = 16;
+  };
+
+  /// What the sender thread should do with one message, sampled on the
+  /// sender thread so retention order is preserved.
+  struct Plan {
+    bool dropped = false;            // kDrop loss: do not deliver or retain
+    std::uint32_t retransmissions = 0;  // kRetransmit: extra wire charges
+    Duration extra_delay = 0.0;      // RTO + jitter + reorder hold-back
+  };
+
+  struct Stats {
+    std::uint64_t messages_shaped = 0;
+    std::uint64_t messages_lost = 0;
+    std::uint64_t messages_retransmitted = 0;  // total extra transmissions
+    std::uint64_t messages_jittered = 0;
+  };
+
+  explicit LinkShaper(Config config);
+  ~LinkShaper();
+  LinkShaper(const LinkShaper&) = delete;
+  LinkShaper& operator=(const LinkShaper&) = delete;
+
+  /// Samples the loss/delay plan for the next message on this flow.
+  /// Thread-safe (sender threads may share a shaper on fan-in flows).
+  Plan plan_send();
+
+  /// Enqueues `deliver` to run on the shaper thread after the flow's
+  /// latency + `extra` seconds. Release order is monotone: a message never
+  /// releases before one scheduled earlier (per-flow FIFO).
+  void deliver_after(Duration extra, std::function<void()> deliver);
+
+  /// Runs `deliver` after every previously scheduled delivery has released
+  /// (zero extra delay beyond FIFO order) — used for EOS so termination is
+  /// never subject to loss or jitter.
+  void deliver_in_order(std::function<void()> deliver);
+
+  /// Swaps the impairment profile mid-run (chaos transition). Keeps Rng and
+  /// burst-channel state. Thread-safe.
+  void set_spec(Duration latency, const ImpairmentSpec& impair);
+
+  const std::string& name() const { return config_.name; }
+  Stats stats() const;
+
+  /// Drains remaining deliveries and joins the thread. Called by the
+  /// destructor; safe to call twice.
+  void stop();
+
+ private:
+  struct Pending {
+    TimePoint release;
+    std::function<void()> deliver;
+  };
+
+  void run();
+
+  Config config_;
+  WallClock clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  ImpairmentModel model_;
+  Duration latency_;
+  std::deque<Pending> queue_;
+  TimePoint last_release_ = 0;
+  bool stopping_ = false;
+  Stats stats_;
+  std::thread thread_;
+};
+
+}  // namespace gates::net

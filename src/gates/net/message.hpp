@@ -18,6 +18,11 @@ struct SimMessage {
   std::any payload;
   MessageSink* sink = nullptr;
   StageId source_stage = kInvalidStage;
+  /// Control-plane ordering barrier (EOS). A barrier is exempt from the
+  /// link's loss and jitter/reorder processes and never overtakes a message
+  /// sent before it — otherwise a reorder-held data packet could land after
+  /// the stream was declared finished and be silently lost.
+  bool barrier = false;
 };
 
 /// Receiving end of a link (a stage input buffer, in practice).

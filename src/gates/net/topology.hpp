@@ -7,17 +7,29 @@
 // 100 KB/s); otherwise each (src,dst) pair gets a dedicated link.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <utility>
 
 #include "gates/common/types.hpp"
+#include "gates/net/link_profile.hpp"
 
 namespace gates::net {
 
 struct LinkSpec {
   Bandwidth bandwidth = 1e6;  // bytes/second
   Duration latency = 0.0;     // seconds
+  /// Loss/jitter/reordering on top of the bandwidth+latency pipe. Defaults
+  /// to the ideal link (impair.any() == false) so existing configs and the
+  /// zero-impairment fast path are untouched.
+  ImpairmentSpec impair;
+
+  /// Worst-case one-way delay a message can see on this link (excluding
+  /// serialization and queueing): propagation + jitter + reorder hold-back.
+  Duration worst_case_one_way() const {
+    return latency + impair.worst_case_extra_delay();
+  }
 };
 
 class Topology {
@@ -51,7 +63,36 @@ class Topology {
 
   /// Stages co-located on one node communicate through an in-memory "link";
   /// we model it as effectively infinite bandwidth and zero latency.
-  static LinkSpec loopback() { return LinkSpec{1e15, 0.0}; }
+  static LinkSpec loopback() { return LinkSpec{1e15, 0.0, {}}; }
+
+  /// Worst-case one-way delay of any link that could carry traffic touching
+  /// `node` — what heartbeat-lease validation budgets against. Considers the
+  /// default spec, every pair override touching the node, and the node's
+  /// shared ingress.
+  Duration worst_case_one_way(NodeId node) const {
+    Duration worst = default_.worst_case_one_way();
+    for (const auto& [key, spec] : pairs_) {
+      if (key.first == node || key.second == node) {
+        worst = std::max(worst, spec.worst_case_one_way());
+      }
+    }
+    if (auto ingress = shared_ingress(node)) {
+      worst = std::max(worst, ingress->worst_case_one_way());
+    }
+    return worst;
+  }
+
+  /// Worst-case one-way delay across the whole topology.
+  Duration worst_case_one_way() const {
+    Duration worst = default_.worst_case_one_way();
+    for (const auto& [key, spec] : pairs_) {
+      worst = std::max(worst, spec.worst_case_one_way());
+    }
+    for (const auto& [node, spec] : shared_ingress_) {
+      worst = std::max(worst, spec.worst_case_one_way());
+    }
+    return worst;
+  }
 
  private:
   LinkSpec default_;

@@ -20,6 +20,9 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kStageFinished: return "stage-finished";
     case TraceKind::kReplicaScaleUp: return "replica-scale-up";
     case TraceKind::kReplicaScaleDown: return "replica-scale-down";
+    case TraceKind::kLinkDegrade: return "link-degrade";
+    case TraceKind::kLinkRestore: return "link-restore";
+    case TraceKind::kPartition: return "partition";
   }
   return "?";
 }

@@ -41,9 +41,13 @@ enum class TraceKind : std::uint8_t {
   kReplicaScaleUp,       // value_old -> value_new = replica counts;
                          // dtilde = the overload signal that drove it
   kReplicaScaleDown,     //   " (underload signal)
+  kLinkDegrade,          // impairment/bandwidth transition worsened a link;
+                         // component = link; detail = new spec description
+  kLinkRestore,          // link returned to (at least) its configured spec
+  kPartition,            // transition with effective loss >= 1.0
 };
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kReplicaScaleDown) + 1;
+    static_cast<std::size_t>(TraceKind::kPartition) + 1;
 
 const char* trace_kind_name(TraceKind kind);
 

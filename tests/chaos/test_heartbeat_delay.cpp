@@ -1,0 +1,147 @@
+// Heartbeat/lease behavior under pure propagation delay: slow links must
+// never look like dead nodes (ISSUE 6 satellite). The failure detector's
+// lease is auto-widened to cover the worst one-way heartbeat delay, and
+// detection latency honestly includes that delay when a node really dies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/core/failover.hpp"
+#include "gates/core/sim_engine.hpp"
+
+namespace gates::core {
+namespace {
+
+TEST(LeaseBeats, FastLinksKeepConfiguredBeats) {
+  // worst one-way well inside the lease: the configured value stands.
+  EXPECT_EQ(lease_beats_for_delay(1.0, 0.25, 3), 3u);
+  EXPECT_EQ(lease_beats_for_delay(0.5, 0.0, 3), 3u);
+  EXPECT_EQ(lease_beats_for_delay(0.5, -1.0, 3), 3u);
+}
+
+TEST(LeaseBeats, SlowLinksWidenTheLease) {
+  // needed = period + 2*worst. period 1, worst 2 -> 5 beats exactly.
+  EXPECT_EQ(lease_beats_for_delay(1.0, 2.0, 3), 5u);
+  // Non-integral ratio rounds up: period 0.1, worst 0.25 -> 0.6/0.1 = 6.
+  EXPECT_EQ(lease_beats_for_delay(0.1, 0.25, 2), 6u);
+  // Fractional result: period 0.4, worst 0.5 -> 1.4/0.4 = 3.5 -> 4 beats.
+  EXPECT_EQ(lease_beats_for_delay(0.4, 0.5, 3), 4u);
+}
+
+class CountingProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet& packet, Emitter& emitter) override {
+    ++packets_;
+    if (forward_) emitter.emit(packet);
+  }
+  std::string name() const override { return "counting"; }
+  std::uint64_t packets_ = 0;
+  bool forward_ = true;
+};
+
+struct Built {
+  PipelineSpec spec;
+  Placement placement;
+  HostModel hosts;
+  net::Topology topology;
+};
+
+/// source (node 1) -> fwd (node 1) -> sink (node 0); the 1<->0 pair link
+/// carries `one_way` seconds of propagation delay in each direction.
+Built delayed_pipeline(Duration one_way, std::uint64_t packets, double rate) {
+  Built b;
+  StageSpec fwd;
+  fwd.name = "fwd";
+  fwd.factory = [] { return std::make_unique<CountingProcessor>(); };
+  b.spec.stages.push_back(std::move(fwd));
+  b.placement.stage_nodes.push_back(1);
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] {
+    auto p = std::make_unique<CountingProcessor>();
+    p->forward_ = false;
+    return p;
+  };
+  b.spec.stages.push_back(std::move(sink));
+  b.placement.stage_nodes.push_back(0);
+  b.spec.edges = {{0, 1, 0}};
+  SourceSpec src;
+  src.rate_hz = rate;
+  src.total_packets = packets;
+  src.packet_bytes = 50;
+  src.location = 1;
+  src.target_stage = 0;
+  b.spec.sources = {src};
+  b.hosts.cpu_factor = {1.0, 1.0};
+  b.topology.set_pair(1, 0, {1e6, one_way, {}});
+  return b;
+}
+
+SimEngine::Config failover_config(Duration period, std::size_t beats) {
+  SimEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 0;
+  cfg.seed = 5;
+  cfg.failover.enabled = true;
+  cfg.failover.heartbeat_period = period;
+  cfg.failover.suspicion_beats = beats;
+  return cfg;
+}
+
+TEST(HeartbeatDelay, HalfSecondRttNeverTriggersFailover) {
+  // 500 ms RTT (250 ms each way) against a lease of only
+  // period * beats = 0.1 * 2 = 0.2 s — shorter than ONE one-way hop. The
+  // detector must auto-widen the lease rather than declare healthy nodes
+  // dead on delay alone.
+  Built b = delayed_pipeline(/*one_way=*/0.25, 2000, 250);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   failover_config(0.1, 2));
+  ASSERT_TRUE(engine.run().is_ok());
+  const RunReport& report = engine.report();
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.failures.empty())
+      << report.failures.size() << " false failover(s) on a healthy grid";
+  ASSERT_NE(report.stage("sink"), nullptr);
+  EXPECT_EQ(report.stage("sink")->packets_processed, 2000u);
+}
+
+TEST(HeartbeatDelay, DetectionLatencyIncludesPropagationDelay) {
+  // A real crash on a slow link is detected later — by exactly the extra
+  // heartbeat flight time — and must never be reported as detected before
+  // the lease plus delay could have expired.
+  FailureReport fast, slow;
+  for (const Duration one_way : {0.0, 0.25}) {
+    Built b = delayed_pipeline(one_way, 2000, 250);
+    SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                     failover_config(0.5, 3));
+    engine.schedule_node_failure(1, 2.0);
+    ASSERT_TRUE(engine.run().is_ok());
+    const RunReport& report = engine.report();
+    ASSERT_FALSE(report.failures.empty());
+    (one_way == 0.0 ? fast : slow) = report.failures.front();
+  }
+  // Both detect no earlier than the lease after the crash...
+  EXPECT_GE(fast.detection_latency(), 1.5);
+  EXPECT_GE(slow.detection_latency(), 1.5);
+  // ...and the slow link shifts detection later by its one-way delay.
+  EXPECT_NEAR(slow.detected_at - fast.detected_at, 0.25, 1e-9);
+}
+
+TEST(HeartbeatDelay, CrashOnSlowLinkStillRecovers) {
+  // Delay-aware leases must not break real failover: the fwd stage on the
+  // slow link crashes, is re-placed, and the run still completes.
+  Built b = delayed_pipeline(/*one_way=*/0.25, 2000, 250);
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                   failover_config(0.5, 3));
+  engine.schedule_node_failure(1, 2.0);
+  ASSERT_TRUE(engine.run().is_ok());
+  const RunReport& report = engine.report();
+  EXPECT_TRUE(report.completed);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.failures.front().outcome,
+            FailureReport::Outcome::kRecovered);
+}
+
+}  // namespace
+}  // namespace gates::core

@@ -1,0 +1,311 @@
+// Link impairments at the SimLink and SimEngine level: loss modes, burst
+// loss, jitter/reordering, transition classification, and determinism.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "gates/core/sim_engine.hpp"
+#include "gates/net/link.hpp"
+#include "gates/net/link_profile.hpp"
+#include "gates/obs/trace.hpp"
+
+namespace gates::net {
+namespace {
+
+class RecordingSink : public MessageSink {
+ public:
+  bool try_deliver(SimMessage&& msg) override {
+    delivered_.push_back(std::move(msg));
+    return true;
+  }
+  std::deque<SimMessage> delivered_;
+};
+
+SimMessage make_msg(std::size_t bytes, MessageSink* sink, int seq = 0) {
+  SimMessage msg;
+  msg.wire_bytes = bytes;
+  msg.sink = sink;
+  msg.payload = seq;
+  return msg;
+}
+
+SimLink::Config impaired(ImpairmentSpec impair, Bandwidth bw = 1000.0,
+                         Duration latency = 0.0, std::uint64_t seed = 11) {
+  SimLink::Config cfg;
+  cfg.name = "l";
+  cfg.bandwidth = bw;
+  cfg.latency = latency;
+  cfg.impair = impair;
+  cfg.rng = Rng(seed);
+  return cfg;
+}
+
+TEST(Impairments, RetransmitLossDeliversEverythingSlower) {
+  // 50 x 100 B at 1000 B/s = 5 s clean. Loss 0.5 in retransmit mode keeps
+  // every message but re-serializes about half of the transmissions.
+  sim::Simulation sim;
+  RecordingSink sink;
+  ImpairmentSpec impair;
+  impair.loss = 0.5;
+  impair.loss_mode = LossMode::kRetransmit;
+  SimLink link(sim, impaired(impair));
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(link.send(make_msg(100, &sink)));
+  sim.run();
+  EXPECT_EQ(sink.delivered_.size(), 50u);
+  EXPECT_EQ(link.stats().messages_lost, 0u);
+  EXPECT_GT(link.stats().messages_retransmitted, 10u);
+  EXPECT_GT(sim.now(), 6.0);  // clean run takes 5 s
+}
+
+TEST(Impairments, DropLossIsPermanentAndAccounted) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  ImpairmentSpec impair;
+  impair.loss = 0.5;
+  impair.loss_mode = LossMode::kDrop;
+  SimLink link(sim, impaired(impair));
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(link.send(make_msg(100, &sink)));
+  sim.run();
+  EXPECT_EQ(sink.delivered_.size() + link.stats().messages_lost, 100u);
+  EXPECT_GT(link.stats().messages_lost, 20u);
+  EXPECT_LT(link.stats().messages_lost, 80u);
+  EXPECT_EQ(link.stats().messages_retransmitted, 0u);
+}
+
+TEST(Impairments, RetransmitTimeoutPausesTheLink) {
+  // One message, loss 1.0 would retry forever; heal the link at t=2 and the
+  // message still lands. The RTO bounds the retry event rate meanwhile.
+  sim::Simulation sim;
+  RecordingSink sink;
+  ImpairmentSpec impair;
+  impair.loss = 1.0;
+  impair.loss_mode = LossMode::kRetransmit;
+  impair.retransmit_delay = 0.05;
+  SimLink link(sim, impaired(impair));
+  ASSERT_TRUE(link.send(make_msg(100, &sink)));
+  sim.schedule_at(2.0, [&] { link.set_profile(ImpairmentSpec{}); });
+  sim.run();
+  ASSERT_EQ(sink.delivered_.size(), 1u);
+  EXPECT_GE(sim.now(), 2.0);  // blocked until the heal
+  EXPECT_GT(link.stats().messages_retransmitted, 10u);
+}
+
+TEST(Impairments, GilbertElliottLossIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    RecordingSink sink;
+    ImpairmentSpec impair;
+    impair.burst = true;
+    impair.p_good_bad = 0.1;
+    impair.p_bad_good = 0.3;
+    impair.loss_bad = 0.9;
+    impair.loss_mode = LossMode::kDrop;
+    SimLink link(sim, impaired(impair, 1000.0, 0.0, seed));
+    for (int i = 0; i < 200; ++i) EXPECT_TRUE(link.send(make_msg(10, &sink)));
+    sim.run();
+    return link.stats().messages_lost;
+  };
+  const auto a = run_once(3);
+  EXPECT_GT(a, 0u);
+  EXPECT_EQ(a, run_once(3));   // same seed, same channel trajectory
+  EXPECT_NE(a, run_once(17));  // different stream diverges (overwhelmingly)
+}
+
+TEST(Impairments, ReorderingOvertakesInTheSim) {
+  // Every other message held back 0.5 s while serialization takes 0.01 s:
+  // held messages are overtaken by several successors.
+  sim::Simulation sim;
+  RecordingSink sink;
+  ImpairmentSpec impair;
+  impair.reorder = 0.5;
+  impair.reorder_delay = 0.5;
+  SimLink link(sim, impaired(impair, 10000.0));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(link.send(make_msg(100, &sink, i)));
+  }
+  sim.run();
+  ASSERT_EQ(sink.delivered_.size(), 40u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < sink.delivered_.size(); ++i) {
+    if (std::any_cast<int>(sink.delivered_[i].payload) <
+        std::any_cast<int>(sink.delivered_[i - 1].payload)) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+  EXPECT_GT(link.stats().messages_jittered, 5u);
+}
+
+TEST(Impairments, JitterSpreadsDeliveryTimes) {
+  sim::Simulation sim;
+  RecordingSink sink;
+  ImpairmentSpec impair;
+  impair.jitter = 0.3;
+  SimLink link(sim, impaired(impair));
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(link.send(make_msg(100, &sink)));
+  sim.run();
+  EXPECT_EQ(sink.delivered_.size(), 20u);
+  EXPECT_EQ(link.stats().messages_jittered, 20u);
+  // Last arrival can trail the clean finish (2 s) by up to the jitter bound.
+  EXPECT_GT(sim.now(), 2.0);
+  EXPECT_LE(sim.now(), 2.0 + 0.3 + 1e-9);
+}
+
+TEST(Impairments, ClassifyTransitionKinds) {
+  LinkSpec base{1000.0, 0.01, {}};
+  LinkSpec degraded = base;
+  degraded.bandwidth = 500.0;
+  EXPECT_EQ(classify_transition(base, degraded), LinkTransition::kDegrade);
+  LinkSpec delayed = base;
+  delayed.latency = 0.5;
+  EXPECT_EQ(classify_transition(base, delayed), LinkTransition::kDegrade);
+  LinkSpec lossy = base;
+  lossy.impair.loss = 0.1;
+  EXPECT_EQ(classify_transition(base, lossy), LinkTransition::kDegrade);
+  LinkSpec cut = base;
+  cut.impair.loss = 1.0;
+  EXPECT_EQ(classify_transition(base, cut), LinkTransition::kPartition);
+  LinkSpec burst_cut = base;
+  burst_cut.impair.burst = true;
+  burst_cut.impair.loss_bad = 1.0;
+  burst_cut.impair.p_bad_good = 0.0;
+  EXPECT_EQ(classify_transition(base, burst_cut), LinkTransition::kPartition);
+  EXPECT_EQ(classify_transition(base, base), LinkTransition::kRestore);
+}
+
+TEST(Impairments, WorstCaseOneWayBudgetsJitterAndReorder) {
+  Topology topology;
+  LinkSpec wan{1000.0, 0.1, {}};
+  wan.impair.jitter = 0.05;
+  wan.impair.reorder = 0.2;
+  wan.impair.reorder_delay = 0.3;
+  topology.set_pair(1, 0, wan);
+  EXPECT_NEAR(wan.worst_case_one_way(), 0.45, 1e-12);
+  EXPECT_NEAR(topology.worst_case_one_way(0), 0.45, 1e-12);
+  EXPECT_NEAR(topology.worst_case_one_way(), 0.45, 1e-12);
+}
+
+}  // namespace
+}  // namespace gates::net
+
+namespace gates::core {
+namespace {
+
+class CountingProcessor : public StreamProcessor {
+ public:
+  void init(ProcessorContext&) override {}
+  void process(const Packet&, Emitter&) override { ++packets_; }
+  std::string name() const override { return "counting"; }
+  std::uint64_t packets_ = 0;
+};
+
+struct Built {
+  PipelineSpec spec;
+  Placement placement;
+  HostModel hosts;
+  net::Topology topology;
+};
+
+/// One remote source (node 1) into a sink (node 0) over a 1 KB/s pair link.
+Built remote_sink(std::uint64_t packets = 100, double rate = 1000) {
+  Built b;
+  StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<CountingProcessor>(); };
+  b.spec.stages = {std::move(sink)};
+  SourceSpec src;
+  src.rate_hz = rate;
+  src.total_packets = packets;
+  src.packet_bytes = 100;
+  src.location = 1;
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {0};
+  b.hosts.cpu_factor = {1.0, 1.0};
+  b.topology.set_pair(1, 0, {1000.0, 0.0, {}});
+  return b;
+}
+
+SimEngine::Config zero_wire() {
+  SimEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 0;
+  return cfg;
+}
+
+TEST(ImpairedEngine, ScheduledLinkChangeStretchesAndTraces) {
+  // Clean run: 100 x 100 B at 1 KB/s = 10 s. Degrading to 500 B/s with 30%
+  // retransmit loss for the middle half stretches it; the transitions land
+  // in the trace as degrade + restore.
+  auto& buffer = obs::TraceBuffer::global();
+  buffer.set_enabled(true);
+  buffer.clear();
+
+  auto b = remote_sink();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, zero_wire());
+  net::LinkSpec degraded{500.0, 0.0, {}};
+  degraded.impair.loss = 0.3;
+  engine.schedule_link_change(1, 0, 3.0, degraded);
+  engine.schedule_link_change(1, 0, 8.0, net::LinkSpec{1000.0, 0.0, {}});
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  EXPECT_GT(engine.report().execution_time, 11.0);
+
+  bool saw_degrade = false, saw_restore = false;
+  for (const auto& e : buffer.events()) {
+    if (e.kind == obs::TraceKind::kLinkDegrade) saw_degrade = true;
+    if (e.kind == obs::TraceKind::kLinkRestore) saw_restore = true;
+  }
+  EXPECT_TRUE(saw_degrade);
+  EXPECT_TRUE(saw_restore);
+  buffer.set_enabled(false);
+  buffer.clear();
+
+  // Link accounting reaches the run report.
+  ASSERT_FALSE(engine.report().links.empty());
+  std::uint64_t retransmitted = 0;
+  for (const auto& l : engine.report().links) {
+    retransmitted += l.messages_retransmitted;
+  }
+  EXPECT_GT(retransmitted, 0u);
+}
+
+TEST(ImpairedEngine, ImpairedRunIsDeterministic) {
+  auto run_once = [] {
+    auto b = remote_sink();
+    net::LinkSpec wan = b.topology.between(1, 0);
+    wan.impair.loss = 0.2;
+    wan.impair.jitter = 0.05;
+    wan.impair.reorder = 0.3;
+    wan.impair.reorder_delay = 0.1;
+    b.topology.set_pair(1, 0, wan);
+    auto cfg = zero_wire();
+    cfg.seed = 99;
+    SimEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+    EXPECT_TRUE(engine.run().is_ok());
+    return engine.report().execution_time;
+  };
+  const double t1 = run_once();
+  EXPECT_GT(t1, 10.0);           // impairments cost something
+  EXPECT_EQ(t1, run_once());     // bit-identical across runs
+}
+
+TEST(ImpairedEngine, PartitionBlocksUntilHealed) {
+  auto b = remote_sink();
+  SimEngine engine(b.spec, b.placement, b.hosts, b.topology, zero_wire());
+  net::LinkSpec cut = b.topology.between(1, 0);
+  cut.impair.loss = 1.0;
+  cut.impair.retransmit_delay = 0.05;
+  engine.schedule_link_change(1, 0, 2.0, cut);
+  engine.schedule_link_change(1, 0, 6.0, b.topology.between(1, 0));
+  ASSERT_TRUE(engine.run().is_ok());
+  EXPECT_TRUE(engine.report().completed);
+  // Nothing was lost: the sink still saw all 100 packets.
+  auto& sink = dynamic_cast<CountingProcessor&>(engine.processor(0));
+  EXPECT_EQ(sink.packets_, 100u);
+  // The 4 s outage pushed completion past the clean 10 s.
+  EXPECT_GT(engine.report().execution_time, 12.0);
+}
+
+}  // namespace
+}  // namespace gates::core

@@ -1,0 +1,214 @@
+// Chaos scenarios end to end: builders, the Sim soak across the whole
+// scenario matrix (deterministic replay), and a live Rt crash-flap run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/chaos/runner.hpp"
+#include "gates/chaos/scenario.hpp"
+#include "gates/core/rt_engine.hpp"
+#include "gates/core/sim_engine.hpp"
+#include "gates/obs/trace.hpp"
+
+namespace gates::chaos {
+namespace {
+
+class CountingProcessor : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet& packet, core::Emitter& emitter) override {
+    ++packets_;
+    if (forward_) emitter.emit(packet);
+  }
+  std::string name() const override { return "counting"; }
+  std::uint64_t packets_ = 0;
+  bool forward_ = true;
+};
+
+struct Built {
+  core::PipelineSpec spec;
+  core::Placement placement;
+  core::HostModel hosts;
+  net::Topology topology;
+};
+
+/// source (node 1) -> fwd (node 1) -> sink (node 0) over a 20 KB/s WAN pair
+/// link: the flow the scenarios impair, with a crashable mid-pipeline stage.
+Built wan_pipeline(std::uint64_t packets, double rate) {
+  Built b;
+  core::StageSpec fwd;
+  fwd.name = "fwd";
+  fwd.factory = [] { return std::make_unique<CountingProcessor>(); };
+  b.spec.stages.push_back(std::move(fwd));
+  b.placement.stage_nodes.push_back(1);
+  core::StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] {
+    auto p = std::make_unique<CountingProcessor>();
+    p->forward_ = false;
+    return p;
+  };
+  b.spec.stages.push_back(std::move(sink));
+  b.placement.stage_nodes.push_back(0);
+  b.spec.edges = {{0, 1, 0}};
+  core::SourceSpec src;
+  src.rate_hz = rate;
+  src.total_packets = packets;
+  src.packet_bytes = 50;
+  src.location = 1;
+  src.target_stage = 0;
+  b.spec.sources = {src};
+  b.hosts.cpu_factor = {1.0, 1.0};
+  b.topology.set_pair(1, 0, {20e3, 0.01, {}});
+  return b;
+}
+
+ChaosTarget wan_target(const Built& b) {
+  ChaosTarget target;
+  target.from = 1;
+  target.to = 0;
+  target.base = b.topology.between(1, 0);
+  target.victim_node = 1;
+  target.victim_stage = 0;  // fwd
+  return target;
+}
+
+core::SimEngine::Config sim_config(std::uint64_t seed = 5) {
+  core::SimEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 0;
+  cfg.seed = seed;
+  cfg.failover.enabled = true;
+  return cfg;
+}
+
+TEST(Scenarios, BuildersProduceSortedSchedules) {
+  Built b = wan_pipeline(100, 100);
+  const ChaosTarget target = wan_target(b);
+  for (const std::string& name : scenario_names()) {
+    ChaosScenario s;
+    ASSERT_TRUE(scenario_by_name(name, target, 20.0, &s)) << name;
+    EXPECT_EQ(s.name, name);
+    EXPECT_FALSE(s.actions.empty()) << name;
+    for (std::size_t i = 1; i < s.actions.size(); ++i) {
+      EXPECT_LE(s.actions[i - 1].time, s.actions[i].time) << name;
+    }
+    EXPECT_GT(s.last_transition, 0.0) << name;
+    EXPECT_LE(s.last_transition, 20.0) << name;
+  }
+  ChaosScenario unknown;
+  EXPECT_FALSE(scenario_by_name("nope", target, 20.0, &unknown));
+}
+
+TEST(Scenarios, CrashFlapComposesKillsAndTransitions) {
+  Built b = wan_pipeline(100, 100);
+  const ChaosScenario s = crash_flap(wan_target(b), 10.0);
+  EXPECT_TRUE(s.has_kills);
+  ASSERT_EQ(s.expected_failed_nodes.size(), 1u);
+  EXPECT_EQ(s.expected_failed_nodes[0], 1u);
+  bool saw_link_change = false, saw_crash = false, saw_recovery = false;
+  for (const ChaosAction& a : s.actions) {
+    if (a.kind == ChaosAction::Kind::kLinkChange) saw_link_change = true;
+    if (a.kind == ChaosAction::Kind::kNodeFailure) saw_crash = true;
+    if (a.kind == ChaosAction::Kind::kNodeRecovery) saw_recovery = true;
+  }
+  EXPECT_TRUE(saw_link_change);
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_recovery);
+}
+
+TEST(Scenarios, PartitionScenarioBlocksWithoutLosing) {
+  const ChaosScenario s = partition(wan_target(wan_pipeline(1, 1)), 8.0);
+  ASSERT_EQ(s.actions.size(), 2u);
+  EXPECT_GE(s.actions[0].spec.impair.loss, 1.0);
+  EXPECT_EQ(s.actions[0].spec.impair.loss_mode, net::LossMode::kRetransmit);
+  EXPECT_GT(s.actions[0].spec.impair.retransmit_delay, 0.0);
+  EXPECT_FALSE(s.lossy_drop);  // retransmit partitions lose nothing
+}
+
+/// Runs one scenario against the Sim WAN pipeline and returns the chaos
+/// report (trace is captured for the Eq. 4 invariant).
+ChaosReport run_sim_scenario(const std::string& name, std::uint64_t seed) {
+  auto& buffer = obs::TraceBuffer::global();
+  buffer.set_enabled(true);
+  buffer.clear();
+  Built b = wan_pipeline(2000, 250);  // 8 s of data
+  ChaosScenario scenario;
+  EXPECT_TRUE(scenario_by_name(name, wan_target(b), 8.0, &scenario));
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology,
+                         sim_config(seed));
+  apply_to_sim(engine, scenario, b.placement);
+  EXPECT_TRUE(engine.run().is_ok());
+  ChaosReport report = make_report(scenario, "sim", seed, engine.report(),
+                                   buffer.events());
+  buffer.set_enabled(false);
+  buffer.clear();
+  return report;
+}
+
+TEST(Scenarios, SimSoakMatrixPassesAllInvariants) {
+  for (const std::string& name : scenario_names()) {
+    const ChaosReport report = run_sim_scenario(name, 5);
+    for (const InvariantResult& r : report.invariants) {
+      EXPECT_TRUE(r.passed)
+          << name << ": " << r.name << " — " << r.detail;
+    }
+    EXPECT_TRUE(report.all_passed()) << name;
+  }
+}
+
+TEST(Scenarios, SimChaosRunIsDeterministic) {
+  // The acceptance-criteria composition, replayed under a fixed seed: the
+  // whole run — failover included — is a pure function of (config, seed).
+  const ChaosReport a = run_sim_scenario("crash-flap", 23);
+  const ChaosReport b = run_sim_scenario("crash-flap", 23);
+  EXPECT_EQ(a.run.execution_time, b.run.execution_time);
+  ASSERT_EQ(a.run.failures.size(), b.run.failures.size());
+  for (std::size_t i = 0; i < a.run.failures.size(); ++i) {
+    EXPECT_EQ(a.run.failures[i].detected_at, b.run.failures[i].detected_at);
+    EXPECT_EQ(a.run.failures[i].packets_replayed,
+              b.run.failures[i].packets_replayed);
+  }
+  ASSERT_EQ(a.run.links.size(), b.run.links.size());
+  for (std::size_t i = 0; i < a.run.links.size(); ++i) {
+    EXPECT_EQ(a.run.links[i].messages_retransmitted,
+              b.run.links[i].messages_retransmitted);
+  }
+}
+
+TEST(Scenarios, RtCrashFlapSoak) {
+  // Live-thread variant, time-scaled: flapping link + stage crash composed,
+  // driven by the timer thread while run() blocks.
+  auto& buffer = obs::TraceBuffer::global();
+  buffer.set_enabled(true);
+  buffer.clear();
+  Built b = wan_pipeline(1000, 500);  // 2 s of data
+  ChaosScenario scenario;
+  ASSERT_TRUE(scenario_by_name("crash-flap", wan_target(b), 2.0, &scenario));
+  core::RtEngine::Config cfg;
+  cfg.wire.per_message_overhead = 0;
+  cfg.wire.per_record_overhead = 0;
+  cfg.seed = 5;
+  cfg.failover.enabled = true;
+  cfg.failover.heartbeat_period = 0.05;
+  cfg.max_wall_time = 30;
+  core::RtEngine engine(b.spec, b.placement, b.hosts, b.topology, cfg);
+  prepare_rt(engine, scenario);
+  RtChaosDriver driver(engine, scenario);
+  driver.start();
+  ASSERT_TRUE(engine.run().is_ok());
+  driver.finish();
+  const ChaosReport report =
+      make_report(scenario, "rt", cfg.seed, engine.report(), buffer.events());
+  buffer.set_enabled(false);
+  buffer.clear();
+  for (const InvariantResult& r : report.invariants) {
+    EXPECT_TRUE(r.passed) << r.name << " — " << r.detail;
+  }
+  // The crashed fwd stage was restarted and the sink still finished.
+  ASSERT_FALSE(report.run.failures.empty());
+  EXPECT_TRUE(report.all_passed());
+}
+
+}  // namespace
+}  // namespace gates::chaos

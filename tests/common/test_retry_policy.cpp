@@ -40,6 +40,68 @@ TEST(RetryPolicy, ExhaustedAfterMaxAttempts) {
   EXPECT_TRUE(policy.exhausted(4));
 }
 
+TEST(RetryPolicy, JitteredDelayStaysInsideDistributionBounds) {
+  // Full jitter (the default): uniform over [0, base]. Every draw must stay
+  // inside the bounds, and the spread must actually be used — a degenerate
+  // "jitter" that always returns base would re-synchronize replicas that
+  // failed together.
+  RetryPolicy policy;
+  policy.initial_delay = 1.0;
+  policy.multiplier = 2.0;
+  policy.max_delay = 1e9;
+  policy.jitter = 1.0;
+  Rng rng(42);
+  for (std::size_t attempt = 1; attempt <= 4; ++attempt) {
+    const Duration base = policy.delay(attempt);
+    Duration lo = base, hi = 0, sum = 0;
+    constexpr int kDraws = 2000;
+    for (int i = 0; i < kDraws; ++i) {
+      const Duration d = policy.delay(attempt, rng);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, base);
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+      sum += d;
+    }
+    // Uniform[0, base]: mean base/2 (loose 10% band), and the draws span
+    // most of the interval.
+    EXPECT_NEAR(sum / kDraws, base / 2, base * 0.1);
+    EXPECT_LT(lo, base * 0.05);
+    EXPECT_GT(hi, base * 0.95);
+  }
+}
+
+TEST(RetryPolicy, PartialJitterNarrowsTheWindow) {
+  // jitter = 0.25 draws uniformly from [0.75*base, base].
+  RetryPolicy policy;
+  policy.initial_delay = 2.0;
+  policy.jitter = 0.25;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = policy.delay(1, rng);
+    EXPECT_GE(d, 1.5);
+    EXPECT_LE(d, 2.0);
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterIsDeterministicEvenWithRng) {
+  RetryPolicy policy;
+  policy.initial_delay = 0.5;
+  policy.jitter = 0.0;
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(policy.delay(1, rng), 0.5);
+  EXPECT_DOUBLE_EQ(policy.delay(1, rng), 0.5);
+  EXPECT_DOUBLE_EQ(policy.delay(0, rng), 0.0);  // attempt 0 stays immediate
+}
+
+TEST(RetryPolicy, JitteredDelayIsReproduciblePerSeed) {
+  RetryPolicy policy;
+  Rng a(1234), b(1234);
+  for (std::size_t attempt = 0; attempt < 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(policy.delay(attempt, a), policy.delay(attempt, b));
+  }
+}
+
 TEST(RetryPolicy, DefaultsAreSane) {
   RetryPolicy policy;
   EXPECT_GT(policy.initial_delay, 0.0);

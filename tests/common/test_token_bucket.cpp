@@ -73,6 +73,32 @@ TEST(TokenBucket, LongRunRateIsHonored) {
   EXPECT_NEAR(sent, 10100, 200);
 }
 
+TEST(TokenBucket, SetRateSettlesAccrualBeforeSwitching) {
+  // 1 s at 100/s mints 50 (capped at burst 50 after the drain); switching
+  // to 10/s must keep those tokens and only change future accrual.
+  TokenBucket tb(100, 50, 0);
+  ASSERT_TRUE(tb.try_consume(50, 0));
+  tb.set_rate(10, 0.2);              // 20 tokens settled at the old rate
+  EXPECT_DOUBLE_EQ(tb.rate(), 10);
+  EXPECT_NEAR(tb.available(0.2), 20, 1e-9);
+  EXPECT_NEAR(tb.available(1.2), 30, 1e-9);  // +10 over the next second
+}
+
+TEST(TokenBucket, SetRateSpeedsUpRecoveryFromDebt) {
+  // A link shaper healing mid-run: debt paid at the new, faster rate.
+  TokenBucket tb(10, 50, 0);
+  tb.consume_debt(100, 0);  // 50 - 100 = -50
+  EXPECT_NEAR(tb.time_available(1, 0), 5.1, 1e-9);
+  tb.set_rate(1000, 0);
+  EXPECT_NEAR(tb.time_available(1, 0), 0.051, 1e-9);
+}
+
+TEST(TokenBucket, SetRateRejectsInvalidRate) {
+  TokenBucket tb(100, 50, 0);
+  EXPECT_THROW(tb.set_rate(0, 1.0), std::logic_error);
+  EXPECT_THROW(tb.set_rate(-5, 1.0), std::logic_error);
+}
+
 TEST(TokenBucket, InvalidConfigRejected) {
   EXPECT_THROW(TokenBucket(0, 10), std::logic_error);
   EXPECT_THROW(TokenBucket(10, 0), std::logic_error);

@@ -90,5 +90,75 @@ TEST(GridConfig, LinkInheritsDefaultLatency) {
   EXPECT_DOUBLE_EQ(config->topology.between(0, 1).latency, 0.5);
 }
 
+TEST(GridConfig, ParsesLinkImpairments) {
+  auto config = parse_grid_config(R"(
+    <grid>
+      <node id="0"/><node id="1"/>
+      <link from="1" to="0" bandwidth="56e3" latency="0.05"
+            loss="0.02" loss-mode="drop" jitter="0.01"
+            reorder="0.1" reorder-delay="0.08"/>
+      <link from="0" to="1" bandwidth="56e3" latency="0.05"
+            burst="true" p-good-bad="0.01" p-bad-good="0.2"
+            loss-good="0.001" loss-bad="0.4"
+            loss-mode="retransmit" retransmit-delay="0.2"/>
+    </grid>)");
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+
+  const net::ImpairmentSpec& iid = config->topology.between(1, 0).impair;
+  EXPECT_DOUBLE_EQ(iid.loss, 0.02);
+  EXPECT_EQ(iid.loss_mode, net::LossMode::kDrop);
+  EXPECT_DOUBLE_EQ(iid.jitter, 0.01);
+  EXPECT_DOUBLE_EQ(iid.reorder, 0.1);
+  EXPECT_DOUBLE_EQ(iid.reorder_delay, 0.08);
+  EXPECT_FALSE(iid.burst);
+
+  const net::ImpairmentSpec& ge = config->topology.between(0, 1).impair;
+  EXPECT_TRUE(ge.burst);
+  EXPECT_DOUBLE_EQ(ge.p_good_bad, 0.01);
+  EXPECT_DOUBLE_EQ(ge.p_bad_good, 0.2);
+  EXPECT_DOUBLE_EQ(ge.loss_good, 0.001);
+  EXPECT_DOUBLE_EQ(ge.loss_bad, 0.4);
+  EXPECT_EQ(ge.loss_mode, net::LossMode::kRetransmit);
+  EXPECT_DOUBLE_EQ(ge.retransmit_delay, 0.2);
+}
+
+TEST(GridConfig, DefaultLinkImpairmentIsInherited) {
+  auto config = parse_grid_config(R"(
+    <grid>
+      <node id="0"/><node id="1"/>
+      <default-link bandwidth="1e5" latency="0.01" loss="0.05"/>
+      <link from="0" to="1" bandwidth="7e3" loss="0"/>
+    </grid>)");
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  EXPECT_DOUBLE_EQ(config->topology.between(1, 0).impair.loss, 0.05);
+  EXPECT_DOUBLE_EQ(config->topology.between(0, 1).impair.loss, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ImpairmentCases, GridConfigRejects,
+    ::testing::Values(
+        BadGridCase{"loss_above_one",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' loss='1.5'/></grid>"},
+        BadGridCase{"loss_negative",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' loss='-0.1'/></grid>"},
+        BadGridCase{"unknown_loss_mode",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' loss-mode='teleport'/></grid>"},
+        BadGridCase{"bad_burst_flag",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' burst='maybe'/></grid>"},
+        BadGridCase{"negative_jitter",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' jitter='-0.01'/></grid>"},
+        BadGridCase{"ge_probability_out_of_range",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' p-good-bad='2'/></grid>"},
+        BadGridCase{"negative_retransmit_delay",
+                    "<grid><node id='0'/><node id='1'/>"
+                    "<link from='0' to='1' retransmit-delay='-1'/></grid>"}),
+    [](const auto& info) { return info.param.name; });
+
 }  // namespace
 }  // namespace gates::grid

@@ -1,0 +1,136 @@
+// LinkShaper: the RtEngine's real-time impairment path. Plans are sampled
+// on the caller thread; deliveries release on the shaper thread in FIFO
+// order. Delays are kept tiny — these are wall-clock tests.
+#include "gates/net/link_shaper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+namespace gates::net {
+namespace {
+
+LinkShaper::Config shaper_config(ImpairmentSpec impair, Duration latency = 0) {
+  LinkShaper::Config cfg;
+  cfg.name = "test-link";
+  cfg.latency = latency;
+  cfg.impair = impair;
+  cfg.rng = Rng(7);
+  return cfg;
+}
+
+TEST(LinkShaper, DropModePlansDrops) {
+  ImpairmentSpec impair;
+  impair.loss = 1.0;
+  impair.loss_mode = LossMode::kDrop;
+  LinkShaper shaper(shaper_config(impair));
+  for (int i = 0; i < 10; ++i) {
+    const auto plan = shaper.plan_send();
+    EXPECT_TRUE(plan.dropped);
+    EXPECT_EQ(plan.retransmissions, 0u);
+  }
+  EXPECT_EQ(shaper.stats().messages_lost, 10u);
+  EXPECT_EQ(shaper.stats().messages_shaped, 10u);
+}
+
+TEST(LinkShaper, RetransmitLossNeverDropsAndChargesExtra) {
+  ImpairmentSpec impair;
+  impair.loss = 0.5;
+  impair.loss_mode = LossMode::kRetransmit;
+  impair.retransmit_delay = 0.001;
+  LinkShaper shaper(shaper_config(impair));
+  std::uint32_t retransmissions = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = shaper.plan_send();
+    EXPECT_FALSE(plan.dropped);
+    retransmissions += plan.retransmissions;
+    EXPECT_NEAR(plan.extra_delay, plan.retransmissions * 0.001, 1e-9);
+  }
+  EXPECT_GT(retransmissions, 50u);  // ~1 extra per message at loss 0.5
+  EXPECT_EQ(shaper.stats().messages_lost, 0u);
+  EXPECT_EQ(shaper.stats().messages_retransmitted, retransmissions);
+}
+
+TEST(LinkShaper, RetransmitCapBoundsPathologicalLoss) {
+  ImpairmentSpec impair;
+  impair.loss = 1.0;  // every transmission attempt fails
+  impair.loss_mode = LossMode::kRetransmit;
+  LinkShaper::Config cfg = shaper_config(impair);
+  cfg.max_retransmits = 4;
+  LinkShaper shaper(std::move(cfg));
+  const auto plan = shaper.plan_send();
+  EXPECT_FALSE(plan.dropped);
+  EXPECT_EQ(plan.retransmissions, 4u);
+}
+
+TEST(LinkShaper, JitterAddsBoundedDelay) {
+  ImpairmentSpec impair;
+  impair.jitter = 0.005;
+  LinkShaper shaper(shaper_config(impair));
+  for (int i = 0; i < 50; ++i) {
+    const auto plan = shaper.plan_send();
+    EXPECT_GE(plan.extra_delay, 0.0);
+    EXPECT_LE(plan.extra_delay, 0.005);
+  }
+  EXPECT_GT(shaper.stats().messages_jittered, 0u);
+}
+
+TEST(LinkShaper, DeliveriesStayFifoDespiteDelaySpread) {
+  // A later message with zero extra delay must not overtake an earlier one
+  // held back — release times are monotone (per-flow FIFO).
+  LinkShaper shaper(shaper_config({}, /*latency=*/0.002));
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    return [&order, &mu, id] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(id);
+    };
+  };
+  shaper.deliver_after(0.02, record(1));
+  shaper.deliver_after(0.0, record(2));
+  shaper.deliver_in_order(record(3));
+  shaper.stop();  // drains everything before joining
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LinkShaper, StopDrainsPendingDeliveries) {
+  LinkShaper shaper(shaper_config({}, /*latency=*/0.005));
+  std::mutex mu;
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    shaper.deliver_after(0.001 * i, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++delivered;
+    });
+  }
+  shaper.stop();
+  EXPECT_EQ(delivered, 5);
+}
+
+TEST(LinkShaper, SetSpecSwapsProfileMidRun) {
+  LinkShaper shaper(shaper_config({}));
+  EXPECT_FALSE(shaper.plan_send().dropped);  // clean profile
+  ImpairmentSpec impair;
+  impair.loss = 1.0;
+  impair.loss_mode = LossMode::kDrop;
+  shaper.set_spec(0.0, impair);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(shaper.plan_send().dropped);
+  shaper.set_spec(0.0, ImpairmentSpec{});
+  EXPECT_FALSE(shaper.plan_send().dropped);
+}
+
+TEST(LinkShaper, LatencyDelaysRelease) {
+  LinkShaper shaper(shaper_config({}, /*latency=*/0.02));
+  const auto start = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point released;
+  shaper.deliver_after(0.0, [&] { released = std::chrono::steady_clock::now(); });
+  shaper.stop();
+  EXPECT_GE(std::chrono::duration<double>(released - start).count(), 0.019);
+}
+
+}  // namespace
+}  // namespace gates::net

@@ -21,6 +21,14 @@
 //   --recover-node N@T return node N to the candidate pool at T (sim only)
 //   --replicas S=N     run stage S as N replica workers (repeatable); a
 //                      serial stage is promoted to a stateless pool
+//   --link A-B=BW:DELAY:LOSS  override the directed link from node A to node
+//                      B (bytes/s, seconds, loss probability in retransmit
+//                      mode; repeatable)
+//   --chaos NAME       run a chaos scenario against the deployed pipeline's
+//                      first inter-node flow (degrade, flap, partition,
+//                      asymmetric, slow-start-burst, crash-flap); invariant
+//                      verdicts print after the run and failures exit 1
+//   --chaos-report FILE  write the chaos RunReport + verdicts as JSON
 //   --verbose          middleware INFO logging
 //
 // Telemetry artifacts (each flag enables the subsystem behind it):
@@ -39,6 +47,8 @@
 #include <string>
 
 #include "gates/apps/registration.hpp"
+#include "gates/chaos/runner.hpp"
+#include "gates/chaos/scenario.hpp"
 #include "gates/common/log.hpp"
 #include "gates/common/string_util.hpp"
 #include "gates/core/rt_engine.hpp"
@@ -68,6 +78,16 @@ struct Options {
   std::vector<std::pair<NodeId, double>> kill_nodes;
   std::vector<std::pair<NodeId, double>> recover_nodes;
   std::vector<std::pair<std::string, std::size_t>> replicas;
+  struct LinkOverride {
+    NodeId from;
+    NodeId to;
+    double bandwidth;
+    double delay;
+    double loss;
+  };
+  std::vector<LinkOverride> links;
+  std::string chaos;
+  std::string chaos_report;
   bool verbose = false;
   std::string metrics_out;
   std::string events_out;
@@ -102,6 +122,35 @@ bool parse_node_time(const char* text, std::pair<NodeId, double>& out) {
   return true;
 }
 
+/// Parses "A-B=BW:DELAY:LOSS", e.g. "1-0=50e3:0.1:0.02".
+bool parse_link_override(const char* text, Options::LinkOverride& out) {
+  const std::string s = text;
+  const auto dash = s.find('-');
+  const auto eq = s.find('=');
+  if (dash == std::string::npos || eq == std::string::npos || dash > eq)
+    return false;
+  long long from, to;
+  if (!parse_int(s.substr(0, dash), from) || from < 0) return false;
+  if (!parse_int(s.substr(dash + 1, eq - dash - 1), to) || to < 0) return false;
+  const std::string rest = s.substr(eq + 1);
+  const auto c1 = rest.find(':');
+  if (c1 == std::string::npos) return false;
+  const auto c2 = rest.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  Options::LinkOverride lo;
+  lo.from = static_cast<NodeId>(from);
+  lo.to = static_cast<NodeId>(to);
+  if (!parse_double(rest.substr(0, c1), lo.bandwidth) || lo.bandwidth <= 0)
+    return false;
+  if (!parse_double(rest.substr(c1 + 1, c2 - c1 - 1), lo.delay) || lo.delay < 0)
+    return false;
+  if (!parse_double(rest.substr(c2 + 1), lo.loss) || lo.loss < 0 ||
+      lo.loss > 1)
+    return false;
+  out = lo;
+  return true;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --grid FILE --app FILE [--engine sim|rt] "
@@ -110,10 +159,17 @@ int usage(const char* argv0) {
                "[--wire-record N] [--no-adapt] [--verbose]\n"
                "       [--failover] [--retention N] [--kill-node N@T] "
                "[--recover-node N@T] [--replicas STAGE=N]\n"
+               "       [--link A-B=BW:DELAY:LOSS] [--chaos NAME] "
+               "[--chaos-report FILE]\n"
                "       [--metrics-out FILE] [--events-out FILE] "
                "[--trace-out FILE] [--trace-buffer N]\n"
-               "       [--emit-report-json FILE] [--print-trajectories]\n",
+               "       [--emit-report-json FILE] [--print-trajectories]\n"
+               "chaos scenarios:",
                argv0);
+  for (const std::string& name : gates::chaos::scenario_names()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
   return 2;
 }
 
@@ -190,6 +246,19 @@ bool parse_args(int argc, char** argv, Options& options) {
       std::pair<std::string, std::size_t> sc;
       if (!v || !parse_stage_count(v, sc)) return false;
       options.replicas.push_back(sc);
+    } else if (arg == "--link") {
+      const char* v = next();
+      Options::LinkOverride lo;
+      if (!v || !parse_link_override(v, lo)) return false;
+      options.links.push_back(lo);
+    } else if (arg == "--chaos") {
+      const char* v = next();
+      if (!v) return false;
+      options.chaos = v;
+    } else if (arg == "--chaos-report") {
+      const char* v = next();
+      if (!v) return false;
+      options.chaos_report = v;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--metrics-out") {
@@ -322,6 +391,31 @@ int write_artifacts(const Options& options, const core::RunReport& report) {
   return rc;
 }
 
+/// Prints the invariant verdicts, writes the chaos artifact when asked, and
+/// turns a failed invariant into a nonzero exit.
+int finish_chaos(const Options& options, const chaos::ChaosScenario& scenario,
+                 const char* engine_name, const core::RunReport& report) {
+  const auto events = obs::TraceBuffer::global().events();
+  const chaos::ChaosReport chaos_report =
+      chaos::make_report(scenario, engine_name, options.seed, report, events,
+                         /*bounded_run=*/options.horizon <= 0);
+  std::printf("\nchaos '%s' invariants:\n", scenario.name.c_str());
+  for (const auto& r : chaos_report.invariants) {
+    std::printf("  [%s] %-28s %s\n", r.passed ? "PASS" : "FAIL",
+                r.name.c_str(), r.detail.c_str());
+  }
+  int rc = chaos_report.all_passed() ? 0 : 1;
+  if (!options.chaos_report.empty()) {
+    if (auto s = obs::write_text_file(options.chaos_report,
+                                      chaos_report.to_json() + "\n");
+        !s.is_ok()) {
+      std::fprintf(stderr, "chaos report: %s\n", s.to_string().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -335,7 +429,8 @@ int main(int argc, char** argv) {
     obs::MetricsRegistry::global().set_enabled(true);
   }
   if (!options.events_out.empty() || !options.trace_out.empty() ||
-      !options.report_json_out.empty()) {
+      !options.report_json_out.empty() || !options.chaos.empty()) {
+    // Chaos runs always trace: the invariant checkers read the event log.
     obs::TraceBuffer::global().set_enabled(true);
   }
   if (options.trace_buffer > 0) {
@@ -362,6 +457,18 @@ int main(int argc, char** argv) {
   }
   std::printf("grid '%s': %zu nodes\n", grid->name.c_str(),
               grid->directory.size());
+  for (const auto& lo : options.links) {
+    net::LinkSpec spec = grid->topology.between(lo.from, lo.to);
+    spec.bandwidth = lo.bandwidth;
+    spec.latency = lo.delay;
+    spec.impair.loss = lo.loss;
+    spec.impair.loss_mode = net::LossMode::kRetransmit;
+    // TCP-flavored RTO: one round trip before the head retries.
+    spec.impair.retransmit_delay = 2 * lo.delay;
+    grid->topology.set_pair(lo.from, lo.to, spec);
+    std::printf("  link %u->%u: bw=%g B/s delay=%gs loss=%g\n", lo.from, lo.to,
+                lo.bandwidth, lo.delay, lo.loss);
+  }
 
   apps::register_all();
   grid::RepositoryRegistry repos;
@@ -405,6 +512,22 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", decision.c_str());
   }
 
+  chaos::ChaosScenario scenario;
+  const bool chaos_on = !options.chaos.empty();
+  if (chaos_on) {
+    const chaos::ChaosTarget target = chaos::default_target(
+        app->pipeline, app->deployment.placement, grid->topology);
+    const double horizon = options.horizon > 0 ? options.horizon : 10.0;
+    if (!chaos::scenario_by_name(options.chaos, target, horizon, &scenario)) {
+      std::fprintf(stderr, "unknown chaos scenario '%s'\n",
+                   options.chaos.c_str());
+      return usage(argv[0]);
+    }
+    std::printf("chaos '%s': %zu actions on flow %u->%u over %.1f s\n",
+                scenario.name.c_str(), scenario.actions.size(), target.from,
+                target.to, horizon);
+  }
+
   if (options.engine == "sim") {
     core::SimEngine::Config config;
     config.seed = options.seed;
@@ -422,6 +545,9 @@ int main(int argc, char** argv) {
     for (const auto& [node, t] : options.recover_nodes) {
       engine.schedule_node_recovery(node, t);
     }
+    if (chaos_on) {
+      chaos::apply_to_sim(engine, scenario, app->deployment.placement);
+    }
     if (options.failover) {
       engine.set_replacement_provider(grid::make_replacement_provider(
           deployer, app->pipeline, app->deployment));
@@ -433,7 +559,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     print_report(engine.report());
-    return write_artifacts(options, engine.report());
+    int rc = write_artifacts(options, engine.report());
+    if (chaos_on) {
+      rc |= finish_chaos(options, scenario, "sim", engine.report());
+    }
+    return rc;
   } else {
     core::RtEngine::Config config;
     config.seed = options.seed;
@@ -462,13 +592,24 @@ int main(int argc, char** argv) {
             return grid::make_recovery_factory(*pipeline, *deployment, i);
           });
     }
+    std::optional<chaos::RtChaosDriver> driver;
+    if (chaos_on) {
+      chaos::prepare_rt(engine, scenario);
+      driver.emplace(engine, scenario);
+      driver->start();
+    }
     const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
                                             : engine.run();
+    if (driver) driver->finish();
     if (!status.is_ok()) {
       std::fprintf(stderr, "run: %s\n", status.to_string().c_str());
       return 1;
     }
     print_report(engine.report());
-    return write_artifacts(options, engine.report());
+    int rc = write_artifacts(options, engine.report());
+    if (chaos_on) {
+      rc |= finish_chaos(options, scenario, "rt", engine.report());
+    }
+    return rc;
   }
 }
