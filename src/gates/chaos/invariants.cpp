@@ -172,10 +172,12 @@ std::string ChaosReport::to_json() const {
   }
   w.end_array();
   w.end_object();
-  // Splice the embedded RunReport (already valid JSON) before the closing
-  // brace — JsonWriter has no raw-value passthrough.
+  // Splice the embedded RunReport and the bottleneck attribution (both
+  // already valid JSON) before the closing brace — JsonWriter has no
+  // raw-value passthrough.
   std::string out = w.str();
-  out.insert(out.size() - 1, ",\"run\":" + run.to_json());
+  out.insert(out.size() - 1, ",\"run\":" + run.to_json() +
+                                 ",\"attribution\":" + run.attribution.to_json());
   return out;
 }
 

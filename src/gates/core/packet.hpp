@@ -5,6 +5,7 @@
 
 #include "gates/common/byte_buffer.hpp"
 #include "gates/common/types.hpp"
+#include "gates/obs/trace_context.hpp"
 
 namespace gates::core {
 
@@ -24,6 +25,10 @@ struct Packet {
   std::uint32_t kind = kPacketKindData;
   /// Logical records carried, for the per-record wire-overhead model.
   std::size_t records = 1;
+  /// Causal tracing context (null for the unsampled 1 - 1/N majority).
+  /// Travels with the packet through fan-out, retention and replay, so a
+  /// replayed copy renders on the same Perfetto flow as the original.
+  obs::TraceContext trace;
   ByteBuffer payload;
 
   bool is_eos() const { return kind == kPacketKindEos; }

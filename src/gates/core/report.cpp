@@ -115,6 +115,9 @@ std::string RunReport::to_json() const {
   for (const auto& [kind, count] : trace_summary.by_kind) w.kv(kind, count);
   w.end_object().end_object();
 
+  w.key("attribution");
+  attribution.write_json(w);
+
   w.end_object();
   return w.str();
 }

@@ -9,6 +9,7 @@
 
 #include "gates/common/stats.hpp"
 #include "gates/common/types.hpp"
+#include "gates/obs/attribution.hpp"
 #include "gates/obs/metrics.hpp"
 #include "gates/obs/trace.hpp"
 
@@ -115,6 +116,8 @@ struct RunReport {
   /// Trace volume/drop accounting (all-zero when tracing was disabled) —
   /// records whether the persisted event log is complete.
   obs::TraceSummary trace_summary;
+  /// End-of-run bottleneck ranking (empty when the Profiler was disabled).
+  obs::BottleneckReport attribution;
 
   const StageReport* stage(const std::string& name) const {
     for (const auto& s : stages) {

@@ -9,14 +9,18 @@
 
 #include "gates/common/check.hpp"
 #include "gates/common/clock.hpp"
+#include "gates/common/json.hpp"
 #include "gates/common/log.hpp"
 #include "gates/common/token_bucket.hpp"
 #include "gates/core/adapt/queue_monitor.hpp"
 #include "gates/core/failover.hpp"
 #include "gates/core/retention_ring.hpp"
 #include "gates/core/stage_inbox.hpp"
+#include "gates/obs/attribution.hpp"
 #include "gates/obs/metrics.hpp"
+#include "gates/obs/profiler.hpp"
 #include "gates/obs/trace.hpp"
+#include "gates/obs/trace_context.hpp"
 
 namespace gates::core {
 namespace {
@@ -144,6 +148,10 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     Packet packet;
     ReplayChannel* origin = nullptr;
     std::uint64_t seq = 0;
+    /// Stamped at queue-push time when the Profiler or PacketTracer is on
+    /// (0 otherwise): the base for inbox-wait attribution. Stamping is
+    /// amortized to one clock read per flushed batch.
+    TimePoint queued_at = 0;
   };
   /// Per-route output staging (emit() fills, flush_route() sends).
   struct RouteBatch {
@@ -169,6 +177,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     ReplayChannel* origin = nullptr;
     std::uint64_t ack_seq = 0;
     TimePoint created_at = 0;
+    /// When the replica deposited this completion; the releaser charges
+    /// now - completed_at to merge-hold attribution.
+    TimePoint completed_at = 0;
     bool has_data = false;
     /// Set on the last finish() result: its releaser runs the stage's
     /// downstream-EOS epilogue.
@@ -180,6 +191,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     ReplayChannel* origin = nullptr;
     std::uint64_t ack_seq = 0;
     std::uint64_t merge_seq = 0;
+    /// Carried over from the inbox Item, so a pooled stage's inbox-wait
+    /// attribution covers inbox + replica-queue time in one measurement.
+    TimePoint queued_at = 0;
     bool finish_marker = false;
     bool is_final = false;
   };
@@ -329,6 +343,14 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::vector<Route>& routes() { return routes_; }
 
   void start() {
+    // Resolved once, before any worker thread exists: the PhaseClock handle
+    // is stable for the stage's lifetime and the flags are read-only on the
+    // data path (one predicted branch when observability is off).
+    profile_ = obs::Profiler::global().enabled()
+                   ? &obs::Profiler::global().stage(spec_.name)
+                   : nullptr;
+    tracer_active_ = obs::PacketTracer::global().active();
+    stamp_queued_ = profile_ != nullptr || tracer_active_;
     last_beat_.store(clock_.now(), std::memory_order_release);
     if (pooled()) {
       const std::size_t active =
@@ -465,6 +487,10 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     const Route& route = routes_[r];
     if (route.shaper) return flush_route_shaped(r);
     route.gate->acquire(batch.wire_bytes);
+    if (stamp_queued_) {
+      const TimePoint t = clock_.now();
+      for (Item& it : batch.items) it.queued_at = t;
+    }
     if (route.channel) route.channel->retain_batch(batch.items);
     const std::size_t n = batch.items.size();
     // Blocking push: a full downstream buffer backpressures this thread.
@@ -506,6 +532,16 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         ++lost;
         continue;
       }
+      if (tracer_active_ && batch.items[i].packet.trace.sampled()) {
+        // Causal link hop: the sampled packet's planned time on the wire
+        // (base latency + RTO/jitter hold-back), attributed to the link.
+        GATES_TRACE(.time = clock_.now(),
+                    .duration = plan.base_latency + plan.extra_delay,
+                    .kind = obs::TraceKind::kPacketHop,
+                    .component = route.shaper->name(), .detail = "link",
+                    .trace_id = batch.items[i].packet.trace.trace_id,
+                    .hop = batch.items[i].packet.trace.hop);
+      }
       wire += item_wire * plan.retransmissions;
       extra = std::max(extra, plan.extra_delay);
       if (kept != i) batch.items[kept] = std::move(batch.items[i]);
@@ -524,7 +560,14 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     auto items = std::make_shared<std::vector<Item>>(std::move(batch.items));
     batch.items = {};
     StageWorker* dest = route.dest;
-    route.shaper->deliver_after(extra, [dest, items] {
+    const bool stamp = stamp_queued_;
+    route.shaper->deliver_after(extra, [dest, items, stamp] {
+      if (stamp) {
+        // Queued-at reflects arrival at the inbox, not send time: link
+        // delay must land in shaper-delay attribution, not inbox-wait.
+        const TimePoint t = dest->now();
+        for (Item& it : *items) it.queued_at = t;
+      }
       const std::size_t n = items->size();
       const std::size_t pushed = dest->queue().push_all(*items);
       if (pushed < n) {
@@ -645,11 +688,17 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         controllers_[i]->update(monitor_.normalized_dtilde_gated());
         const adapt::ParameterController::LastUpdate& u =
             controllers_[i]->last_update();
+        // The annotation snapshots this stage's phase breakdown at decision
+        // time, so every Eq. 4 move carries the attribution that triggered
+        // it. attribution_brief returns "" (and the field is elided) when
+        // the Profiler is off; the whole expression is unevaluated when
+        // tracing is off.
         GATES_TRACE(.time = clock_.now(),
                     .kind = obs::TraceKind::kParamAdjust,
                     .component = spec_.name, .detail = params_[i]->name(),
                     .value_old = u.old_value, .value_new = u.new_value,
-                    .dtilde = u.dtilde, .phi1 = u.phi1);
+                    .dtilde = u.dtilde, .phi1 = u.phi1,
+                    .annotation = obs::attribution_brief(spec_.name));
       }
       params_[i]->record(clock_.now());
     }
@@ -674,7 +723,8 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
                     .component = spec_.name,
                     .value_old = static_cast<double>(target),
                     .value_new = static_cast<double>(target + 1),
-                    .dtilde = monitor_.normalized_dtilde());
+                    .dtilde = monitor_.normalized_dtilde(),
+                    .annotation = obs::attribution_brief(spec_.name));
         return true;
       case adapt::ReplicaScaler::Decision::kScaleDown:
         scale_target_.store(target - 1, std::memory_order_release);
@@ -683,7 +733,8 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
                     .component = spec_.name,
                     .value_old = static_cast<double>(target),
                     .value_new = static_cast<double>(target - 1),
-                    .dtilde = monitor_.normalized_dtilde());
+                    .dtilde = monitor_.normalized_dtilde(),
+                    .annotation = obs::attribution_brief(spec_.name));
         return true;
     }
     return false;
@@ -796,6 +847,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   /// per origin channel: one lock per channel per batch.
   void flush_batch_effects(std::vector<Item>& batch, std::size_t upto) {
     flush_emits();
+    // Ack/retention attribution brackets only the ack section: the emit
+    // flush above is already charged to the gates/shapers it waits on.
+    const TimePoint ack_start = profile_ != nullptr ? clock_.now() : 0;
     for (std::size_t i = 0; i < upto; ++i) {
       if (batch[i].origin == nullptr) continue;
       ReplayChannel* origin = batch[i].origin;
@@ -810,6 +864,25 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       }
       origin->ack_batch(ack_seqs_);
     }
+    if (profile_ != nullptr) {
+      profile_->add(obs::Phase::kAckRetention, clock_.now() - ack_start);
+    }
+  }
+
+  /// Charges each drained item's queue residency (push -> drain) to
+  /// inbox-wait: one clock read per batch. Items without a stamp (EOS,
+  /// aux-channel injections, observability off) are skipped.
+  template <typename T>
+  void profile_inbox_wait(const std::vector<T>& batch, std::size_t n) {
+    if (profile_ == nullptr || n == 0) return;
+    const TimePoint now = clock_.now();
+    Duration wait = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch[i].queued_at > 0 && now > batch[i].queued_at) {
+        wait += now - batch[i].queued_at;
+      }
+    }
+    profile_->add(obs::Phase::kInboxWait, wait);
   }
 
   void run_loop() {
@@ -839,10 +912,12 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         if (failover && !queue_.closed()) continue;  // idle beat
         break;  // closed and drained (EOS logic below) or force-stopped
       }
+      profile_inbox_wait(batch, n);
       // Per-batch counter deltas, published once after the batch.
       std::uint64_t d_packets = 0;
       std::uint64_t d_records = 0;
       std::uint64_t d_bytes = 0;
+      Duration d_service = 0;
       std::size_t processed_upto = 0;
       bool latency_sampled = false;
       for (std::size_t i = 0; i < n; ++i) {
@@ -851,9 +926,31 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
             spec_.cost.service_time(packet) / cpu_factor_;
         sleep_seconds(service);
         busy_time_ += service;
-        GATES_TRACE(.time = clock_.now() - service, .duration = service,
-                    .kind = obs::TraceKind::kServiceSpan,
-                    .component = spec_.name);
+        d_service += service;
+        if (!tracer_active_) {
+          // Legacy behaviour (sampling off): every service gets a span
+          // whenever the TraceBuffer is enabled.
+          GATES_TRACE(.time = clock_.now() - service, .duration = service,
+                      .kind = obs::TraceKind::kServiceSpan,
+                      .component = spec_.name);
+        } else if (packet.trace.sampled()) {
+          const TimePoint done = clock_.now();
+          ++packet.trace.hop;
+          if (batch[i].queued_at > 0 &&
+              done - service > batch[i].queued_at) {
+            GATES_TRACE(.time = batch[i].queued_at,
+                        .duration = done - service - batch[i].queued_at,
+                        .kind = obs::TraceKind::kPacketHop,
+                        .component = spec_.name, .detail = "inbox-wait",
+                        .trace_id = packet.trace.trace_id,
+                        .hop = packet.trace.hop);
+          }
+          GATES_TRACE(.time = done - service, .duration = service,
+                      .kind = obs::TraceKind::kPacketHop,
+                      .component = spec_.name, .detail = "service",
+                      .trace_id = packet.trace.trace_id,
+                      .hop = packet.trace.hop);
+        }
         if (crashed_.load(std::memory_order_acquire)) return;
         if (packet.is_eos()) {
           processed_upto = i + 1;
@@ -880,6 +977,10 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         packets_processed_.fetch_add(d_packets, std::memory_order_relaxed);
         records_processed_.fetch_add(d_records, std::memory_order_relaxed);
         bytes_processed_.fetch_add(d_bytes, std::memory_order_relaxed);
+      }
+      if (profile_ != nullptr) {
+        profile_->add(obs::Phase::kService, d_service);
+        profile_->add_packets(d_packets);
       }
       // Outputs first, then acks (see flush_batch_effects).
       flush_batch_effects(batch, processed_upto);
@@ -956,6 +1057,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         pi.origin = item.origin;
         pi.ack_seq = item.seq;
         pi.merge_seq = mseq;
+        // Keep the original push stamp: the replica charges inbox +
+        // replica-queue residency to inbox-wait in one measurement.
+        pi.queued_at = item.queued_at;
         if (!replicas_[r]->queue->push(std::move(pi))) {
           if (crashed_.load(std::memory_order_acquire)) return close_pool();
           merge_->complete(mseq, Completion{});  // keep the window moving
@@ -980,9 +1084,11 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       batch.clear();
       const std::size_t n = rep.queue->drain(batch, max_batch);
       if (n == 0) return;  // closed and drained: retired or winding down
+      profile_inbox_wait(batch, n);
       std::uint64_t d_packets = 0;
       std::uint64_t d_records = 0;
       std::uint64_t d_bytes = 0;
+      Duration d_service = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (crashed_.load(std::memory_order_acquire)) return;
         PoolItem& item = batch[i];
@@ -998,10 +1104,20 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
               spec_.cost.service_time(item.packet) / cpu_factor_;
           sleep_seconds(service);
           rep.busy_time += service;
-          GATES_TRACE(.time = clock_.now() - service, .duration = service,
-                      .kind = obs::TraceKind::kServiceSpan,
-                      .component = spec_.name,
-                      .detail = "replica-" + std::to_string(r));
+          d_service += service;
+          if (!tracer_active_) {
+            GATES_TRACE(.time = clock_.now() - service, .duration = service,
+                        .kind = obs::TraceKind::kServiceSpan,
+                        .component = spec_.name,
+                        .detail = "replica-" + std::to_string(r));
+          } else if (item.packet.trace.sampled()) {
+            ++item.packet.trace.hop;
+            GATES_TRACE(.time = clock_.now() - service, .duration = service,
+                        .kind = obs::TraceKind::kPacketHop,
+                        .component = spec_.name, .detail = "service",
+                        .trace_id = item.packet.trace.trace_id,
+                        .hop = item.packet.trace.hop);
+          }
           ++d_packets;
           d_records += item.packet.records;
           d_bytes += item.packet.payload_bytes();
@@ -1009,6 +1125,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
           c.has_data = true;
           rep.processor->process(item.packet, capture);
         }
+        if (profile_ != nullptr) c.completed_at = clock_.now();
         merge_->complete(item.merge_seq, std::move(c));
         release_pass();
       }
@@ -1017,6 +1134,10 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         records_processed_.fetch_add(d_records, std::memory_order_relaxed);
         bytes_processed_.fetch_add(d_bytes, std::memory_order_relaxed);
         rep.packets.fetch_add(d_packets, std::memory_order_relaxed);
+      }
+      if (profile_ != nullptr) {
+        profile_->add(obs::Phase::kService, d_service);
+        profile_->add_packets(d_packets);
       }
     }
   }
@@ -1031,7 +1152,14 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     while (merge_->claim_release()) {
       bool latency_sampled = false;
       bool final_seen = false;
+      // Merge-hold: how long each completion waited for its turn in the
+      // in-order window. One clock read per release pass.
+      const TimePoint release_at = profile_ != nullptr ? clock_.now() : 0;
+      Duration held = 0;
       while (auto c = merge_->pop_ready()) {
+        if (c->completed_at > 0 && release_at > c->completed_at) {
+          held += release_at - c->completed_at;
+        }
         if (c->has_data && !latency_sampled) {
           latency_.add(clock_.now() - c->created_at);
           latency_sampled = true;
@@ -1044,6 +1172,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         }
         final_seen |= c->is_final;
       }
+      if (profile_ != nullptr) {
+        profile_->add(obs::Phase::kMergeHold, held);
+      }
       flush_emits();
       flush_pending_acks();
       if (final_seen) finish_pool();
@@ -1054,6 +1185,8 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   /// Grouped exact acks for everything released in this pass: one retention
   /// lock per distinct origin channel, mirroring flush_batch_effects.
   void flush_pending_acks() {
+    const bool timed = profile_ != nullptr && !pending_acks_.empty();
+    const TimePoint ack_start = timed ? clock_.now() : 0;
     for (std::size_t i = 0; i < pending_acks_.size(); ++i) {
       ReplayChannel* origin = pending_acks_[i].first;
       if (origin == nullptr) continue;
@@ -1069,6 +1202,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       origin->ack_batch(ack_seqs_);
     }
     pending_acks_.clear();
+    if (timed) {
+      profile_->add(obs::Phase::kAckRetention, clock_.now() - ack_start);
+    }
   }
 
   /// Runs once, by whichever releaser pops the pool's final finish()
@@ -1168,6 +1304,14 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::atomic<TimePoint> last_beat_{0};
   std::size_t recoveries_ = 0;  // control thread only
 
+  // Observability plumbing, resolved in start() before any worker thread
+  // exists and read-only afterwards. profile_ is null when the Profiler is
+  // off; the PhaseClock itself is all relaxed atomics, so replicas and the
+  // dispatcher share it without coordination.
+  obs::PhaseClock* profile_ = nullptr;
+  bool tracer_active_ = false;
+  bool stamp_queued_ = false;
+
   // Written by the stage thread; relaxed atomics so the control thread can
   // sample them into the MetricsRegistry mid-run (final values are still
   // read after join()).
@@ -1260,6 +1404,10 @@ class RtEngine::SourceWorker {
     if (shaper_) return flush_shaped(staged, wire_bytes);
     gate_->acquire(wire_bytes);
     wire_bytes = 0;
+    if (stamp_queued_) {
+      const TimePoint t = clock_.now();
+      for (StageWorker::Item& it : staged) it.queued_at = t;
+    }
     if (channel_) channel_->retain_batch(staged);
     const std::size_t n = staged.size();
     if (target_->queue().push_all(staged) < n) {
@@ -1291,6 +1439,14 @@ class RtEngine::SourceWorker {
         ++lost;
         continue;
       }
+      if (tracer_active_ && staged[i].packet.trace.sampled()) {
+        GATES_TRACE(.time = clock_.now(),
+                    .duration = plan.base_latency + plan.extra_delay,
+                    .kind = obs::TraceKind::kPacketHop,
+                    .component = shaper_->name(), .detail = "link",
+                    .trace_id = staged[i].packet.trace.trace_id,
+                    .hop = staged[i].packet.trace.hop);
+      }
       wire += item_wire * plan.retransmissions;
       extra = std::max(extra, plan.extra_delay);
       if (kept != i) staged[kept] = std::move(staged[i]);
@@ -1309,12 +1465,22 @@ class RtEngine::SourceWorker {
         std::make_shared<std::vector<StageWorker::Item>>(std::move(staged));
     staged = {};
     StageWorker* target = target_;
-    shaper_->deliver_after(extra,
-                           [target, items] { target->queue().push_all(*items); });
+    const bool stamp = stamp_queued_;
+    shaper_->deliver_after(extra, [target, items, stamp] {
+      if (stamp) {
+        const TimePoint t = target->now();
+        for (StageWorker::Item& it : *items) it.queued_at = t;
+      }
+      target->queue().push_all(*items);
+    });
     return true;
   }
 
   void run_loop() {
+    tracer_active_ = obs::PacketTracer::global().active();
+    stamp_queued_ =
+        tracer_active_ || obs::Profiler::global().enabled();
+    const std::string trace_name = "source:" + std::to_string(spec_.stream);
     const std::size_t max_batch = std::max<std::size_t>(
         engine_.config_.batching.max_batch, 1);
     std::vector<StageWorker::Item> staged;
@@ -1344,6 +1510,19 @@ class RtEngine::SourceWorker {
       packet.stream = spec_.stream;
       packet.sequence = seq;
       packet.created_at = clock_.now();
+      if (tracer_active_) {
+        // Causal sampling decision is made exactly once, at the origin; the
+        // context then rides the packet through fan-out, retention, replay
+        // and failover re-delivery. Hop 0 anchors the Perfetto flow.
+        packet.trace = obs::PacketTracer::global().maybe_sample();
+        if (packet.trace.sampled()) {
+          GATES_TRACE(.time = packet.created_at,
+                      .kind = obs::TraceKind::kPacketHop,
+                      .component = trace_name, .detail = "emit",
+                      .trace_id = packet.trace.trace_id,
+                      .hop = packet.trace.hop);
+        }
+      }
       ++seq;
       staged_wire += engine_.config_.wire.wire_size(packet.payload_bytes(),
                                                     packet.records);
@@ -1390,6 +1569,10 @@ class RtEngine::SourceWorker {
   std::thread thread_;
   Duration horizon_ = 0;
   std::atomic<bool> stop_{false};
+  // Set at the top of run_loop (source thread), read only by that thread
+  // and the flush helpers it calls.
+  bool tracer_active_ = false;
+  bool stamp_queued_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -1592,6 +1775,7 @@ Status RtEngine::execute(Duration source_horizon) {
   for (auto& source : sources_) source->start(source_horizon);
 
   // Control loop doubles as the watchdog and the failure detector.
+  const bool profiling = obs::Profiler::global().enabled();
   bool timed_out = false;
   while (true) {
     sleep_seconds(config_.control_period);
@@ -1599,8 +1783,16 @@ Status RtEngine::execute(Duration source_horizon) {
     bool all_done = true;
     for (auto& stage : stages_) all_done &= stage->finished();
     if (all_done) break;
+    const TimePoint tick_start = clock_.now();
     for (auto& stage : stages_) {
       stage->control_step(config_.adaptation_enabled);
+    }
+    if (profiling) {
+      // Links accumulate planned hold time inside the shaper; publish the
+      // running total (overwrite, not add) and fold the whole profile into
+      // the MetricsRegistry, charging the fold's own cost to obs_fold_micros.
+      store_link_phases();
+      obs::fold_profiler_into_metrics(clock_.now() - tick_start);
     }
     if (clock_.now() - start > config_.max_wall_time) {
       timed_out = true;
@@ -1633,6 +1825,14 @@ Status RtEngine::execute(Duration source_horizon) {
     lr.messages_retransmitted = st.messages_retransmitted;
     report_.links.push_back(std::move(lr));
   }
+  if (profiling) {
+    // Final link totals (the last tick may have missed the tail), then a
+    // closing fold so /metrics and the report agree at end of run.
+    const TimePoint fold_start = clock_.now();
+    store_link_phases();
+    obs::fold_profiler_into_metrics(clock_.now() - fold_start);
+  }
+  report_.attribution = obs::make_bottleneck_report();
   if (obs::MetricsRegistry::global().enabled()) {
     report_.metrics = obs::MetricsRegistry::global().snapshot();
   }
@@ -1640,6 +1840,52 @@ Status RtEngine::execute(Duration source_horizon) {
     report_.trace_summary = obs::TraceBuffer::global().summary();
   }
   return Status::ok();
+}
+
+void RtEngine::store_link_phases() {
+  for (const auto& [key, shaper] : shapers_) {
+    obs::Profiler::global()
+        .link(shaper->name())
+        .store(obs::Phase::kShaperDelay, shaper->stats().delay_seconds);
+  }
+}
+
+std::string RtEngine::health_json() {
+  // Reads only thread-safe state (atomics and internally locked queues), so
+  // the introspection thread can call it mid-run. Before setup there are no
+  // stages to report.
+  JsonWriter w;
+  w.begin_object();
+  const TimePoint now = clock_.now();
+  const auto& fo = config_.failover;
+  w.kv("now", now).kv("failover", fo.enabled);
+  w.key("stages").begin_array();
+  if (setup_done_.load(std::memory_order_acquire)) {
+    for (const auto& stage : stages_) {
+      const TimePoint beat = stage->last_beat();
+      const char* state = "alive";
+      if (stage->finished()) {
+        state = "finished";
+      } else if (stage->crashed()) {
+        state = "dead";
+      } else if (fo.enabled &&
+                 now - beat > fo.heartbeat_period * fo.suspicion_beats) {
+        state = "suspect";
+      }
+      w.begin_object()
+          .kv("name", stage->name())
+          .kv("node", static_cast<std::uint64_t>(stage->node()))
+          .kv("state", state)
+          .kv("last_beat", beat)
+          .kv("queue_length",
+              static_cast<std::uint64_t>(stage->queue().size()))
+          .kv("replicas",
+              static_cast<std::uint64_t>(stage->active_replicas()))
+          .end_object();
+    }
+  }
+  w.end_array().end_object();
+  return w.str();
 }
 
 void RtEngine::handle_failures(TimePoint run_started) {
@@ -1714,7 +1960,18 @@ void RtEngine::restart_stage(std::size_t stage_index, FailureReport& record) {
     for (auto& [seq, packet] : ch->snapshot()) {
       // Aux channel: this runs on the control thread, which must not touch
       // an SPSC inbox's ring (that is the flow producer's lane).
-      if (stage->queue().push_aux({packet, ch, seq})) ++replayed;
+      if (stage->queue().push_aux({packet, ch, seq})) {
+        ++replayed;
+        if (packet.trace.sampled()) {
+          // Failover re-delivery: the retained copy carries the original
+          // TraceContext, so the replayed leg renders on the same flow.
+          GATES_TRACE(.time = clock_.now(),
+                      .kind = obs::TraceKind::kPacketHop,
+                      .component = stage->name(), .detail = "replay",
+                      .trace_id = packet.trace.trace_id,
+                      .hop = packet.trace.hop);
+        }
+      }
     }
   };
   for (auto& up : stages_) {

@@ -13,9 +13,11 @@
 // to demonstrate the middleware on live threads and in soak tests.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -80,6 +82,13 @@ class RtEngine {
 
   const RunReport& report() const { return report_; }
   StreamProcessor& processor(std::size_t stage_index);
+
+  /// Live per-stage health as JSON: heartbeat/lease state ("alive",
+  /// "suspect", "dead", "finished"), queue length, and active replicas.
+  /// Thread-safe against a running engine (reads only atomics and
+  /// internally locked queues) — this backs the introspection endpoint's
+  /// /healthz route.
+  std::string health_json();
 
   // -- replica pools (StageSpec::parallelism != kSerial) -----------------------
   /// Replicas currently active on a stage (1 for serial stages).
@@ -148,6 +157,9 @@ class RtEngine {
   /// their behalf (failover off).
   void handle_failures(TimePoint run_started);
   void restart_stage(std::size_t stage_index, FailureReport& record);
+  /// Publishes every shaper's accumulated planned hold time into its link
+  /// PhaseClock (overwrite — the shaper owns the running total).
+  void store_link_phases();
 
   PipelineSpec spec_;
   Placement placement_;
@@ -174,7 +186,9 @@ class RtEngine {
   std::vector<NodeFailure> node_failures_;
   std::vector<FailureReport> failures_;  // control thread only
   RecoveryFactoryProvider recovery_factory_provider_;
-  bool setup_done_ = false;
+  /// Atomic so health_json() (introspection thread) can check it against a
+  /// concurrently running setup().
+  std::atomic<bool> setup_done_{false};
   RunReport report_;
 };
 

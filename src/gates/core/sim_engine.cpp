@@ -1,13 +1,17 @@
 #include "gates/core/sim_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "gates/common/check.hpp"
 #include "gates/common/log.hpp"
 #include "gates/core/retention_ring.hpp"
+#include "gates/obs/attribution.hpp"
 #include "gates/obs/metrics.hpp"
+#include "gates/obs/profiler.hpp"
 #include "gates/obs/trace.hpp"
+#include "gates/obs/trace_context.hpp"
 
 namespace gates::core {
 
@@ -25,6 +29,13 @@ struct SimEngine::Delivery {
   /// outage, their retained copies have already been replayed, and accepting
   /// both would deliver duplicates.
   std::uint64_t dest_incarnation = 0;
+  /// Observability: virtual send time and the link the message rode, so the
+  /// receiver can charge now - sent_at to the link's shaper-delay phase and
+  /// render a causal link hop for sampled packets. Arrival time (set by
+  /// try_deliver) is the base for inbox-wait attribution.
+  TimePoint sent_at = 0;
+  const net::SimLink* via = nullptr;
+  TimePoint arrived_at = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -154,6 +165,12 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   }
 
   void init() {
+    // Observability handles, re-resolved on revive (idempotent): the
+    // PhaseClock is stable for the stage name's lifetime.
+    profile_ = obs::Profiler::global().enabled()
+                   ? &obs::Profiler::global().stage(spec_.name)
+                   : nullptr;
+    tracer_active_ = obs::PacketTracer::global().active();
     in_init_ = true;
     processor_->init(*this);
     in_init_ = false;
@@ -285,7 +302,24 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       return true;
     }
     if (queue_.size() >= spec_.input_capacity) return false;
-    queue_.push_back(std::any_cast<Delivery>(std::move(msg.payload)));
+    Delivery d = std::any_cast<Delivery>(std::move(msg.payload));
+    d.arrived_at = engine_.sim_.now();
+    if (d.via != nullptr) {
+      if (profile_ != nullptr) {
+        // Link transit (latency + serialization + backlog) charged to the
+        // link's shaper-delay phase, same family as the Rt LinkShaper.
+        engine_.link_clock_for(d.via)->add(obs::Phase::kShaperDelay,
+                                           d.arrived_at - d.sent_at);
+      }
+      if (tracer_active_ && d.packet.trace.sampled()) {
+        GATES_TRACE(.time = d.sent_at, .duration = d.arrived_at - d.sent_at,
+                    .kind = obs::TraceKind::kPacketHop,
+                    .component = d.via->config().name, .detail = "link",
+                    .trace_id = d.packet.trace.trace_id,
+                    .hop = d.packet.trace.hop);
+      }
+    }
+    queue_.push_back(std::move(d));
     begin_service();
     return true;
   }
@@ -305,6 +339,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       Delivery d;
       d.packet = packet;  // copy: the same packet may take several routes
       d.dest_incarnation = route.dest->incarnation();
+      d.sent_at = engine_.sim_.now();
+      d.via = route.link;
       if (route.channel != nullptr) {
         d.origin = route.channel;
         d.seq = route.channel->retain(d.packet);
@@ -393,11 +429,14 @@ class SimEngine::StageRuntime final : public net::MessageSink,
         params_[i]->record(engine_.sim_.now());
         const adapt::ParameterController::LastUpdate& u =
             controllers_[i]->last_update();
+        // Every Eq. 4 move carries the attribution snapshot that triggered
+        // it (empty/elided when the Profiler is off).
         GATES_TRACE(.time = engine_.sim_.now(),
                     .kind = obs::TraceKind::kParamAdjust,
                     .component = spec_.name, .detail = params_[i]->name(),
                     .value_old = u.old_value, .value_new = u.new_value,
-                    .dtilde = u.dtilde, .phi1 = u.phi1);
+                    .dtilde = u.dtilde, .phi1 = u.phi1,
+                    .annotation = obs::attribution_brief(spec_.name));
       }
     } else {
       for (auto& p : params_) p->record(engine_.sim_.now());
@@ -419,7 +458,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
                     .component = spec_.name,
                     .value_old = static_cast<double>(active_replicas_),
                     .value_new = static_cast<double>(active_replicas_ + 1),
-                    .dtilde = monitor_.normalized_dtilde());
+                    .dtilde = monitor_.normalized_dtilde(),
+                    .annotation = obs::attribution_brief(spec_.name));
         ++active_replicas_;
         max_replicas_used_ = std::max(max_replicas_used_, active_replicas_);
         return true;
@@ -429,7 +469,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
                     .component = spec_.name,
                     .value_old = static_cast<double>(active_replicas_),
                     .value_new = static_cast<double>(active_replicas_ - 1),
-                    .dtilde = monitor_.normalized_dtilde());
+                    .dtilde = monitor_.normalized_dtilde(),
+                    .annotation = obs::attribution_brief(spec_.name));
         --active_replicas_;
         return true;
     }
@@ -497,8 +538,36 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     const Duration service = spec_.cost.service_time(item.packet) /
                              (cpu_factor_ * static_cast<double>(active_replicas_));
     busy_time_ += service;
-    GATES_TRACE(.time = engine_.sim_.now(), .duration = service,
-                .kind = obs::TraceKind::kServiceSpan, .component = spec_.name);
+    if (profile_ != nullptr) {
+      if (item.arrived_at > 0) {
+        profile_->add(obs::Phase::kInboxWait,
+                      engine_.sim_.now() - item.arrived_at);
+      }
+      profile_->add(obs::Phase::kService, service);
+    }
+    if (!tracer_active_) {
+      // Legacy behaviour (sampling off): every service gets a span whenever
+      // the TraceBuffer is enabled.
+      GATES_TRACE(.time = engine_.sim_.now(), .duration = service,
+                  .kind = obs::TraceKind::kServiceSpan,
+                  .component = spec_.name);
+    } else if (item.packet.trace.sampled()) {
+      ++item.packet.trace.hop;
+      if (item.arrived_at > 0 &&
+          engine_.sim_.now() > item.arrived_at) {
+        GATES_TRACE(.time = item.arrived_at,
+                    .duration = engine_.sim_.now() - item.arrived_at,
+                    .kind = obs::TraceKind::kPacketHop,
+                    .component = spec_.name, .detail = "inbox-wait",
+                    .trace_id = item.packet.trace.trace_id,
+                    .hop = item.packet.trace.hop);
+      }
+      GATES_TRACE(.time = engine_.sim_.now(), .duration = service,
+                  .kind = obs::TraceKind::kPacketHop,
+                  .component = spec_.name, .detail = "service",
+                  .trace_id = item.packet.trace.trace_id,
+                  .hop = item.packet.trace.hop);
+    }
     auto shared = std::make_shared<Delivery>(std::move(item));
     const std::uint64_t inc = incarnation_;
     engine_.sim_.schedule_after(service, [this, shared, inc] {
@@ -533,6 +602,7 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       ++packets_processed_;
       records_processed_ += packet.records;
       bytes_processed_ += packet.payload_bytes();
+      if (profile_ != nullptr) profile_->add_packets(1);
       latency_.add(engine_.sim_.now() - packet.created_at);
       processor_->process(packet, *this);
     }
@@ -558,6 +628,16 @@ class SimEngine::StageRuntime final : public net::MessageSink,
       d.origin = route.channel;
       d.seq = seq;
       d.dest_incarnation = route.dest->incarnation();
+      d.sent_at = engine_.sim_.now();
+      d.via = route.link;
+      if (tracer_active_ && d.packet.trace.sampled()) {
+        GATES_TRACE(.time = engine_.sim_.now(),
+                    .kind = obs::TraceKind::kPacketHop,
+                    .component = spec_.name,
+                    .detail = "replay",
+                    .trace_id = d.packet.trace.trace_id,
+                    .hop = d.packet.trace.hop);
+      }
       msg.payload = std::move(d);
       if (route.link->send(std::move(msg))) ++n;
     });
@@ -626,6 +706,8 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     Delivery d;
     d.packet = std::move(eos);
     d.dest_incarnation = route.dest->incarnation();
+    d.sent_at = engine_.sim_.now();
+    d.via = route.link;
     if (route.channel != nullptr) {
       d.origin = route.channel;
       d.seq = route.channel->retain(d.packet);
@@ -694,6 +776,10 @@ class SimEngine::StageRuntime final : public net::MessageSink,
   obs::Gauge* queue_gauge_ = nullptr;
   obs::Gauge* dtilde_gauge_ = nullptr;
   obs::FixedHistogram* queue_hist_ = nullptr;
+
+  // Observability handles, resolved at init() (and re-resolved on revive).
+  obs::PhaseClock* profile_ = nullptr;
+  bool tracer_active_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -732,6 +818,8 @@ class SimEngine::SourceRuntime {
       d.origin = channel_.get();
       d.seq = seq;
       d.dest_incarnation = target_->incarnation();
+      d.sent_at = engine_.sim_.now();
+      d.via = link_;
       msg.payload = std::move(d);
       if (link_->send(std::move(msg))) ++n;
     });
@@ -751,6 +839,8 @@ class SimEngine::SourceRuntime {
     Delivery d;
     d.packet = std::move(packet);
     d.dest_incarnation = target_->incarnation();
+    d.sent_at = engine_.sim_.now();
+    d.via = link_;
     if (channel_ != nullptr) {
       d.origin = channel_.get();
       d.seq = channel_->retain(d.packet);
@@ -771,6 +861,17 @@ class SimEngine::SourceRuntime {
     packet.sequence = seq_;
     packet.created_at = sim.now();
     ++seq_;
+    if (obs::PacketTracer::global().active()) {
+      packet.trace = obs::PacketTracer::global().maybe_sample();
+      if (packet.trace.sampled()) {
+        GATES_TRACE(.time = packet.created_at,
+                    .kind = obs::TraceKind::kPacketHop,
+                    .component = "source:" + std::to_string(spec_.stream),
+                    .detail = "emit",
+                    .trace_id = packet.trace.trace_id,
+                    .hop = packet.trace.hop);
+      }
+    }
 
     const std::size_t wire =
         engine_.config_.wire.wire_size(packet.payload_bytes(), packet.records);
@@ -875,6 +976,16 @@ net::SimLink* SimEngine::link_for_flow(NodeId from, NodeId to) {
         std::make_unique<MonitoredLink>(slot.get(), config_.link_monitor));
   }
   return slot.get();
+}
+
+obs::PhaseClock* SimEngine::link_clock_for(const net::SimLink* link) {
+  auto& slot = link_clocks_[link];
+  if (slot == nullptr) {
+    // Profiler::link() takes a mutex; the DES is single-threaded, so cache
+    // the handle per link and pay the lookup once.
+    slot = &obs::Profiler::global().link(link->config().name);
+  }
+  return slot;
 }
 
 net::SimLink* SimEngine::attach_flow(StageRuntime* sender, StageRuntime* dest) {
@@ -1040,6 +1151,10 @@ Status SimEngine::setup() {
 }
 
 void SimEngine::control_tick() {
+  // Real (not virtual) time: the fold cost gauge measures how expensive the
+  // observability pass is for the process, and virtual time does not advance
+  // inside a tick.
+  const auto tick_start = std::chrono::steady_clock::now();
   // Links first: network pressure reaches the sending stages in the same
   // period as stage-queue pressure.
   for (auto& ml : monitored_links_) {
@@ -1071,6 +1186,12 @@ void SimEngine::control_tick() {
     if (obs::MetricsRegistry::global().enabled()) ml->sample_metrics();
   }
   for (auto& stage : stages_) stage->control_step();
+  if (obs::Profiler::global().enabled()) {
+    obs::fold_profiler_into_metrics(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tick_start)
+            .count());
+  }
 }
 
 void SimEngine::on_stage_finished() {
@@ -1326,6 +1447,12 @@ void SimEngine::finalize_report(bool completed) {
   }
   for (const auto& [key, link] : pair_links_) {
     add_link_report(*link, monitored_for(link.get()));
+  }
+  if (obs::Profiler::global().enabled()) {
+    // One last fold so packets processed after the final control tick are
+    // visible in both the metrics snapshot and the attribution report.
+    obs::fold_profiler_into_metrics(0.0);
+    report_.attribution = obs::make_bottleneck_report();
   }
   if (obs::MetricsRegistry::global().enabled()) {
     report_.metrics = obs::MetricsRegistry::global().snapshot();

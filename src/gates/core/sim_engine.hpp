@@ -122,6 +122,9 @@ class SimEngine {
 
   Status setup();
   net::SimLink* link_for_flow(NodeId from, NodeId to);
+  /// Cached per-link attribution clock (the DES is single-threaded, so a
+  /// plain map lookup per arrival is fine and avoids the Profiler mutex).
+  obs::PhaseClock* link_clock_for(const net::SimLink* link);
   void control_tick();
   void on_stage_finished();
   void finalize_report(bool completed);
@@ -159,6 +162,7 @@ class SimEngine {
   std::map<NodeId, std::unique_ptr<net::SimLink>> ingress_links_;
   std::map<NodeId, std::unique_ptr<net::SimLink>> loopback_links_;
   std::vector<std::unique_ptr<MonitoredLink>> monitored_links_;
+  std::map<const net::SimLink*, obs::PhaseClock*> link_clocks_;
   std::unique_ptr<sim::PeriodicTask> control_task_;
 
   struct CpuChange {

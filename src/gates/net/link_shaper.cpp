@@ -18,6 +18,7 @@ LinkShaper::~LinkShaper() { stop(); }
 LinkShaper::Plan LinkShaper::plan_send() {
   std::lock_guard<std::mutex> lock(mu_);
   Plan plan;
+  plan.base_latency = latency_;
   ++stats_.messages_shaped;
   const ImpairmentSpec& spec = model_.spec();
   if (model_.roll_loss()) {
@@ -40,6 +41,7 @@ LinkShaper::Plan LinkShaper::plan_send() {
     ++stats_.messages_jittered;
     plan.extra_delay += extra;
   }
+  stats_.delay_seconds += latency_ + plan.extra_delay;
   return plan;
 }
 

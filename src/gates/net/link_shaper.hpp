@@ -55,6 +55,9 @@ class LinkShaper {
     bool dropped = false;            // kDrop loss: do not deliver or retain
     std::uint32_t retransmissions = 0;  // kRetransmit: extra wire charges
     Duration extra_delay = 0.0;      // RTO + jitter + reorder hold-back
+    /// The link's current propagation latency, sampled under the same lock
+    /// — lets senders size a causal link-hop span without a second lock.
+    Duration base_latency = 0.0;
   };
 
   struct Stats {
@@ -62,6 +65,9 @@ class LinkShaper {
     std::uint64_t messages_lost = 0;
     std::uint64_t messages_retransmitted = 0;  // total extra transmissions
     std::uint64_t messages_jittered = 0;
+    /// Total planned hold time (latency + RTO + jitter) across delivered
+    /// messages — the link's contribution to bottleneck attribution.
+    Duration delay_seconds = 0;
   };
 
   explicit LinkShaper(Config config);

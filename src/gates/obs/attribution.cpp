@@ -1,0 +1,109 @@
+#include "gates/obs/attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "gates/common/json.hpp"
+
+namespace gates::obs {
+
+double AttributionEntry::total_seconds() const {
+  double total = 0;
+  for (double s : seconds) total += s;
+  return total;
+}
+
+Phase AttributionEntry::dominant() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kPhaseCount; ++i) {
+    if (seconds[i] > seconds[best]) best = i;
+  }
+  return static_cast<Phase>(best);
+}
+
+double AttributionEntry::dominant_share() const {
+  const double total = total_seconds();
+  if (total <= 0) return 0;
+  return seconds[static_cast<std::size_t>(dominant())] / total;
+}
+
+void BottleneckReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("entries").begin_array();
+  for (const AttributionEntry& e : entries) {
+    w.begin_object()
+        .kv("name", e.name)
+        .kv("kind", e.is_link ? "link" : "stage")
+        .kv("total_seconds", e.total_seconds())
+        .kv("dominant", phase_name(e.dominant()))
+        .kv("dominant_share", e.dominant_share())
+        .kv("packets", e.packets);
+    w.key("breakdown").begin_object();
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      w.kv(phase_name(static_cast<Phase>(i)), e.seconds[i]);
+    }
+    w.end_object().end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string BottleneckReport::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+std::string BottleneckReport::summary() const {
+  std::string out;
+  char line[256];
+  for (const AttributionEntry& e : entries) {
+    std::snprintf(line, sizeof(line), "%-6s %-20s %9.3f s  %s %.0f%%\n",
+                  e.is_link ? "link" : "stage", e.name.c_str(),
+                  e.total_seconds(), phase_name(e.dominant()),
+                  100 * e.dominant_share());
+    out += line;
+  }
+  return out;
+}
+
+BottleneckReport make_bottleneck_report() {
+  BottleneckReport report;
+  if (!Profiler::global().enabled()) return report;
+  for (const ProfileSample& s : Profiler::global().snapshot()) {
+    AttributionEntry e;
+    e.name = s.name;
+    e.is_link = s.is_link;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) e.seconds[i] = s.seconds[i];
+    e.packets = s.packets;
+    report.entries.push_back(std::move(e));
+  }
+  std::stable_sort(report.entries.begin(), report.entries.end(),
+                   [](const AttributionEntry& a, const AttributionEntry& b) {
+                     return a.total_seconds() > b.total_seconds();
+                   });
+  return report;
+}
+
+std::string attribution_brief(const std::string& component) {
+  if (!Profiler::global().enabled()) return {};
+  for (const ProfileSample& s : Profiler::global().snapshot()) {
+    if (s.name != component) continue;
+    AttributionEntry e;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) e.seconds[i] = s.seconds[i];
+    if (e.total_seconds() <= 0) return {};
+    std::string out;
+    char item[64];
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      std::snprintf(item, sizeof(item), "%s=%.3gs ",
+                    phase_name(static_cast<Phase>(i)), e.seconds[i]);
+      out += item;
+    }
+    out += "dominant=";
+    out += phase_name(e.dominant());
+    return out;
+  }
+  return {};
+}
+
+}  // namespace gates::obs

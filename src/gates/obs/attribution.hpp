@@ -1,0 +1,63 @@
+// Bottleneck attribution: ranks the Profiler's per-component time breakdown
+// so "where is this pipeline slow?" has a one-line answer. The report is
+// served live by IntrospectServer (/attribution), embedded in RunReport /
+// ChaosReport JSON, and summarized into the annotation field of every Eq. 4
+// adjustment and ReplicaScaler trace event so each decision records the
+// attribution snapshot that triggered it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/obs/profiler.hpp"
+
+namespace gates {
+class JsonWriter;
+}
+
+namespace gates::obs {
+
+struct AttributionEntry {
+  std::string name;
+  bool is_link = false;
+  /// Accumulated packet-seconds per Phase (indexed by Phase).
+  double seconds[kPhaseCount] = {};
+  std::uint64_t packets = 0;
+
+  double total_seconds() const;
+  /// The phase holding the largest share of this component's time.
+  Phase dominant() const;
+  /// dominant's fraction of total_seconds(); 0 when nothing accumulated.
+  double dominant_share() const;
+};
+
+/// Components ranked by total accumulated packet-seconds, descending — the
+/// top entry is where the pipeline's latency budget goes.
+struct BottleneckReport {
+  std::vector<AttributionEntry> entries;
+
+  const AttributionEntry* top() const {
+    return entries.empty() ? nullptr : &entries.front();
+  }
+
+  /// {"entries":[{"name":...,"kind":"stage|link","total_seconds":...,
+  ///   "dominant":...,"dominant_share":...,"packets":...,
+  ///   "breakdown":{"inbox-wait":...,...}}, ...]}
+  std::string to_json() const;
+  void write_json(JsonWriter& w) const;
+
+  /// One line per entry for terminal output.
+  std::string summary() const;
+};
+
+/// Snapshot + rank of Profiler::global(); empty when profiling is disabled.
+BottleneckReport make_bottleneck_report();
+
+/// Compact one-component snapshot for trace-event annotations, e.g.
+/// "inbox-wait=0.12s service=2.31s merge-hold=0s shaper-delay=0s
+///  ack-retention=0.01s dominant=service". Empty string when the profiler is
+/// disabled or the component has accumulated nothing.
+std::string attribution_brief(const std::string& component);
+
+}  // namespace gates::obs

@@ -21,8 +21,13 @@ std::string to_jsonl(const std::vector<TraceEvent>& events) {
         .kv("value_old", e.value_old)
         .kv("value_new", e.value_new)
         .kv("dtilde", e.dtilde)
-        .kv("phi1", e.phi1)
-        .end_object();
+        .kv("phi1", e.phi1);
+    // Causal/annotation fields only when set, keeping legacy lines stable.
+    if (e.trace_id != 0) {
+      w.kv("trace", e.trace_id).kv("hop", static_cast<std::uint64_t>(e.hop));
+    }
+    if (!e.annotation.empty()) w.kv("annotation", e.annotation);
+    w.end_object();
     out += w.str();
     out += '\n';
   }
@@ -98,6 +103,23 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
         w.key("args").begin_object().kv(e.detail, e.value_new).end_object();
         break;
       }
+      case TraceKind::kPacketHop: {
+        // One slice per phase of the sampled packet's journey, named by the
+        // phase so a packet reads "source / inbox-wait / service / ..."
+        // across the component tracks it visited.
+        w.kv("name", e.detail.empty() ? name : e.detail.c_str())
+            .kv("ph", "X")
+            .kv("ts", ts)
+            .kv("pid", 0)
+            .kv("tid", tid)
+            .kv("cat", "packet")
+            .kv("dur", e.duration * kMicros);
+        w.key("args").begin_object()
+            .kv("trace", e.trace_id)
+            .kv("hop", static_cast<std::uint64_t>(e.hop))
+            .end_object();
+        break;
+      }
       default:
         common_fields(w, name, "i", ts, tid);
         w.kv("s", "t");
@@ -106,11 +128,26 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
             .kv("value_old", e.value_old)
             .kv("value_new", e.value_new)
             .kv("dtilde", e.dtilde)
-            .kv("phi1", e.phi1)
-            .end_object();
+            .kv("phi1", e.phi1);
+        if (!e.annotation.empty()) w.kv("annotation", e.annotation);
+        w.end_object();
         break;
     }
     w.end_object();
+    if (e.kind == TraceKind::kPacketHop) {
+      // Flow event binding this hop into the packet's cross-track journey:
+      // "s"tart at the source hop, "t"(step) everywhere downstream. Perfetto
+      // draws arrows between consecutive hops sharing the id.
+      w.begin_object()
+          .kv("name", "packet")
+          .kv("cat", "packet-flow")
+          .kv("ph", e.hop == 0 ? "s" : "t")
+          .kv("ts", ts)
+          .kv("pid", 0)
+          .kv("tid", tid)
+          .kv("id", e.trace_id)
+          .end_object();
+    }
   }
 
   w.end_array().end_object();

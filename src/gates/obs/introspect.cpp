@@ -1,0 +1,193 @@
+#include "gates/obs/introspect.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "gates/obs/attribution.hpp"
+#include "gates/obs/exporters.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/trace.hpp"
+
+namespace gates::obs {
+
+namespace {
+
+const char* content_type_for(const std::string& path) {
+  if (path == "/metrics") return "text/plain; version=0.0.4";
+  if (path == "/trace") return "application/x-ndjson";
+  return "application/json";
+}
+
+std::string http_response(int code, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; a scrape endpoint just moves on
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+IntrospectServer::~IntrospectServer() { stop(); }
+
+void IntrospectServer::set_provider(const std::string& path,
+                                    Provider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_[path] = std::move(provider);
+}
+
+Status IntrospectServer::start(const Config& config) {
+  if (running()) return invalid_argument("introspect server already running");
+  {
+    // Default routes; engine-specific /healthz overrides via set_provider.
+    std::lock_guard<std::mutex> lock(mu_);
+    providers_.emplace("/metrics", [] {
+      return MetricsRegistry::global().prometheus_text();
+    });
+    providers_.emplace(
+        "/trace", [] { return to_jsonl(TraceBuffer::global().events()); });
+    providers_.emplace("/attribution",
+                       [] { return make_bottleneck_report().to_json(); });
+    providers_.emplace("/healthz",
+                       [] { return std::string("{\"stages\":[]}"); });
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return internal_error(std::string("introspect socket: ") +
+                          std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return invalid_argument("introspect bind address '" + config.bind_address +
+                            "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return internal_error("introspect bind " + config.bind_address + ":" +
+                          std::to_string(config.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return internal_error("introspect listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return Status::ok();
+}
+
+void IntrospectServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() unblocks accept(); close happens after the loop exits so the
+  // fd is never reused under the accept thread's feet.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void IntrospectServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() during stop() lands here.
+      break;
+    }
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void IntrospectServer::handle_client(int client_fd) {
+  // One short GET per connection: read until the header terminator (or a
+  // sane cap) and answer. Malformed input gets a 400 and a closed socket.
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16384) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const auto line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    send_all(client_fd, http_response(400, "Bad Request", "text/plain",
+                                      "malformed request\n"));
+    return;
+  }
+  const std::string line = request.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    send_all(client_fd,
+             http_response(405, "Method Not Allowed", "text/plain",
+                           "only GET is supported\n"));
+    return;
+  }
+  std::string path = line.substr(4);
+  const auto space = path.find(' ');
+  if (space != std::string::npos) path = path.substr(0, space);
+  const auto query = path.find('?');
+  if (query != std::string::npos) path = path.substr(0, query);
+  send_all(client_fd, respond(path));
+}
+
+std::string IntrospectServer::respond(const std::string& path) {
+  Provider provider;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = providers_.find(path);
+    if (it != providers_.end()) provider = it->second;
+  }
+  if (!provider) {
+    return http_response(404, "Not Found", "text/plain",
+                         "routes: /metrics /healthz /trace /attribution\n");
+  }
+  return http_response(200, "OK", content_type_for(path), provider());
+}
+
+}  // namespace gates::obs

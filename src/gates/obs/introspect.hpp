@@ -1,0 +1,77 @@
+// IntrospectServer — a tiny dependency-free HTTP/1.1 server exposing the
+// observability state of a *running* engine for live scraping:
+//
+//   GET /metrics       Prometheus text (MetricsRegistry exposition)
+//   GET /healthz       JSON per-stage heartbeat/lease state (engine-provided)
+//   GET /trace         JSONL dump of the TraceBuffer (same format as
+//                      --events-out)
+//   GET /attribution   JSON BottleneckReport (same shape as --attribution-out)
+//
+// Design: one blocking accept loop on its own thread, one short-lived
+// request per connection (Connection: close), loopback by default. This is
+// an operator/debug endpoint, not a serving path — simplicity and zero
+// dependencies beat throughput. The obs library stays independent of core:
+// engine-specific routes (/healthz) are injected as provider callbacks.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "gates/common/status.hpp"
+
+namespace gates::obs {
+
+class IntrospectServer {
+ public:
+  /// Returns the response body for one GET of the route.
+  using Provider = std::function<std::string()>;
+
+  struct Config {
+    /// TCP port to listen on; 0 binds an ephemeral port (tests), readable
+    /// from port() after start().
+    std::uint16_t port = 0;
+    /// Loopback only by default; set to "0.0.0.0" to expose beyond the host.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  IntrospectServer() = default;
+  ~IntrospectServer();
+  IntrospectServer(const IntrospectServer&) = delete;
+  IntrospectServer& operator=(const IntrospectServer&) = delete;
+
+  /// Registers/overrides a route ("/healthz" -> engine health provider).
+  /// The default routes (/metrics, /trace, /attribution, /healthz stub) are
+  /// installed by start(); call set_provider before or after start() — the
+  /// route table is mutex-guarded.
+  void set_provider(const std::string& path, Provider provider);
+
+  /// Binds, listens and spawns the accept thread. Fails (Status) on bind
+  /// errors — a busy port is an operator mistake worth surfacing, not a
+  /// crash.
+  Status start(const Config& config);
+
+  /// The bound port (resolves port 0), 0 before start().
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Unblocks the accept loop and joins. Safe to call twice / without start.
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_client(int client_fd);
+  std::string respond(const std::string& path);
+
+  std::mutex mu_;  // guards providers_
+  std::map<std::string, Provider> providers_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace gates::obs

@@ -1,0 +1,88 @@
+#include "gates/obs/profiler.hpp"
+
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/trace.hpp"
+
+namespace gates::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kInboxWait: return "inbox-wait";
+    case Phase::kService: return "service";
+    case Phase::kMergeHold: return "merge-hold";
+    case Phase::kShaperDelay: return "shaper-delay";
+    case Phase::kAckRetention: return "ack-retention";
+  }
+  return "?";
+}
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+PhaseClock& Profiler::stage(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = stages_[name];
+  if (!slot) slot = std::make_unique<PhaseClock>();
+  return *slot;
+}
+
+PhaseClock& Profiler::link(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = links_[name];
+  if (!slot) slot = std::make_unique<PhaseClock>();
+  return *slot;
+}
+
+std::vector<ProfileSample> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProfileSample> out;
+  out.reserve(stages_.size() + links_.size());
+  const auto sample = [&out](const std::string& name, const PhaseClock& clock,
+                             bool is_link) {
+    ProfileSample s;
+    s.name = name;
+    s.is_link = is_link;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      s.seconds[i] = clock.seconds(static_cast<Phase>(i));
+    }
+    s.packets = clock.packets();
+    out.push_back(std::move(s));
+  };
+  for (const auto& [name, clock] : stages_) sample(name, *clock, false);
+  for (const auto& [name, clock] : links_) sample(name, *clock, true);
+  return out;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  stages_.clear();
+  links_.clear();
+}
+
+void fold_profiler_into_metrics(double fold_seconds) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  if (!registry.enabled()) return;
+  if (Profiler::global().enabled()) {
+    for (const ProfileSample& s : Profiler::global().snapshot()) {
+      const char* scope = s.is_link ? "link" : "stage";
+      const char* family =
+          s.is_link ? "gates_link_phase_micros" : "gates_stage_phase_micros";
+      for (std::size_t i = 0; i < kPhaseCount; ++i) {
+        registry
+            .counter(family, {{scope, s.name},
+                              {"phase", phase_name(static_cast<Phase>(i))}})
+            .set(static_cast<std::uint64_t>(s.seconds[i] * 1e6));
+      }
+    }
+  }
+  // The observability layer observes itself: trace-buffer drops and the wall
+  // cost of this very sampling pass.
+  registry.counter("obs_trace_dropped_total")
+      .set(TraceBuffer::global().dropped());
+  registry.gauge("obs_fold_micros").set(fold_seconds * 1e6);
+}
+
+}  // namespace gates::obs

@@ -1,0 +1,122 @@
+// Per-stage / per-link time-breakdown accumulation — where does a packet's
+// latency actually go?
+//
+// The engines charge wall (Rt) or virtual (Sim) seconds to one of five
+// phases per component:
+//
+//   inbox-wait     queued in the stage's input buffer before service
+//   service        inside StreamProcessor::process (plus modeled cost)
+//   merge-hold     completed by a replica but held by ReorderMerge for
+//                  order-preserving release
+//   shaper-delay   held by a LinkShaper / SimLink for latency, jitter,
+//                  retransmission backoff (charged to the *link* component)
+//   ack-retention  sender-side ack bookkeeping and retention maintenance
+//
+// Accumulation discipline matches MetricsRegistry: component registration
+// takes a mutex once (engines resolve PhaseClock handles at setup), every
+// data-path add is a relaxed atomic on integer nanoseconds, and the whole
+// subsystem is behind one enabled() branch so the default cost is zero. The
+// control tick folds the clocks into MetricsRegistry
+// (gates_stage_phase_micros / gates_link_phase_micros) and BottleneckReport
+// (attribution.hpp) ranks the snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gates::obs {
+
+enum class Phase : std::uint8_t {
+  kInboxWait = 0,
+  kService,
+  kMergeHold,
+  kShaperDelay,
+  kAckRetention,
+};
+inline constexpr std::size_t kPhaseCount = 5;
+
+const char* phase_name(Phase phase);
+
+/// One component's accumulated breakdown. add() is the data-path entry
+/// point; store() overwrites from an authoritative external total (the
+/// LinkShaper keeps its own delay ledger under its send mutex).
+class PhaseClock {
+ public:
+  void add(Phase phase, double seconds) {
+    if (seconds <= 0) return;
+    nanos_[static_cast<std::size_t>(phase)].fetch_add(
+        static_cast<std::uint64_t>(seconds * 1e9), std::memory_order_relaxed);
+  }
+  void store(Phase phase, double seconds) {
+    nanos_[static_cast<std::size_t>(phase)].store(
+        seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+  }
+  void add_packets(std::uint64_t n) {
+    packets_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  double seconds(Phase phase) const {
+    return static_cast<double>(nanos_[static_cast<std::size_t>(phase)].load(
+               std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::uint64_t packets() const {
+    return packets_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> nanos_[kPhaseCount] = {};
+  std::atomic<std::uint64_t> packets_{0};
+};
+
+/// One component's snapshot, as read by attribution and the metrics fold.
+struct ProfileSample {
+  std::string name;
+  bool is_link = false;
+  double seconds[kPhaseCount] = {};
+  std::uint64_t packets = 0;
+};
+
+class Profiler {
+ public:
+  /// Process-wide profiler the engines charge into.
+  static Profiler& global();
+
+  /// Master switch; off (default) costs the engines one predicted branch per
+  /// batch. gates_run enables it alongside --attribution-out/--introspect.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Handle registration (mutex): once per component at engine setup. The
+  /// returned reference is stable until reset().
+  PhaseClock& stage(const std::string& name);
+  PhaseClock& link(const std::string& name);
+
+  std::vector<ProfileSample> snapshot() const;
+
+  /// Drops every component and disables. Invalidates handles (same contract
+  /// as MetricsRegistry::reset()).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::map<std::string, std::unique_ptr<PhaseClock>> stages_;
+  std::map<std::string, std::unique_ptr<PhaseClock>> links_;
+};
+
+/// Control-tick fold: publishes every component's phase totals as
+/// gates_stage_phase_micros{stage=...,phase=...} /
+/// gates_link_phase_micros{link=...,phase=...} counters, plus the
+/// observability-self-observation satellites obs_trace_dropped_total and
+/// obs_fold_micros (the wall duration of the sampling pass itself, supplied
+/// by the caller).
+void fold_profiler_into_metrics(double fold_seconds);
+
+}  // namespace gates::obs

@@ -23,6 +23,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kLinkDegrade: return "link-degrade";
     case TraceKind::kLinkRestore: return "link-restore";
     case TraceKind::kPartition: return "partition";
+    case TraceKind::kPacketHop: return "packet-hop";
   }
   return "?";
 }

@@ -45,9 +45,13 @@ enum class TraceKind : std::uint8_t {
                          // component = link; detail = new spec description
   kLinkRestore,          // link returned to (at least) its configured spec
   kPartition,            // transition with effective loss >= 1.0
+  kPacketHop,            // one phase of a sampled packet's journey:
+                         // component = stage/link, detail = phase name,
+                         // duration = time in the phase, trace_id/hop =
+                         // causal identity (see obs/trace_context.hpp)
 };
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kPartition) + 1;
+    static_cast<std::size_t>(TraceKind::kPacketHop) + 1;
 
 const char* trace_kind_name(TraceKind kind);
 
@@ -67,6 +71,13 @@ struct TraceEvent {
   double value_new = 0;
   double dtilde = 0;
   double phi1 = 0;
+  /// Causal identity for kPacketHop spans (0 = not part of a packet trace);
+  /// exporters join hops with equal trace_id into one Perfetto flow.
+  std::uint64_t trace_id = 0;
+  std::uint32_t hop = 0;
+  /// Free-form context: adjustment/scaling events carry the bottleneck-
+  /// attribution snapshot that triggered them.
+  std::string annotation;
 };
 
 /// What RunReport embeds: volume per kind plus the drop count, so a report

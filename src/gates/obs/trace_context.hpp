@@ -1,0 +1,79 @@
+// Causal packet tracing: a sampled trace context stamped on 1-in-N packets
+// at the source and carried by the Packet itself, so it survives every hop —
+// StageInbox handoff, replica dispatch/ReorderMerge, LinkShaper holds,
+// retention and failover replay (the replayed copy carries the original
+// context, so Perfetto renders the re-delivery on the same flow id).
+//
+// Sampling discipline: PacketTracer::maybe_sample() is the only per-packet
+// cost when tracing is configured — one relaxed load, and for the 1-in-N
+// selected packets two more relaxed RMWs. With the default period 0 the
+// tracer is inert and the engines keep their legacy behaviour (per-packet
+// service spans whenever the TraceBuffer is enabled). With a period >= 1 the
+// engines emit kPacketHop spans *only* for sampled packets, which is what
+// makes tracing affordable at millions of packets per second.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gates::obs {
+
+/// Rides on every Packet (16 bytes). trace_id == 0 means "not sampled" —
+/// the overwhelmingly common case; hop counts causal steps from the source
+/// (hop 0 = source emission) so exporters can order a packet's journey even
+/// when wall-clock timestamps tie.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint32_t hop = 0;
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// Process-wide sampling head. Engines consult it where packets are born
+/// (SourceWorker / SourceRuntime); everything downstream just propagates the
+/// stamped context.
+class PacketTracer {
+ public:
+  static PacketTracer& global() {
+    static PacketTracer tracer;
+    return tracer;
+  }
+
+  /// 0 (default) disables packet-level tracing; N >= 1 samples one packet
+  /// in N at every source.
+  void set_sample_period(std::uint64_t period) {
+    period_.store(period, std::memory_order_relaxed);
+  }
+  std::uint64_t sample_period() const {
+    return period_.load(std::memory_order_relaxed);
+  }
+  bool active() const { return sample_period() != 0; }
+
+  /// Stamps the next packet: a fresh context for 1-in-period packets, the
+  /// null context for the rest (and always when inactive).
+  TraceContext maybe_sample() {
+    const std::uint64_t period = period_.load(std::memory_order_relaxed);
+    if (period == 0) return {};
+    const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+    if (n % period != 0) return {};
+    return {next_id_.fetch_add(1, std::memory_order_relaxed) + 1, 0};
+  }
+
+  std::uint64_t sampled_count() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Test isolation: back to inactive with fresh ids.
+  void reset() {
+    period_.store(0, std::memory_order_relaxed);
+    seen_.store(0, std::memory_order_relaxed);
+    next_id_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> period_{0};
+  std::atomic<std::uint64_t> seen_{0};
+  std::atomic<std::uint64_t> next_id_{0};
+};
+
+}  // namespace gates::obs

@@ -1,0 +1,222 @@
+// Bottleneck attribution end-to-end (ISSUE 7 acceptance): run real engines
+// with a *known* injected bottleneck and check the BottleneckReport ranks it
+// first with the correct dominant phase; plus causal trace-context
+// propagation through a chain and the RtEngine /healthz payload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gates/core/rt_engine.hpp"
+#include "gates/core/sim_engine.hpp"
+#include "gates/obs/attribution.hpp"
+#include "gates/obs/profiler.hpp"
+#include "gates/obs/trace.hpp"
+#include "gates/obs/trace_context.hpp"
+
+namespace gates::core {
+namespace {
+
+struct ScopedObs {
+  ScopedObs()
+      : trace_was_enabled(obs::TraceBuffer::global().enabled()) {
+    obs::Profiler::global().reset();
+    obs::Profiler::global().set_enabled(true);
+    obs::PacketTracer::global().reset();
+    obs::TraceBuffer::global().clear();
+  }
+  ~ScopedObs() {
+    obs::Profiler::global().reset();
+    obs::PacketTracer::global().reset();
+    obs::TraceBuffer::global().set_enabled(trace_was_enabled);
+    obs::TraceBuffer::global().clear();
+  }
+  bool trace_was_enabled;
+};
+
+class Relay : public StreamProcessor {
+ public:
+  explicit Relay(bool forward = true) : forward_(forward) {}
+  void init(ProcessorContext&) override {}
+  void process(const Packet& packet, Emitter& emitter) override {
+    if (forward_) emitter.emit(packet);
+  }
+  std::string name() const override { return "relay"; }
+  bool forward_;
+};
+
+StageSpec relay_stage(const std::string& name, bool forward = true) {
+  StageSpec s;
+  s.name = name;
+  s.factory = [forward] { return std::make_unique<Relay>(forward); };
+  return s;
+}
+
+TEST(Bottleneck, SlowStageRanksFirstWithServiceDominant) {
+  ScopedObs scoped;
+
+  // source -> in -> crunch -> out, all on one node; "crunch" burns 15 ms per
+  // packet at 50 pkt/s (75% utilization) while its neighbours are free.
+  PipelineSpec spec;
+  spec.stages = {relay_stage("in"), relay_stage("crunch"),
+                 relay_stage("out", /*forward=*/false)};
+  spec.stages[1].cost.per_packet_seconds = 0.015;
+  spec.edges = {{0, 1, 0}, {1, 2, 0}};
+  SourceSpec src;
+  src.rate_hz = 50;
+  src.total_packets = 400;
+  src.packet_bytes = 64;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0, 0, 0};
+
+  SimEngine engine(spec, placement, {}, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+
+  const obs::BottleneckReport& report = engine.report().attribution;
+  ASSERT_FALSE(report.entries.empty());
+  ASSERT_NE(report.top(), nullptr);
+  EXPECT_EQ(report.top()->name, "crunch");
+  EXPECT_FALSE(report.top()->is_link);
+  EXPECT_EQ(report.top()->dominant(), obs::Phase::kService);
+  // 400 packets x 15 ms = 6 s of service, the lion's share of its time.
+  EXPECT_NEAR(
+      report.top()->seconds[static_cast<std::size_t>(obs::Phase::kService)],
+      6.0, 0.5);
+  EXPECT_GT(report.top()->dominant_share(), 0.5);
+  EXPECT_EQ(report.top()->packets, 400u);
+}
+
+TEST(Bottleneck, ShapedLinkRanksFirstWithShaperDelayDominant) {
+  ScopedObs scoped;
+
+  // source -> A on node 0, B on node 1; the 0->1 link carries 300 ms of
+  // propagation latency while both stages are effectively free.
+  PipelineSpec spec;
+  spec.stages = {relay_stage("A"), relay_stage("B", /*forward=*/false)};
+  spec.edges = {{0, 1, 0}};
+  SourceSpec src;
+  src.rate_hz = 100;
+  src.total_packets = 300;
+  src.packet_bytes = 64;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0, 1};
+
+  net::Topology topology;
+  net::LinkSpec slow;
+  slow.bandwidth = 1e6;
+  slow.latency = 0.3;
+  topology.set_pair(0, 1, slow);
+
+  SimEngine engine(spec, placement, {}, topology, {});
+  ASSERT_TRUE(engine.run().is_ok());
+
+  const obs::BottleneckReport& report = engine.report().attribution;
+  ASSERT_NE(report.top(), nullptr);
+  EXPECT_EQ(report.top()->name, "link:0->1");
+  EXPECT_TRUE(report.top()->is_link);
+  EXPECT_EQ(report.top()->dominant(), obs::Phase::kShaperDelay);
+  // 300 packets x ~0.3 s of transit charged to the link.
+  EXPECT_GT(report.top()->seconds[static_cast<std::size_t>(
+                obs::Phase::kShaperDelay)],
+            60.0);
+}
+
+TEST(Bottleneck, TraceContextPropagatesHopByHopThroughAChain) {
+  ScopedObs scoped;
+  obs::TraceBuffer::global().set_enabled(true);
+  obs::PacketTracer::global().set_sample_period(1);  // sample everything
+
+  PipelineSpec spec;
+  spec.stages = {relay_stage("A"), relay_stage("B"),
+                 relay_stage("C", /*forward=*/false)};
+  spec.edges = {{0, 1, 0}, {1, 2, 0}};
+  SourceSpec src;
+  src.rate_hz = 100;
+  src.total_packets = 40;
+  src.packet_bytes = 64;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0, 0, 0};
+
+  SimEngine engine(spec, placement, {}, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+
+  // Every data packet was sampled at the source.
+  EXPECT_EQ(obs::PacketTracer::global().sampled_count(), 40u);
+
+  // Reconstruct each sampled packet's journey from the packet-hop events.
+  struct Hop {
+    std::string component;
+    std::string detail;
+    std::uint32_t hop;
+  };
+  std::map<std::uint64_t, std::vector<Hop>> journeys;
+  for (const obs::TraceEvent& e : obs::TraceBuffer::global().events()) {
+    if (e.kind != obs::TraceKind::kPacketHop) continue;
+    ASSERT_NE(e.trace_id, 0u);
+    journeys[e.trace_id].push_back({e.component, e.detail, e.hop});
+  }
+  ASSERT_EQ(journeys.size(), 40u);
+  for (const auto& [id, hops] : journeys) {
+    // Hop 0 at the source, then service hops 1 (A), 2 (B), 3 (C) — the
+    // causal order survives even when virtual timestamps tie.
+    ASSERT_FALSE(hops.empty());
+    EXPECT_EQ(hops.front().component, "source:0");
+    EXPECT_EQ(hops.front().detail, "emit");
+    EXPECT_EQ(hops.front().hop, 0u);
+    std::map<std::string, std::uint32_t> service_hops;
+    for (const Hop& h : hops) {
+      if (h.detail == "service") service_hops[h.component] = h.hop;
+    }
+    ASSERT_EQ(service_hops.size(), 3u) << "trace " << id;
+    EXPECT_EQ(service_hops["A"], 1u);
+    EXPECT_EQ(service_hops["B"], 2u);
+    EXPECT_EQ(service_hops["C"], 3u);
+  }
+}
+
+TEST(Bottleneck, RtEngineAttributesSlowStageAndReportsHealth) {
+  ScopedObs scoped;
+
+  PipelineSpec spec;
+  spec.stages = {relay_stage("fast"), relay_stage("slowpoke", false)};
+  spec.stages[1].cost.per_packet_seconds = 0.002;
+  spec.edges = {{0, 1, 0}};
+  SourceSpec src;
+  src.rate_hz = 400;
+  src.total_packets = 300;
+  src.packet_bytes = 64;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0, 0};
+
+  RtEngine engine(spec, placement, {}, {}, {});
+  ASSERT_TRUE(engine.run().is_ok());
+
+  const obs::BottleneckReport& report = engine.report().attribution;
+  ASSERT_NE(report.top(), nullptr);
+  EXPECT_EQ(report.top()->name, "slowpoke");
+  EXPECT_EQ(report.top()->dominant(), obs::Phase::kService);
+  EXPECT_EQ(report.top()->packets, 300u);
+
+  // The /healthz payload: every stage finished, queues drained.
+  const std::string health = engine.health_json();
+  EXPECT_NE(health.find("\"name\":\"fast\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"name\":\"slowpoke\""), std::string::npos);
+  EXPECT_EQ(health.find("\"state\":\"alive\""), std::string::npos) << health;
+  std::size_t finished = 0;
+  for (std::size_t pos = health.find("\"state\":\"finished\"");
+       pos != std::string::npos;
+       pos = health.find("\"state\":\"finished\"", pos + 1)) {
+    ++finished;
+  }
+  EXPECT_EQ(finished, 2u);
+}
+
+}  // namespace
+}  // namespace gates::core

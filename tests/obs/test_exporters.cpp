@@ -95,6 +95,102 @@ TEST(ChromeTrace, FailoverSpanCarriesReplayAccounting) {
       std::string::npos);
 }
 
+TEST(Jsonl, CausalFieldsAppearOnlyWhenSet) {
+  std::vector<TraceEvent> events = {
+      TraceEvent{.time = 1.0,
+                 .duration = 0.5,
+                 .kind = TraceKind::kPacketHop,
+                 .component = "A",
+                 .detail = "service",
+                 .trace_id = 42,
+                 .hop = 3},
+      TraceEvent{.time = 2.0,
+                 .kind = TraceKind::kReplicaScaleUp,
+                 .component = "A",
+                 .annotation = "inbox-wait=1s dominant=inbox-wait"},
+  };
+  const std::string lines = to_jsonl(events);
+  EXPECT_NE(lines.find("\"kind\":\"packet-hop\""), std::string::npos);
+  EXPECT_NE(lines.find("\"trace\":42,\"hop\":3"), std::string::npos);
+  EXPECT_NE(
+      lines.find("\"annotation\":\"inbox-wait=1s dominant=inbox-wait\""),
+      std::string::npos);
+  // Legacy events keep their exact golden shape: no trace/hop/annotation
+  // keys ever appear on unsampled, unannotated lines.
+  const std::string legacy = to_jsonl(sample_events());
+  EXPECT_EQ(legacy.find("\"trace\""), std::string::npos);
+  EXPECT_EQ(legacy.find("\"hop\""), std::string::npos);
+  EXPECT_EQ(legacy.find("\"annotation\""), std::string::npos);
+}
+
+TEST(ChromeTrace, PacketHopsRenderAsPhaseSlicesWithCausalFlow) {
+  // One sampled packet's journey: source emit (hop 0) -> link transit ->
+  // service at stage B (hop 1) — three components, three tracks.
+  std::vector<TraceEvent> events = {
+      TraceEvent{.time = 1.0,
+                 .kind = TraceKind::kPacketHop,
+                 .component = "source:0",
+                 .detail = "emit",
+                 .trace_id = 7,
+                 .hop = 0},
+      TraceEvent{.time = 1.0,
+                 .duration = 0.05,
+                 .kind = TraceKind::kPacketHop,
+                 .component = "ingress@0",
+                 .detail = "link",
+                 .trace_id = 7,
+                 .hop = 0},
+      TraceEvent{.time = 1.05,
+                 .duration = 0.01,
+                 .kind = TraceKind::kPacketHop,
+                 .component = "B",
+                 .detail = "service",
+                 .trace_id = 7,
+                 .hop = 1},
+  };
+  const std::string trace = to_chrome_trace(events);
+  // Slices are named by the phase (detail), complete events in cat "packet",
+  // carrying the causal identity in args.
+  EXPECT_NE(trace.find("\"name\":\"emit\",\"ph\":\"X\",\"ts\":0"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"link\",\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"service\",\"ph\":\"X\",\"ts\":50000"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"packet\""), std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"trace\":7,\"hop\":1}"), std::string::npos);
+  // Flow events stitch the hops across tracks: one "s"tart at the source
+  // hop, "t" steps downstream, all sharing id = trace id.
+  EXPECT_NE(trace.find("\"cat\":\"packet-flow\",\"ph\":\"s\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"packet-flow\",\"ph\":\"t\""),
+            std::string::npos);
+  std::size_t flow_ids = 0;
+  for (std::size_t pos = trace.find("\"id\":7"); pos != std::string::npos;
+       pos = trace.find("\"id\":7", pos + 1)) {
+    ++flow_ids;
+  }
+  EXPECT_EQ(flow_ids, 3u);
+  // The three components land on three distinct tracks (cross-thread flow):
+  // thread-name metadata exists for each.
+  EXPECT_NE(trace.find("\"name\":\"source:0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"ingress@0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"B\""), std::string::npos);
+}
+
+TEST(ChromeTrace, AnnotatedInstantCarriesAttributionSnapshot) {
+  std::vector<TraceEvent> events = {
+      TraceEvent{.time = 4.0,
+                 .kind = TraceKind::kReplicaScaleUp,
+                 .component = "join",
+                 .value_old = 2,
+                 .value_new = 3,
+                 .annotation = "service=2s dominant=service"}};
+  const std::string trace = to_chrome_trace(events);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(trace.find("\"annotation\":\"service=2s dominant=service\""),
+            std::string::npos);
+}
+
 TEST(WriteTextFile, RoundTripsAndReportsBadPath) {
   const std::string path = ::testing::TempDir() + "gates_obs_export_test.txt";
   ASSERT_TRUE(write_text_file(path, "payload\n").is_ok());

@@ -1,0 +1,152 @@
+// IntrospectServer over a real loopback socket: routes, content types,
+// provider overrides, error paths and lifecycle. The client is a raw
+// blocking socket — the server has no dependencies and neither do its tests.
+#include "gates/obs/introspect.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "gates/obs/attribution.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/profiler.hpp"
+
+namespace gates::obs {
+namespace {
+
+/// One blocking HTTP exchange against 127.0.0.1:port; returns the full
+/// response (status line + headers + body), empty on connect failure.
+std::string http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get_path(std::uint16_t port, const std::string& path) {
+  return http_get(port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+                        "Connection: close\r\n\r\n");
+}
+
+struct ScopedObs {
+  ScopedObs() {
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().set_enabled(true);
+    Profiler::global().reset();
+    Profiler::global().set_enabled(true);
+  }
+  ~ScopedObs() {
+    MetricsRegistry::global().reset();
+    Profiler::global().reset();
+  }
+};
+
+TEST(Introspect, ServesDefaultRoutesOnAnEphemeralPort) {
+  ScopedObs scoped;
+  MetricsRegistry::global().counter("gates_test_requests").add(7);
+  Profiler::global().stage("hot").add(Phase::kService, 1.5);
+
+  IntrospectServer server;
+  ASSERT_TRUE(server.start({}).is_ok());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string metrics = get_path(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("gates_test_requests 7"), std::string::npos);
+
+  const std::string attribution = get_path(server.port(), "/attribution");
+  EXPECT_NE(attribution.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(attribution.find("application/json"), std::string::npos);
+  EXPECT_NE(attribution.find("\"name\":\"hot\""), std::string::npos);
+  EXPECT_NE(attribution.find("\"dominant\":\"service\""), std::string::npos);
+
+  const std::string health = get_path(server.port(), "/healthz");
+  EXPECT_NE(health.find("{\"stages\":[]}"), std::string::npos);
+
+  const std::string trace = get_path(server.port(), "/trace");
+  EXPECT_NE(trace.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(trace.find("application/x-ndjson"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+TEST(Introspect, ProviderOverrideWinsOverDefaultRoute) {
+  IntrospectServer server;
+  server.set_provider("/healthz", [] {
+    return std::string("{\"stages\":[{\"name\":\"A\",\"state\":\"alive\"}]}");
+  });
+  server.set_provider("/custom", [] { return std::string("hello"); });
+  ASSERT_TRUE(server.start({}).is_ok());
+  EXPECT_NE(get_path(server.port(), "/healthz")
+                .find("\"state\":\"alive\""),
+            std::string::npos);
+  EXPECT_NE(get_path(server.port(), "/custom").find("hello"),
+            std::string::npos);
+  // Query strings are stripped before route lookup.
+  EXPECT_NE(get_path(server.port(), "/custom?x=1").find("hello"),
+            std::string::npos);
+}
+
+TEST(Introspect, RejectsUnknownRoutesMethodsAndGarbage) {
+  IntrospectServer server;
+  ASSERT_TRUE(server.start({}).is_ok());
+  EXPECT_NE(get_path(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_get(server.port(),
+                     "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+}
+
+TEST(Introspect, SecondStartFailsAndBusyPortSurfacesAsStatus) {
+  IntrospectServer a;
+  ASSERT_TRUE(a.start({}).is_ok());
+  EXPECT_FALSE(a.start({}).is_ok());
+  IntrospectServer b;
+  IntrospectServer::Config cfg;
+  cfg.port = a.port();
+  const Status s = b.start(cfg);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_FALSE(b.running());
+}
+
+TEST(Introspect, StopIsIdempotentAndSafeWithoutStart) {
+  IntrospectServer server;
+  server.stop();  // never started
+  ASSERT_TRUE(server.start({}).is_ok());
+  server.stop();
+  server.stop();
+  // Restart after stop gets a fresh port and serves again.
+  ASSERT_TRUE(server.start({}).is_ok());
+  EXPECT_NE(get_path(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace gates::obs

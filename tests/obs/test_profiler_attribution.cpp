@@ -1,0 +1,172 @@
+// Units for the attribution layer: PhaseClock accumulation, Profiler
+// registration/snapshot, the control-tick metrics fold, BottleneckReport
+// ranking, the trace-annotation brief, and the PacketTracer sampling head.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gates/obs/attribution.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/profiler.hpp"
+#include "gates/obs/trace_context.hpp"
+
+namespace gates::obs {
+namespace {
+
+/// Puts the process-global profiler/metrics/tracer into a clean enabled
+/// state for one test and clears them on exit.
+struct ScopedAttribution {
+  ScopedAttribution() {
+    Profiler::global().reset();
+    Profiler::global().set_enabled(true);
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().set_enabled(true);
+    PacketTracer::global().reset();
+  }
+  ~ScopedAttribution() {
+    Profiler::global().reset();
+    MetricsRegistry::global().reset();
+    PacketTracer::global().reset();
+  }
+};
+
+TEST(PhaseClock, AddAccumulatesStoreOverwrites) {
+  PhaseClock clock;
+  clock.add(Phase::kService, 0.5);
+  clock.add(Phase::kService, 0.25);
+  clock.add(Phase::kInboxWait, -1.0);  // non-positive charges are dropped
+  clock.add_packets(3);
+  EXPECT_NEAR(clock.seconds(Phase::kService), 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(clock.seconds(Phase::kInboxWait), 0.0);
+  EXPECT_EQ(clock.packets(), 3u);
+  clock.store(Phase::kService, 0.1);
+  EXPECT_NEAR(clock.seconds(Phase::kService), 0.1, 1e-9);
+  clock.store(Phase::kService, -1.0);
+  EXPECT_DOUBLE_EQ(clock.seconds(Phase::kService), 0.0);
+}
+
+TEST(Profiler, SnapshotSeparatesStagesFromLinksAndHandlesAreStable) {
+  ScopedAttribution scoped;
+  PhaseClock& s = Profiler::global().stage("analyze");
+  PhaseClock& l = Profiler::global().link("wan");
+  EXPECT_EQ(&Profiler::global().stage("analyze"), &s);
+  s.add(Phase::kService, 1.0);
+  l.add(Phase::kShaperDelay, 2.0);
+  bool saw_stage = false, saw_link = false;
+  for (const ProfileSample& sample : Profiler::global().snapshot()) {
+    if (sample.name == "analyze") {
+      saw_stage = true;
+      EXPECT_FALSE(sample.is_link);
+      EXPECT_NEAR(sample.seconds[static_cast<std::size_t>(Phase::kService)],
+                  1.0, 1e-9);
+    }
+    if (sample.name == "wan") {
+      saw_link = true;
+      EXPECT_TRUE(sample.is_link);
+    }
+  }
+  EXPECT_TRUE(saw_stage);
+  EXPECT_TRUE(saw_link);
+}
+
+TEST(Fold, PublishesPhaseCountersAndSelfObservationMetrics) {
+  ScopedAttribution scoped;
+  Profiler::global().stage("A").add(Phase::kInboxWait, 0.002);
+  Profiler::global().link("ingress@0").add(Phase::kShaperDelay, 0.5);
+  fold_profiler_into_metrics(/*fold_seconds=*/0.000125);
+
+  const std::string text = MetricsRegistry::global().prometheus_text();
+  EXPECT_NE(text.find("gates_stage_phase_micros{stage=\"A\","
+                      "phase=\"inbox-wait\"} 2000"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gates_link_phase_micros{link=\"ingress@0\","
+                      "phase=\"shaper-delay\"} 500000"),
+            std::string::npos)
+      << text;
+  // The observability layer reports on itself (ISSUE 7 satellites).
+  EXPECT_NE(text.find("obs_trace_dropped_total"), std::string::npos);
+  EXPECT_NE(text.find("obs_fold_micros 125"), std::string::npos) << text;
+}
+
+TEST(Bottleneck, RanksByTotalTimeAndNamesTheDominantPhase) {
+  ScopedAttribution scoped;
+  Profiler::global().stage("fast").add(Phase::kService, 0.1);
+  PhaseClock& slow = Profiler::global().stage("slow");
+  slow.add(Phase::kService, 3.0);
+  slow.add(Phase::kInboxWait, 1.0);
+  slow.add_packets(42);
+  Profiler::global().link("wan").add(Phase::kShaperDelay, 2.0);
+
+  const BottleneckReport report = make_bottleneck_report();
+  ASSERT_EQ(report.entries.size(), 3u);
+  ASSERT_NE(report.top(), nullptr);
+  EXPECT_EQ(report.top()->name, "slow");
+  EXPECT_EQ(report.top()->dominant(), Phase::kService);
+  EXPECT_NEAR(report.top()->dominant_share(), 0.75, 1e-9);
+  EXPECT_EQ(report.top()->packets, 42u);
+  EXPECT_EQ(report.entries[1].name, "wan");
+  EXPECT_TRUE(report.entries[1].is_link);
+  EXPECT_EQ(report.entries[2].name, "fast");
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"name\":\"slow\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominant\":\"service\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"link\""), std::string::npos);
+  EXPECT_NE(json.find("\"breakdown\":{\"inbox-wait\":1,"), std::string::npos);
+  const std::string summary = report.summary();
+  EXPECT_EQ(summary.find("stage  slow"), 0u) << summary;
+}
+
+TEST(Bottleneck, ReportIsEmptyWhenProfilingDisabled) {
+  ScopedAttribution scoped;
+  Profiler::global().stage("A").add(Phase::kService, 1.0);
+  Profiler::global().set_enabled(false);
+  EXPECT_TRUE(make_bottleneck_report().entries.empty());
+  EXPECT_EQ(attribution_brief("A"), "");
+}
+
+TEST(Bottleneck, BriefSummarizesOneComponentForTraceAnnotations) {
+  ScopedAttribution scoped;
+  PhaseClock& clock = Profiler::global().stage("join");
+  clock.add(Phase::kService, 2.0);
+  clock.add(Phase::kInboxWait, 0.5);
+  const std::string brief = attribution_brief("join");
+  EXPECT_NE(brief.find("service=2s"), std::string::npos) << brief;
+  EXPECT_NE(brief.find("inbox-wait=0.5s"), std::string::npos) << brief;
+  EXPECT_NE(brief.find("dominant=service"), std::string::npos) << brief;
+  // Unknown / idle components yield nothing rather than a noise annotation.
+  EXPECT_EQ(attribution_brief("nope"), "");
+  EXPECT_EQ(attribution_brief(""), "");
+}
+
+TEST(PacketTracer, SamplesExactlyOneInN) {
+  ScopedAttribution scoped;
+  PacketTracer& tracer = PacketTracer::global();
+  EXPECT_FALSE(tracer.active());
+  EXPECT_FALSE(tracer.maybe_sample().sampled());
+
+  tracer.set_sample_period(4);
+  ASSERT_TRUE(tracer.active());
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 16; ++i) {
+    const TraceContext ctx = tracer.maybe_sample();
+    if (ctx.sampled()) {
+      EXPECT_EQ(ctx.hop, 0u);
+      ids.push_back(ctx.trace_id);
+    }
+  }
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(tracer.sampled_count(), 4u);
+  // Ids are unique and never the "not sampled" sentinel 0.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_NE(ids[i], 0u);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gates::obs

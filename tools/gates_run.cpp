@@ -36,6 +36,11 @@
 //   --events-out FILE       JSONL trace event log
 //   --trace-out FILE        Chrome trace_event JSON (chrome://tracing, Perfetto)
 //   --trace-buffer N        trace buffer capacity in events (default 65536)
+//   --trace-sample N        causal packet tracing, 1-in-N packets (0 = off;
+//                           sampled hops render as Perfetto flows)
+//   --attribution-out FILE  bottleneck attribution report as JSON
+//   --introspect-port N     serve /metrics /healthz /trace /attribution over
+//                           HTTP on 127.0.0.1:N while the run is live
 //   --emit-report-json FILE full RunReport as JSON
 //   --print-trajectories    print every (t, value) parameter sample
 #include <algorithm>
@@ -56,8 +61,11 @@
 #include "gates/grid/grid_config.hpp"
 #include "gates/grid/launcher.hpp"
 #include "gates/obs/exporters.hpp"
+#include "gates/obs/introspect.hpp"
 #include "gates/obs/metrics.hpp"
+#include "gates/obs/profiler.hpp"
 #include "gates/obs/trace.hpp"
+#include "gates/obs/trace_context.hpp"
 
 namespace {
 
@@ -92,8 +100,11 @@ struct Options {
   std::string metrics_out;
   std::string events_out;
   std::string trace_out;
+  std::string attribution_out;
   std::string report_json_out;
   std::size_t trace_buffer = 0;  // 0 = TraceBuffer::kDefaultCapacity
+  std::uint64_t trace_sample = 0;  // 0 = causal packet tracing off
+  int introspect_port = -1;  // -1 = no endpoint; 0 = ephemeral port
   bool print_trajectories = false;
 };
 
@@ -163,6 +174,8 @@ int usage(const char* argv0) {
                "[--chaos-report FILE]\n"
                "       [--metrics-out FILE] [--events-out FILE] "
                "[--trace-out FILE] [--trace-buffer N]\n"
+               "       [--trace-sample N] [--attribution-out FILE] "
+               "[--introspect-port N]\n"
                "       [--emit-report-json FILE] [--print-trajectories]\n"
                "chaos scenarios:",
                argv0);
@@ -278,6 +291,20 @@ bool parse_args(int argc, char** argv, Options& options) {
       long long n;
       if (!v || !parse_int(v, n) || n <= 0) return false;
       options.trace_buffer = static_cast<std::size_t>(n);
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      long long n;
+      if (!v || !parse_int(v, n) || n < 0) return false;
+      options.trace_sample = static_cast<std::uint64_t>(n);
+    } else if (arg == "--attribution-out") {
+      const char* v = next();
+      if (!v) return false;
+      options.attribution_out = v;
+    } else if (arg == "--introspect-port") {
+      const char* v = next();
+      long long n;
+      if (!v || !parse_int(v, n) || n < 0 || n > 65535) return false;
+      options.introspect_port = static_cast<int>(n);
     } else if (arg == "--emit-report-json") {
       const char* v = next();
       if (!v) return false;
@@ -371,6 +398,14 @@ int write_artifacts(const Options& options, const core::RunReport& report) {
   if (!options.report_json_out.empty()) {
     persist(options.report_json_out, report.to_json() + "\n");
   }
+  if (!options.attribution_out.empty()) {
+    persist(options.attribution_out, report.attribution.to_json() + "\n");
+  }
+  if (!report.attribution.entries.empty() &&
+      (options.verbose || !options.attribution_out.empty())) {
+    std::printf("\nbottleneck attribution:\n%s",
+                report.attribution.summary().c_str());
+  }
   if (!options.metrics_out.empty()) {
     persist(options.metrics_out,
             obs::MetricsRegistry::global().prometheus_text());
@@ -425,16 +460,30 @@ int main(int argc, char** argv) {
                                              : LogLevel::kWarn);
 
   // Telemetry switches: each artifact flag turns on the subsystem feeding it.
-  if (!options.metrics_out.empty() || !options.report_json_out.empty()) {
+  const bool introspect_on = options.introspect_port >= 0;
+  if (!options.metrics_out.empty() || !options.report_json_out.empty() ||
+      introspect_on) {
     obs::MetricsRegistry::global().set_enabled(true);
   }
   if (!options.events_out.empty() || !options.trace_out.empty() ||
-      !options.report_json_out.empty() || !options.chaos.empty()) {
+      !options.report_json_out.empty() || !options.chaos.empty() ||
+      introspect_on) {
     // Chaos runs always trace: the invariant checkers read the event log.
+    // The introspection endpoint traces too, so /trace has something to say.
     obs::TraceBuffer::global().set_enabled(true);
   }
   if (options.trace_buffer > 0) {
     obs::TraceBuffer::global().set_capacity(options.trace_buffer);
+  }
+  if (!options.attribution_out.empty() || !options.report_json_out.empty() ||
+      introspect_on) {
+    // Per-stage/link phase attribution (inbox wait, service, merge hold,
+    // shaper delay, ack/retention) behind cheap per-batch atomics.
+    obs::Profiler::global().set_enabled(true);
+    obs::MetricsRegistry::global().set_enabled(true);
+  }
+  if (options.trace_sample > 0) {
+    obs::PacketTracer::global().set_sample_period(options.trace_sample);
   }
 
   const auto grid_text = read_file(options.grid_file);
@@ -552,10 +601,25 @@ int main(int argc, char** argv) {
       engine.set_replacement_provider(grid::make_replacement_provider(
           deployer, app->pipeline, app->deployment));
     }
+    obs::IntrospectServer introspect;
+    if (introspect_on) {
+      obs::IntrospectServer::Config icfg;
+      icfg.port = static_cast<std::uint16_t>(options.introspect_port);
+      if (auto s = introspect.start(icfg); !s.is_ok()) {
+        std::fprintf(stderr, "introspect: %s\n", s.to_string().c_str());
+        return 1;
+      }
+      std::printf("introspect: http://127.0.0.1:%u\n", introspect.port());
+      std::fflush(stdout);
+    }
     const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
                                             : engine.run();
+    introspect.stop();
     if (!status.is_ok()) {
       std::fprintf(stderr, "run: %s\n", status.to_string().c_str());
+      // Flush whatever telemetry the run accumulated before it failed — a
+      // watchdog timeout is exactly when the trace is worth reading.
+      write_artifacts(options, engine.report());
       return 1;
     }
     print_report(engine.report());
@@ -598,11 +662,28 @@ int main(int argc, char** argv) {
       driver.emplace(engine, scenario);
       driver->start();
     }
+    obs::IntrospectServer introspect;
+    if (introspect_on) {
+      obs::IntrospectServer::Config icfg;
+      icfg.port = static_cast<std::uint16_t>(options.introspect_port);
+      introspect.set_provider("/healthz",
+                              [&engine] { return engine.health_json(); });
+      if (auto s = introspect.start(icfg); !s.is_ok()) {
+        std::fprintf(stderr, "introspect: %s\n", s.to_string().c_str());
+        return 1;
+      }
+      std::printf("introspect: http://127.0.0.1:%u\n", introspect.port());
+      std::fflush(stdout);
+    }
     const auto status = options.horizon > 0 ? engine.run_for(options.horizon)
                                             : engine.run();
     if (driver) driver->finish();
+    introspect.stop();
     if (!status.is_ok()) {
       std::fprintf(stderr, "run: %s\n", status.to_string().c_str());
+      // Flush whatever telemetry the run accumulated before it failed — a
+      // watchdog timeout is exactly when the trace is worth reading.
+      write_artifacts(options, engine.report());
       return 1;
     }
     print_report(engine.report());
