@@ -9,12 +9,15 @@
 #include <vector>
 
 #include "gates/apps/counting_samples.hpp"
+#include "gates/common/arena.hpp"
 #include "gates/common/bounded_queue.hpp"
 #include "gates/common/byte_buffer.hpp"
+#include "gates/common/idle_strategy.hpp"
 #include "gates/common/rng.hpp"
 #include "gates/common/spsc_ring.hpp"
 #include "gates/common/zipf.hpp"
 #include "gates/core/packet.hpp"
+#include "gates/core/packet_pool.hpp"
 #include "gates/core/processor.hpp"
 #include "gates/core/stage_inbox.hpp"
 #include "gates/core/adapt/controller.hpp"
@@ -300,6 +303,55 @@ void BM_ShardDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ShardDispatch)->Arg(2)->Arg(4)->Arg(8);
+
+// Steady-state packet acquisition: every iteration draws a pooled packet
+// and drops it, so after warm-up the payload block cycles through the
+// thread cache without touching the heap. items/s here bounds the pool
+// overhead the engines pay per source packet.
+void BM_PacketPoolAcquireRelease(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  auto& pool = core::PacketPool::global();
+  for (auto _ : state) {
+    core::Packet packet = pool.acquire(bytes);
+    benchmark::DoNotOptimize(packet.payload.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolAcquireRelease)->Arg(64)->Arg(256)->Arg(4096);
+
+// Raw arena block recycle (no Packet/ByteBuffer wrapping): the floor the
+// pool benchmark above sits on. The acquire/release pair stays inside the
+// calling thread's cache, so this is two deque ops plus stats counters.
+void BM_ArenaPayloadAlloc(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  auto& arena = PayloadArena::global();
+  for (auto _ : state) {
+    PayloadBlock* block = arena.acquire(bytes, /*zero=*/false);
+    benchmark::DoNotOptimize(block);
+    arena.release(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArenaPayloadAlloc)->Arg(64)->Arg(256)->Arg(65536);
+
+// Cost of one idle step in each mode, plus the reset after progress —
+// the overhead a streaming consumer pays every time it polls an empty
+// ring before the producer's next packet lands. 0=spin 1=balanced 2=park.
+void BM_IdleStrategyWake(benchmark::State& state) {
+  IdleConfig config;
+  switch (state.range(0)) {
+    case 0: config = IdleConfig::spin(); break;
+    case 1: config = IdleConfig::balanced(); break;
+    default: config = IdleConfig::park(); break;
+  }
+  IdleStrategy idle(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idle.should_park());
+    idle.reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdleStrategyWake)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ZipfDraw(benchmark::State& state) {
   ZipfGenerator zipf(static_cast<std::uint64_t>(state.range(0)), 1.1);

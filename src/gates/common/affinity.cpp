@@ -1,0 +1,38 @@
+#include "gates/common/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace gates {
+
+int hardware_core_count() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n > 0) return n;
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool pin_current_thread_to_core(int core) {
+#if defined(__linux__)
+  if (core < 0 || core >= CPU_SETSIZE) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(core, &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace gates

@@ -1,0 +1,21 @@
+// Thread-to-core placement.
+//
+// The rt-engine's replica pools want their dispatcher, replicas, and
+// releaser on the same NUMA node so the SPSC rings and the reorder window
+// stay in a shared last-level cache. These helpers are deliberately thin:
+// pinning is a Linux sched_setaffinity call behind a portable no-op, and
+// callers treat failure (bad core id, restricted cpuset, non-Linux host)
+// as advisory — the engine runs unpinned rather than refusing to run.
+#pragma once
+
+namespace gates {
+
+/// Number of cores this process may run on (affinity-mask aware on Linux,
+/// hardware_concurrency elsewhere). Never returns 0.
+int hardware_core_count();
+
+/// Pins the calling thread to `core`. Returns false (and leaves the thread
+/// unpinned) for negative/unknown cores or when the platform/cpuset refuses.
+bool pin_current_thread_to_core(int core);
+
+}  // namespace gates

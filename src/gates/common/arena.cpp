@@ -1,0 +1,195 @@
+#include "gates/common/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "gates/common/check.hpp"
+
+namespace gates {
+
+namespace {
+
+/// While a block is free its payload area stores the free-list link.
+PayloadBlock*& next_of(PayloadBlock* block) {
+  return *reinterpret_cast<PayloadBlock**>(block->data());
+}
+
+}  // namespace
+
+struct PayloadArena::Depot {
+  std::mutex mu;
+  FreeList lists[kNumClasses];
+  /// Slab allocations, kept reachable for the arena's lifetime (freed only
+  /// by instance-arena destructors; the global arena is leaky by design).
+  std::vector<void*> slabs;
+};
+
+void PayloadArena::push_list(FreeList& list, PayloadBlock* block) {
+  next_of(block) = list.head;
+  list.head = block;
+  ++list.count;
+}
+
+PayloadBlock* PayloadArena::pop_list(FreeList& list) {
+  PayloadBlock* block = list.head;
+  list.head = next_of(block);
+  --list.count;
+  return block;
+}
+
+/// Per-thread recycle cache. Exclusively the global arena's (instance arenas
+/// go straight to the depot), so the exit-time flush below can never target
+/// a destroyed arena: global() is leaky.
+struct PayloadArena::ThreadCache {
+  FreeList lists[kNumClasses];
+  ~ThreadCache() {
+    PayloadArena& arena = PayloadArena::global();
+    for (std::uint32_t c = 0; c < kNumClasses; ++c) {
+      arena.flush_to_depot(c, lists[c], 0);
+    }
+  }
+};
+
+PayloadArena& PayloadArena::global() {
+  static PayloadArena* arena = [] {
+    auto* a = new PayloadArena();  // leaky: outlives every thread cache
+    a->use_thread_cache_ = true;
+    return a;
+  }();
+  return *arena;
+}
+
+PayloadArena::PayloadArena() : depot_(new Depot()) {}
+
+PayloadArena::~PayloadArena() {
+  for (void* slab : depot_->slabs) ::operator delete(slab);
+  delete depot_;
+}
+
+PayloadArena::ThreadCache& PayloadArena::cache() {
+  static thread_local ThreadCache tc;
+  return tc;
+}
+
+std::uint32_t PayloadArena::class_for(std::size_t bytes) {
+  for (std::uint32_t c = 0; c < kNumClasses; ++c) {
+    if (bytes <= kClassBytes[c]) return c;
+  }
+  return kHeapClass;
+}
+
+bool PayloadArena::carve_locked(std::uint32_t cls, FreeList& out) {
+  const std::size_t span = sizeof(PayloadBlock) + kClassBytes[cls];
+  const std::size_t slab_size = span * kBlocksPerSlab;
+  const std::size_t limit = byte_limit_.load(std::memory_order_relaxed);
+  if (limit != 0 &&
+      slab_bytes_.load(std::memory_order_relaxed) + slab_size > limit) {
+    return false;  // budget exhausted: caller degrades to the heap
+  }
+  auto* base = static_cast<std::uint8_t*>(::operator new(slab_size));
+  depot_->slabs.push_back(base);
+  slab_bytes_.fetch_add(slab_size, std::memory_order_relaxed);
+  slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBlocksPerSlab; ++i) {
+    auto* block = new (base + i * span) PayloadBlock();
+    block->size_class = cls;
+    block->capacity = kClassBytes[cls];
+    push_list(out, block);
+  }
+  return true;
+}
+
+bool PayloadArena::refill(std::uint32_t cls, FreeList& out) {
+  std::lock_guard<std::mutex> lock(depot_->mu);
+  FreeList& dl = depot_->lists[cls];
+  if (dl.head != nullptr) {
+    const std::size_t n = std::min(dl.count, kBlocksPerSlab);
+    for (std::size_t i = 0; i < n; ++i) push_list(out, pop_list(dl));
+    return true;  // cross-thread return channel: depot -> this thread
+  }
+  carve_locked(cls, out);
+  return false;  // fresh slab (or nothing, when the budget said no)
+}
+
+PayloadBlock* PayloadArena::acquire(std::size_t bytes, bool zero) {
+  GATES_CHECK(bytes > 0);
+  acquired_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t cls = class_for(bytes);
+  PayloadBlock* block = nullptr;
+  bool recycled = false;
+  if (cls != kHeapClass) {
+    if (use_thread_cache_) {
+      FreeList& list = cache().lists[cls];
+      if (list.head != nullptr) {
+        recycled = true;
+      } else {
+        recycled = refill(cls, list);
+      }
+      if (list.head != nullptr) block = pop_list(list);
+    } else {
+      std::lock_guard<std::mutex> lock(depot_->mu);
+      FreeList& dl = depot_->lists[cls];
+      if (dl.head != nullptr) {
+        recycled = true;
+      } else {
+        carve_locked(cls, dl);
+      }
+      if (dl.head != nullptr) block = pop_list(dl);
+    }
+  }
+  if (block == nullptr) {
+    // Oversize, or the arena byte budget is spent: plain heap, counted.
+    heap_fallback_.fetch_add(1, std::memory_order_relaxed);
+    auto* raw = ::operator new(sizeof(PayloadBlock) + bytes);
+    block = new (raw) PayloadBlock();
+    block->size_class = kHeapClass;
+    block->capacity = bytes;
+  } else {
+    if (recycled) recycled_.fetch_add(1, std::memory_order_relaxed);
+    block->refs.store(1, std::memory_order_relaxed);
+  }
+  block->size = bytes;
+  if (zero) std::memset(block->data(), 0, bytes);
+  return block;
+}
+
+void PayloadArena::release(PayloadBlock* block) {
+  released_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t cls = block->size_class;
+  if (cls == kHeapClass) {
+    block->~PayloadBlock();
+    ::operator delete(block);
+    return;
+  }
+  if (use_thread_cache_) {
+    FreeList& list = cache().lists[cls];
+    push_list(list, block);
+    if (list.count > kCacheLimit) flush_to_depot(cls, list, kCacheLimit / 2);
+  } else {
+    std::lock_guard<std::mutex> lock(depot_->mu);
+    push_list(depot_->lists[cls], block);
+  }
+}
+
+void PayloadArena::flush_to_depot(std::uint32_t cls, FreeList& list,
+                                  std::size_t keep) {
+  if (list.count <= keep) return;
+  std::lock_guard<std::mutex> lock(depot_->mu);
+  FreeList& dl = depot_->lists[cls];
+  while (list.count > keep) push_list(dl, pop_list(list));
+}
+
+ArenaStats PayloadArena::stats() const {
+  ArenaStats s;
+  s.acquired = acquired_.load(std::memory_order_relaxed);
+  s.recycled = recycled_.load(std::memory_order_relaxed);
+  s.heap_fallback = heap_fallback_.load(std::memory_order_relaxed);
+  s.slab_allocs = slab_allocs_.load(std::memory_order_relaxed);
+  s.released = released_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gates

@@ -1,0 +1,160 @@
+// Slab arena for packet payloads.
+//
+// The zero-copy data path (DESIGN.md §5.5) eliminated payload *copies*, but
+// every fresh payload still paid one heap allocation (the shared_ptr control
+// block plus the vector's buffer). PayloadArena removes that steady-state
+// cost: payloads live in ref-counted blocks carved from size-class slabs,
+// recycled through per-thread caches with a mutex depot as the cross-thread
+// return channel — the IRON packet_pool shape adapted to COW payloads.
+//
+//   - Size classes 64B..64KB (×4 steps). A block is a 32-byte intrusive
+//     header (atomic refcount, class, size, capacity) followed by the
+//     payload bytes, so ByteBuffer handles are one raw pointer.
+//   - acquire() pops the calling thread's cache; on miss it pulls a batch
+//     from the shared depot; only when both are dry does it carve a fresh
+//     slab (kBlocksPerSlab blocks in one heap allocation).
+//   - release() (refcount hits zero) pushes to the *releasing* thread's
+//     cache; overflow past the cache watermark flushes half back to the
+//     depot, so producer-allocates/consumer-frees pipelines recirculate
+//     blocks instead of growing forever.
+//   - Oversize requests and requests past the configured byte budget fall
+//     back to the plain heap, counted in stats().heap_fallback — graceful
+//     degradation, never failure.
+//
+// Thread-safety: acquire/release are safe from any thread. Stats counters
+// are process-wide relaxed atomics. The global() arena is a leaky singleton
+// so thread caches (flushed from thread-exit destructors) can never outlive
+// it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gates {
+
+/// Intrusive payload block header. The payload bytes follow the header in
+/// the same allocation; while a block sits on a free list the payload area
+/// doubles as the list's next pointer.
+struct alignas(16) PayloadBlock {
+  std::atomic<std::uint32_t> refs{1};
+  /// Size-class index, or kHeapClass for plain-heap fallback blocks.
+  std::uint32_t size_class = 0;
+  /// Logical size visible through ByteBuffer (<= capacity).
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  std::uint8_t* data() {
+    return reinterpret_cast<std::uint8_t*>(this) + sizeof(PayloadBlock);
+  }
+  const std::uint8_t* data() const {
+    return reinterpret_cast<const std::uint8_t*>(this) + sizeof(PayloadBlock);
+  }
+};
+static_assert(sizeof(PayloadBlock) == 32, "payload data offset must be fixed");
+
+struct ArenaStats {
+  /// Total acquire() calls (fresh payloads + COW detach clones).
+  std::uint64_t acquired = 0;
+  /// Acquires served from a recycle cache (thread cache or depot) — the
+  /// steady-state hit count. hit rate = recycled / acquired.
+  std::uint64_t recycled = 0;
+  /// Acquires that bypassed the arena: oversize payloads or the byte budget
+  /// was exhausted. These are plain heap allocations.
+  std::uint64_t heap_fallback = 0;
+  /// Fresh slabs carved (each is one heap allocation of kBlocksPerSlab
+  /// blocks). Steady state adds zero.
+  std::uint64_t slab_allocs = 0;
+  /// Blocks whose refcount hit zero and were returned.
+  std::uint64_t released = 0;
+
+  double hit_rate() const {
+    return acquired == 0 ? 1.0
+                         : static_cast<double>(recycled) /
+                               static_cast<double>(acquired);
+  }
+  /// Heap allocations the arena could not amortize (slab growth counts once
+  /// per slab, not per block).
+  std::uint64_t heap_allocations() const { return slab_allocs + heap_fallback; }
+};
+
+class PayloadArena {
+ public:
+  static constexpr std::size_t kNumClasses = 6;
+  /// 64B, 256B, 1K, 4K, 16K, 64K payload capacities.
+  static constexpr std::size_t kClassBytes[kNumClasses] = {64,   256,   1024,
+                                                           4096, 16384, 65536};
+  static constexpr std::uint32_t kHeapClass = 0xFFFFFFFFu;
+  /// Blocks carved per fresh slab, and moved per depot<->cache transfer.
+  static constexpr std::size_t kBlocksPerSlab = 32;
+  /// Per-thread cache watermark per class; overflow flushes half to the depot.
+  static constexpr std::size_t kCacheLimit = 128;
+
+  /// Process-wide arena (leaky: never destroyed, so thread-cache flushes at
+  /// thread exit are always safe).
+  static PayloadArena& global();
+
+  PayloadArena();
+  ~PayloadArena();
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  /// A block with refs=1, size=bytes, capacity >= bytes. `zero` memsets the
+  /// payload (ByteBuffer's vector-compatible zero-fill semantics); recycled
+  /// blocks carry stale bytes otherwise. bytes must be > 0.
+  PayloadBlock* acquire(std::size_t bytes, bool zero);
+
+  static void add_ref(PayloadBlock* block) {
+    block->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Drops one reference; recycles (or frees, for heap-fallback blocks) when
+  /// it was the last.
+  void release(PayloadBlock* block);
+
+  /// Caps arena-owned slab bytes; acquires past the cap fall back to the
+  /// heap (counted). 0 = unlimited (default). Test hook + deployment knob;
+  /// takes effect for future slab growth only.
+  void set_byte_limit(std::size_t bytes) {
+    byte_limit_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t slab_bytes() const {
+    return slab_bytes_.load(std::memory_order_relaxed);
+  }
+
+  ArenaStats stats() const;
+
+ private:
+  struct FreeList {
+    PayloadBlock* head = nullptr;
+    std::size_t count = 0;
+  };
+  struct ThreadCache;
+  struct Depot;
+
+  static std::uint32_t class_for(std::size_t bytes);
+  static void push_list(FreeList& list, PayloadBlock* block);
+  static PayloadBlock* pop_list(FreeList& list);
+  ThreadCache& cache();
+  /// Carves one fresh slab of `cls` into `out` (depot mutex must be held);
+  /// returns false when the byte budget forbids growth.
+  bool carve_locked(std::uint32_t cls, FreeList& out);
+  /// Refills `list` with up to kBlocksPerSlab blocks of `cls` from the depot
+  /// or a fresh slab; returns true when served from the depot (a recycle).
+  bool refill(std::uint32_t cls, FreeList& list);
+  void flush_to_depot(std::uint32_t cls, FreeList& list, std::size_t keep);
+
+  Depot* depot_;
+  /// Only the global() arena uses per-thread caches: instance arenas (tests)
+  /// may die while a thread lives, so they stay on the depot path.
+  bool use_thread_cache_ = false;
+  std::atomic<std::size_t> byte_limit_{0};
+  std::atomic<std::size_t> slab_bytes_{0};
+
+  std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> recycled_{0};
+  std::atomic<std::uint64_t> heap_fallback_{0};
+  std::atomic<std::uint64_t> slab_allocs_{0};
+  std::atomic<std::uint64_t> released_{0};
+};
+
+}  // namespace gates

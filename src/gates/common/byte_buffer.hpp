@@ -6,6 +6,12 @@
 // side replay retention and failover re-injection alias one allocation
 // instead of deep-copying per hop.
 //
+// Storage is a PayloadArena block: an intrusive 32-byte header (refcount,
+// size, capacity) followed by the bytes, so the handle is one raw pointer
+// and fresh payloads recycle slab blocks instead of hitting the heap
+// (shared_ptr control block + vector buffer, two allocations, before).
+// COW detach clones draw from the arena too.
+//
 // Thread-safety: concurrent const reads of a shared buffer are safe, and a
 // mutation through one handle never disturbs the bytes other handles see
 // (it detaches onto a private clone first). Each ByteBuffer *object* is
@@ -13,61 +19,120 @@
 // external synchronization.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <memory>
 #include <string_view>
 #include <vector>
+
+#include "gates/common/arena.hpp"
 
 namespace gates {
 
 class ByteBuffer {
-  using Vec = std::vector<std::uint8_t>;
-
  public:
   ByteBuffer() = default;
+  /// Zero-filled, like the std::vector storage it replaced.
   explicit ByteBuffer(std::size_t size)
-      : data_(size != 0 ? std::make_shared<Vec>(size) : nullptr) {}
-  explicit ByteBuffer(std::vector<std::uint8_t> data)
-      : data_(data.empty() ? nullptr
-                           : std::make_shared<Vec>(std::move(data))) {}
+      : block_(size != 0 ? PayloadArena::global().acquire(size, true)
+                         : nullptr) {}
+  explicit ByteBuffer(const std::vector<std::uint8_t>& data) {
+    if (!data.empty()) {
+      block_ = PayloadArena::global().acquire(data.size(), false);
+      std::memcpy(block_->data(), data.data(), data.size());
+    }
+  }
   static ByteBuffer from_string(std::string_view s) {
-    ByteBuffer b(s.size());
-    if (!s.empty()) std::memcpy(b.data(), s.data(), s.size());
+    ByteBuffer b;
+    if (!s.empty()) {
+      b.block_ = PayloadArena::global().acquire(s.size(), false);
+      std::memcpy(b.block_->data(), s.data(), s.size());
+    }
+    return b;
+  }
+  /// `size` bytes left uninitialized — for producers that overwrite the
+  /// whole payload immediately (packet generators, serializers).
+  static ByteBuffer uninitialized(std::size_t size) {
+    ByteBuffer b;
+    if (size != 0) b.block_ = PayloadArena::global().acquire(size, false);
     return b;
   }
 
-  // Copies share; mutations below detach.
-  ByteBuffer(const ByteBuffer&) = default;
-  ByteBuffer& operator=(const ByteBuffer&) = default;
-  ByteBuffer(ByteBuffer&&) = default;
-  ByteBuffer& operator=(ByteBuffer&&) = default;
+  ~ByteBuffer() { release(block_); }
 
-  const std::uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+  // Copies share; mutations below detach.
+  ByteBuffer(const ByteBuffer& other) : block_(other.block_) {
+    if (block_ != nullptr) PayloadArena::add_ref(block_);
+  }
+  ByteBuffer& operator=(const ByteBuffer& other) {
+    if (this != &other) {
+      PayloadBlock* old = block_;
+      block_ = other.block_;
+      if (block_ != nullptr) PayloadArena::add_ref(block_);
+      release(old);
+    }
+    return *this;
+  }
+  ByteBuffer(ByteBuffer&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  ByteBuffer& operator=(ByteBuffer&& other) noexcept {
+    if (this != &other) {
+      release(block_);
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+
+  const std::uint8_t* data() const {
+    return block_ != nullptr ? block_->data() : nullptr;
+  }
   std::uint8_t* data() {
     detach();
-    return data_ ? data_->data() : nullptr;
+    return block_ != nullptr ? block_->data() : nullptr;
   }
-  std::size_t size() const { return data_ ? data_->size() : 0; }
+  std::size_t size() const { return block_ != nullptr ? block_->size : 0; }
   bool empty() const { return size() == 0; }
 
+  /// vector::resize semantics: growth zero-fills the new tail, shrinking
+  /// keeps the allocation.
   void resize(std::size_t n) {
-    if (n == 0 && data_ == nullptr) return;
-    detach();
-    if (data_ == nullptr) data_ = std::make_shared<Vec>();
-    data_->resize(n);
+    if (block_ == nullptr) {
+      if (n != 0) block_ = PayloadArena::global().acquire(n, true);
+      return;
+    }
+    const bool shared = is_shared();
+    if (!shared && n <= block_->capacity) {
+      if (n > block_->size) {
+        std::memset(block_->data() + block_->size, 0, n - block_->size);
+      }
+      block_->size = n;
+      return;
+    }
+    reallocate(n, n, shared);
   }
   /// Drops this handle's reference; never copies.
-  void clear() { data_.reset(); }
+  void clear() {
+    release(block_);
+    block_ = nullptr;
+  }
 
   void append(const void* src, std::size_t n) {
     if (n == 0) return;
-    detach();
-    if (data_ == nullptr) data_ = std::make_shared<Vec>();
     const auto* p = static_cast<const std::uint8_t*>(src);
-    data_->insert(data_->end(), p, p + n);
+    if (block_ == nullptr) {
+      block_ = PayloadArena::global().acquire(n, false);
+      std::memcpy(block_->data(), p, n);
+      return;
+    }
+    const std::size_t old = block_->size;
+    const bool shared = is_shared();
+    if (shared || old + n > block_->capacity) reallocate(old + n, old, shared);
+    std::memcpy(block_->data() + old, p, n);
+    block_->size = old + n;
   }
 
   std::string_view as_string_view() const {
@@ -76,7 +141,7 @@ class ByteBuffer {
 
   /// True when both handles alias the same allocation (diagnostics/tests).
   bool shares_storage(const ByteBuffer& other) const {
-    return data_ != nullptr && data_ == other.data_;
+    return block_ != nullptr && block_ == other.block_;
   }
 
   /// Process-wide count of payload byte duplications — COW detaches. The
@@ -87,20 +152,50 @@ class ByteBuffer {
   }
 
   friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
-    if (a.data_ == b.data_) return true;
+    if (a.block_ == b.block_) return true;
     if (a.size() != b.size()) return false;
     return a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0;
   }
 
  private:
+  /// refs > 1 may be stale under concurrency only in the direction of
+  /// over-counting for handles being destroyed, so a racing reader can at
+  /// worst cause an unnecessary clone, never a shared mutation. (If we load
+  /// refs == 1 this handle is provably the sole owner.)
+  bool is_shared() const {
+    return block_->refs.load(std::memory_order_acquire) > 1;
+  }
+
   /// Clone before mutating when the bytes are shared with another handle.
-  /// use_count() > 1 may be stale under concurrency only in the direction
-  /// of over-counting for handles being destroyed, so a racing reader can
-  /// at worst cause an unnecessary clone, never a shared mutation.
   void detach() {
-    if (data_ != nullptr && data_.use_count() > 1) {
-      data_ = std::make_shared<Vec>(*data_);
-      deep_copies_().fetch_add(1, std::memory_order_relaxed);
+    if (block_ != nullptr && is_shared()) reallocate(block_->size,
+                                                     block_->size, true);
+  }
+
+  /// Moves to a fresh block of `size` bytes, preserving the first
+  /// min(keep, size) bytes and zero-filling any grown tail. `counts_copy`
+  /// (set when detaching off a shared block) bumps the deep-copy counter —
+  /// sole-owner capacity growth is amortized bookkeeping, not a COW event.
+  void reallocate(std::size_t size, std::size_t keep, bool counts_copy) {
+    // Geometric growth keeps byte-at-a-time appends linear even past the
+    // largest size class (where the arena would otherwise size exactly).
+    const std::size_t want =
+        size > block_->capacity ? std::max(size, block_->capacity * 2) : size;
+    PayloadBlock* fresh = PayloadArena::global().acquire(want, false);
+    fresh->size = size;
+    const std::size_t copied = keep < size ? keep : size;
+    if (copied != 0) std::memcpy(fresh->data(), block_->data(), copied);
+    if (size > copied) std::memset(fresh->data() + copied, 0, size - copied);
+    release(block_);
+    block_ = fresh;
+    if (counts_copy) deep_copies_().fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static void release(PayloadBlock* block) {
+    if (block != nullptr &&
+        block->refs.fetch_sub(1, std::memory_order_release) == 1) {
+      std::atomic_thread_fence(std::memory_order_acquire);
+      PayloadArena::global().release(block);
     }
   }
 
@@ -109,7 +204,7 @@ class ByteBuffer {
     return count;
   }
 
-  std::shared_ptr<Vec> data_;
+  PayloadBlock* block_ = nullptr;
 };
 
 }  // namespace gates

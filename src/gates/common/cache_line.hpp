@@ -1,0 +1,12 @@
+// Cache-line geometry for hot-path layout audits.
+#pragma once
+
+#include <cstddef>
+
+namespace gates::detail {
+
+// std::hardware_destructive_interference_size is 64 on the targets we care
+// about but emits -Winterference-size warnings under GCC; fix the value.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace gates::detail

@@ -1,0 +1,140 @@
+// Tunable idle behavior for hot-path waits.
+//
+// The engines' waits used to be bare condvar parks (StageInbox, ReorderMerge)
+// and raw sleep_for pacing (source rate control, throttle gates). Parking is
+// right for sparse traffic but costs a wake syscall + scheduling latency per
+// handoff; raw sleep_for under-delivers sub-millisecond sleeps by the timer
+// slack. IdleStrategy makes the trade explicit:
+//
+//   spin      — busy-poll with cpu pauses (periodically yielding so a
+//               core-starved box still makes progress); never parks.
+//   balanced  — short pause-spin, then a few yields, then park (default:
+//               cheap wakes when traffic is streaming, no burn when idle).
+//   park      — yield once, then park immediately (the old behavior,
+//               minus one syscall in the streaming case).
+//
+// Waiters drive it as:  IdleStrategy idle(cfg); while (!ready()) {
+// if (idle.should_park()) <condvar wait>; }  — reset() after progress.
+//
+// precise_sleep() is the pacing analogue: coarse sleep_for for the bulk,
+// then spin out the tail so sub-millisecond rates don't accumulate timer
+// granularity as a systematic undershoot.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace gates {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+struct IdleConfig {
+  enum Mode : std::uint8_t { kSpin, kBalanced, kPark };
+  Mode mode = kBalanced;
+  /// Pause-loop iterations before escalating to yields.
+  std::uint32_t spin_limit = 256;
+  /// sched_yield calls before parking (kBalanced) or between spin rounds
+  /// (kSpin's starvation escape hatch).
+  std::uint32_t yield_limit = 16;
+
+  static IdleConfig spin() { return {kSpin, 4096, 1}; }
+  static IdleConfig balanced() { return {}; }
+  static IdleConfig park() { return {kPark, 0, 1}; }
+
+  /// Balanced, adapted to the host: on a single-core box the pause phase is
+  /// skipped entirely — every pause burns cycles the peer thread needs to
+  /// make the awaited progress, so the wait escalates straight to yields
+  /// (which hand the core over). Engines use this as their default; tests
+  /// that assert exact spin/yield/park sequences construct explicit configs
+  /// instead.
+  static IdleConfig for_host() {
+    IdleConfig config;
+    if (std::thread::hardware_concurrency() <= 1) config.spin_limit = 0;
+    return config;
+  }
+};
+
+class IdleStrategy {
+ public:
+  IdleStrategy() = default;
+  explicit IdleStrategy(const IdleConfig& config) : config_(config) {}
+
+  /// One idle step. Returns true when the caller should fall back to its
+  /// parking primitive (condvar wait); kSpin never does.
+  bool should_park() {
+    switch (config_.mode) {
+      case IdleConfig::kSpin:
+        if (count_ < config_.spin_limit) {
+          ++count_;
+          cpu_pause();
+        } else {
+          // Escape hatch: periodically cede the core so an oversubscribed
+          // machine (or a 1-core box) can run the producer at all.
+          count_ = 0;
+          std::this_thread::yield();
+        }
+        return false;
+      case IdleConfig::kBalanced:
+        if (count_ < config_.spin_limit) {
+          ++count_;
+          cpu_pause();
+          return false;
+        }
+        if (count_ < config_.spin_limit + config_.yield_limit) {
+          ++count_;
+          std::this_thread::yield();
+          return false;
+        }
+        return true;
+      case IdleConfig::kPark:
+      default:
+        if (count_ < config_.yield_limit) {
+          ++count_;
+          std::this_thread::yield();
+          return false;
+        }
+        return true;
+    }
+  }
+
+  /// Call after making progress so the next wait spins again.
+  void reset() { count_ = 0; }
+
+  const IdleConfig& config() const { return config_; }
+
+ private:
+  IdleConfig config_;
+  std::uint32_t count_ = 0;
+};
+
+/// Sleeps `seconds` with sub-slack precision: coarse sleep_for for all but
+/// the last kSleepSlack, then spin-with-pause to the deadline. Negative or
+/// zero durations return immediately. This is what source pacing and
+/// throttle gates use so owed-sleep accounting doesn't absorb timer
+/// granularity as systematic undershoot (or oversleep, at high rates).
+inline void precise_sleep(double seconds) {
+  if (seconds <= 0) return;
+  using clock = std::chrono::steady_clock;
+  constexpr double kSleepSlack = 200e-6;  // typical timer slack + wakeup cost
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  if (seconds > kSleepSlack) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds - kSleepSlack));
+  }
+  while (clock::now() < deadline) cpu_pause();
+}
+
+}  // namespace gates

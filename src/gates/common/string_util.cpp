@@ -1,5 +1,6 @@
 #include "gates/common/string_util.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
@@ -82,6 +83,40 @@ bool parse_bool(std::string_view s, bool& out) {
     return true;
   }
   return false;
+}
+
+bool parse_core_list(std::string_view s, std::vector<int>& out) {
+  out.clear();
+  if (trim(s).empty()) return false;
+  for (std::string_view field : split(s, ',')) {
+    field = trim(field);
+    long long lo = 0;
+    long long hi = 0;
+    const std::size_t dash = field.find('-');
+    // A leading '-' (negative core) is malformed, not a range separator.
+    if (dash == std::string_view::npos || dash == 0) {
+      if (!parse_int(field, lo) || lo < 0) {
+        out.clear();
+        return false;
+      }
+      hi = lo;
+    } else {
+      if (!parse_int(field.substr(0, dash), lo) ||
+          !parse_int(field.substr(dash + 1), hi) || lo < 0 || hi < lo) {
+        out.clear();
+        return false;
+      }
+    }
+    for (long long core = lo; core <= hi; ++core) {
+      out.push_back(static_cast<int>(core));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  if (std::adjacent_find(out.begin(), out.end()) != out.end()) {
+    out.clear();
+    return false;
+  }
+  return true;
 }
 
 std::string str_format(const char* fmt, ...) {

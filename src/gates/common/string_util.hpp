@@ -29,6 +29,12 @@ bool parse_int(std::string_view s, long long& out);
 /// Parses "true"/"false"/"1"/"0" (case-insensitive).
 bool parse_bool(std::string_view s, bool& out);
 
+/// Parses a core list like "0,2,4-7" into sorted unique core ids. Returns
+/// false — leaving `out` empty — on any malformed field: negatives,
+/// non-numeric garbage, reversed ranges ("7-4"), or duplicate cores (a
+/// duplicate in a placement list is always a typo, not an intent).
+bool parse_core_list(std::string_view s, std::vector<int>& out);
+
 /// printf-style formatting into a std::string.
 std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

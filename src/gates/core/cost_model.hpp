@@ -18,6 +18,13 @@ struct CostModel {
   double per_byte_seconds = 0;
   double per_record_seconds = 0;
 
+  /// True when every coefficient is zero — the rt engine skips the
+  /// per-packet service computation and sleep entirely for such stages.
+  bool is_zero() const {
+    return per_packet_seconds == 0 && per_byte_seconds == 0 &&
+           per_record_seconds == 0;
+  }
+
   Duration service_time(const Packet& p) const {
     if (p.is_eos()) return 0;
     return per_packet_seconds +

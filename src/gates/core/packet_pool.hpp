@@ -1,0 +1,45 @@
+// Pooled packet construction for the data path.
+//
+// A Packet's only heap-touching member is its ByteBuffer payload, which is
+// arena-backed (common/arena.hpp): PacketPool is the packet-shaped facade
+// over that slab machinery — acquire() hands out a Packet whose payload
+// block comes from the calling thread's recycle cache, and dropping the
+// last Packet copy returns the block to the releasing thread's cache (the
+// depot bridges producer-allocates/consumer-frees pipelines). stats() is
+// the process-wide arena view the engines export as gates_pool_* metrics.
+#pragma once
+
+#include <cstddef>
+
+#include "gates/common/arena.hpp"
+#include "gates/common/byte_buffer.hpp"
+#include "gates/core/packet.hpp"
+
+namespace gates::core {
+
+class PacketPool {
+ public:
+  /// Process-wide pool (the arena's leaky global).
+  static PacketPool& global() {
+    static PacketPool pool;
+    return pool;
+  }
+
+  /// A data packet with a `payload_bytes`-sized uninitialized payload drawn
+  /// from the pool. Callers fill the payload and stamp stream/sequence/
+  /// created_at themselves.
+  Packet acquire(std::size_t payload_bytes) {
+    Packet packet;
+    if (payload_bytes != 0) {
+      packet.payload = ByteBuffer::uninitialized(payload_bytes);
+    }
+    return packet;
+  }
+
+  ArenaStats stats() const { return PayloadArena::global().stats(); }
+
+ private:
+  PacketPool() = default;
+};
+
+}  // namespace gates::core

@@ -118,6 +118,17 @@ std::string RunReport::to_json() const {
   w.key("attribution");
   attribution.write_json(w);
 
+  w.key("allocation").begin_object()
+      .kv("pool_acquired", allocation.pool_acquired)
+      .kv("pool_recycled", allocation.pool_recycled)
+      .kv("pool_heap_fallback", allocation.pool_heap_fallback)
+      .kv("pool_slab_allocs", allocation.pool_slab_allocs)
+      .kv("payload_deep_copies", allocation.payload_deep_copies)
+      .kv("packets", allocation.packets)
+      .kv("hit_rate", allocation.hit_rate())
+      .kv("allocations_per_packet", allocation.allocations_per_packet())
+      .end_object();
+
   w.end_object();
   return w.str();
 }

@@ -101,6 +101,34 @@ struct LinkReport {
   std::uint64_t underload_exceptions_sent = 0;
 };
 
+/// Packet-path allocation accounting over one run: start-to-end deltas of
+/// the global PayloadArena counters plus ByteBuffer deep copies, reduced to
+/// the steady-state figure the perf gate watches — heap allocations per
+/// packet processed (pool/arena hits are not heap allocations; slab carves
+/// and fallback blocks are).
+struct AllocationReport {
+  std::uint64_t pool_acquired = 0;
+  std::uint64_t pool_recycled = 0;
+  std::uint64_t pool_heap_fallback = 0;
+  std::uint64_t pool_slab_allocs = 0;
+  std::uint64_t payload_deep_copies = 0;
+  /// Sum of stage packets_processed — the denominator below.
+  std::uint64_t packets = 0;
+
+  double hit_rate() const {
+    return pool_acquired == 0
+               ? 1.0
+               : static_cast<double>(pool_recycled) /
+                     static_cast<double>(pool_acquired);
+  }
+  double allocations_per_packet() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(pool_slab_allocs +
+                                              pool_heap_fallback) /
+                              static_cast<double>(packets);
+  }
+};
+
 struct RunReport {
   /// Virtual (SimEngine) or wall (RtEngine) seconds from start to the last
   /// stage finishing — the paper's "execution time".
@@ -118,6 +146,9 @@ struct RunReport {
   obs::TraceSummary trace_summary;
   /// End-of-run bottleneck ranking (empty when the Profiler was disabled).
   obs::BottleneckReport attribution;
+  /// Packet-path allocation deltas (all-zero for engines that do not track
+  /// them — currently populated by the RtEngine).
+  AllocationReport allocation;
 
   const StageReport* stage(const std::string& name) const {
     for (const auto& s : stages) {

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gates/common/cache_line.hpp"
 #include "gates/common/check.hpp"
 #include "gates/core/packet.hpp"
 
@@ -46,14 +47,14 @@ class RetentionRing {
   /// returns the assigned sequence number. May evict the oldest unacked
   /// data entry when over capacity.
   std::uint64_t retain(const Packet& packet) {
-    const std::uint64_t seq = next_seq_;
+    const std::uint64_t seq = cur_.next_seq;
     const bool eos = packet.is_eos();
     if (capacity_ == 0 && !eos) {
       // Not stored: tombstone the seq so the window stays dense.
       ensure_slot(seq);
       slot(seq).state = State::kEvicted;
-      ++next_seq_;
-      ++evicted_;
+      ++cur_.next_seq;
+      ++cur_.evicted;
       advance_base();
       return seq;
     }
@@ -61,10 +62,10 @@ class RetentionRing {
     Slot& s = slot(seq);
     s.packet = packet;
     s.state = State::kLive;
-    ++next_seq_;
+    ++cur_.next_seq;
     if (!eos) {
-      ++data_retained_;
-      while (data_retained_ > capacity_) evict_oldest_data();
+      ++cur_.data_retained;
+      while (cur_.data_retained > capacity_) evict_oldest_data();
     }
     return seq;
   }
@@ -73,10 +74,10 @@ class RetentionRing {
   /// interleaves with new traffic, so a processed high seq does NOT imply
   /// earlier seqs arrived). Unknown / already-released seqs are ignored.
   void ack_exact(std::uint64_t seq) {
-    if (seq < base_seq_ || seq >= next_seq_) return;
+    if (seq < cur_.base_seq || seq >= cur_.next_seq) return;
     Slot& s = slot(seq);
     if (s.state != State::kLive) return;
-    if (!s.packet.is_eos()) --data_retained_;
+    if (!s.packet.is_eos()) --cur_.data_retained;
     s.state = State::kAcked;
     s.packet = Packet{};  // release the payload reference now
     advance_base();
@@ -85,29 +86,29 @@ class RetentionRing {
   /// Releases everything up to and including `seq` (SimEngine: flows are
   /// FIFO, so processing seq implies everything before it was handled).
   void ack_cumulative(std::uint64_t seq) {
-    while (base_seq_ < next_seq_ && base_seq_ <= seq) {
-      Slot& s = slot(base_seq_);
-      if (s.state == State::kLive && !s.packet.is_eos()) --data_retained_;
+    while (cur_.base_seq < cur_.next_seq && cur_.base_seq <= seq) {
+      Slot& s = slot(cur_.base_seq);
+      if (s.state == State::kLive && !s.packet.is_eos()) --cur_.data_retained;
       s.state = State::kEmpty;
       s.packet = Packet{};
-      ++base_seq_;
+      ++cur_.base_seq;
     }
-    if (evict_seq_ < base_seq_) evict_seq_ = base_seq_;
+    if (cur_.evict_seq < cur_.base_seq) cur_.evict_seq = cur_.base_seq;
   }
 
   /// Visits every retained (live, unacked) entry in seq order — the replay
   /// walk after a failover.
   template <typename Fn>
   void for_each_unacked(Fn&& fn) const {
-    for (std::uint64_t s = base_seq_; s < next_seq_; ++s) {
+    for (std::uint64_t s = cur_.base_seq; s < cur_.next_seq; ++s) {
       const Slot& entry = slots_[s & mask_];
       if (entry.state == State::kLive) fn(s, entry.packet);
     }
   }
 
-  std::size_t data_retained() const { return data_retained_; }
-  std::uint64_t evicted() const { return evicted_; }
-  std::uint64_t next_seq() const { return next_seq_; }
+  std::size_t data_retained() const { return cur_.data_retained; }
+  std::uint64_t evicted() const { return cur_.evicted; }
+  std::uint64_t next_seq() const { return cur_.next_seq; }
   /// Slot-array footprint (tests: growth stays bounded near capacity).
   std::size_t slot_count() const { return slots_.size(); }
 
@@ -125,12 +126,12 @@ class RetentionRing {
   /// entries, then grow (double) if the window still wouldn't fit.
   void ensure_slot(std::uint64_t seq) {
     advance_base();
-    if (seq - base_seq_ < slots_.size()) return;
+    if (seq - cur_.base_seq < slots_.size()) return;
     std::size_t new_size = slots_.size() * 2;
-    while (seq - base_seq_ >= new_size) new_size *= 2;
+    while (seq - cur_.base_seq >= new_size) new_size *= 2;
     std::vector<Slot> grown(new_size);
     const std::size_t new_mask = new_size - 1;
-    for (std::uint64_t s = base_seq_; s < next_seq_; ++s) {
+    for (std::uint64_t s = cur_.base_seq; s < cur_.next_seq; ++s) {
       grown[s & new_mask] = std::move(slots_[s & mask_]);
     }
     slots_ = std::move(grown);
@@ -140,41 +141,49 @@ class RetentionRing {
   /// Tombstones the oldest live non-EOS entry. The cursor is monotone:
   /// everything before it is acked, evicted, or a pinned EOS forever.
   void evict_oldest_data() {
-    if (evict_seq_ < base_seq_) evict_seq_ = base_seq_;
-    while (evict_seq_ < next_seq_) {
-      Slot& s = slot(evict_seq_);
+    if (cur_.evict_seq < cur_.base_seq) cur_.evict_seq = cur_.base_seq;
+    while (cur_.evict_seq < cur_.next_seq) {
+      Slot& s = slot(cur_.evict_seq);
       if (s.state == State::kLive && !s.packet.is_eos()) {
         s.state = State::kEvicted;
         s.packet = Packet{};
-        --data_retained_;
-        ++evicted_;
+        --cur_.data_retained;
+        ++cur_.evicted;
         advance_base();
         return;
       }
-      ++evict_seq_;
+      ++cur_.evict_seq;
     }
     GATES_CHECK_MSG(false, "retention over capacity with no evictable entry");
   }
 
   void advance_base() {
-    while (base_seq_ < next_seq_) {
-      Slot& s = slot(base_seq_);
+    while (cur_.base_seq < cur_.next_seq) {
+      Slot& s = slot(cur_.base_seq);
       if (s.state == State::kLive) break;
       s.state = State::kEmpty;
       s.packet = Packet{};
-      ++base_seq_;
+      ++cur_.base_seq;
     }
-    if (evict_seq_ < base_seq_) evict_seq_ = base_seq_;
+    if (cur_.evict_seq < cur_.base_seq) cur_.evict_seq = cur_.base_seq;
   }
+
+  /// Every retain/ack touches all of these; keeping them on one cache line
+  /// (audited below) means the per-packet bookkeeping is a single-line walk.
+  struct alignas(detail::kCacheLine) Cursors {
+    std::uint64_t base_seq = 0;   // oldest slot still in the window
+    std::uint64_t next_seq = 0;   // next seq to assign
+    std::uint64_t evict_seq = 0;  // monotone eviction cursor
+    std::size_t data_retained = 0;
+    std::uint64_t evicted = 0;
+  };
+  static_assert(sizeof(Cursors) == detail::kCacheLine,
+                "per-packet retention cursors must fit one cache line");
 
   const std::size_t capacity_;
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
-  std::uint64_t base_seq_ = 0;   // oldest slot still in the window
-  std::uint64_t next_seq_ = 0;   // next seq to assign
-  std::uint64_t evict_seq_ = 0;  // monotone eviction cursor
-  std::size_t data_retained_ = 0;
-  std::uint64_t evicted_ = 0;
+  Cursors cur_;
 };
 
 }  // namespace gates::core

@@ -7,6 +7,8 @@
 #include <deque>
 #include <mutex>
 
+#include "gates/common/affinity.hpp"
+#include "gates/common/arena.hpp"
 #include "gates/common/check.hpp"
 #include "gates/common/clock.hpp"
 #include "gates/common/json.hpp"
@@ -52,7 +54,16 @@ struct RtEngine::ThrottleGate {
       ready = bucket_.time_available(need, now);
       bucket_.consume_debt(need, now);
     }
-    sleep_seconds(ready - clock_.now());
+    // Precise pacing: plain sleep_for undershoots at sub-millisecond gaps
+    // (timer granularity), which deflates effective bandwidth; the hybrid
+    // sleep-then-spin holds the configured rate.
+    precise_sleep(ready - clock_.now());
+  }
+
+  /// One relaxed load — the emit fast path checks this per packet to decide
+  /// whether wire accounting can be skipped entirely.
+  bool unthrottled() const {
+    return unthrottled_.load(std::memory_order_relaxed);
   }
 
   /// Mid-run bandwidth change (chaos transition). The bucket is rebuilt so
@@ -137,26 +148,62 @@ struct RtEngine::ReplayChannel {
 };
 
 // ---------------------------------------------------------------------------
+// FlowItem / TransitPool: shared data-path plumbing
+// ---------------------------------------------------------------------------
+
+/// One queue entry: the packet plus its replay origin, so the receiving
+/// worker can acknowledge it after processing. Null origin (failover
+/// disabled, or the control thread's EOS-on-behalf) never acks.
+struct RtEngine::FlowItem {
+  Packet packet;
+  ReplayChannel* origin = nullptr;
+  std::uint64_t seq = 0;
+  /// Stamped at queue-push time when the Profiler or PacketTracer is on
+  /// (0 otherwise): the base for inbox-wait attribution. Stamping is
+  /// amortized to one clock read per flushed batch.
+  TimePoint queued_at = 0;
+};
+
+/// Slot store for batches handed to a LinkShaper: check_in() swaps the
+/// sender's staged vector into a recycled slot (the sender gets the retired
+/// slot's capacity back), the shaper thread resolves the returned token via
+/// deliver(). Steady state runs with zero allocation where the old path
+/// heap-allocated a shared_ptr + vector per shaped batch. Slots live in a
+/// deque so in-flight slot references survive growth; the mutex only guards
+/// the free list and slot handout, never the push into the destination.
+class RtEngine::TransitPool final : public net::TransitSink {
+ public:
+  std::uint64_t check_in(std::vector<FlowItem>& items, StageWorker* dest,
+                         bool stamp);
+  void deliver(std::uint64_t token) override;
+
+ private:
+  struct Slot {
+    std::vector<FlowItem> items;
+    StageWorker* dest = nullptr;
+    bool stamp = false;
+  };
+
+  std::mutex mu_;
+  std::deque<Slot> slots_;
+  std::vector<std::uint64_t> free_;
+};
+
+// ---------------------------------------------------------------------------
 // StageWorker
 // ---------------------------------------------------------------------------
 class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
  public:
-  /// One queue entry: the packet plus its replay origin, so this worker can
-  /// acknowledge it after processing. Null origin (failover disabled, or
-  /// the control thread's EOS-on-behalf) never acks.
-  struct Item {
-    Packet packet;
-    ReplayChannel* origin = nullptr;
-    std::uint64_t seq = 0;
-    /// Stamped at queue-push time when the Profiler or PacketTracer is on
-    /// (0 otherwise): the base for inbox-wait attribution. Stamping is
-    /// amortized to one clock read per flushed batch.
-    TimePoint queued_at = 0;
-  };
+  /// Historical name for the shared flow entry (hoisted so SourceWorker and
+  /// the TransitPool can use the same type).
+  using Item = FlowItem;
   /// Per-route output staging (emit() fills, flush_route() sends).
   struct RouteBatch {
     std::vector<Item> items;
     std::size_t wire_bytes = 0;
+    /// Direct-pushed packets awaiting the batched consumer wakeup (see
+    /// stage_packet's fast path and StageInbox::try_produce).
+    bool wake_pending = false;
   };
   struct Route {
     std::shared_ptr<ThrottleGate> gate;
@@ -166,6 +213,11 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     /// Impairment shaper for the flow; null on clean flows (the direct,
     /// zero-overhead path).
     std::shared_ptr<net::LinkShaper> shaper;
+    /// Resolved in start(): the route qualifies for the per-packet direct
+    /// push into the destination's SPSC ring (no shaper, no retention, no
+    /// profiler stamping, SPSC inbox). The throttle is re-checked per
+    /// packet so a mid-run rate change falls back to the charged path.
+    bool direct = false;
   };
 
   // -- replica pool types (parallelism != kSerial) ----------------------------
@@ -256,6 +308,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
         monitor_(spec.monitor),
         rng_(rng),
         clock_(clock) {
+    queue_.set_idle(engine_.config_.idle);
     if (!pooled()) {
       processor_ = spec_.factory();
       GATES_CHECK_MSG(processor_ != nullptr,
@@ -273,6 +326,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     // work without the dispatcher stalling on the merge ring.
     merge_ = std::make_unique<ReorderMerge<Completion>>(budget_ *
                                                         (replica_cap_ + 2));
+    merge_->set_idle(engine_.config_.idle);
     for (std::size_t r = 0; r < budget_; ++r) {
       auto rep = std::make_unique<Replica>();
       rep->processor = spec_.factory();
@@ -280,6 +334,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
                       "factory for stage '" + spec_.name + "' returned null");
       rep->context = std::make_unique<ReplicaContext>(*this, rng_.fork(r + 1));
       rep->queue = std::make_unique<StageInbox<PoolItem>>(replica_cap_);
+      rep->queue->set_idle(engine_.config_.idle);
       // Dispatcher is the only producer, the replica the only consumer.
       if (engine_.config_.batching.spsc) rep->queue->use_spsc();
       replicas_.push_back(std::move(rep));
@@ -338,6 +393,10 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   /// SPSC fast path; the engine calls this from setup() for stages with
   /// exactly one data-plane producer, before any thread starts.
   void enable_spsc() { queue_.use_spsc(); }
+  /// Core list for this stage's threads (engine setup, before start()):
+  /// index 0 pins the serial worker / pool dispatcher, replica r takes
+  /// (r + 1) % size — a pool fills its node's cores before wrapping.
+  void set_pin_cores(std::vector<int> cores) { pin_cores_ = std::move(cores); }
   NodeId node() const { return node_; }
   const std::string& name() const { return spec_.name; }
   std::vector<Route>& routes() { return routes_; }
@@ -351,6 +410,11 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
                    : nullptr;
     tracer_active_ = obs::PacketTracer::global().active();
     stamp_queued_ = profile_ != nullptr || tracer_active_;
+    zero_service_ = spec_.cost.is_zero();
+    for (Route& route : routes_) {
+      route.direct = route.shaper == nullptr && route.channel == nullptr &&
+                     profile_ == nullptr && route.dest->queue().spsc();
+    }
     last_beat_.store(clock_.now(), std::memory_order_release);
     if (pooled()) {
       const std::size_t active =
@@ -455,6 +519,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kAbandoned,
                 .component = spec_.name, .detail = "eos-on-behalf");
     finished_.store(true, std::memory_order_release);
+    engine_.notify_stage_finished();
   }
 
   std::size_t recoveries() const { return recoveries_; }
@@ -467,15 +532,53 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   /// reaches max_batch or when the worker finishes its input batch.
   void emit(Packet packet, std::size_t port = 0) override {
     ++emitted_pending_;
+    // The last matching route takes the packet by move (for the common
+    // single-route stage that makes every emit copy-free); earlier matches
+    // still alias the payload via the COW refcount bump.
+    std::size_t last = routes_.size();
     for (std::size_t r = 0; r < routes_.size(); ++r) {
-      if (routes_[r].port != port) continue;
-      RouteBatch& batch = out_[r];
-      batch.wire_bytes += engine_.config_.wire.wire_size(
-          packet.payload_bytes(), packet.records);
-      batch.items.push_back({packet, nullptr, 0});
-      if (batch.items.size() >= engine_.config_.batching.max_batch) {
-        flush_route(r);
+      if (routes_[r].port == port) last = r;
+    }
+    if (last == routes_.size()) return;  // no route on this port
+    for (std::size_t r = 0; r < last; ++r) {
+      if (routes_[r].port == port) stage_packet(r, Packet(packet));
+    }
+    stage_packet(last, std::move(packet));
+  }
+
+  /// Appends one packet to route `r`'s staging batch, flushing at max_batch.
+  /// Takes an rvalue so the single-route emit moves its packet end to end —
+  /// emit's by-value parameter is the only copy on the whole hop.
+  void stage_packet(std::size_t r, Packet&& packet) {
+    RouteBatch& batch = out_[r];
+    const Route& route = routes_[r];
+    // Direct fast path: a clean, currently-unthrottled route into an SPSC
+    // inbox moves the packet straight from emit() into the destination
+    // ring — no staging vector, no wire-byte accounting (the gate would
+    // no-op anyway), no batched flush. The consumer wakeup is deferred to
+    // the next flush_route via wake_pending, since the wake fence costs
+    // more than the push. A full ring (or a mid-run rate change) falls
+    // back to the staged, charged, blocking path below; the empty-staging
+    // guard keeps direct and staged items in emit order.
+    if (route.direct && batch.items.empty() && route.gate->unthrottled()) {
+      TimePoint queued_at = 0;
+      if (tracer_active_ && packet.trace.sampled()) queued_at = clock_.now();
+      const bool pushed = route.dest->queue().try_produce([&](Item& slot) {
+        slot.packet = std::move(packet);
+        slot.origin = nullptr;
+        slot.seq = 0;
+        slot.queued_at = queued_at;
+      });
+      if (pushed) {
+        batch.wake_pending = true;
+        return;
       }
+    }
+    batch.wire_bytes += engine_.config_.wire.wire_size(
+        packet.payload_bytes(), packet.records);
+    batch.items.push_back({std::move(packet), nullptr, 0});
+    if (batch.items.size() >= engine_.config_.batching.max_batch) {
+      flush_route(r);
     }
   }
 
@@ -483,13 +586,32 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   /// retention lock and the queue lock/notify over the whole batch.
   void flush_route(std::size_t r) {
     RouteBatch& batch = out_[r];
+    // Settle the direct fast path's deferred consumer wakeup first: the
+    // blocking push below may park this thread, and a consumer that slept
+    // through un-woken direct pushes would deadlock against it.
+    if (batch.wake_pending) {
+      batch.wake_pending = false;
+      routes_[r].dest->queue().wake_consumer();
+    }
     if (batch.items.empty()) return;
     const Route& route = routes_[r];
     if (route.shaper) return flush_route_shaped(r);
     route.gate->acquire(batch.wire_bytes);
-    if (stamp_queued_) {
+    if (profile_ != nullptr) {
       const TimePoint t = clock_.now();
       for (Item& it : batch.items) it.queued_at = t;
+    } else if (tracer_active_) {
+      // Sampling means almost no item needs the inbox-arrival stamp; read
+      // the clock only when a sampled packet actually sits in the batch.
+      // (Stamping everything here used to dominate the measured tracing
+      // overhead once the rest of the path got cheap.)
+      TimePoint t = 0;
+      for (Item& it : batch.items) {
+        if (it.packet.trace.sampled()) {
+          if (t == 0) t = clock_.now();
+          it.queued_at = t;
+        }
+      }
     }
     if (route.channel) route.channel->retain_batch(batch.items);
     const std::size_t n = batch.items.size();
@@ -557,29 +679,12 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     batch.wire_bytes = 0;
     if (batch.items.empty()) return;
     if (route.channel) route.channel->retain_batch(batch.items);
-    auto items = std::make_shared<std::vector<Item>>(std::move(batch.items));
-    batch.items = {};
-    StageWorker* dest = route.dest;
-    const bool stamp = stamp_queued_;
-    route.shaper->deliver_after(extra, [dest, items, stamp] {
-      if (stamp) {
-        // Queued-at reflects arrival at the inbox, not send time: link
-        // delay must land in shaper-delay attribution, not inbox-wait.
-        const TimePoint t = dest->now();
-        for (Item& it : *items) it.queued_at = t;
-      }
-      const std::size_t n = items->size();
-      const std::size_t pushed = dest->queue().push_all(*items);
-      if (pushed < n) {
-        // Receiver gone mid-flight: with retention the packets replay after
-        // failover; without it they are the crash's loss window, traced
-        // against the receiver like the direct path does.
-        GATES_TRACE(.time = dest->now(), .kind = obs::TraceKind::kPacketDrop,
-                    .component = dest->stage_name(),
-                    .detail = "downstream queue closed",
-                    .value_new = static_cast<double>(n - pushed));
-      }
-    });
+    // Pooled hand-off: the batch parks in a recycled TransitPool slot (the
+    // swap returns a retired slot's capacity to batch.items) and the shaper
+    // releases it by token — no per-batch allocation.
+    const std::uint64_t token =
+        transit_.check_in(batch.items, route.dest, stamp_queued_);
+    route.shaper->deliver_after(extra, &transit_, token);
   }
 
   /// Downstream-EOS send used by both the serial epilogue and finish_pool:
@@ -886,8 +991,15 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   }
 
   void run_loop() {
+    if (!pin_cores_.empty()) pin_current_thread_to_core(pin_cores_[0]);
     if (pooled()) return run_loop_pooled();
     const bool failover = engine_.config_.failover.enabled;
+    // Serial SPSC stages with no failover (no heartbeat polling, no acks)
+    // and no profiler take the in-place loop: packets are serviced directly
+    // in the ring slots instead of being moved into a batch vector first.
+    if (!failover && queue_.spsc() && profile_ == nullptr) {
+      return run_loop_fast();
+    }
     const Duration beat = engine_.config_.failover.heartbeat_period;
     const std::size_t max_batch = std::max<std::size_t>(
         engine_.config_.batching.max_batch, 1);
@@ -922,11 +1034,15 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
       bool latency_sampled = false;
       for (std::size_t i = 0; i < n; ++i) {
         Packet& packet = batch[i].packet;
-        const Duration service =
-            spec_.cost.service_time(packet) / cpu_factor_;
-        sleep_seconds(service);
-        busy_time_ += service;
-        d_service += service;
+        // Zero-cost stages (resolved once in start()) skip the service-time
+        // arithmetic and the sleep call per packet.
+        Duration service = 0;
+        if (!zero_service_) {
+          service = spec_.cost.service_time(packet) / cpu_factor_;
+          sleep_seconds(service);
+          busy_time_ += service;
+          d_service += service;
+        }
         if (!tracer_active_) {
           // Legacy behaviour (sampling off): every service gets a span
           // whenever the TraceBuffer is enabled.
@@ -992,6 +1108,93 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
                 .component = spec_.name);
     finished_.store(true, std::memory_order_release);
+    engine_.notify_stage_finished();
+  }
+
+  /// In-place variant of the serial run_loop (failover off, SPSC inbox,
+  /// profiler off — see the dispatch in run_loop): StageInbox::consume
+  /// services each packet in its ring slot, so the per-hop batch-vector
+  /// move disappears. Without failover no ReplayChannel exists, so the ack
+  /// machinery (flush_batch_effects) reduces to flush_emits(). Everything
+  /// observable — EOS counting, trace spans, counters, latency sampling,
+  /// crash-stop semantics — matches run_loop.
+  void run_loop_fast() {
+    const std::size_t max_batch =
+        std::max<std::size_t>(engine_.config_.batching.max_batch, 1);
+    bool stop_after_flush = false;
+    bool exit_now = false;
+    while (!stop_after_flush && !exit_now) {
+      std::uint64_t d_packets = 0;
+      std::uint64_t d_records = 0;
+      std::uint64_t d_bytes = 0;
+      bool latency_sampled = false;
+      const std::size_t n = queue_.consume(
+          [&](Item& item) {
+            // Tail items after a terminal EOS (or a crash) are dropped,
+            // mirroring run_loop's mid-batch break.
+            if (stop_after_flush || exit_now) return;
+            if (crashed_.load(std::memory_order_acquire)) {
+              exit_now = true;
+              return;
+            }
+            Packet& packet = item.packet;
+            Duration service = 0;
+            if (!zero_service_) {
+              service = spec_.cost.service_time(packet) / cpu_factor_;
+              sleep_seconds(service);
+              busy_time_ += service;
+            }
+            if (!tracer_active_) {
+              GATES_TRACE(.time = clock_.now() - service, .duration = service,
+                          .kind = obs::TraceKind::kServiceSpan,
+                          .component = spec_.name);
+            } else if (packet.trace.sampled()) {
+              const TimePoint done = clock_.now();
+              ++packet.trace.hop;
+              if (item.queued_at > 0 && done - service > item.queued_at) {
+                GATES_TRACE(.time = item.queued_at,
+                            .duration = done - service - item.queued_at,
+                            .kind = obs::TraceKind::kPacketHop,
+                            .component = spec_.name, .detail = "inbox-wait",
+                            .trace_id = packet.trace.trace_id,
+                            .hop = packet.trace.hop);
+              }
+              GATES_TRACE(.time = done - service, .duration = service,
+                          .kind = obs::TraceKind::kPacketHop,
+                          .component = spec_.name, .detail = "service",
+                          .trace_id = packet.trace.trace_id,
+                          .hop = packet.trace.hop);
+            }
+            if (packet.is_eos()) {
+              if (++eos_received_ >= eos_expected_) stop_after_flush = true;
+              return;
+            }
+            ++d_packets;
+            d_records += packet.records;
+            d_bytes += packet.payload_bytes();
+            if (!latency_sampled) {
+              latency_.add(clock_.now() - packet.created_at);
+              latency_sampled = true;
+            }
+            processor_->process(packet, *this);
+          },
+          max_batch);
+      if (exit_now || crashed_.load(std::memory_order_acquire)) return;
+      if (d_packets != 0) {
+        packets_processed_.fetch_add(d_packets, std::memory_order_relaxed);
+        records_processed_.fetch_add(d_records, std::memory_order_relaxed);
+        bytes_processed_.fetch_add(d_bytes, std::memory_order_relaxed);
+      }
+      flush_emits();
+      if (n == 0) break;  // closed and drained, or force-stopped
+    }
+    processor_->finish(*this);
+    flush_emits();
+    for (const auto& route : routes_) send_eos_on_route(route);
+    GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
+                .component = spec_.name);
+    finished_.store(true, std::memory_order_release);
+    engine_.notify_stage_finished();
   }
 
   // -- replica pool data plane ------------------------------------------------
@@ -1076,6 +1279,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   /// the merge window. Whoever completes the window head releases (below).
   void replica_loop(std::size_t r) {
     Replica& rep = *replicas_[r];
+    if (!pin_cores_.empty()) {
+      pin_current_thread_to_core(pin_cores_[(r + 1) % pin_cores_.size()]);
+    }
     const std::size_t max_batch = std::max<std::size_t>(
         engine_.config_.batching.max_batch, 1);
     std::vector<PoolItem> batch;
@@ -1100,11 +1306,13 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
           rep.processor->finish(capture);
           c.is_final = item.is_final;
         } else {
-          const Duration service =
-              spec_.cost.service_time(item.packet) / cpu_factor_;
-          sleep_seconds(service);
-          rep.busy_time += service;
-          d_service += service;
+          Duration service = 0;
+          if (!zero_service_) {
+            service = spec_.cost.service_time(item.packet) / cpu_factor_;
+            sleep_seconds(service);
+            rep.busy_time += service;
+            d_service += service;
+          }
           if (!tracer_active_) {
             GATES_TRACE(.time = clock_.now() - service, .duration = service,
                         .kind = obs::TraceKind::kServiceSpan,
@@ -1214,6 +1422,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
                 .component = spec_.name);
     finished_.store(true, std::memory_order_release);
+    engine_.notify_stage_finished();
   }
 
   /// Terminal EOS (or force-stop): every active replica gets a finish
@@ -1281,6 +1490,10 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   double cpu_factor_;
   std::unique_ptr<StreamProcessor> processor_;
   StageInbox<Item> queue_;
+  /// Declared before routes_: a route's shaper may still be draining token
+  /// deliveries when its last reference drops during routes_ teardown, so
+  /// the pool must outlive the routes.
+  TransitPool transit_;
   std::vector<Route> routes_;
   // Worker-thread staging (no locks): per-route output batches, counter
   // deltas accumulated across a batch, and an ack-seq scratch vector.
@@ -1311,6 +1524,11 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   obs::PhaseClock* profile_ = nullptr;
   bool tracer_active_ = false;
   bool stamp_queued_ = false;
+  /// True when the stage's cost model is all zeros (resolved in start()):
+  /// the data loops skip service arithmetic and sleeps entirely.
+  bool zero_service_ = false;
+  /// Cores for this stage's threads; empty = unpinned (see set_pin_cores).
+  std::vector<int> pin_cores_;
 
   // Written by the stage thread; relaxed atomics so the control thread can
   // sample them into the MetricsRegistry mid-run (final values are still
@@ -1361,6 +1579,63 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 };
 
 // ---------------------------------------------------------------------------
+// TransitPool (out of line: deliver() needs StageWorker's definition)
+// ---------------------------------------------------------------------------
+
+std::uint64_t RtEngine::TransitPool::check_in(std::vector<FlowItem>& items,
+                                              StageWorker* dest, bool stamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t token;
+  if (!free_.empty()) {
+    token = free_.back();
+    free_.pop_back();
+  } else {
+    token = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[static_cast<std::size_t>(token)];
+  // Swap, don't move: the sender walks away with the retired slot's vector
+  // (empty but with grown capacity), so its next staging round reuses it.
+  s.items.swap(items);
+  s.dest = dest;
+  s.stamp = stamp;
+  return token;
+}
+
+void RtEngine::TransitPool::deliver(std::uint64_t token) {
+  Slot* s;
+  {
+    // Address is stable (deque) once taken; an in-flight slot is owned by
+    // the shaper thread alone, so the push below runs unlocked.
+    std::lock_guard<std::mutex> lock(mu_);
+    s = &slots_[static_cast<std::size_t>(token)];
+  }
+  if (s->stamp) {
+    // Queued-at reflects arrival at the inbox, not send time: link delay
+    // must land in shaper-delay attribution, not inbox-wait.
+    const TimePoint t = s->dest->now();
+    for (FlowItem& it : s->items) it.queued_at = t;
+  }
+  const std::size_t n = s->items.size();
+  const std::size_t pushed = s->dest->queue().push_all(s->items);
+  if (pushed < n) {
+    // Receiver gone mid-flight: with retention the packets replay after
+    // failover; without it they are the crash's loss window, traced
+    // against the receiver like the direct path does.
+    GATES_TRACE(.time = s->dest->now(), .kind = obs::TraceKind::kPacketDrop,
+                .component = s->dest->stage_name(),
+                .detail = "downstream queue closed",
+                .value_new = static_cast<double>(n - pushed));
+  }
+  s->items.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s->dest = nullptr;
+    free_.push_back(token);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // SourceWorker
 // ---------------------------------------------------------------------------
 class RtEngine::SourceWorker {
@@ -1384,6 +1659,8 @@ class RtEngine::SourceWorker {
 
   StageWorker* target() { return target_; }
   ReplayChannel* channel() { return channel_.get(); }
+  /// Pin the source thread to `core` (engine setup, before start()).
+  void set_pin_core(int core) { pin_core_ = core; }
 
   /// horizon <= 0 means "run until total_packets".
   void start(Duration horizon) {
@@ -1404,9 +1681,19 @@ class RtEngine::SourceWorker {
     if (shaper_) return flush_shaped(staged, wire_bytes);
     gate_->acquire(wire_bytes);
     wire_bytes = 0;
-    if (stamp_queued_) {
+    if (profile_active_) {
       const TimePoint t = clock_.now();
       for (StageWorker::Item& it : staged) it.queued_at = t;
+    } else if (tracer_active_) {
+      // Same selective stamping as StageWorker::flush_route: with 1-in-N
+      // sampling the clock is read only when a sampled packet is present.
+      TimePoint t = 0;
+      for (StageWorker::Item& it : staged) {
+        if (it.packet.trace.sampled()) {
+          if (t == 0) t = clock_.now();
+          it.queued_at = t;
+        }
+      }
     }
     if (channel_) channel_->retain_batch(staged);
     const std::size_t n = staged.size();
@@ -1461,46 +1748,57 @@ class RtEngine::SourceWorker {
     if (wire > 0) gate_->acquire(wire);
     if (staged.empty()) return true;
     if (channel_) channel_->retain_batch(staged);
-    auto items =
-        std::make_shared<std::vector<StageWorker::Item>>(std::move(staged));
-    staged = {};
-    StageWorker* target = target_;
-    const bool stamp = stamp_queued_;
-    shaper_->deliver_after(extra, [target, items, stamp] {
-      if (stamp) {
-        const TimePoint t = target->now();
-        for (StageWorker::Item& it : *items) it.queued_at = t;
-      }
-      target->queue().push_all(*items);
-    });
+    const std::uint64_t token =
+        transit_.check_in(staged, target_, stamp_queued_);
+    shaper_->deliver_after(extra, &transit_, token);
     return true;
   }
 
   void run_loop() {
+    if (pin_core_ >= 0) pin_current_thread_to_core(pin_core_);
     tracer_active_ = obs::PacketTracer::global().active();
-    stamp_queued_ =
-        tracer_active_ || obs::Profiler::global().enabled();
+    profile_active_ = obs::Profiler::global().enabled();
+    stamp_queued_ = tracer_active_ || profile_active_;
+    // Per-packet direct push into the target ring (mirrors StageWorker's
+    // route.direct): clean unshaped flow, no retention, no profiler
+    // stamping, SPSC inbox. The throttle is re-checked per packet.
+    const bool direct = shaper_ == nullptr && channel_ == nullptr &&
+                        !profile_active_ && target_->queue().spsc();
+    bool wake_pending = false;
     const std::string trace_name = "source:" + std::to_string(spec_.stream);
     const std::size_t max_batch = std::max<std::size_t>(
         engine_.config_.batching.max_batch, 1);
     std::vector<StageWorker::Item> staged;
     staged.reserve(max_batch);
     std::size_t staged_wire = 0;
+    // Packets produced since the last flush boundary — counts direct pushes
+    // too, so pacing/flush cadence is unchanged by the fast path.
+    std::size_t batch_fill = 0;
     // Pacing debt: inter-arrival gaps accumulate while a batch builds and
     // are slept in one go at each flush. A flush is forced whenever the
     // debt reaches max_source_delay, so slow sources (gap >= the bound)
     // still emit packet-by-packet and pacing error stays under one bound.
     Duration owed_sleep = 0;
+    // Hoisted divide: the uniform inter-arrival gap is loop-invariant.
+    const Duration uniform_gap = 1.0 / spec_.rate_hz;
     std::uint64_t seq = 0;
+    // Local sampling head (see the tracer_active_ block below): 0 means
+    // "sample the next packet", so the first packet anchors the trace.
+    std::uint64_t sample_countdown = 0;
     // Default (generator-less) sources send identical zero-filled payloads:
     // build the buffer once and alias it into every packet — a refcount
     // bump instead of an allocation. Any downstream mutation detaches via
     // COW, so sharing is invisible to processors.
     ByteBuffer proto(spec_.packet_bytes);
     const TimePoint start = clock_.now();
+    // One clock read per flushed batch, not per packet: packets staged in
+    // the same batch share a created_at stamp (skew bounded by one batch
+    // build — microseconds at hot rates) and the horizon check rides the
+    // same cached timestamp.
+    TimePoint batch_now = start;
     while (!stop_.load(std::memory_order_acquire)) {
       if (spec_.total_packets != 0 && seq >= spec_.total_packets) break;
-      if (horizon_ > 0 && clock_.now() - start >= horizon_) break;
+      if (horizon_ > 0 && batch_now - start >= horizon_) break;
       Packet packet;
       if (spec_.generator) {
         packet = spec_.generator(seq, rng_);
@@ -1509,33 +1807,70 @@ class RtEngine::SourceWorker {
       }
       packet.stream = spec_.stream;
       packet.sequence = seq;
-      packet.created_at = clock_.now();
+      packet.created_at = batch_now;
       if (tracer_active_) {
         // Causal sampling decision is made exactly once, at the origin; the
         // context then rides the packet through fan-out, retention, replay
-        // and failover re-delivery. Hop 0 anchors the Perfetto flow.
-        packet.trace = obs::PacketTracer::global().maybe_sample();
-        if (packet.trace.sampled()) {
+        // and failover re-delivery. Hop 0 anchors the Perfetto flow. The
+        // 1-in-period head runs on a source-local countdown so unsampled
+        // packets — the 1023-in-1024 common case — pay one decrement, not a
+        // shared fetch_add + modulo (which used to be the single biggest
+        // tracing cost at millions of packets per second).
+        if (sample_countdown == 0) {
+          packet.trace = obs::PacketTracer::global().sample_now();
+          sample_countdown = obs::PacketTracer::global().sample_period();
           GATES_TRACE(.time = packet.created_at,
                       .kind = obs::TraceKind::kPacketHop,
                       .component = trace_name, .detail = "emit",
                       .trace_id = packet.trace.trace_id,
                       .hop = packet.trace.hop);
         }
+        --sample_countdown;
       }
       ++seq;
-      staged_wire += engine_.config_.wire.wire_size(packet.payload_bytes(),
-                                                    packet.records);
-      staged.push_back({std::move(packet), nullptr, 0});
+      ++batch_fill;
+      bool direct_done = false;
+      if (direct && staged.empty() && gate_->unthrottled()) {
+        TimePoint queued_at = 0;
+        if (tracer_active_ && packet.trace.sampled()) {
+          queued_at = clock_.now();
+        }
+        direct_done = target_->queue().try_produce([&](StageWorker::Item& s) {
+          s.packet = std::move(packet);
+          s.origin = nullptr;
+          s.seq = 0;
+          s.queued_at = queued_at;
+        });
+        wake_pending |= direct_done;  // full ring: stage it instead
+      }
+      if (!direct_done) {
+        staged_wire += engine_.config_.wire.wire_size(packet.payload_bytes(),
+                                                      packet.records);
+        staged.push_back({std::move(packet), nullptr, 0});
+      }
       owed_sleep += spec_.poisson ? rng_.exponential(spec_.rate_hz)
-                                  : 1.0 / spec_.rate_hz;
-      if (staged.size() >= max_batch ||
+                                  : uniform_gap;
+      if (batch_fill >= max_batch ||
           owed_sleep >= engine_.config_.batching.max_source_delay) {
+        batch_fill = 0;
+        // Wake before the (possibly blocking) staged flush: a consumer
+        // still parked across un-woken direct pushes must start draining
+        // before this thread can afford to park on a full ring.
+        if (wake_pending) {
+          wake_pending = false;
+          target_->queue().wake_consumer();
+        }
         if (!flush(staged, staged_wire)) return finish_eos();
-        sleep_seconds(owed_sleep);
+        // Settle the accumulated inter-arrival debt. precise_sleep holds
+        // sub-millisecond gaps that sleep_for's timer granularity would
+        // undershoot — high-rate paced sources used to drift slow because
+        // each settle overslept and the debt ledger never saw it.
+        precise_sleep(owed_sleep);
         owed_sleep = 0;
+        batch_now = clock_.now();
       }
     }
+    if (wake_pending) target_->queue().wake_consumer();
     flush(staged, staged_wire);
     finish_eos();
   }
@@ -1562,16 +1897,21 @@ class RtEngine::SourceWorker {
   const SourceSpec& spec_;
   StageWorker* target_;
   std::shared_ptr<ThrottleGate> gate_;
+  /// Declared before shaper_ so in-flight token deliveries drain (shaper
+  /// teardown) while the pool is still alive.
+  TransitPool transit_;
   std::shared_ptr<net::LinkShaper> shaper_;
   std::shared_ptr<ReplayChannel> channel_;
   Rng rng_;
   const Clock& clock_;
   std::thread thread_;
   Duration horizon_ = 0;
+  int pin_core_ = -1;
   std::atomic<bool> stop_{false};
   // Set at the top of run_loop (source thread), read only by that thread
   // and the flush helpers it calls.
   bool tracer_active_ = false;
+  bool profile_active_ = false;
   bool stamp_queued_ = false;
 };
 
@@ -1758,9 +2098,64 @@ Status RtEngine::setup() {
       if (producers[i] == 1) stages_[i]->enable_spsc();
     }
   }
+  // Thread-to-core placement: resolve each pipeline node's core list, then
+  // hand it to the workers hosted there (threads pin themselves at loop
+  // start). Explicit per-node lists come from the config (grid XML `cores`
+  // attribute); otherwise the process's allowed cores are partitioned
+  // contiguously across the nodes in use, so co-hosted stages share a
+  // cache domain and distinct nodes do not migrate onto each other.
+  if (config_.thread_placement.pin) {
+    std::set<NodeId> nodes;
+    for (const NodeId n : placement_.stage_nodes) nodes.insert(n);
+    for (const auto& src : spec_.sources) nodes.insert(src.location);
+    const auto& explicit_cores = config_.thread_placement.node_cores;
+    bool have_explicit = false;
+    for (const auto& list : explicit_cores) have_explicit |= !list.empty();
+    std::map<NodeId, std::vector<int>> node_cores;
+    if (have_explicit) {
+      for (const NodeId n : nodes) {
+        if (static_cast<std::size_t>(n) < explicit_cores.size()) {
+          node_cores[n] = explicit_cores[static_cast<std::size_t>(n)];
+        }
+      }
+    } else {
+      const int hw = hardware_core_count();
+      const std::size_t parts = nodes.size();
+      std::size_t idx = 0;
+      for (const NodeId n : nodes) {
+        const int begin = static_cast<int>(idx * hw / parts);
+        const int end = static_cast<int>((idx + 1) * hw / parts);
+        for (int c = begin; c < end; ++c) node_cores[n].push_back(c);
+        // More nodes than cores: share, don't leave a node coreless.
+        if (node_cores[n].empty()) {
+          node_cores[n].push_back(static_cast<int>(idx) % hw);
+        }
+        ++idx;
+      }
+    }
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      auto it = node_cores.find(placement_.stage_nodes[i]);
+      if (it != node_cores.end() && !it->second.empty()) {
+        stages_[i]->set_pin_cores(it->second);
+      }
+    }
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      auto it = node_cores.find(spec_.sources[i].location);
+      if (it != node_cores.end() && !it->second.empty()) {
+        sources_[i]->set_pin_core(it->second[i % it->second.size()]);
+      }
+    }
+  }
   for (auto& stage : stages_) stage->init();
   setup_done_ = true;
   return Status::ok();
+}
+
+void RtEngine::notify_stage_finished() {
+  // The lock pairs the notify with the control loop's predicate check so a
+  // finish landing between check and wait cannot be missed.
+  std::lock_guard<std::mutex> lock(done_mu_);
+  done_cv_.notify_all();
 }
 
 Status RtEngine::run() { return execute(0); }
@@ -1770,6 +2165,11 @@ Status RtEngine::run_for(Duration seconds) { return execute(seconds); }
 Status RtEngine::execute(Duration source_horizon) {
   if (auto s = setup(); !s.is_ok()) return s;
 
+  // Packet-path allocation accounting is process-global (the arena and the
+  // COW copy counter are shared), so the report uses start-to-end deltas.
+  const ArenaStats alloc_start = PayloadArena::global().stats();
+  const std::uint64_t copies_start = ByteBuffer::deep_copies();
+
   const TimePoint start = clock_.now();
   for (auto& stage : stages_) stage->start();
   for (auto& source : sources_) source->start(source_horizon);
@@ -1777,16 +2177,47 @@ Status RtEngine::execute(Duration source_horizon) {
   // Control loop doubles as the watchdog and the failure detector.
   const bool profiling = obs::Profiler::global().enabled();
   bool timed_out = false;
+  auto all_finished = [this] {
+    for (auto& stage : stages_) {
+      if (!stage->finished()) return false;
+    }
+    return true;
+  };
+  // Pool/arena counters, published once per control tick (handles resolved
+  // lazily so disabled-metrics runs never touch the registry).
+  obs::Counter* pool_acquired_ctr = nullptr;
+  obs::Counter* pool_recycled_ctr = nullptr;
+  obs::Counter* pool_fallback_ctr = nullptr;
+  auto publish_pool = [&] {
+    auto& reg = obs::MetricsRegistry::global();
+    if (!reg.enabled()) return;
+    if (pool_acquired_ctr == nullptr) {
+      pool_acquired_ctr = &reg.counter("gates_pool_acquired_total");
+      pool_recycled_ctr = &reg.counter("gates_pool_recycled_total");
+      pool_fallback_ctr = &reg.counter("gates_pool_heap_fallback_total");
+    }
+    const ArenaStats st = PayloadArena::global().stats();
+    pool_acquired_ctr->set(st.acquired);
+    pool_recycled_ctr->set(st.recycled);
+    pool_fallback_ctr->set(st.heap_fallback);
+  };
   while (true) {
-    sleep_seconds(config_.control_period);
+    {
+      // Wait out one control period — or less: workers signal done_cv_ when
+      // a stage finishes, so completion is detected promptly instead of up
+      // to a full period late (a visible bias on short benchmark runs).
+      std::unique_lock<std::mutex> lock(done_mu_);
+      done_cv_.wait_for(lock,
+                        std::chrono::duration<double>(config_.control_period),
+                        all_finished);
+    }
     handle_failures(start);
-    bool all_done = true;
-    for (auto& stage : stages_) all_done &= stage->finished();
-    if (all_done) break;
+    if (all_finished()) break;
     const TimePoint tick_start = clock_.now();
     for (auto& stage : stages_) {
       stage->control_step(config_.adaptation_enabled);
     }
+    publish_pool();
     if (profiling) {
       // Links accumulate planned hold time inside the shaper; publish the
       // running total (overwrite, not add) and fold the whole profile into
@@ -1833,6 +2264,19 @@ Status RtEngine::execute(Duration source_horizon) {
     obs::fold_profiler_into_metrics(clock_.now() - fold_start);
   }
   report_.attribution = obs::make_bottleneck_report();
+  const ArenaStats alloc_end = PayloadArena::global().stats();
+  report_.allocation.pool_acquired = alloc_end.acquired - alloc_start.acquired;
+  report_.allocation.pool_recycled = alloc_end.recycled - alloc_start.recycled;
+  report_.allocation.pool_heap_fallback =
+      alloc_end.heap_fallback - alloc_start.heap_fallback;
+  report_.allocation.pool_slab_allocs =
+      alloc_end.slab_allocs - alloc_start.slab_allocs;
+  report_.allocation.payload_deep_copies =
+      ByteBuffer::deep_copies() - copies_start;
+  for (const auto& s : report_.stages) {
+    report_.allocation.packets += s.packets_processed;
+  }
+  publish_pool();
   if (obs::MetricsRegistry::global().enabled()) {
     report_.metrics = obs::MetricsRegistry::global().snapshot();
   }

@@ -14,14 +14,17 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gates/common/clock.hpp"
+#include "gates/common/idle_strategy.hpp"
 #include "gates/common/status.hpp"
 #include "gates/core/failover.hpp"
 #include "gates/core/pipeline.hpp"
@@ -67,6 +70,26 @@ class RtEngine {
     /// fresh processor, and replays the unacknowledged tail of every
     /// inbound flow from bounded retention.
     FailoverConfig failover;
+    /// Thread-to-core placement. When `pin` is set, each pipeline node's
+    /// worker threads (sources, serial stages, a pool's dispatcher and
+    /// replicas) round-robin onto that node's core list, so a replica pool
+    /// lands on one NUMA node and keeps its rings in a shared LLC.
+    struct Placement {
+      /// Master switch (gates_run --pin). Off by default: pinning is a
+      /// deliberate act on a dedicated box, not a universal win.
+      bool pin = false;
+      /// Per pipeline-node core lists (index = node id, from the grid XML
+      /// `cores` attribute). Empty with pin on: the process's allowed cores
+      /// are partitioned contiguously across nodes. Pinning failures (bad
+      /// id, restrictive cpuset, non-Linux) leave threads unpinned.
+      std::vector<std::vector<int>> node_cores;
+    };
+    Placement thread_placement;
+    /// Idle behavior for hot-path waits: stage inbox full/empty and merge
+    /// window backpressure (spin -> yield -> park; see idle_strategy.hpp).
+    /// Defaults to the host-adapted balanced mode (no pause-spinning on a
+    /// single-core box, where spinning starves the peer).
+    IdleConfig idle = IdleConfig::for_host();
   };
 
   RtEngine(PipelineSpec spec, Placement placement, HostModel hosts,
@@ -139,6 +162,18 @@ class RtEngine {
   class SourceWorker;
   struct ThrottleGate;
   struct ReplayChannel;
+  /// One in-flight queue entry (packet + replay bookkeeping); shared by the
+  /// stage and source data paths.
+  struct FlowItem;
+  /// Pooled parking lot for batches in transit through a LinkShaper: slots
+  /// are recycled, so shaped sends stop allocating a shared_ptr'd vector
+  /// per batch (see net::TransitSink).
+  class TransitPool;
+
+  /// Workers signal this after setting their finished flag so the control
+  /// loop wakes immediately instead of discovering completion up to one
+  /// control period late (a visible bias on short benchmark runs).
+  void notify_stage_finished();
 
   Status setup();
   Status execute(Duration source_horizon);
@@ -189,6 +224,9 @@ class RtEngine {
   /// Atomic so health_json() (introspection thread) can check it against a
   /// concurrently running setup().
   std::atomic<bool> setup_done_{false};
+  /// Completion wakeup (see notify_stage_finished()).
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
   RunReport report_;
 };
 

@@ -17,12 +17,14 @@
 // its occupancy is bounded externally by the replay retention depth.
 //
 // Sleep/wake protocol (SPSC mode): pushes and pops are lock-free; a side
-// that finds the ring full (producer) or empty (consumer) registers itself
-// in a waiting flag, re-checks, and sleeps on a condvar. The opposite side
-// publishes its batch, issues a seq_cst fence, and only takes the wakeup
-// mutex when the flag says someone is actually asleep — so the steady-state
-// path never touches the mutex, and the store(batch)/load(flag) vs
-// store(flag)/load(batch) races that would lose a wakeup are fenced out.
+// that finds the ring full (producer) or empty (consumer) first runs its
+// IdleStrategy (spin→yield per the configured mode), and only when that
+// says to park does it register itself in a waiting flag, re-check, and
+// sleep on a condvar. The opposite side publishes its batch, issues a
+// seq_cst fence, and only takes the wakeup mutex when the flag says someone
+// is actually asleep — so the steady-state path never touches the mutex,
+// and the store(batch)/load(flag) vs store(flag)/load(batch) races that
+// would lose a wakeup are fenced out.
 #pragma once
 
 #include <atomic>
@@ -37,6 +39,7 @@
 
 #include "gates/common/bounded_queue.hpp"
 #include "gates/common/check.hpp"
+#include "gates/common/idle_strategy.hpp"
 #include "gates/common/spsc_ring.hpp"
 
 namespace gates::core {
@@ -56,6 +59,10 @@ class StageInbox {
   }
   bool spsc() const { return ring_ != nullptr; }
 
+  /// Sets the spin/yield/park behavior for full/empty waits (SPSC mode).
+  /// Call before concurrent use.
+  void set_idle(const IdleConfig& config) { idle_ = config; }
+
   // -- producer side (the single data-plane producer in SPSC mode) -----------
 
   /// Blocking push; returns false iff closed.
@@ -72,15 +79,19 @@ class StageInbox {
   std::size_t push_all(std::vector<T>& items) {
     if (ring_ == nullptr) return queue_.push_all(items);
     std::size_t pushed = 0;
+    IdleStrategy idle(idle_);
     while (pushed < items.size()) {
       if (closed_.load(std::memory_order_acquire)) break;
       const std::size_t n = ring_->try_push_n(items, pushed);
       pushed += n;
       if (n != 0) {
         wake(consumer_waiting_, not_empty_);
+        idle.reset();
         continue;
       }
-      // Ring full: register, re-check, sleep until the consumer frees slots.
+      // Ring full: spin/yield per the idle mode, then park until the
+      // consumer frees slots.
+      if (!idle.should_park()) continue;
       std::unique_lock<std::mutex> lock(sleep_mu_);
       producer_waiting_.store(true, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -89,10 +100,31 @@ class StageInbox {
                closed_.load(std::memory_order_acquire);
       });
       producer_waiting_.store(false, std::memory_order_relaxed);
+      idle.reset();
     }
     if (pushed == items.size()) items.clear();
     return pushed;
   }
+
+  /// Non-blocking single push (SPSC mode, producer thread): on success
+  /// `fill(slot)` writes the next ring slot in place; returns false — and
+  /// calls nothing — when the ring is full, the inbox is closed, or in
+  /// mutex mode. Deliberately does NOT wake the consumer: the per-push
+  /// seq_cst fence the wake protocol needs would cost more than the push
+  /// itself, so callers batch wakeups through wake_consumer() once per
+  /// flush boundary — and MUST call it before blocking themselves, or a
+  /// parked consumer sleeps through the pushed items.
+  template <typename F>
+  bool try_produce(F&& fill) {
+    if (ring_ == nullptr || closed_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    return ring_->try_produce(fill);
+  }
+
+  /// Pairs with try_produce(): one fence + parked-flag check covering every
+  /// un-woken push since the last call.
+  void wake_consumer() { wake(consumer_waiting_, not_empty_); }
 
   /// Control-plane push from any thread (replay re-injection, EOS on a
   /// crashed stage's behalf). Never blocks in SPSC mode; returns false iff
@@ -124,6 +156,49 @@ class StageInbox {
                         double timeout_seconds) {
     if (ring_ == nullptr) return queue_.drain_for(out, max, timeout_seconds);
     return drain_spsc(out, max, timeout_seconds);
+  }
+
+  /// In-place drain (SPSC mode only): applies `f` to up to `max` items
+  /// directly in the ring slots — no move into a batch vector — blocking
+  /// like drain() until at least one item is handled or the inbox is closed
+  /// and empty (returns 0). Aux-channel items are pulled into a scratch
+  /// buffer and handed to `f` outside the aux lock, so `f` may block (emit
+  /// downstream) without stalling control-plane producers.
+  template <typename F>
+  std::size_t consume(F&& f, std::size_t max) {
+    GATES_CHECK(ring_ != nullptr);
+    std::size_t n = take_in_place(f, max);
+    if (n != 0) {
+      wake(producer_waiting_, not_full_);
+      return n;
+    }
+    IdleStrategy idle(idle_);
+    while (!idle.should_park()) {
+      n = take_in_place(f, max);
+      if (n != 0) {
+        wake(producer_waiting_, not_full_);
+        return n;
+      }
+      if (closed_.load(std::memory_order_acquire)) return 0;
+    }
+    {
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      consumer_waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      // Unlike drain_spsc the predicate only peeks at sizes: `f` must not
+      // run under sleep_mu_ (it may park on a downstream inbox). Items seen
+      // by the predicate can only be removed by this thread, so the
+      // post-unlock take below cannot come up empty unless we closed.
+      not_empty_.wait(lock, [&] {
+        return !ring_->empty() ||
+               aux_size_.load(std::memory_order_acquire) != 0 ||
+               closed_.load(std::memory_order_acquire);
+      });
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    n = take_in_place(f, max);
+    if (n != 0) wake(producer_waiting_, not_full_);
+    return n;
   }
 
   // -- control ---------------------------------------------------------------
@@ -190,12 +265,46 @@ class StageInbox {
     return n;
   }
 
+  /// consume()'s lock-free grab: ring items in place, then aux via scratch.
+  template <typename F>
+  std::size_t take_in_place(F& f, std::size_t max) {
+    std::size_t n = ring_->consume_n(f, max);
+    if (n < max && aux_size_.load(std::memory_order_acquire) != 0) {
+      aux_scratch_.clear();
+      {
+        std::lock_guard<std::mutex> lock(aux_mu_);
+        while (n + aux_scratch_.size() < max && !aux_.empty()) {
+          aux_scratch_.push_back(std::move(aux_.front()));
+          aux_.pop_front();
+        }
+        aux_size_.store(aux_.size(), std::memory_order_release);
+      }
+      for (T& item : aux_scratch_) f(item);
+      n += aux_scratch_.size();
+      aux_scratch_.clear();
+    }
+    return n;
+  }
+
   std::size_t drain_spsc(std::vector<T>& out, std::size_t max,
                          double timeout_seconds) {
     std::size_t n = take(out, max);
     if (n != 0) {
       wake(producer_waiting_, not_full_);
       return n;
+    }
+    // Spin/yield phase before parking. Skipped for timed drains: those are
+    // failover-beat polls where latency is bounded by the timeout anyway.
+    if (timeout_seconds < 0) {
+      IdleStrategy idle(idle_);
+      while (!idle.should_park()) {
+        n = take(out, max);
+        if (n != 0) {
+          wake(producer_waiting_, not_full_);
+          return n;
+        }
+        if (closed_.load(std::memory_order_acquire)) return 0;
+      }
     }
     std::unique_lock<std::mutex> lock(sleep_mu_);
     consumer_waiting_.store(true, std::memory_order_relaxed);
@@ -229,18 +338,27 @@ class StageInbox {
   const std::size_t capacity_;
   BoundedQueue<T> queue_;  // mutex mode (also holds capacity semantics)
 
-  // SPSC mode state; unused (ring_ == nullptr) in mutex mode.
+  // SPSC mode state; unused (ring_ == nullptr) in mutex mode. Read-mostly
+  // fields (ring_, idle_, closed_) share a line; the waiting flags each get
+  // their own line because the *peer* polls them on every publish — a flag
+  // sharing a line with state its owner writes per-batch would ping-pong.
   std::unique_ptr<SpscRing<T>> ring_;
+  IdleConfig idle_;
   std::atomic<bool> closed_{false};
-  std::mutex sleep_mu_;
+  alignas(detail::kCacheLine) std::atomic<bool> consumer_waiting_{false};
+  alignas(detail::kCacheLine) std::atomic<bool> producer_waiting_{false};
+  alignas(detail::kCacheLine) std::mutex sleep_mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::atomic<bool> consumer_waiting_{false};
-  std::atomic<bool> producer_waiting_{false};
   mutable std::mutex aux_mu_;
   std::deque<T> aux_;
   std::atomic<std::size_t> aux_size_{0};
+  /// Consumer-thread scratch for consume()'s aux hand-off.
+  std::vector<T> aux_scratch_;
 };
+
+static_assert(alignof(StageInbox<int>) == detail::kCacheLine,
+              "waiting flags must not share a cache line across sides");
 
 /// Order-preserving merge window for a replicated stage.
 ///
@@ -274,9 +392,24 @@ class ReorderMerge {
     GATES_CHECK(window > 0);
   }
 
+  /// Sets the spin/yield/park behavior for acquire() waits. Call before
+  /// concurrent use.
+  void set_idle(const IdleConfig& config) { idle_ = config; }
+
   /// Dispatcher side: waits for sequence `seq` to fit in the window.
   /// Returns false iff closed.
   bool acquire(std::uint64_t seq) {
+    // Fast path off the published release point: no mutex while the window
+    // has room. The lock-free true return is safe because every later
+    // dispatcher action on this slot (complete()) re-synchronizes on mu_,
+    // and base_ only grows — a stale read errs toward waiting.
+    IdleStrategy idle(idle_);
+    while (!closed_pub_.load(std::memory_order_acquire)) {
+      if (seq < base_pub_.load(std::memory_order_acquire) + window_) {
+        return true;
+      }
+      if (idle.should_park()) break;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] {
       return seq < base_ + window_ || closed_;
@@ -313,6 +446,7 @@ class ReorderMerge {
     slot.value = C{};
     slot.filled = false;
     ++base_;
+    base_pub_.store(base_, std::memory_order_release);
     lock.unlock();
     not_full_.notify_all();
     return out;
@@ -330,6 +464,7 @@ class ReorderMerge {
     {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
+      closed_pub_.store(true, std::memory_order_release);
     }
     not_full_.notify_all();
   }
@@ -343,7 +478,9 @@ class ReorderMerge {
       slot.filled = false;
     }
     base_ = 0;
+    base_pub_.store(0, std::memory_order_release);
     closed_ = false;
+    closed_pub_.store(false, std::memory_order_release);
     releasing_ = false;
   }
 
@@ -361,12 +498,20 @@ class ReorderMerge {
   };
 
   const std::size_t window_;
+  IdleConfig idle_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::vector<Slot> slots_;
   std::uint64_t base_ = 0;
   bool closed_ = false;
   bool releasing_ = false;
+  // Dispatcher-polled mirrors of base_/closed_, on their own line so the
+  // acquire() spin doesn't contend with the mutex-guarded release state.
+  alignas(detail::kCacheLine) std::atomic<std::uint64_t> base_pub_{0};
+  std::atomic<bool> closed_pub_{false};
 };
+
+static_assert(alignof(ReorderMerge<int>) == detail::kCacheLine,
+              "acquire() spin mirrors must sit on their own cache line");
 
 }  // namespace gates::core

@@ -128,6 +128,14 @@ StatusOr<GridConfig> parse_grid_config(const std::string& xml_text) {
       return invalid_argument("grid node " + std::to_string(i) +
                               " has non-positive cpu or memory");
     }
+    if (auto cores = e.attr("cores")) {
+      if (!parse_core_list(*cores, resources.cores)) {
+        return invalid_argument(
+            "grid node " + std::to_string(i) + " has malformed cores list '" +
+            *cores + "' (expected e.g. \"0,2,4-7\": non-negative, ascending "
+            "ranges, no duplicates)");
+      }
+    }
     const NodeId node = config.directory.register_node(
         e.attr_or("hostname", "node" + std::to_string(i)), resources);
     if (auto avail = e.attr("available")) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "gates/common/types.hpp"
 
@@ -14,6 +15,10 @@ struct ResourceSpec {
   double memory_mb = 1024;
   Bandwidth egress_bw = 1e8;   // bytes/second
   Bandwidth ingress_bw = 1e8;  // bytes/second
+  /// Host cores this node's stage threads may be pinned to (grid XML
+  /// `cores="0,2,4-7"`). Empty: no explicit placement; with pinning on the
+  /// engine partitions the process's allowed cores instead.
+  std::vector<int> cores;
 };
 
 struct GridNode {

@@ -45,24 +45,50 @@ LinkShaper::Plan LinkShaper::plan_send() {
   return plan;
 }
 
+void LinkShaper::enqueue_locked(TimePoint release, Pending pending) {
+  pending.release = release;
+  last_release_ = release;
+  queue_.push_back(std::move(pending));
+  cv_.notify_all();
+}
+
 void LinkShaper::deliver_after(Duration extra, std::function<void()> deliver) {
   std::lock_guard<std::mutex> lock(mu_);
-  const TimePoint now = clock_.now();
   // Monotone releases keep the flow FIFO: a jittered message holds back its
   // successors rather than being overtaken (see header).
-  const TimePoint release =
-      std::max(last_release_, now + latency_ + std::max(0.0, extra));
-  last_release_ = release;
-  queue_.push_back({release, std::move(deliver)});
-  cv_.notify_all();
+  const TimePoint release = std::max(
+      last_release_, clock_.now() + latency_ + std::max(0.0, extra));
+  Pending p;
+  p.deliver = std::move(deliver);
+  enqueue_locked(release, std::move(p));
+}
+
+void LinkShaper::deliver_after(Duration extra, TransitSink* sink,
+                               std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimePoint release = std::max(
+      last_release_, clock_.now() + latency_ + std::max(0.0, extra));
+  Pending p;
+  p.sink = sink;
+  p.token = token;
+  enqueue_locked(release, std::move(p));
 }
 
 void LinkShaper::deliver_in_order(std::function<void()> deliver) {
   std::lock_guard<std::mutex> lock(mu_);
   const TimePoint release = std::max(last_release_, clock_.now() + latency_);
-  last_release_ = release;
-  queue_.push_back({release, std::move(deliver)});
-  cv_.notify_all();
+  Pending p;
+  p.deliver = std::move(deliver);
+  enqueue_locked(release, std::move(p));
+}
+
+void LinkShaper::deliver_in_order(TransitSink* sink, std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimePoint release = std::max(last_release_, clock_.now() + latency_);
+  Pending p;
+  p.sink = sink;
+  p.token = token;
+  enqueue_locked(release, std::move(p));
 }
 
 void LinkShaper::set_spec(Duration latency, const ImpairmentSpec& impair) {
@@ -105,10 +131,14 @@ void LinkShaper::run() {
       cv_.wait_for(lock, std::chrono::duration<double>(head.release - now));
       continue;
     }
-    std::function<void()> deliver = std::move(head.deliver);
+    Pending pending = std::move(head);
     queue_.pop_front();
     lock.unlock();
-    deliver();
+    if (pending.sink != nullptr) {
+      pending.sink->deliver(pending.token);
+    } else {
+      pending.deliver();
+    }
     lock.lock();
   }
 }

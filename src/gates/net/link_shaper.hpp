@@ -37,6 +37,17 @@
 
 namespace gates::net {
 
+/// Heap-free delivery target for the data path: instead of binding a
+/// std::function per batch (one heap allocation each), senders register a
+/// long-lived sink and pass an opaque token (e.g. a pooled slot index) that
+/// deliver() resolves on the shaper thread. The sink must outlive the
+/// shaper's stop().
+class TransitSink {
+ public:
+  virtual ~TransitSink() = default;
+  virtual void deliver(std::uint64_t token) = 0;
+};
+
 class LinkShaper {
  public:
   struct Config {
@@ -83,11 +94,16 @@ class LinkShaper {
   /// latency + `extra` seconds. Release order is monotone: a message never
   /// releases before one scheduled earlier (per-flow FIFO).
   void deliver_after(Duration extra, std::function<void()> deliver);
+  /// Allocation-free overload: releases `sink->deliver(token)` instead of a
+  /// bound closure. The hot path (batch transit) uses this.
+  void deliver_after(Duration extra, TransitSink* sink, std::uint64_t token);
 
   /// Runs `deliver` after every previously scheduled delivery has released
   /// (zero extra delay beyond FIFO order) — used for EOS so termination is
   /// never subject to loss or jitter.
   void deliver_in_order(std::function<void()> deliver);
+  /// Allocation-free overload of deliver_in_order().
+  void deliver_in_order(TransitSink* sink, std::uint64_t token);
 
   /// Swaps the impairment profile mid-run (chaos transition). Keeps Rng and
   /// burst-channel state. Thread-safe.
@@ -103,9 +119,14 @@ class LinkShaper {
  private:
   struct Pending {
     TimePoint release;
+    /// Exactly one of the two delivery forms is set: sink+token (hot path,
+    /// no allocation) or a bound closure (EOS/control, rare).
+    TransitSink* sink = nullptr;
+    std::uint64_t token = 0;
     std::function<void()> deliver;
   };
 
+  void enqueue_locked(TimePoint release, Pending pending);
   void run();
 
   Config config_;

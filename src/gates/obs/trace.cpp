@@ -28,62 +28,121 @@ const char* trace_kind_name(TraceKind kind) {
   return "?";
 }
 
-TraceBuffer& TraceBuffer::global() {
-  static TraceBuffer buffer;
-  return buffer;
+namespace {
+// Constant-initialized (no static-init guard on the hot path) and never
+// destroyed (the union's no-op destructor skips the member): engine
+// threads may still emit while other statics unwind at exit.
+union BufferHolder {
+  constexpr BufferHolder() : buffer() {}
+  ~BufferHolder() {}
+  TraceBuffer buffer;
+};
+constinit BufferHolder g_trace_buffer;
+}  // namespace
+
+TraceBuffer& TraceBuffer::global() { return g_trace_buffer.buffer; }
+
+void TraceBuffer::grow_slots_locked(std::size_t needed) {
+  if (slot_count_.load(std::memory_order_relaxed) >= needed) return;
+  auto grown = std::make_unique<Slot[]>(needed);
+  Slot* old = slots_.load(std::memory_order_relaxed);
+  const std::size_t old_count = slot_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < old_count; ++i) {
+    if (old[i].ready.load(std::memory_order_acquire)) {
+      grown[i].event = std::move(old[i].event);
+      grown[i].ready.store(true, std::memory_order_relaxed);
+    }
+  }
+  slots_.store(grown.get(), std::memory_order_release);
+  slot_count_.store(needed, std::memory_order_release);
+  // The retired array stays alive (see header): an emit that loaded the old
+  // pointer may still be writing a slot there; its event is lost, not UB.
+  arrays_.push_back(std::move(grown));
 }
 
-TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
+void TraceBuffer::set_enabled(bool on) {
+  if (on) {
+    std::lock_guard<std::mutex> lock(admin_mu_);
+    grow_slots_locked(capacity_.load(std::memory_order_relaxed));
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
 
 void TraceBuffer::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
-  capacity_ = capacity;
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  // Shrinking only lowers the admission threshold (events already beyond it
+  // are kept); growing needs slots for the newly admissible tickets, but
+  // only once the buffer is live (enabled or previously allocated).
+  if (slots_.load(std::memory_order_relaxed) != nullptr) {
+    grow_slots_locked(capacity);
+  }
+  capacity_.store(capacity, std::memory_order_relaxed);
 }
 
 std::size_t TraceBuffer::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return capacity_;
+  return capacity_.load(std::memory_order_relaxed);
 }
 
 void TraceBuffer::emit(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (events_.size() >= capacity_) {
-    ++dropped_;
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= capacity_.load(std::memory_order_relaxed) ||
+      ticket >= slot_count_.load(std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ++by_kind_[static_cast<std::size_t>(event.kind)];
-  events_.push_back(std::move(event));
+  Slot& slot = slots_.load(std::memory_order_relaxed)[ticket];
+  by_kind_[static_cast<std::size_t>(event.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  slot.event = std::move(event);
+  slot.ready.store(true, std::memory_order_release);
 }
 
 std::vector<TraceEvent> TraceBuffer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  std::vector<TraceEvent> out;
+  Slot* slots = slots_.load(std::memory_order_relaxed);
+  const std::size_t count = slot_count_.load(std::memory_order_relaxed);
+  out.reserve(accepted_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < count; ++i) {
+    if (slots[i].ready.load(std::memory_order_acquire)) {
+      out.push_back(slots[i].event);
+    }
+  }
+  return out;
 }
 
 std::uint64_t TraceBuffer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dropped_;
+  return dropped_.load(std::memory_order_relaxed);
 }
 
 TraceSummary TraceBuffer::summary() const {
-  std::lock_guard<std::mutex> lock(mu_);
   TraceSummary s;
-  s.emitted = events_.size();
-  s.dropped = dropped_;
+  s.emitted = accepted_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kTraceKindCount; ++i) {
-    if (by_kind_[i] > 0) {
-      s.by_kind.emplace_back(trace_kind_name(static_cast<TraceKind>(i)),
-                             by_kind_[i]);
+    const std::uint64_t n = by_kind_[i].load(std::memory_order_relaxed);
+    if (n > 0) {
+      s.by_kind.emplace_back(trace_kind_name(static_cast<TraceKind>(i)), n);
     }
   }
   return s;
 }
 
 void TraceBuffer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
-  dropped_ = 0;
-  for (auto& n : by_kind_) n = 0;
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  Slot* slots = slots_.load(std::memory_order_relaxed);
+  const std::size_t count = slot_count_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (slots[i].ready.load(std::memory_order_relaxed)) {
+      slots[i].event = TraceEvent{};
+      slots[i].ready.store(false, std::memory_order_relaxed);
+    }
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  accepted_.store(0, std::memory_order_relaxed);
+  for (auto& n : by_kind_) n.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gates::obs

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -92,33 +93,68 @@ class TraceBuffer {
  public:
   static constexpr std::size_t kDefaultCapacity = 65536;
 
-  /// Process-wide buffer used by the GATES_TRACE macro.
+  /// Process-wide buffer used by the GATES_TRACE macro. Constant-initialized
+  /// (constinit in trace.cpp) so the per-packet enabled() check compiles to
+  /// a bare load — a function-local static would re-check its init guard on
+  /// every GATES_TRACE site on the hot path.
   static TraceBuffer& global();
 
-  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+  constexpr explicit TraceBuffer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  /// Enabling allocates the slot array lazily (a disabled buffer costs no
+  /// memory beyond the object itself).
+  void set_enabled(bool on);
   /// Applies to subsequent emits; existing events beyond the new capacity
   /// are kept (capacity bounds growth, it is not a truncation).
   void set_capacity(std::size_t capacity);
   std::size_t capacity() const;
 
+  /// Lock-free: a relaxed ticket fetch_add admits the event into its slot
+  /// (or counts it dropped once the buffer is full), then a release store
+  /// publishes the slot to readers. Events from several threads never
+  /// serialize on a mutex — under causal packet sampling every pipeline
+  /// thread emits for the same sampled packet within microseconds, and the
+  /// futex convoy the old mutex produced there cost more than the rest of
+  /// the packet's journey.
   void emit(TraceEvent event);
 
+  /// Published events in emission (ticket) order. Safe against concurrent
+  /// emits (the introspection endpoint reads a live buffer): an event still
+  /// being written is simply not visible yet.
   std::vector<TraceEvent> events() const;
   std::uint64_t dropped() const;
   TraceSummary summary() const;
-  /// Clears events and counters; enabled/capacity are preserved.
+  /// Clears events and counters; enabled/capacity are preserved. Unlike
+  /// emit()/events() this must not race in-flight emits — callers clear
+  /// between runs, never during one.
   void clear();
 
  private:
-  mutable std::mutex mu_;
+  struct Slot {
+    std::atomic<bool> ready{false};
+    TraceEvent event;
+  };
+
+  /// Ensures the slot array covers `capacity_`; admin_mu_ held.
+  void grow_slots_locked(std::size_t needed);
+
   std::atomic<bool> enabled_{false};
-  std::size_t capacity_;
-  std::vector<TraceEvent> events_;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t by_kind_[kTraceKindCount] = {};
+  /// Admission threshold (can shrink below the array size; never above).
+  std::atomic<std::size_t> capacity_;
+  /// Next emission ticket; tickets >= capacity_ are dropped.
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> by_kind_[kTraceKindCount] = {};
+  /// Published slot array (null until first enable). Readers and writers
+  /// load it without admin_mu_; grow retires the old array instead of
+  /// freeing it so stragglers never touch freed memory.
+  std::atomic<Slot*> slots_{nullptr};
+  std::atomic<std::size_t> slot_count_{0};
+  mutable std::mutex admin_mu_;
+  std::vector<std::unique_ptr<Slot[]>> arrays_;  // current + retired
 };
 
 }  // namespace gates::obs

@@ -59,6 +59,15 @@ class PacketTracer {
     return {next_id_.fetch_add(1, std::memory_order_relaxed) + 1, 0};
   }
 
+  /// Source-thread fast path: the caller keeps a thread-local 1-in-period
+  /// countdown and calls this only for the packets it actually samples, so
+  /// unsampled packets (the 1023-in-1024 common case) touch no shared
+  /// counter at all. Semantics match maybe_sample() with one head per
+  /// source: the first packet is sampled, then every period-th.
+  TraceContext sample_now() {
+    return {next_id_.fetch_add(1, std::memory_order_relaxed) + 1, 0};
+  }
+
   std::uint64_t sampled_count() const {
     return next_id_.load(std::memory_order_relaxed);
   }

@@ -1,0 +1,144 @@
+#include "gates/common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace gates {
+namespace {
+
+// Instance arenas (no thread caches — depot path only) keep these tests
+// hermetic: the global() arena's counters are polluted by every other test
+// in the binary.
+
+TEST(Arena, SizeClassRoundingAndBlockShape) {
+  PayloadArena arena;
+  struct Case {
+    std::size_t bytes;
+    std::size_t capacity;
+  };
+  for (const Case c : {Case{1, 64}, Case{64, 64}, Case{65, 256},
+                       Case{1000, 1024}, Case{65536, 65536}}) {
+    PayloadBlock* block = arena.acquire(c.bytes, false);
+    ASSERT_NE(block, nullptr);
+    EXPECT_EQ(block->size, c.bytes);
+    EXPECT_EQ(block->capacity, c.capacity);
+    EXPECT_EQ(block->refs.load(), 1u);
+    EXPECT_NE(block->size_class, PayloadArena::kHeapClass);
+    arena.release(block);
+  }
+  EXPECT_EQ(arena.stats().heap_fallback, 0u);
+}
+
+TEST(Arena, OversizeRequestFallsBackToHeap) {
+  PayloadArena arena;
+  PayloadBlock* block = arena.acquire(65537, false);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->size_class, PayloadArena::kHeapClass);
+  EXPECT_GE(block->capacity, 65537u);
+  block->data()[65536] = 0xAB;  // the whole payload is writable
+  arena.release(block);
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.heap_fallback, 1u);
+  EXPECT_EQ(stats.released, 1u);
+  EXPECT_EQ(stats.slab_allocs, 0u);
+}
+
+TEST(Arena, ByteLimitExhaustionFallsBackToHeapGracefully) {
+  PayloadArena arena;
+  arena.set_byte_limit(1);  // forbid even the first slab carve
+  PayloadBlock* block = arena.acquire(64, false);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->size_class, PayloadArena::kHeapClass);
+  std::memset(block->data(), 0x5A, block->size);
+  arena.release(block);
+  ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.heap_fallback, 1u);
+  EXPECT_EQ(stats.slab_allocs, 0u);
+  EXPECT_EQ(arena.slab_bytes(), 0u);
+  // Lifting the limit restores slab service.
+  arena.set_byte_limit(0);
+  block = arena.acquire(64, false);
+  ASSERT_NE(block, nullptr);
+  EXPECT_NE(block->size_class, PayloadArena::kHeapClass);
+  arena.release(block);
+  stats = arena.stats();
+  EXPECT_EQ(stats.heap_fallback, 1u);
+  EXPECT_EQ(stats.slab_allocs, 1u);
+  EXPECT_GT(arena.slab_bytes(), 0u);
+}
+
+TEST(Arena, SteadyStateChurnRecyclesWithoutHeapGrowth) {
+  PayloadArena arena;
+  // Warm-up: carve the one slab this churn needs.
+  arena.release(arena.acquire(256, false));
+  const ArenaStats warm = arena.stats();
+  for (int i = 0; i < 10000; ++i) {
+    PayloadBlock* block = arena.acquire(256, false);
+    ASSERT_NE(block, nullptr);
+    arena.release(block);
+  }
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.heap_allocations(), warm.heap_allocations())
+      << "steady-state churn must not touch the heap";
+  // >= 99% of all acquires (including the cold-start miss) were recycled.
+  EXPECT_GE(stats.hit_rate(), 0.99);
+  EXPECT_EQ(stats.acquired, stats.released);
+}
+
+TEST(Arena, ZeroFillCleansRecycledBlocks) {
+  PayloadArena arena;
+  PayloadBlock* block = arena.acquire(64, false);
+  std::memset(block->data(), 0xFF, 64);
+  arena.release(block);
+  block = arena.acquire(64, true);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(block->data()[i], 0) << "stale byte at " << i;
+  }
+  arena.release(block);
+}
+
+// release() means "the last reference is gone" — the refcount decrement is
+// the handle layer's job (ByteBuffer), which calls release() only on the
+// 1 -> 0 transition. add_ref is the matching bump for handle copies.
+TEST(Arena, AddRefIsHandleLayerBookkeeping) {
+  PayloadArena arena;
+  PayloadBlock* block = arena.acquire(64, false);
+  PayloadArena::add_ref(block);
+  EXPECT_EQ(block->refs.load(), 2u);
+  EXPECT_EQ(block->refs.fetch_sub(1, std::memory_order_acq_rel), 2u);
+  EXPECT_EQ(arena.stats().released, 0u);  // a ref remains; no release yet
+  EXPECT_EQ(block->refs.fetch_sub(1, std::memory_order_acq_rel), 1u);
+  arena.release(block);
+  EXPECT_EQ(arena.stats().released, 1u);
+}
+
+// Producer-allocates/consumer-frees: blocks released on one thread must be
+// acquirable from another through the depot, not accumulate forever.
+TEST(Arena, CrossThreadRecycleThroughDepot) {
+  PayloadArena arena;
+  constexpr int kRounds = 50;
+  constexpr int kBatch = 64;  // spans two slabs of the 64B class
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<PayloadBlock*> blocks;
+    std::thread producer([&] {
+      for (int i = 0; i < kBatch; ++i) {
+        blocks.push_back(arena.acquire(64, false));
+      }
+    });
+    producer.join();
+    for (PayloadBlock* block : blocks) arena.release(block);
+  }
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.acquired, static_cast<std::uint64_t>(kRounds * kBatch));
+  EXPECT_EQ(stats.released, stats.acquired);
+  // All rounds after the first recycle the first rounds' blocks.
+  EXPECT_GE(stats.hit_rate(), 0.95);
+  // Slab growth happened only on round one.
+  EXPECT_LE(stats.slab_allocs, 2u + 1u);
+}
+
+}  // namespace
+}  // namespace gates

@@ -52,6 +52,24 @@ TEST(ByteBuffer, MutationDetachesAndPreservesOriginal) {
   EXPECT_FALSE(b.shares_storage(a));
 }
 
+// Storage comes from the global PayloadArena: fresh buffers and COW detach
+// clones both count as arena acquires, and the last handle dropping returns
+// the block (released rises in step). Deltas only — the global arena's
+// counters accumulate across the whole test binary.
+TEST(ByteBuffer, StorageAndCowDetachDrawFromArena) {
+  const ArenaStats before = PayloadArena::global().stats();
+  {
+    auto a = ByteBuffer::from_string("arena-backed payload");
+    ByteBuffer b = a;  // refcount bump, no acquire
+    EXPECT_EQ(PayloadArena::global().stats().acquired, before.acquired + 1);
+    b.data()[0] = 'A';  // COW detach clones via the arena
+    EXPECT_EQ(PayloadArena::global().stats().acquired, before.acquired + 2);
+  }
+  const ArenaStats after = PayloadArena::global().stats();
+  EXPECT_EQ(after.released, before.released + 2);
+  EXPECT_EQ(after.heap_fallback, before.heap_fallback);
+}
+
 TEST(ByteBuffer, MutatingUniqueHandleDoesNotCopy) {
   auto a = ByteBuffer::from_string("solo");
   const std::uint64_t before = ByteBuffer::deep_copies();

@@ -1,0 +1,79 @@
+#include "gates/common/idle_strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace gates {
+namespace {
+
+// These tests construct explicit configs: for_host() adapts to the box it
+// runs on, so asserting exact step sequences against it would be flaky
+// across machines.
+
+TEST(IdleStrategy, SpinModeNeverParks) {
+  IdleConfig config = IdleConfig::spin();
+  config.spin_limit = 4;
+  IdleStrategy idle(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(idle.should_park());
+  }
+}
+
+TEST(IdleStrategy, BalancedEscalatesSpinYieldPark) {
+  IdleConfig config;  // kBalanced
+  config.spin_limit = 3;
+  config.yield_limit = 2;
+  IdleStrategy idle(config);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(idle.should_park()) << "step " << i;
+  }
+  EXPECT_TRUE(idle.should_park());
+  EXPECT_TRUE(idle.should_park());  // stays parked until progress
+  idle.reset();
+  EXPECT_FALSE(idle.should_park());
+}
+
+TEST(IdleStrategy, BalancedWithZeroSpinSkipsStraightToYields) {
+  IdleConfig config;
+  config.spin_limit = 0;  // the single-core for_host() shape
+  config.yield_limit = 2;
+  IdleStrategy idle(config);
+  EXPECT_FALSE(idle.should_park());
+  EXPECT_FALSE(idle.should_park());
+  EXPECT_TRUE(idle.should_park());
+}
+
+TEST(IdleStrategy, ParkModeYieldsThenParks) {
+  IdleConfig config = IdleConfig::park();  // yield_limit = 1
+  IdleStrategy idle(config);
+  EXPECT_FALSE(idle.should_park());
+  EXPECT_TRUE(idle.should_park());
+  idle.reset();
+  EXPECT_FALSE(idle.should_park());
+}
+
+TEST(IdleStrategy, ForHostIsBalancedAndDropsSpinOnSingleCore) {
+  const IdleConfig config = IdleConfig::for_host();
+  EXPECT_EQ(config.mode, IdleConfig::kBalanced);
+  if (std::thread::hardware_concurrency() <= 1) {
+    EXPECT_EQ(config.spin_limit, 0u);
+  } else {
+    EXPECT_GT(config.spin_limit, 0u);
+  }
+}
+
+TEST(PreciseSleep, SleepsAtLeastTheRequestedDuration) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  precise_sleep(2e-3);
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  EXPECT_GE(elapsed, 2e-3);
+  precise_sleep(0);    // must return immediately
+  precise_sleep(-1);   // and tolerate negatives
+}
+
+}  // namespace
+}  // namespace gates

@@ -74,6 +74,30 @@ TEST(ParseBool, Variants) {
   EXPECT_FALSE(parse_bool("maybe", v));
 }
 
+TEST(ParseCoreList, SinglesRangesAndSorting) {
+  std::vector<int> cores;
+  EXPECT_TRUE(parse_core_list("0", cores));
+  EXPECT_EQ(cores, (std::vector<int>{0}));
+  EXPECT_TRUE(parse_core_list("0,2,4-7", cores));
+  EXPECT_EQ(cores, (std::vector<int>{0, 2, 4, 5, 6, 7}));
+  // Out-of-order input is normalized to ascending.
+  EXPECT_TRUE(parse_core_list(" 5 , 1-3 ", cores));
+  EXPECT_EQ(cores, (std::vector<int>{1, 2, 3, 5}));
+  // A one-core range is just that core.
+  EXPECT_TRUE(parse_core_list("3-3", cores));
+  EXPECT_EQ(cores, (std::vector<int>{3}));
+}
+
+TEST(ParseCoreList, RejectsMalformedAndClearsOut) {
+  std::vector<int> cores;
+  for (const char* bad :
+       {"", "  ", "a", "1,b", "-1", "0,-2", "7-4", "1-", "-",
+        "1,2,2", "0-3,2", "1..4"}) {
+    EXPECT_FALSE(parse_core_list(bad, cores)) << "accepted '" << bad << "'";
+    EXPECT_TRUE(cores.empty()) << "left residue for '" << bad << "'";
+  }
+}
+
 TEST(StrFormat, FormatsLikePrintf) {
   EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(str_format("%.2f", 1.234), "1.23");

@@ -116,6 +116,65 @@ INSTANTIATE_TEST_SUITE_P(MutexAndSpsc, StageInboxModes, ::testing::Bool(),
                            return info.param ? "Spsc" : "Mutex";
                          });
 
+// try_produce is the zero-move fast path: the fill callback writes the slot
+// in place, the consumer sees exactly what was written, and a full or
+// non-SPSC inbox refuses without invoking the callback.
+TEST(StageInboxSpsc, TryProduceFillsSlotsInPlace) {
+  StageInbox<int> inbox(4);
+  inbox.use_spsc();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(inbox.try_produce([&](int& slot) { slot = i * 10; }));
+  }
+  bool filled = false;
+  EXPECT_FALSE(inbox.try_produce([&](int& slot) {
+    slot = -1;
+    filled = true;
+  })) << "full ring must refuse";
+  EXPECT_FALSE(filled) << "refused produce must not run the fill callback";
+  inbox.wake_consumer();
+  std::vector<int> out;
+  EXPECT_EQ(inbox.drain(out, 8), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 10, 20, 30}));
+  // Draining freed slots; the fast path works again.
+  EXPECT_TRUE(inbox.try_produce([](int& slot) { slot = 99; }));
+}
+
+TEST(StageInbox, TryProduceRefusesInMutexModeAndWhenClosed) {
+  StageInbox<int> mutex_inbox(4);
+  EXPECT_FALSE(mutex_inbox.try_produce([](int& slot) { slot = 1; }));
+  StageInbox<int> closed(4);
+  closed.use_spsc();
+  closed.close();
+  EXPECT_FALSE(closed.try_produce([](int& slot) { slot = 1; }));
+}
+
+// Cross-thread: producer uses only try_produce + wake_consumer, consumer
+// uses blocking drains — the RtEngine direct-route handoff in miniature.
+TEST(StageInboxSpsc, TryProduceWakeConsumerRoundTrip) {
+  StageInbox<int> inbox(32);
+  inbox.use_spsc();
+  constexpr int kItems = 20000;
+  std::thread consumer([&] {
+    std::vector<int> out;
+    int expect = 0;
+    while (expect < kItems) {
+      out.clear();
+      inbox.drain(out, 16);
+      for (const int v : out) EXPECT_EQ(v, expect++);
+    }
+  });
+  for (int i = 0; i < kItems;) {
+    bool produced = false;
+    if (inbox.try_produce([&](int& slot) { slot = i; })) {
+      ++i;
+      produced = true;
+    }
+    inbox.wake_consumer();
+    if (!produced) std::this_thread::yield();
+  }
+  consumer.join();
+}
+
 // SPSC-specific: one producer thread, one consumer thread, a control thread
 // injecting aux items — the exact triangle the RtEngine runs. A TSan build
 // of this test validates the eventcount-style sleep/wake fences.

@@ -33,6 +33,17 @@ TEST(GridConfig, ParsesNodesLinksAndIngress) {
   EXPECT_DOUBLE_EQ(config->topology.shared_ingress(0)->bandwidth, 50e3);
 }
 
+TEST(GridConfig, ParsesCoresListPerNode) {
+  auto config = parse_grid_config(R"(<grid>
+    <node id="0" cores="0,2,4-7"/>
+    <node id="1"/>
+  </grid>)");
+  ASSERT_TRUE(config.ok()) << config.status().to_string();
+  EXPECT_EQ(config->directory.node(0)->resources.cores,
+            (std::vector<int>{0, 2, 4, 5, 6, 7}));
+  EXPECT_TRUE(config->directory.node(1)->resources.cores.empty());
+}
+
 TEST(GridConfig, HostModelFollowsNodes) {
   auto config = parse_grid_config(kGrid);
   ASSERT_TRUE(config.ok());
@@ -75,7 +86,14 @@ INSTANTIATE_TEST_SUITE_P(
                     "<shared-ingress node='3' bandwidth='1e3'/></grid>"},
         BadGridCase{"default_link_bad_latency",
                     "<grid><node id='0'/>"
-                    "<default-link bandwidth='1e3' latency='-1'/></grid>"}),
+                    "<default-link bandwidth='1e3' latency='-1'/></grid>"},
+        BadGridCase{"cores_negative", "<grid><node id='0' cores='-1'/></grid>"},
+        BadGridCase{"cores_reversed_range",
+                    "<grid><node id='0' cores='7-4'/></grid>"},
+        BadGridCase{"cores_duplicate",
+                    "<grid><node id='0' cores='0,1,1'/></grid>"},
+        BadGridCase{"cores_garbage",
+                    "<grid><node id='0' cores='0,two'/></grid>"}),
     [](const auto& info) { return info.param.name; });
 
 TEST(GridConfig, LinkInheritsDefaultLatency) {

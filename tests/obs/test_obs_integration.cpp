@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "gates/core/rt_engine.hpp"
 #include "gates/core/sim_engine.hpp"
 #include "gates/obs/metrics.hpp"
 #include "gates/obs/trace.hpp"
@@ -140,6 +141,62 @@ TEST(ObsIntegration, ParamAdjustEventsMatchControllerAndReport) {
     }
   }
   EXPECT_TRUE(saw_processed_metric);
+}
+
+// The RtEngine (the only engine with a real allocator on the data path)
+// exports the payload-pool counters and fills the report's allocation
+// accounting: packets flowed, nothing fell back to the heap, and the
+// per-packet heap-allocation figure the perf gate watches is ~0.
+TEST(ObsIntegration, RtEngineExportsPoolMetricsAndAllocationReport) {
+  ScopedTelemetry telemetry;
+
+  PipelineSpec spec;
+  StageSpec a;
+  a.name = "A";
+  a.factory = [] { return std::make_unique<Relay>(); };
+  StageSpec b;
+  b.name = "B";
+  b.factory = [] { return std::make_unique<Relay>(/*forward=*/false); };
+  spec.stages = {std::move(a), std::move(b)};
+  spec.edges = {{0, 1, 0}};
+  SourceSpec src;
+  src.rate_hz = 50000;
+  src.total_packets = 2000;
+  src.packet_bytes = 64;
+  spec.sources = {src};
+  Placement placement;
+  placement.stage_nodes = {0, 0};
+
+  RtEngine::Config cfg;
+  cfg.control_period = 0.02;
+  cfg.max_wall_time = 60;
+  cfg.adaptation_enabled = false;
+  RtEngine engine(spec, std::move(placement), {}, {}, cfg);
+  ASSERT_TRUE(engine.run().is_ok());
+  const RunReport& report = engine.report();
+  ASSERT_TRUE(report.completed);
+
+  bool saw_pool_acquired = false;
+  bool saw_pool_recycled = false;
+  bool saw_pool_fallback = false;
+  for (const obs::MetricSample& sample : report.metrics) {
+    // Pool counters are absolute arena totals (process-wide), so only
+    // presence and non-negativity are assertable here.
+    if (sample.key == "gates_pool_acquired_total") saw_pool_acquired = true;
+    if (sample.key == "gates_pool_recycled_total") saw_pool_recycled = true;
+    if (sample.key == "gates_pool_heap_fallback_total") {
+      saw_pool_fallback = true;
+      EXPECT_GE(sample.value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_pool_acquired);
+  EXPECT_TRUE(saw_pool_recycled);
+  EXPECT_TRUE(saw_pool_fallback);
+
+  const AllocationReport& alloc = report.allocation;
+  EXPECT_GT(alloc.packets, 0u);
+  EXPECT_EQ(alloc.pool_heap_fallback, 0u);
+  EXPECT_LT(alloc.allocations_per_packet(), 0.01);
 }
 
 TEST(ObsIntegration, NodeFailureEmitsDetectionAndFailoverSpan) {

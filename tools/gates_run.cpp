@@ -43,6 +43,11 @@
 //                           HTTP on 127.0.0.1:N while the run is live
 //   --emit-report-json FILE full RunReport as JSON
 //   --print-trajectories    print every (t, value) parameter sample
+//   --pin                   pin rt-engine threads to cores: the grid's
+//                           <node cores="0,2,4-7"> lists when given, else a
+//                           contiguous partition of the allowed cores
+//   --idle MODE             hot-path wait behavior: spin | balanced | park
+//                           (default: balanced, host-adapted)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -106,6 +111,13 @@ struct Options {
   std::uint64_t trace_sample = 0;  // 0 = causal packet tracing off
   int introspect_port = -1;  // -1 = no endpoint; 0 = ephemeral port
   bool print_trajectories = false;
+  /// Thread-to-core pinning (rt engine): stage/source/control threads are
+  /// pinned per the grid's <node cores="..."> lists, or a contiguous
+  /// partition of the process's allowed cores when no lists are given.
+  bool pin = false;
+  /// Idle strategy override for hot-path waits ("spin", "balanced",
+  /// "park"); empty keeps the host-adapted default.
+  std::string idle;
 };
 
 /// Parses "STAGE=N", e.g. "detect=4".
@@ -177,6 +189,7 @@ int usage(const char* argv0) {
                "       [--trace-sample N] [--attribution-out FILE] "
                "[--introspect-port N]\n"
                "       [--emit-report-json FILE] [--print-trajectories]\n"
+               "       [--pin] [--idle spin|balanced|park]\n"
                "chaos scenarios:",
                argv0);
   for (const std::string& name : gates::chaos::scenario_names()) {
@@ -311,6 +324,17 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.report_json_out = v;
     } else if (arg == "--print-trajectories") {
       options.print_trajectories = true;
+    } else if (arg == "--pin") {
+      options.pin = true;
+    } else if (arg == "--idle") {
+      const char* v = next();
+      if (!v) return false;
+      options.idle = v;
+      if (options.idle != "spin" && options.idle != "balanced" &&
+          options.idle != "park") {
+        std::fprintf(stderr, "--idle must be spin, balanced or park\n");
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return false;
@@ -637,6 +661,19 @@ int main(int argc, char** argv) {
     if (options.control_period) config.control_period = *options.control_period;
     config.failover.enabled = options.failover;
     config.failover.replay_buffer_packets = options.retention;
+    config.thread_placement.pin = options.pin;
+    if (options.pin) {
+      for (const auto& node : grid->directory.all_nodes()) {
+        config.thread_placement.node_cores.push_back(node.resources.cores);
+      }
+    }
+    if (options.idle == "spin") {
+      config.idle = IdleConfig::spin();
+    } else if (options.idle == "balanced") {
+      config.idle = IdleConfig::balanced();
+    } else if (options.idle == "park") {
+      config.idle = IdleConfig::park();
+    }
     core::RtEngine engine(app->pipeline, app->deployment.placement,
                           app->deployment.hosts, grid->topology, config);
     for (const auto& [node, t] : options.kill_nodes) {
