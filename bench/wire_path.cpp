@@ -1,0 +1,245 @@
+// Wire-path throughput: the same chain4 pipeline (pattern source -> three
+// passthroughs -> hashing sink, 256B payloads) run three ways —
+//
+//   wire_path/inproc/256B   one RtEngine, the packet_path baseline shape
+//   wire_path/tcp/256B      split across two gates_node daemons, batched
+//                           frames over localhost TCP
+//   wire_path/shm/256B      same split over the shared-memory ring pair
+//
+// Every variant must produce the identical HashSink digest (byte-for-byte
+// delivery order); the bench exits nonzero on a mismatch, making it a
+// correctness oracle as well as a perf probe. Throughput is packets over
+// the *sink-side* engine's execution time, so daemon spawn/deploy overhead
+// is excluded and the number isolates the transport hop itself.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "gates/apps/registration.hpp"
+#include "gates/apps/relay.hpp"
+#include "gates/core/rt_engine.hpp"
+#include "gates/grid/grid_config.hpp"
+#include "gates/grid/launcher.hpp"
+#include "gates/grid/node_remote.hpp"
+
+namespace gates::bench {
+namespace {
+
+const char* kGridXml = R"(
+<grid name="two">
+  <node id="0" hostname="proc0.local" cpu="1.0" memory-mb="4096"/>
+  <node id="1" hostname="proc1.local" cpu="1.0" memory-mb="4096"/>
+  <default-link bandwidth="1e13" latency="0"/>
+</grid>)";
+
+std::string chain4_xml(std::uint64_t count) {
+  char buf[2048];
+  // rate far above attainable throughput = run unpaced, like packet_path's
+  // infinite-rate sources.
+  std::snprintf(buf, sizeof(buf), R"(
+<application name="chain4">
+  <stages>
+    <stage name="s1" code="builtin://passthrough"><placement node="0"/></stage>
+    <stage name="s2" code="builtin://passthrough"><placement node="0"/></stage>
+    <stage name="s3" code="builtin://passthrough"><placement node="1"/></stage>
+    <stage name="sink" code="builtin://hash-sink"><placement node="1"/></stage>
+  </stages>
+  <edges>
+    <edge from="s1" to="s2"/>
+    <edge from="s2" to="s3"/>
+    <edge from="s3" to="sink"/>
+  </edges>
+  <sources>
+    <source name="src" stream="0" rate="1e12" count="%llu" target="s1"
+            node="0" type="pattern">
+      <param name="bytes" value="256"/>
+    </source>
+  </sources>
+</application>)",
+                static_cast<unsigned long long>(count));
+  return buf;
+}
+
+struct Measured {
+  bool ok = false;
+  double pkt_per_s = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t packets = 0;
+};
+
+Measured run_in_process(const std::string& app_xml, std::uint64_t count) {
+  auto grid_cfg = grid::parse_grid_config(kGridXml);
+  if (!grid_cfg.ok()) return {};
+  grid::RepositoryRegistry repos;
+  grid::Deployer deployer(grid_cfg->directory, repos,
+                          grid::ProcessorRegistry::global());
+  grid::Launcher launcher(deployer, grid::GeneratorRegistry::global());
+  auto app = launcher.launch_text(app_xml);
+  if (!app.ok()) {
+    std::fprintf(stderr, "launch: %s\n", app.status().to_string().c_str());
+    return {};
+  }
+  core::RtEngine::Config cfg;
+  cfg.max_wall_time = 300;
+  cfg.adaptation_enabled = false;
+  // The parsed grid's 1e13 links, not a default topology whose modest
+  // default bandwidth would throttle the unpaced source.
+  core::RtEngine engine(app->pipeline, app->deployment.placement,
+                        app->deployment.hosts, grid_cfg->topology, cfg);
+  if (!engine.run().is_ok() || !engine.report().completed) return {};
+  auto& sink = dynamic_cast<apps::HashSinkProcessor&>(engine.processor(3));
+  Measured m;
+  m.ok = true;
+  m.pkt_per_s = static_cast<double>(count) / engine.report().execution_time;
+  m.digest = sink.digest();
+  m.packets = sink.packet_count();
+  persist_report("wire_path/inproc/256B", engine.report());
+  return m;
+}
+
+/// The daemon binary: $GATES_NODE_BIN wins, else the sibling tools/
+/// directory of this bench binary (build/bench/wire_path -> build/tools/).
+std::string node_bin() {
+  if (const char* env = std::getenv("GATES_NODE_BIN")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "gates_node";
+  buf[n] = '\0';
+  std::string path(buf);
+  const auto slash = path.rfind('/');
+  const auto parent = path.rfind('/', slash - 1);
+  return path.substr(0, parent) + "/tools/gates_node";
+}
+
+/// Pulls "<key>":<number> out of a RunReport JSON string (the repo's
+/// JsonWriter emits no whitespace after the colon; atof skips any anyway).
+double json_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::atof(json.c_str() + pos + needle.size());
+}
+
+Measured run_distributed(const std::string& app_xml, std::uint64_t count,
+                         const std::string& transport) {
+  const std::string digest_file =
+      "/tmp/gates-wire-path-" + std::to_string(::getpid()) + ".digest";
+  ::setenv("GATES_DIGEST_FILE", digest_file.c_str(), 1);
+
+  grid::DistributedOptions opts;
+  opts.grid_text = kGridXml;
+  opts.app_text = app_xml;
+  opts.daemons = 2;
+  opts.transport = transport;
+  opts.node_bin = node_bin();
+  opts.adapt = false;
+  opts.max_wall = 300;
+  auto result = grid::run_distributed(opts);
+  ::unsetenv("GATES_DIGEST_FILE");
+  if (!result.ok() || !result->completed ||
+      result->daemon_reports.size() != 2) {
+    std::fprintf(stderr, "%s run failed: %s\n", transport.c_str(),
+                 result.ok() ? "incomplete" : result.status().to_string().c_str());
+    return {};
+  }
+
+  Measured m;
+  std::FILE* f = std::fopen(digest_file.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s run left no digest file\n", transport.c_str());
+    return {};
+  }
+  unsigned long long digest = 0, packets = 0;
+  if (std::fscanf(f, "%llx %llu", &digest, &packets) != 2) {
+    std::fclose(f);
+    return {};
+  }
+  std::fclose(f);
+  std::remove(digest_file.c_str());
+  m.digest = digest;
+  m.packets = packets;
+  // The sink lives in process 1; its engine's execution time spans first
+  // ingress arm to EOS drain — the transport-inclusive pipeline time.
+  const double secs = json_field(result->daemon_reports[1], "execution_time");
+  if (secs <= 0) return {};
+  m.pkt_per_s = static_cast<double>(count) / secs;
+  m.ok = true;
+  if (const char* path = std::getenv("GATES_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream out(path, std::ios::app);
+    if (out) {
+      // The merged report is pretty-printed; flatten its formatting
+      // newlines (inner strings are JSON-escaped) to keep the file
+      // one-record-per-line.
+      std::string flat = result->merged_report_json;
+      for (char& c : flat) {
+        if (c == '\n') c = ' ';
+      }
+      out << "{\"label\":\"wire_path/" << transport << "/256B\",\"report\":"
+          << flat << "}\n";
+    }
+  }
+  return m;
+}
+
+}  // namespace
+}  // namespace gates::bench
+
+int main() {
+  gates::bench::init();
+  gates::bench::header("wire_path",
+                       "chain4 across a process boundary vs in-process");
+  gates::bench::note(
+      "source -> s1 -> s2 | wire | s3 -> sink, 256B pattern payloads;"
+      "\ntcp = batched frames over localhost, shm = shared-memory ring pair."
+      "\nAll three variants must produce the identical order-sensitive"
+      "\ndigest; throughput is packets over the sink-side execution time.");
+  gates::bench::rule();
+  gates::apps::register_all();
+
+  std::uint64_t count = 200000;
+  if (const char* env = std::getenv("GATES_WIRE_PATH_PACKETS")) {
+    count = std::strtoull(env, nullptr, 10);
+  }
+  const std::string app_xml = gates::bench::chain4_xml(count);
+
+  const auto inproc = gates::bench::run_in_process(app_xml, count);
+  const auto print = [](const char* label, const gates::bench::Measured& m) {
+    if (m.ok) {
+      std::printf("%-28s %10.0f pkt/s  (digest %016llx, %llu packets)\n",
+                  label, m.pkt_per_s,
+                  static_cast<unsigned long long>(m.digest),
+                  static_cast<unsigned long long>(m.packets));
+    } else {
+      std::printf("%-28s FAILED\n", label);
+    }
+  };
+  print("wire_path/inproc/256B", inproc);
+  const auto tcp = gates::bench::run_distributed(app_xml, count, "tcp");
+  print("wire_path/tcp/256B", tcp);
+  const auto shm = gates::bench::run_distributed(app_xml, count, "shm");
+  print("wire_path/shm/256B", shm);
+  gates::bench::rule();
+
+  bool failed = !inproc.ok || !tcp.ok || !shm.ok;
+  if (!failed && (tcp.digest != inproc.digest || shm.digest != inproc.digest ||
+                  tcp.packets != inproc.packets ||
+                  shm.packets != inproc.packets)) {
+    std::printf("DIGEST MISMATCH: inproc=%016llx tcp=%016llx shm=%016llx\n",
+                static_cast<unsigned long long>(inproc.digest),
+                static_cast<unsigned long long>(tcp.digest),
+                static_cast<unsigned long long>(shm.digest));
+    failed = true;
+  } else if (!failed) {
+    std::printf("digest %016llx identical across inproc/tcp/shm\n",
+                static_cast<unsigned long long>(inproc.digest));
+    std::printf("shm hop at %.0f%% of in-process throughput\n",
+                100.0 * shm.pkt_per_s / inproc.pkt_per_s);
+  }
+  gates::bench::rule();
+  return failed ? 1 : 0;
+}

@@ -6,6 +6,7 @@
 #include "gates/apps/comp_steer.hpp"
 #include "gates/apps/count_samps.hpp"
 #include "gates/apps/intrusion.hpp"
+#include "gates/apps/relay.hpp"
 #include "gates/common/serialize.hpp"
 #include "gates/common/zipf.hpp"
 
@@ -29,6 +30,8 @@ void register_processors(grid::ProcessorRegistry& processors) {
   add_processor<SteeringAnalyzerProcessor>(processors);
   add_processor<SiteFeatureProcessor>(processors);
   add_processor<IntrusionDetectorProcessor>(processors);
+  add_processor<PassthroughProcessor>(processors);
+  add_processor<HashSinkProcessor>(processors);
 }
 
 void register_generators(grid::GeneratorRegistry& generators) {
@@ -98,9 +101,32 @@ void register_generators(grid::GeneratorRegistry& generators) {
   }
 }
 
+void register_pattern_generator(grid::GeneratorRegistry& generators) {
+  if (generators.contains("pattern")) return;
+  // Deterministic position- and sequence-dependent bytes: any reorder,
+  // truncation or corruption anywhere in a transport chain changes the
+  // hash-sink digest. The wire-path validation generator.
+  (void)generators.add(
+      "pattern", [](const Properties& props) -> StatusOr<core::PacketGenerator> {
+        const auto bytes = static_cast<std::size_t>(props.get_int("bytes", 64));
+        if (bytes == 0) return invalid_argument("pattern: bytes must be > 0");
+        return core::PacketGenerator([bytes](std::uint64_t seq, Rng&) {
+          core::Packet p;
+          p.payload = ByteBuffer::uninitialized(bytes);
+          std::uint8_t* out = p.payload.data();
+          for (std::size_t i = 0; i < bytes; ++i) {
+            out[i] = static_cast<std::uint8_t>(seq * 131 + i * 7);
+          }
+          p.records = 1;
+          return p;
+        });
+      });
+}
+
 void register_all() {
   register_processors(grid::ProcessorRegistry::global());
   register_generators(grid::GeneratorRegistry::global());
+  register_pattern_generator(grid::GeneratorRegistry::global());
 }
 
 }  // namespace gates::apps

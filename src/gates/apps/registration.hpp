@@ -27,6 +27,13 @@ void register_processors(grid::ProcessorRegistry& processors);
 /// Idempotent.
 void register_generators(grid::GeneratorRegistry& generators);
 
+/// Registers the transport-validation generator:
+///   pattern    — `bytes` (default 64) of deterministic sequence- and
+///                position-dependent bytes, so the hash-sink digest is
+///                sensitive to any reorder/corruption along a transport
+/// Idempotent.
+void register_pattern_generator(grid::GeneratorRegistry& generators);
+
 /// Convenience: both of the above against the global registries.
 void register_all();
 

@@ -1,0 +1,67 @@
+#include "gates/apps/relay.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gates/common/log.hpp"
+
+namespace gates::apps {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* p,
+                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+void PassthroughProcessor::process(const core::Packet& packet,
+                                   core::Emitter& emitter) {
+  emitter.emit(packet);
+}
+
+void HashSinkProcessor::init(core::ProcessorContext& ctx) {
+  digest_file_ = ctx.properties().get_string("digest-file", "");
+  if (digest_file_.empty()) {
+    // Environment fallback so one config file serves many runs (daemons
+    // inherit the coordinator's environment across fork/exec).
+    if (const char* env = std::getenv("GATES_DIGEST_FILE")) digest_file_ = env;
+  }
+}
+
+void HashSinkProcessor::process(const core::Packet& packet, core::Emitter&) {
+  digest_ = fnv1a_u64(digest_, packet.stream);
+  digest_ = fnv1a_u64(digest_, packet.records);
+  digest_ = fnv1a(digest_, packet.payload.data(), packet.payload.size());
+  ++packets_;
+}
+
+void HashSinkProcessor::finish(core::Emitter&) {
+  if (digest_file_.empty()) return;
+  std::FILE* f = std::fopen(digest_file_.c_str(), "w");
+  if (!f) {
+    GATES_LOG(kWarn, "hash-sink")
+        << "cannot write digest file '" << digest_file_ << "'";
+    return;
+  }
+  std::fprintf(f, "%016llx %llu\n",
+               static_cast<unsigned long long>(digest_),
+               static_cast<unsigned long long>(packets_));
+  std::fclose(f);
+}
+
+}  // namespace gates::apps

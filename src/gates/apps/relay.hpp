@@ -1,0 +1,53 @@
+// Relay stages for transport validation: a byte-exact passthrough and an
+// order-sensitive hashing sink. Together they make a pipeline whose final
+// digest is a function of the exact packet bytes in the exact delivery
+// order, so a distributed run (chain split across gates_node daemons) can
+// be checked byte-for-byte against the in-process run — the wire-path
+// correctness oracle used by tests, bench/wire_path and the dist-smoke CI
+// job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gates/core/processor.hpp"
+
+namespace gates::apps {
+
+/// Forwards every packet unchanged (a ByteBuffer reference bump, not a
+/// copy). Stands in for any intermediate stage when the experiment is about
+/// the transport, not the computation.
+class PassthroughProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "passthrough";
+
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+};
+
+/// Terminal stage folding every payload byte (plus per-packet framing of
+/// stream id and record count) into one order-sensitive FNV-1a digest.
+///
+/// Properties:
+///   digest-file   where finish() writes "<hex digest> <packet count>\n"
+///                 (optional; the digest is also queryable in process)
+class HashSinkProcessor final : public core::StreamProcessor {
+ public:
+  static constexpr const char* kRegistryName = "hash-sink";
+
+  void init(core::ProcessorContext& ctx) override;
+  void process(const core::Packet& packet, core::Emitter& emitter) override;
+  void finish(core::Emitter& emitter) override;
+  std::string name() const override { return kRegistryName; }
+
+  std::uint64_t digest() const { return digest_; }
+  std::uint64_t packet_count() const { return packets_; }
+
+ private:
+  std::uint64_t digest_ = 14695981039346656037ull;  // FNV-1a offset basis
+  std::uint64_t packets_ = 0;
+  std::string digest_file_;
+};
+
+}  // namespace gates::apps

@@ -1,10 +1,13 @@
 #include "gates/common/arena.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <new>
 #include <vector>
+
+#include <sys/mman.h>
 
 #include "gates/common/check.hpp"
 
@@ -17,6 +20,29 @@ PayloadBlock*& next_of(PayloadBlock* block) {
   return *reinterpret_cast<PayloadBlock**>(block->data());
 }
 
+/// GATES_ARENA_HUGEPAGES=0 disables the MAP_HUGETLB / MADV_HUGEPAGE attempts
+/// (deterministic heap slabs for allocation-sensitive tests). Default: try.
+bool hugepages_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("GATES_ARENA_HUGEPAGES");
+    return env == nullptr || env[0] != '0';
+  }();
+  return enabled;
+}
+
+/// One slab allocation and how it was obtained, so teardown releases it the
+/// same way.
+struct Slab {
+  enum Backing : std::uint8_t {
+    kHeap,     // ::operator new
+    kHugeTlb,  // mmap(MAP_HUGETLB): reserved huge pages
+    kThp,      // mmap + madvise(MADV_HUGEPAGE): advisory promotion
+  };
+  void* base = nullptr;
+  std::size_t bytes = 0;
+  Backing backing = kHeap;
+};
+
 }  // namespace
 
 struct PayloadArena::Depot {
@@ -24,7 +50,7 @@ struct PayloadArena::Depot {
   FreeList lists[kNumClasses];
   /// Slab allocations, kept reachable for the arena's lifetime (freed only
   /// by instance-arena destructors; the global arena is leaky by design).
-  std::vector<void*> slabs;
+  std::vector<Slab> slabs;
 };
 
 void PayloadArena::push_list(FreeList& list, PayloadBlock* block) {
@@ -65,7 +91,13 @@ PayloadArena& PayloadArena::global() {
 PayloadArena::PayloadArena() : depot_(new Depot()) {}
 
 PayloadArena::~PayloadArena() {
-  for (void* slab : depot_->slabs) ::operator delete(slab);
+  for (const Slab& slab : depot_->slabs) {
+    if (slab.backing == Slab::kHeap) {
+      ::operator delete(slab.base);
+    } else {
+      ::munmap(slab.base, slab.bytes);
+    }
+  }
   delete depot_;
 }
 
@@ -83,17 +115,55 @@ std::uint32_t PayloadArena::class_for(std::size_t bytes) {
 
 bool PayloadArena::carve_locked(std::uint32_t cls, FreeList& out) {
   const std::size_t span = sizeof(PayloadBlock) + kClassBytes[cls];
-  const std::size_t slab_size = span * kBlocksPerSlab;
+  const std::size_t desired = span * kBlocksPerSlab;
   const std::size_t limit = byte_limit_.load(std::memory_order_relaxed);
-  if (limit != 0 &&
-      slab_bytes_.load(std::memory_order_relaxed) + slab_size > limit) {
+  const std::size_t held = slab_bytes_.load(std::memory_order_relaxed);
+  if (limit != 0 && held + desired > limit) {
     return false;  // budget exhausted: caller degrades to the heap
   }
-  auto* base = static_cast<std::uint8_t*>(::operator new(slab_size));
-  depot_->slabs.push_back(base);
-  slab_bytes_.fetch_add(slab_size, std::memory_order_relaxed);
+  Slab slab;
+  // Large-class slabs are worth a huge-page attempt: an explicit MAP_HUGETLB
+  // mapping first (one TLB entry per 2 MiB of payload), then an advisory
+  // MADV_HUGEPAGE mapping when no huge pages are reserved. Either way the
+  // mapping is rounded up to the page boundary and the surplus is carved
+  // into extra blocks rather than wasted. Small-class slabs stay on the
+  // plain heap — rounding a 3 KiB slab to 2 MiB would be all waste.
+  if (hugepages_enabled() && desired >= kHugePageBytes / 2) {
+    const std::size_t rounded =
+        (desired + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+    if (limit == 0 || held + rounded <= limit) {
+      const int prot = PROT_READ | PROT_WRITE;
+#ifdef MAP_HUGETLB
+      void* p = ::mmap(nullptr, rounded, prot,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+      if (p != MAP_FAILED) {
+        slab = Slab{p, rounded, Slab::kHugeTlb};
+        hugepage_bytes_.fetch_add(rounded, std::memory_order_relaxed);
+        huge_slabs_.fetch_add(1, std::memory_order_relaxed);
+      }
+#endif
+      if (slab.base == nullptr) {
+        void* p = ::mmap(nullptr, rounded, prot, MAP_PRIVATE | MAP_ANONYMOUS,
+                         -1, 0);
+        if (p != MAP_FAILED) {
+#ifdef MADV_HUGEPAGE
+          ::madvise(p, rounded, MADV_HUGEPAGE);
+#endif
+          slab = Slab{p, rounded, Slab::kThp};
+          thp_slabs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  if (slab.base == nullptr) {
+    slab = Slab{::operator new(desired), desired, Slab::kHeap};
+  }
+  depot_->slabs.push_back(slab);
+  slab_bytes_.fetch_add(slab.bytes, std::memory_order_relaxed);
   slab_allocs_.fetch_add(1, std::memory_order_relaxed);
-  for (std::size_t i = 0; i < kBlocksPerSlab; ++i) {
+  auto* base = static_cast<std::uint8_t*>(slab.base);
+  const std::size_t blocks = slab.bytes / span;
+  for (std::size_t i = 0; i < blocks; ++i) {
     auto* block = new (base + i * span) PayloadBlock();
     block->size_class = cls;
     block->capacity = kClassBytes[cls];
@@ -189,6 +259,8 @@ ArenaStats PayloadArena::stats() const {
   s.heap_fallback = heap_fallback_.load(std::memory_order_relaxed);
   s.slab_allocs = slab_allocs_.load(std::memory_order_relaxed);
   s.released = released_.load(std::memory_order_relaxed);
+  s.huge_slabs = huge_slabs_.load(std::memory_order_relaxed);
+  s.thp_slabs = thp_slabs_.load(std::memory_order_relaxed);
   return s;
 }
 

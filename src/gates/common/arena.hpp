@@ -67,6 +67,11 @@ struct ArenaStats {
   std::uint64_t slab_allocs = 0;
   /// Blocks whose refcount hit zero and were returned.
   std::uint64_t released = 0;
+  /// Slabs living on explicit MAP_HUGETLB mappings (reserved huge pages).
+  std::uint64_t huge_slabs = 0;
+  /// Slabs on plain mappings promoted via madvise(MADV_HUGEPAGE) — advisory:
+  /// the kernel's THP daemon may or may not back them with huge pages.
+  std::uint64_t thp_slabs = 0;
 
   double hit_rate() const {
     return acquired == 0 ? 1.0
@@ -85,8 +90,15 @@ class PayloadArena {
   static constexpr std::size_t kClassBytes[kNumClasses] = {64,   256,   1024,
                                                            4096, 16384, 65536};
   static constexpr std::uint32_t kHeapClass = 0xFFFFFFFFu;
-  /// Blocks carved per fresh slab, and moved per depot<->cache transfer.
+  /// Minimum blocks carved per fresh slab, and moved per depot<->cache
+  /// transfer. Hugepage-backed slabs round up to the page boundary and carve
+  /// the whole mapping, so they may hold more.
   static constexpr std::size_t kBlocksPerSlab = 32;
+  /// x86-64 / aarch64 default huge page: 2 MiB. Slabs at least half this
+  /// size are worth an explicit MAP_HUGETLB attempt (the 64K class's slab);
+  /// the TLB win on payload-heavy streaming is one entry per 2 MiB of
+  /// payload instead of one per 4 KiB.
+  static constexpr std::size_t kHugePageBytes = 2u << 20;
   /// Per-thread cache watermark per class; overflow flushes half to the depot.
   static constexpr std::size_t kCacheLimit = 128;
 
@@ -120,6 +132,12 @@ class PayloadArena {
   std::size_t slab_bytes() const {
     return slab_bytes_.load(std::memory_order_relaxed);
   }
+  /// Bytes currently on explicit MAP_HUGETLB mappings (0 when the host has
+  /// no reserved huge pages — the arena then degrades to MADV_HUGEPAGE and
+  /// finally the plain heap). Exported as the gates_pool_hugepage gauge.
+  std::size_t hugepage_bytes() const {
+    return hugepage_bytes_.load(std::memory_order_relaxed);
+  }
 
   ArenaStats stats() const;
 
@@ -149,6 +167,9 @@ class PayloadArena {
   bool use_thread_cache_ = false;
   std::atomic<std::size_t> byte_limit_{0};
   std::atomic<std::size_t> slab_bytes_{0};
+  std::atomic<std::size_t> hugepage_bytes_{0};
+  std::atomic<std::uint64_t> huge_slabs_{0};
+  std::atomic<std::uint64_t> thp_slabs_{0};
 
   std::atomic<std::uint64_t> acquired_{0};
   std::atomic<std::uint64_t> recycled_{0};

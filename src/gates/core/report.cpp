@@ -1,8 +1,20 @@
 #include "gates/core/report.hpp"
 
+#include <thread>
+
+#include <unistd.h>
+
 #include "gates/common/json.hpp"
 
 namespace gates::core {
+
+HostInfo HostInfo::detect() {
+  HostInfo info;
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  info.cpus = n > 0 ? static_cast<int>(n) : 0;
+  info.hardware_concurrency = std::thread::hardware_concurrency();
+  return info;
+}
 
 namespace {
 
@@ -127,6 +139,15 @@ std::string RunReport::to_json() const {
       .kv("packets", allocation.packets)
       .kv("hit_rate", allocation.hit_rate())
       .kv("allocations_per_packet", allocation.allocations_per_packet())
+      .end_object();
+
+  w.key("host").begin_object()
+      .kv("cpus", static_cast<std::uint64_t>(host.cpus < 0 ? 0 : host.cpus))
+      .kv("hardware_concurrency",
+          static_cast<std::uint64_t>(host.hardware_concurrency))
+      .kv("pinned", host.pinned)
+      .kv("idle", host.idle)
+      .kv("arena_hugepage_bytes", host.arena_hugepage_bytes)
       .end_object();
 
   w.end_object();

@@ -129,6 +129,29 @@ struct AllocationReport {
   }
 };
 
+/// The machine and engine configuration a run executed on, recorded into
+/// every report (and therefore every $GATES_BENCH_JSON row): a throughput
+/// figure from a 1-CPU CI container and one from a 32-core dev box are not
+/// comparable, and the row must say which it was.
+struct HostInfo {
+  /// CPUs online and visible to this process (sysconf(_SC_NPROCESSORS_ONLN)).
+  int cpus = 0;
+  /// std::thread::hardware_concurrency() (0 when the runtime cannot tell).
+  unsigned hardware_concurrency = 0;
+  /// Whether worker threads were pinned to cores (RtEngine --pin).
+  bool pinned = false;
+  /// Idle strategy in effect ("spin" | "balanced" | "park"; "" for engines
+  /// without one, i.e. the SimEngine).
+  std::string idle;
+  /// PayloadArena bytes on explicit huge-page mappings at end of run (0
+  /// when the host reserves none and the arena fell back to THP/heap).
+  std::uint64_t arena_hugepage_bytes = 0;
+
+  /// cpus + hardware_concurrency of the running host; the engine fills in
+  /// the configuration fields.
+  static HostInfo detect();
+};
+
 struct RunReport {
   /// Virtual (SimEngine) or wall (RtEngine) seconds from start to the last
   /// stage finishing — the paper's "execution time".
@@ -149,6 +172,8 @@ struct RunReport {
   /// Packet-path allocation deltas (all-zero for engines that do not track
   /// them — currently populated by the RtEngine).
   AllocationReport allocation;
+  /// Where and how the run executed.
+  HostInfo host;
 
   const StageReport* stage(const std::string& name) const {
     for (const auto& s : stages) {

@@ -109,6 +109,9 @@ class RetentionRing {
   std::size_t data_retained() const { return cur_.data_retained; }
   std::uint64_t evicted() const { return cur_.evicted; }
   std::uint64_t next_seq() const { return cur_.next_seq; }
+  /// First still-outstanding seq; base_seq() == next_seq() means every
+  /// retained entry has been released (the remote EOS-barrier condition).
+  std::uint64_t base_seq() const { return cur_.base_seq; }
   /// Slot-array footprint (tests: growth stays bounded near capacity).
   std::size_t slot_count() const { return slots_.size(); }
 

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
 
 #include "gates/common/affinity.hpp"
 #include "gates/common/arena.hpp"
@@ -98,6 +99,11 @@ struct RtEngine::ReplayChannel {
   std::mutex mu;
   RetentionRing ring;
   std::uint64_t evicted_reported = 0;
+  /// Remote-ingress hook: invoked with the local seqs of every ack after
+  /// the ring releases them, so the ingress worker can translate them to
+  /// wire seqs and propagate the release to the sending process. Installed
+  /// before any worker thread starts (engine setup) and immutable after.
+  std::function<void(const std::vector<std::uint64_t>&)> ack_forward;
 
   std::uint64_t retain(const Packet& packet) {
     std::lock_guard<std::mutex> lock(mu);
@@ -120,13 +126,19 @@ struct RtEngine::ReplayChannel {
   /// were delivered — acking only what was actually processed keeps the
   /// undelivered tail replayable.
   void ack(std::uint64_t seq) {
-    std::lock_guard<std::mutex> lock(mu);
-    ring.ack_exact(seq);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ring.ack_exact(seq);
+    }
+    if (ack_forward) ack_forward({seq});
   }
 
   void ack_batch(const std::vector<std::uint64_t>& seqs) {
-    std::lock_guard<std::mutex> lock(mu);
-    for (const std::uint64_t seq : seqs) ring.ack_exact(seq);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const std::uint64_t seq : seqs) ring.ack_exact(seq);
+    }
+    if (ack_forward) ack_forward(seqs);
   }
 
   std::vector<std::pair<std::uint64_t, Packet>> snapshot() {
@@ -388,6 +400,12 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     if (up != nullptr) upstreams_.push_back(up);
   }
   void set_eos_expected(std::size_t n) { eos_expected_ = n; }
+  /// Turns this stage into a remote outlet (engine setup, before start()):
+  /// drained input is framed onto `link` instead of being processed. The
+  /// stage's processor is never invoked.
+  void set_remote_egress(std::shared_ptr<net::RemoteLink> link) {
+    remote_egress_ = std::move(link);
+  }
 
   StageInbox<Item>& queue() { return queue_; }
   /// SPSC fast path; the engine calls this from setup() for stages with
@@ -992,6 +1010,7 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 
   void run_loop() {
     if (!pin_cores_.empty()) pin_current_thread_to_core(pin_cores_[0]);
+    if (remote_egress_) return run_loop_remote_egress();
     if (pooled()) return run_loop_pooled();
     const bool failover = engine_.config_.failover.enabled;
     // Serial SPSC stages with no failover (no heartbeat polling, no acks)
@@ -1105,6 +1124,199 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     processor_->finish(*this);
     flush_emits();
     for (const auto& route : routes_) send_eos_on_route(route);
+    GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
+                .component = spec_.name);
+    finished_.store(true, std::memory_order_release);
+    engine_.notify_stage_finished();
+  }
+
+  /// Remote outlet: the stage's drained input is framed and sent over the
+  /// egress link instead of being processed (the processor is never
+  /// invoked). Every outgoing packet is retained in a local RetentionRing
+  /// keyed by its wire seq; the peer acks exactly what its downstream
+  /// stages processed, so after a peer restart the unacked tail replays
+  /// over the reconnected link — the same at-least-once discipline as
+  /// in-process failover, rendered across the wire. The per-upstream EOS
+  /// fan-in collapses to one EOS control frame whose ring entry doubles as
+  /// the completion barrier: when base_seq catches next_seq, the peer has
+  /// durably processed everything.
+  void run_loop_remote_egress() {
+    net::RemoteLink& link = *remote_egress_;
+    const bool failover = engine_.config_.failover.enabled;
+    RetentionRing ring(engine_.config_.remote.retention_packets);
+    const std::size_t max_batch =
+        std::max<std::size_t>(engine_.config_.batching.max_batch, 1);
+    std::vector<Item> batch;
+    batch.reserve(max_batch);
+    std::vector<net::wire::WirePacket> wps;
+    wps.reserve(max_batch);
+
+    // Resends the whole unacked ring tail after a reconnect. Payloads are
+    // aliased out of the ring (refcount bumps); the retained copies stay
+    // until the revived peer acks them.
+    auto replay = [&]() -> Status {
+      Status st = Status::ok();
+      std::vector<net::wire::WirePacket> rp;
+      rp.reserve(max_batch);
+      ring.for_each_unacked([&](std::uint64_t seq, const Packet& packet) {
+        if (!st.is_ok()) return;
+        if (packet.is_eos()) {
+          if (!rp.empty()) {
+            st = link.send_data(rp);
+            rp.clear();
+            if (!st.is_ok()) return;
+          }
+          st = link.send_eos(seq);
+          return;
+        }
+        net::wire::WirePacket wp;
+        wp.seq = seq;
+        wp.stream = packet.stream;
+        wp.kind = packet.kind;
+        wp.records = static_cast<std::uint32_t>(packet.records);
+        wp.payload = packet.payload;
+        rp.push_back(std::move(wp));
+        if (rp.size() >= max_batch) {
+          st = link.send_data(rp);
+          rp.clear();
+        }
+      });
+      if (st.is_ok() && !rp.empty()) st = link.send_data(rp);
+      return st;
+    };
+    // After a send/recv failure: reconnect and replay, bounded so a peer
+    // that never comes back degrades the run instead of wedging it. The
+    // original send is never retried — the ring already holds everything
+    // unacked, and replay() resends it.
+    auto recover = [&]() -> bool {
+      if (!failover) return false;
+      const TimePoint give_up =
+          clock_.now() + engine_.config_.remote.eos_barrier_timeout;
+      while (!crashed_.load(std::memory_order_acquire)) {
+        last_beat_.store(clock_.now(), std::memory_order_release);
+        if (Status r = link.reconnect(); r.is_ok()) {
+          if (Status rp = replay(); rp.is_ok()) return true;
+        }
+        if (clock_.now() > give_up) return false;
+        precise_sleep(0.05);
+      }
+      return false;
+    };
+    // A failed link operation: surface the cause, then attempt recovery
+    // (reconnect + replay) when failover is on.
+    auto fail = [&](const char* what, const Status& s) -> bool {
+      GATES_LOG(kWarn, "rt-engine")
+          << "egress '" << spec_.name << "' " << what << " on link '"
+          << link.name() << "': " << s.to_string();
+      return recover();
+    };
+    // Drains every ack frame currently available; waits at most `timeout`
+    // for the first one.
+    auto drain_acks = [&](double timeout) -> Status {
+      for (;;) {
+        auto ev = link.recv(timeout);
+        if (!ev.ok()) return ev.status();
+        if (ev.value().kind == net::RecvEvent::Kind::kNone) {
+          return Status::ok();
+        }
+        if (ev.value().kind == net::RecvEvent::Kind::kAcks) {
+          for (const std::uint64_t s : ev.value().acks) ring.ack_exact(s);
+        }
+        timeout = 0;
+      }
+    };
+
+    bool link_ok = true;
+    bool eos_done = false;
+    while (true) {
+      last_beat_.store(clock_.now(), std::memory_order_release);
+      batch.clear();
+      const std::size_t n = queue_.drain_for(batch, max_batch, 0.0005);
+      if (crashed_.load(std::memory_order_acquire)) return;
+      if (link_ok) {
+        if (Status s = drain_acks(0); !s.is_ok()) {
+          link_ok = fail("ack drain failed", s);
+        }
+      }
+      if (n == 0) {
+        if (queue_.closed()) break;  // force-stopped
+        continue;
+      }
+      profile_inbox_wait(batch, n);
+      const TimePoint t0 = profile_ != nullptr ? clock_.now() : 0;
+      wps.clear();
+      std::uint64_t d_packets = 0;
+      std::uint64_t d_records = 0;
+      std::uint64_t d_bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Packet& p = batch[i].packet;
+        if (p.is_eos()) {
+          // Collapse the per-upstream fan-in: one EOS crosses the wire.
+          if (++eos_received_ >= eos_expected_) eos_done = true;
+          continue;
+        }
+        net::wire::WirePacket wp;
+        wp.seq = ring.retain(p);  // retains a payload alias, not a copy
+        wp.stream = p.stream;
+        wp.kind = p.kind;
+        wp.records = static_cast<std::uint32_t>(p.records);
+        wp.payload = std::move(p.payload);
+        ++d_packets;
+        d_records += wp.records;
+        d_bytes += wp.payload.size();
+        wps.push_back(std::move(wp));
+      }
+      if (!wps.empty() && link_ok) {
+        if (Status s = link.send_data(wps); !s.is_ok()) {
+          link_ok = fail("send failed", s);
+        }
+      }
+      if (profile_ != nullptr) {
+        profile_->add(obs::Phase::kSerialize, clock_.now() - t0);
+        profile_->add_packets(d_packets);
+      }
+      if (d_packets != 0) {
+        packets_processed_.fetch_add(d_packets, std::memory_order_relaxed);
+        records_processed_.fetch_add(d_records, std::memory_order_relaxed);
+        bytes_processed_.fetch_add(d_bytes, std::memory_order_relaxed);
+      }
+      // Local acks release upstream retention in this process — after the
+      // outputs were durably handed to the transport, mirroring the
+      // outputs-before-acks order of flush_batch_effects (flush_emits is a
+      // no-op here: an egress stage has no routes).
+      flush_batch_effects(batch, n);
+      if (eos_done) break;
+    }
+    if (eos_done && link_ok) {
+      Packet eos = Packet::eos(0, clock_.now());
+      const std::uint64_t eseq = ring.retain(eos);
+      if (Status s = link.send_eos(eseq); !s.is_ok()) {
+        link_ok = fail("EOS send failed", s);
+      }
+      // Barrier: every retained entry (data tail + the EOS marker) must be
+      // acked before this stage reports finished, so "pipeline done" means
+      // the remote process durably consumed everything.
+      const TimePoint deadline =
+          clock_.now() + engine_.config_.remote.eos_barrier_timeout;
+      while (link_ok && ring.base_seq() != ring.next_seq()) {
+        last_beat_.store(clock_.now(), std::memory_order_release);
+        if (crashed_.load(std::memory_order_acquire)) return;
+        if (Status s = drain_acks(0.005); !s.is_ok()) {
+          link_ok = fail("barrier ack drain failed", s);
+        }
+        if (clock_.now() > deadline) {
+          GATES_LOG(kWarn, "rt-engine")
+              << "egress '" << spec_.name << "' EOS barrier timed out with "
+              << (ring.next_seq() - ring.base_seq()) << " unacked";
+          break;
+        }
+      }
+    }
+    if (!link_ok) {
+      GATES_LOG(kWarn, "rt-engine")
+          << "egress '" << spec_.name << "' gave up on link '" << link.name()
+          << "'";
+    }
     GATES_TRACE(.time = clock_.now(), .kind = obs::TraceKind::kStageFinished,
                 .component = spec_.name);
     finished_.store(true, std::memory_order_release);
@@ -1529,6 +1741,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   bool zero_service_ = false;
   /// Cores for this stage's threads; empty = unpinned (see set_pin_cores).
   std::vector<int> pin_cores_;
+  /// Remote outlet transport; non-null switches run_loop to the egress
+  /// loop (see run_loop_remote_egress).
+  std::shared_ptr<net::RemoteLink> remote_egress_;
 
   // Written by the stage thread; relaxed atomics so the control thread can
   // sample them into the MetricsRegistry mid-run (final values are still
@@ -1662,6 +1877,29 @@ class RtEngine::SourceWorker {
   /// Pin the source thread to `core` (engine setup, before start()).
   void set_pin_core(int core) { pin_core_ = core; }
 
+  /// Turns this source into a remote inlet (engine setup, before start()):
+  /// instead of generating packets it decodes frames from `link` and feeds
+  /// the local target stage. Installs the replay channel's ack-forward
+  /// hook here — before any thread exists — so downstream acks translate
+  /// to wire acks race-free from the first packet.
+  void set_remote_ingress(std::shared_ptr<net::RemoteLink> link) {
+    remote_ingress_ = std::move(link);
+    ack_state_ = std::make_shared<IngressAckState>();
+    if (channel_) {
+      auto state = ack_state_;
+      channel_->ack_forward =
+          [state](const std::vector<std::uint64_t>& seqs) {
+            std::lock_guard<std::mutex> lock(state->mu);
+            for (const std::uint64_t s : seqs) {
+              auto it = state->local_to_wire.find(s);
+              if (it == state->local_to_wire.end()) continue;
+              state->pending.push_back(it->second);
+              state->local_to_wire.erase(it);
+            }
+          };
+    }
+  }
+
   /// horizon <= 0 means "run until total_packets".
   void start(Duration horizon) {
     horizon_ = horizon;
@@ -1756,6 +1994,7 @@ class RtEngine::SourceWorker {
 
   void run_loop() {
     if (pin_core_ >= 0) pin_current_thread_to_core(pin_core_);
+    if (remote_ingress_) return run_loop_remote_ingress();
     tracer_active_ = obs::PacketTracer::global().active();
     profile_active_ = obs::Profiler::global().enabled();
     stamp_queued_ = tracer_active_ || profile_active_;
@@ -1875,6 +2114,153 @@ class RtEngine::SourceWorker {
     finish_eos();
   }
 
+  /// Remote inlet: receives DATA frames from the ingress link, lands each
+  /// payload in an arena block (the decode's one copy), and pushes the
+  /// batch into the local target stage through the same gate/retention
+  /// discipline as a generating source — the throttle reproduces the
+  /// original cross-node bandwidth, and the ReplayChannel makes the wire
+  /// hop transparent to local failover. Wire acks are deferred until
+  /// downstream processing acks the local retention (the ack_forward hook
+  /// translates local seqs back to wire seqs), so the sender's ring only
+  /// releases what this process durably handled. Without failover there is
+  /// no local retention and delivery into the inbox acks immediately.
+  void run_loop_remote_ingress() {
+    net::RemoteLink& link = *remote_ingress_;
+    const bool failover = engine_.config_.failover.enabled;
+    obs::PhaseClock* profile = obs::Profiler::global().enabled()
+                                   ? &obs::Profiler::global().stage(spec_.name)
+                                   : nullptr;
+    std::vector<StageWorker::Item> items;
+    std::vector<std::uint64_t> wire_seqs;
+    std::vector<std::uint64_t> flush_acks;
+    bool eos_seen = false;
+    TimePoint eos_at = 0;
+    auto outstanding = [&]() -> bool {
+      std::lock_guard<std::mutex> lock(ack_state_->mu);
+      return !ack_state_->local_to_wire.empty() ||
+             !ack_state_->pending.empty();
+    };
+    while (!stop_.load(std::memory_order_acquire)) {
+      // Propagate releases: whatever downstream acked since the last pass
+      // goes back to the sender as one exact-ack frame.
+      flush_acks.clear();
+      {
+        std::lock_guard<std::mutex> lock(ack_state_->mu);
+        flush_acks.swap(ack_state_->pending);
+      }
+      if (!flush_acks.empty()) {
+        if (Status s = link.send_acks(flush_acks); !s.is_ok()) {
+          // Link broken: re-stash; the recv below fails too and recovers.
+          std::lock_guard<std::mutex> lock(ack_state_->mu);
+          ack_state_->pending.insert(ack_state_->pending.end(),
+                                     flush_acks.begin(), flush_acks.end());
+        }
+      }
+      if (eos_seen && !outstanding()) break;
+      if (eos_seen &&
+          clock_.now() - eos_at >
+              engine_.config_.remote.eos_barrier_timeout) {
+        GATES_LOG(kWarn, "rt-engine")
+            << "ingress '" << spec_.name
+            << "' exiting with unacked wire packets (barrier timeout)";
+        break;
+      }
+      auto ev = link.recv(0.001);
+      if (!ev.ok()) {
+        if (!failover) {
+          // Legacy semantics: a dead peer degrades to EOS so the local
+          // pipeline still terminates.
+          GATES_LOG(kWarn, "rt-engine")
+              << "ingress '" << spec_.name << "' lost link '" << link.name()
+              << "': " << ev.status().to_string();
+          return finish_eos();
+        }
+        while (!stop_.load(std::memory_order_acquire)) {
+          if (Status r = link.reconnect(); r.is_ok()) break;
+          precise_sleep(0.05);
+        }
+        continue;
+      }
+      net::RecvEvent& e = ev.value();
+      switch (e.kind) {
+        case net::RecvEvent::Kind::kData: {
+          const TimePoint t0 = profile != nullptr ? clock_.now() : 0;
+          const TimePoint now = clock_.now();
+          items.clear();
+          wire_seqs.clear();
+          std::size_t wire_bytes = 0;
+          for (auto& wp : e.packets) {
+            StageWorker::Item item;
+            item.packet.stream = wp.stream;
+            item.packet.sequence = wp.seq;
+            item.packet.created_at = now;  // latency restarts at the hop
+            item.packet.kind = wp.kind;
+            item.packet.records = wp.records;
+            item.packet.payload = std::move(wp.payload);
+            wire_bytes += engine_.config_.wire.wire_size(
+                item.packet.payload_bytes(), item.packet.records);
+            wire_seqs.push_back(wp.seq);
+            items.push_back(std::move(item));
+          }
+          if (profile != nullptr) {
+            profile->add(obs::Phase::kDeserialize, clock_.now() - t0);
+            profile->add_packets(items.size());
+          }
+          gate_->acquire(wire_bytes);
+          if (channel_) {
+            channel_->retain_batch(items);
+            std::lock_guard<std::mutex> lock(ack_state_->mu);
+            for (std::size_t i = 0; i < items.size(); ++i) {
+              ack_state_->local_to_wire[items[i].seq] = wire_seqs[i];
+            }
+          }
+          const std::size_t n = items.size();
+          if (target_->queue().push_all(items) < n) {
+            items.clear();
+            if (!channel_) return;  // force-stopped, nothing to replay
+          }
+          if (!channel_) {
+            // No local retention: delivery into the inbox is the ack.
+            std::lock_guard<std::mutex> lock(ack_state_->mu);
+            ack_state_->pending.insert(ack_state_->pending.end(),
+                                       wire_seqs.begin(), wire_seqs.end());
+          }
+          break;
+        }
+        case net::RecvEvent::Kind::kEos: {
+          eos_seen = true;
+          eos_at = clock_.now();
+          Packet eos = Packet::eos(spec_.stream, clock_.now());
+          StageWorker::Item item{std::move(eos), nullptr, 0};
+          if (channel_) {
+            item.origin = channel_.get();
+            item.seq = channel_->retain(item.packet);
+            std::lock_guard<std::mutex> lock(ack_state_->mu);
+            ack_state_->local_to_wire[item.seq] = e.base_seq;
+          }
+          target_->queue().push(std::move(item));
+          if (!channel_) {
+            std::lock_guard<std::mutex> lock(ack_state_->mu);
+            ack_state_->pending.push_back(e.base_seq);
+          }
+          break;
+        }
+        case net::RecvEvent::Kind::kShutdown:
+          return;
+        default:
+          break;  // kNone poll timeout, or control noise — ignore
+      }
+    }
+    // Last chance for the sender's barrier: push out anything still
+    // pending (best effort — the link may be gone).
+    flush_acks.clear();
+    {
+      std::lock_guard<std::mutex> lock(ack_state_->mu);
+      flush_acks.swap(ack_state_->pending);
+    }
+    if (!flush_acks.empty()) (void)link.send_acks(flush_acks);
+  }
+
   void finish_eos() {
     Packet eos = Packet::eos(spec_.stream, clock_.now());
     StageWorker::Item item{std::move(eos), nullptr, 0};
@@ -1893,6 +2279,17 @@ class RtEngine::SourceWorker {
     }
   }
 
+  /// Remote-ingress ack bookkeeping, shared between this worker (records
+  /// local→wire seq mappings, flushes pending) and whichever downstream
+  /// thread runs the ReplayChannel ack (appends to pending via the
+  /// ack_forward hook). Heap-shared so the hook's captured state outlives
+  /// any particular loop iteration.
+  struct IngressAckState {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::uint64_t> local_to_wire;
+    std::vector<std::uint64_t> pending;  // wire seqs ready to send back
+  };
+
   RtEngine& engine_;
   const SourceSpec& spec_;
   StageWorker* target_;
@@ -1902,6 +2299,8 @@ class RtEngine::SourceWorker {
   TransitPool transit_;
   std::shared_ptr<net::LinkShaper> shaper_;
   std::shared_ptr<ReplayChannel> channel_;
+  std::shared_ptr<net::RemoteLink> remote_ingress_;
+  std::shared_ptr<IngressAckState> ack_state_;
   Rng rng_;
   const Clock& clock_;
   std::thread thread_;
@@ -2146,6 +2545,21 @@ Status RtEngine::setup() {
       }
     }
   }
+  // Remote transports (gates_node deployments): hand each link to its
+  // worker before any thread starts, so the dispatch flags and ack hooks
+  // are immutable by the time the loops run.
+  for (const auto& [idx, link] : config_.remote.egress_links) {
+    if (idx >= stages_.size() || !link) {
+      return invalid_argument("remote egress link index out of range");
+    }
+    stages_[idx]->set_remote_egress(link);
+  }
+  for (const auto& [idx, link] : config_.remote.ingress_links) {
+    if (idx >= sources_.size() || !link) {
+      return invalid_argument("remote ingress link index out of range");
+    }
+    sources_[idx]->set_remote_ingress(link);
+  }
   for (auto& stage : stages_) stage->init();
   setup_done_ = true;
   return Status::ok();
@@ -2188,6 +2602,7 @@ Status RtEngine::execute(Duration source_horizon) {
   obs::Counter* pool_acquired_ctr = nullptr;
   obs::Counter* pool_recycled_ctr = nullptr;
   obs::Counter* pool_fallback_ctr = nullptr;
+  obs::Gauge* pool_hugepage_gauge = nullptr;
   auto publish_pool = [&] {
     auto& reg = obs::MetricsRegistry::global();
     if (!reg.enabled()) return;
@@ -2195,11 +2610,52 @@ Status RtEngine::execute(Duration source_horizon) {
       pool_acquired_ctr = &reg.counter("gates_pool_acquired_total");
       pool_recycled_ctr = &reg.counter("gates_pool_recycled_total");
       pool_fallback_ctr = &reg.counter("gates_pool_heap_fallback_total");
+      pool_hugepage_gauge = &reg.gauge("gates_pool_hugepage_bytes");
     }
     const ArenaStats st = PayloadArena::global().stats();
     pool_acquired_ctr->set(st.acquired);
     pool_recycled_ctr->set(st.recycled);
     pool_fallback_ctr->set(st.heap_fallback);
+    pool_hugepage_gauge->set(
+        static_cast<double>(PayloadArena::global().hugepage_bytes()));
+  };
+  // Per-link wire counters (frames, bytes, packets, acks, reconnects),
+  // published on the same cadence. Handles resolve once per link.
+  auto publish_wire = [&] {
+    auto& reg = obs::MetricsRegistry::global();
+    if (!reg.enabled()) return;
+    if (config_.remote.egress_links.empty() &&
+        config_.remote.ingress_links.empty()) {
+      return;
+    }
+    auto publish_link = [&](net::RemoteLink& link) {
+      const net::WireStats& st = link.stats();
+      const obs::Labels labels{{"link", link.name()}};
+      reg.counter("gates_wire_frames_out_total", labels)
+          .set(st.frames_out.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_frames_in_total", labels)
+          .set(st.frames_in.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_bytes_out_total", labels)
+          .set(st.bytes_out.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_bytes_in_total", labels)
+          .set(st.bytes_in.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_packets_out_total", labels)
+          .set(st.packets_out.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_packets_in_total", labels)
+          .set(st.packets_in.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_acks_out_total", labels)
+          .set(st.acks_out.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_acks_in_total", labels)
+          .set(st.acks_in.load(std::memory_order_relaxed));
+      reg.counter("gates_wire_reconnects_total", labels)
+          .set(st.reconnects.load(std::memory_order_relaxed));
+    };
+    for (const auto& [idx, link] : config_.remote.egress_links) {
+      publish_link(*link);
+    }
+    for (const auto& [idx, link] : config_.remote.ingress_links) {
+      publish_link(*link);
+    }
   };
   while (true) {
     {
@@ -2218,6 +2674,7 @@ Status RtEngine::execute(Duration source_horizon) {
       stage->control_step(config_.adaptation_enabled);
     }
     publish_pool();
+    publish_wire();
     if (profiling) {
       // Links accumulate planned hold time inside the shaper; publish the
       // running total (overwrite, not add) and fold the whole profile into
@@ -2276,7 +2733,16 @@ Status RtEngine::execute(Duration source_horizon) {
   for (const auto& s : report_.stages) {
     report_.allocation.packets += s.packets_processed;
   }
+  report_.host = HostInfo::detect();
+  report_.host.pinned = config_.thread_placement.pin;
+  switch (config_.idle.mode) {
+    case IdleConfig::kSpin: report_.host.idle = "spin"; break;
+    case IdleConfig::kBalanced: report_.host.idle = "balanced"; break;
+    case IdleConfig::kPark: report_.host.idle = "park"; break;
+  }
+  report_.host.arena_hugepage_bytes = PayloadArena::global().hugepage_bytes();
   publish_pool();
+  publish_wire();
   if (obs::MetricsRegistry::global().enabled()) {
     report_.metrics = obs::MetricsRegistry::global().snapshot();
   }

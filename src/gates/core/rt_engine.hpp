@@ -31,6 +31,7 @@
 #include "gates/core/report.hpp"
 #include "gates/net/link_shaper.hpp"
 #include "gates/net/message.hpp"
+#include "gates/net/remote_link.hpp"
 #include "gates/net/topology.hpp"
 
 namespace gates::core {
@@ -90,6 +91,25 @@ class RtEngine {
     /// Defaults to the host-adapted balanced mode (no pause-spinning on a
     /// single-core box, where spinning starves the peer).
     IdleConfig idle = IdleConfig::for_host();
+    /// Cross-process transport endpoints (gates_node deployments). An
+    /// egress link turns the indexed stage into a remote outlet: drained
+    /// input is framed and sent instead of processed, with a local
+    /// RetentionRing released by exact acks from the wire so replay works
+    /// across a peer restart. An ingress link turns the indexed source
+    /// into a remote inlet: its run loop decodes frames from the link and
+    /// feeds the local target stage, acking upstream as items clear local
+    /// processing. Both maps are empty for single-process runs.
+    struct Remote {
+      std::map<std::size_t, std::shared_ptr<net::RemoteLink>> egress_links;
+      std::map<std::size_t, std::shared_ptr<net::RemoteLink>> ingress_links;
+      /// Wire-side retention per egress link (unacked packets replayable
+      /// after a peer restart).
+      std::size_t retention_packets = 8192;
+      /// How long an egress waits after sending EOS for the peer to ack
+      /// everything before giving up (a crashed, never-revived peer).
+      Duration eos_barrier_timeout = 10.0;
+    };
+    Remote remote;
   };
 
   RtEngine(PipelineSpec spec, Placement placement, HostModel hosts,

@@ -1420,6 +1420,10 @@ void SimEngine::finalize_report(bool completed) {
     report_.stages.push_back(stage->build_report());
   }
   report_.failures = failures_;
+  // Host facts only: a simulated run has no pin/idle configuration, and its
+  // figures do not depend on the wall-clock machine — but the row should
+  // still say where it ran.
+  report_.host = HostInfo::detect();
   auto add_link_report = [&](const net::SimLink& link, const MonitoredLink* ml) {
     LinkReport r;
     r.name = link.config().name;

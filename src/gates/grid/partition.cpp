@@ -1,0 +1,141 @@
+#include "gates/grid/partition.hpp"
+
+#include <string>
+
+#include "gates/core/processor.hpp"
+
+namespace gates::grid {
+namespace {
+
+/// Placeholder code for a synthetic egress stage. The engine replaces the
+/// stage's run loop with the remote outlet (frames drained input onto the
+/// channel's RemoteLink), so this processor is instantiated but never runs
+/// a packet; it exists only to satisfy the stage lifecycle.
+class RemoteEgressProcessor final : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet&, core::Emitter&) override {}
+  std::string name() const override { return "__remote-egress"; }
+};
+
+}  // namespace
+
+std::size_t partition_process_of_node(NodeId node, std::size_t processes) {
+  if (processes == 0) return 0;
+  return static_cast<std::size_t>(node) % processes;
+}
+
+StatusOr<PartitionPlan> partition_pipeline(const core::PipelineSpec& spec,
+                                           const core::Placement& placement,
+                                           std::size_t processes) {
+  if (processes == 0) return invalid_argument("partition: processes must be > 0");
+  if (placement.stage_nodes.size() != spec.stages.size()) {
+    return invalid_argument("partition: placement/stage count mismatch");
+  }
+
+  PartitionPlan plan;
+  plan.processes = processes;
+  plan.parts.resize(processes);
+  plan.process_of_stage.resize(spec.stages.size());
+
+  // Stage assignment + local index maps.
+  std::vector<std::size_t> local_of_stage(spec.stages.size());
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    const std::size_t p =
+        partition_process_of_node(placement.stage_nodes[i], processes);
+    plan.process_of_stage[i] = p;
+    PartitionPart& part = plan.parts[p];
+    local_of_stage[i] = part.spec.stages.size();
+    part.spec.stages.push_back(spec.stages[i]);
+    part.placement.stage_nodes.push_back(placement.stage_nodes[i]);
+    part.stage_global.push_back(i);
+  }
+  for (PartitionPart& part : plan.parts) part.spec.name = spec.name;
+
+  // Sources follow their target stage's process.
+  for (const core::SourceSpec& source : spec.sources) {
+    if (source.target_stage >= spec.stages.size()) {
+      return invalid_argument("partition: source targets unknown stage");
+    }
+    const std::size_t p = plan.process_of_stage[source.target_stage];
+    PartitionPart& part = plan.parts[p];
+    core::SourceSpec local = source;
+    local.target_stage = local_of_stage[source.target_stage];
+    part.spec.sources.push_back(std::move(local));
+  }
+
+  // Edges: local ones are remapped in place; cross-process ones become
+  // channels (egress stage sender-side, ingress source receiver-side).
+  for (std::size_t e = 0; e < spec.edges.size(); ++e) {
+    const core::EdgeSpec& edge = spec.edges[e];
+    if (edge.from_stage >= spec.stages.size() ||
+        edge.to_stage >= spec.stages.size()) {
+      return invalid_argument("partition: edge references unknown stage");
+    }
+    const std::size_t pa = plan.process_of_stage[edge.from_stage];
+    const std::size_t pb = plan.process_of_stage[edge.to_stage];
+    if (pa == pb) {
+      core::EdgeSpec local = edge;
+      local.from_stage = local_of_stage[edge.from_stage];
+      local.to_stage = local_of_stage[edge.to_stage];
+      plan.parts[pa].spec.edges.push_back(local);
+      continue;
+    }
+
+    PartitionChannel channel;
+    channel.id = static_cast<std::uint32_t>(plan.channels.size());
+    channel.edge_index = e;
+    channel.from_process = pa;
+    channel.to_process = pb;
+    channel.from_node = placement.stage_nodes[edge.from_stage];
+    channel.to_node = placement.stage_nodes[edge.to_stage];
+
+    // Sender side: __egress:<id> on the FROM node, fed by the original
+    // edge's port. The local push into it is a loopback (no throttle);
+    // the cross-node bandwidth is charged on the receiving side.
+    PartitionPart& sender = plan.parts[pa];
+    core::StageSpec egress;
+    egress.name = "__egress:" + std::to_string(channel.id);
+    egress.factory = [] { return std::make_unique<RemoteEgressProcessor>(); };
+    // Match the original consumer's buffer so upstream backpressure kicks
+    // in at the same queue depth it would have in process.
+    egress.input_capacity = spec.stages[edge.to_stage].input_capacity;
+    const std::size_t egress_local = sender.spec.stages.size();
+    sender.spec.stages.push_back(std::move(egress));
+    sender.placement.stage_nodes.push_back(channel.from_node);
+    sender.stage_global.push_back(kSyntheticStage);
+    sender.spec.edges.push_back(
+        {local_of_stage[edge.from_stage], egress_local, edge.port});
+    sender.egress_channels[egress_local] = channel.id;
+
+    // Receiver side: __ingress:<id> located at the FROM node, targeting
+    // the original downstream stage — its push acquires the original
+    // from_node -> to_node throttle gate, so the wire hop pays the
+    // configured link bandwidth exactly once.
+    PartitionPart& receiver = plan.parts[pb];
+    core::SourceSpec ingress;
+    ingress.name = "__ingress:" + std::to_string(channel.id);
+    ingress.location = channel.from_node;
+    ingress.target_stage = local_of_stage[edge.to_stage];
+    ingress.rate_hz = 1;       // unused: the remote inlet run loop is
+    ingress.total_packets = 1; // driven by the link, not by pacing
+    const std::size_t ingress_local = receiver.spec.sources.size();
+    receiver.spec.sources.push_back(std::move(ingress));
+    receiver.ingress_channels[ingress_local] = channel.id;
+
+    plan.channels.push_back(channel);
+  }
+
+  for (std::size_t p = 0; p < processes; ++p) {
+    PartitionPart& part = plan.parts[p];
+    if (part.spec.stages.empty()) continue;  // idle process: nothing placed
+    if (auto s = part.spec.validate(); !s.is_ok()) {
+      return Status(s.code(),
+                    "partition: part " + std::to_string(p) +
+                        " invalid: " + s.message());
+    }
+  }
+  return plan;
+}
+
+}  // namespace gates::grid

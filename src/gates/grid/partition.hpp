@@ -1,0 +1,87 @@
+// Pipeline partitioning for multi-process deployment (gates_node daemons).
+//
+// Splits a deployed pipeline into one sub-pipeline per process so that a
+// pipeline spanning N grid nodes runs as N real OS processes connected by
+// gates::net::RemoteLink transports — the paper's Fig. 5 configuration on
+// actual process boundaries instead of in-process threads.
+//
+// The split is purely a function of (spec, placement, process count), so
+// the coordinator and every daemon compute the identical plan from the
+// same grid/app configuration without shipping serialized factories:
+//
+//   - A stage runs in the process hosting its placement node
+//     (process = node id % processes).
+//   - A source runs in the process of its target stage (the decoded wire
+//     hop re-creates the cross-node transfer, see below).
+//   - Every edge whose endpoints land in different processes becomes a
+//     *channel*: in the sending process the edge is re-pointed at a
+//     synthetic "__egress:<id>" stage (a remote outlet the engine turns
+//     into a framed RemoteLink sender), and in the receiving process a
+//     synthetic "__ingress:<id>" source (a remote inlet) feeds the
+//     original downstream stage.
+//
+// Bandwidth modeling is preserved exactly: the egress stage is placed on
+// the sending edge's FROM node (so the local push to it is a loopback),
+// while the ingress source is located at the FROM node targeting a stage
+// on the TO node — its push acquires the original cross-node throttle
+// gate, so the wire hop pays the configured link bandwidth once, in the
+// receiving process, just as the in-process engine paid it once.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "gates/common/status.hpp"
+#include "gates/core/pipeline.hpp"
+
+namespace gates::grid {
+
+/// One cross-process flow (= one original edge crossing the split).
+struct PartitionChannel {
+  std::uint32_t id = 0;          // dense, ordered by original edge index
+  std::size_t edge_index = 0;    // index into the original spec.edges
+  std::size_t from_process = 0;  // sender (hosts the __egress stage)
+  std::size_t to_process = 0;    // receiver (hosts the __ingress source)
+  NodeId from_node = 0;
+  NodeId to_node = 0;
+};
+
+/// One process's share of the pipeline.
+struct PartitionPart {
+  core::PipelineSpec spec;
+  core::Placement placement;
+  /// Local stage index -> channel id, for every synthetic egress stage
+  /// (feed these to RtEngine::Config::Remote::egress_links).
+  std::map<std::size_t, std::uint32_t> egress_channels;
+  /// Local source index -> channel id, for every synthetic ingress source
+  /// (feed these to RtEngine::Config::Remote::ingress_links).
+  std::map<std::size_t, std::uint32_t> ingress_channels;
+  /// Local stage index -> original stage index; kSyntheticStage for the
+  /// added egress stages (used when merging per-process reports).
+  std::vector<std::size_t> stage_global;
+};
+
+inline constexpr std::size_t kSyntheticStage =
+    std::numeric_limits<std::size_t>::max();
+
+struct PartitionPlan {
+  std::size_t processes = 1;
+  std::vector<PartitionPart> parts;         // size == processes
+  std::vector<PartitionChannel> channels;   // ordered by id
+  std::vector<std::size_t> process_of_stage;  // original stage -> process
+};
+
+/// The deterministic node -> process rule shared by coordinator and daemons.
+std::size_t partition_process_of_node(NodeId node, std::size_t processes);
+
+/// Splits a validated, deployed pipeline. Stage factories are carried into
+/// the parts by copy, so the caller that launched the application can run
+/// its own part directly; a coordinator that only needs the channel map
+/// may partition a factory-less spec just the same.
+StatusOr<PartitionPlan> partition_pipeline(const core::PipelineSpec& spec,
+                                           const core::Placement& placement,
+                                           std::size_t processes);
+
+}  // namespace gates::grid

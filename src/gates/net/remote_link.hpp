@@ -1,0 +1,97 @@
+// RemoteLink — one duplex inter-process channel behind a transport-neutral
+// interface, selected per link pair the way MPICH-G2 picks vendor MPI vs.
+// TCP: co-located processes use the shared-memory ring (shm_link.hpp),
+// everything else nonblocking TCP (tcp_link.hpp).
+//
+// The data direction carries batched DATA frames (one send_data() per
+// engine batch — the flush coalescing rides the existing Batching knobs);
+// the reverse direction carries exact ACK frames and the EOS barrier so the
+// sender's RetentionRing replay discipline works across the wire exactly
+// like in-process. recv() is nonblocking with an optional bounded wait.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gates/common/status.hpp"
+#include "gates/net/wire.hpp"
+
+namespace gates::net {
+
+/// Per-link transfer counters, all relaxed atomics: workers bump them on
+/// the data path, the engine's control tick publishes them as
+/// gates_wire_* metrics.
+struct WireStats {
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> packets_out{0};
+  std::atomic<std::uint64_t> packets_in{0};
+  std::atomic<std::uint64_t> acks_out{0};
+  std::atomic<std::uint64_t> acks_in{0};
+  std::atomic<std::uint64_t> reconnects{0};
+};
+
+/// One received event, already decoded. kNone = timeout with no frame.
+struct RecvEvent {
+  enum class Kind {
+    kNone,
+    kData,
+    kAcks,
+    kEos,
+    kHello,
+    kRpcRequest,
+    kRpcResponse,
+    kShutdown,
+  };
+  Kind kind = Kind::kNone;
+  std::vector<wire::WirePacket> packets;  // kData
+  std::vector<std::uint64_t> acks;        // kAcks
+  std::uint64_t base_seq = 0;             // kEos seq / RPC request id
+  std::string method;                     // RPC
+  ByteBuffer body;                        // RPC payload
+};
+
+class RemoteLink {
+ public:
+  virtual ~RemoteLink() = default;
+
+  /// Sends one DATA frame gathering the whole batch. Payload buffers are
+  /// released (moved from) on success. Blocks only on transport
+  /// backpressure (full socket buffer / full ring) — that is the remote
+  /// rendering of a blocking in-process push.
+  virtual Status send_data(std::vector<wire::WirePacket>& batch) = 0;
+  virtual Status send_acks(const std::vector<std::uint64_t>& seqs) = 0;
+  virtual Status send_eos(std::uint64_t seq) = 0;
+  virtual Status send_control(wire::FrameType type, std::uint64_t base_seq,
+                              std::string_view method,
+                              std::string_view body) = 0;
+
+  /// Receives the next event. timeout_seconds == 0 polls; > 0 waits at
+  /// most that long. Kind::kNone on timeout; an error Status means the
+  /// peer is gone or the stream is corrupt.
+  virtual StatusOr<RecvEvent> recv(double timeout_seconds) = 0;
+
+  /// Re-establishes a broken connection (client reconnects, server
+  /// re-accepts). Unsupported transports return failed_precondition.
+  virtual Status reconnect() {
+    return failed_precondition("link does not support reconnect");
+  }
+
+  virtual void close() = 0;
+
+  const std::string& name() const { return name_; }
+  std::uint32_t channel_id() const { return channel_id_; }
+  WireStats& stats() { return stats_; }
+
+ protected:
+  std::string name_ = "link";
+  std::uint32_t channel_id_ = 0;
+  WireStats stats_;
+};
+
+}  // namespace gates::net

@@ -1,0 +1,74 @@
+// Shared-memory transport behind RemoteLink, for co-located processes.
+//
+// One link owns two SPSC rings named off a common base: "<base>.d" carries
+// DATA/EOS frames from the sending side to the receiving side, "<base>.a"
+// carries ACK/control frames back. The receiving (server) side creates
+// both segments; the sending (client) side attaches. Frames are the exact
+// same bytes as the TCP transport — encoded contiguously into the ring
+// slot (the ring write is the one outbound copy) and decoded with
+// wire::decode_data_body into arena blocks on the way out (the one inbound
+// copy). Oversize batches are split so every frame fits in a ring slot.
+//
+// A link is owned by one thread per direction, same as TcpRemoteLink.
+// reconnect() is unsupported: if a co-located peer dies, the segment dies
+// with it, and the coordinator respawns over fresh ring names.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gates/common/idle_strategy.hpp"
+#include "gates/common/status.hpp"
+#include "gates/net/remote_link.hpp"
+#include "gates/net/shm_ring.hpp"
+
+namespace gates::net {
+
+class ShmRemoteLink final : public RemoteLink {
+ public:
+  static constexpr std::size_t kDefaultRingBytes = 1u << 20;
+
+  /// Receiving end: creates "<base>.d" and "<base>.a".
+  static StatusOr<std::shared_ptr<ShmRemoteLink>> serve(
+      const std::string& base, std::uint32_t channel, std::string name,
+      std::size_t ring_bytes = kDefaultRingBytes,
+      IdleConfig idle = IdleConfig::for_host());
+
+  /// Sending end: attaches to segments the peer created, waiting up to
+  /// `attach_timeout_seconds` for them to appear.
+  static StatusOr<std::shared_ptr<ShmRemoteLink>> dial(
+      const std::string& base, std::uint32_t channel, std::string name,
+      double attach_timeout_seconds = 30.0,
+      IdleConfig idle = IdleConfig::for_host());
+
+  ~ShmRemoteLink() override;
+
+  Status send_data(std::vector<wire::WirePacket>& batch) override;
+  Status send_acks(const std::vector<std::uint64_t>& seqs) override;
+  Status send_eos(std::uint64_t seq) override;
+  Status send_control(wire::FrameType type, std::uint64_t base_seq,
+                      std::string_view method, std::string_view body) override;
+  StatusOr<RecvEvent> recv(double timeout_seconds) override;
+  void close() override;
+
+ private:
+  ShmRemoteLink() = default;
+
+  /// Encodes [first, last) as one contiguous DATA frame and writes it into
+  /// the data ring.
+  Status send_data_range(std::vector<wire::WirePacket>& batch,
+                         std::size_t first, std::size_t last);
+  /// Decodes one raw frame record into an event.
+  StatusOr<RecvEvent> decode_record(const std::vector<std::uint8_t>& rec);
+
+  bool server_ = false;  // server reads data ring / writes ack ring
+  std::shared_ptr<ShmRing> data_ring_;
+  std::shared_ptr<ShmRing> ack_ring_;
+  IdleConfig idle_;
+  wire::DataFrameEncoder encoder_;
+  std::vector<std::uint8_t> frame_scratch_;  // ack/control staging
+  std::vector<std::uint8_t> record_;         // inbound record staging
+};
+
+}  // namespace gates::net

@@ -1,0 +1,305 @@
+#include "gates/net/wire.hpp"
+
+#include <algorithm>
+
+namespace gates::net::wire {
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "data";
+    case FrameType::kAck: return "ack";
+    case FrameType::kEos: return "eos";
+    case FrameType::kHello: return "hello";
+    case FrameType::kRpcRequest: return "rpc-request";
+    case FrameType::kRpcResponse: return "rpc-response";
+    case FrameType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+void encode_header(const FrameHeader& h, std::uint8_t out[kHeaderBytes]) {
+  put_u32(out, kMagic);
+  out[4] = h.version;
+  out[5] = static_cast<std::uint8_t>(h.type);
+  put_u16(out + 6, h.flags);
+  put_u32(out + 8, h.channel);
+  put_u32(out + 12, h.count);
+  put_u64(out + 16, h.base_seq);
+  put_u32(out + 24, h.body_bytes);
+  put_u32(out + 28, 0);  // reserved
+}
+
+Status decode_header(const std::uint8_t* p, FrameHeader* out) {
+  if (get_u32(p) != kMagic) {
+    return invalid_argument("wire: bad frame magic");
+  }
+  out->version = p[4];
+  if (out->version != kVersion) {
+    return invalid_argument("wire: unsupported frame version " +
+                            std::to_string(out->version));
+  }
+  const std::uint8_t type = p[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kData) ||
+      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    return invalid_argument("wire: unknown frame type " +
+                            std::to_string(type));
+  }
+  out->type = static_cast<FrameType>(type);
+  out->flags = get_u16(p + 6);
+  out->channel = get_u32(p + 8);
+  out->count = get_u32(p + 12);
+  out->base_seq = get_u64(p + 16);
+  out->body_bytes = get_u32(p + 24);
+  if (out->body_bytes > kMaxFrameBody) {
+    return invalid_argument("wire: frame body exceeds cap");
+  }
+  if (out->count > kMaxBatchCount) {
+    return invalid_argument("wire: frame count exceeds cap");
+  }
+  return Status::ok();
+}
+
+void encode_meta(const PacketMeta& m, std::uint8_t out[kMetaBytes]) {
+  put_u64(out, m.seq);
+  put_u32(out + 8, m.stream);
+  put_u32(out + 12, m.kind);
+  put_u32(out + 16, m.records);
+  put_u32(out + 20, m.payload_bytes);
+}
+
+Status decode_meta(const std::uint8_t* p, PacketMeta* out) {
+  out->seq = get_u64(p);
+  out->stream = get_u32(p + 8);
+  out->kind = get_u32(p + 12);
+  out->records = get_u32(p + 16);
+  out->payload_bytes = get_u32(p + 20);
+  if (out->payload_bytes > kMaxPayloadBytes) {
+    return invalid_argument("wire: payload length exceeds cap");
+  }
+  return Status::ok();
+}
+
+void DataFrameEncoder::begin(std::uint32_t channel) {
+  channel_ = channel;
+  count_ = 0;
+  base_seq_ = 0;
+  payload_bytes_ = 0;
+  total_bytes_ = 0;
+  staging_.resize(kHeaderBytes);
+  iovs_.clear();
+  iovs_.emplace_back();  // slot 0 patched to the staging span in finish()
+}
+
+void DataFrameEncoder::add(const WirePacket& packet) {
+  if (count_ == 0) base_seq_ = packet.seq;
+  PacketMeta m;
+  m.seq = packet.seq;
+  m.stream = packet.stream;
+  m.kind = packet.kind;
+  m.records = packet.records;
+  m.payload_bytes = static_cast<std::uint32_t>(packet.payload.size());
+  const std::size_t at = staging_.size();
+  staging_.resize(at + kMetaBytes);
+  encode_meta(m, staging_.data() + at);
+  if (!packet.payload.empty()) {
+    iovec iov;
+    // sendmsg/writev take non-const iov_base; the payload is never written.
+    iov.iov_base = const_cast<std::uint8_t*>(packet.payload.data());
+    iov.iov_len = packet.payload.size();
+    iovs_.push_back(iov);
+    payload_bytes_ += packet.payload.size();
+  }
+  ++count_;
+}
+
+const iovec* DataFrameEncoder::finish(int* iov_count) {
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.channel = channel_;
+  h.count = count_;
+  h.base_seq = base_seq_;
+  h.body_bytes = static_cast<std::uint32_t>(
+      staging_.size() - kHeaderBytes + payload_bytes_);
+  encode_header(h, staging_.data());
+  iovs_[0].iov_base = staging_.data();
+  iovs_[0].iov_len = staging_.size();
+  total_bytes_ = staging_.size() + payload_bytes_;
+  *iov_count = static_cast<int>(iovs_.size());
+  return iovs_.data();
+}
+
+void encode_ack_frame(std::uint32_t channel,
+                      const std::vector<std::uint64_t>& seqs,
+                      std::vector<std::uint8_t>* out) {
+  out->resize(kHeaderBytes + 8 * seqs.size());
+  FrameHeader h;
+  h.type = FrameType::kAck;
+  h.channel = channel;
+  h.count = static_cast<std::uint32_t>(seqs.size());
+  h.base_seq = seqs.empty() ? 0 : seqs.front();
+  h.body_bytes = static_cast<std::uint32_t>(8 * seqs.size());
+  encode_header(h, out->data());
+  std::uint8_t* p = out->data() + kHeaderBytes;
+  for (const std::uint64_t s : seqs) {
+    put_u64(p, s);
+    p += 8;
+  }
+}
+
+void encode_control_frame(FrameType type, std::uint32_t channel,
+                          std::uint64_t base_seq,
+                          std::vector<std::uint8_t>* out) {
+  out->resize(kHeaderBytes);
+  FrameHeader h;
+  h.type = type;
+  h.channel = channel;
+  h.base_seq = base_seq;
+  encode_header(h, out->data());
+}
+
+void encode_rpc_frame(FrameType type, std::uint32_t channel,
+                      std::uint64_t request_id, std::string_view method,
+                      std::string_view body, std::vector<std::uint8_t>* out) {
+  const std::size_t body_bytes = 4 + method.size() + body.size();
+  out->resize(kHeaderBytes + body_bytes);
+  FrameHeader h;
+  h.type = type;
+  h.channel = channel;
+  h.base_seq = request_id;
+  h.body_bytes = static_cast<std::uint32_t>(body_bytes);
+  encode_header(h, out->data());
+  std::uint8_t* p = out->data() + kHeaderBytes;
+  put_u32(p, static_cast<std::uint32_t>(method.size()));
+  std::memcpy(p + 4, method.data(), method.size());
+  std::memcpy(p + 4 + method.size(), body.data(), body.size());
+}
+
+Status decode_data_body(const std::uint8_t* body, std::size_t n,
+                        std::uint32_t count, std::vector<WirePacket>* out) {
+  if (n < static_cast<std::size_t>(count) * kMetaBytes) {
+    return invalid_argument("wire: data body truncated before metadata");
+  }
+  const std::uint8_t* meta = body;
+  const std::uint8_t* payload = body + count * kMetaBytes;
+  std::size_t remaining = n - count * kMetaBytes;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PacketMeta m;
+    if (auto s = decode_meta(meta, &m); !s.is_ok()) return s;
+    meta += kMetaBytes;
+    if (m.payload_bytes > remaining) {
+      return invalid_argument("wire: data body truncated inside payload");
+    }
+    WirePacket wp;
+    wp.seq = m.seq;
+    wp.stream = m.stream;
+    wp.kind = m.kind;
+    wp.records = m.records;
+    if (m.payload_bytes != 0) {
+      // One copy, straight into an arena block.
+      wp.payload = ByteBuffer::uninitialized(m.payload_bytes);
+      std::memcpy(wp.payload.data(), payload, m.payload_bytes);
+    }
+    payload += m.payload_bytes;
+    remaining -= m.payload_bytes;
+    out->push_back(std::move(wp));
+  }
+  if (remaining != 0) {
+    return invalid_argument("wire: trailing bytes after data payloads");
+  }
+  return Status::ok();
+}
+
+Status decode_ack_body(const std::uint8_t* body, std::size_t n,
+                       std::uint32_t count, std::vector<std::uint64_t>* out) {
+  if (n != static_cast<std::size_t>(count) * 8) {
+    return invalid_argument("wire: ack body size mismatch");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out->push_back(get_u64(body + 8 * static_cast<std::size_t>(i)));
+  }
+  return Status::ok();
+}
+
+Status decode_rpc_body(const std::uint8_t* body, std::size_t n,
+                       std::string_view* method, std::string_view* payload) {
+  if (n < 4) return invalid_argument("wire: rpc body too short");
+  const std::uint32_t mlen = get_u32(body);
+  if (static_cast<std::size_t>(mlen) + 4 > n) {
+    return invalid_argument("wire: rpc method length exceeds body");
+  }
+  *method = std::string_view(reinterpret_cast<const char*>(body + 4), mlen);
+  *payload = std::string_view(reinterpret_cast<const char*>(body + 4 + mlen),
+                              n - 4 - mlen);
+  return Status::ok();
+}
+
+Status FrameAssembler::feed(const std::uint8_t* data, std::size_t n) {
+  if (!poisoned_.is_ok()) return poisoned_;
+  // Compact once the consumed prefix dominates, keeping feed() amortized
+  // linear without reallocating per frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+  return Status::ok();
+}
+
+StatusOr<std::optional<Frame>> FrameAssembler::next() {
+  if (!poisoned_.is_ok()) return poisoned_;
+  if (buffered() < kHeaderBytes) return std::optional<Frame>{};
+  FrameHeader h;
+  if (auto s = decode_header(buffer_.data() + consumed_, &h); !s.is_ok()) {
+    poisoned_ = s;
+    return s;
+  }
+  if (buffered() < kHeaderBytes + h.body_bytes) return std::optional<Frame>{};
+  Frame frame;
+  frame.header = h;
+  if (h.body_bytes != 0) {
+    frame.body = ByteBuffer::uninitialized(h.body_bytes);
+    std::memcpy(frame.body.data(), buffer_.data() + consumed_ + kHeaderBytes,
+                h.body_bytes);
+  }
+  consumed_ += kHeaderBytes + h.body_bytes;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+}  // namespace gates::net::wire

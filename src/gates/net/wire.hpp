@@ -1,0 +1,181 @@
+// Length-prefixed wire framing for the inter-process data path.
+//
+// Every remote byte stream — TCP socket or shared-memory ring — carries a
+// sequence of frames: a fixed 32-byte little-endian header followed by a
+// type-specific body. A DATA frame batches whole packets: `count` fixed
+// 24-byte metadata records first, then the payloads back to back. The
+// encoder never copies payload bytes — it stages header + metadata in one
+// reusable buffer and hands the transport an iovec per payload aliasing the
+// packet's COW arena block, so a batched send is one writev()/sendmsg()
+// gather. The decoders go the other way: payload bytes land in freshly
+// acquired arena blocks (ByteBuffer::uninitialized), one copy per
+// direction, no intermediate buffers.
+//
+// All decode paths are Status-returning and bounds-checked against explicit
+// caps; malformed or truncated input is rejected without undefined
+// behavior (fuzzed in tests/net/test_wire.cpp under ASan).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/uio.h>
+
+#include "gates/common/byte_buffer.hpp"
+#include "gates/common/status.hpp"
+
+namespace gates::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x53545447;  // "GTTS" little-endian
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kMetaBytes = 24;
+
+/// Sanity caps on untrusted input. A well-formed peer never approaches
+/// them; a corrupted or hostile stream is rejected before any allocation
+/// sized from its fields.
+inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;
+inline constexpr std::uint32_t kMaxBatchCount = 65536;
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kData = 1,      // batched packets: metas then payloads
+  kAck = 2,       // exact acknowledgements: count u64 wire seqs
+  kEos = 3,       // end-of-stream barrier marker (base_seq = its wire seq)
+  kHello = 4,     // connection preamble / version check
+  kRpcRequest = 5,   // control plane: method string + body
+  kRpcResponse = 6,  // control plane reply (base_seq echoes the request id)
+  kShutdown = 7,  // orderly close
+};
+
+const char* frame_type_name(FrameType t);
+
+struct FrameHeader {
+  std::uint8_t version = kVersion;
+  FrameType type = FrameType::kData;
+  std::uint16_t flags = 0;
+  std::uint32_t channel = 0;
+  std::uint32_t count = 0;
+  std::uint64_t base_seq = 0;
+  std::uint32_t body_bytes = 0;
+};
+
+void encode_header(const FrameHeader& h, std::uint8_t out[kHeaderBytes]);
+/// Requires at least kHeaderBytes at `p`; validates magic, version, type
+/// and caps.
+Status decode_header(const std::uint8_t* p, FrameHeader* out);
+
+/// Per-packet metadata record inside a DATA frame body.
+struct PacketMeta {
+  std::uint64_t seq = 0;  // wire sequence (sender retention ring)
+  std::uint32_t stream = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t records = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+void encode_meta(const PacketMeta& m, std::uint8_t out[kMetaBytes]);
+Status decode_meta(const std::uint8_t* p, PacketMeta* out);
+
+/// A packet as it crosses the wire: metadata plus a payload handle. The
+/// engine converts to/from core::Packet (a ByteBuffer handoff, not a copy);
+/// created_at is restamped at the receiver and traces do not cross the
+/// process boundary.
+struct WirePacket {
+  std::uint64_t seq = 0;
+  std::uint32_t stream = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t records = 0;
+  ByteBuffer payload;
+};
+
+/// Builds a DATA frame as a scatter-gather list. Staging (header + metas)
+/// lives in one reusable buffer; each payload contributes an iovec aliasing
+/// its arena block, so the frame is assembled without copying a payload
+/// byte. Reuse one encoder per link: begin() resets it, add() appends,
+/// finish() patches the header and returns the iovec array.
+class DataFrameEncoder {
+ public:
+  void begin(std::uint32_t channel);
+  /// The payload must stay alive until the gather completes.
+  void add(const WirePacket& packet);
+  /// Finalizes the header; the returned array is valid until the next
+  /// begin(). Empty batches return a valid zero-count frame.
+  const iovec* finish(int* iov_count);
+
+  std::size_t packet_count() const { return count_; }
+  /// Total bytes the gather will write (header + metas + payloads).
+  std::size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<std::uint8_t> staging_;  // header + metas
+  std::vector<iovec> iovs_;
+  std::uint32_t channel_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint64_t base_seq_ = 0;
+  std::size_t payload_bytes_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+/// Encodes an ACK frame (header + count u64 seqs) into `out` (cleared
+/// first). Acks are small and control-plane, so a contiguous buffer is
+/// fine.
+void encode_ack_frame(std::uint32_t channel,
+                      const std::vector<std::uint64_t>& seqs,
+                      std::vector<std::uint8_t>* out);
+
+/// Encodes a bodyless control frame (EOS, HELLO, SHUTDOWN).
+void encode_control_frame(FrameType type, std::uint32_t channel,
+                          std::uint64_t base_seq,
+                          std::vector<std::uint8_t>* out);
+
+/// Encodes an RPC frame: varint-free layout — u32 method length, method
+/// bytes, then the body verbatim.
+void encode_rpc_frame(FrameType type, std::uint32_t channel,
+                      std::uint64_t request_id, std::string_view method,
+                      std::string_view body, std::vector<std::uint8_t>* out);
+
+/// Decodes a DATA body (`count` metas then payloads) into WirePackets;
+/// payload bytes are copied once into fresh arena blocks. Appends to *out.
+Status decode_data_body(const std::uint8_t* body, std::size_t n,
+                        std::uint32_t count, std::vector<WirePacket>* out);
+
+Status decode_ack_body(const std::uint8_t* body, std::size_t n,
+                       std::uint32_t count, std::vector<std::uint64_t>* out);
+
+/// Splits an RPC body into method and payload views into `body`.
+Status decode_rpc_body(const std::uint8_t* body, std::size_t n,
+                       std::string_view* method, std::string_view* payload);
+
+/// One reassembled frame: decoded header plus the raw body bytes (arena
+/// backed). DATA bodies still need decode_data_body().
+struct Frame {
+  FrameHeader header;
+  ByteBuffer body;
+};
+
+/// Incremental reassembler for byte streams that arrive in arbitrary
+/// chunks (the control connection, and the partial-read tests). feed()
+/// appends bytes; next() yields completed frames. A protocol violation
+/// poisons the assembler — every later call returns the same error, since
+/// resynchronizing an untrusted stream mid-frame is not meaningful.
+class FrameAssembler {
+ public:
+  Status feed(const std::uint8_t* data, std::size_t n);
+  /// Ok(frame) when one is complete, Ok(nullopt) when more bytes are
+  /// needed; the poisoning error otherwise.
+  StatusOr<std::optional<Frame>> next();
+
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  Status poisoned_ = Status::ok();
+};
+
+}  // namespace gates::net::wire

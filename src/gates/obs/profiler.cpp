@@ -12,6 +12,8 @@ const char* phase_name(Phase phase) {
     case Phase::kMergeHold: return "merge-hold";
     case Phase::kShaperDelay: return "shaper-delay";
     case Phase::kAckRetention: return "ack-retention";
+    case Phase::kSerialize: return "serialize";
+    case Phase::kDeserialize: return "deserialize";
   }
   return "?";
 }

@@ -37,8 +37,10 @@ enum class Phase : std::uint8_t {
   kMergeHold,
   kShaperDelay,
   kAckRetention,
+  kSerialize,    // wire encode + transport send on a remote egress
+  kDeserialize,  // wire decode + arena landing on a remote ingress
 };
-inline constexpr std::size_t kPhaseCount = 5;
+inline constexpr std::size_t kPhaseCount = 7;
 
 const char* phase_name(Phase phase);
 

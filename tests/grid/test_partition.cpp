@@ -1,0 +1,213 @@
+// partition_pipeline: the deterministic split of a deployed pipeline into
+// per-process sub-pipelines with synthetic egress/ingress endpoints. The
+// plan must be a pure function of (spec, placement, processes) — the
+// coordinator and every daemon derive it independently — and must preserve
+// the bandwidth model (egress on the FROM node, ingress source located at
+// the FROM node targeting the TO-node stage).
+#include "gates/grid/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gates/core/processor.hpp"
+
+namespace gates::grid {
+namespace {
+
+class NullProcessor : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet& packet, core::Emitter& emitter) override {
+    emitter.emit(packet);
+  }
+  std::string name() const override { return "null"; }
+};
+
+core::ProcessorFactory null_factory() {
+  return [] { return std::make_unique<NullProcessor>(); };
+}
+
+/// chain4 shape: src -> s1 -> s2 -> s3 -> sink, s1/s2 on node 0, s3/sink on
+/// node 1 — exactly one cross edge (s2 -> s3).
+core::PipelineSpec chain4_spec() {
+  core::PipelineSpec spec;
+  spec.name = "chain4";
+  for (const char* name : {"s1", "s2", "s3", "sink"}) {
+    core::StageSpec st;
+    st.name = name;
+    st.factory = null_factory();
+    spec.stages.push_back(std::move(st));
+  }
+  spec.edges.push_back({0, 1, 0});
+  spec.edges.push_back({1, 2, 0});
+  spec.edges.push_back({2, 3, 0});
+  core::SourceSpec src;
+  src.name = "src";
+  src.rate_hz = 1000;
+  src.total_packets = 10;
+  src.target_stage = 0;
+  src.location = 0;
+  spec.sources.push_back(std::move(src));
+  return spec;
+}
+
+core::Placement chain4_placement() {
+  core::Placement p;
+  p.stage_nodes = {0, 0, 1, 1};
+  return p;
+}
+
+TEST(Partition, ProcessOfNodeIsModulo) {
+  EXPECT_EQ(partition_process_of_node(0, 2), 0u);
+  EXPECT_EQ(partition_process_of_node(1, 2), 1u);
+  EXPECT_EQ(partition_process_of_node(5, 2), 1u);
+  EXPECT_EQ(partition_process_of_node(5, 3), 2u);
+  EXPECT_EQ(partition_process_of_node(7, 1), 0u);
+}
+
+TEST(Partition, SingleProcessKeepsEverythingLocal) {
+  auto plan = partition_pipeline(chain4_spec(), chain4_placement(), 1);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_EQ(plan->channels.size(), 0u);
+  ASSERT_EQ(plan->parts.size(), 1u);
+  EXPECT_EQ(plan->parts[0].spec.stages.size(), 4u);
+  EXPECT_EQ(plan->parts[0].spec.edges.size(), 3u);
+  EXPECT_TRUE(plan->parts[0].egress_channels.empty());
+  EXPECT_TRUE(plan->parts[0].ingress_channels.empty());
+}
+
+TEST(Partition, Chain4SplitsIntoOneChannel) {
+  auto plan = partition_pipeline(chain4_spec(), chain4_placement(), 2);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  ASSERT_EQ(plan->channels.size(), 1u);
+  const PartitionChannel& ch = plan->channels[0];
+  EXPECT_EQ(ch.id, 0u);
+  EXPECT_EQ(ch.edge_index, 1u);  // the s2 -> s3 edge
+  EXPECT_EQ(ch.from_process, 0u);
+  EXPECT_EQ(ch.to_process, 1u);
+  EXPECT_EQ(ch.from_node, 0u);
+  EXPECT_EQ(ch.to_node, 1u);
+  EXPECT_EQ(plan->process_of_stage,
+            (std::vector<std::size_t>{0, 0, 1, 1}));
+
+  // Part 0: s1, s2, plus the synthetic egress; the real source.
+  const PartitionPart& p0 = plan->parts[0];
+  ASSERT_EQ(p0.spec.stages.size(), 3u);
+  EXPECT_EQ(p0.spec.stages[0].name, "s1");
+  EXPECT_EQ(p0.spec.stages[1].name, "s2");
+  EXPECT_EQ(p0.spec.stages[2].name, "__egress:0");
+  ASSERT_EQ(p0.spec.sources.size(), 1u);
+  EXPECT_EQ(p0.spec.sources[0].name, "src");
+  ASSERT_EQ(p0.egress_channels.size(), 1u);
+  EXPECT_EQ(p0.egress_channels.at(2), 0u);
+  EXPECT_TRUE(p0.ingress_channels.empty());
+  // stage_global maps the locals back; the egress is synthetic.
+  ASSERT_EQ(p0.stage_global.size(), 3u);
+  EXPECT_EQ(p0.stage_global[0], 0u);
+  EXPECT_EQ(p0.stage_global[1], 1u);
+  EXPECT_EQ(p0.stage_global[2], kSyntheticStage);
+  // Both local edges survive: s1->s2 and s2->__egress.
+  ASSERT_EQ(p0.spec.edges.size(), 2u);
+  EXPECT_EQ(p0.spec.edges[1].from_stage, 1u);
+  EXPECT_EQ(p0.spec.edges[1].to_stage, 2u);
+  // Bandwidth model: the egress stage sits on the FROM node (loopback push).
+  ASSERT_EQ(p0.placement.stage_nodes.size(), 3u);
+  EXPECT_EQ(p0.placement.stage_nodes[2], 0u);
+  ASSERT_TRUE(p0.spec.validate().is_ok());
+
+  // Part 1: s3, sink; the synthetic ingress source feeds s3 from the FROM
+  // node so its push pays the original cross-node throttle gate.
+  const PartitionPart& p1 = plan->parts[1];
+  ASSERT_EQ(p1.spec.stages.size(), 2u);
+  EXPECT_EQ(p1.spec.stages[0].name, "s3");
+  EXPECT_EQ(p1.spec.stages[1].name, "sink");
+  ASSERT_EQ(p1.spec.sources.size(), 1u);
+  EXPECT_EQ(p1.spec.sources[0].name, "__ingress:0");
+  EXPECT_EQ(p1.spec.sources[0].target_stage, 0u);
+  EXPECT_EQ(p1.spec.sources[0].location, 0u);  // FROM node
+  ASSERT_EQ(p1.ingress_channels.size(), 1u);
+  EXPECT_EQ(p1.ingress_channels.at(0), 0u);
+  EXPECT_TRUE(p1.egress_channels.empty());
+  ASSERT_EQ(p1.spec.edges.size(), 1u);  // s3 -> sink stays local
+  ASSERT_TRUE(p1.spec.validate().is_ok());
+}
+
+TEST(Partition, PlanIsDeterministicAcrossCalls) {
+  auto a = partition_pipeline(chain4_spec(), chain4_placement(), 2);
+  auto b = partition_pipeline(chain4_spec(), chain4_placement(), 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->channels.size(), b->channels.size());
+  for (std::size_t i = 0; i < a->channels.size(); ++i) {
+    EXPECT_EQ(a->channels[i].id, b->channels[i].id);
+    EXPECT_EQ(a->channels[i].edge_index, b->channels[i].edge_index);
+    EXPECT_EQ(a->channels[i].from_process, b->channels[i].from_process);
+    EXPECT_EQ(a->channels[i].to_process, b->channels[i].to_process);
+  }
+  EXPECT_EQ(a->process_of_stage, b->process_of_stage);
+  for (std::size_t p = 0; p < a->parts.size(); ++p) {
+    EXPECT_EQ(a->parts[p].spec.stages.size(), b->parts[p].spec.stages.size());
+    EXPECT_EQ(a->parts[p].egress_channels, b->parts[p].egress_channels);
+    EXPECT_EQ(a->parts[p].ingress_channels, b->parts[p].ingress_channels);
+  }
+}
+
+/// A fan-out across the boundary: one upstream feeding two downstream
+/// stages in the other process makes two independent channels.
+TEST(Partition, FanOutAcrossBoundaryMakesTwoChannels) {
+  core::PipelineSpec spec;
+  for (const char* name : {"a", "b", "c"}) {
+    core::StageSpec st;
+    st.name = name;
+    st.factory = null_factory();
+    spec.stages.push_back(std::move(st));
+  }
+  spec.edges.push_back({0, 1, 0});  // a -> b crosses
+  spec.edges.push_back({0, 2, 0});  // a -> c crosses
+  core::SourceSpec src;
+  src.target_stage = 0;
+  src.total_packets = 1;
+  spec.sources.push_back(std::move(src));
+  core::Placement placement;
+  placement.stage_nodes = {0, 1, 1};
+
+  auto plan = partition_pipeline(spec, placement, 2);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  ASSERT_EQ(plan->channels.size(), 2u);
+  EXPECT_EQ(plan->channels[0].edge_index, 0u);
+  EXPECT_EQ(plan->channels[1].edge_index, 1u);
+  // Sender hosts two egress stages, receiver two ingress sources.
+  EXPECT_EQ(plan->parts[0].egress_channels.size(), 2u);
+  EXPECT_EQ(plan->parts[1].ingress_channels.size(), 2u);
+  ASSERT_TRUE(plan->parts[0].spec.validate().is_ok());
+  ASSERT_TRUE(plan->parts[1].spec.validate().is_ok());
+}
+
+/// Sources follow their target stage's process, wherever they are located.
+TEST(Partition, SourceFollowsTargetStage) {
+  core::PipelineSpec spec;
+  core::StageSpec st;
+  st.name = "only";
+  st.factory = null_factory();
+  spec.stages.push_back(std::move(st));
+  core::SourceSpec src;
+  src.location = 0;     // instrument on node 0...
+  src.target_stage = 0;  // ...feeding a stage on node 1
+  src.total_packets = 1;
+  spec.sources.push_back(std::move(src));
+  core::Placement placement;
+  placement.stage_nodes = {1};
+
+  auto plan = partition_pipeline(spec, placement, 2);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_EQ(plan->channels.size(), 0u);  // no stage edge crosses
+  EXPECT_TRUE(plan->parts[0].spec.stages.empty());
+  ASSERT_EQ(plan->parts[1].spec.sources.size(), 1u);
+  // The source kept its physical location: its push still pays the
+  // node0 -> node1 link inside the receiving process.
+  EXPECT_EQ(plan->parts[1].spec.sources[0].location, 0u);
+}
+
+}  // namespace
+}  // namespace gates::grid

@@ -1,0 +1,65 @@
+// gates_node — one grid-service daemon process. The coordinator
+// (gates_run --daemons N) spawns these, drives the control phases over the
+// RPC frames of gates::net::wire, and the daemon runs its partition of the
+// pipeline on a real-time engine with RemoteLink transports to its peers.
+//
+//   gates_node --port-file /tmp/node0.port
+//   gates_node --control-port 7001 --verbose
+//
+// Flags:
+//   --control-port N   control listener port (default 0 = ephemeral)
+//   --port-file FILE   write the bound control port here (coordinator polls)
+//   --verbose          middleware INFO logging
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "gates/apps/registration.hpp"
+#include "gates/common/log.hpp"
+#include "gates/common/string_util.hpp"
+#include "gates/grid/node_remote.hpp"
+
+int main(int argc, char** argv) {
+  gates::grid::NodeDaemon::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--control-port") {
+      const char* v = next();
+      long long n;
+      if (!v || !gates::parse_int(v, n) || n < 0 || n > 65535) {
+        std::fprintf(stderr, "bad --control-port\n");
+        return 2;
+      }
+      options.control_port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) {
+        std::fprintf(stderr, "--port-file needs a path\n");
+        return 2;
+      }
+      options.port_file = v;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--control-port N] [--port-file FILE] "
+                   "[--verbose]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  gates::Logger::global().set_level(options.verbose ? gates::LogLevel::kInfo
+                                                    : gates::LogLevel::kWarn);
+  // Same registries as gates_run: deterministic deployment depends on the
+  // daemon resolving the identical builtin:// processor set.
+  gates::apps::register_all();
+  const auto status = gates::grid::NodeDaemon::run(options);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "gates_node: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}

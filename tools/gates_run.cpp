@@ -31,6 +31,16 @@
 //   --chaos-report FILE  write the chaos RunReport + verdicts as JSON
 //   --verbose          middleware INFO logging
 //
+// Multi-process deployment (rt engine only; see grid/node_remote.hpp):
+//   --daemons N        split the pipeline across N gates_node daemon
+//                      processes (node id % N picks the process) connected
+//                      by the wire transports, and run it there
+//   --transport T      inter-daemon transport: tcp (default) or shm
+//   --node-bin PATH    gates_node binary (default: next to this binary)
+//   --kill-daemon K@T  SIGKILL daemon K at T seconds, then respawn it on
+//                      the same ports (requires --failover and tcp): the
+//                      cross-process failover/replay drill
+//
 // Telemetry artifacts (each flag enables the subsystem behind it):
 //   --metrics-out FILE      Prometheus text dump of the metrics registry
 //   --events-out FILE       JSONL trace event log
@@ -48,6 +58,8 @@
 //                           contiguous partition of the allowed cores
 //   --idle MODE             hot-path wait behavior: spin | balanced | park
 //                           (default: balanced, host-adapted)
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -65,6 +77,7 @@
 #include "gates/core/sim_engine.hpp"
 #include "gates/grid/grid_config.hpp"
 #include "gates/grid/launcher.hpp"
+#include "gates/grid/node_remote.hpp"
 #include "gates/obs/exporters.hpp"
 #include "gates/obs/introspect.hpp"
 #include "gates/obs/metrics.hpp"
@@ -101,6 +114,12 @@ struct Options {
   std::vector<LinkOverride> links;
   std::string chaos;
   std::string chaos_report;
+  /// Multi-process deployment: > 0 runs the pipeline across this many
+  /// gates_node daemons instead of in-process.
+  std::size_t daemons = 0;
+  std::string transport = "tcp";
+  std::string node_bin;
+  std::optional<std::pair<std::size_t, double>> kill_daemon;
   bool verbose = false;
   std::string metrics_out;
   std::string events_out;
@@ -190,6 +209,8 @@ int usage(const char* argv0) {
                "[--introspect-port N]\n"
                "       [--emit-report-json FILE] [--print-trajectories]\n"
                "       [--pin] [--idle spin|balanced|park]\n"
+               "       [--daemons N] [--transport tcp|shm] [--node-bin PATH] "
+               "[--kill-daemon K@T]\n"
                "chaos scenarios:",
                argv0);
   for (const std::string& name : gates::chaos::scenario_names()) {
@@ -197,6 +218,71 @@ int usage(const char* argv0) {
   }
   std::fprintf(stderr, "\n");
   return 2;
+}
+
+/// gates_node is expected to sit next to gates_run unless --node-bin says
+/// otherwise.
+std::string default_node_bin() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "gates_node";
+  buf[n] = '\0';
+  const std::string self(buf);
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return "gates_node";
+  return self.substr(0, slash + 1) + "gates_node";
+}
+
+/// The multi-process path: hand everything to the coordinator and report.
+int run_with_daemons(const Options& options, const std::string& grid_text,
+                     const std::string& app_text) {
+  if (options.engine != "rt") {
+    std::fprintf(stderr, "--daemons requires --engine rt\n");
+    return 2;
+  }
+  if (!options.chaos.empty() || !options.replicas.empty() ||
+      !options.kill_nodes.empty() || !options.links.empty()) {
+    std::fprintf(stderr,
+                 "--chaos/--replicas/--kill-node/--link are not supported "
+                 "with --daemons\n");
+    return 2;
+  }
+  grid::DistributedOptions dopts;
+  dopts.grid_text = grid_text;
+  dopts.app_text = app_text;
+  dopts.daemons = options.daemons;
+  dopts.transport = options.transport;
+  dopts.node_bin =
+      options.node_bin.empty() ? default_node_bin() : options.node_bin;
+  dopts.seed = options.seed;
+  dopts.horizon = options.horizon;
+  dopts.adapt = options.adapt;
+  dopts.failover = options.failover;
+  dopts.retention = options.retention;
+  dopts.pin = options.pin;
+  dopts.idle = options.idle;
+  if (options.control_period) dopts.control_period = *options.control_period;
+  dopts.kill_daemon = options.kill_daemon;
+  dopts.verbose = options.verbose;
+  std::printf("distributed: %zu daemons over %s (%s)\n", dopts.daemons,
+              dopts.transport.c_str(), dopts.node_bin.c_str());
+  auto result = grid::run_distributed(dopts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "distributed run: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("distributed run %s (%zu respawns)\n",
+              result->completed ? "completed" : "FAILED", result->respawns);
+  if (!options.report_json_out.empty()) {
+    if (auto s = obs::write_text_file(options.report_json_out,
+                                      result->merged_report_json);
+        !s.is_ok()) {
+      std::fprintf(stderr, "artifact: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+  return result->completed ? 0 : 1;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -285,6 +371,28 @@ bool parse_args(int argc, char** argv, Options& options) {
       const char* v = next();
       if (!v) return false;
       options.chaos_report = v;
+    } else if (arg == "--daemons") {
+      const char* v = next();
+      long long n;
+      if (!v || !parse_int(v, n) || n < 0) return false;
+      options.daemons = static_cast<std::size_t>(n);
+    } else if (arg == "--transport") {
+      const char* v = next();
+      if (!v) return false;
+      options.transport = v;
+      if (options.transport != "tcp" && options.transport != "shm") {
+        std::fprintf(stderr, "--transport must be tcp or shm\n");
+        return false;
+      }
+    } else if (arg == "--node-bin") {
+      const char* v = next();
+      if (!v) return false;
+      options.node_bin = v;
+    } else if (arg == "--kill-daemon") {
+      const char* v = next();
+      std::pair<NodeId, double> nt;
+      if (!v || !parse_node_time(v, nt)) return false;
+      options.kill_daemon = {static_cast<std::size_t>(nt.first), nt.second};
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--metrics-out") {
@@ -544,6 +652,9 @@ int main(int argc, char** argv) {
   }
 
   apps::register_all();
+  if (options.daemons > 0) {
+    return run_with_daemons(options, *grid_text, *app_text);
+  }
   grid::RepositoryRegistry repos;
   grid::Deployer deployer(grid->directory, repos,
                           grid::ProcessorRegistry::global());
