@@ -1,0 +1,371 @@
+// Migration-path characterization (no paper counterpart — GATES '04 only
+// restarts stages in place): a stateful stage is live-migrated mid-run and
+// the downstream digest must be byte-identical to an unmigrated run's, on
+// every tier of the stack —
+//
+//   migration_path/sim      deterministic engine, chained-hash operator
+//   migration_path/rt       threaded engine, same operator, live request
+//   migration_path/tcp      two gates_node daemons: a count-samps summary
+//                           crosses the process boundary, its sketch
+//                           shipped as a CHECKPOINT wire frame
+//   migration_path/shm      same hop over the shared-memory ring pair
+//
+// Each row reports the downstream stall (MigrationRecord.downtime): the
+// window where the quiesced stage emitted nothing. The bench exits nonzero
+// on any digest mismatch or a stall past the budget, making it the
+// correctness oracle for the migration acceptance criterion as well as a
+// latency probe.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "gates/apps/registration.hpp"
+#include "gates/core/checkpoint.hpp"
+#include "gates/core/migration.hpp"
+#include "gates/core/rt_engine.hpp"
+#include "gates/core/sim_engine.hpp"
+#include "gates/grid/node_remote.hpp"
+
+namespace gates::bench {
+namespace {
+
+/// Downstream stall budget (seconds). Generous: the point is boundedness —
+/// the stall must track the quiesce drain, not the stream length.
+constexpr double kStallBudget = 1.0;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Chained-hash operator: every output depends on all prior inputs, so a
+/// lost, duplicated or re-ordered state transition changes the digest.
+class ChainProcessor : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet& packet, core::Emitter& emitter) override {
+    state_ = mix(state_ ^ packet.sequence);
+    core::Packet out = packet;
+    ByteBuffer payload;
+    Serializer s(payload);
+    s.write_u64(packet.sequence);
+    s.write_u64(state_);
+    out.payload = std::move(payload);
+    emitter.emit(std::move(out));
+  }
+  bool checkpoint(core::StateWriter& w) override {
+    w.write_u64(state_);
+    return true;
+  }
+  bool restore(core::StateReader& r) override {
+    return r.read_u64(state_).is_ok();
+  }
+  std::string name() const override { return "chain"; }
+
+  std::uint64_t state_ = 0x6a09e667f3bcc908ULL;
+};
+
+class DigestSink : public core::StreamProcessor {
+ public:
+  void init(core::ProcessorContext&) override {}
+  void process(const core::Packet& packet, core::Emitter&) override {
+    ++count_;
+    digest_ = fold(digest_, packet.sequence);
+    const std::uint8_t* data = packet.payload.data();
+    for (std::size_t i = 0; i < packet.payload.size(); ++i) {
+      digest_ = fold(digest_, data[i]);
+    }
+  }
+  std::string name() const override { return "digest-sink"; }
+
+  static std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+    return (h ^ v) * 0x100000001b3ULL;
+  }
+
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;
+  std::uint64_t count_ = 0;
+};
+
+struct Built {
+  core::PipelineSpec spec;
+  core::Placement placement;
+  core::HostModel hosts;
+  net::Topology topology;
+};
+
+/// source (node 1) -> chain (node 1) -> sink (node 0); node 2 idle — the
+/// migration target.
+Built chain_pipeline(std::uint64_t packets, double rate) {
+  Built b;
+  core::StageSpec chain;
+  chain.name = "chain";
+  chain.factory = [] { return std::make_unique<ChainProcessor>(); };
+  core::StageSpec sink;
+  sink.name = "sink";
+  sink.factory = [] { return std::make_unique<DigestSink>(); };
+  b.spec.stages = {std::move(chain), std::move(sink)};
+  b.spec.edges = {{0, 1, 0}};
+  core::SourceSpec src;
+  src.rate_hz = rate;
+  src.total_packets = packets;
+  src.packet_bytes = 16;
+  src.location = 1;
+  src.target_stage = 0;
+  b.spec.sources = {src};
+  b.placement.stage_nodes = {1, 0};
+  b.hosts.cpu_factor = {1.0, 1.0, 1.0};
+  return b;
+}
+
+struct Measured {
+  bool ok = false;
+  std::uint64_t digest = 0;
+  std::uint64_t packets = 0;
+  double stall = 0;          // MigrationRecord.downtime, 0 for baselines
+  std::uint64_t ckpt_bytes = 0;
+  std::uint64_t replayed = 0;
+};
+
+template <typename Engine>
+Measured from_engine(Engine& engine, bool migrated) {
+  Measured m;
+  auto& sink = dynamic_cast<DigestSink&>(engine.processor(1));
+  m.digest = sink.digest_;
+  m.packets = sink.count_;
+  if (migrated) {
+    if (engine.report().migrations.size() != 1) return m;
+    const core::MigrationRecord& rec = engine.report().migrations[0];
+    if (rec.outcome != core::MigrationRecord::Outcome::kCompleted) return m;
+    m.stall = rec.downtime;
+    m.ckpt_bytes = rec.checkpoint_bytes;
+    m.replayed = rec.packets_replayed;
+  }
+  m.ok = true;
+  return m;
+}
+
+Measured run_sim(bool migrate, std::uint64_t packets, double rate) {
+  auto b = chain_pipeline(packets, rate);
+  core::SimEngine::Config config;
+  config.failover.enabled = true;
+  config.failover.replay_buffer_packets = 4096;
+  core::SimEngine engine(b.spec, b.placement, b.hosts, b.topology, config);
+  if (migrate) engine.schedule_migration(0, 2.5, /*target=*/2);
+  if (!engine.run().is_ok() || !engine.report().completed) return {};
+  if (migrate) {
+    persist_report("migration_path/sim/migrated", engine.report());
+  }
+  return from_engine(engine, migrate);
+}
+
+Measured run_rt(bool migrate, std::uint64_t packets, double rate) {
+  auto b = chain_pipeline(packets, rate);
+  core::RtEngine::Config config;
+  config.adaptation_enabled = false;
+  config.control_period = 0.01;
+  config.max_wall_time = 120;
+  config.failover.enabled = true;
+  config.failover.heartbeat_period = 0.05;
+  config.failover.suspicion_beats = 2;
+  config.failover.replay_buffer_packets = 4096;
+  core::RtEngine engine(b.spec, b.placement, b.hosts, b.topology, config);
+  if (migrate) engine.schedule_migration(0, 0.2, /*target=*/2);
+  if (!engine.run().is_ok() || !engine.report().completed) return {};
+  if (migrate) {
+    persist_report("migration_path/rt/migrated", engine.report());
+  }
+  return from_engine(engine, migrate);
+}
+
+// -- distributed: a count-samps summary crosses the process boundary ---------
+
+const char* kGridXml = R"(
+<grid name="two">
+  <node id="0" hostname="proc0.local" cpu="1.0" memory-mb="4096"/>
+  <node id="1" hostname="proc1.local" cpu="2.0" memory-mb="4096"/>
+  <default-link bandwidth="1e13" latency="0"/>
+</grid>)";
+
+std::string summary_app_xml(std::uint64_t count, double rate) {
+  char buf[2048];
+  // Paced source so the migration lands mid-stream; the summary's sketch
+  // (rng position included) is exactly what the checkpoint must carry for
+  // the downstream summaries to stay byte-identical.
+  std::snprintf(buf, sizeof(buf), R"(
+<application name="migrate-summary">
+  <stages>
+    <stage name="summary" code="builtin://count-samps-summary">
+      <param name="emit-every" value="500"/>
+      <placement node="0"/>
+    </stage>
+    <stage name="sink" code="builtin://hash-sink"><placement node="1"/></stage>
+  </stages>
+  <edges>
+    <edge from="summary" to="sink"/>
+  </edges>
+  <sources>
+    <source name="src" stream="0" rate="%g" count="%llu" target="summary"
+            node="0" type="zipf-u64">
+      <param name="universe" value="5000"/>
+      <param name="theta" value="1.1"/>
+    </source>
+  </sources>
+</application>)",
+                rate, static_cast<unsigned long long>(count));
+  return buf;
+}
+
+std::string node_bin() {
+  if (const char* env = std::getenv("GATES_NODE_BIN")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "gates_node";
+  buf[n] = '\0';
+  std::string path(buf);
+  const auto slash = path.rfind('/');
+  const auto parent = path.rfind('/', slash - 1);
+  return path.substr(0, parent) + "/tools/gates_node";
+}
+
+double json_field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::atof(json.c_str() + pos + needle.size());
+}
+
+Measured run_daemons(const std::string& app_xml, const std::string& transport,
+                     bool migrate, double migrate_at) {
+  const std::string digest_file = "/tmp/gates-migration-path-" +
+                                  std::to_string(::getpid()) + ".digest";
+  ::setenv("GATES_DIGEST_FILE", digest_file.c_str(), 1);
+
+  grid::DistributedOptions opts;
+  opts.grid_text = kGridXml;
+  opts.app_text = app_xml;
+  opts.daemons = 2;
+  opts.transport = transport;
+  opts.node_bin = node_bin();
+  opts.adapt = false;
+  opts.failover = true;  // migration rides the retention/ack machinery
+  opts.max_wall = 120;
+  if (migrate) {
+    opts.migrate_stage = "summary";
+    opts.migrate_at = migrate_at;
+    opts.migrate_target = 1;  // across the process boundary, to the sink's
+  }
+  auto result = grid::run_distributed(opts);
+  ::unsetenv("GATES_DIGEST_FILE");
+  if (!result.ok() || !result->completed) {
+    std::fprintf(stderr, "%s run failed: %s\n", transport.c_str(),
+                 result.ok() ? "incomplete"
+                             : result.status().to_string().c_str());
+    return {};
+  }
+
+  Measured m;
+  std::FILE* f = std::fopen(digest_file.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s run left no digest file\n", transport.c_str());
+    return {};
+  }
+  unsigned long long digest = 0, packets = 0;
+  if (std::fscanf(f, "%llx %llu", &digest, &packets) != 2) {
+    std::fclose(f);
+    return {};
+  }
+  std::fclose(f);
+  std::remove(digest_file.c_str());
+  m.digest = digest;
+  m.packets = packets;
+  if (migrate) {
+    // The coordinator counted the CHECKPOINT frames it relayed; the
+    // migration record itself lives in the origin daemon's report.
+    if (result->checkpoint_frames == 0) {
+      std::fprintf(stderr, "%s: no checkpoint crossed the wire\n",
+                   transport.c_str());
+      return {};
+    }
+    m.ckpt_bytes = result->checkpoint_bytes;
+    if (result->merged_report_json.find("\"outcome\":\"completed\"") ==
+        std::string::npos) {
+      std::fprintf(stderr, "%s: migration did not complete\n",
+                   transport.c_str());
+      return {};
+    }
+    m.stall = json_field(result->merged_report_json, "downtime");
+    m.replayed = static_cast<std::uint64_t>(
+        json_field(result->merged_report_json, "packets_replayed"));
+  }
+  m.ok = true;
+  return m;
+}
+
+}  // namespace
+}  // namespace gates::bench
+
+int main() {
+  using namespace gates::bench;
+  init();
+  header("migration_path",
+         "live stage migration: digest parity and downstream stall");
+  note("A stateful stage is migrated mid-run; its output must be");
+  note("byte-identical to an unmigrated run's on every tier. 'stall' is");
+  note("the window where the quiesced stage emitted nothing downstream");
+  note("(MigrationRecord.downtime; sim stall is virtual time).");
+  rule();
+  gates::apps::register_all();
+
+  std::uint64_t count = 20000;
+  if (const char* env = std::getenv("GATES_MIGRATION_PATH_PACKETS")) {
+    count = std::strtoull(env, nullptr, 10);
+  }
+
+  bool failed = false;
+  std::printf("%-22s %-10s %18s %9s %10s %8s\n", "variant", "packets",
+              "digest", "stall(s)", "ckpt(B)", "parity");
+  const auto row = [&failed](const char* label, const Measured& base,
+                             const Measured& moved) {
+    if (!base.ok || !moved.ok) {
+      std::printf("%-22s FAILED\n", label);
+      failed = true;
+      return;
+    }
+    const bool parity =
+        base.digest == moved.digest && base.packets == moved.packets;
+    const bool bounded = moved.stall <= kStallBudget;
+    std::printf("%-22s %-10llu %016llx %9.4f %10llu %8s\n", label,
+                static_cast<unsigned long long>(moved.packets),
+                static_cast<unsigned long long>(moved.digest), moved.stall,
+                static_cast<unsigned long long>(moved.ckpt_bytes),
+                parity ? (bounded ? "yes" : "SLOW") : "NO");
+    if (!parity) {
+      std::printf("  baseline digest %016llx over %llu packets\n",
+                  static_cast<unsigned long long>(base.digest),
+                  static_cast<unsigned long long>(base.packets));
+    }
+    failed = failed || !parity || !bounded;
+  };
+
+  row("migration_path/sim", run_sim(false, count, 2000),
+      run_sim(true, count, 2000));
+  row("migration_path/rt", run_rt(false, count, 40000),
+      run_rt(true, count, 40000));
+
+  const std::string app_xml = summary_app_xml(count, 40000);
+  row("migration_path/tcp", run_daemons(app_xml, "tcp", false, 0),
+      run_daemons(app_xml, "tcp", true, 0.2));
+  row("migration_path/shm", run_daemons(app_xml, "shm", false, 0),
+      run_daemons(app_xml, "shm", true, 0.2));
+  rule();
+  note(failed ? "FAILED: digest mismatch, unbounded stall, or run error"
+              : "digest parity across sim/rt/tcp/shm; stall within budget");
+  return failed ? 1 : 0;
+}

@@ -85,6 +85,38 @@ void CountSampsSummaryProcessor::finish(core::Emitter& emitter) {
   if (saw_data_) emit_summary(emitter, ctx_->now());
 }
 
+bool CountSampsSummaryProcessor::checkpoint(core::StateWriter& w) {
+  w.write_u64(inserted_);
+  w.write_u64(epoch_);
+  w.write_u32(stream_);
+  w.write_u8(saw_data_ ? 1 : 0);
+  w.write_f64(size_param_->suggested_value());
+  sketch_->save(w);
+  w.write_u8(exact_ ? 1 : 0);
+  if (exact_) exact_->save(w);
+  return true;
+}
+
+bool CountSampsSummaryProcessor::restore(core::StateReader& r) {
+  // init() already ran on the target; overwrite its fresh state wholesale.
+  std::uint8_t saw_data = 0, has_exact = 0;
+  double param = 0;
+  if (!r.read_u64(inserted_).is_ok()) return false;
+  if (!r.read_u64(epoch_).is_ok()) return false;
+  if (!r.read_u32(stream_).is_ok()) return false;
+  if (!r.read_u8(saw_data).is_ok()) return false;
+  if (!r.read_f64(param).is_ok()) return false;
+  saw_data_ = saw_data != 0;
+  size_param_->set_value(param);
+  if (!sketch_->load(r)) return false;
+  if (!r.read_u8(has_exact).is_ok()) return false;
+  if (has_exact != 0) {
+    if (!exact_) exact_.emplace();
+    if (!exact_->load(r)) return false;
+  }
+  return true;
+}
+
 void CountSampsSinkProcessor::init(core::ProcessorContext& ctx) {
   ctx_ = &ctx;
   const auto& props = ctx.properties();
@@ -149,6 +181,32 @@ void CountSampsSinkProcessor::finish(core::Emitter& emitter) {
   if (relay_ && (summaries_received_ > 0 || raw_records_ > 0)) {
     emit_relay(emitter, ctx_->now());
   }
+}
+
+bool CountSampsSinkProcessor::checkpoint(core::StateWriter& w) {
+  w.write_u64(summaries_received_);
+  w.write_u64(raw_records_);
+  w.write_u64(relay_epoch_);
+  sketch_->save(w);
+  merger_.save(w);
+  w.write_u8(exact_ ? 1 : 0);
+  if (exact_) exact_->save(w);
+  return true;
+}
+
+bool CountSampsSinkProcessor::restore(core::StateReader& r) {
+  std::uint8_t has_exact = 0;
+  if (!r.read_u64(summaries_received_).is_ok()) return false;
+  if (!r.read_u64(raw_records_).is_ok()) return false;
+  if (!r.read_u64(relay_epoch_).is_ok()) return false;
+  if (!sketch_->load(r)) return false;
+  if (!merger_.load(r)) return false;
+  if (!r.read_u8(has_exact).is_ok()) return false;
+  if (has_exact != 0) {
+    if (!exact_) exact_.emplace();
+    if (!exact_->load(r)) return false;
+  }
+  return true;
 }
 
 std::vector<ValueCount> CountSampsSinkProcessor::merged(std::size_t k) const {

@@ -35,6 +35,12 @@ class CountSampsSummaryProcessor final : public core::StreamProcessor {
   void init(core::ProcessorContext& ctx) override;
   void process(const core::Packet& packet, core::Emitter& emitter) override;
   void finish(core::Emitter& emitter) override;
+  /// Live migration: the sketch (with rng position), the epoch/insert
+  /// counters, and the current adjustment-parameter value all travel, so a
+  /// migrated stage's summary stream is byte-identical to an unmigrated
+  /// run's.
+  bool checkpoint(core::StateWriter& w) override;
+  bool restore(core::StateReader& r) override;
   std::string name() const override { return kRegistryName; }
 
   const CountingSamples& sketch() const { return *sketch_; }
@@ -78,6 +84,10 @@ class CountSampsSinkProcessor final : public core::StreamProcessor {
   void init(core::ProcessorContext& ctx) override;
   void process(const core::Packet& packet, core::Emitter& emitter) override;
   void finish(core::Emitter& emitter) override;
+  /// Live migration: local sketch, per-stream latest summaries, and the
+  /// receive counters travel with the stage.
+  bool checkpoint(core::StateWriter& w) override;
+  bool restore(core::StateReader& r) override;
   std::string name() const override { return kRegistryName; }
 
   /// Current global top-k answer, merging shipped summaries with any

@@ -52,18 +52,26 @@ void CountingSamples::raise_threshold() {
   tau_ *= tau_growth_;
   // Classical diminishing pass: each entry first survives with probability
   // old_tau/new_tau (its entry coin), then sheds count units with repeated
-  // 1/new_tau coins, disappearing at zero.
-  for (auto it = sample_.begin(); it != sample_.end();) {
+  // 1/new_tau coins, disappearing at zero. Entries are visited in
+  // ascending-value order so the coin sequence is a pure function of
+  // (rng state, sample contents) — hash-map layout must not leak into the
+  // output, or a checkpoint/restore round trip (live migration) would
+  // diverge from the uninterrupted run.
+  std::vector<std::uint64_t> values;
+  values.reserve(sample_.size());
+  for (const auto& [value, _] : sample_) values.push_back(value);
+  std::sort(values.begin(), values.end());
+  for (const std::uint64_t value : values) {
+    const auto it = sample_.find(value);
     std::uint64_t count = it->second;
     if (!rng_.next_bool(old_tau / tau_)) {
       --count;
       while (count > 0 && !rng_.next_bool(1.0 / tau_)) --count;
     }
     if (count == 0) {
-      it = sample_.erase(it);
+      sample_.erase(it);
     } else {
       it->second = count;
-      ++it;
     }
   }
 }
@@ -91,6 +99,58 @@ std::vector<ValueCount> CountingSamples::top_k(std::size_t k) const {
   return items;
 }
 
+void CountingSamples::save(core::StateWriter& w) const {
+  w.write_varint(footprint_);
+  w.write_f64(tau_growth_);
+  w.write_f64(tau_);
+  w.write_u64(items_seen_);
+  w.write_u64(rng_.seed());
+  std::uint64_t state[4];
+  rng_.save_state(state);
+  for (const std::uint64_t word : state) w.write_u64(word);
+  std::vector<std::uint64_t> values;
+  values.reserve(sample_.size());
+  for (const auto& [value, _] : sample_) values.push_back(value);
+  std::sort(values.begin(), values.end());
+  w.write_varint(values.size());
+  for (const std::uint64_t value : values) {
+    w.write_u64(value);
+    w.write_varint(sample_.at(value));
+  }
+}
+
+bool CountingSamples::load(core::StateReader& r) {
+  std::uint64_t footprint = 0;
+  double tau_growth = 0, tau = 0;
+  if (!r.read_varint(footprint).is_ok() || footprint == 0) return false;
+  if (!r.read_f64(tau_growth).is_ok() || tau_growth <= 1.0) return false;
+  if (!r.read_f64(tau).is_ok() || tau < 1.0) return false;
+  std::uint64_t items_seen = 0, seed = 0;
+  if (!r.read_u64(items_seen).is_ok()) return false;
+  if (!r.read_u64(seed).is_ok()) return false;
+  std::uint64_t state[4];
+  for (std::uint64_t& word : state) {
+    if (!r.read_u64(word).is_ok()) return false;
+  }
+  std::uint64_t n = 0;
+  if (!r.read_varint(n).is_ok()) return false;
+  std::unordered_map<std::uint64_t, std::uint64_t> sample;
+  sample.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t value = 0, count = 0;
+    if (!r.read_u64(value).is_ok()) return false;
+    if (!r.read_varint(count).is_ok() || count == 0) return false;
+    sample.emplace(value, count);
+  }
+  footprint_ = static_cast<std::size_t>(footprint);
+  tau_growth_ = tau_growth;
+  tau_ = tau;
+  items_seen_ = items_seen;
+  rng_.load_state(seed, state);
+  sample_ = std::move(sample);
+  return true;
+}
+
 std::uint64_t ExactCounter::count(std::uint64_t value) const {
   auto it = counts_.find(value);
   return it == counts_.end() ? 0 : it->second;
@@ -110,6 +170,36 @@ std::vector<ValueCount> ExactCounter::top_k(std::size_t k) const {
 void ExactCounter::merge(const ExactCounter& other) {
   for (const auto& [value, count] : other.counts_) counts_[value] += count;
   items_seen_ += other.items_seen_;
+}
+
+void ExactCounter::save(core::StateWriter& w) const {
+  w.write_u64(items_seen_);
+  std::vector<std::uint64_t> values;
+  values.reserve(counts_.size());
+  for (const auto& [value, _] : counts_) values.push_back(value);
+  std::sort(values.begin(), values.end());
+  w.write_varint(values.size());
+  for (const std::uint64_t value : values) {
+    w.write_u64(value);
+    w.write_varint(counts_.at(value));
+  }
+}
+
+bool ExactCounter::load(core::StateReader& r) {
+  std::uint64_t items_seen = 0, n = 0;
+  if (!r.read_u64(items_seen).is_ok()) return false;
+  if (!r.read_varint(n).is_ok()) return false;
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t value = 0, count = 0;
+    if (!r.read_u64(value).is_ok()) return false;
+    if (!r.read_varint(count).is_ok()) return false;
+    counts.emplace(value, count);
+  }
+  items_seen_ = items_seen;
+  counts_ = std::move(counts);
+  return true;
 }
 
 ByteBuffer StreamSummary::serialize() const {
@@ -153,6 +243,49 @@ void SummaryMerger::add(StreamSummary summary) {
   if (it == latest_.end() || it->second.epoch <= summary.epoch) {
     latest_[summary.stream] = std::move(summary);
   }
+}
+
+void SummaryMerger::save(core::StateWriter& w) const {
+  std::vector<std::uint32_t> streams;
+  streams.reserve(latest_.size());
+  for (const auto& [stream, _] : latest_) streams.push_back(stream);
+  std::sort(streams.begin(), streams.end());
+  w.write_varint(streams.size());
+  for (const std::uint32_t stream : streams) {
+    const StreamSummary& summary = latest_.at(stream);
+    w.write_u32(summary.stream);
+    w.write_u64(summary.epoch);
+    w.write_varint(summary.items.size());
+    for (const ValueCount& item : summary.items) {
+      w.write_u64(item.value);
+      w.write_f64(item.count);
+    }
+  }
+}
+
+bool SummaryMerger::load(core::StateReader& r) {
+  std::uint64_t n = 0;
+  if (!r.read_varint(n).is_ok()) return false;
+  std::unordered_map<std::uint32_t, StreamSummary> latest;
+  latest.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    StreamSummary summary;
+    if (!r.read_u32(summary.stream).is_ok()) return false;
+    if (!r.read_u64(summary.epoch).is_ok()) return false;
+    std::uint64_t items = 0;
+    if (!r.read_varint(items).is_ok()) return false;
+    summary.items.reserve(items);
+    for (std::uint64_t j = 0; j < items; ++j) {
+      ValueCount item;
+      if (!r.read_u64(item.value).is_ok()) return false;
+      if (!r.read_f64(item.count).is_ok()) return false;
+      summary.items.push_back(item);
+    }
+    const std::uint32_t stream = summary.stream;
+    latest.emplace(stream, std::move(summary));
+  }
+  latest_ = std::move(latest);
+  return true;
 }
 
 std::vector<ValueCount> SummaryMerger::top_k(std::size_t k) const {

@@ -17,6 +17,7 @@
 #include "gates/common/byte_buffer.hpp"
 #include "gates/common/rng.hpp"
 #include "gates/common/status.hpp"
+#include "gates/core/checkpoint.hpp"
 
 namespace gates::apps {
 
@@ -59,6 +60,13 @@ class CountingSamples {
   /// value for determinism). Fewer than k if the sample is smaller.
   std::vector<ValueCount> top_k(std::size_t k) const;
 
+  /// Checkpoint/restore (live migration): the whole sketch — threshold,
+  /// rng stream position, and the sample in canonical (sorted) order — so
+  /// a restored sketch continues the exact sequence the original would
+  /// have produced. load() overwrites *this; false = malformed state.
+  void save(core::StateWriter& w) const;
+  bool load(core::StateReader& r);
+
  private:
   void raise_threshold();
 
@@ -81,6 +89,9 @@ class ExactCounter {
 
   /// Merges another counter's contents into this one.
   void merge(const ExactCounter& other);
+
+  void save(core::StateWriter& w) const;
+  bool load(core::StateReader& r);
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> counts_;
@@ -109,6 +120,9 @@ class SummaryMerger {
   void add(StreamSummary summary);
   std::vector<ValueCount> top_k(std::size_t k) const;
   std::size_t streams() const { return latest_.size(); }
+
+  void save(core::StateWriter& w) const;
+  bool load(core::StateReader& r);
 
  private:
   std::unordered_map<std::uint32_t, StreamSummary> latest_;

@@ -48,6 +48,13 @@ ChaosTarget default_target(const core::PipelineSpec& spec,
     // observes the recovery — the interesting failover path.
     target.victim_stage = spec.stages.size() > 1 ? spec.stages.size() / 2 : 0;
     target.victim_node = placement.stage_nodes[target.victim_stage];
+    // Migrate a different stage than the crash victim so the crash
+    // invariants keyed to the victim's original node still hold after the
+    // move. The first stage usually sits on an edge node, so a faster
+    // (central) target tends to exist and the scenario exercises the
+    // completed-migration path, not just the no-candidate fallback.
+    target.migrate_stage =
+        target.victim_stage == 0 ? spec.stages.size() - 1 : 0;
   }
   return target;
 }
@@ -70,6 +77,9 @@ void apply_to_sim(core::SimEngine& engine, const ChaosScenario& scenario,
         engine.schedule_node_failure(placement.stage_nodes[a.stage_index],
                                      a.time);
         break;
+      case ChaosAction::Kind::kMigrateStage:
+        engine.schedule_migration(a.stage_index, a.time, a.node);
+        break;
     }
   }
 }
@@ -88,6 +98,7 @@ void prepare_rt(core::RtEngine& engine, const ChaosScenario& scenario) {
         // scheduling.
         break;
       case ChaosAction::Kind::kKillStage:
+      case ChaosAction::Kind::kMigrateStage:
         // Injected live by the driver thread.
         break;
     }
@@ -129,6 +140,9 @@ void RtChaosDriver::run() {
         break;
       case ChaosAction::Kind::kKillStage:
         engine_.kill_stage(a.stage_index);
+        break;
+      case ChaosAction::Kind::kMigrateStage:
+        engine_.request_migration(a.stage_index, a.node);
         break;
       case ChaosAction::Kind::kNodeFailure:
       case ChaosAction::Kind::kNodeRecovery:

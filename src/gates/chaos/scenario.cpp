@@ -54,6 +54,9 @@ void finish(ChaosScenario& s) {
       s.has_kills = true;
       s.expected_killed_stages.push_back(a.stage_index);
     }
+    if (a.kind == ChaosAction::Kind::kMigrateStage) {
+      s.has_migrations = true;
+    }
     if (a.kind == ChaosAction::Kind::kLinkChange &&
         a.spec.impair.loss_mode == net::LossMode::kDrop &&
         a.spec.impair.lossy()) {
@@ -174,6 +177,31 @@ ChaosScenario crash_flap(const ChaosTarget& target, Duration horizon) {
   return s;
 }
 
+ChaosScenario migrate_under_impairment(const ChaosTarget& target,
+                                       Duration horizon) {
+  ChaosScenario s = crash_flap(target, horizon);
+  s.name = "migrate-under-impairment";
+  // Migrate between the crash (0.4h) and the recovery (0.6h): the stage
+  // moves while failover is replaying the victim and the link is degraded.
+  // The migrated stage is distinct from the crash victim (see
+  // ChaosTarget::migrate_stage) so the injected-crashes-detected checker's
+  // node match is unaffected by the move. Target node kInvalidNode lets the
+  // directory pick the best candidate at migration time.
+  ChaosAction migrate;
+  migrate.kind = ChaosAction::Kind::kMigrateStage;
+  migrate.time = horizon * 0.5;
+  migrate.stage_index = target.migrate_stage;
+  migrate.node = kInvalidNode;
+  s.actions.push_back(migrate);
+  s.last_transition = 0;
+  s.expected_failed_nodes.clear();
+  s.expected_killed_stages.clear();
+  s.has_kills = false;
+  s.has_migrations = false;
+  finish(s);
+  return s;
+}
+
 bool scenario_by_name(const std::string& name, const ChaosTarget& target,
                       Duration horizon, ChaosScenario* out) {
   if (name == "degrade") *out = degrade(target, horizon);
@@ -182,13 +210,16 @@ bool scenario_by_name(const std::string& name, const ChaosTarget& target,
   else if (name == "asymmetric") *out = asymmetric(target, horizon);
   else if (name == "slow-start-burst") *out = slow_start_burst(target, horizon);
   else if (name == "crash-flap") *out = crash_flap(target, horizon);
+  else if (name == "migrate-under-impairment")
+    *out = migrate_under_impairment(target, horizon);
   else return false;
   return true;
 }
 
 std::vector<std::string> scenario_names() {
   return {"degrade",         "flap",       "partition",
-          "asymmetric",      "slow-start-burst", "crash-flap"};
+          "asymmetric",      "slow-start-burst", "crash-flap",
+          "migrate-under-impairment"};
 }
 
 }  // namespace gates::chaos

@@ -23,6 +23,8 @@ struct ChaosAction {
     kNodeFailure,   // crash-stop every stage on `node`
     kNodeRecovery,  // return `node` to the replacement candidate pool (Sim)
     kKillStage,     // crash-stop one stage by index (Rt kill_stage)
+    kMigrateStage,  // live-migrate `stage_index` to `node` (kInvalidNode =
+                    // let the directory pick); aborts degrade to failover
   };
   Kind kind = Kind::kLinkChange;
   TimePoint time = 0;
@@ -30,9 +32,9 @@ struct ChaosAction {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
   net::LinkSpec spec;
-  // kNodeFailure / kNodeRecovery
+  // kNodeFailure / kNodeRecovery; kMigrateStage target placement
   NodeId node = kInvalidNode;
-  // kKillStage
+  // kKillStage / kMigrateStage
   std::size_t stage_index = 0;
 };
 
@@ -47,6 +49,11 @@ struct ChaosTarget {
   NodeId victim_node = kInvalidNode;
   /// Stage killed by composed scenarios when driving an RtEngine.
   std::size_t victim_stage = 0;
+  /// Stage live-migrated by migrate-under-impairment. Defaults to the
+  /// victim_stage; runner::default_target points it at a different stage
+  /// (the sink) so the crash-injection invariants stay keyed to the
+  /// victim's original placement.
+  std::size_t migrate_stage = 0;
 };
 
 struct ChaosScenario {
@@ -58,6 +65,9 @@ struct ChaosScenario {
   TimePoint last_transition = 0;
   /// True when the scenario injects crashes (failures are then expected).
   bool has_kills = false;
+  /// True when the scenario requests live migrations (requires failover to
+  /// be enabled; without it migrations abort harmlessly).
+  bool has_migrations = false;
   /// True when any action uses kDrop loss (permanent link loss is then
   /// accounted, not forbidden).
   bool lossy_drop = false;
@@ -83,6 +93,14 @@ ChaosScenario slow_start_burst(const ChaosTarget& target,
 /// The acceptance-criteria composition: flapping link + a node crash (and
 /// recovery) mid-flap. Requires target.victim_node.
 ChaosScenario crash_flap(const ChaosTarget& target, Duration horizon = 30);
+/// Live migration racing link degradation and a crash-flap: the link flaps,
+/// target.victim_node crashes mid-flap (recovering later), and
+/// target.migrate_stage is live-migrated between the crash and the
+/// recovery — the worst window, with failover and migration contending for
+/// the directory. Requires failover; migration aborts degrade to the
+/// crash-failover path, so the existing invariant checkers apply unchanged.
+ChaosScenario migrate_under_impairment(const ChaosTarget& target,
+                                       Duration horizon = 30);
 
 /// Builder lookup for --chaos NAME; returns false for unknown names.
 bool scenario_by_name(const std::string& name, const ChaosTarget& target,

@@ -65,6 +65,17 @@ class Rng {
 
   std::uint64_t seed() const { return seed_; }
 
+  /// Raw engine state for checkpoint/restore: a loaded Rng continues the
+  /// exact stream the saved one would have produced (not a reseed). The
+  /// seed travels too so fork() derivations stay stable across a restore.
+  void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void load_state(std::uint64_t seed, const std::uint64_t in[4]) {
+    seed_ = seed;
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   std::uint64_t seed_;
   std::uint64_t s_[4];

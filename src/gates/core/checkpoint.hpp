@@ -1,0 +1,62 @@
+// Operator-state checkpointing for live stage migration (DESIGN.md §10).
+//
+// StateWriter/StateReader are thin, stable façades over the common
+// Serializer/Deserializer pair. Processors that opt into migration
+// implement StreamProcessor::checkpoint()/restore() against these types;
+// the engines align every capture to a RetentionRing ack boundary, so a
+// checkpoint plus the unacked replay tail reconstructs exact operator
+// state on the target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gates/common/byte_buffer.hpp"
+#include "gates/common/serialize.hpp"
+#include "gates/common/status.hpp"
+
+namespace gates::core {
+
+/// Sink a processor serializes its operator state into. Append-only;
+/// the engine owns the backing buffer and frames it per replica.
+class StateWriter {
+ public:
+  explicit StateWriter(ByteBuffer& out) : ser_(out) {}
+
+  void write_u8(std::uint8_t v) { ser_.write_u8(v); }
+  void write_u32(std::uint32_t v) { ser_.write_u32(v); }
+  void write_u64(std::uint64_t v) { ser_.write_u64(v); }
+  void write_i64(std::int64_t v) { ser_.write_i64(v); }
+  void write_f64(double v) { ser_.write_f64(v); }
+  void write_varint(std::uint64_t v) { ser_.write_varint(v); }
+  void write_string(std::string_view s) { ser_.write_string(s); }
+
+ private:
+  Serializer ser_;
+};
+
+/// Source a replacement processor restores its state from. All reads are
+/// Status-returning; a failed read aborts the restore and the engine falls
+/// back to the stateless on_recover() path.
+class StateReader {
+ public:
+  explicit StateReader(const ByteBuffer& in) : de_(in) {}
+  StateReader(const std::uint8_t* data, std::size_t size) : de_(data, size) {}
+
+  bool at_end() const { return de_.at_end(); }
+  std::size_t remaining() const { return de_.remaining(); }
+
+  Status read_u8(std::uint8_t& v) { return de_.read_u8(v); }
+  Status read_u32(std::uint32_t& v) { return de_.read_u32(v); }
+  Status read_u64(std::uint64_t& v) { return de_.read_u64(v); }
+  Status read_i64(std::int64_t& v) { return de_.read_i64(v); }
+  Status read_f64(double& v) { return de_.read_f64(v); }
+  Status read_varint(std::uint64_t& v) { return de_.read_varint(v); }
+  Status read_string(std::string& s) { return de_.read_string(s); }
+
+ private:
+  Deserializer de_;
+};
+
+}  // namespace gates::core

@@ -77,6 +77,13 @@ struct ReplacementDecision {
 using ReplacementProvider = std::function<std::optional<ReplacementDecision>(
     std::size_t stage_index, const std::vector<NodeId>& down)>;
 
+/// Matchmaking for a proactive migration of `stage_index`: returns the
+/// landing placement, honoring `target` when the caller pinned one
+/// (kInvalidNode = re-matchmake, e.g. ResourceDirectory::find_better_than),
+/// or nullopt when nothing qualifies — the migration then aborts in place.
+using MigrationProvider = std::function<std::optional<ReplacementDecision>(
+    std::size_t stage_index, NodeId target)>;
+
 // -- telemetry hooks shared by both engines' failover paths ------------------
 
 /// One failover span on the stage's trace track: crash -> resolution, with

@@ -1,0 +1,145 @@
+#include "gates/core/migration.hpp"
+
+#include <utility>
+
+#include "gates/common/serialize.hpp"
+#include "gates/obs/metrics.hpp"
+#include "gates/obs/trace.hpp"
+
+namespace gates::core {
+
+const char* migration_step_name(MigrationStep step) {
+  switch (step) {
+    case MigrationStep::kQuiesce: return "quiesce";
+    case MigrationStep::kCapture: return "capture";
+    case MigrationStep::kTransfer: return "transfer";
+    case MigrationStep::kResume: return "resume";
+  }
+  return "?";
+}
+
+std::size_t StageCheckpoint::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& b : replicas) n += b.size();
+  return n;
+}
+
+void StageCheckpoint::encode(ByteBuffer& out) const {
+  Serializer s(out);
+  s.write_string(stage);
+  s.write_u64(incarnation);
+  s.write_varint(replicas.size());
+  for (const auto& b : replicas) {
+    s.write_varint(b.size());
+    if (b.size() != 0) out.append(b.data(), b.size());
+  }
+}
+
+bool StageCheckpoint::decode(const std::uint8_t* data, std::size_t size,
+                             StageCheckpoint& out) {
+  Deserializer d(data, size);
+  if (!d.read_string(out.stage).is_ok()) return false;
+  if (!d.read_u64(out.incarnation).is_ok()) return false;
+  std::uint64_t count = 0;
+  if (!d.read_varint(count).is_ok()) return false;
+  out.replicas.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    if (!d.read_varint(len).is_ok() || len > d.remaining()) return false;
+    ByteBuffer blob;
+    if (len != 0) {
+      // Blobs are the trailing raw bytes after each varint length; re-derive
+      // the cursor from remaining() since Deserializer has no seek.
+      blob.append(data + (size - d.remaining()), len);
+      std::uint8_t scratch;
+      for (std::uint64_t k = 0; k < len; ++k) {
+        if (!d.read_u8(scratch).is_ok()) return false;
+      }
+    }
+    out.replicas.push_back(std::move(blob));
+  }
+  return true;
+}
+
+MigrationRecord MigrationCoordinator::run(std::string stage, NodeId from,
+                                          NodeId to,
+                                          const std::function<TimePoint()>& now,
+                                          const Hooks& hooks,
+                                          const FaultInjector& inject) {
+  auto& reg = obs::MetricsRegistry::global();
+  const bool metrics = reg.enabled();
+
+  MigrationRecord rec;
+  rec.stage = std::move(stage);
+  rec.from = from;
+  rec.to = to;
+  rec.requested_at = now();
+  GATES_TRACE(.time = rec.requested_at, .kind = obs::TraceKind::kMigrateStart,
+              .component = rec.stage,
+              .detail = "node " + std::to_string(from) + " -> node " +
+                        std::to_string(to),
+              .value_old = static_cast<double>(from),
+              .value_new = static_cast<double>(to));
+  if (metrics) reg.counter("gates_migration_started_total").add();
+
+  bool stopped = false;
+  std::string error;
+  auto fail = [&](MigrationStep step) {
+    rec.failed_step = step;
+    rec.detail = error;
+    if (stopped) {
+      rec.outcome = MigrationRecord::Outcome::kFellBack;
+      hooks.abort_fallback(step, error);
+    } else {
+      rec.outcome = MigrationRecord::Outcome::kAborted;
+    }
+    GATES_TRACE(.time = now(), .kind = obs::TraceKind::kMigrateAbort,
+                .component = rec.stage,
+                .detail = std::string(migration_step_name(step)) + ": " + error);
+    if (metrics) reg.counter("gates_migration_aborted_total").add();
+    return rec;
+  };
+  auto injected = [&](MigrationStep step) {
+    if (inject == nullptr || !inject(step)) return false;
+    error = "fault injected";
+    return true;
+  };
+
+  if (injected(MigrationStep::kQuiesce)) return fail(MigrationStep::kQuiesce);
+  if (!hooks.quiesce(error)) return fail(MigrationStep::kQuiesce);
+  stopped = true;
+  const TimePoint stopped_at = now();
+
+  StageCheckpoint ckpt;
+  ckpt.stage = rec.stage;
+  if (injected(MigrationStep::kCapture)) return fail(MigrationStep::kCapture);
+  if (!hooks.capture(ckpt, error)) return fail(MigrationStep::kCapture);
+  rec.checkpoint_bytes = ckpt.total_bytes();
+
+  if (injected(MigrationStep::kTransfer)) return fail(MigrationStep::kTransfer);
+  if (hooks.transfer && !hooks.transfer(ckpt, error)) {
+    return fail(MigrationStep::kTransfer);
+  }
+  GATES_TRACE(.time = now(), .duration = now() - stopped_at,
+              .kind = obs::TraceKind::kMigrateTransfer, .component = rec.stage,
+              .value_new = static_cast<double>(rec.checkpoint_bytes));
+
+  if (injected(MigrationStep::kResume)) return fail(MigrationStep::kResume);
+  if (!hooks.resume(ckpt, rec, error)) return fail(MigrationStep::kResume);
+
+  rec.resumed_at = now();
+  rec.downtime = rec.resumed_at - stopped_at;
+  rec.outcome = MigrationRecord::Outcome::kCompleted;
+  GATES_TRACE(.time = rec.resumed_at, .duration = rec.downtime,
+              .kind = obs::TraceKind::kMigrateResume, .component = rec.stage,
+              .value_old = static_cast<double>(rec.packets_replayed),
+              .value_new = static_cast<double>(rec.to));
+  if (metrics) {
+    reg.counter("gates_migration_completed_total").add();
+    reg.histogram("gates_migration_downtime_micros", 0, 1e6, 40)
+        .observe(rec.downtime * 1e6);
+  }
+  return rec;
+}
+
+}  // namespace gates::core

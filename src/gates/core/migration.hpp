@@ -1,0 +1,132 @@
+// Live stage migration (DESIGN.md §10): the engine-agnostic protocol
+// driver plus the checkpoint container that travels between engines and —
+// in daemon mode — across the wire as a CHECKPOINT frame.
+//
+// The protocol is four steps, each abortable:
+//
+//   quiesce   — stop the stage at a RetentionRing ack boundary (everything
+//               acked is reflected in operator state, nothing unacked is)
+//   capture   — checkpoint() each replica into a StageCheckpoint
+//   transfer  — ship the checkpoint to the target placement (a no-op
+//               in-process; a CHECKPOINT frame + exact wire ack in daemons)
+//   resume    — fresh processor(s) on the target, restore() (or the
+//               on_recover() fallback), rewire, replay the unacked tail
+//
+// An abort at any step runs the engine's abort_fallback hook, which
+// degrades to the existing crash-failover path: the stage is crash-stopped
+// and the failure detector / retention replay machinery recovers it, so a
+// dead target never loses data — it only costs the failover latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gates/common/byte_buffer.hpp"
+#include "gates/common/types.hpp"
+
+namespace gates::core {
+
+enum class MigrationStep : std::uint8_t {
+  kQuiesce = 0,
+  kCapture,
+  kTransfer,
+  kResume,
+};
+inline constexpr std::size_t kMigrationStepCount =
+    static_cast<std::size_t>(MigrationStep::kResume) + 1;
+
+const char* migration_step_name(MigrationStep step);
+
+/// Captured operator state for one stage: one blob per replica (serial
+/// stages have exactly one). An empty blob means that replica's processor
+/// declined checkpoint() — resume runs its on_recover() fallback instead.
+struct StageCheckpoint {
+  std::string stage;
+  /// Incarnation the capture was taken at; stale-checkpoint guard on resume.
+  std::uint64_t incarnation = 0;
+  std::vector<ByteBuffer> replicas;
+
+  std::size_t total_bytes() const;
+  /// Wire form (CHECKPOINT frame body in daemon mode).
+  void encode(ByteBuffer& out) const;
+  static bool decode(const std::uint8_t* data, std::size_t size,
+                     StageCheckpoint& out);
+};
+
+/// One migration attempt and how it ended; RunReport::migrations.
+struct MigrationRecord {
+  std::string stage;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  TimePoint requested_at = 0;
+  TimePoint resumed_at = 0;
+  /// Stage-stopped interval: quiesce reached -> resumed (0 unless completed).
+  Duration downtime = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t packets_replayed = 0;
+  /// True when restore() consumed the checkpoint; false = on_recover fallback.
+  bool checkpointed = false;
+  enum class Outcome {
+    /// Stage resumed on the target with state intact.
+    kCompleted,
+    /// A step failed; stage kept running in place (pre-quiesce abort).
+    kAborted,
+    /// A step failed after the stage stopped; degraded to crash-failover.
+    kFellBack,
+  };
+  Outcome outcome = Outcome::kAborted;
+  /// Step that failed (meaningful unless kCompleted).
+  MigrationStep failed_step = MigrationStep::kQuiesce;
+  std::string detail;
+
+  static const char* outcome_name(Outcome o) {
+    switch (o) {
+      case Outcome::kCompleted: return "completed";
+      case Outcome::kAborted: return "aborted";
+      case Outcome::kFellBack: return "fell-back";
+    }
+    return "?";
+  }
+};
+
+/// Drives the four-step protocol through engine-supplied hooks, emitting
+/// the kMigrate* trace spans and gates_migration_* metrics uniformly so
+/// both engines (and the daemon path) report identically.
+class MigrationCoordinator {
+ public:
+  /// Each hook returns false on failure and fills `error`. The coordinator
+  /// never touches engine internals — everything engine-specific lives in
+  /// the hooks, everything protocol-shaped lives here.
+  struct Hooks {
+    /// Stop the stage at an ack boundary. After success the stage is down
+    /// and a failed later step MUST go through abort_fallback (kFellBack).
+    std::function<bool(std::string& error)> quiesce;
+    std::function<bool(StageCheckpoint& out, std::string& error)> capture;
+    std::function<bool(const StageCheckpoint& ckpt, std::string& error)>
+        transfer;
+    /// Rebuild on the target and replay; fills record.packets_replayed /
+    /// record.checkpointed / record.to.
+    std::function<bool(const StageCheckpoint& ckpt, MigrationRecord& record,
+                       std::string& error)>
+        resume;
+    /// Degrade to crash-failover after the stage already stopped. Must not
+    /// fail (it only crash-stops; the failure detector does the rest).
+    std::function<void(MigrationStep step, const std::string& error)>
+        abort_fallback;
+  };
+
+  /// Chaos hook: return true to force-fail the named step (simulating
+  /// target death at exactly that point in the protocol).
+  using FaultInjector = std::function<bool(MigrationStep)>;
+
+  /// `now` supplies engine time (virtual or wall seconds) for the record
+  /// and the downtime figure.
+  MigrationRecord run(std::string stage, NodeId from, NodeId to,
+                      const std::function<TimePoint()>& now,
+                      const Hooks& hooks,
+                      const FaultInjector& inject = nullptr);
+};
+
+}  // namespace gates::core

@@ -14,6 +14,9 @@
 
 namespace gates::core {
 
+class StateWriter;
+class StateReader;
+
 /// Output side of a stage. Emitted packets are routed to the stage's
 /// downstream connection(s) on the given port.
 class Emitter {
@@ -66,6 +69,17 @@ class StreamProcessor {
   /// Called (after init()) on the replacement instance of a failed-over
   /// stage, before any replayed packets arrive.
   virtual void on_recover(ProcessorContext& /*ctx*/) {}
+
+  /// Migration (DESIGN.md §10): serialize operator state into `w` at an ack
+  /// boundary — everything acked is reflected in the written state, nothing
+  /// unacked is (the replay tail covers it). Return false (the default) to
+  /// declare the processor un-checkpointable; migration then falls back to
+  /// init() + on_recover() + replay, exactly like crash failover.
+  virtual bool checkpoint(StateWriter& /*w*/) { return false; }
+  /// Counterpart on the replacement instance, called after init() instead
+  /// of on_recover() when a checkpoint is available. Return false (or fail a
+  /// read) to reject the blob; the engine then runs on_recover() instead.
+  virtual bool restore(StateReader& /*r*/) { return false; }
 
   /// Diagnostic name (registry key by convention).
   virtual std::string name() const = 0;

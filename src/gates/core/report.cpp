@@ -110,6 +110,30 @@ std::string RunReport::to_json() const {
   }
   w.end_array();
 
+  w.key("migrations").begin_array();
+  for (const MigrationRecord& m : migrations) {
+    w.begin_object()
+        .kv("stage", m.stage)
+        .kv("from", static_cast<std::uint64_t>(m.from))
+        .kv("to", static_cast<std::int64_t>(
+                      m.to == kInvalidNode ? -1
+                                           : static_cast<std::int64_t>(m.to)))
+        .kv("requested_at", m.requested_at)
+        .kv("resumed_at", m.resumed_at)
+        .kv("downtime", m.downtime)
+        .kv("checkpoint_bytes", m.checkpoint_bytes)
+        .kv("packets_replayed", m.packets_replayed)
+        .kv("checkpointed", m.checkpointed)
+        .kv("outcome", MigrationRecord::outcome_name(m.outcome))
+        .kv("failed_step",
+            m.outcome == MigrationRecord::Outcome::kCompleted
+                ? ""
+                : migration_step_name(m.failed_step))
+        .kv("detail", m.detail)
+        .end_object();
+  }
+  w.end_array();
+
   w.key("metrics").begin_array();
   for (const obs::MetricSample& m : metrics) {
     const char* kind = "counter";

@@ -9,6 +9,7 @@
 
 #include "gates/common/stats.hpp"
 #include "gates/common/types.hpp"
+#include "gates/core/migration.hpp"
 #include "gates/obs/attribution.hpp"
 #include "gates/obs/metrics.hpp"
 #include "gates/obs/trace.hpp"
@@ -162,6 +163,8 @@ struct RunReport {
   std::vector<LinkReport> links;
   /// Node failures observed during the run, in failure-time order.
   std::vector<FailureReport> failures;
+  /// Live migrations attempted during the run, in request-time order.
+  std::vector<MigrationRecord> migrations;
   /// End-of-run MetricsRegistry snapshot (empty when metrics were disabled).
   obs::MetricsSnapshot metrics;
   /// Trace volume/drop accounting (all-zero when tracing was disabled) —

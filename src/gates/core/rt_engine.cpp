@@ -16,6 +16,7 @@
 #include "gates/common/log.hpp"
 #include "gates/common/token_bucket.hpp"
 #include "gates/core/adapt/queue_monitor.hpp"
+#include "gates/core/checkpoint.hpp"
 #include "gates/core/failover.hpp"
 #include "gates/core/retention_ring.hpp"
 #include "gates/core/stage_inbox.hpp"
@@ -542,6 +543,133 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
 
   std::size_t recoveries() const { return recoveries_; }
 
+  // -- live migration (control thread; see RtEngine::migrate_stage_now) -------
+  bool remote_outlet() const { return remote_egress_ != nullptr; }
+  bool quiesced() const { return quiesced_.load(std::memory_order_acquire); }
+  /// Asks the worker to stop at its next batch/ack boundary without
+  /// finishing or crashing; it sets quiesced_ and returns with the inbox
+  /// open and intact.
+  void request_quiesce() {
+    quiesce_requested_.store(true, std::memory_order_release);
+    queue_.wake_consumer();  // don't wait out a full idle beat
+  }
+  void cancel_quiesce() {
+    quiesce_requested_.store(false, std::memory_order_release);
+  }
+
+  /// Control thread, after a successful quiesce: the worker threads stopped
+  /// at the ack boundary; join them and serialize every active replica's
+  /// processor (serial stages: one blob). An empty blob records a processor
+  /// that declined to checkpoint — restore falls back to on_recover().
+  /// Returns false if a crash landed meanwhile (caller aborts into the
+  /// normal failover path).
+  bool capture_checkpoint(StageCheckpoint& out) {
+    GATES_CHECK(quiesced());
+    if (crashed()) return false;
+    join();
+    out.incarnation = recoveries_;
+    auto capture_one = [&](StreamProcessor& p) {
+      ByteBuffer blob;
+      StateWriter w(blob);
+      if (!p.checkpoint(w)) blob = ByteBuffer{};
+      out.replicas.push_back(std::move(blob));
+    };
+    if (!pooled()) {
+      capture_one(*processor_);
+    } else {
+      const std::size_t active =
+          active_replicas_.load(std::memory_order_relaxed);
+      for (std::size_t r = 0; r < active; ++r) {
+        capture_one(*replicas_[r]->processor);
+      }
+    }
+    return true;
+  }
+
+  /// Counterpart of revive() for a quiesced (not crashed) worker: the inbox
+  /// survives intact — its contents are exactly the unacked tail, so the
+  /// restored incarnation consumes them in place and nothing needs replay.
+  /// Fresh processors adopt the checkpoint per replica (on_recover() covers
+  /// a missing or rejected blob; the replica count is unchanged, so a keyed
+  /// pool's shard -> replica mapping is preserved), and the stage re-homes
+  /// on `node`: new cpu factor, outbound gates/shapers resolved from the
+  /// new placement. Inbound gates belong to upstream workers and keep
+  /// charging the old flow's rate until their own placement changes — a
+  /// documented approximation. Returns false if a crash landed during the
+  /// protocol (caller aborts into the normal failover path).
+  bool resume_migrated(NodeId node, double cpu_factor,
+                       const ProcessorFactory& factory,
+                       const StageCheckpoint& ckpt, bool& used_checkpoint) {
+    GATES_CHECK(quiesced() && !finished());
+    used_checkpoint = false;
+    if (crashed()) return false;
+    join();
+    node_ = node;
+    cpu_factor_ = cpu_factor;
+    params_.clear();
+    controllers_.clear();
+    ++recoveries_;
+    auto make = [&]() {
+      auto p = factory ? factory() : spec_.factory();
+      GATES_CHECK_MSG(p != nullptr, "migration factory for stage '" +
+                                        spec_.name + "' returned null");
+      return p;
+    };
+    auto restore_one = [&](StreamProcessor& p, std::size_t r) {
+      if (r < ckpt.replicas.size() && ckpt.replicas[r].size() != 0) {
+        StateReader reader(ckpt.replicas[r]);
+        if (p.restore(reader)) return true;
+      }
+      return false;
+    };
+    if (!pooled()) {
+      processor_ = make();
+      init();
+      if (restore_one(*processor_, 0)) {
+        used_checkpoint = true;
+      } else {
+        processor_->on_recover(*this);
+      }
+    } else {
+      // The merge window, sequence counters and half of the dispatcher
+      // state carry over verbatim: quiesce_pool() drained everything
+      // in-flight, so the window is empty and next_seq_ continues.
+      for (auto& rep : replicas_) {
+        rep->queue->reopen();
+        rep->processor = make();
+      }
+      init();
+      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        if (restore_one(*replicas_[r]->processor, r)) {
+          used_checkpoint = true;
+        } else {
+          replicas_[r]->processor->on_recover(*replicas_[r]->context);
+        }
+      }
+    }
+    // Re-gate outbound flows from the new placement (this worker's threads
+    // are all dead, so the routes are safe to mutate; start() re-resolves
+    // the direct flag against the new shaper).
+    for (Route& route : routes_) {
+      route.gate = engine_.gate_for_flow(node_, route.dest->node());
+      route.shaper = engine_.shaper_for_flow(node_, route.dest->node());
+    }
+    cancel_quiesce();
+    quiesced_.store(false, std::memory_order_release);
+    start();
+    return true;
+  }
+
+  /// Abort after the worker quiesced: clear the handshake and convert the
+  /// stop into a plain crash, so the lease detector and retention replay
+  /// own the recovery (the queued input is discarded with the queue;
+  /// upstream retention still holds everything unacked).
+  void abort_migration(TimePoint now) {
+    cancel_quiesce();
+    quiesced_.store(false, std::memory_order_release);
+    crash(now);
+  }
+
   // -- Emitter ---------------------------------------------------------------
   /// Stages the packet on every matching route; each staged copy aliases
   /// the same payload (COW ByteBuffer), so fan-out is a refcount bump per
@@ -1026,6 +1154,13 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     batch.reserve(max_batch);
     bool stop_after_flush = false;
     while (!stop_after_flush) {
+      // Migration quiesce: the previous batch's effects are flushed and
+      // acked, so this is an exact ack boundary. Park here with the inbox
+      // open and intact; the control thread owns the handshake from now on.
+      if (quiesce_requested_.load(std::memory_order_acquire)) {
+        quiesced_.store(true, std::memory_order_release);
+        return;
+      }
       batch.clear();
       std::size_t n;
       if (failover) {
@@ -1426,6 +1561,11 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     std::vector<Item> batch;
     batch.reserve(max_batch);
     while (true) {
+      // Migration quiesce at the dispatch boundary: drain the pool to its
+      // merge barrier and park (see quiesce_pool).
+      if (quiesce_requested_.load(std::memory_order_acquire)) {
+        return quiesce_pool();
+      }
       apply_scale();
       batch.clear();
       std::size_t n;
@@ -1661,6 +1801,22 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
     release_pass();
   }
 
+  /// Migration quiesce for a pool (dispatcher thread): stop dispatching,
+  /// close the replica queues so each replica finishes its in-flight items
+  /// into the merge window and exits, join them, then run a final
+  /// release_pass — every dispatched input is now flushed downstream, in
+  /// order through the merge outlet, and exactly acked. The merge window,
+  /// sequence counters and the inbox all survive for the resumed
+  /// incarnation (resume_migrated reopens the replica queues).
+  void quiesce_pool() {
+    for (auto& rep : replicas_) rep->queue->close();
+    for (auto& rep : replicas_) {
+      if (rep->thread.joinable()) rep->thread.join();
+    }
+    release_pass();
+    quiesced_.store(true, std::memory_order_release);
+  }
+
   /// Crash-stop teardown: unblock everyone, complete nothing.
   void close_pool() {
     if (!pooled()) return;
@@ -1725,6 +1881,9 @@ class RtEngine::StageWorker final : public Emitter, public ProcessorContext {
   std::size_t eos_received_ = 0;
   std::atomic<bool> finished_{false};
   std::atomic<bool> crashed_{false};
+  /// Migration quiesce handshake (control thread <-> worker threads).
+  std::atomic<bool> quiesce_requested_{false};
+  std::atomic<bool> quiesced_{false};
   std::atomic<TimePoint> crash_time_{0};
   std::atomic<TimePoint> last_beat_{0};
   std::size_t recoveries_ = 0;  // control thread only
@@ -2350,6 +2509,7 @@ std::pair<std::pair<NodeId, NodeId>, net::LinkSpec> RtEngine::flow_key(
 std::shared_ptr<RtEngine::ThrottleGate> RtEngine::gate_for_flow(NodeId from,
                                                                 NodeId to) {
   const auto [key, spec] = flow_key(from, to);
+  std::lock_guard<std::mutex> lock(flow_mu_);
   auto& slot = gates_[key];
   if (!slot) slot = std::make_shared<ThrottleGate>(spec.bandwidth, clock_);
   return slot;
@@ -2359,6 +2519,7 @@ std::shared_ptr<net::LinkShaper> RtEngine::shaper_for_flow(NodeId from,
                                                            NodeId to) {
   if (from == to) return nullptr;  // loopback is never shaped
   const auto [key, spec] = flow_key(from, to);
+  std::lock_guard<std::mutex> lock(flow_mu_);
   auto it = shapers_.find(key);
   if (it != shapers_.end()) return it->second;
   const bool prepared = prepared_flows_.count(key) != 0;
@@ -2389,12 +2550,15 @@ void RtEngine::apply_link_change(NodeId from, NodeId to,
                                  const net::LinkSpec& spec) {
   GATES_CHECK_MSG(setup_done_, "apply_link_change targets a running engine");
   GATES_CHECK(spec.bandwidth > 0);
-  // gates_ and shapers_ are read-only after setup, so lookups are safe from
-  // any thread; the objects themselves are internally synchronized.
+  // flow_mu_ orders these lookups against a migration lazily creating the
+  // re-homed stage's flows; the objects themselves are internally
+  // synchronized, and std::map iterators survive later insertions.
   const auto [key, base] = flow_key(from, to);
+  std::unique_lock<std::mutex> flow_lock(flow_mu_);
   auto git = gates_.find(key);
   if (git != gates_.end()) git->second->set_rate(spec.bandwidth);
   auto sit = shapers_.find(key);
+  flow_lock.unlock();
   if (sit != shapers_.end()) {
     sit->second->set_spec(spec.latency, spec.impair);
   } else if (spec.latency > 0 || spec.impair.any()) {
@@ -2668,6 +2832,7 @@ Status RtEngine::execute(Duration source_horizon) {
                         all_finished);
     }
     handle_failures(start);
+    process_migrations(start);
     if (all_finished()) break;
     const TimePoint tick_start = clock_.now();
     for (auto& stage : stages_) {
@@ -2704,6 +2869,7 @@ Status RtEngine::execute(Duration source_horizon) {
     report_.stages.push_back(stage->build_report());
   }
   report_.failures = failures_;
+  report_.migrations = migration_records_;
   for (const auto& [key, shaper] : shapers_) {
     const net::LinkShaper::Stats st = shaper->stats();
     LinkReport lr;
@@ -2778,6 +2944,8 @@ std::string RtEngine::health_json() {
         state = "finished";
       } else if (stage->crashed()) {
         state = "dead";
+      } else if (stage->quiesced()) {
+        state = "migrating";
       } else if (fo.enabled &&
                  now - beat > fo.heartbeat_period * fo.suspicion_beats) {
         state = "suspect";
@@ -2919,6 +3087,218 @@ void RtEngine::kill_stage(std::size_t stage_index) {
   GATES_CHECK(stage_index < spec_.stages.size());
   GATES_CHECK_MSG(setup_done_, "kill_stage targets a running engine");
   stages_[stage_index]->crash(clock_.now());
+}
+
+// ---------------------------------------------------------------------------
+// Live migration (DESIGN.md §10). Everything below the request queue runs on
+// the control thread, which also owns handle_failures — the quiesce
+// handshake and the failure detector can never race each other.
+// ---------------------------------------------------------------------------
+
+void RtEngine::request_migration(std::size_t stage_index, NodeId target) {
+  GATES_CHECK(stage_index < spec_.stages.size());
+  std::lock_guard<std::mutex> lock(migration_mu_);
+  pending_migrations_.emplace_back(stage_index, target);
+}
+
+void RtEngine::schedule_migration(std::size_t stage_index, TimePoint t,
+                                  NodeId target) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_migration must precede run()");
+  GATES_CHECK(stage_index < spec_.stages.size());
+  timed_migrations_.push_back({stage_index, t, target, false});
+}
+
+void RtEngine::set_migration_provider(MigrationProvider provider) {
+  GATES_CHECK_MSG(!setup_done_, "set_migration_provider must precede run()");
+  migration_provider_ = std::move(provider);
+}
+
+void RtEngine::set_migration_fault_injector(
+    MigrationCoordinator::FaultInjector inject) {
+  GATES_CHECK_MSG(!setup_done_,
+                  "set_migration_fault_injector must precede run()");
+  migration_fault_injector_ = std::move(inject);
+}
+
+void RtEngine::set_migration_transfer(MigrationTransferHook hook) {
+  GATES_CHECK_MSG(!setup_done_, "set_migration_transfer must precede run()");
+  migration_transfer_ = std::move(hook);
+}
+
+void RtEngine::process_migrations(TimePoint run_started) {
+  const TimePoint now = clock_.now();
+  for (auto& m : timed_migrations_) {
+    if (m.fired || now - run_started < m.time) continue;
+    m.fired = true;
+    migrate_stage_now(m.stage, m.target, run_started);
+  }
+  std::vector<std::pair<std::size_t, NodeId>> pending;
+  {
+    std::lock_guard<std::mutex> lock(migration_mu_);
+    pending.swap(pending_migrations_);
+  }
+  for (const auto& [idx, target] : pending) {
+    migrate_stage_now(idx, target, run_started);
+  }
+}
+
+std::optional<ReplacementDecision> RtEngine::default_migration_target(
+    std::size_t stage_index) const {
+  // Candidate universe: every node this engine has heard of; least-loaded
+  // by live stages, ties to the lowest id — SimEngine::default_replacement.
+  std::vector<NodeId> candidates;
+  auto consider = [&](NodeId n) {
+    if (n == kInvalidNode) return;
+    if (std::find(candidates.begin(), candidates.end(), n) ==
+        candidates.end()) {
+      candidates.push_back(n);
+    }
+  };
+  for (NodeId n = 0; n < hosts_.cpu_factor.size(); ++n) consider(n);
+  for (const auto& stage : stages_) consider(stage->node());
+  for (const auto& src : spec_.sources) consider(src.location);
+  if (candidates.empty()) return std::nullopt;
+  std::sort(candidates.begin(), candidates.end());
+  NodeId best = kInvalidNode;
+  std::size_t best_load = 0;
+  for (NodeId candidate : candidates) {
+    std::size_t load = 0;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (i != stage_index && stages_[i]->node() == candidate &&
+          !stages_[i]->crashed() && !stages_[i]->finished()) {
+        ++load;
+      }
+    }
+    if (best == kInvalidNode || load < best_load) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  if (best == kInvalidNode) return std::nullopt;
+  return ReplacementDecision{best, ProcessorFactory{}};
+}
+
+void RtEngine::migrate_stage_now(std::size_t stage_index, NodeId target,
+                                 TimePoint run_started) {
+  StageWorker* stage = stages_[stage_index].get();
+  const NodeId from = stage->node();
+  ReplacementDecision decision;
+
+  MigrationCoordinator::Hooks hooks;
+  hooks.quiesce = [&](std::string& error) {
+    if (!config_.failover.enabled) {
+      error = "failover disabled (no retention to cover the gap)";
+      return false;
+    }
+    if (stage->finished()) {
+      error = "stage already finished";
+      return false;
+    }
+    if (stage->crashed()) {
+      error = "stage is crashed (failover owns it)";
+      return false;
+    }
+    if (stage->remote_outlet()) {
+      error = "remote egress outlet owns the wire";
+      return false;
+    }
+    stage->request_quiesce();
+    const TimePoint deadline =
+        clock_.now() + config_.migration.quiesce_timeout;
+    while (!stage->quiesced()) {
+      if (stage->finished()) {
+        stage->cancel_quiesce();
+        error = "stage finished during quiesce";
+        return false;
+      }
+      if (stage->crashed()) {
+        stage->cancel_quiesce();
+        error = "stage crashed during quiesce";
+        return false;
+      }
+      if (clock_.now() >= deadline) break;
+      sleep_seconds(0.0005);
+    }
+    if (!stage->quiesced()) {
+      // Withdraw the request, then grant one beat of grace for a worker
+      // that loaded the flag concurrently and is about to park; a worker
+      // that never saw it keeps running on the withdrawn flag.
+      stage->cancel_quiesce();
+      const TimePoint grace = clock_.now() + config_.failover.heartbeat_period;
+      while (!stage->quiesced() && clock_.now() < grace) {
+        sleep_seconds(0.0005);
+      }
+      if (!stage->quiesced()) {
+        error = "quiesce timeout";
+        return false;
+      }
+    }
+    return true;
+  };
+  hooks.capture = [&](StageCheckpoint& out, std::string& error) {
+    if (!stage->capture_checkpoint(out)) {
+      error = "stage crashed during capture";
+      return false;
+    }
+    return true;
+  };
+  hooks.transfer = [&](const StageCheckpoint& ckpt, std::string& error) {
+    std::optional<ReplacementDecision> d;
+    if (migration_provider_) {
+      d = migration_provider_(stage_index, target);
+    } else if (target != kInvalidNode) {
+      d = ReplacementDecision{target, ProcessorFactory{}};
+    } else {
+      d = default_migration_target(stage_index);
+    }
+    if (!d || d->node == kInvalidNode) {
+      error = "no candidate target";
+      return false;
+    }
+    if (d->node == from) {
+      error = "no better placement than current node";
+      return false;
+    }
+    decision = std::move(*d);
+    if (migration_transfer_ && !migration_transfer_(ckpt, error)) {
+      if (error.empty()) error = "checkpoint transfer failed";
+      return false;
+    }
+    return true;
+  };
+  hooks.resume = [&](const StageCheckpoint& ckpt, MigrationRecord& rec,
+                     std::string& error) {
+    bool used = false;
+    if (!stage->resume_migrated(decision.node, hosts_.at(decision.node),
+                                decision.factory, ckpt, used)) {
+      error = "stage crashed during resume";
+      return false;
+    }
+    rec.to = decision.node;
+    rec.checkpointed = used;
+    // In-process the inbox survives the whole protocol, so the unacked
+    // tail is consumed in place rather than replayed.
+    rec.packets_replayed = 0;
+    GATES_LOG(kInfo, "rt-engine")
+        << "stage '" << stage->name() << "' migrated node " << from << " -> "
+        << decision.node
+        << (used ? " (checkpoint restored)" : " (stateless rebuild)");
+    return true;
+  };
+  hooks.abort_fallback = [&](MigrationStep step, const std::string& why) {
+    // Degrade to crash-failover: the quiesced worker becomes a plain crash
+    // and the lease detector + retention replay own the recovery.
+    GATES_LOG(kWarn, "rt-engine")
+        << "migration of '" << stage->name() << "' aborted at "
+        << migration_step_name(step) << " (" << why
+        << "); falling back to crash-failover";
+    stage->abort_migration(clock_.now());
+  };
+
+  migration_records_.push_back(MigrationCoordinator().run(
+      stage->name(), from, target,
+      [&] { return clock_.now() - run_started; }, hooks,
+      migration_fault_injector_));
 }
 
 StreamProcessor& RtEngine::processor(std::size_t stage_index) {

@@ -110,6 +110,15 @@ class RtEngine {
       Duration eos_barrier_timeout = 10.0;
     };
     Remote remote;
+    /// Live migration (DESIGN.md §10).
+    struct Migration {
+      /// How long the coordinator waits for the worker to reach its quiesce
+      /// (ack) boundary before aborting the migration. The worker checks
+      /// between batches, so the clean-path bound is ~heartbeat_period plus
+      /// one batch's service time; a stuck worker aborts here instead.
+      Duration quiesce_timeout = 5.0;
+    };
+    Migration migration;
   };
 
   RtEngine(PipelineSpec spec, Placement placement, HostModel hosts,
@@ -177,6 +186,31 @@ class RtEngine {
       std::function<ProcessorFactory(std::size_t stage_index)>;
   void set_recovery_factory_provider(RecoveryFactoryProvider provider);
 
+  // -- live migration (DESIGN.md §10) -----------------------------------------
+  /// Thread-safe: requests a live migration of the stage to `target`
+  /// (kInvalidNode = re-matchmake via the migration provider / least-loaded
+  /// policy). The control loop executes it on its next tick: quiesce the
+  /// worker at a batch/ack boundary, checkpoint every replica, resume on
+  /// the target placement with the inbox intact (the unacked tail never
+  /// leaves the process). The MigrationRecord lands in report().migrations.
+  /// Requires failover.enabled; aborts degrade to crash-failover.
+  void request_migration(std::size_t stage_index, NodeId target = kInvalidNode);
+  /// At `t` wall seconds into the run, migrates the stage (see above).
+  /// Must precede run().
+  void schedule_migration(std::size_t stage_index, TimePoint t,
+                          NodeId target = kInvalidNode);
+  /// Matchmaking for migration targets; without one, explicit targets are
+  /// honored and kInvalidNode falls back to a least-loaded policy.
+  void set_migration_provider(MigrationProvider provider);
+  /// Chaos hook: force-fail the named protocol step of every migration.
+  void set_migration_fault_injector(MigrationCoordinator::FaultInjector inject);
+  /// Daemon mode: ships the captured checkpoint out of process (CHECKPOINT
+  /// wire frame + exact ack) during the transfer step. Failure aborts the
+  /// migration into crash-failover. Must precede run().
+  using MigrationTransferHook =
+      std::function<bool(const StageCheckpoint&, std::string& error)>;
+  void set_migration_transfer(MigrationTransferHook hook);
+
  private:
   class StageWorker;
   class SourceWorker;
@@ -212,6 +246,15 @@ class RtEngine {
   /// their behalf (failover off).
   void handle_failures(TimePoint run_started);
   void restart_stage(std::size_t stage_index, FailureReport& record);
+  /// Control-loop pass over scheduled/requested migrations.
+  void process_migrations(TimePoint run_started);
+  /// Runs one migration through the MigrationCoordinator (control thread).
+  void migrate_stage_now(std::size_t stage_index, NodeId target,
+                         TimePoint run_started);
+  /// Fallback matchmaking when no migration provider is installed: the same
+  /// least-loaded-by-live-stages policy the SimEngine uses.
+  std::optional<ReplacementDecision> default_migration_target(
+      std::size_t stage_index) const;
   /// Publishes every shaper's accumulated planned hold time into its link
   /// PhaseClock (overwrite — the shaper owns the running total).
   void store_link_phases();
@@ -227,6 +270,10 @@ class RtEngine {
   std::vector<std::unique_ptr<StageWorker>> stages_;
   std::vector<std::unique_ptr<SourceWorker>> sources_;
   std::map<std::pair<NodeId, NodeId>, std::shared_ptr<ThrottleGate>> gates_;
+  /// Guards gates_/shapers_: read-mostly after setup, but a live migration
+  /// (control thread) may lazily create the re-homed stage's flows while a
+  /// chaos thread applies a link change.
+  mutable std::mutex flow_mu_;
   /// Declared after stages_ so shaper threads are torn down (deliveries
   /// drained) while the stage workers they push into are still alive.
   std::map<std::pair<NodeId, NodeId>, std::shared_ptr<net::LinkShaper>>
@@ -241,6 +288,19 @@ class RtEngine {
   std::vector<NodeFailure> node_failures_;
   std::vector<FailureReport> failures_;  // control thread only
   RecoveryFactoryProvider recovery_factory_provider_;
+  struct TimedMigration {
+    std::size_t stage;
+    TimePoint time;
+    NodeId target;
+    bool fired = false;
+  };
+  std::vector<TimedMigration> timed_migrations_;  // control thread after setup
+  std::mutex migration_mu_;  // guards pending_migrations_ (any thread -> control)
+  std::vector<std::pair<std::size_t, NodeId>> pending_migrations_;
+  std::vector<MigrationRecord> migration_records_;  // control thread only
+  MigrationProvider migration_provider_;
+  MigrationCoordinator::FaultInjector migration_fault_injector_;
+  MigrationTransferHook migration_transfer_;
   /// Atomic so health_json() (introspection thread) can check it against a
   /// concurrently running setup().
   std::atomic<bool> setup_done_{false};

@@ -6,6 +6,7 @@
 
 #include "gates/common/check.hpp"
 #include "gates/common/log.hpp"
+#include "gates/core/checkpoint.hpp"
 #include "gates/core/retention_ring.hpp"
 #include "gates/obs/attribution.hpp"
 #include "gates/obs/metrics.hpp"
@@ -644,6 +645,51 @@ class SimEngine::StageRuntime final : public net::MessageSink,
     return n;
   }
 
+  // -- migration support -------------------------------------------------------
+  /// Serializes the live processor into one replica blob (empty when the
+  /// processor declines checkpoint()). No quiesce work is needed here: the
+  /// DES delivers one event at a time and processing is the ack point, so
+  /// any event boundary is an ack boundary — state reflects exactly the
+  /// acked packets, the unacked tail sits in the senders' retention rings.
+  bool capture_checkpoint(StageCheckpoint& out) {
+    out.incarnation = incarnation_;
+    ByteBuffer blob;
+    StateWriter w(blob);
+    const bool wrote = processor_->checkpoint(w);
+    out.replicas.clear();
+    out.replicas.push_back(wrote ? std::move(blob) : ByteBuffer{});
+    return true;
+  }
+
+  /// revive() for a *live* stage: fresh processor on the target restored
+  /// from the checkpoint (or via on_recover() when it was declined), the
+  /// incarnation bump cancelling in-flight deliveries and the pending
+  /// service completion, the queue dropped — its contents are unacked, so
+  /// the replay tail re-delivers them to the new incarnation.
+  void resume_migrated(NodeId node, double cpu_factor,
+                       const ProcessorFactory& factory,
+                       const StageCheckpoint& ckpt, bool& used_checkpoint) {
+    GATES_CHECK(!failed_ && !finished_);
+    node_ = node;
+    cpu_factor_ = cpu_factor;
+    processor_ = factory ? factory() : spec_.factory();
+    GATES_CHECK_MSG(processor_ != nullptr,
+                    "migration factory for stage '" + spec_.name +
+                        "' returned null");
+    params_.clear();
+    controllers_.clear();
+    queue_.clear();  // unacked: replayed below, not lost
+    busy_ = false;
+    ++incarnation_;
+    init();
+    used_checkpoint = false;
+    if (!ckpt.replicas.empty() && ckpt.replicas.front().size() != 0) {
+      StateReader r(ckpt.replicas.front());
+      used_checkpoint = processor_->restore(r);
+    }
+    if (!used_checkpoint) processor_->on_recover(*this);
+  }
+
   // -- reporting --------------------------------------------------------------------
   StageReport build_report() const {
     StageReport r;
@@ -1138,6 +1184,12 @@ Status SimEngine::setup() {
     });
   }
 
+  for (const auto& req : migration_requests_) {
+    sim_.schedule_at(req.time, [this, req] {
+      migrate_stage(req.stage, req.target);
+    });
+  }
+
   // Start sources and the control loop.
   for (auto& source : sources_) source->start();
   control_task_ = std::make_unique<sim::PeriodicTask>(
@@ -1397,6 +1449,131 @@ void SimEngine::revive_stage(std::size_t stage_index,
       << " lost to retention)";
 }
 
+void SimEngine::migrate_stage(std::size_t stage_index, NodeId target) {
+  StageRuntime* stage = stages_[stage_index].get();
+  const NodeId from = stage->node();
+  ReplacementDecision decision;
+
+  MigrationCoordinator::Hooks hooks;
+  hooks.quiesce = [&](std::string& error) {
+    if (!config_.failover.enabled) {
+      error = "failover disabled (no retention to cover the gap)";
+      return false;
+    }
+    if (stage->finished()) {
+      error = "stage already finished";
+      return false;
+    }
+    if (stage->failed()) {
+      error = "stage is crashed (failover owns it)";
+      return false;
+    }
+    // Nothing to drain: this event boundary *is* the ack barrier (see
+    // capture_checkpoint). The stage is quiesced by construction.
+    return true;
+  };
+  hooks.capture = [&](StageCheckpoint& out, std::string& error) {
+    (void)error;
+    return stage->capture_checkpoint(out);
+  };
+  hooks.transfer = [&](const StageCheckpoint&, std::string& error) {
+    // In-process "transfer" is the matchmaking + (for grid pipelines) the
+    // service-instance creation on the target; the blob itself stays local.
+    std::optional<ReplacementDecision> d;
+    if (migration_provider_) {
+      d = migration_provider_(stage_index, target);
+    } else if (target != kInvalidNode) {
+      d.emplace();
+      d->node = target;
+    } else {
+      d = default_replacement(stage_index);
+    }
+    if (!d || d->node == kInvalidNode) {
+      error = "no candidate target";
+      return false;
+    }
+    if (node_down(d->node)) {
+      error = "target node is down";
+      return false;
+    }
+    if (d->node == from) {
+      error = "no better placement than current node";
+      return false;
+    }
+    decision = *d;
+    return true;
+  };
+  hooks.resume = [&](const StageCheckpoint& ckpt, MigrationRecord& rec,
+                     std::string& error) {
+    (void)error;
+    bool used = false;
+    stage->resume_migrated(decision.node, hosts_.at(decision.node),
+                           decision.factory, ckpt, used);
+    rec.checkpointed = used;
+    rec.to = decision.node;
+    // Rewire + replay, the same path revive_stage takes after a crash.
+    stage->clear_inbound_links();
+    std::uint64_t replayed = 0;
+    for (auto& up : stages_) {
+      for (auto& route : up->routes()) {
+        if (route.dest != stage) continue;
+        route.link = attach_flow(up.get(), stage);
+        replayed += up->replay_route(route);
+      }
+    }
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+      if (sources_[s]->target() != stage) continue;
+      net::SimLink* link = link_for_flow(spec_.sources[s].location,
+                                         decision.node);
+      sources_[s]->set_link(link);
+      stage->add_inbound_link(link);
+      replayed += sources_[s]->replay();
+    }
+    for (auto& route : stage->routes()) {
+      route.link = attach_flow(stage, route.dest);
+    }
+    rec.packets_replayed = replayed;
+    GATES_LOG(kInfo, "sim-engine")
+        << "stage '" << stage->name() << "' migrated " << from << " -> "
+        << decision.node << " at t=" << sim_.now() << " ("
+        << (used ? "checkpoint restored" : "on_recover fallback") << ", "
+        << replayed << " replayed)";
+    return true;
+  };
+  hooks.abort_fallback = [&](MigrationStep step, const std::string& why) {
+    // Degrade to crash-failover: crash-stop the stage and let the existing
+    // detector + retention-replay machinery recover it. Never lost data —
+    // only the failover latency.
+    if (stage->finished() || stage->failed()) return;
+    const TimePoint t = sim_.now();
+    GATES_LOG(kWarn, "sim-engine")
+        << "migration of '" << stage->name() << "' aborted at "
+        << migration_step_name(step) << " (" << why
+        << "); degrading to crash-failover";
+    FailureReport rec;
+    rec.node = stage->node();
+    rec.stage = stage->name();
+    rec.failed_at = t;
+    const auto& fo = config_.failover;
+    const TimePoint when = std::max(
+        fo.heartbeat_period * (std::floor(t / fo.heartbeat_period) +
+                               static_cast<double>(fo.suspicion_beats)) +
+            heartbeat_delay(stage->node()),
+        t);
+    rec.detected_at = when;
+    failures_.push_back(std::move(rec));
+    const std::size_t report_index = failures_.size() - 1;
+    stage->crash();
+    sim_.schedule_at(when, [this, stage_index, report_index] {
+      on_failure_detected(stage_index, report_index);
+    });
+  };
+
+  migration_records_.push_back(MigrationCoordinator().run(
+      stage->name(), from, target, [this] { return sim_.now(); }, hooks,
+      migration_fault_injector_));
+}
+
 Status SimEngine::run() {
   if (auto s = setup(); !s.is_ok()) return s;
   sim_.run_until(config_.max_time);
@@ -1420,6 +1597,7 @@ void SimEngine::finalize_report(bool completed) {
     report_.stages.push_back(stage->build_report());
   }
   report_.failures = failures_;
+  report_.migrations = migration_records_;
   // Host facts only: a simulated run has no pin/idle configuration, and its
   // figures do not depend on the wall-clock machine — but the row should
   // still say where it ran.
@@ -1510,6 +1688,24 @@ void SimEngine::schedule_node_recovery(NodeId node, TimePoint t) {
 void SimEngine::set_replacement_provider(ReplacementProvider provider) {
   GATES_CHECK_MSG(!setup_done_, "set_replacement_provider must precede run()");
   replacement_provider_ = std::move(provider);
+}
+
+void SimEngine::schedule_migration(std::size_t stage_index, TimePoint t,
+                                   NodeId target) {
+  GATES_CHECK_MSG(!setup_done_, "schedule_migration must precede run()");
+  GATES_CHECK_MSG(stage_index < spec_.stages.size(),
+                  "schedule_migration: bad stage index");
+  migration_requests_.push_back({stage_index, t, target});
+}
+
+void SimEngine::set_migration_provider(MigrationProvider provider) {
+  GATES_CHECK_MSG(!setup_done_, "set_migration_provider must precede run()");
+  migration_provider_ = std::move(provider);
+}
+
+void SimEngine::set_migration_fault_injector(
+    MigrationCoordinator::FaultInjector inject) {
+  migration_fault_injector_ = std::move(inject);
 }
 
 double SimEngine::parameter_value(std::size_t stage_index,

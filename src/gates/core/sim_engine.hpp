@@ -16,6 +16,7 @@
 
 #include "gates/common/status.hpp"
 #include "gates/core/failover.hpp"
+#include "gates/core/migration.hpp"
 #include "gates/core/pipeline.hpp"
 #include "gates/core/report.hpp"
 #include "gates/net/link.hpp"
@@ -111,6 +112,23 @@ class SimEngine {
   /// known to the engine is used. Must precede run().
   void set_replacement_provider(ReplacementProvider provider);
 
+  // -- live migration (DESIGN.md §10) ---------------------------------------
+  /// At virtual time `t`, live-migrates the stage: quiesce at the event/ack
+  /// boundary, checkpoint the processor, resume on `target` (kInvalidNode =
+  /// re-matchmake via the migration provider or the least-loaded policy)
+  /// and replay the unacked tail. Requires failover.enabled — without
+  /// retention there is nothing to cover the gap — else the request aborts
+  /// in place and is recorded as such. Call before run()/run_for().
+  void schedule_migration(std::size_t stage_index, TimePoint t,
+                          NodeId target = kInvalidNode);
+  /// Matchmaking for migration targets (e.g. grid::make_migration_provider
+  /// wrapping Deployer::migrate_stage + ResourceDirectory::find_better_than).
+  void set_migration_provider(MigrationProvider provider);
+  /// Chaos hook: force-fail the named protocol step of every migration
+  /// (simulating target death mid-protocol); the engine must degrade to
+  /// crash-failover without losing data.
+  void set_migration_fault_injector(MigrationCoordinator::FaultInjector inject);
+
   sim::Simulation& simulation() { return sim_; }
 
  private:
@@ -142,6 +160,8 @@ class SimEngine {
       std::size_t stage_index) const;
   void revive_stage(std::size_t stage_index, const ReplacementDecision& decision,
                     FailureReport& record);
+  /// Executes one scheduled migration through the MigrationCoordinator.
+  void migrate_stage(std::size_t stage_index, NodeId target);
   /// Routes `sender`'s traffic for `dest` over the link between their
   /// current nodes, registering monitors and drain listeners as needed.
   net::SimLink* attach_flow(StageRuntime* sender, StageRuntime* dest);
@@ -190,6 +210,11 @@ class SimEngine {
     NodeId node;
     TimePoint time;
   };
+  struct MigrationRequest {
+    std::size_t stage;
+    TimePoint time;
+    NodeId target;
+  };
   std::vector<CpuChange> cpu_changes_;
   std::vector<BandwidthChange> bandwidth_changes_;
   std::vector<LinkChange> link_changes_;
@@ -204,6 +229,11 @@ class SimEngine {
   ReplacementProvider replacement_provider_;
   std::vector<NodeId> down_nodes_;  // sorted
   std::vector<FailureReport> failures_;
+
+  std::vector<MigrationRequest> migration_requests_;
+  std::vector<MigrationRecord> migration_records_;
+  MigrationProvider migration_provider_;
+  MigrationCoordinator::FaultInjector migration_fault_injector_;
 
   std::size_t finished_stages_ = 0;
   bool completed_ = false;

@@ -9,25 +9,16 @@
 namespace gates::grid {
 namespace {
 
-// A serial stage keeps the single-shot service lifecycle: its factory wraps
-// exactly one instance, and a second instantiate() is a caught bug. A pooled
-// stage's factory is invoked once per replica slot, so every call after the
-// first gets a sibling instance in the same container — one GATES service
-// per replica, all customized with the same uploaded code.
+// The factory's first call instantiates the deploy-time service; any call
+// after that gets a sibling instance in the same container, customized with
+// the same uploaded code. Pooled stages hit the sibling path once per
+// replica slot; serial stages hit it when the engine asks for a fresh
+// processor while the original is still RUNNING — a migration resume or an
+// in-process revive, where the retired incarnation is only released after
+// its successor is up.
 core::ProcessorFactory make_stage_factory(GatesServiceInstance* inst,
                                           ServiceContainer* container,
-                                          core::ProcessorFactory code,
-                                          bool pooled) {
-  if (!pooled) {
-    return [inst]() -> std::unique_ptr<core::StreamProcessor> {
-      auto p = inst->instantiate();
-      if (!p.ok()) {
-        GATES_LOG(kError, "deployer") << p.status().to_string();
-        return nullptr;
-      }
-      return std::move(*p);
-    };
-  }
+                                          core::ProcessorFactory code) {
   return [inst, container,
           code = std::move(code)]() -> std::unique_ptr<core::StreamProcessor> {
     GatesServiceInstance* target = inst;
@@ -153,9 +144,8 @@ StatusOr<Deployment> Deployer::deploy(core::PipelineSpec& spec) {
     if (auto s = instance.upload_code(std::move(code)); !s.is_ok()) return s;
 
     // Engines construct processors through the service instance.
-    stage.factory = make_stage_factory(
-        &instance, container.get(), deployment.stage_code[i],
-        stage.parallelism.mode != core::ParallelismMode::kSerial);
+    stage.factory = make_stage_factory(&instance, container.get(),
+                                       deployment.stage_code[i]);
     GATES_LOG(kInfo, "deployer")
         << "stage '" << stage.name << "' deployed to node " << node;
   }
@@ -235,8 +225,71 @@ StatusOr<core::ReplacementDecision> Deployer::replace_stage(
   core::ReplacementDecision decision;
   decision.node = best;
   decision.factory = make_stage_factory(
-      &instance, container.get(), deployment.stage_code[stage_index],
-      stage.parallelism.mode != core::ParallelismMode::kSerial);
+      &instance, container.get(), deployment.stage_code[stage_index]);
+  return decision;
+}
+
+StatusOr<core::ReplacementDecision> Deployer::migrate_stage(
+    const core::PipelineSpec& spec, Deployment& deployment,
+    std::size_t stage_index, NodeId target, TimePoint now) {
+  if (stage_index >= spec.stages.size()) {
+    return invalid_argument("no stage with index " +
+                            std::to_string(stage_index));
+  }
+  const core::StageSpec& stage = spec.stages[stage_index];
+  if (!deployment.stage_code[stage_index]) {
+    return failed_precondition("stage '" + stage.name +
+                               "' has no retained code to re-upload");
+  }
+  const NodeId current = deployment.placement.stage_nodes[stage_index];
+
+  NodeId best = target;
+  if (best == kInvalidNode) {
+    best = directory_.find_better_than(current, stage.requirement, now);
+    if (best == kInvalidNode) {
+      return resource_exhausted("no healthy node strictly better than node " +
+                                std::to_string(current) + " for stage '" +
+                                stage.name + "'");
+    }
+  } else if (!directory_.satisfies(best, stage.requirement)) {
+    return failed_precondition(
+        "migration target node " + std::to_string(best) +
+        " is unavailable or does not meet the requirement of stage '" +
+        stage.name + "'");
+  }
+  if (best == current) {
+    return invalid_argument("stage '" + stage.name + "' already runs on node " +
+                            std::to_string(best));
+  }
+
+  // Fresh instance on the chosen node; the single-shot instance it leaves
+  // behind is stopped once the checkpoint has a new home.
+  auto& container = deployment.containers[best];
+  if (!container) container = std::make_unique<ServiceContainer>(best);
+  GatesServiceInstance& instance = container->create_instance(stage.name);
+  if (auto s = instance.upload_code(deployment.stage_code[stage_index]);
+      !s.is_ok()) {
+    return s;
+  }
+  if (deployment.instances[stage_index] != nullptr) {
+    deployment.instances[stage_index]->stop();
+  }
+  deployment.instances[stage_index] = &instance;
+  deployment.placement.stage_nodes[stage_index] = best;
+  deployment.decisions.push_back("stage '" + stage.name +
+                                 "' migrated to node " + std::to_string(best));
+  GATES_TRACE(.kind = obs::TraceKind::kReplacement, .component = stage.name,
+              .detail = deployment.decisions.back(),
+              .value_old = static_cast<double>(current),
+              .value_new = static_cast<double>(best));
+  GATES_LOG(kInfo, "deployer")
+      << "stage '" << stage.name << "' migrating node " << current << " -> "
+      << best;
+
+  core::ReplacementDecision decision;
+  decision.node = best;
+  decision.factory = make_stage_factory(
+      &instance, container.get(), deployment.stage_code[stage_index]);
   return decision;
 }
 
@@ -256,9 +309,7 @@ core::ProcessorFactory make_recovery_factory(const core::PipelineSpec& spec,
   auto& container = deployment.containers[inst->node()];
   if (!container) container = std::make_unique<ServiceContainer>(inst->node());
   return make_stage_factory(inst, container.get(),
-                            deployment.stage_code[stage_index],
-                            spec.stages[stage_index].parallelism.mode !=
-                                core::ParallelismMode::kSerial);
+                            deployment.stage_code[stage_index]);
 }
 
 core::ReplacementProvider make_replacement_provider(
@@ -268,6 +319,22 @@ core::ReplacementProvider make_replacement_provider(
                                          const std::vector<NodeId>& down)
              -> std::optional<core::ReplacementDecision> {
     auto decision = deployer.replace_stage(spec, deployment, stage_index, down);
+    if (!decision.ok()) {
+      GATES_LOG(kWarn, "deployer") << decision.status().to_string();
+      return std::nullopt;
+    }
+    return std::move(*decision);
+  };
+}
+
+core::MigrationProvider make_migration_provider(Deployer& deployer,
+                                                const core::PipelineSpec& spec,
+                                                Deployment& deployment) {
+  return [&deployer, &spec, &deployment](std::size_t stage_index,
+                                         NodeId target)
+             -> std::optional<core::ReplacementDecision> {
+    auto decision = deployer.migrate_stage(spec, deployment, stage_index,
+                                           target);
     if (!decision.ok()) {
       GATES_LOG(kWarn, "deployer") << decision.status().to_string();
       return std::nullopt;

@@ -66,6 +66,19 @@ class Deployer {
       const core::PipelineSpec& spec, Deployment& deployment,
       std::size_t stage_index, const std::vector<NodeId>& exclude);
 
+  /// Proactive live migration (DESIGN.md §10): moves an already-deployed,
+  /// still-running stage. With an explicit `target` the move is pinned
+  /// (error if the node does not qualify); with kInvalidNode the directory's
+  /// find_better_than() proposes a strictly faster healthy node, and the
+  /// call fails with resource_exhausted when no improvement exists — the
+  /// engine's migration then aborts in place, keeping the stage where it
+  /// is. On success a fresh service instance on the new node carries the
+  /// re-uploaded retained code, and `deployment` is updated like
+  /// replace_stage.
+  StatusOr<core::ReplacementDecision> migrate_stage(
+      const core::PipelineSpec& spec, Deployment& deployment,
+      std::size_t stage_index, NodeId target, TimePoint now = 0);
+
  private:
   StatusOr<NodeId> place_stage(const core::PipelineSpec& spec,
                                std::size_t stage_index,
@@ -97,5 +110,14 @@ core::ReplacementProvider make_replacement_provider(Deployer& deployer,
 core::ProcessorFactory make_recovery_factory(const core::PipelineSpec& spec,
                                              Deployment& deployment,
                                              std::size_t stage_index);
+
+/// Adapts Deployer::migrate_stage into the callback engines consult during
+/// the transfer step of a live migration (set_migration_provider). The
+/// returned closure keeps references to all three arguments — they must
+/// outlive the engine run. A failed matchmake (no better node, pinned node
+/// unqualified) surfaces as nullopt, which aborts the migration in place.
+core::MigrationProvider make_migration_provider(Deployer& deployer,
+                                                const core::PipelineSpec& spec,
+                                                Deployment& deployment);
 
 }  // namespace gates::grid

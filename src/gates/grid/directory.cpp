@@ -91,6 +91,23 @@ std::vector<NodeId> ResourceDirectory::query_healthy(
   return out;
 }
 
+NodeId ResourceDirectory::find_better_than(
+    NodeId current, const core::ResourceRequirement& req, TimePoint now) const {
+  const double floor =
+      current < nodes_.size() ? nodes_[current].resources.cpu_factor : 0.0;
+  NodeId best = kInvalidNode;
+  double best_factor = floor;
+  for (const NodeId id : query_healthy(req, now)) {
+    if (id == current) continue;
+    const double factor = nodes_[id].resources.cpu_factor;
+    if (factor > best_factor) {
+      best = id;
+      best_factor = factor;
+    }
+  }
+  return best;
+}
+
 core::HostModel ResourceDirectory::host_model() const {
   core::HostModel model;
   model.cpu_factor.reserve(nodes_.size());

@@ -74,6 +74,13 @@ class ResourceDirectory {
   std::vector<NodeId> query_healthy(const core::ResourceRequirement& req,
                                     TimePoint now) const;
 
+  /// Migration matchmaking (DESIGN.md §10): the fastest healthy node meeting
+  /// `req` whose cpu factor strictly exceeds `current`'s (ties to the lowest
+  /// id). kInvalidNode when no strictly better placement exists — a
+  /// migration proposed against that answer aborts in place, by design.
+  NodeId find_better_than(NodeId current, const core::ResourceRequirement& req,
+                          TimePoint now) const;
+
   /// Host speed model for the engines, derived from registered cpu factors.
   core::HostModel host_model() const;
 

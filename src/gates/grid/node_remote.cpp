@@ -17,6 +17,7 @@
 #include "gates/common/idle_strategy.hpp"
 #include "gates/common/log.hpp"
 #include "gates/common/string_util.hpp"
+#include "gates/core/migration.hpp"
 #include "gates/core/rt_engine.hpp"
 #include "gates/grid/grid_config.hpp"
 #include "gates/grid/launcher.hpp"
@@ -74,7 +75,10 @@ std::string NodeDeployRequest::to_xml() const {
       << "\" max-batch=\"" << max_batch << "\" spsc=\"" << (spsc ? 1 : 0)
       << "\" pin=\"" << (pin ? 1 : 0) << "\" idle=\"" << xml::escape(idle)
       << "\" control-period=\"" << control_period << "\" max-wall=\""
-      << max_wall << "\" shm-ring-bytes=\"" << shm_ring_bytes << "\">\n";
+      << max_wall << "\" shm-ring-bytes=\"" << shm_ring_bytes
+      << "\" migrate-at=\"" << migrate_at << "\" migrate-target=\""
+      << migrate_target << "\" migrate-stage=\"" << xml::escape(migrate_stage)
+      << "\">\n";
   out << "  <grid>" << xml::escape(grid_text) << "</grid>\n";
   out << "  <app>" << xml::escape(app_text) << "</app>\n";
   for (const auto& [cid, base] : shm_bases) {
@@ -110,6 +114,7 @@ StatusOr<NodeDeployRequest> NodeDeployRequest::parse(
   GATES_ATTR_INT(wire_retention, "wire-retention", 8192)
   GATES_ATTR_INT(max_batch, "max-batch", 32)
   GATES_ATTR_INT(shm_ring_bytes, "shm-ring-bytes", 1u << 20)
+  GATES_ATTR_INT(migrate_target, "migrate-target", -1)
 #undef GATES_ATTR_INT
   {
     auto v = attr_int(root, "adapt", 1);
@@ -146,8 +151,14 @@ StatusOr<NodeDeployRequest> NodeDeployRequest::parse(
     if (!v.ok()) return v.status();
     req.max_wall = *v;
   }
+  {
+    auto v = attr_double(root, "migrate-at", -1);
+    if (!v.ok()) return v.status();
+    req.migrate_at = *v;
+  }
   req.transport = root.attr_or("transport", "tcp");
   req.idle = root.attr_or("idle", "");
+  req.migrate_stage = root.attr_or("migrate-stage", "");
   const xml::Element* grid = root.child("grid");
   const xml::Element* app = root.child("app");
   if (!grid || !app) {
@@ -194,6 +205,12 @@ struct DaemonState {
   std::mutex mu;
   std::string run_error;
   std::string report_json = "{}";
+  /// Control connection, shared between the serve loop (RPC responses) and
+  /// the engine's control thread (CHECKPOINT transfer frames); control_mu
+  /// serializes every send on it.
+  std::shared_ptr<net::RemoteLink> control;
+  std::mutex control_mu;
+  std::uint64_t checkpoint_transfers = 0;  // transfer ids, under control_mu
 
   ~DaemonState() {
     if (run_thread.joinable()) run_thread.join();
@@ -388,6 +405,42 @@ StatusOr<std::string> handle_start(DaemonState& state) {
   state.engine = std::make_unique<core::RtEngine>(
       state.part->spec, state.part->placement, state.app->deployment.hosts,
       state.grid->topology, config);
+  // Daemon-side migration: before the stage resumes, the captured state is
+  // shipped to the coordinator as a CHECKPOINT wire frame on the control
+  // connection (the SIGKILL drill interrupts exactly this hook). A send
+  // failure fails the transfer step, degrading to crash-failover.
+  DaemonState* ckpt_state = &state;
+  state.engine->set_migration_transfer(
+      [ckpt_state](const core::StageCheckpoint& ckpt, std::string& error) {
+        ByteBuffer blob;
+        ckpt.encode(blob);
+        std::lock_guard<std::mutex> lock(ckpt_state->control_mu);
+        if (!ckpt_state->control) {
+          error = "checkpoint transfer: no control connection";
+          return false;
+        }
+        const Status sent = ckpt_state->control->send_control(
+            net::wire::FrameType::kCheckpoint,
+            ++ckpt_state->checkpoint_transfers, {},
+            std::string_view(reinterpret_cast<const char*>(blob.data()),
+                             blob.size()));
+        if (!sent.is_ok()) {
+          error = "checkpoint transfer: " + sent.to_string();
+          return false;
+        }
+        return true;
+      });
+  // Deploy-time migration schedule: the daemon whose part holds the stage
+  // arms it, everyone else sees a name that hashed elsewhere and ignores it.
+  if (state.req.migrate_at >= 0 && !state.req.migrate_stage.empty()) {
+    for (std::size_t i = 0; i < state.part->spec.stages.size(); ++i) {
+      if (state.part->spec.stages[i].name != state.req.migrate_stage) continue;
+      state.engine->schedule_migration(
+          i, state.req.migrate_at,
+          static_cast<NodeId>(state.req.migrate_target));
+      break;
+    }
+  }
   const double horizon = state.req.horizon;
   state.run_state.store(1);
   core::RtEngine* engine = state.engine.get();
@@ -405,6 +458,28 @@ StatusOr<std::string> handle_start(DaemonState& state) {
     }
   });
   return std::string("<ok/>");
+}
+
+/// Runtime migration trigger: <migrate stage="NAME" target="N"/>. The stage
+/// is looked up in this daemon's part; a name hashed to another process
+/// answers <ok local="0"/> so the coordinator can fan the request out.
+StatusOr<std::string> handle_migrate(DaemonState& state,
+                                     const std::string& body) {
+  if (state.run_state.load() != 1 || !state.engine) {
+    return failed_precondition("migrate: engine not running");
+  }
+  auto doc = xml::parse(body);
+  if (!doc.ok()) return doc.status();
+  const std::string stage = doc->root->attr_or("stage", "");
+  auto target = attr_int(*doc->root, "target", -1);
+  if (!target.ok()) return target.status();
+  for (std::size_t i = 0; i < state.part->spec.stages.size(); ++i) {
+    if (state.part->spec.stages[i].name != stage) continue;
+    state.engine->request_migration(i, static_cast<NodeId>(*target));
+    return std::string("<ok local=\"1\" stage=\"") + std::to_string(i) +
+           "\"/>";
+  }
+  return std::string("<ok local=\"0\"/>");
 }
 
 }  // namespace
@@ -425,6 +500,7 @@ Status NodeDaemon::run(const Options& options) {
   auto control = net::TcpRemoteLink::serve(*listener, 0, "control",
                                            /*accept_timeout_seconds=*/600.0);
   DaemonState state;
+  state.control = control;
   bool shutdown = false;
   while (!shutdown) {
     auto ev = control->recv(0.25);
@@ -454,6 +530,8 @@ Status NodeDaemon::run(const Options& options) {
       std::lock_guard<std::mutex> lock(state.mu);
       response = "<status state=\"" + std::string(state.state_name()) +
                  "\" detail=\"" + xml::escape(state.run_error) + "\"/>";
+    } else if (method == "migrate") {
+      response = handle_migrate(state, body);
     } else if (method == "report") {
       std::lock_guard<std::mutex> lock(state.mu);
       response = state.report_json;
@@ -464,13 +542,17 @@ Status NodeDaemon::run(const Options& options) {
     }
 
     Status sent;
-    if (response.ok()) {
-      sent = control->send_control(net::wire::FrameType::kRpcResponse,
-                                   ev->base_seq, method, *response);
-    } else {
-      sent = control->send_control(net::wire::FrameType::kRpcResponse,
-                                   ev->base_seq, "error",
-                                   response.status().to_string());
+    {
+      // Shares the link with the engine's checkpoint-transfer hook.
+      std::lock_guard<std::mutex> lock(state.control_mu);
+      if (response.ok()) {
+        sent = control->send_control(net::wire::FrameType::kRpcResponse,
+                                     ev->base_seq, method, *response);
+      } else {
+        sent = control->send_control(net::wire::FrameType::kRpcResponse,
+                                     ev->base_seq, "error",
+                                     response.status().to_string());
+      }
     }
     if (!sent.is_ok()) {
       GATES_LOG(kWarn, kComponent)
@@ -501,6 +583,10 @@ struct DaemonHandle {
   std::uint64_t next_request = 1;
   std::string port_file;
   bool respawned = false;
+  /// CHECKPOINT frames this daemon shipped during migrations (drained by
+  /// rpc_call between responses).
+  std::uint64_t checkpoint_frames = 0;
+  std::uint64_t checkpoint_bytes = 0;
 };
 
 StatusOr<std::string> rpc_call(DaemonHandle& d, std::string_view method,
@@ -521,6 +607,16 @@ StatusOr<std::string> rpc_call(DaemonHandle& d, std::string_view method,
     }
     auto ev = d.control->recv(remaining > 0.25 ? 0.25 : remaining);
     if (!ev.ok()) return ev.status();
+    if (ev->kind == net::RecvEvent::Kind::kCheckpoint) {
+      // Migration state transfer riding the control connection: account it
+      // (run_distributed surfaces the totals) and keep waiting.
+      d.checkpoint_frames++;
+      d.checkpoint_bytes += ev->body.size();
+      GATES_LOG(kInfo, kComponent)
+          << "checkpoint frame: transfer " << ev->base_seq << ", "
+          << ev->body.size() << " bytes";
+      continue;
+    }
     if (ev->kind != net::RecvEvent::Kind::kRpcResponse) continue;
     if (ev->base_seq != id) continue;  // stale response from a timed-out call
     if (ev->method == "error") {
@@ -626,6 +722,9 @@ Status deploy_daemon(const DistributedOptions& options, std::size_t index,
   req.max_wall = options.max_wall;
   req.shm_ring_bytes = options.shm_ring_bytes;
   req.shm_bases = shm_bases;
+  req.migrate_stage = options.migrate_stage;
+  req.migrate_at = options.migrate_at;
+  req.migrate_target = options.migrate_target;
   if (force_ports) {
     for (const PartitionChannel& ch : plan.channels) {
       if (ch.to_process != index) continue;
@@ -696,6 +795,12 @@ StatusOr<DistributedResult> run_distributed(const DistributedOptions& options) {
     if (options.kill_daemon->first >= options.daemons) {
       return invalid_argument("--kill-daemon: process index out of range");
     }
+  }
+  if (!options.migrate_stage.empty() && options.migrate_at >= 0 &&
+      !options.failover) {
+    // Migration shares the failover machinery (quiesce gating, abort
+    // degradation to crash-replay), so it is meaningless without it.
+    return invalid_argument("--migrate requires --failover in daemon mode");
   }
 
   // Compute the same plan the daemons will: the coordinator only needs the
@@ -828,6 +933,8 @@ StatusOr<DistributedResult> run_distributed(const DistributedOptions& options) {
     if (!report.ok()) return fail(report.status());
     result.daemon_reports[k] = std::move(*report);
     if (states[k] == "failed") result.completed = false;
+    result.checkpoint_frames += daemons[k].checkpoint_frames;
+    result.checkpoint_bytes += daemons[k].checkpoint_bytes;
   }
   for (std::size_t k = 0; k < options.daemons; ++k) {
     (void)rpc_call(daemons[k], "shutdown", "", 5.0);
@@ -849,7 +956,10 @@ StatusOr<DistributedResult> run_distributed(const DistributedOptions& options) {
   merged << "{\n  \"distributed\": true,\n  \"processes\": "
          << options.daemons << ",\n  \"transport\": \"" << options.transport
          << "\",\n  \"channels\": " << plan->channels.size()
-         << ",\n  \"respawns\": " << respawns << ",\n  \"completed\": "
+         << ",\n  \"respawns\": " << respawns
+         << ",\n  \"checkpoint_frames\": " << result.checkpoint_frames
+         << ",\n  \"checkpoint_bytes\": " << result.checkpoint_bytes
+         << ",\n  \"completed\": "
          << (result.completed ? "true" : "false") << ",\n  \"daemons\": [\n";
   for (std::size_t k = 0; k < options.daemons; ++k) {
     merged << "    {\"process\": " << k << ", \"state\": \"" << states[k]

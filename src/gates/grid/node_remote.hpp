@@ -69,6 +69,14 @@ struct NodeDeployRequest {
   /// binds an ephemeral port. A respawn passes the original ports so peer
   /// egress links reconnect to the address they already hold.
   std::map<std::uint32_t, std::uint16_t> ingress_ports;
+  /// Live migration (DESIGN.md §10): migrate `migrate_stage` at engine time
+  /// `migrate_at` to `migrate_target` (SIZE_MAX = directory-chosen). Every
+  /// daemon receives the same triple; the one hosting the stage schedules
+  /// it, the rest ignore it. Deploy-time scheduling (rather than a runtime
+  /// RPC) keeps the trigger deterministic and survives a respawn redeploy.
+  std::string migrate_stage;
+  double migrate_at = -1;  // < 0 disables
+  std::size_t migrate_target = static_cast<std::size_t>(-1);
 
   std::string to_xml() const;
   static StatusOr<NodeDeployRequest> parse(const std::string& xml_text);
@@ -111,6 +119,11 @@ struct DistributedOptions {
   /// Kill daemon `first` with SIGKILL `second` seconds after start, then
   /// respawn it on the same ports (requires failover and tcp transport).
   std::optional<std::pair<std::size_t, double>> kill_daemon;
+  /// Live migration: stage name, engine time, explicit target node
+  /// (SIZE_MAX = let the directory pick). Empty stage disables.
+  std::string migrate_stage;
+  double migrate_at = -1;
+  std::size_t migrate_target = static_cast<std::size_t>(-1);
   bool verbose = false;
 };
 
@@ -121,6 +134,10 @@ struct DistributedResult {
   std::vector<std::string> daemon_reports;
   bool completed = true;
   std::size_t respawns = 0;
+  /// CHECKPOINT frames the coordinator observed on the control connections
+  /// (daemon-side migration transfers) and their total body bytes.
+  std::uint64_t checkpoint_frames = 0;
+  std::uint64_t checkpoint_bytes = 0;
 };
 
 /// Spawns the daemons, drives the phases, waits for completion, merges the

@@ -47,6 +47,7 @@ struct RecvEvent {
     kRpcRequest,
     kRpcResponse,
     kShutdown,
+    kCheckpoint,  // body = serialized StageCheckpoint, base_seq = transfer id
   };
   Kind kind = Kind::kNone;
   std::vector<wire::WirePacket> packets;  // kData

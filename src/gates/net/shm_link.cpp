@@ -117,7 +117,10 @@ Status ShmRemoteLink::send_control(wire::FrameType type,
                                    std::uint64_t base_seq,
                                    std::string_view method,
                                    std::string_view body) {
-  if (method.empty() && body.empty()) {
+  if (type == wire::FrameType::kCheckpoint) {
+    wire::encode_checkpoint_frame(channel_id_, base_seq, body,
+                                  &frame_scratch_);
+  } else if (method.empty() && body.empty()) {
     wire::encode_control_frame(type, channel_id_, base_seq, &frame_scratch_);
   } else {
     wire::encode_rpc_frame(type, channel_id_, base_seq, method, body,
@@ -181,6 +184,12 @@ StatusOr<RecvEvent> ShmRemoteLink::decode_record(
     case wire::FrameType::kShutdown:
       event.kind = RecvEvent::Kind::kShutdown;
       event.base_seq = h.base_seq;
+      return event;
+    case wire::FrameType::kCheckpoint:
+      event.kind = RecvEvent::Kind::kCheckpoint;
+      event.base_seq = h.base_seq;
+      event.body = ByteBuffer::from_string(std::string_view(
+          reinterpret_cast<const char*>(body), h.body_bytes));
       return event;
     case wire::FrameType::kRpcRequest:
     case wire::FrameType::kRpcResponse: {

@@ -289,6 +289,8 @@ Status TcpRemoteLink::send_control(wire::FrameType type,
       type == wire::FrameType::kRpcResponse) {
     wire::encode_rpc_frame(type, channel_id_, base_seq, method, body,
                            &scratch_);
+  } else if (type == wire::FrameType::kCheckpoint) {
+    wire::encode_checkpoint_frame(channel_id_, base_seq, body, &scratch_);
   } else {
     wire::encode_control_frame(type, channel_id_, base_seq, &scratch_);
   }
@@ -466,6 +468,12 @@ StatusOr<RecvEvent> TcpRemoteLink::recv(double timeout_seconds) {
           break;
         case wire::FrameType::kShutdown:
           event.kind = RecvEvent::Kind::kShutdown;
+          break;
+        case wire::FrameType::kCheckpoint:
+          event.body = ByteBuffer::from_string(std::string_view(
+              reinterpret_cast<const char*>(meta_scratch_.data()),
+              h.body_bytes));
+          event.kind = RecvEvent::Kind::kCheckpoint;
           break;
         case wire::FrameType::kRpcRequest:
         case wire::FrameType::kRpcResponse: {

@@ -49,6 +49,7 @@ const char* frame_type_name(FrameType t) {
     case FrameType::kRpcRequest: return "rpc-request";
     case FrameType::kRpcResponse: return "rpc-response";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kCheckpoint: return "checkpoint";
   }
   return "unknown";
 }
@@ -76,7 +77,7 @@ Status decode_header(const std::uint8_t* p, FrameHeader* out) {
   }
   const std::uint8_t type = p[5];
   if (type < static_cast<std::uint8_t>(FrameType::kData) ||
-      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+      type > static_cast<std::uint8_t>(FrameType::kCheckpoint)) {
     return invalid_argument("wire: unknown frame type " +
                             std::to_string(type));
   }
@@ -208,6 +209,19 @@ void encode_rpc_frame(FrameType type, std::uint32_t channel,
   put_u32(p, static_cast<std::uint32_t>(method.size()));
   std::memcpy(p + 4, method.data(), method.size());
   std::memcpy(p + 4 + method.size(), body.data(), body.size());
+}
+
+void encode_checkpoint_frame(std::uint32_t channel, std::uint64_t transfer_id,
+                             std::string_view body,
+                             std::vector<std::uint8_t>* out) {
+  out->resize(kHeaderBytes + body.size());
+  FrameHeader h;
+  h.type = FrameType::kCheckpoint;
+  h.channel = channel;
+  h.base_seq = transfer_id;
+  h.body_bytes = static_cast<std::uint32_t>(body.size());
+  encode_header(h, out->data());
+  std::memcpy(out->data() + kHeaderBytes, body.data(), body.size());
 }
 
 Status decode_data_body(const std::uint8_t* body, std::size_t n,

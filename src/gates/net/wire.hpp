@@ -50,6 +50,11 @@ enum class FrameType : std::uint8_t {
   kRpcRequest = 5,   // control plane: method string + body
   kRpcResponse = 6,  // control plane reply (base_seq echoes the request id)
   kShutdown = 7,  // orderly close
+  /// Live-migration state transfer: body = serialized core::StageCheckpoint
+  /// (see core/migration.hpp), base_seq = sender-chosen transfer id echoed
+  /// by the receiver's ack RPC. Rides the control connection, never the
+  /// data rings.
+  kCheckpoint = 8,
 };
 
 const char* frame_type_name(FrameType t);
@@ -138,6 +143,12 @@ void encode_control_frame(FrameType type, std::uint32_t channel,
 void encode_rpc_frame(FrameType type, std::uint32_t channel,
                       std::uint64_t request_id, std::string_view method,
                       std::string_view body, std::vector<std::uint8_t>* out);
+
+/// Encodes a CHECKPOINT frame: header + the serialized StageCheckpoint
+/// verbatim. base_seq carries the sender's transfer id.
+void encode_checkpoint_frame(std::uint32_t channel, std::uint64_t transfer_id,
+                             std::string_view body,
+                             std::vector<std::uint8_t>* out);
 
 /// Decodes a DATA body (`count` metas then payloads) into WirePackets;
 /// payload bytes are copied once into fresh arena blocks. Appends to *out.

@@ -24,6 +24,10 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kLinkRestore: return "link-restore";
     case TraceKind::kPartition: return "partition";
     case TraceKind::kPacketHop: return "packet-hop";
+    case TraceKind::kMigrateStart: return "migrate-start";
+    case TraceKind::kMigrateTransfer: return "migrate-transfer";
+    case TraceKind::kMigrateResume: return "migrate-resume";
+    case TraceKind::kMigrateAbort: return "migrate-abort";
   }
   return "?";
 }

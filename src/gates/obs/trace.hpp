@@ -50,9 +50,16 @@ enum class TraceKind : std::uint8_t {
                          // component = stage/link, detail = phase name,
                          // duration = time in the phase, trace_id/hop =
                          // causal identity (see obs/trace_context.hpp)
+  kMigrateStart,         // migration requested; component = stage,
+                         // detail = "from -> to"
+  kMigrateTransfer,      // checkpoint captured + shipped; value_new =
+                         // checkpoint bytes; duration = capture+transfer
+  kMigrateResume,        // stage resumed on target; duration = downtime,
+                         // value_old = packets replayed
+  kMigrateAbort,         // migration aborted; detail = step + reason
 };
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kPacketHop) + 1;
+    static_cast<std::size_t>(TraceKind::kMigrateAbort) + 1;
 
 const char* trace_kind_name(TraceKind kind);
 

@@ -210,6 +210,94 @@ TEST(SummaryMerger, SumsAcrossStreams) {
   EXPECT_DOUBLE_EQ(it->count, 30.0);
 }
 
+// -- checkpoint/restore (live migration) -------------------------------------
+
+TEST(CountingSamples, SaveLoadContinuesTheExactStream) {
+  // A restored sketch must be indistinguishable from one that was never
+  // interrupted: same sample, same tau, and — because the rng position
+  // travels — the same coin flips on every future insert.
+  CountingSamples original(64, Rng(11));
+  ZipfGenerator zipf(5000, 1.1);
+  Rng data_rng(12);
+  for (int i = 0; i < 20000; ++i) original.insert(zipf.next(data_rng));
+  ASSERT_GT(original.tau(), 1.0);  // overflowed: rng position matters now
+
+  ByteBuffer blob;
+  core::StateWriter w(blob);
+  original.save(w);
+  CountingSamples restored(8, Rng(99));  // wrong everything, pre-load
+  core::StateReader r(blob);
+  ASSERT_TRUE(restored.load(r));
+  ASSERT_TRUE(r.at_end());
+  EXPECT_EQ(restored.footprint(), original.footprint());
+  EXPECT_DOUBLE_EQ(restored.tau(), original.tau());
+  EXPECT_EQ(restored.items_seen(), original.items_seen());
+  EXPECT_EQ(restored.top_k(64), original.top_k(64));
+
+  // Exact continuation: identical further input gives identical summaries,
+  // including every probabilistic admission and diminishing pass.
+  Rng tail_a(13);
+  Rng tail_b(13);
+  for (int i = 0; i < 20000; ++i) {
+    original.insert(zipf.next(tail_a));
+    restored.insert(zipf.next(tail_b));
+  }
+  EXPECT_DOUBLE_EQ(restored.tau(), original.tau());
+  EXPECT_EQ(restored.top_k(64), original.top_k(64));
+}
+
+TEST(CountingSamples, LoadRejectsMalformedStateUntouched) {
+  CountingSamples cs(32, Rng(5));
+  for (int i = 0; i < 100; ++i) cs.insert(i % 7);
+  const auto before = cs.top_k(32);
+
+  ByteBuffer blob;
+  core::StateWriter w(blob);
+  cs.save(w);
+  // Every truncation must fail cleanly and leave the target untouched
+  // (all-or-nothing load — a half-applied sketch would silently corrupt
+  // counts after a migration).
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    core::StateReader r(blob.data(), cut);
+    EXPECT_FALSE(cs.load(r)) << "accepted a " << cut << "-byte prefix";
+    EXPECT_EQ(cs.top_k(32), before) << "mutated at cut " << cut;
+  }
+}
+
+TEST(ExactCounter, SaveLoadRoundTrip) {
+  ExactCounter c;
+  for (int i = 0; i < 5; ++i) c.insert(1);
+  for (int i = 0; i < 3; ++i) c.insert(2);
+  ByteBuffer blob;
+  core::StateWriter w(blob);
+  c.save(w);
+  ExactCounter out;
+  out.insert(77);  // pre-existing state is overwritten wholesale
+  core::StateReader r(blob);
+  ASSERT_TRUE(out.load(r));
+  EXPECT_EQ(out.count(1), 5u);
+  EXPECT_EQ(out.count(2), 3u);
+  EXPECT_EQ(out.count(77), 0u);
+  EXPECT_EQ(out.items_seen(), 8u);
+}
+
+TEST(SummaryMerger, SaveLoadKeepsLatestEpochSemantics) {
+  SummaryMerger m;
+  m.add({1, 5, {{10, 3.0}}});
+  m.add({2, 9, {{10, 2.0}, {20, 4.0}}});
+  ByteBuffer blob;
+  core::StateWriter w(blob);
+  m.save(w);
+  SummaryMerger out;
+  core::StateReader r(blob);
+  ASSERT_TRUE(out.load(r));
+  EXPECT_EQ(out.streams(), 2u);
+  EXPECT_EQ(out.top_k(8), m.top_k(8));
+  // Epoch tracking survived: a stale epoch for stream 2 is still ignored.
+  out.add({2, 8, {{99, 100.0}}});
+  EXPECT_EQ(out.top_k(8), m.top_k(8));
+}
+
 TEST(StreamSummary, PayloadBytesScalesWithItems) {
   EXPECT_GT(StreamSummary::payload_bytes(100),
             StreamSummary::payload_bytes(10));

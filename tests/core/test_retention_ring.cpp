@@ -136,6 +136,60 @@ TEST(RetentionRing, CowProtectsRetainedCopyFromSenderMutation) {
   });
 }
 
+TEST(RetentionRing, ExactAckDrainsToTheEosBarrier) {
+  // Migration quiesces at the ack barrier base_seq() == next_seq(); a
+  // pinned EOS at the base must hold the barrier open until it is itself
+  // acked, no matter the order the data acks arrive in.
+  RetentionRing ring(16);
+  for (std::uint64_t i = 0; i < 4; ++i) ring.retain(data_packet(i));
+  const std::uint64_t eos_seq = ring.retain(Packet::eos(0, 0.0));
+  for (std::uint64_t i = 5; i < 8; ++i) ring.retain(data_packet(i));
+  // Scattered exact acks for every data seq, EOS last.
+  for (const std::uint64_t seq : {6ull, 0ull, 3ull, 1ull, 7ull, 2ull, 5ull}) {
+    ring.ack_exact(seq);
+  }
+  // Everything but the EOS is released, yet the window has not drained:
+  // the pin is exactly what keeps base at the EOS.
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{eos_seq}));
+  EXPECT_EQ(ring.base_seq(), eos_seq);
+  EXPECT_LT(ring.base_seq(), ring.next_seq());
+  EXPECT_EQ(ring.data_retained(), 0u);
+  ring.ack_exact(eos_seq);
+  // Barrier reached — the checkpoint boundary condition.
+  EXPECT_EQ(ring.base_seq(), ring.next_seq());
+  EXPECT_TRUE(unacked_seqs(ring).empty());
+}
+
+TEST(RetentionRing, EvictionPressureOnAPinnedBaseStaysExact) {
+  // The evict-while-pinned edge: the EOS becomes the oldest live entry at
+  // the window base, then capacity pressure forces evictions. The cursor
+  // must hop over the pin (never tombstoning it, never double-counting
+  // data_retained) and exact acks afterwards must release exactly the
+  // surviving seqs.
+  RetentionRing ring(2);
+  ring.retain(data_packet(0));
+  const std::uint64_t eos_seq = ring.retain(Packet::eos(0, 0.0));  // seq 1
+  ring.ack_exact(0);  // the EOS is now the base of the window
+  EXPECT_EQ(ring.base_seq(), eos_seq);
+  for (std::uint64_t i = 0; i < 8; ++i) ring.retain(data_packet(10 + i));
+  // 8 data retains into capacity 2: six evictions, the pin untouched.
+  EXPECT_EQ(ring.data_retained(), 2u);
+  EXPECT_EQ(ring.evicted(), 6u);
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{eos_seq, 8, 9}));
+  // Exact ack of one survivor releases it alone; the pinned base holds.
+  ring.ack_exact(8);
+  EXPECT_EQ(unacked_seqs(ring), (std::vector<std::uint64_t>{eos_seq, 9}));
+  EXPECT_EQ(ring.base_seq(), eos_seq);
+  EXPECT_EQ(ring.data_retained(), 1u);
+  // Releasing the pin lets the base sweep across the tombstoned span in
+  // one advance, landing on the remaining live entry.
+  ring.ack_exact(eos_seq);
+  EXPECT_EQ(ring.base_seq(), 9u);
+  ring.ack_exact(9);
+  EXPECT_EQ(ring.base_seq(), ring.next_seq());
+  EXPECT_EQ(ring.data_retained(), 0u);
+}
+
 TEST(RetentionRing, InterleavedExactAcksThenReplayOrder) {
   RetentionRing ring(16);
   for (std::uint64_t i = 0; i < 8; ++i) ring.retain(data_packet(i));

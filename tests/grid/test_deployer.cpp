@@ -164,8 +164,12 @@ TEST(Deployer, CreatesContainersAndCustomizedInstances) {
   ASSERT_NE(processor, nullptr);
   EXPECT_EQ(deployment->instances[0]->state(),
             GatesServiceInstance::State::kRunning);
-  // A second engine instantiation of the same service instance fails.
-  EXPECT_EQ(spec.stages[0].factory(), nullptr);
+  // A second engine instantiation mints a sibling service instance in the
+  // same container (migration resume / in-process revive re-runs the
+  // factory while the original is RUNNING) — never a failure.
+  EXPECT_NE(spec.stages[0].factory(), nullptr);
+  const NodeId node = deployment->placement.stage_nodes[0];
+  EXPECT_EQ(deployment->containers[node]->instances().size(), 2u);
 }
 
 TEST(Deployer, ResolvesThroughNamedRepository) {
@@ -271,6 +275,104 @@ TEST(Deployer, ReplacementProviderAdaptsReplaceStage) {
   EXPECT_FALSE(provider(1, {0, 1, 2}).has_value());
 }
 
+TEST(Deployer, MigrateStagePinnedTargetMovesTheDeployment) {
+  Fixture f;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  f.directory.register_node("n2", {});
+  auto spec = f.pipeline(2);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  const NodeId old_node = deployment->placement.stage_nodes[0];
+  ASSERT_NE(old_node, 2u);
+
+  auto decision = deployer.migrate_stage(spec, *deployment, 0, /*target=*/2);
+  ASSERT_TRUE(decision.ok()) << decision.status().to_string();
+  EXPECT_EQ(decision->node, 2u);
+  // Deployment bookkeeping follows the move, exactly like replace_stage:
+  // placement, a fresh CUSTOMIZED instance, and a live factory.
+  EXPECT_EQ(deployment->placement.stage_nodes[0], 2u);
+  EXPECT_EQ(deployment->instances[0]->node(), 2u);
+  EXPECT_EQ(deployment->instances[0]->state(),
+            GatesServiceInstance::State::kCustomized);
+  ASSERT_TRUE(decision->factory);
+  EXPECT_NE(decision->factory(), nullptr);
+}
+
+TEST(Deployer, MigrateStageDirectoryChoiceNeedsAStrictImprovement) {
+  Fixture f;
+  ResourceSpec slow, fast;
+  slow.cpu_factor = 1.0;
+  fast.cpu_factor = 4.0;
+  f.directory.register_node("n0", slow);
+  f.directory.register_node("n1", slow);  // the source node: stage0 lands here
+  f.directory.register_node("n2", fast);
+  auto spec = f.pipeline(1);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  ASSERT_EQ(deployment->placement.stage_nodes[0], 1u);
+
+  // kInvalidNode: the directory proposes the strictly faster node 2.
+  auto up = deployer.migrate_stage(spec, *deployment, 0, kInvalidNode);
+  ASSERT_TRUE(up.ok()) << up.status().to_string();
+  EXPECT_EQ(up->node, 2u);
+  // Already on the top node: no improvement exists, the migration must
+  // abort in place rather than bounce between equals.
+  auto again = deployer.migrate_stage(spec, *deployment, 0, kInvalidNode);
+  EXPECT_EQ(again.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Deployer, MigrateStageRejectsBadTargets) {
+  Fixture f;
+  ResourceSpec weak;
+  weak.cpu_factor = 0.2;
+  f.directory.register_node("n0", {});
+  f.directory.register_node("n1", {});
+  f.directory.register_node("weak", weak);
+  auto spec = f.pipeline(1);
+  spec.stages[0].requirement.min_cpu_factor = 1.0;
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  const NodeId current = deployment->placement.stage_nodes[0];
+
+  // Pinned to a node that fails the requirement.
+  auto weak_target = deployer.migrate_stage(spec, *deployment, 0, 2);
+  EXPECT_EQ(weak_target.status().code(), StatusCode::kFailedPrecondition);
+  // Pinned to where it already runs.
+  auto same = deployer.migrate_stage(spec, *deployment, 0, current);
+  EXPECT_EQ(same.status().code(), StatusCode::kInvalidArgument);
+  // Bad stage index.
+  auto oob = deployer.migrate_stage(spec, *deployment, 9, kInvalidNode);
+  EXPECT_EQ(oob.status().code(), StatusCode::kInvalidArgument);
+  // Placement untouched by the failed attempts.
+  EXPECT_EQ(deployment->placement.stage_nodes[0], current);
+}
+
+TEST(Deployer, MigrationProviderAdaptsMigrateStage) {
+  Fixture f;
+  ResourceSpec slow, fast;
+  slow.cpu_factor = 1.0;
+  fast.cpu_factor = 4.0;
+  f.directory.register_node("n0", slow);
+  f.directory.register_node("n1", slow);
+  f.directory.register_node("n2", fast);
+  auto spec = f.pipeline(1);
+  Deployer deployer(f.directory, f.repos, f.processors);
+  auto deployment = deployer.deploy(spec);
+  ASSERT_TRUE(deployment.ok());
+  auto provider = make_migration_provider(deployer, spec, *deployment);
+
+  auto decision = provider(0, kInvalidNode);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->node, 2u);
+  // No further improvement: matchmaking failure surfaces as nullopt, which
+  // the engine turns into an in-place abort (or fallback, post-quiesce).
+  EXPECT_FALSE(provider(0, kInvalidNode).has_value());
+}
+
 TEST(Deployer, PooledStageFactoryMintsOneInstancePerReplica) {
   Fixture f;
   f.directory.register_node("n0", {});
@@ -293,9 +395,14 @@ TEST(Deployer, PooledStageFactoryMintsOneInstancePerReplica) {
   ASSERT_NE(pool_node, serial_node);  // load spreading separates them
   EXPECT_EQ(deployment->containers[pool_node]->instances().size(), 3u)
       << "primary pooled instance + 2 siblings";
-  // The serial stage keeps the single-shot lifecycle.
+  // A serial stage's factory also re-instantiates past the first call —
+  // a migration resume (or in-process revive) asks for a fresh processor
+  // while the original instance is still RUNNING, so the factory mints a
+  // sibling in the same container rather than failing single-shot.
   EXPECT_NE(spec.stages[1].factory(), nullptr);
-  EXPECT_EQ(spec.stages[1].factory(), nullptr);
+  EXPECT_NE(spec.stages[1].factory(), nullptr);
+  EXPECT_EQ(deployment->containers[serial_node]->instances().size(), 2u)
+      << "deploy-time instance + one migration sibling";
 }
 
 TEST(Deployer, RecoveryFactoryRestartsPooledStageInPlace) {

@@ -128,6 +128,43 @@ TEST(ResourceDirectory, HeartbeatOnUnknownNodeFails) {
   EXPECT_FALSE(dir.mark_failed(3).is_ok());
 }
 
+TEST(ResourceDirectory, FindBetterThanPicksTheFastestStrictImprovement) {
+  ResourceDirectory dir;
+  ResourceSpec slow, fast, faster;
+  slow.cpu_factor = 1.0;
+  fast.cpu_factor = 2.0;
+  faster.cpu_factor = 4.0;
+  dir.register_node("current", slow);   // node 0
+  dir.register_node("fast", fast);      // node 1
+  dir.register_node("faster", faster);  // node 2
+  dir.register_node("peer", faster);    // node 3: ties node 2 at the top
+  // Fresh nodes are alive for one lease from t=0.
+  EXPECT_EQ(dir.find_better_than(0, {}, 0.0), 2u);
+  // From a top node, an equal peer never counts as an improvement — strict
+  // ordering is what prevents migration ping-pong between equals.
+  EXPECT_EQ(dir.find_better_than(2, {}, 0.0), kInvalidNode);
+  EXPECT_EQ(dir.find_better_than(3, {}, 0.0), kInvalidNode);
+}
+
+TEST(ResourceDirectory, FindBetterThanHonorsRequirementAndHealth) {
+  ResourceDirectory dir;
+  ResourceSpec slow, fast;
+  slow.cpu_factor = 1.0;
+  slow.memory_mb = 8192;
+  fast.cpu_factor = 4.0;
+  fast.memory_mb = 512;
+  dir.register_node("current", slow);  // node 0
+  dir.register_node("fast", fast);     // node 1: faster, but memory-starved
+  core::ResourceRequirement req;
+  req.min_memory_mb = 1024;
+  EXPECT_EQ(dir.find_better_than(0, req, 0.0), kInvalidNode);
+  // Without the memory floor node 1 wins — until its lease lapses: a
+  // migration must never target a node the detector would declare dead.
+  EXPECT_EQ(dir.find_better_than(0, {}, 0.0), 1u);
+  ASSERT_TRUE(dir.heartbeat(1, 0.0).is_ok());
+  EXPECT_EQ(dir.find_better_than(0, {}, 100.0), kInvalidNode);
+}
+
 TEST(NodeHealth, NamesAreStable) {
   EXPECT_STREQ(node_health_name(NodeHealth::kAlive), "alive");
   EXPECT_STREQ(node_health_name(NodeHealth::kSuspect), "suspect");

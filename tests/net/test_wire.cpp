@@ -104,6 +104,8 @@ TEST(WireHeader, RejectsBadMagicVersionTypeAndCaps) {
   bad[5] = 0;
   EXPECT_FALSE(decode_header(bad, &d).is_ok());  // type low
   bad[5] = 8;
+  EXPECT_TRUE(decode_header(bad, &d).is_ok());   // CHECKPOINT: highest valid
+  bad[5] = 9;
   EXPECT_FALSE(decode_header(bad, &d).is_ok());  // type high
 
   h = FrameHeader{};

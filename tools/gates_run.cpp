@@ -29,6 +29,12 @@
 //                      asymmetric, slow-start-burst, crash-flap); invariant
 //                      verdicts print after the run and failures exit 1
 //   --chaos-report FILE  write the chaos RunReport + verdicts as JSON
+//   --migrate STAGE@T[:NODE]  live-migrate stage STAGE at T seconds into the
+//                      run, to node NODE or the directory's best candidate
+//                      (repeatable; requires --failover). The stage is
+//                      quiesced at an ack boundary, checkpointed, and
+//                      resumed on the target with state intact; an abort at
+//                      any step degrades to the crash-failover path
 //   --verbose          middleware INFO logging
 //
 // Multi-process deployment (rt engine only; see grid/node_remote.hpp):
@@ -112,6 +118,12 @@ struct Options {
     double loss;
   };
   std::vector<LinkOverride> links;
+  struct MigrateSpec {
+    std::string stage;
+    double at = 0;
+    NodeId target = kInvalidNode;  // kInvalidNode = directory picks
+  };
+  std::vector<MigrateSpec> migrations;
   std::string chaos;
   std::string chaos_report;
   /// Multi-process deployment: > 0 runs the pipeline across this many
@@ -164,6 +176,26 @@ bool parse_node_time(const char* text, std::pair<NodeId, double>& out) {
   return true;
 }
 
+/// Parses "STAGE@T" or "STAGE@T:NODE", e.g. "count@2.5" / "count@2.5:3".
+bool parse_migrate(const char* text, Options::MigrateSpec& out) {
+  const std::string s = text;
+  const auto at = s.find('@');
+  if (at == std::string::npos || at == 0) return false;
+  Options::MigrateSpec m;
+  m.stage = s.substr(0, at);
+  std::string rest = s.substr(at + 1);
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    long long node;
+    if (!parse_int(rest.substr(colon + 1), node) || node < 0) return false;
+    m.target = static_cast<NodeId>(node);
+    rest = rest.substr(0, colon);
+  }
+  if (!parse_double(rest, m.at) || m.at < 0) return false;
+  out = m;
+  return true;
+}
+
 /// Parses "A-B=BW:DELAY:LOSS", e.g. "1-0=50e3:0.1:0.02".
 bool parse_link_override(const char* text, Options::LinkOverride& out) {
   const std::string s = text;
@@ -202,7 +234,7 @@ int usage(const char* argv0) {
                "       [--failover] [--retention N] [--kill-node N@T] "
                "[--recover-node N@T] [--replicas STAGE=N]\n"
                "       [--link A-B=BW:DELAY:LOSS] [--chaos NAME] "
-               "[--chaos-report FILE]\n"
+               "[--chaos-report FILE] [--migrate STAGE@T[:NODE]]\n"
                "       [--metrics-out FILE] [--events-out FILE] "
                "[--trace-out FILE] [--trace-buffer N]\n"
                "       [--trace-sample N] [--attribution-out FILE] "
@@ -263,6 +295,17 @@ int run_with_daemons(const Options& options, const std::string& grid_text,
   dopts.idle = options.idle;
   if (options.control_period) dopts.control_period = *options.control_period;
   dopts.kill_daemon = options.kill_daemon;
+  if (!options.migrations.empty()) {
+    if (options.migrations.size() > 1) {
+      std::fprintf(stderr, "--daemons supports a single --migrate\n");
+      return 2;
+    }
+    dopts.migrate_stage = options.migrations[0].stage;
+    dopts.migrate_at = options.migrations[0].at;
+    dopts.migrate_target = options.migrations[0].target == kInvalidNode
+                               ? static_cast<std::size_t>(-1)
+                               : options.migrations[0].target;
+  }
   dopts.verbose = options.verbose;
   std::printf("distributed: %zu daemons over %s (%s)\n", dopts.daemons,
               dopts.transport.c_str(), dopts.node_bin.c_str());
@@ -283,6 +326,30 @@ int run_with_daemons(const Options& options, const std::string& grid_text,
     }
   }
   return result->completed ? 0 : 1;
+}
+
+/// Resolves --migrate stage names against the launched pipeline and arms
+/// the engine's schedule. Unknown names are a usage error.
+template <typename Engine>
+bool schedule_migrations(const Options& options,
+                         const core::PipelineSpec& pipeline, Engine& engine) {
+  for (const auto& m : options.migrations) {
+    const auto it =
+        std::find_if(pipeline.stages.begin(), pipeline.stages.end(),
+                     [&](const core::StageSpec& s) { return s.name == m.stage; });
+    if (it == pipeline.stages.end()) {
+      std::fprintf(stderr, "--migrate: no stage named '%s'\n",
+                   m.stage.c_str());
+      return false;
+    }
+    engine.schedule_migration(
+        static_cast<std::size_t>(it - pipeline.stages.begin()), m.at,
+        m.target);
+    std::printf("  migrate '%s' at t=%.2f%s\n", m.stage.c_str(), m.at,
+                m.target == kInvalidNode ? " (directory picks the target)"
+                                         : "");
+  }
+  return true;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -363,6 +430,11 @@ bool parse_args(int argc, char** argv, Options& options) {
       Options::LinkOverride lo;
       if (!v || !parse_link_override(v, lo)) return false;
       options.links.push_back(lo);
+    } else if (arg == "--migrate") {
+      const char* v = next();
+      Options::MigrateSpec m;
+      if (!v || !parse_migrate(v, m)) return false;
+      options.migrations.push_back(m);
     } else if (arg == "--chaos") {
       const char* v = next();
       if (!v) return false;
@@ -501,6 +573,21 @@ void print_report(const core::RunReport& report) {
                   static_cast<unsigned long long>(f.packets_replayed),
                   static_cast<unsigned long long>(f.packets_lost_retention),
                   f.attempts, where);
+    }
+  }
+  if (!report.migrations.empty()) {
+    std::printf("%-14s %11s %9s %11s %9s %8s %-10s %s\n", "migrated stage",
+                "nodes", "at", "downtime ms", "ckpt B", "replayed", "outcome",
+                "detail");
+    for (const auto& m : report.migrations) {
+      char nodes[24];
+      std::snprintf(nodes, sizeof(nodes), "%u -> %u", m.from, m.to);
+      std::printf("%-14s %11s %9.2f %11.2f %9llu %8llu %-10s %s\n",
+                  m.stage.c_str(), nodes, m.requested_at, m.downtime * 1e3,
+                  static_cast<unsigned long long>(m.checkpoint_bytes),
+                  static_cast<unsigned long long>(m.packets_replayed),
+                  core::MigrationRecord::outcome_name(m.outcome),
+                  m.detail.c_str());
     }
   }
 }
@@ -652,6 +739,12 @@ int main(int argc, char** argv) {
   }
 
   apps::register_all();
+  if (!options.migrations.empty() && !options.failover) {
+    // Migration rides the failover machinery (quiesce gating, retention
+    // replay on abort), so the flag combination is required, not implied.
+    std::fprintf(stderr, "--migrate requires --failover\n");
+    return 2;
+  }
   if (options.daemons > 0) {
     return run_with_daemons(options, *grid_text, *app_text);
   }
@@ -710,6 +803,11 @@ int main(int argc, char** argv) {
     std::printf("chaos '%s': %zu actions on flow %u->%u over %.1f s\n",
                 scenario.name.c_str(), scenario.actions.size(), target.from,
                 target.to, horizon);
+    if (scenario.has_migrations && !options.failover) {
+      std::fprintf(stderr, "chaos '%s' migrates stages: --failover required\n",
+                   scenario.name.c_str());
+      return 2;
+    }
   }
 
   if (options.engine == "sim") {
@@ -734,6 +832,13 @@ int main(int argc, char** argv) {
     }
     if (options.failover) {
       engine.set_replacement_provider(grid::make_replacement_provider(
+          deployer, app->pipeline, app->deployment));
+    }
+    if (!options.migrations.empty() || (chaos_on && scenario.has_migrations)) {
+      if (!schedule_migrations(options, app->pipeline, engine)) {
+        return usage(argv[0]);
+      }
+      engine.set_migration_provider(grid::make_migration_provider(
           deployer, app->pipeline, app->deployment));
     }
     obs::IntrospectServer introspect;
@@ -803,6 +908,13 @@ int main(int argc, char** argv) {
           [deployment, pipeline](std::size_t i) -> core::ProcessorFactory {
             return grid::make_recovery_factory(*pipeline, *deployment, i);
           });
+    }
+    if (!options.migrations.empty() || (chaos_on && scenario.has_migrations)) {
+      if (!schedule_migrations(options, app->pipeline, engine)) {
+        return usage(argv[0]);
+      }
+      engine.set_migration_provider(grid::make_migration_provider(
+          deployer, app->pipeline, app->deployment));
     }
     std::optional<chaos::RtChaosDriver> driver;
     if (chaos_on) {
